@@ -1,0 +1,28 @@
+"""Figure 2 — IO latency of 1/5/10 writes: DynamoDB vs AFT, sequential vs batch.
+
+Paper takeaway: sequential writes to DynamoDB grow linearly (with terrible
+tails), batched writes stay nearly flat, and AFT's automatic batching lets a
+sequential client beat sequential DynamoDB while paying a small fixed commit
+overhead versus batched DynamoDB.
+"""
+
+from __future__ import annotations
+
+from bench_utils import emit, run_once
+
+from repro.harness.experiments import run_io_latency_experiment
+from repro.harness.report import format_rows
+
+COLUMNS = ["configuration", "writes", "median_ms", "p99_ms", "paper_median_ms", "paper_p99_ms"]
+
+
+def test_fig2_io_latency(benchmark):
+    rows = run_once(benchmark, run_io_latency_experiment, num_requests=400)
+    emit("fig2_io_latency", format_rows(rows, COLUMNS, title="Figure 2: IO latency (ms)"))
+
+    by_key = {(row["configuration"], row["writes"]): row for row in rows}
+    # Shape checks mirroring the paper's claims.
+    assert by_key[("dynamodb_sequential", 10)]["median_ms"] > 3 * by_key[("dynamodb_sequential", 1)]["median_ms"]
+    assert by_key[("dynamodb_batch", 10)]["median_ms"] < by_key[("dynamodb_sequential", 10)]["median_ms"]
+    assert by_key[("aft_sequential", 10)]["median_ms"] < by_key[("dynamodb_sequential", 10)]["median_ms"]
+    assert by_key[("aft_batch", 1)]["median_ms"] > by_key[("dynamodb_batch", 1)]["median_ms"]

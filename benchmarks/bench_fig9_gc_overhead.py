@@ -1,0 +1,36 @@
+"""Figure 9 — global garbage collection overhead.
+
+Paper takeaway: enabling global data GC has no discernible effect on
+throughput while deleting superseded transactions roughly as fast as they are
+produced under a contended workload.
+"""
+
+from __future__ import annotations
+
+from bench_utils import emit, run_once
+
+from repro.harness.experiments import run_gc_overhead_experiment
+from repro.harness.report import format_table
+
+
+def test_fig9_gc_overhead(benchmark):
+    result = run_once(benchmark, run_gc_overhead_experiment, duration=40.0, num_clients=20)
+
+    rows = [
+        ["throughput with GC (txn/s)", result["throughput_with_gc"]],
+        ["throughput without GC (txn/s)", result["throughput_without_gc"]],
+        ["throughput ratio (GC on / off)", result["throughput_ratio"]],
+        ["transactions committed (GC on)", result["transactions_committed_with_gc"]],
+        ["transactions deleted by GC", result["transactions_deleted"]],
+        ["deletions per second", result["deletions_per_second"]],
+        ["storage keys at end (GC on)", result["storage_keys_with_gc"]],
+        ["storage keys at end (GC off)", result["storage_keys_without_gc"]],
+    ]
+    emit("fig9_gc_overhead", format_table(["metric", "value"], rows, title="Figure 9: GC overhead"))
+
+    # GC must not cost throughput (within 10%).
+    assert result["throughput_ratio"] > 0.90
+    # GC keeps up: a large fraction of committed transactions get collected,
+    # and the storage footprint is much smaller than without GC.
+    assert result["transactions_deleted"] > 0.3 * result["transactions_committed_with_gc"]
+    assert result["storage_keys_with_gc"] < 0.7 * result["storage_keys_without_gc"]

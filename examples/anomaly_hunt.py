@@ -1,0 +1,72 @@
+"""Measuring consistency anomalies: plain cloud storage versus AFT.
+
+Run with::
+
+    python examples/anomaly_hunt.py
+
+This reproduces the spirit of the paper's Table 2 at laptop scale: the same
+workload of 2-function transactions runs (a) directly against a simulated
+eventually-consistent DynamoDB table and (b) through the AFT shim, under
+concurrent clients in the discrete-event simulator.  Every value is tagged
+with its writing transaction's metadata, so the anomaly checker can count
+read-your-write and fractured-read violations for both systems.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table
+from repro.simulation.cluster_sim import DeploymentSpec, run_deployment
+from repro.workloads.spec import TransactionSpec, WorkloadSpec
+
+
+def main() -> None:
+    workload = WorkloadSpec(
+        transaction=TransactionSpec.paper_default(),  # 2 functions, 1 write + 2 reads each
+        num_keys=500,
+        zipf_theta=1.0,
+        distinct_keys_per_transaction=False,
+    )
+
+    rows = []
+    for label, mode in (("plain DynamoDB", "plain"), ("DynamoDB transactions", "dynamo_txn"), ("AFT", "aft")):
+        spec = DeploymentSpec(
+            mode=mode,
+            backend="dynamodb",
+            workload=workload,
+            num_clients=10,
+            requests_per_client=150,
+            seed=42,
+        )
+        result = run_deployment(spec)
+        counts = result.anomaly_counts
+        rows.append(
+            [
+                label,
+                counts.committed_transactions,
+                counts.ryw_anomalies,
+                counts.fractured_read_anomalies,
+                f"{100 * counts.ryw_rate:.1f}%",
+                f"{100 * counts.fractured_read_rate:.1f}%",
+                f"{result.latency.median_ms:.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["system", "txns", "RYW anomalies", "FR anomalies", "RYW rate", "FR rate", "median ms"],
+            rows,
+            title="Anomalies under identical workloads (cf. paper Table 2)",
+        )
+    )
+    print()
+    print(
+        "AFT eliminates every anomaly by buffering each request's writes and\n"
+        "running Algorithm 1 over committed metadata; the plain baseline leaks\n"
+        "fractional updates whenever requests interleave or reads hit a stale\n"
+        "replica, and DynamoDB's transaction mode still fractures reads that\n"
+        "span the two functions of a request."
+    )
+
+
+if __name__ == "__main__":
+    main()

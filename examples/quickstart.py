@@ -1,0 +1,73 @@
+"""Quickstart: the AFT shim in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks through the core API on a single AFT node over in-memory storage:
+starting transactions, read-your-writes, atomic visibility of multi-key
+commits, aborts, and what happens when two transactions interleave.
+"""
+
+from __future__ import annotations
+
+from repro import AftNode, InMemoryStorage, TransactionSession
+
+
+def main() -> None:
+    # An AFT node needs only a durable key-value store underneath it.
+    storage = InMemoryStorage()
+    node = AftNode(storage, node_id="quickstart-node")
+    node.start()
+
+    # --- 1. The Table 1 API ------------------------------------------------
+    txid = node.start_transaction()
+    node.put(txid, "user:alice", b'{"balance": 100}')
+    node.put(txid, "user:bob", b'{"balance": 50}')
+    print("read-your-writes before commit:", node.get(txid, "user:alice"))
+    commit_id = node.commit_transaction(txid)
+    print(f"committed transaction {commit_id.uuid[:8]} at t={commit_id.timestamp:.3f}")
+
+    # --- 2. Atomic visibility ----------------------------------------------
+    # A transfer touches both accounts; other transactions see either the old
+    # pair or the new pair, never a mix.
+    transfer = node.start_transaction()
+    node.put(transfer, "user:alice", b'{"balance": 70}')
+    node.put(transfer, "user:bob", b'{"balance": 80}')
+
+    observer = node.start_transaction()
+    print("observer during transfer :", node.get(observer, "user:alice"), node.get(observer, "user:bob"))
+
+    node.commit_transaction(transfer)
+
+    late_observer = node.start_transaction()
+    print(
+        "observer after commit    :",
+        node.get(late_observer, "user:alice"),
+        node.get(late_observer, "user:bob"),
+    )
+
+    # --- 3. Aborts discard everything --------------------------------------
+    doomed = node.start_transaction()
+    node.put(doomed, "user:alice", b'{"balance": -1}')
+    node.abort_transaction(doomed)
+    check = node.start_transaction()
+    print("after abort              :", node.get(check, "user:alice"))
+
+    # --- 4. The context-manager convenience ---------------------------------
+    with TransactionSession(node) as txn:
+        txn.put("greeting", "hello, serverless world")
+    with TransactionSession(node) as txn:
+        print("session read             :", txn.get("greeting"))
+
+    # --- 5. A peek at the node's bookkeeping --------------------------------
+    print(
+        f"node stats: {node.stats.transactions_committed} committed, "
+        f"{node.stats.transactions_aborted} aborted, "
+        f"{len(node.metadata_cache)} commit records cached, "
+        f"{storage.size()} keys in storage"
+    )
+
+
+if __name__ == "__main__":
+    main()

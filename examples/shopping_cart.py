@@ -1,0 +1,119 @@
+"""A serverless shopping-cart checkout built on the FaaS simulator + AFT.
+
+Run with::
+
+    python examples/shopping_cart.py
+
+The scenario is the paper's motivating one: a logical request spans several
+functions (reserve stock, charge payment, write the order), each of which
+updates shared state.  Without AFT, a crash between those updates leaks a
+fractional order (stock reserved but no order recorded).  With AFT the whole
+composition is one transaction: either every update is visible or none is —
+even while the platform's at-least-once retries are replaying crashed
+functions.
+"""
+
+from __future__ import annotations
+
+from repro import AftCluster, ClusterConfig, InMemoryStorage
+from repro.faas import Composition, FaaSPlatform, FailureInjector, FailurePlan
+from repro.faas.failures import FailurePoint
+
+
+# --------------------------------------------------------------------------- #
+# Function handlers (ordinary Python callables; `ctx` scopes storage access to
+# the request's AFT transaction).
+# --------------------------------------------------------------------------- #
+def reserve_stock(ctx, event):
+    item = event["item"]
+    quantity = event["quantity"]
+    current = int(ctx.get_str(f"stock:{item}", "0"))
+    if current < quantity:
+        raise ValueError(f"not enough stock for {item}: {current} < {quantity}")
+    ctx.put(f"stock:{item}", str(current - quantity))
+    return {**event, "reserved": True}
+
+
+def charge_payment(ctx, event):
+    amount = event["quantity"] * event["unit_price"]
+    balance = int(ctx.get_str(f"balance:{event['customer']}", "0"))
+    if balance < amount:
+        raise ValueError("insufficient funds")
+    ctx.put(f"balance:{event['customer']}", str(balance - amount))
+    return {**event, "charged": amount}
+
+
+def record_order(ctx, event):
+    order_id = f"order:{event['customer']}:{event['item']}"
+    ctx.put(order_id, f"{event['quantity']}x{event['item']} for {event['charged']}")
+    return {**event, "order_id": order_id}
+
+
+def main() -> None:
+    # A 2-node AFT cluster over shared storage, fronted by a round-robin LB.
+    cluster = AftCluster(InMemoryStorage(), cluster_config=ClusterConfig(num_nodes=2))
+    client = cluster.client()
+
+    # Seed the catalogue and a customer balance.
+    with client.transaction() as txn:
+        txn.put("stock:widget", "10")
+        txn.put("balance:alice", "100")
+    cluster.run_multicast_round()
+
+    # Register the checkout composition on the FaaS platform.
+    platform = FaaSPlatform(client)
+    platform.register("reserve_stock", reserve_stock)
+    platform.register("charge_payment", charge_payment)
+    platform.register("record_order", record_order)
+    checkout = Composition(platform, ["reserve_stock", "charge_payment", "record_order"], name="checkout")
+
+    order = {"customer": "alice", "item": "widget", "quantity": 2, "unit_price": 10}
+
+    # ----------------------------------------------------------------- #
+    # 1. A clean checkout.
+    # ----------------------------------------------------------------- #
+    result = checkout.run(order)
+    print(f"checkout committed={result.committed} order={result.value['order_id']}")
+    # Let the commit's metadata reach every AFT node before the next request
+    # (in a real deployment the background multicast does this every second).
+    cluster.run_multicast_round()
+
+    # ----------------------------------------------------------------- #
+    # 2. A checkout whose last function crashes once, mid-update.  The
+    #    platform retries the function; because record_order writes the same
+    #    value on every attempt (it is idempotent, as the paper asks of
+    #    application code) and AFT persists the transaction's updates exactly
+    #    once, the committed state reflects a single execution.
+    # ----------------------------------------------------------------- #
+    platform.failure_injector.add_plan(
+        FailurePlan("record_order", FailurePoint.AFTER_N_PUTS, frozenset({1}), after_puts=1)
+    )
+    result = checkout.run(order)
+    print(f"checkout with mid-function crash: committed={result.committed} attempts={result.function_attempts}")
+    cluster.run_multicast_round()
+
+    # ----------------------------------------------------------------- #
+    # 3. A checkout that fails permanently (out of stock).  The transaction
+    #    aborts and *none* of its updates (the stock decrement!) are visible.
+    # ----------------------------------------------------------------- #
+    platform.failure_injector.clear()
+    big_order = {**order, "quantity": 100}
+    try:
+        checkout.run(big_order)
+    except Exception as error:  # noqa: BLE001 - demo output
+        print(f"checkout rejected as expected: {type(error).__name__}")
+
+    cluster.run_multicast_round()
+    with client.transaction() as txn:
+        stock = txn.get("stock:widget")
+        balance = txn.get("balance:alice")
+        order_record = txn.get("order:alice:widget")
+    print(f"final state: stock={stock} balance={balance} order={order_record}")
+    expected_stock = 10 - 2 - 2
+    assert stock == str(expected_stock).encode(), "the failed checkout must not leak its stock reservation"
+
+    cluster.shutdown()
+
+
+if __name__ == "__main__":
+    main()

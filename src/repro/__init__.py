@@ -1,0 +1,66 @@
+"""Reproduction of *A Fault-Tolerance Shim for Serverless Computing* (AFT, EuroSys 2020).
+
+The public API is re-exported here for convenience::
+
+    from repro import AftNode, AftCluster, InMemoryStorage, TransactionSession
+
+    storage = InMemoryStorage()
+    node = AftNode(storage)
+    node.start()
+    with TransactionSession(node) as txn:
+        txn.put("greeting", b"hello, world")
+        txn.get("greeting")
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured results.
+"""
+
+from repro.clock import Clock, CounterClock, LogicalClock, OffsetClock, SystemClock
+from repro.config import AftConfig, ClusterConfig, DEFAULT_CONFIG
+from repro.core import (
+    AftCluster,
+    AftNode,
+    ClusterClient,
+    CommitRecord,
+    CommitSetStore,
+    TransactionSession,
+    TransactionStatus,
+)
+from repro.errors import AftError, AtomicReadError, StorageError, TransactionError
+from repro.ids import TransactionId
+from repro.storage import (
+    InMemoryStorage,
+    SimulatedDynamoDB,
+    SimulatedRedisCluster,
+    SimulatedS3,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "AftNode",
+    "AftCluster",
+    "ClusterClient",
+    "TransactionSession",
+    "TransactionStatus",
+    "TransactionId",
+    "CommitRecord",
+    "CommitSetStore",
+    "AftConfig",
+    "ClusterConfig",
+    "DEFAULT_CONFIG",
+    "Clock",
+    "SystemClock",
+    "LogicalClock",
+    "CounterClock",
+    "OffsetClock",
+    "InMemoryStorage",
+    "SimulatedDynamoDB",
+    "SimulatedS3",
+    "SimulatedRedisCluster",
+    "AftError",
+    "TransactionError",
+    "AtomicReadError",
+    "StorageError",
+]

@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares AFT against.
+
+* :class:`~repro.baselines.plain.PlainStorageClient` — functions write and
+  read the storage engine directly with no shim ("Plain" bars in Figure 3).
+* :class:`~repro.baselines.dynamo_txn.DynamoTransactionClient` — DynamoDB's
+  native transaction mode, with read-only and write-only single-call
+  transactions and conflict-retry behaviour ("Transactional"/"DynamoDB Txns").
+* :class:`~repro.baselines.ramp.RampFastStore` — the original RAMP-Fast
+  protocol with pre-declared read/write sets, implemented as an extension for
+  the staleness/abort ablation.
+"""
+
+from repro.baselines.plain import PlainStorageClient
+from repro.baselines.dynamo_txn import DynamoTransactionClient
+from repro.baselines.ramp import RampFastStore, RampTransactionAborted
+
+__all__ = [
+    "PlainStorageClient",
+    "DynamoTransactionClient",
+    "RampFastStore",
+    "RampTransactionAborted",
+]

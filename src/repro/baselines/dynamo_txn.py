@@ -1,0 +1,90 @@
+"""The DynamoDB transaction-mode baseline.
+
+DynamoDB's native transactions (``TransactGetItems`` / ``TransactWriteItems``)
+are single API calls that are either read-only or write-only and succeed or
+fail as a group (paper Section 6.1.2).  They cannot span the multiple
+functions of a serverless request, so the paper adapts the workload: each
+function batches its reads into one transactional read call, and all of the
+request's writes are grouped into a single transactional write issued by the
+last function.  That removes read-your-write anomalies but still admits
+fractured reads across functions, and under contention the service aborts
+conflicting transactions, forcing client-side retries (Figure 4's latency
+blow-up at high skew).
+
+:class:`DynamoTransactionClient` reproduces that adapted access pattern over
+:class:`~repro.storage.dynamodb.SimulatedDynamoDB`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransactionConflictError
+from repro.ids import new_uuid
+from repro.storage.dynamodb import SimulatedDynamoDB
+
+
+@dataclass
+class DynamoTxnStats:
+    read_transactions: int = 0
+    write_transactions: int = 0
+    conflicts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+
+
+class DynamoTransactionClient:
+    """Read-only / write-only native transactions with conflict retries."""
+
+    def __init__(self, storage: SimulatedDynamoDB, max_retries: int = 5) -> None:
+        if not isinstance(storage, SimulatedDynamoDB):
+            raise TypeError("DynamoTransactionClient requires a SimulatedDynamoDB engine")
+        self.storage = storage
+        self.max_retries = int(max_retries)
+        self.stats = DynamoTxnStats()
+
+    # ------------------------------------------------------------------ #
+    def transact_read(self, keys: list[str]) -> dict[str, bytes | None]:
+        """One ``TransactGetItems`` call with retry-on-conflict."""
+        self.stats.read_transactions += 1
+        return self._with_retries(lambda token: self.storage.transact_get_items(keys, token=token))
+
+    def transact_write(self, items: dict[str, bytes]) -> None:
+        """One ``TransactWriteItems`` call with retry-on-conflict."""
+        self.stats.write_transactions += 1
+        self._with_retries(lambda token: self.storage.transact_write_items(items, token=token))
+
+    def _with_retries(self, call):
+        attempts = 0
+        while True:
+            token = new_uuid()
+            try:
+                return call(token)
+            except TransactionConflictError:
+                self.stats.conflicts += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    self.stats.gave_up += 1
+                    raise
+                self.stats.retries += 1
+
+    # ------------------------------------------------------------------ #
+    # Lock-window helpers used by the discrete-event simulator, which needs
+    # the conflict window to span simulated time rather than a single call.
+    # ------------------------------------------------------------------ #
+    def begin_conflict_window(self, keys: list[str], mode: str = "write") -> str:
+        """Claim the items for an in-flight transaction; raises on conflict."""
+        token = new_uuid()
+        self.storage.transact_begin(keys, token, mode=mode)
+        return token
+
+    def end_conflict_window(self, token: str) -> None:
+        self.storage.transact_end(token)
+
+    def record_conflict(self, retried: bool = True) -> None:
+        """Account a conflict detected by the simulator's lock window."""
+        self.stats.conflicts += 1
+        if retried:
+            self.stats.retries += 1
+        else:
+            self.stats.gave_up += 1

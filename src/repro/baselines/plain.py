@@ -1,0 +1,65 @@
+"""The "Plain" baseline: direct storage access with no shim.
+
+This is how serverless applications use cloud storage today and is the
+baseline labelled "Plain" in Figure 3: every ``Put`` writes the storage engine
+immediately and in place, every ``Get`` reads whatever the engine returns, and
+"commit" and "abort" are no-ops because there is nothing to make atomic.  A
+failure mid-request leaves a fractional set of updates visible, and concurrent
+requests freely interleave — exactly the anomalies Table 2 counts.
+
+The client still implements the Table 1 call signatures so that the same
+workload executor can drive AFT and the baseline interchangeably.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.clock import Clock, SystemClock
+from repro.ids import TransactionId, new_uuid
+from repro.storage.base import StorageEngine
+
+
+class PlainStorageClient:
+    """Direct, non-transactional access to a storage engine."""
+
+    def __init__(self, storage: StorageEngine, clock: Clock | None = None) -> None:
+        self.storage = storage
+        self.clock = clock if clock is not None else SystemClock()
+        self._active: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.puts = 0
+        self.gets = 0
+
+    # ------------------------------------------------------------------ #
+    # Table 1 API (degenerate, non-atomic semantics)
+    # ------------------------------------------------------------------ #
+    def start_transaction(self, txid: str | None = None) -> str:
+        """Hand out a request id; there is no transactional state to create."""
+        txid = txid if txid is not None else new_uuid()
+        with self._lock:
+            self._active.setdefault(txid, self.clock.now())
+        return txid
+
+    def get(self, txid: str, key: str) -> bytes | None:
+        """Read the engine directly; no session or isolation guarantees."""
+        self.gets += 1
+        return self.storage.get(key)
+
+    def put(self, txid: str, key: str, value: bytes | str) -> None:
+        """Write the engine immediately and in place (no buffering)."""
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        self.puts += 1
+        self.storage.put(key, value)
+
+    def commit_transaction(self, txid: str) -> TransactionId:
+        """Nothing to commit — updates were already persisted one by one."""
+        with self._lock:
+            started = self._active.pop(txid, self.clock.now())
+        return TransactionId(timestamp=started, uuid=txid)
+
+    def abort_transaction(self, txid: str) -> None:
+        """Nothing can be undone; previously issued writes remain visible."""
+        with self._lock:
+            self._active.pop(txid, None)

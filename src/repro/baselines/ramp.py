@@ -1,0 +1,192 @@
+"""RAMP-Fast: the original read-atomic protocol (Bailis et al., SIGMOD 2014).
+
+AFT's read protocol is a redesign of RAMP for the serverless setting
+(paper Sections 2.2 and 3.6): RAMP assumes *pre-declared* read and write sets
+and an unreplicated, linearizable, sharded store, but in exchange it can
+"repair" a mismatched first-round read with a targeted second-round read and
+therefore never returns data staler than the newest committed sibling.
+
+This module implements RAMP-Fast over any storage engine, both as a
+correctness cross-check for our read-atomicity tests and as the comparison
+point for the staleness/abort ablation benchmark:
+
+* ``write_transaction(write_set)`` — two-phase: PREPARE every version (value +
+  metadata: timestamp and sibling keys), then COMMIT by advancing each item's
+  *last-committed* pointer.
+* ``read_transaction(keys)`` — first round reads the last-committed version of
+  every requested key; a second round fetches, by exact version, any key whose
+  observed version is older than what a sibling's metadata proves must exist.
+
+Unlike AFT, the whole read set must be supplied up front, which is exactly the
+restriction AFT lifts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+from repro.clock import Clock, SystemClock
+from repro.errors import AftError
+from repro.ids import TransactionId, new_uuid
+from repro.storage.base import StorageEngine
+
+_VERSION_PREFIX = "ramp.version"
+_LATEST_PREFIX = "ramp.latest"
+
+
+class RampTransactionAborted(AftError):
+    """A RAMP read could not be completed (missing version during repair)."""
+
+
+@dataclass(frozen=True)
+class RampVersion:
+    """One committed (or prepared) RAMP version of a key."""
+
+    key: str
+    value: bytes
+    timestamp: float
+    uuid: str
+    siblings: frozenset[str]
+
+    @property
+    def version_id(self) -> TransactionId:
+        return TransactionId(timestamp=self.timestamp, uuid=self.uuid)
+
+    def to_bytes(self) -> bytes:
+        import base64
+
+        return json.dumps(
+            {
+                "key": self.key,
+                "value": base64.b64encode(self.value).decode("ascii"),
+                "timestamp": self.timestamp,
+                "uuid": self.uuid,
+                "siblings": sorted(self.siblings),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RampVersion":
+        import base64
+
+        payload = json.loads(data.decode("utf-8"))
+        return cls(
+            key=payload["key"],
+            value=base64.b64decode(payload["value"]),
+            timestamp=payload["timestamp"],
+            uuid=payload["uuid"],
+            siblings=frozenset(payload["siblings"]),
+        )
+
+
+def _version_key(key: str, version: TransactionId) -> str:
+    return f"{_VERSION_PREFIX}/{key}/{version.to_token()}"
+
+
+def _latest_key(key: str) -> str:
+    return f"{_LATEST_PREFIX}/{key}"
+
+
+class RampFastStore:
+    """RAMP-Fast reads and writes over a storage engine."""
+
+    def __init__(self, storage: StorageEngine, clock: Clock | None = None) -> None:
+        self.storage = storage
+        self.clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self.second_round_reads = 0
+        self.write_transactions = 0
+        self.read_transactions = 0
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def write_transaction(self, write_set: dict[str, bytes]) -> TransactionId:
+        """Atomically (in the read-atomic sense) install a set of writes."""
+        if not write_set:
+            raise ValueError("RAMP write transactions must write at least one key")
+        self.write_transactions += 1
+        with self._lock:
+            version = TransactionId(timestamp=self.clock.now(), uuid=new_uuid())
+        siblings = frozenset(write_set)
+
+        # PREPARE: persist every version with its metadata.
+        for key, value in write_set.items():
+            ramp_version = RampVersion(
+                key=key,
+                value=bytes(value),
+                timestamp=version.timestamp,
+                uuid=version.uuid,
+                siblings=siblings,
+            )
+            self.storage.put(_version_key(key, version), ramp_version.to_bytes())
+
+        # COMMIT: advance the last-committed pointer of every key.  Pointers
+        # only ever move forward in timestamp order.
+        for key in write_set:
+            self._advance_latest(key, version)
+        return version
+
+    def _advance_latest(self, key: str, version: TransactionId) -> None:
+        current = self._read_latest_pointer(key)
+        if current is None or current < version:
+            self.storage.put(_latest_key(key), version.to_token().encode("utf-8"))
+
+    def _read_latest_pointer(self, key: str) -> TransactionId | None:
+        raw = self.storage.get(_latest_key(key))
+        if raw is None:
+            return None
+        return TransactionId.from_token(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def read_transaction(self, keys: list[str]) -> dict[str, bytes | None]:
+        """Read a pre-declared set of keys with read-atomic visibility."""
+        self.read_transactions += 1
+        first_round: dict[str, RampVersion | None] = {}
+        for key in keys:
+            first_round[key] = self._read_latest_version(key)
+
+        # Compute, for every requested key, the newest version id that some
+        # sibling's metadata proves must exist.
+        required: dict[str, TransactionId] = {}
+        for version in first_round.values():
+            if version is None:
+                continue
+            for sibling in version.siblings:
+                if sibling in first_round and sibling != version.key:
+                    current = required.get(sibling)
+                    if current is None or current < version.version_id:
+                        required[sibling] = version.version_id
+
+        result: dict[str, bytes | None] = {}
+        for key, version in first_round.items():
+            needed = required.get(key)
+            if version is not None and (needed is None or version.version_id >= needed):
+                result[key] = version.value
+                continue
+            if needed is None:
+                result[key] = None
+                continue
+            # Second round: fetch the exact version the metadata requires.
+            self.second_round_reads += 1
+            repaired = self.storage.get(_version_key(key, needed))
+            if repaired is None:
+                raise RampTransactionAborted(
+                    f"RAMP repair read of {key!r} at version {needed} found no data"
+                )
+            result[key] = RampVersion.from_bytes(repaired).value
+        return result
+
+    def _read_latest_version(self, key: str) -> RampVersion | None:
+        pointer = self._read_latest_pointer(key)
+        if pointer is None:
+            return None
+        raw = self.storage.get(_version_key(key, pointer))
+        if raw is None:
+            return None
+        return RampVersion.from_bytes(raw)

@@ -1,0 +1,100 @@
+"""Clock abstractions.
+
+AFT timestamps transactions with the committing node's local clock and only
+relies on the clock for *relative freshness*, never for correctness
+(Section 3.1).  The library therefore takes a clock as a dependency everywhere
+instead of calling ``time.time()`` directly, which makes protocol behaviour
+deterministic under test and lets the discrete-event simulator drive the same
+code with virtual time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Minimal clock interface used throughout the library."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in (possibly virtual) seconds."""
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the operating system."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class LogicalClock(Clock):
+    """A deterministic, manually advanced clock.
+
+    Useful in unit tests: every call to :meth:`tick` advances time by a fixed
+    step, and :meth:`advance` moves it by an arbitrary amount.  ``auto_step``
+    makes each ``now()`` call advance time slightly so that successive
+    transactions naturally receive distinct timestamps.
+    """
+
+    def __init__(self, start: float = 0.0, auto_step: float = 0.0) -> None:
+        self._now = float(start)
+        self._auto_step = float(auto_step)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            current = self._now
+            self._now += self._auto_step
+            return current
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move a LogicalClock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def tick(self, step: float = 1.0) -> float:
+        """Alias of :meth:`advance` with a default step of one second."""
+        return self.advance(step)
+
+    def set(self, value: float) -> None:
+        """Set the clock to an absolute value (must not go backwards)."""
+        with self._lock:
+            if value < self._now:
+                raise ValueError("cannot move a LogicalClock backwards")
+            self._now = float(value)
+
+
+class CounterClock(Clock):
+    """A clock that returns 1, 2, 3, ... — handy for fully deterministic ids."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start + 1)
+        self._lock = threading.Lock()
+        self._last = float(start)
+
+    def now(self) -> float:
+        with self._lock:
+            self._last = float(next(self._counter))
+            return self._last
+
+
+class OffsetClock(Clock):
+    """A clock derived from another clock with a fixed skew.
+
+    Used in tests and simulations to model unsynchronised node clocks, which
+    the paper explicitly tolerates.
+    """
+
+    def __init__(self, base: Clock, offset: float) -> None:
+        self._base = base
+        self._offset = float(offset)
+
+    def now(self) -> float:
+        return self._base.now() + self._offset

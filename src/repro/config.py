@@ -1,0 +1,110 @@
+"""Configuration objects for AFT nodes and clusters.
+
+Keeping all tunables in a single frozen dataclass makes experiment setups
+explicit and reproducible: benchmarks construct an :class:`AftConfig`, pass it
+to every node in a cluster, and record it alongside results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class AftConfig:
+    """Tunables of a single AFT node.
+
+    Attributes
+    ----------
+    enable_data_cache:
+        Whether the node keeps an in-memory cache of key-version *values*
+        (Section 3.1 / 6.2).  Metadata caching is always on because the read
+        protocol depends on it.
+    data_cache_capacity_bytes:
+        Capacity of the data cache in bytes of cached payload.
+    write_buffer_spill_bytes:
+        When a transaction's buffered writes exceed this many bytes, the
+        Atomic Write Buffer proactively spills them to storage (Section 3.3).
+        ``None`` disables spilling.
+    batch_commit_writes:
+        Whether the commit protocol pushes a transaction's updates to storage
+        with one batched call when the engine supports it (Section 6.1.1).
+    strict_reads:
+        If True, ``get`` raises :class:`~repro.errors.AtomicReadError` when
+        Algorithm 1 finds no compatible version; if False it returns ``None``
+        (the paper's NULL read, Section 3.6).
+    multicast_interval:
+        Period, in seconds, of the background thread that broadcasts recently
+        committed transactions to peer nodes (Section 4).
+    prune_superseded_broadcasts:
+        Whether the multicast applies the supersedence pruning optimisation of
+        Section 4.1.
+    gc_interval:
+        Period, in seconds, of the local metadata garbage-collection sweep
+        (Section 5.1).
+    global_gc_interval:
+        Period, in seconds, of the fault manager's global data GC (Section 5.2).
+    fault_scan_interval:
+        Period of the fault manager's Transaction Commit Set scan used to
+        guarantee liveness of committed-but-unbroadcast transactions (Section 4.2).
+    metadata_bootstrap_limit:
+        How many of the most recent commit records a recovering node loads to
+        warm its metadata cache (Section 3.1).
+    transaction_timeout:
+        Seconds after which an idle, uncommitted transaction is considered
+        abandoned and aborted by the node (Section 3.3.1).
+    """
+
+    enable_data_cache: bool = True
+    data_cache_capacity_bytes: int = 64 * 1024 * 1024
+    write_buffer_spill_bytes: int | None = None
+    batch_commit_writes: bool = True
+    strict_reads: bool = False
+    multicast_interval: float = 1.0
+    prune_superseded_broadcasts: bool = True
+    gc_interval: float = 5.0
+    global_gc_interval: float = 10.0
+    fault_scan_interval: float = 5.0
+    metadata_bootstrap_limit: int = 10_000
+    transaction_timeout: float = 60.0
+
+    def with_overrides(self, **overrides: Any) -> "AftConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return a plain dict view, convenient for experiment manifests."""
+        return {
+            "enable_data_cache": self.enable_data_cache,
+            "data_cache_capacity_bytes": self.data_cache_capacity_bytes,
+            "write_buffer_spill_bytes": self.write_buffer_spill_bytes,
+            "batch_commit_writes": self.batch_commit_writes,
+            "strict_reads": self.strict_reads,
+            "multicast_interval": self.multicast_interval,
+            "prune_superseded_broadcasts": self.prune_superseded_broadcasts,
+            "gc_interval": self.gc_interval,
+            "global_gc_interval": self.global_gc_interval,
+            "fault_scan_interval": self.fault_scan_interval,
+            "metadata_bootstrap_limit": self.metadata_bootstrap_limit,
+            "transaction_timeout": self.transaction_timeout,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of a distributed AFT deployment (Section 4)."""
+
+    num_nodes: int = 1
+    node_config: AftConfig = field(default_factory=AftConfig)
+    standby_nodes: int = 1
+    failure_detection_interval: float = 5.0
+    node_replacement_delay: float = 50.0
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_overrides(self, **overrides: Any) -> "ClusterConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+DEFAULT_CONFIG = AftConfig()

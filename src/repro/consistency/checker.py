@@ -1,0 +1,194 @@
+"""Read-your-write and fractured-read anomaly detection.
+
+Definitions follow the paper (Sections 2.1, 3.2 and 6.1.2):
+
+* A **read-your-write (RYW) anomaly** occurs when a transaction reads a key it
+  previously wrote *in the same transaction* and observes a version other
+  than its own.
+* A **fractured-read (FR) anomaly** occurs when a transaction reads version
+  ``k_i`` and also reads version ``l_j`` of a key ``l`` that was cowritten
+  with ``k_i``, where ``j < i`` — i.e. it sees part of transaction ``T_i``'s
+  write set together with data older than the rest of that write set.  This
+  subsumes repeatable-read violations (reading two different versions of the
+  same key), since a key is trivially cowritten with itself.
+
+The checker consumes :class:`TransactionLog` objects produced by the workload
+executor; it never needs to know which system produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.metadata import TaggedValue
+from repro.ids import TransactionId
+
+
+@dataclass
+class ReadObservation:
+    """One read performed by a transaction."""
+
+    key: str
+    #: The tag of the value observed; ``None`` for a NULL / missing read.
+    observed: TaggedValue | None
+    #: Position of this operation within the transaction (0-based).
+    op_index: int
+    #: Index of the function (within the composition) that issued the read.
+    function_index: int = 0
+
+
+@dataclass
+class TransactionLog:
+    """Everything a transaction observed and wrote, for post-hoc checking."""
+
+    txn_uuid: str
+    reads: list[ReadObservation] = field(default_factory=list)
+    #: Key -> (op_index, version written).  The version is the tag the
+    #: executor attached to the value it wrote for this transaction.
+    writes: dict[str, tuple[int, TransactionId]] = field(default_factory=dict)
+    committed: bool = True
+    aborted: bool = False
+
+    def record_read(self, key: str, observed: TaggedValue | None, op_index: int, function_index: int = 0) -> None:
+        self.reads.append(
+            ReadObservation(key=key, observed=observed, op_index=op_index, function_index=function_index)
+        )
+
+    def record_write(self, key: str, version: TransactionId, op_index: int) -> None:
+        self.writes[key] = (op_index, version)
+
+
+@dataclass
+class AnomalyCounts:
+    """Aggregated anomaly counts over a set of transactions."""
+
+    transactions: int = 0
+    committed_transactions: int = 0
+    ryw_anomalies: int = 0
+    fractured_read_anomalies: int = 0
+    null_reads: int = 0
+
+    @property
+    def ryw_rate(self) -> float:
+        if self.committed_transactions == 0:
+            return 0.0
+        return self.ryw_anomalies / self.committed_transactions
+
+    @property
+    def fractured_read_rate(self) -> float:
+        if self.committed_transactions == 0:
+            return 0.0
+        return self.fractured_read_anomalies / self.committed_transactions
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "transactions": self.transactions,
+            "committed_transactions": self.committed_transactions,
+            "ryw_anomalies": self.ryw_anomalies,
+            "fractured_read_anomalies": self.fractured_read_anomalies,
+            "null_reads": self.null_reads,
+            "ryw_rate": self.ryw_rate,
+            "fractured_read_rate": self.fractured_read_rate,
+        }
+
+
+class AnomalyChecker:
+    """Counts RYW and FR anomalies across transaction logs.
+
+    Matching the paper's Table 2 methodology, a transaction contributes at
+    most one RYW anomaly and at most one FR anomaly to the totals, no matter
+    how many of its reads were inconsistent.
+
+    Version ordering
+    ----------------
+    Fractured reads are defined with respect to the system's version order.
+    For baselines that order is simply the order in which values were written
+    (the tag timestamps).  AFT, however, orders versions by *commit*
+    timestamp, which can disagree with write order when a transaction that
+    started earlier commits later.  Callers measuring AFT therefore register
+    each transaction's commit id via :meth:`register_commit_order`; tags from
+    registered transactions are compared using the commit order, and all other
+    tags fall back to their embedded write timestamps.
+    """
+
+    def __init__(self) -> None:
+        self._logs: list[TransactionLog] = []
+        self._commit_order: dict[str, TransactionId] = {}
+
+    def add(self, log: TransactionLog) -> None:
+        self._logs.append(log)
+
+    def extend(self, logs: list[TransactionLog]) -> None:
+        self._logs.extend(logs)
+
+    def register_commit_order(self, txn_uuid: str, commit_id: TransactionId) -> None:
+        """Record the commit id the system under test assigned to ``txn_uuid``."""
+        self._commit_order[txn_uuid] = commit_id
+
+    @property
+    def logs(self) -> list[TransactionLog]:
+        return list(self._logs)
+
+    # ------------------------------------------------------------------ #
+    def _order_key(self, tag: TaggedValue) -> TransactionId:
+        """The version-order key of a tag (commit order when known)."""
+        return self._commit_order.get(tag.uuid, tag.version)
+
+    def transaction_has_ryw_anomaly(self, log: TransactionLog) -> bool:
+        """True if any read of a previously written key saw a foreign version."""
+        for read in log.reads:
+            write = log.writes.get(read.key)
+            if write is None:
+                continue
+            write_index, written_version = write
+            if read.op_index < write_index:
+                # The read happened before the transaction's own write; the
+                # read-your-write guarantee does not apply to it.
+                continue
+            if read.observed is None or read.observed.version != written_version:
+                return True
+        return False
+
+    def transaction_has_fractured_read(self, log: TransactionLog) -> bool:
+        """True if the transaction's observed reads violate Definition 1."""
+        observed: dict[str, TaggedValue] = {}
+        for read in log.reads:
+            if read.observed is None:
+                continue
+            # Keys the transaction itself wrote are excluded: after its own
+            # write, observing its own version is expected, and before the
+            # write the RYW check owns the comparison.
+            if read.key in log.writes:
+                continue
+            previous = observed.get(read.key)
+            if previous is not None and previous.version != read.observed.version:
+                # Repeatable-read violation: same key, two different versions.
+                return True
+            if previous is None or self._order_key(read.observed) > self._order_key(previous):
+                observed[read.key] = read.observed
+        for key, tag in observed.items():
+            for cowritten_key in tag.cowritten:
+                other = observed.get(cowritten_key)
+                if other is not None and self._order_key(other) < self._order_key(tag):
+                    return True
+        return False
+
+    @staticmethod
+    def transaction_null_reads(log: TransactionLog) -> int:
+        return sum(1 for read in log.reads if read.observed is None and read.key not in log.writes)
+
+    # ------------------------------------------------------------------ #
+    def counts(self) -> AnomalyCounts:
+        """Aggregate anomaly counts over every log added so far."""
+        counts = AnomalyCounts()
+        for log in self._logs:
+            counts.transactions += 1
+            if not log.committed or log.aborted:
+                continue
+            counts.committed_transactions += 1
+            if self.transaction_has_ryw_anomaly(log):
+                counts.ryw_anomalies += 1
+            if self.transaction_has_fractured_read(log):
+                counts.fractured_read_anomalies += 1
+            counts.null_reads += self.transaction_null_reads(log)
+        return counts

@@ -1,0 +1,76 @@
+"""Tagged payloads used for anomaly detection.
+
+A :class:`TaggedValue` wraps an application payload with the metadata AFT
+itself tracks for every version — the writing transaction's commit timestamp,
+its uuid, and the set of keys cowritten with it (paper Section 6.1.2).  The
+benchmark harness writes tagged payloads through *every* system under test
+(AFT and the baselines alike) so that the
+:class:`~repro.consistency.checker.AnomalyChecker` can reconstruct which
+version each read observed, regardless of whether the storage path preserved
+any ordering guarantees.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+
+from repro.ids import TransactionId
+
+
+@dataclass(frozen=True)
+class TaggedValue:
+    """An application payload plus version-identifying metadata."""
+
+    payload: bytes
+    timestamp: float
+    uuid: str
+    cowritten: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def version(self) -> TransactionId:
+        """The writing transaction's id, reconstructed from the tag."""
+        return TransactionId(timestamp=self.timestamp, uuid=self.uuid)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Encode the tag and payload into a single storage value."""
+        envelope = {
+            "p": base64.b64encode(self.payload).decode("ascii"),
+            "t": self.timestamp,
+            "u": self.uuid,
+            "c": sorted(self.cowritten),
+        }
+        return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TaggedValue":
+        """Decode a value previously produced by :meth:`to_bytes`."""
+        envelope = json.loads(data.decode("utf-8"))
+        return cls(
+            payload=base64.b64decode(envelope["p"]),
+            timestamp=envelope["t"],
+            uuid=envelope["u"],
+            cowritten=frozenset(envelope["c"]),
+        )
+
+    @classmethod
+    def try_from_bytes(cls, data: bytes | None) -> "TaggedValue | None":
+        """Decode if possible; return ``None`` for missing or untagged values."""
+        if data is None:
+            return None
+        try:
+            return cls.from_bytes(data)
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    def overhead_bytes(self) -> int:
+        """Size of the metadata envelope beyond the raw payload."""
+        return len(self.to_bytes()) - len(self.payload)
+
+    def __lt__(self, other: "TaggedValue") -> bool:
+        return self.version < other.version

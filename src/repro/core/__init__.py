@@ -1,0 +1,50 @@
+"""AFT core: the paper's primary contribution.
+
+This package implements the shim itself — the transactional key-value API of
+Table 1, the write-ordering commit protocol and atomic read protocol
+(Algorithms 1 and 2), per-node caching, multi-node commit multicast, the fault
+manager, and garbage collection.
+"""
+
+from repro.core.cluster import AftCluster, ClusterClient
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.data_cache import DataCache
+from repro.core.fault_manager import FaultManager
+from repro.core.garbage_collector import GlobalDataGC, LocalMetadataGC
+from repro.core.load_balancer import LeastLoadedLoadBalancer, RoundRobinLoadBalancer
+from repro.core.metadata_cache import CommitSetCache
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode, NodeStats
+from repro.core.read_protocol import ReadDecision, atomic_read, is_atomic_readset
+from repro.core.session import TransactionSession
+from repro.core.supersedence import is_superseded, prune_for_broadcast
+from repro.core.transaction import Transaction, TransactionStatus
+from repro.core.version_index import KeyVersionIndex
+from repro.core.write_buffer import AtomicWriteBuffer
+
+__all__ = [
+    "AftCluster",
+    "ClusterClient",
+    "AftNode",
+    "NodeStats",
+    "CommitRecord",
+    "CommitSetStore",
+    "CommitSetCache",
+    "KeyVersionIndex",
+    "DataCache",
+    "AtomicWriteBuffer",
+    "Transaction",
+    "TransactionStatus",
+    "TransactionSession",
+    "ReadDecision",
+    "atomic_read",
+    "is_atomic_readset",
+    "is_superseded",
+    "prune_for_broadcast",
+    "MulticastService",
+    "FaultManager",
+    "LocalMetadataGC",
+    "GlobalDataGC",
+    "RoundRobinLoadBalancer",
+    "LeastLoadedLoadBalancer",
+]

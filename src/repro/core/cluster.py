@@ -1,0 +1,287 @@
+"""Distributed AFT deployments.
+
+:class:`AftCluster` wires together everything a multi-node deployment needs
+(paper Section 4): a set of :class:`~repro.core.node.AftNode` replicas sharing
+a storage backend, the commit-set multicast, a fault manager with global
+garbage collection, standby nodes for fast replacement, and a load balancer.
+
+Background activities are exposed in two ways:
+
+* **Explicit ticks** — ``run_multicast_round()``, ``run_local_gc()``,
+  ``run_global_gc()``, ``run_fault_scan()`` and the umbrella ``tick()`` — used
+  by the test suite and by the discrete-event simulator, which schedules them
+  on the paper's cadences (multicast every 1 s, GC every few seconds).
+* **Daemon threads** — ``start_background()`` / ``stop_background()`` — for
+  real-time use in the examples.
+
+Clients talk to the cluster through :class:`ClusterClient`, which pins every
+transaction to the node the load balancer chose for it (the paper's
+requirement that a transaction's operations all reach one node).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, SystemClock
+from repro.config import AftConfig, ClusterConfig
+from repro.core.commit_set import CommitSetStore
+from repro.core.fault_manager import FaultManager
+from repro.core.garbage_collector import LocalMetadataGC
+from repro.core.load_balancer import LoadBalancer, RoundRobinLoadBalancer
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.core.session import TransactionSession
+from repro.errors import UnknownTransactionError
+from repro.ids import TransactionId
+from repro.storage.base import StorageEngine
+
+
+@dataclass
+class ClusterStats:
+    nodes_added: int = 0
+    nodes_failed: int = 0
+    nodes_replaced: int = 0
+    multicast_rounds: int = 0
+    local_gc_rounds: int = 0
+    global_gc_rounds: int = 0
+    fault_scans: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class AftCluster:
+    """A set of AFT nodes plus the shared control plane."""
+
+    def __init__(
+        self,
+        storage: StorageEngine,
+        commit_storage: StorageEngine | None = None,
+        cluster_config: ClusterConfig | None = None,
+        node_config: AftConfig | None = None,
+        clock: Clock | None = None,
+        load_balancer: LoadBalancer | None = None,
+    ) -> None:
+        self.cluster_config = cluster_config if cluster_config is not None else ClusterConfig()
+        self.node_config = node_config if node_config is not None else self.cluster_config.node_config
+        self.storage = storage
+        self.commit_store = CommitSetStore(commit_storage if commit_storage is not None else storage)
+        self.clock = clock if clock is not None else SystemClock()
+
+        self.multicast = MulticastService(prune_superseded=self.node_config.prune_superseded_broadcasts)
+        self.fault_manager = FaultManager(
+            data_storage=storage,
+            commit_store=self.commit_store,
+            multicast=self.multicast,
+        )
+        self.load_balancer = load_balancer if load_balancer is not None else RoundRobinLoadBalancer()
+        self.stats = ClusterStats()
+
+        self._nodes: list[AftNode] = []
+        self._local_gcs: dict[str, LocalMetadataGC] = {}
+        self._background_threads: list[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._lock = threading.RLock()
+
+        for index in range(self.cluster_config.num_nodes):
+            self.add_node(node_id=f"aft-node-{index}")
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> list[AftNode]:
+        with self._lock:
+            return list(self._nodes)
+
+    def live_nodes(self) -> list[AftNode]:
+        with self._lock:
+            return [node for node in self._nodes if node.is_running]
+
+    def add_node(self, node_id: str | None = None, start: bool = True) -> AftNode:
+        """Create, bootstrap, and register a new AFT node."""
+        node = AftNode(
+            storage=self.storage,
+            commit_store=self.commit_store,
+            config=self.node_config,
+            clock=self.clock,
+            node_id=node_id,
+        )
+        if start:
+            node.start(bootstrap=True)
+        with self._lock:
+            self._nodes.append(node)
+            self._local_gcs[node.node_id] = LocalMetadataGC(node)
+        self.multicast.register_node(node)
+        self.load_balancer.add_node(node)
+        self.stats.nodes_added += 1
+        return node
+
+    def fail_node(self, node: AftNode) -> None:
+        """Simulate a node crash.  The node stays registered until replaced."""
+        node.fail()
+        self.stats.nodes_failed += 1
+
+    def remove_node(self, node: AftNode) -> None:
+        with self._lock:
+            if node in self._nodes:
+                self._nodes.remove(node)
+            self._local_gcs.pop(node.node_id, None)
+        self.multicast.unregister_node(node)
+        self.load_balancer.remove_node(node)
+
+    def replace_failed_nodes(self) -> list[AftNode]:
+        """Detect failed nodes, remove them, and start replacements.
+
+        Mirrors the paper's recovery flow (Section 6.7): the fault manager
+        detects the failure and a standby node is configured to join, warming
+        its metadata cache from the Transaction Commit Set as it starts.
+        """
+        failed = self.fault_manager.detect_failures(self.nodes)
+        replacements: list[AftNode] = []
+        for node in failed:
+            self.remove_node(node)
+            self.fault_manager.request_replacement()
+            replacement = self.add_node(node_id=f"{node.node_id}-replacement")
+            replacements.append(replacement)
+            self.stats.nodes_replaced += 1
+        return replacements
+
+    # ------------------------------------------------------------------ #
+    # Background work (explicit ticks)
+    # ------------------------------------------------------------------ #
+    def run_multicast_round(self) -> int:
+        self.stats.multicast_rounds += 1
+        return self.multicast.run_once()
+
+    def run_local_gc(self) -> dict[str, list[TransactionId]]:
+        self.stats.local_gc_rounds += 1
+        results: dict[str, list[TransactionId]] = {}
+        with self._lock:
+            collectors = list(self._local_gcs.items())
+        for node_id, collector in collectors:
+            if collector.node.is_running:
+                results[node_id] = collector.run_once()
+        return results
+
+    def run_global_gc(self) -> list[TransactionId]:
+        self.stats.global_gc_rounds += 1
+        return self.fault_manager.run_global_gc(self.live_nodes())
+
+    def run_fault_scan(self) -> int:
+        self.stats.fault_scans += 1
+        return len(self.fault_manager.scan_commit_set())
+
+    def expire_idle_transactions(self) -> int:
+        expired = 0
+        for node in self.live_nodes():
+            expired += len(node.expire_idle_transactions())
+        return expired
+
+    def tick(self) -> None:
+        """Run one round of every background activity (test convenience)."""
+        self.run_multicast_round()
+        self.run_local_gc()
+        self.run_fault_scan()
+        self.run_global_gc()
+
+    # ------------------------------------------------------------------ #
+    # Background work (daemon threads, for real-time use)
+    # ------------------------------------------------------------------ #
+    def start_background(self) -> None:
+        """Start daemon threads driving multicast, GC, and fault scans."""
+        if self._background_threads:
+            return
+        self._stop_event.clear()
+        schedule = [
+            (self.node_config.multicast_interval, self.run_multicast_round),
+            (self.node_config.gc_interval, self.run_local_gc),
+            (self.node_config.global_gc_interval, self.run_global_gc),
+            (self.node_config.fault_scan_interval, self.run_fault_scan),
+        ]
+        for interval, action in schedule:
+            thread = threading.Thread(
+                target=self._background_loop, args=(interval, action), daemon=True
+            )
+            thread.start()
+            self._background_threads.append(thread)
+
+    def _background_loop(self, interval: float, action) -> None:
+        while not self._stop_event.wait(interval):
+            try:
+                action()
+            except Exception:  # pragma: no cover - background robustness
+                # Background activities must never take the cluster down; the
+                # next tick retries.
+                continue
+
+    def stop_background(self) -> None:
+        self._stop_event.set()
+        for thread in self._background_threads:
+            thread.join(timeout=2.0)
+        self._background_threads.clear()
+
+    def shutdown(self) -> None:
+        """Stop background threads and every node."""
+        self.stop_background()
+        for node in self.nodes:
+            node.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client access
+    # ------------------------------------------------------------------ #
+    def client(self) -> "ClusterClient":
+        """Return a client that routes transactions through the load balancer."""
+        return ClusterClient(self)
+
+
+class ClusterClient:
+    """Routes each transaction to one node and keeps it pinned there."""
+
+    def __init__(self, cluster: AftCluster) -> None:
+        self._cluster = cluster
+        self._routes: dict[str, AftNode] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def start_transaction(self, txid: str | None = None) -> str:
+        node = self._cluster.load_balancer.next_node()
+        new_txid = node.start_transaction(txid)
+        with self._lock:
+            self._routes[new_txid] = node
+        return new_txid
+
+    def _node_for(self, txid: str) -> AftNode:
+        with self._lock:
+            node = self._routes.get(txid)
+        if node is None:
+            raise UnknownTransactionError(f"transaction {txid!r} is not routed through this client", txid=txid)
+        return node
+
+    def node_for(self, txid: str) -> AftNode:
+        """The node owning ``txid`` (exposed for tests and failure injection)."""
+        return self._node_for(txid)
+
+    def get(self, txid: str, key: str) -> bytes | None:
+        return self._node_for(txid).get(txid, key)
+
+    def put(self, txid: str, key: str, value: bytes | str) -> None:
+        self._node_for(txid).put(txid, key, value)
+
+    def commit_transaction(self, txid: str) -> TransactionId:
+        try:
+            return self._node_for(txid).commit_transaction(txid)
+        finally:
+            with self._lock:
+                self._routes.pop(txid, None)
+
+    def abort_transaction(self, txid: str) -> None:
+        try:
+            self._node_for(txid).abort_transaction(txid)
+        finally:
+            with self._lock:
+                self._routes.pop(txid, None)
+
+    def transaction(self, txid: str | None = None) -> TransactionSession:
+        """Open a :class:`TransactionSession` bound to this client."""
+        return TransactionSession(self, txid)

@@ -1,0 +1,147 @@
+"""The Transaction Commit Set.
+
+The Commit Set is AFT's durable source of truth about which transactions have
+committed (paper Sections 3.1 and 3.3).  Every commit record stores the
+transaction's id, its write set, and — because AFT never overwrites data in
+place — the exact storage key under which each written version was persisted.
+A transaction is *committed* if and only if its commit record is durable; the
+write-ordering protocol persists all data keys first and the commit record
+last, so a record always points at durable data.
+
+:class:`CommitSetStore` wraps any :class:`~repro.storage.base.StorageEngine`
+and provides record read/write/scan/delete on top of it.  It can share the
+engine with transaction data (the common deployment) or use a separate one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.ids import TransactionId, commit_record_key, is_commit_record_key, parse_commit_record_key
+from repro.storage.base import StorageEngine
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Durable metadata of one committed transaction.
+
+    Attributes
+    ----------
+    txid:
+        The committing transaction's ``(timestamp, uuid)`` id.
+    write_set:
+        Mapping from each user key written by the transaction to the storage
+        key holding that version's payload.  The *cowritten set* of every
+        version written by this transaction is exactly ``set(write_set)``
+        (Section 3.2).
+    committed_at:
+        Wall/simulated time at which the record was persisted; used only for
+        reporting, never for protocol decisions.
+    node_id:
+        Identifier of the AFT node that committed the transaction (useful for
+        debugging multi-node runs; not used by the protocols).
+    """
+
+    txid: TransactionId
+    write_set: Mapping[str, str] = field(default_factory=dict)
+    committed_at: float = 0.0
+    node_id: str = ""
+
+    @property
+    def cowritten(self) -> frozenset[str]:
+        """User keys co-written by this transaction."""
+        return frozenset(self.write_set)
+
+    def storage_key_for(self, user_key: str) -> str:
+        """Storage key of this transaction's version of ``user_key``."""
+        return self.write_set[user_key]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        payload = {
+            "timestamp": self.txid.timestamp,
+            "uuid": self.txid.uuid,
+            "write_set": dict(self.write_set),
+            "committed_at": self.committed_at,
+            "node_id": self.node_id,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CommitRecord":
+        payload = json.loads(data.decode("utf-8"))
+        return cls(
+            txid=TransactionId(timestamp=payload["timestamp"], uuid=payload["uuid"]),
+            write_set=dict(payload["write_set"]),
+            committed_at=payload.get("committed_at", 0.0),
+            node_id=payload.get("node_id", ""),
+        )
+
+
+class CommitSetStore:
+    """Durable storage for commit records, backed by a storage engine."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self._engine = engine
+
+    @property
+    def engine(self) -> StorageEngine:
+        return self._engine
+
+    def write_record(self, record: CommitRecord) -> None:
+        """Persist ``record``.  Acknowledgement implies durability."""
+        self._engine.put(commit_record_key(record.txid), record.to_bytes())
+
+    def read_record(self, txid: TransactionId) -> CommitRecord | None:
+        """Return the commit record for ``txid`` or ``None`` if absent."""
+        data = self._engine.get(commit_record_key(txid))
+        if data is None:
+            return None
+        return CommitRecord.from_bytes(data)
+
+    def delete_record(self, txid: TransactionId) -> None:
+        """Remove the commit record (used only by the global garbage collector)."""
+        self._engine.delete(commit_record_key(txid))
+
+    def list_transaction_ids(self) -> list[TransactionId]:
+        """Ids of every commit record currently in storage, oldest first."""
+        keys = self._engine.list_keys(prefix="aft.commit")
+        ids = [parse_commit_record_key(key) for key in keys if is_commit_record_key(key)]
+        ids.sort()
+        return ids
+
+    def scan(self, limit: int | None = None, newest_first: bool = True) -> list[CommitRecord]:
+        """Read commit records from storage.
+
+        ``limit`` bounds the number of records read (newest first by default),
+        which is how a recovering node warms its metadata cache without
+        reading the entire history (Section 3.1).
+        """
+        ids = self.list_transaction_ids()
+        if newest_first:
+            ids = list(reversed(ids))
+        if limit is not None:
+            ids = ids[:limit]
+        records = []
+        for txid in ids:
+            record = self.read_record(txid)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def contains(self, txid: TransactionId) -> bool:
+        """Return True if a commit record exists for ``txid``."""
+        return self._engine.contains(commit_record_key(txid))
+
+    def count(self) -> int:
+        """Number of commit records currently durable."""
+        return len(self.list_transaction_ids())
+
+
+def records_by_id(records: Iterable[CommitRecord]) -> dict[TransactionId, CommitRecord]:
+    """Index an iterable of records by transaction id (helper for callers)."""
+    return {record.txid: record for record in records}

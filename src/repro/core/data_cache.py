@@ -1,0 +1,105 @@
+"""Key-version data cache.
+
+In addition to commit metadata, every AFT node may cache the *values* of a
+subset of key versions (paper Sections 3.1 and 6.2).  Because key versions are
+immutable — AFT never overwrites a storage key — the cache never needs
+invalidation for correctness; entries are only evicted for capacity or when
+the owning transaction's data is garbage collected.
+
+The cache is a straightforward LRU bounded by total payload bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.ids import TransactionId
+
+CacheKey = tuple[str, TransactionId]
+
+
+class DataCache:
+    """Byte-bounded LRU cache of key-version payloads."""
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()
+        self._size_bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, txid: TransactionId) -> bytes | None:
+        """Return the cached payload of ``key``'s version ``txid``, if present."""
+        cache_key = (key, txid)
+        with self._lock:
+            value = self._entries.get(cache_key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(cache_key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, txid: TransactionId, value: bytes) -> None:
+        """Insert a payload, evicting least-recently-used entries as needed."""
+        if self.capacity_bytes == 0:
+            return
+        value = bytes(value)
+        if len(value) > self.capacity_bytes:
+            return
+        cache_key = (key, txid)
+        with self._lock:
+            existing = self._entries.pop(cache_key, None)
+            if existing is not None:
+                self._size_bytes -= len(existing)
+            self._entries[cache_key] = value
+            self._size_bytes += len(value)
+            while self._size_bytes > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._size_bytes -= len(evicted)
+                self.evictions += 1
+
+    def invalidate(self, key: str, txid: TransactionId) -> None:
+        """Drop one version from the cache (garbage collection)."""
+        with self._lock:
+            value = self._entries.pop((key, txid), None)
+            if value is not None:
+                self._size_bytes -= len(value)
+
+    def invalidate_transaction(self, keys: list[str] | frozenset[str], txid: TransactionId) -> None:
+        """Drop every cached version written by ``txid``."""
+        for key in keys:
+            self.invalidate(key, txid)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._size_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._size_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, cache_key: CacheKey) -> bool:
+        with self._lock:
+            return cache_key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never queried)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,123 @@
+"""The fault manager.
+
+Distributed AFT deployments run a single fault manager off the transaction
+critical path (paper Sections 4.2, 4.3 and 5.2).  It has three jobs:
+
+1. **Liveness of committed data.**  The manager receives every node's commit
+   broadcasts *without* pruning.  It periodically scans the Transaction
+   Commit Set in storage for commit records it has never heard about — these
+   belong to transactions whose node acknowledged the commit but failed before
+   broadcasting — and pushes them to all live nodes so the data becomes
+   visible.  The manager is stateless with respect to this job: if it crashes
+   it simply rescans the Commit Set.
+2. **Failure detection and replacement.**  It notices nodes that have stopped
+   responding and asks the cluster to configure a replacement (standby nodes
+   make this fast; the paper's Figure 10 measures the end-to-end timeline).
+3. **Global garbage collection.**  It hosts :class:`~repro.core.garbage_collector.GlobalDataGC`,
+   reusing the commit broadcasts it already receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.garbage_collector import GlobalDataGC
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.ids import TransactionId
+from repro.storage.base import StorageEngine
+
+
+@dataclass
+class FaultManagerStats:
+    commit_scans: int = 0
+    unbroadcast_commits_recovered: int = 0
+    failures_detected: int = 0
+    replacements_requested: int = 0
+    gc_rounds: int = 0
+
+
+class FaultManager:
+    """Cluster-level manager for liveness, failure detection, and global GC."""
+
+    def __init__(
+        self,
+        data_storage: StorageEngine,
+        commit_store: CommitSetStore,
+        multicast: MulticastService,
+        gc_max_deletes_per_round: int | None = None,
+    ) -> None:
+        self.data_storage = data_storage
+        self.commit_store = commit_store
+        self.multicast = multicast
+        self.global_gc = GlobalDataGC(
+            data_storage=data_storage,
+            commit_store=commit_store,
+            max_deletes_per_round=gc_max_deletes_per_round,
+        )
+        #: Ids of commits learned via broadcast (or a previous scan).
+        self._seen: set[TransactionId] = set()
+        self.stats = FaultManagerStats()
+        multicast.register_fault_manager(self)
+
+    # ------------------------------------------------------------------ #
+    # Broadcast sink (unpruned)
+    # ------------------------------------------------------------------ #
+    def receive_commits(self, records: list[CommitRecord]) -> None:
+        """Ingest a node's unpruned commit set (called by the multicast service)."""
+        for record in records:
+            self._seen.add(record.txid)
+        self.global_gc.receive_commits(records)
+
+    def has_seen(self, txid: TransactionId) -> bool:
+        return txid in self._seen
+
+    # ------------------------------------------------------------------ #
+    # Liveness scan (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def scan_commit_set(self) -> list[CommitRecord]:
+        """Find durable commit records never received via broadcast.
+
+        Any such record belongs to a transaction whose node failed between
+        acknowledging the commit and broadcasting it.  The records are pushed
+        to every live node (and to the global GC) so the committed data is
+        never lost.  Returns the recovered records.
+        """
+        self.stats.commit_scans += 1
+        recovered: list[CommitRecord] = []
+        for txid in self.commit_store.list_transaction_ids():
+            if txid in self._seen:
+                continue
+            record = self.commit_store.read_record(txid)
+            if record is None:
+                continue
+            recovered.append(record)
+            self._seen.add(txid)
+        if recovered:
+            self.stats.unbroadcast_commits_recovered += len(recovered)
+            self.multicast.broadcast_records(recovered)
+            self.global_gc.receive_commits(recovered)
+        return recovered
+
+    # ------------------------------------------------------------------ #
+    # Failure detection (Sections 4.3, 6.7)
+    # ------------------------------------------------------------------ #
+    def detect_failures(self, nodes: list[AftNode]) -> list[AftNode]:
+        """Return the nodes that are no longer running."""
+        failed = [node for node in nodes if not node.is_running]
+        if failed:
+            self.stats.failures_detected += len(failed)
+        return failed
+
+    def request_replacement(self) -> None:
+        """Record that a replacement node was requested (cluster performs it)."""
+        self.stats.replacements_requested += 1
+
+    # ------------------------------------------------------------------ #
+    # Global GC (Section 5.2)
+    # ------------------------------------------------------------------ #
+    def run_global_gc(self, nodes: list[AftNode]) -> list[TransactionId]:
+        """Run one round of global data garbage collection."""
+        self.stats.gc_rounds += 1
+        return self.global_gc.run_once(nodes)

@@ -1,0 +1,163 @@
+"""Garbage collection of transaction metadata and key versions.
+
+Two kinds of state grow without bound under AFT's no-overwrite design (paper
+Section 5): commit metadata and key-version data.  Two cooperating collectors
+keep them in check.
+
+**Local metadata GC** (Section 5.1, :class:`LocalMetadataGC`): each node
+periodically sweeps its metadata cache, oldest transactions first, and drops
+every transaction that (a) is *superseded* (Algorithm 2) and (b) has not been
+read from by any currently running transaction.  Dropped ids are remembered in
+the node's locally-deleted set.
+
+**Global data GC** (Section 5.2, :class:`GlobalDataGC`): the fault manager —
+which receives every node's unpruned commit broadcasts — builds its own view
+of superseded transactions and asks every node whether it has locally deleted
+them.  Only when *all* nodes agree is the transaction's data (its key versions
+and commit record) deleted from storage; this guarantees no running
+transaction can still need the versions.  Data deletion is batched, mirroring
+the paper's use of dedicated cores for deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.node import AftNode
+from repro.core.supersedence import blocked_by_readers, is_superseded
+from repro.ids import TransactionId
+from repro.storage.base import StorageEngine
+
+
+@dataclass
+class LocalGCStats:
+    sweeps: int = 0
+    records_examined: int = 0
+    records_collected: int = 0
+    blocked_by_active_readers: int = 0
+
+
+class LocalMetadataGC:
+    """Per-node sweep that discards superseded commit metadata (Section 5.1)."""
+
+    def __init__(self, node: AftNode, max_per_sweep: int | None = None) -> None:
+        self.node = node
+        self.max_per_sweep = max_per_sweep
+        self.stats = LocalGCStats()
+
+    def run_once(self) -> list[TransactionId]:
+        """Sweep the metadata cache once; returns the ids collected."""
+        self.stats.sweeps += 1
+        cache = self.node.metadata_cache
+        index = cache.version_index
+        active_dependencies = self.node.active_read_dependencies()
+        collected: list[TransactionId] = []
+
+        # Oldest-first mitigates the missing-version pitfall of Section 5.2.1.
+        for record in cache.iter_records_oldest_first():
+            if self.max_per_sweep is not None and len(collected) >= self.max_per_sweep:
+                break
+            self.stats.records_examined += 1
+            if not is_superseded(record, index):
+                continue
+            if blocked_by_readers(record, active_dependencies):
+                self.stats.blocked_by_active_readers += 1
+                continue
+            cache.remove(record.txid, mark_deleted=True)
+            self.node.data_cache.invalidate_transaction(record.cowritten, record.txid)
+            collected.append(record.txid)
+
+        self.stats.records_collected += len(collected)
+        return collected
+
+
+@dataclass
+class GlobalGCStats:
+    rounds: int = 0
+    candidates_considered: int = 0
+    transactions_deleted: int = 0
+    versions_deleted: int = 0
+    blocked_waiting_for_nodes: int = 0
+    deletions_per_round: list[int] = field(default_factory=list)
+
+
+class GlobalDataGC:
+    """Cluster-wide deletion of superseded data, run by the fault manager (Section 5.2)."""
+
+    def __init__(
+        self,
+        data_storage: StorageEngine,
+        commit_store: CommitSetStore,
+        max_deletes_per_round: int | None = None,
+    ) -> None:
+        self.data_storage = data_storage
+        self.commit_store = commit_store
+        self.max_deletes_per_round = max_deletes_per_round
+        #: Commit records known to the collector (fed by the unpruned multicast).
+        self._known: dict[TransactionId, CommitRecord] = {}
+        #: Derived newest-version view used for supersedence decisions.
+        from repro.core.version_index import KeyVersionIndex
+
+        self._index = KeyVersionIndex()
+        self.stats = GlobalGCStats()
+
+    # ------------------------------------------------------------------ #
+    def receive_commits(self, records: list[CommitRecord]) -> None:
+        """Ingest unpruned commit broadcasts (the fault manager forwards them here)."""
+        for record in records:
+            if record.txid in self._known:
+                continue
+            self._known[record.txid] = record
+            self._index.add_record(record.write_set.keys(), record.txid)
+
+    def known_transactions(self) -> int:
+        return len(self._known)
+
+    # ------------------------------------------------------------------ #
+    def run_once(self, nodes: list[AftNode]) -> list[TransactionId]:
+        """One global GC round over the given live nodes.
+
+        Returns the ids whose data was deleted from storage this round.
+        """
+        self.stats.rounds += 1
+        live_nodes = [node for node in nodes if node.is_running]
+        deleted: list[TransactionId] = []
+
+        # Oldest first, as the paper prescribes, to minimise the window in
+        # which a running transaction could still want an old version.
+        candidates = sorted(self._known)
+        for txid in candidates:
+            if self.max_deletes_per_round is not None and len(deleted) >= self.max_deletes_per_round:
+                break
+            record = self._known[txid]
+            self.stats.candidates_considered += 1
+            if not is_superseded(record, self._index):
+                continue
+            # Every live node must have released the transaction — either it
+            # garbage collected the metadata locally, or it never cached it
+            # (a node that never held the metadata can have no running
+            # transaction that read from it, since reads are only served from
+            # the cache).  A node still holding the record blocks deletion.
+            if not all(txid not in node.metadata_cache for node in live_nodes):
+                self.stats.blocked_waiting_for_nodes += 1
+                continue
+
+            self._delete_transaction(record)
+            deleted.append(txid)
+            for node in live_nodes:
+                node.metadata_cache.forget_deleted([txid])
+
+        self.stats.transactions_deleted += len(deleted)
+        self.stats.deletions_per_round.append(len(deleted))
+        return deleted
+
+    def _delete_transaction(self, record: CommitRecord) -> None:
+        """Remove a superseded transaction's key versions and commit record."""
+        storage_keys = list(record.write_set.values())
+        if storage_keys:
+            self.data_storage.multi_delete(storage_keys)
+            self.stats.versions_deleted += len(storage_keys)
+        self.commit_store.delete_record(record.txid)
+        self._index.remove_record(record.write_set.keys(), record.txid)
+        del self._known[record.txid]

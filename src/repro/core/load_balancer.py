@@ -1,0 +1,81 @@
+"""Request routing across AFT nodes.
+
+The paper fronts its AFT nodes with a simple stateless round-robin load
+balancer (Section 6).  One constraint matters for correctness: *every
+operation of a transaction must reach the same node* (Section 3.1), because
+that node holds the transaction's write buffer and read-set state.  The load
+balancer therefore assigns a node when a transaction starts and the cluster
+client keeps routing that transaction's operations to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+
+from repro.core.node import AftNode
+from repro.errors import NoAvailableNodeError
+
+
+class LoadBalancer(ABC):
+    """Chooses a live node for each new transaction."""
+
+    def __init__(self, nodes: list[AftNode] | None = None) -> None:
+        self._nodes: list[AftNode] = list(nodes) if nodes else []
+        self._lock = threading.Lock()
+
+    @property
+    def nodes(self) -> list[AftNode]:
+        with self._lock:
+            return list(self._nodes)
+
+    def live_nodes(self) -> list[AftNode]:
+        with self._lock:
+            return [node for node in self._nodes if node.is_running]
+
+    def add_node(self, node: AftNode) -> None:
+        with self._lock:
+            if node not in self._nodes:
+                self._nodes.append(node)
+
+    def remove_node(self, node: AftNode) -> None:
+        with self._lock:
+            if node in self._nodes:
+                self._nodes.remove(node)
+
+    @abstractmethod
+    def next_node(self) -> AftNode:
+        """Return the node that should own the next transaction."""
+
+
+class RoundRobinLoadBalancer(LoadBalancer):
+    """Stateless round-robin routing, skipping failed nodes."""
+
+    def __init__(self, nodes: list[AftNode] | None = None) -> None:
+        super().__init__(nodes)
+        self._cursor = 0
+
+    def next_node(self) -> AftNode:
+        with self._lock:
+            if not self._nodes:
+                raise NoAvailableNodeError("no AFT nodes registered with the load balancer")
+            for _ in range(len(self._nodes)):
+                node = self._nodes[self._cursor % len(self._nodes)]
+                self._cursor += 1
+                if node.is_running:
+                    return node
+        raise NoAvailableNodeError("no live AFT node available")
+
+
+class LeastLoadedLoadBalancer(LoadBalancer):
+    """Route each new transaction to the node with the fewest open transactions.
+
+    Not used by the paper's experiments (which use round robin) but handy for
+    workloads with highly variable transaction lengths.
+    """
+
+    def next_node(self) -> AftNode:
+        candidates = self.live_nodes()
+        if not candidates:
+            raise NoAvailableNodeError("no live AFT node available")
+        return min(candidates, key=lambda node: len(node.active_transactions()))

@@ -1,0 +1,132 @@
+"""Committed-transaction metadata cache.
+
+Every AFT node caches the commit records of recently committed transactions —
+its own and those learned from peers via multicast — together with the
+:class:`~repro.core.version_index.KeyVersionIndex` derived from them (paper
+Section 3.1).  Algorithm 1 runs entirely against this cache, so reads never
+have to fetch metadata from storage on the critical path.
+
+The cache also remembers which records it has *locally garbage collected*
+(Section 5.1): the global garbage collector may only delete data from storage
+once every node reports the transaction as locally deleted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator
+
+from repro.core.commit_set import CommitRecord
+from repro.core.version_index import KeyVersionIndex
+from repro.ids import TransactionId
+
+
+class CommitSetCache:
+    """In-memory cache of commit records plus the derived key version index."""
+
+    def __init__(self) -> None:
+        self._records: dict[TransactionId, CommitRecord] = {}
+        self._index = KeyVersionIndex()
+        self._locally_deleted: set[TransactionId] = set()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, record: CommitRecord) -> bool:
+        """Insert ``record`` and index its versions.
+
+        Returns False if the record was already cached (or was already
+        garbage collected locally), True if it was newly added.
+        """
+        with self._lock:
+            if record.txid in self._records or record.txid in self._locally_deleted:
+                return False
+            self._records[record.txid] = record
+            self._index.add_record(record.write_set.keys(), record.txid)
+            return True
+
+    def add_many(self, records: Iterable[CommitRecord]) -> int:
+        """Insert several records; returns how many were new."""
+        return sum(1 for record in records if self.add(record))
+
+    def remove(self, txid: TransactionId, mark_deleted: bool = True) -> CommitRecord | None:
+        """Drop a record from the cache (local metadata GC).
+
+        ``mark_deleted`` records the id in the locally-deleted set consulted
+        by the global garbage collector.  Returns the removed record, if any.
+        """
+        with self._lock:
+            record = self._records.pop(txid, None)
+            if record is not None:
+                self._index.remove_record(record.write_set.keys(), txid)
+            if mark_deleted:
+                self._locally_deleted.add(txid)
+            return record
+
+    def forget_deleted(self, txids: Iterable[TransactionId]) -> None:
+        """Drop entries from the locally-deleted set once globally collected."""
+        with self._lock:
+            self._locally_deleted.difference_update(txids)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._index.clear()
+            self._locally_deleted.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def version_index(self) -> KeyVersionIndex:
+        return self._index
+
+    def get(self, txid: TransactionId) -> CommitRecord | None:
+        with self._lock:
+            return self._records.get(txid)
+
+    def __contains__(self, txid: TransactionId) -> bool:
+        with self._lock:
+            return txid in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> list[CommitRecord]:
+        """Snapshot of all cached records (unordered)."""
+        with self._lock:
+            return list(self._records.values())
+
+    def transaction_ids(self) -> list[TransactionId]:
+        with self._lock:
+            return list(self._records)
+
+    def locally_deleted(self) -> set[TransactionId]:
+        """Ids this node has locally garbage collected (Section 5.1)."""
+        with self._lock:
+            return set(self._locally_deleted)
+
+    def was_locally_deleted(self, txid: TransactionId) -> bool:
+        with self._lock:
+            return txid in self._locally_deleted
+
+    def cowritten(self, txid: TransactionId) -> frozenset[str]:
+        """Cowritten key set of the given committed transaction.
+
+        Returns an empty set for unknown (e.g. already collected) ids — the
+        read protocol treats missing metadata as "no constraint", which is
+        safe because the global GC only deletes data every node agreed was
+        superseded.
+        """
+        record = self.get(txid)
+        if record is None:
+            return frozenset()
+        return record.cowritten
+
+    def iter_records_oldest_first(self) -> Iterator[CommitRecord]:
+        """Records ordered by transaction id, oldest first (GC sweep order)."""
+        with self._lock:
+            ordered = sorted(self._records)
+            return iter([self._records[txid] for txid in ordered])

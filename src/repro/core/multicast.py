@@ -1,0 +1,123 @@
+"""Commit-set multicast between AFT nodes.
+
+AFT nodes never coordinate on the critical path of a transaction; instead a
+background thread on each node periodically (every second in the paper,
+Section 4) gathers the transactions it committed recently and broadcasts them
+to every peer.  Peers merge the records into their metadata caches so that
+reads at any node can observe commits made at any other node.
+
+The Section 4.1 optimisation prunes *locally superseded* transactions from the
+broadcast — for contended workloads most commits are quickly superseded, which
+slashes the metadata volume exchanged.  The fault manager always receives the
+**unpruned** set so it can guarantee liveness (Section 4.2).
+
+This module is deliberately transport-free: :class:`MulticastService` delivers
+records by direct method calls, and the simulation layer drives `run_once()`
+on whatever schedule an experiment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.commit_set import CommitRecord
+from repro.core.node import AftNode
+from repro.core.supersedence import prune_for_broadcast
+
+
+@dataclass
+class MulticastStats:
+    """Volume counters for the commit-set exchange (used by the pruning ablation)."""
+
+    rounds: int = 0
+    records_gathered: int = 0
+    records_broadcast: int = 0
+    records_pruned: int = 0
+    deliveries: int = 0
+    per_round_broadcast: list[int] = field(default_factory=list)
+    per_round_pruned: list[int] = field(default_factory=list)
+
+
+class MulticastService:
+    """Exchanges recently committed transaction metadata among nodes."""
+
+    def __init__(self, prune_superseded: bool = True) -> None:
+        self.prune_superseded = prune_superseded
+        self._nodes: list[AftNode] = []
+        self._fault_manager_sinks: list = []
+        self.stats = MulticastStats()
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def register_node(self, node: AftNode) -> None:
+        if node not in self._nodes:
+            self._nodes.append(node)
+
+    def unregister_node(self, node: AftNode) -> None:
+        if node in self._nodes:
+            self._nodes.remove(node)
+
+    def register_fault_manager(self, sink) -> None:
+        """Register a fault manager; it receives every commit, unpruned (§4.2)."""
+        if sink not in self._fault_manager_sinks:
+            self._fault_manager_sinks.append(sink)
+
+    @property
+    def nodes(self) -> list[AftNode]:
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # Exchange
+    # ------------------------------------------------------------------ #
+    def run_once(self) -> int:
+        """Perform one multicast round; returns the number of records broadcast.
+
+        For every registered node: drain its recently committed transactions,
+        forward the *full* set to the fault manager, prune superseded records
+        (if enabled), and deliver the remainder to every live peer.
+        """
+        self.stats.rounds += 1
+        total_broadcast = 0
+        total_pruned = 0
+        for sender in list(self._nodes):
+            if not sender.is_running:
+                continue
+            recent = sender.drain_recent_commits()
+            if not recent:
+                continue
+            self.stats.records_gathered += len(recent)
+
+            for sink in self._fault_manager_sinks:
+                sink.receive_commits(list(recent))
+
+            if self.prune_superseded:
+                to_broadcast, pruned = prune_for_broadcast(
+                    recent, sender.metadata_cache.version_index
+                )
+            else:
+                to_broadcast, pruned = list(recent), []
+
+            total_pruned += len(pruned)
+            if not to_broadcast:
+                continue
+            total_broadcast += len(to_broadcast)
+            for receiver in list(self._nodes):
+                if receiver is sender or not receiver.is_running:
+                    continue
+                receiver.receive_commits(list(to_broadcast))
+                self.stats.deliveries += len(to_broadcast)
+
+        self.stats.records_broadcast += total_broadcast
+        self.stats.records_pruned += total_pruned
+        self.stats.per_round_broadcast.append(total_broadcast)
+        self.stats.per_round_pruned.append(total_pruned)
+        return total_broadcast
+
+    def broadcast_records(self, records: list[CommitRecord], exclude: AftNode | None = None) -> None:
+        """Push specific records to all live nodes (used by the fault manager)."""
+        for receiver in list(self._nodes):
+            if receiver is exclude or not receiver.is_running:
+                continue
+            receiver.receive_commits(list(records))
+            self.stats.deliveries += len(records)

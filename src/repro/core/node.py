@@ -1,0 +1,438 @@
+"""A single AFT node.
+
+An AFT node exposes the five-call transactional key-value API of Table 1
+(``StartTransaction``, ``Get``, ``Put``, ``CommitTransaction``,
+``AbortTransaction``) and is composed of the three components of Figure 1:
+
+* the **Atomic Write Buffer** (:mod:`repro.core.write_buffer`), which
+  sequesters a transaction's updates until commit,
+* the **transaction manager** (this module), which tracks each transaction's
+  read set and enforces read atomicity via Algorithm 1, and
+* the **local metadata cache** (:mod:`repro.core.metadata_cache`) of recently
+  committed transactions plus a data cache of hot key versions.
+
+The commit path implements the write-ordering protocol of Section 3.3: all of
+a transaction's data is persisted first (batched when the backend allows it),
+the commit record is persisted second, and only then does the node make the
+transaction visible and acknowledge the client.  Every key version is written
+to its own storage key, so concurrent nodes never overwrite each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, SystemClock
+from repro.config import AftConfig, DEFAULT_CONFIG
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.data_cache import DataCache
+from repro.core.metadata_cache import CommitSetCache
+from repro.core.read_protocol import atomic_read
+from repro.core.transaction import Transaction, TransactionStatus
+from repro.core.write_buffer import AtomicWriteBuffer
+from repro.errors import (
+    AtomicReadError,
+    NodeStoppedError,
+    TransactionAbortedError,
+    TransactionAlreadyCommittedError,
+    UnknownTransactionError,
+)
+from repro.ids import TransactionId, TransactionIdGenerator, data_key, new_uuid, validate_user_key
+from repro.storage.base import StorageEngine
+
+
+@dataclass
+class NodeStats:
+    """Operation counters exposed by every node (used by tests and reports)."""
+
+    transactions_started: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+    null_reads: int = 0
+    missing_version_reads: int = 0
+    read_your_write_hits: int = 0
+    data_cache_hits: int = 0
+    storage_value_reads: int = 0
+    commit_records_written: int = 0
+    remote_commits_applied: int = 0
+    remote_commits_ignored: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class AftNode:
+    """One AFT shim replica."""
+
+    def __init__(
+        self,
+        storage: StorageEngine,
+        commit_store: CommitSetStore | None = None,
+        config: AftConfig | None = None,
+        clock: Clock | None = None,
+        node_id: str | None = None,
+    ) -> None:
+        self.storage = storage
+        self.commit_store = commit_store if commit_store is not None else CommitSetStore(storage)
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.clock = clock if clock is not None else SystemClock()
+        self.node_id = node_id if node_id is not None else f"aft-{new_uuid()[:8]}"
+
+        self.metadata_cache = CommitSetCache()
+        self.data_cache = DataCache(
+            capacity_bytes=self.config.data_cache_capacity_bytes if self.config.enable_data_cache else 0
+        )
+        self.write_buffer = AtomicWriteBuffer(
+            storage=storage,
+            spill_threshold_bytes=self.config.write_buffer_spill_bytes,
+        )
+        self.stats = NodeStats()
+
+        self._id_generator = TransactionIdGenerator(self.clock)
+        self._transactions: dict[str, Transaction] = {}
+        self._recent_commits: list[CommitRecord] = []
+        self._running = False
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, bootstrap: bool = True) -> None:
+        """Bring the node online, warming the metadata cache from storage.
+
+        A node recovering from failure bootstraps itself by reading the most
+        recent commit records from the Transaction Commit Set (Section 3.1).
+        """
+        if bootstrap:
+            self.bootstrap()
+        self._running = True
+
+    def stop(self) -> None:
+        """Take the node offline.  In-flight transactions are lost (Section 3.3.1)."""
+        self._running = False
+        with self._lock:
+            self._transactions.clear()
+        for uuid in list(self.write_buffer.open_transactions()):
+            self.write_buffer.discard(uuid)
+
+    def fail(self) -> None:
+        """Simulate a crash: identical to :meth:`stop` but kept separate for clarity."""
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def bootstrap(self) -> int:
+        """Warm the metadata cache from the Transaction Commit Set.
+
+        Returns the number of commit records loaded.
+        """
+        records = self.commit_store.scan(limit=self.config.metadata_bootstrap_limit)
+        return self.metadata_cache.add_many(records)
+
+    def _require_running(self) -> None:
+        if not self._running:
+            raise NodeStoppedError(f"node {self.node_id} is not running")
+
+    # ------------------------------------------------------------------ #
+    # Transaction lifecycle (Table 1 API)
+    # ------------------------------------------------------------------ #
+    def start_transaction(self, txid: str | None = None) -> str:
+        """Begin a transaction and return its id (a uuid string).
+
+        Passing an existing ``txid`` joins that transaction if it is already
+        open on this node (the multi-function case, where every function of a
+        request sends its operations to the same node under one id) or
+        re-opens it after a retried function, preserving idempotence.
+        """
+        self._require_running()
+        now = self.clock.now()
+        with self._lock:
+            if txid is not None:
+                existing = self._transactions.get(txid)
+                if existing is not None:
+                    if existing.status is TransactionStatus.COMMITTED:
+                        raise TransactionAlreadyCommittedError(
+                            f"transaction {txid} already committed", txid=txid
+                        )
+                    existing.touch(now)
+                    return txid
+                uuid = txid
+            else:
+                uuid = new_uuid()
+            transaction = Transaction(uuid=uuid, start_time=now)
+            self._transactions[uuid] = transaction
+            self.write_buffer.open(uuid)
+            self.stats.transactions_started += 1
+            return uuid
+
+    def _get_running(self, txid: str) -> Transaction:
+        transaction = self._transactions.get(txid)
+        if transaction is None:
+            raise UnknownTransactionError(f"unknown transaction {txid!r}", txid=txid)
+        if transaction.status is TransactionStatus.COMMITTED:
+            raise TransactionAlreadyCommittedError(f"transaction {txid} already committed", txid=txid)
+        if transaction.status is TransactionStatus.ABORTED:
+            raise TransactionAbortedError(f"transaction {txid} was aborted", txid=txid)
+        return transaction
+
+    def put(self, txid: str, key: str, value: bytes | str) -> None:
+        """Buffer an update for transaction ``txid`` (Table 1 ``Put``)."""
+        self._require_running()
+        validate_user_key(key)
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        with self._lock:
+            transaction = self._get_running(txid)
+            transaction.touch(self.clock.now())
+            transaction.record_write(key)
+        provisional = TransactionId(timestamp=transaction.start_time, uuid=transaction.uuid)
+        self.write_buffer.put(txid, key, value, provisional_id=provisional)
+        self.stats.writes += 1
+
+    def get(self, txid: str, key: str) -> bytes | None:
+        """Read ``key`` within transaction ``txid`` (Table 1 ``Get``).
+
+        Returns the payload of the chosen key version, or ``None`` when no
+        version is compatible with the transaction's read set (the NULL read
+        of Section 3.6) — unless ``strict_reads`` is configured, in which case
+        :class:`~repro.errors.AtomicReadError` is raised.
+        """
+        self._require_running()
+        validate_user_key(key)
+        with self._lock:
+            transaction = self._get_running(txid)
+            transaction.touch(self.clock.now())
+        self.stats.reads += 1
+
+        # Read-your-writes: pending updates short-circuit Algorithm 1 (§3.5).
+        if self.write_buffer.has_write(txid, key):
+            self.stats.read_your_write_hits += 1
+            return self.write_buffer.get(txid, key)
+
+        with self._lock:
+            decision = atomic_read(key, transaction.read_set, self.metadata_cache)
+            if decision.target is None:
+                transaction.record_null_read(key)
+                self.stats.null_reads += 1
+            else:
+                record = self.metadata_cache.get(decision.target)
+                storage_key = (
+                    record.storage_key_for(key) if record is not None else data_key(key, decision.target)
+                )
+
+        if decision.target is None:
+            if self.config.strict_reads:
+                raise AtomicReadError(
+                    f"no version of {key!r} is compatible with the transaction's read set",
+                    txid=txid,
+                )
+            return None
+
+        value = self.data_cache.get(key, decision.target)
+        if value is not None:
+            self.stats.data_cache_hits += 1
+        else:
+            value = self.storage.get(storage_key)
+            self.stats.storage_value_reads += 1
+            if value is None:
+                # The version's data is gone (e.g. deleted by an over-eager
+                # global GC).  Treat it as a NULL read; the caller retries.
+                self.stats.missing_version_reads += 1
+                with self._lock:
+                    transaction.record_null_read(key)
+                if self.config.strict_reads:
+                    raise AtomicReadError(
+                        f"data for {key!r} version {decision.target} is missing from storage",
+                        txid=txid,
+                    )
+                return None
+            if self.config.enable_data_cache:
+                self.data_cache.put(key, decision.target, value)
+
+        with self._lock:
+            transaction.record_read(key, decision.target)
+        return value
+
+    def commit_transaction(self, txid: str) -> TransactionId:
+        """Commit ``txid``: persist its updates, then its commit record (§3.3).
+
+        The call only returns after both the data and the commit record are
+        durable in storage; the transaction's updates become visible to other
+        transactions at that point and never earlier.  Committing an
+        already-committed transaction returns its original id (idempotence).
+        """
+        self._require_running()
+        with self._lock:
+            transaction = self._transactions.get(txid)
+            if transaction is None:
+                raise UnknownTransactionError(f"unknown transaction {txid!r}", txid=txid)
+            if transaction.status is TransactionStatus.COMMITTED and transaction.commit_id is not None:
+                return transaction.commit_id
+            if transaction.status is TransactionStatus.ABORTED:
+                raise TransactionAbortedError(f"transaction {txid} was aborted", txid=txid)
+            commit_id = TransactionId(timestamp=self._id_generator.next_id().timestamp, uuid=transaction.uuid)
+
+        pending = self.write_buffer.pending_writes(txid)
+        spilled = self.write_buffer.spilled_keys(txid)
+
+        write_set: dict[str, str] = {}
+        to_persist: dict[str, bytes] = {}
+        for key, value in pending.items():
+            storage_key = spilled.get(key)
+            if storage_key is None:
+                storage_key = data_key(key, commit_id)
+                to_persist[storage_key] = value
+            write_set[key] = storage_key
+
+        # Step 1: persist the transaction's data (batched when possible).
+        if to_persist:
+            self._persist_updates(to_persist)
+
+        record: CommitRecord | None = None
+        if write_set:
+            # Step 2: persist the commit record.  Only after this write is the
+            # transaction committed; a crash before it leaves no visible state.
+            record = CommitRecord(
+                txid=commit_id,
+                write_set=write_set,
+                committed_at=self.clock.now(),
+                node_id=self.node_id,
+            )
+            self.commit_store.write_record(record)
+            self.stats.commit_records_written += 1
+
+        # Step 3: make the transaction visible locally and acknowledge.
+        with self._lock:
+            if record is not None:
+                self.metadata_cache.add(record)
+                self._recent_commits.append(record)
+                if self.config.enable_data_cache:
+                    for key, value in pending.items():
+                        self.data_cache.put(key, commit_id, value)
+            transaction.status = TransactionStatus.COMMITTED
+            transaction.commit_id = commit_id
+            self.stats.transactions_committed += 1
+        self.write_buffer.discard(txid)
+        return commit_id
+
+    def _persist_updates(self, updates: dict[str, bytes]) -> None:
+        """Write a transaction's key versions to storage, batching if allowed."""
+        if self.config.batch_commit_writes and self.storage.supports_batch_writes:
+            batch_limit = self.storage.max_batch_size or len(updates)
+            items = list(updates.items())
+            for start in range(0, len(items), batch_limit):
+                chunk = dict(items[start : start + batch_limit])
+                self.storage.multi_put(chunk)
+        else:
+            for storage_key, value in updates.items():
+                self.storage.put(storage_key, value)
+
+    def abort_transaction(self, txid: str) -> None:
+        """Abort ``txid`` and discard its buffered updates (Table 1)."""
+        self._require_running()
+        with self._lock:
+            transaction = self._transactions.get(txid)
+            if transaction is None:
+                raise UnknownTransactionError(f"unknown transaction {txid!r}", txid=txid)
+            if transaction.status is TransactionStatus.COMMITTED:
+                raise TransactionAlreadyCommittedError(
+                    f"transaction {txid} already committed; cannot abort", txid=txid
+                )
+            transaction.status = TransactionStatus.ABORTED
+            self.stats.transactions_aborted += 1
+        orphaned = self.write_buffer.discard(txid)
+        # Spilled-but-uncommitted data is unreachable (no commit record points
+        # at it); delete it eagerly rather than waiting for the GC.
+        if orphaned:
+            self.storage.multi_delete(orphaned)
+
+    # ------------------------------------------------------------------ #
+    # Transaction housekeeping
+    # ------------------------------------------------------------------ #
+    def transaction_status(self, txid: str) -> TransactionStatus | None:
+        with self._lock:
+            transaction = self._transactions.get(txid)
+            return transaction.status if transaction is not None else None
+
+    def active_transactions(self) -> list[Transaction]:
+        """Currently running transactions (snapshot)."""
+        with self._lock:
+            return [t for t in self._transactions.values() if t.is_running]
+
+    def active_read_dependencies(self) -> list[set[TransactionId]]:
+        """Read dependencies of running transactions, consulted by the local GC."""
+        with self._lock:
+            return [set(t.read_dependencies) for t in self._transactions.values() if t.is_running]
+
+    def expire_idle_transactions(self, now: float | None = None) -> list[str]:
+        """Abort transactions idle longer than ``transaction_timeout`` (§3.3.1)."""
+        now = self.clock.now() if now is None else now
+        expired: list[str] = []
+        with self._lock:
+            candidates = [
+                t.uuid
+                for t in self._transactions.values()
+                if t.is_running and t.idle_for(now) > self.config.transaction_timeout
+            ]
+        for uuid in candidates:
+            try:
+                self.abort_transaction(uuid)
+                expired.append(uuid)
+            except (TransactionAlreadyCommittedError, UnknownTransactionError):
+                continue
+        return expired
+
+    def forget_finished_transactions(self) -> int:
+        """Drop bookkeeping for committed/aborted transactions (memory hygiene)."""
+        with self._lock:
+            finished = [uuid for uuid, t in self._transactions.items() if not t.is_running]
+            for uuid in finished:
+                del self._transactions[uuid]
+            return len(finished)
+
+    # ------------------------------------------------------------------ #
+    # Cluster hooks (multicast, fault manager, GC)
+    # ------------------------------------------------------------------ #
+    def drain_recent_commits(self) -> list[CommitRecord]:
+        """Return and clear the commits made since the last multicast round."""
+        with self._lock:
+            recent = self._recent_commits
+            self._recent_commits = []
+            return recent
+
+    def peek_recent_commits(self) -> list[CommitRecord]:
+        """Recent commits without clearing (used by tests)."""
+        with self._lock:
+            return list(self._recent_commits)
+
+    def receive_commits(self, records: list[CommitRecord]) -> int:
+        """Merge commit records learned from peers or the fault manager.
+
+        Records that are already superseded by locally known versions are
+        ignored (Section 4.1).  Returns the number of records applied.
+        """
+        from repro.core.supersedence import is_superseded
+
+        applied = 0
+        with self._lock:
+            for record in records:
+                if record.txid in self.metadata_cache:
+                    self.stats.remote_commits_ignored += 1
+                    continue
+                if self.config.prune_superseded_broadcasts and is_superseded(
+                    record, self.metadata_cache.version_index
+                ):
+                    self.stats.remote_commits_ignored += 1
+                    continue
+                if self.metadata_cache.add(record):
+                    applied += 1
+                    self.stats.remote_commits_applied += 1
+                else:
+                    self.stats.remote_commits_ignored += 1
+        return applied
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AftNode id={self.node_id!r} running={self._running} cached_txns={len(self.metadata_cache)}>"

@@ -1,0 +1,141 @@
+"""Algorithm 1 — the atomic read protocol.
+
+Given a requested key ``k`` and the transaction's read set ``R`` (user key ->
+id of the version already read), pick the version of ``k`` to return such that
+``R ∪ {k_target}`` remains an Atomic Readset (paper Definition 1):
+
+1. **Lower bound** (lines 3-5): if any version ``l_i`` already in ``R`` was
+   cowritten with ``k``, we must return a version of ``k`` at least as new as
+   ``i``.
+2. **Compatibility scan** (lines 13-23): walking candidate versions of ``k``
+   newest-first, reject any candidate ``k_t`` that was cowritten with a key
+   ``l`` of which ``R`` holds an *older* version ``l_j`` (``j < t``) — reading
+   ``k_t`` in that case would reveal that the earlier read of ``l`` was
+   fractured.
+
+If no candidate survives, the protocol returns ``None`` (the paper's NULL
+read, Section 3.6) and the caller aborts or retries.
+
+The protocol runs entirely against the node's local
+:class:`~repro.core.metadata_cache.CommitSetCache`, so it performs no storage
+IO; only fetching the chosen version's payload touches storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.metadata_cache import CommitSetCache
+from repro.ids import TransactionId
+
+
+@dataclass
+class ReadDecision:
+    """Outcome of one execution of Algorithm 1 (for observability and tests)."""
+
+    key: str
+    target: TransactionId | None
+    lower_bound: TransactionId | None
+    candidates_considered: int = 0
+    candidates_rejected: int = 0
+    #: Versions rejected because a cowritten key was already read at an older
+    #: version — the staleness/abort trade-off discussed in Section 3.6.
+    rejection_reasons: list[tuple[TransactionId, str]] = field(default_factory=list)
+
+    @property
+    def is_null(self) -> bool:
+        return self.target is None
+
+
+def compute_lower_bound(
+    key: str,
+    read_set: Mapping[str, TransactionId],
+    cache: CommitSetCache,
+) -> TransactionId | None:
+    """Lines 3-5 of Algorithm 1: the oldest version of ``key`` we may return.
+
+    For every version ``l_i`` already read, if ``key`` belongs to ``l_i``'s
+    cowritten set then the version of ``key`` we return must be at least as
+    new as ``i``.
+    """
+    lower: TransactionId | None = None
+    for read_version in read_set.values():
+        if key in cache.cowritten(read_version):
+            if lower is None or read_version > lower:
+                lower = read_version
+    return lower
+
+
+def candidate_is_valid(
+    candidate: TransactionId,
+    read_set: Mapping[str, TransactionId],
+    cache: CommitSetCache,
+) -> tuple[bool, str | None]:
+    """Lines 14-18 of Algorithm 1: check one candidate version against ``R``.
+
+    A candidate ``k_t`` is invalid if some key ``l`` in its cowritten set was
+    already read at an older version ``l_j`` (``j < t``): returning ``k_t``
+    would make the earlier read of ``l`` fractured.
+    """
+    for cowritten_key in cache.cowritten(candidate):
+        observed = read_set.get(cowritten_key)
+        if observed is not None and observed < candidate:
+            return False, cowritten_key
+    return True, None
+
+
+def atomic_read(
+    key: str,
+    read_set: Mapping[str, TransactionId],
+    cache: CommitSetCache,
+) -> ReadDecision:
+    """Run Algorithm 1 and return the chosen version of ``key`` (or NULL).
+
+    Parameters
+    ----------
+    key:
+        The user key being read.
+    read_set:
+        The transaction's atomic read set ``R`` so far.
+    cache:
+        The node's committed-transaction metadata cache, which provides both
+        the key version index and cowritten sets.
+    """
+    index = cache.version_index
+    lower = compute_lower_bound(key, read_set, cache)
+
+    latest = index.latest(key)
+    if latest is None and lower is None:
+        # No committed version of the key is known: NULL read (lines 8-9).
+        return ReadDecision(key=key, target=None, lower_bound=None)
+
+    decision = ReadDecision(key=key, target=None, lower_bound=lower)
+    candidates = index.versions_at_least(key, lower)
+    for candidate in reversed(candidates):
+        decision.candidates_considered += 1
+        valid, conflicting_key = candidate_is_valid(candidate, read_set, cache)
+        if valid:
+            decision.target = candidate
+            break
+        decision.candidates_rejected += 1
+        decision.rejection_reasons.append((candidate, conflicting_key or ""))
+    return decision
+
+
+def is_atomic_readset(
+    read_set: Mapping[str, TransactionId],
+    cache: CommitSetCache,
+) -> bool:
+    """Check Definition 1 directly (used by tests and the consistency checker).
+
+    ``read_set`` is an Atomic Readset iff for every version ``k_i`` in it and
+    every key ``l`` cowritten with ``k_i``, if ``R`` contains a version of
+    ``l`` then that version is at least as new as ``i``.
+    """
+    for version in read_set.values():
+        for cowritten_key in cache.cowritten(version):
+            observed = read_set.get(cowritten_key)
+            if observed is not None and observed < version:
+                return False
+    return True

@@ -1,0 +1,80 @@
+"""Client-side transaction session helpers.
+
+:class:`TransactionSession` wraps any object exposing the Table 1 API
+(``start_transaction`` / ``get`` / ``put`` / ``commit_transaction`` /
+``abort_transaction``) — a single :class:`~repro.core.node.AftNode`, a
+:class:`~repro.core.cluster.ClusterClient`, or one of the baseline clients —
+and provides a context-manager interface: the transaction commits when the
+block exits normally and aborts if an exception escapes.
+
+Serverless functions use the same class through
+:class:`~repro.faas.function.FunctionContext`, passing the transaction id from
+function to function so that a whole composition commits atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.ids import TransactionId
+
+
+class TransactionalBackend(Protocol):
+    """Anything that speaks the Table 1 API."""
+
+    def start_transaction(self, txid: str | None = None) -> str: ...
+
+    def get(self, txid: str, key: str) -> bytes | None: ...
+
+    def put(self, txid: str, key: str, value: bytes | str) -> None: ...
+
+    def commit_transaction(self, txid: str) -> TransactionId | None: ...
+
+    def abort_transaction(self, txid: str) -> None: ...
+
+
+class TransactionSession:
+    """One open transaction bound to a backend."""
+
+    def __init__(self, backend: TransactionalBackend, txid: str | None = None) -> None:
+        self._backend = backend
+        self.txid = backend.start_transaction(txid)
+        self.commit_id: TransactionId | None = None
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> bytes | None:
+        """Read ``key`` in this transaction."""
+        return self._backend.get(self.txid, key)
+
+    def put(self, key: str, value: bytes | str) -> None:
+        """Write ``key`` in this transaction."""
+        self._backend.put(self.txid, key, value)
+
+    def commit(self) -> TransactionId | None:
+        """Commit the transaction (idempotent once committed)."""
+        if not self._finished:
+            self.commit_id = self._backend.commit_transaction(self.txid)
+            self._finished = True
+        return self.commit_id
+
+    def abort(self) -> None:
+        """Abort the transaction and discard its updates."""
+        if not self._finished:
+            self._backend.abort_transaction(self.txid)
+            self._finished = True
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "TransactionSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False

@@ -1,0 +1,85 @@
+"""Transaction state tracked by an AFT node.
+
+A *transaction* is one logical request, possibly spanning several serverless
+functions (paper Section 2.2).  The node assigns a uuid at
+``StartTransaction`` time; the commit *timestamp* — and therefore the full
+``(timestamp, uuid)`` :class:`~repro.ids.TransactionId` — is only assigned at
+commit (Section 3.1).  Until then the transaction accumulates:
+
+* a **write buffer** of pending updates (handled by
+  :class:`~repro.core.write_buffer.AtomicWriteBuffer`),
+* a **read set** mapping each user key it has read to the id of the committed
+  transaction whose version it observed (the ``R`` of Algorithm 1),
+* bookkeeping used for idle-transaction expiry and statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ids import TransactionId
+
+
+class TransactionStatus(enum.Enum):
+    """Lifecycle of a transaction at a node."""
+
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """Mutable per-transaction state held by the owning AFT node."""
+
+    uuid: str
+    start_time: float
+    status: TransactionStatus = TransactionStatus.RUNNING
+    #: Key versions read so far: user key -> id of the writing transaction.
+    #: This is the atomic read set ``R`` of Algorithm 1.
+    read_set: dict[str, TransactionId] = field(default_factory=dict)
+    #: User keys that were read and returned NULL (no compatible version).
+    null_reads: set[str] = field(default_factory=set)
+    #: Ids of committed transactions whose versions this transaction has read.
+    #: The local garbage collector must not discard these (Section 5.1).
+    read_dependencies: set[TransactionId] = field(default_factory=set)
+    #: Time of the most recent operation, used for idle-transaction expiry.
+    last_active: float = 0.0
+    #: Assigned at commit; ``None`` while running or after abort.
+    commit_id: TransactionId | None = None
+    #: Operation counters (useful for workload accounting and debugging).
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.last_active:
+            self.last_active = self.start_time
+
+    @property
+    def is_running(self) -> bool:
+        return self.status is TransactionStatus.RUNNING
+
+    def touch(self, now: float) -> None:
+        """Record activity for idle-transaction expiry."""
+        self.last_active = now
+
+    def record_read(self, key: str, version: TransactionId) -> None:
+        """Add ``key``'s observed version to the atomic read set."""
+        self.read_set[key] = version
+        self.read_dependencies.add(version)
+        self.null_reads.discard(key)
+        self.reads += 1
+
+    def record_null_read(self, key: str) -> None:
+        """Record a read that found no compatible committed version."""
+        if key not in self.read_set:
+            self.null_reads.add(key)
+        self.reads += 1
+
+    def record_write(self, key: str) -> None:
+        self.writes += 1
+
+    def idle_for(self, now: float) -> float:
+        """Seconds since the transaction last issued an operation."""
+        return max(0.0, now - self.last_active)

@@ -1,0 +1,103 @@
+"""Key version index.
+
+Each AFT node locally maintains an index from every user key to the ids of
+the committed transactions that wrote a version of that key (paper
+Section 3.1).  Algorithm 1 consults this index to enumerate candidate
+versions, and Algorithm 2 consults it to decide supersedence.  The index only
+ever contains *committed* versions — entries are added after the commit
+record is durable, or when a peer's commit is learned via multicast.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.ids import TransactionId
+
+
+class KeyVersionIndex:
+    """Sorted per-key index of committed version ids."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[TransactionId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, key: str, txid: TransactionId) -> None:
+        """Record that committed transaction ``txid`` wrote a version of ``key``."""
+        versions = self._versions.setdefault(key, [])
+        position = bisect.bisect_left(versions, txid)
+        if position < len(versions) and versions[position] == txid:
+            return
+        versions.insert(position, txid)
+
+    def add_record(self, keys: Iterable[str], txid: TransactionId) -> None:
+        """Record a whole write set for ``txid``."""
+        for key in keys:
+            self.add(key, txid)
+
+    def remove(self, key: str, txid: TransactionId) -> None:
+        """Remove one version (garbage collection); missing entries are ignored."""
+        versions = self._versions.get(key)
+        if not versions:
+            return
+        position = bisect.bisect_left(versions, txid)
+        if position < len(versions) and versions[position] == txid:
+            versions.pop(position)
+        if not versions:
+            del self._versions[key]
+
+    def remove_record(self, keys: Iterable[str], txid: TransactionId) -> None:
+        """Remove every version written by ``txid`` for the given keys."""
+        for key in keys:
+            self.remove(key, txid)
+
+    def clear(self) -> None:
+        self._versions.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def latest(self, key: str) -> TransactionId | None:
+        """Most recent committed version id of ``key``, or None if unknown."""
+        versions = self._versions.get(key)
+        if not versions:
+            return None
+        return versions[-1]
+
+    def versions(self, key: str) -> list[TransactionId]:
+        """All known version ids of ``key``, oldest first (copy)."""
+        return list(self._versions.get(key, ()))
+
+    def versions_at_least(self, key: str, lower: TransactionId | None) -> list[TransactionId]:
+        """Version ids of ``key`` that are >= ``lower``, oldest first.
+
+        ``lower`` of ``None`` means no lower bound (the paper's ``lower = 0``).
+        """
+        versions = self._versions.get(key, [])
+        if lower is None:
+            return list(versions)
+        position = bisect.bisect_left(versions, lower)
+        return list(versions[position:])
+
+    def has_version(self, key: str, txid: TransactionId) -> bool:
+        versions = self._versions.get(key, [])
+        position = bisect.bisect_left(versions, txid)
+        return position < len(versions) and versions[position] == txid
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._versions)
+
+    def version_count(self, key: str | None = None) -> int:
+        """Number of indexed versions for ``key`` (or across all keys)."""
+        if key is not None:
+            return len(self._versions.get(key, ()))
+        return sum(len(versions) for versions in self._versions.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._versions
+
+    def __len__(self) -> int:
+        return len(self._versions)

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the AFT reproduction.
+
+All exceptions raised by the library derive from :class:`AftError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish protocol-level conditions (e.g. a read that cannot be
+satisfied atomically) from programming errors (e.g. using an unknown
+transaction id).
+"""
+
+from __future__ import annotations
+
+
+class AftError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class TransactionError(AftError):
+    """Base class for errors tied to a specific transaction."""
+
+    def __init__(self, message: str, txid: object | None = None) -> None:
+        super().__init__(message)
+        self.txid = txid
+
+
+class UnknownTransactionError(TransactionError):
+    """An operation referenced a transaction id the node does not know about."""
+
+
+class TransactionAlreadyCommittedError(TransactionError):
+    """A read/write/commit was attempted on a transaction that already committed."""
+
+
+class TransactionAbortedError(TransactionError):
+    """A read/write/commit was attempted on a transaction that was aborted."""
+
+
+class AtomicReadError(TransactionError):
+    """Algorithm 1 could not find any key version compatible with the read set.
+
+    The paper (Section 3.6) specifies that the client observes a NULL read in
+    this case and is expected to abort and retry the transaction.  The library
+    surfaces the condition either as a ``None`` return value (``Get``) or as
+    this exception when ``strict_reads`` is enabled in :class:`~repro.config.AftConfig`.
+    """
+
+
+class StorageError(AftError):
+    """Base class for storage-engine failures."""
+
+
+class KeyNotFoundError(StorageError):
+    """A storage-level key does not exist."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"storage key not found: {key!r}")
+        self.key = key
+
+
+class BatchTooLargeError(StorageError):
+    """A batched storage request exceeded the engine's batch size limit."""
+
+
+class CrossShardBatchError(StorageError):
+    """A multi-key operation spanned more than one shard of a sharded engine."""
+
+
+class TransactionConflictError(StorageError):
+    """A storage-native transaction (DynamoDB transact mode) aborted on conflict."""
+
+
+class StorageUnavailableError(StorageError):
+    """The storage engine (or a replica/shard) is currently unreachable."""
+
+
+class NodeError(AftError):
+    """Base class for AFT-node lifecycle errors."""
+
+
+class NodeStoppedError(NodeError):
+    """An API call reached a node that has been stopped or has failed."""
+
+
+class ClusterError(AftError):
+    """Base class for cluster-management errors."""
+
+
+class NoAvailableNodeError(ClusterError):
+    """The load balancer found no live node to route a request to."""
+
+
+class FaasError(AftError):
+    """Base class for FaaS platform errors."""
+
+
+class FunctionNotFoundError(FaasError):
+    """An invocation referenced a function name that was never registered."""
+
+
+class FunctionInvocationError(FaasError):
+    """A function raised after exhausting the platform's retry budget."""
+
+    def __init__(self, message: str, attempts: int = 0, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ConcurrencyLimitError(FaasError):
+    """The platform's concurrent-invocation limit was exceeded."""
+
+
+class SimulationError(AftError):
+    """Base class for discrete-event-simulation errors."""
+
+
+class WorkloadError(AftError):
+    """Base class for workload-specification errors."""

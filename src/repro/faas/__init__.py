@@ -1,0 +1,32 @@
+"""A Functions-as-a-Service platform simulator.
+
+AFT interposes between a FaaS platform and storage; the shim makes no
+assumptions about the compute layer beyond the fact that it calls the Table 1
+API (paper Section 3.1).  This package provides the compute substrate the
+paper ran on — AWS Lambda — as an in-process simulator with the properties
+that matter to fault tolerance:
+
+* function registration and invocation with per-invocation overhead,
+* **at-least-once execution**: failed functions are retried automatically,
+* a concurrent-invocation limit (the paper hits Lambda's limit in Figure 8),
+* failure injection used by the fault-tolerance tests and examples, and
+* linear **compositions** of functions that share a single AFT transaction,
+  which is the unit the paper calls a "logical request".
+"""
+
+from repro.faas.function import FunctionContext, FunctionSpec
+from repro.faas.platform import FaaSPlatform, InvocationResult, RetryPolicy
+from repro.faas.composition import Composition, CompositionResult
+from repro.faas.failures import FailureInjector, FailurePlan
+
+__all__ = [
+    "FaaSPlatform",
+    "FunctionSpec",
+    "FunctionContext",
+    "InvocationResult",
+    "RetryPolicy",
+    "Composition",
+    "CompositionResult",
+    "FailureInjector",
+    "FailurePlan",
+]

@@ -1,0 +1,101 @@
+"""Linear compositions of serverless functions.
+
+The paper models each logical request as a *linear composition* of one or more
+functions (Section 2.2): function ``i``'s result is the event of function
+``i+1``, and every function's reads and writes belong to one AFT transaction.
+The composition runner owns that transaction:
+
+* it starts the transaction before the first function,
+* threads the transaction id through every invocation,
+* commits once the last function returns, and
+* on any unrecoverable function failure aborts the transaction and — because
+  AFT guarantees none of the aborted attempt's writes are visible — can safely
+  re-run the whole request from scratch (the paper's retry-from-scratch fault
+  tolerance model, Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.session import TransactionalBackend
+from repro.errors import FunctionInvocationError
+from repro.faas.platform import FaaSPlatform
+from repro.ids import TransactionId
+
+
+@dataclass
+class CompositionResult:
+    """Outcome of one logical request."""
+
+    value: Any
+    txid: str
+    commit_id: TransactionId | None
+    committed: bool
+    function_attempts: list[int] = field(default_factory=list)
+    request_attempts: int = 1
+    simulated_overhead: float = 0.0
+
+
+class Composition:
+    """A named, ordered list of functions executed as one transaction."""
+
+    def __init__(self, platform: FaaSPlatform, functions: list[str], name: str | None = None) -> None:
+        if not functions:
+            raise ValueError("a composition needs at least one function")
+        self.platform = platform
+        self.functions = list(functions)
+        self.name = name if name is not None else "->".join(functions)
+
+    # ------------------------------------------------------------------ #
+    def run(self, event: Any = None, max_request_retries: int = 1) -> CompositionResult:
+        """Execute the composition, committing its transaction at the end.
+
+        ``max_request_retries`` controls whole-request retries: if a function
+        exhausts the platform's per-function retries, the transaction is
+        aborted and the request is re-run from the first function with a fresh
+        transaction, up to this many times.
+        """
+        backend: TransactionalBackend = self.platform.backend
+        last_error: BaseException | None = None
+
+        for request_attempt in range(1, max_request_retries + 1):
+            txid = backend.start_transaction()
+            attempts: list[int] = []
+            overhead = 0.0
+            current_event = event
+            failed = False
+
+            for position, function_name in enumerate(self.functions):
+                result = self.platform.invoke(function_name, current_event, txid=txid, position=position)
+                attempts.append(result.attempts)
+                overhead += result.simulated_overhead
+                if not result.succeeded:
+                    failed = True
+                    last_error = result.error
+                    break
+                current_event = result.value
+
+            if failed:
+                # None of the buffered writes are visible; abort and retry the
+                # whole request.
+                backend.abort_transaction(txid)
+                continue
+
+            commit_id = backend.commit_transaction(txid)
+            return CompositionResult(
+                value=current_event,
+                txid=txid,
+                commit_id=commit_id,
+                committed=True,
+                function_attempts=attempts,
+                request_attempts=request_attempt,
+                simulated_overhead=overhead,
+            )
+
+        raise FunctionInvocationError(
+            f"composition {self.name!r} failed after {max_request_retries} request attempts",
+            attempts=max_request_retries,
+            last_error=last_error,
+        )

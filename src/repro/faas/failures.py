@@ -1,0 +1,125 @@
+"""Failure injection for serverless functions.
+
+The paper's core claim is that retries alone are not fault tolerance: a
+function that dies between two writes exposes a fractional update unless the
+shim makes the request atomic.  To test and demonstrate that, the simulator
+can inject failures at precise points of a function's execution:
+
+* **before** the function body runs (models a crashed container),
+* **after** a chosen number of ``put`` operations (models dying mid-request —
+  the paper's motivating example of writing ``k`` but not ``l``),
+* **after** the body but before the platform records success (models a lost
+  acknowledgement, exercising at-least-once retries of a completed function).
+
+Failure plans are deterministic: they name the invocation attempts that should
+fail, so tests can assert exact behaviour without flakiness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import FaasError
+
+
+class InjectedFailure(FaasError):
+    """Raised by the failure injector to simulate a crashed function."""
+
+
+class FailurePoint(enum.Enum):
+    BEFORE_BODY = "before-body"
+    AFTER_N_PUTS = "after-n-puts"
+    AFTER_BODY = "after-body"
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """When and how a particular function should fail."""
+
+    function_name: str
+    point: FailurePoint
+    #: Attempts (1-based) that should fail.  Attempt numbers beyond the listed
+    #: ones succeed, which is how "fail once then succeed on retry" is expressed.
+    failing_attempts: frozenset[int] = frozenset({1})
+    #: For AFTER_N_PUTS: fail once the function has issued this many puts.
+    after_puts: int = 1
+
+    def should_fail(self, attempt: int) -> bool:
+        return attempt in self.failing_attempts
+
+
+class FailureInjector:
+    """Holds failure plans and evaluates them during invocations."""
+
+    def __init__(self, plans: list[FailurePlan] | None = None) -> None:
+        self._plans: dict[str, list[FailurePlan]] = {}
+        self.injected_failures = 0
+        for plan in plans or []:
+            self.add_plan(plan)
+
+    def add_plan(self, plan: FailurePlan) -> None:
+        self._plans.setdefault(plan.function_name, []).append(plan)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def plans_for(self, function_name: str) -> list[FailurePlan]:
+        return list(self._plans.get(function_name, ()))
+
+    # ------------------------------------------------------------------ #
+    def check_before_body(self, function_name: str, attempt: int) -> None:
+        self._check(function_name, attempt, FailurePoint.BEFORE_BODY)
+
+    def check_after_body(self, function_name: str, attempt: int) -> None:
+        self._check(function_name, attempt, FailurePoint.AFTER_BODY)
+
+    def check_after_put(self, function_name: str, attempt: int, puts_so_far: int) -> None:
+        for plan in self._plans.get(function_name, ()):
+            if (
+                plan.point is FailurePoint.AFTER_N_PUTS
+                and plan.should_fail(attempt)
+                and puts_so_far >= plan.after_puts
+            ):
+                self.injected_failures += 1
+                raise InjectedFailure(
+                    f"{function_name} (attempt {attempt}) crashed after {puts_so_far} puts"
+                )
+
+    def _check(self, function_name: str, attempt: int, point: FailurePoint) -> None:
+        for plan in self._plans.get(function_name, ()):
+            if plan.point is point and plan.should_fail(attempt):
+                self.injected_failures += 1
+                raise InjectedFailure(f"{function_name} (attempt {attempt}) crashed at {point.value}")
+
+
+@dataclass
+class PutCountingBackend:
+    """Wraps a backend to give the injector visibility into put counts.
+
+    The platform wraps the real backend with this class for the duration of
+    one invocation so AFTER_N_PUTS plans can trigger at the right moment.
+    """
+
+    backend: object
+    injector: FailureInjector
+    function_name: str
+    attempt: int
+    puts: int = field(default=0)
+
+    def start_transaction(self, txid: str | None = None) -> str:
+        return self.backend.start_transaction(txid)
+
+    def get(self, txid: str, key: str):
+        return self.backend.get(txid, key)
+
+    def put(self, txid: str, key: str, value) -> None:
+        self.backend.put(txid, key, value)
+        self.puts += 1
+        self.injector.check_after_put(self.function_name, self.attempt, self.puts)
+
+    def commit_transaction(self, txid: str):
+        return self.backend.commit_transaction(txid)
+
+    def abort_transaction(self, txid: str) -> None:
+        self.backend.abort_transaction(txid)

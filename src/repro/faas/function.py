@@ -1,0 +1,80 @@
+"""Function specifications and the per-invocation context.
+
+A serverless function in this simulator is a plain Python callable with the
+signature ``handler(ctx, event) -> result``.  The :class:`FunctionContext`
+passed as ``ctx`` gives the function access to:
+
+* the shared AFT transaction of the enclosing request (``ctx.get`` /
+  ``ctx.put`` are proxied to the shim under the request's transaction id),
+* the transaction id itself, for passing along a composition, and
+* invocation metadata (attempt number, function name), which fault-tolerance
+  aware code — and our failure-injection tests — can inspect.
+
+Functions must not keep machine-local state between invocations; everything
+they need is in the event, the context, or storage — mirroring the statelessness
+requirement of real FaaS platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.session import TransactionalBackend
+
+Handler = Callable[["FunctionContext", Any], Any]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A registered serverless function."""
+
+    name: str
+    handler: Handler
+    #: Simulated per-invocation overhead in seconds (queueing + runtime
+    #: startup); accounted by the cost model, never slept.
+    invoke_overhead: float = 0.015
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("functions must have a non-empty name")
+        if not callable(self.handler):
+            raise TypeError("handler must be callable")
+
+
+@dataclass
+class FunctionContext:
+    """Everything one invocation may touch."""
+
+    function_name: str
+    txid: str
+    backend: TransactionalBackend
+    attempt: int = 1
+    #: Index of this function within its composition (0 for standalone).
+    position: int = 0
+    #: Free-form per-invocation scratch space (never persisted).
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Storage access within the request's transaction
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> bytes | None:
+        """Read ``key`` within the request's transaction."""
+        return self.backend.get(self.txid, key)
+
+    def put(self, key: str, value: bytes | str) -> None:
+        """Write ``key`` within the request's transaction."""
+        self.backend.put(self.txid, key, value)
+
+    def get_str(self, key: str, default: str | None = None) -> str | None:
+        """Convenience: read and decode a UTF-8 value."""
+        value = self.get(key)
+        if value is None:
+            return default
+        return value.decode("utf-8")
+
+    @property
+    def is_retry(self) -> bool:
+        """True when this invocation is a platform retry of a failed attempt."""
+        return self.attempt > 1

@@ -1,0 +1,218 @@
+"""The FaaS platform simulator.
+
+Models the compute-layer behaviours AFT relies on and tolerates:
+
+* **Registration & invocation**: users register named functions and invoke
+  them with an event payload; the platform constructs the per-invocation
+  :class:`~repro.faas.function.FunctionContext` bound to the request's AFT
+  transaction.
+* **At-least-once retries**: if an invocation raises, the platform retries it
+  up to the policy's limit, passing a fresh context with an incremented
+  attempt counter — exactly the retry-based fault tolerance of AWS Lambda that
+  the paper builds on (Section 1).
+* **Concurrency limit**: the platform refuses invocations beyond the account's
+  concurrent-execution limit (the paper saturates this limit in Figure 8).
+* **Failure injection** via :class:`~repro.faas.failures.FailureInjector`.
+
+Invocation overhead is *accounted* (returned in the result) rather than slept,
+so tests stay fast and the discrete-event simulator can charge it to virtual
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.session import TransactionalBackend
+from repro.errors import ConcurrencyLimitError, FunctionInvocationError, FunctionNotFoundError
+from repro.faas.failures import FailureInjector, PutCountingBackend
+from repro.faas.function import FunctionContext, FunctionSpec, Handler
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the platform retries failed invocations."""
+
+    max_attempts: int = 3
+    #: Simulated delay between attempts (accounted, not slept).
+    retry_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one (possibly retried) invocation."""
+
+    function_name: str
+    value: Any
+    attempts: int
+    succeeded: bool
+    #: Simulated time consumed by platform overheads (cold start, retries).
+    simulated_overhead: float
+    error: BaseException | None = None
+
+
+@dataclass
+class PlatformStats:
+    invocations: int = 0
+    attempts: int = 0
+    failures: int = 0
+    retries: int = 0
+    exhausted_retries: int = 0
+    rejected_concurrency: int = 0
+
+
+class FaaSPlatform:
+    """An in-process stand-in for a Functions-as-a-Service provider."""
+
+    def __init__(
+        self,
+        backend: TransactionalBackend,
+        retry_policy: RetryPolicy | None = None,
+        concurrency_limit: int | None = None,
+        failure_injector: FailureInjector | None = None,
+    ) -> None:
+        self.backend = backend
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.concurrency_limit = concurrency_limit
+        self.failure_injector = failure_injector if failure_injector is not None else FailureInjector()
+        self.stats = PlatformStats()
+        self._functions: dict[str, FunctionSpec] = {}
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, handler: Handler, invoke_overhead: float = 0.015) -> FunctionSpec:
+        """Register (or replace) a function under ``name``."""
+        spec = FunctionSpec(name=name, handler=handler, invoke_overhead=invoke_overhead)
+        self._functions[name] = spec
+        return spec
+
+    def register_spec(self, spec: FunctionSpec) -> None:
+        self._functions[spec.name] = spec
+
+    def function(self, name: str, invoke_overhead: float = 0.015):
+        """Decorator form of :meth:`register`."""
+
+        def decorator(handler: Handler) -> Handler:
+            self.register(name, handler, invoke_overhead)
+            return handler
+
+        return decorator
+
+    def get_function(self, name: str) -> FunctionSpec:
+        spec = self._functions.get(name)
+        if spec is None:
+            raise FunctionNotFoundError(f"no function registered under {name!r}")
+        return spec
+
+    def functions(self) -> list[str]:
+        return sorted(self._functions)
+
+    # ------------------------------------------------------------------ #
+    # Invocation
+    # ------------------------------------------------------------------ #
+    def invoke(
+        self,
+        name: str,
+        event: Any = None,
+        txid: str | None = None,
+        position: int = 0,
+    ) -> InvocationResult:
+        """Invoke ``name`` with at-least-once retry semantics.
+
+        If ``txid`` is None a fresh transaction is started for the invocation;
+        compositions pass the shared transaction id explicitly.
+        """
+        spec = self.get_function(name)
+        self._acquire_slot()
+        try:
+            if txid is None:
+                txid = self.backend.start_transaction()
+            return self._invoke_with_retries(spec, event, txid, position)
+        finally:
+            self._release_slot()
+
+    def _acquire_slot(self) -> None:
+        with self._lock:
+            if self.concurrency_limit is not None and self._in_flight >= self.concurrency_limit:
+                self.stats.rejected_concurrency += 1
+                raise ConcurrencyLimitError(
+                    f"concurrent invocation limit of {self.concurrency_limit} reached"
+                )
+            self._in_flight += 1
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def _invoke_with_retries(
+        self, spec: FunctionSpec, event: Any, txid: str, position: int
+    ) -> InvocationResult:
+        self.stats.invocations += 1
+        overhead = 0.0
+        last_error: BaseException | None = None
+
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            self.stats.attempts += 1
+            overhead += spec.invoke_overhead
+            if attempt > 1:
+                self.stats.retries += 1
+                overhead += self.retry_policy.retry_delay
+
+            counting_backend = PutCountingBackend(
+                backend=self.backend,
+                injector=self.failure_injector,
+                function_name=spec.name,
+                attempt=attempt,
+            )
+            context = FunctionContext(
+                function_name=spec.name,
+                txid=txid,
+                backend=counting_backend,
+                attempt=attempt,
+                position=position,
+            )
+            try:
+                self.failure_injector.check_before_body(spec.name, attempt)
+                value = spec.handler(context, event)
+                self.failure_injector.check_after_body(spec.name, attempt)
+                return InvocationResult(
+                    function_name=spec.name,
+                    value=value,
+                    attempts=attempt,
+                    succeeded=True,
+                    simulated_overhead=overhead,
+                )
+            except Exception as error:  # at-least-once: retry on any failure
+                self.stats.failures += 1
+                last_error = error
+
+        self.stats.exhausted_retries += 1
+        result = InvocationResult(
+            function_name=spec.name,
+            value=None,
+            attempts=self.retry_policy.max_attempts,
+            succeeded=False,
+            simulated_overhead=overhead,
+            error=last_error,
+        )
+        return result
+
+    def invoke_or_raise(self, name: str, event: Any = None, txid: str | None = None) -> Any:
+        """Invoke and raise :class:`FunctionInvocationError` if retries are exhausted."""
+        result = self.invoke(name, event, txid)
+        if not result.succeeded:
+            raise FunctionInvocationError(
+                f"function {name!r} failed after {result.attempts} attempts",
+                attempts=result.attempts,
+                last_error=result.error,
+            )
+        return result.value

@@ -1,0 +1,38 @@
+"""Experiment harness.
+
+One module per concern:
+
+* :mod:`repro.harness.paper_data` — the numbers the paper reports for every
+  figure and table, kept next to our measurements so reports can show
+  paper-vs-measured side by side.
+* :mod:`repro.harness.experiments` — a function per figure/table that builds
+  the deployment specs, runs them, and returns structured rows.
+* :mod:`repro.harness.report` — plain-text table formatting shared by the
+  benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    run_caching_skew_experiment,
+    run_distributed_scalability_experiment,
+    run_end_to_end_experiment,
+    run_fault_tolerance_experiment,
+    run_gc_overhead_experiment,
+    run_io_latency_experiment,
+    run_read_write_ratio_experiment,
+    run_single_node_scalability_experiment,
+    run_transaction_length_experiment,
+)
+from repro.harness.report import format_table
+
+__all__ = [
+    "run_io_latency_experiment",
+    "run_end_to_end_experiment",
+    "run_caching_skew_experiment",
+    "run_read_write_ratio_experiment",
+    "run_transaction_length_experiment",
+    "run_single_node_scalability_experiment",
+    "run_distributed_scalability_experiment",
+    "run_gc_overhead_experiment",
+    "run_fault_tolerance_experiment",
+    "format_table",
+]

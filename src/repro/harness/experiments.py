@@ -1,0 +1,556 @@
+"""One function per figure/table of the paper's evaluation.
+
+Every function builds the relevant deployment specifications, runs them
+through the simulator (or, for the Figure 2 microbenchmark, directly against a
+storage engine), and returns structured rows that include the paper's reported
+numbers alongside ours.  The benchmarks under ``benchmarks/`` are thin
+wrappers that call these functions and print the rows.
+
+Scale parameters (clients, requests per client, key-population size) default
+to values that keep a full run to seconds on a laptop; EXPERIMENTS.md records
+results from larger runs.  The *shape* of each result — who wins, by what
+factor, where the knees are — is unaffected by the scale-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.clock import LogicalClock
+from repro.config import AftConfig
+from repro.core.node import AftNode
+from repro.harness import paper_data
+from repro.simulation.cluster_sim import DeploymentSpec, FailureScript, run_deployment
+from repro.simulation.cost_model import DeploymentCostModel, vm_client_cost_model
+from repro.simulation.metrics import LatencyCollector
+from repro.storage.base import CostLedger
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.latency import dynamodb_vm_latency_profile
+from repro.workloads.spec import TransactionSpec, WorkloadSpec
+
+
+def _anomaly_workload(num_keys: int = 1000, zipf: float = 1.0) -> WorkloadSpec:
+    """The paper's canonical 2-function, 6-IO workload with replacement draws."""
+    return WorkloadSpec(
+        transaction=TransactionSpec.paper_default(),
+        num_keys=num_keys,
+        zipf_theta=zipf,
+        distinct_keys_per_transaction=False,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 — IO latency from a VM client
+# --------------------------------------------------------------------------- #
+def run_io_latency_experiment(
+    num_requests: int = 500,
+    write_counts: Sequence[int] = (1, 5, 10),
+    value_size: int = 4096,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 2: 1/5/10 writes, DynamoDB vs AFT, sequential vs batch."""
+    cost_model = vm_client_cost_model()
+    rows: list[dict] = []
+
+    for n_writes in write_counts:
+        collectors = {
+            "dynamodb_sequential": LatencyCollector(),
+            "dynamodb_batch": LatencyCollector(),
+            "aft_sequential": LatencyCollector(),
+            "aft_batch": LatencyCollector(),
+        }
+
+        clock = LogicalClock(auto_step=1e-6)
+        dynamo = SimulatedDynamoDB(latency_model=dynamodb_vm_latency_profile(seed), clock=clock)
+        aft_storage = SimulatedDynamoDB(latency_model=dynamodb_vm_latency_profile(seed + 1), clock=clock)
+        node = AftNode(aft_storage, config=AftConfig(enable_data_cache=False), clock=clock)
+        node.start()
+
+        payload = b"x" * value_size
+        for request in range(num_requests):
+            keys = [f"fig2-{request}-{i}" for i in range(n_writes)]
+
+            # Direct DynamoDB, sequential writes.
+            ledger = CostLedger()
+            with dynamo.metered(ledger):
+                for key in keys:
+                    dynamo.put(key, payload)
+            collectors["dynamodb_sequential"].record(ledger.sequential_latency)
+
+            # Direct DynamoDB, one batched write.
+            ledger = CostLedger()
+            with dynamo.metered(ledger):
+                dynamo.multi_put({key: payload for key in keys})
+            collectors["dynamodb_batch"].record(ledger.sequential_latency)
+
+            # AFT, client sends writes one at a time (one shim RTT each).
+            ledger = CostLedger()
+            txid = node.start_transaction()
+            for key in keys:
+                node.put(txid, key, payload)
+            with aft_storage.metered(ledger):
+                node.commit_transaction(txid)
+            latency = (
+                n_writes * cost_model.shim_rtt
+                + (n_writes + 1) * cost_model.shim_cpu_per_op
+                + cost_model.shim_rtt
+                + ledger.sequential_latency
+            )
+            collectors["aft_sequential"].record(latency)
+
+            # AFT, client ships all writes in one request.
+            ledger = CostLedger()
+            txid = node.start_transaction()
+            for key in keys:
+                node.put(txid, key, payload)
+            with aft_storage.metered(ledger):
+                node.commit_transaction(txid)
+            latency = (
+                cost_model.shim_rtt
+                + (n_writes + 1) * cost_model.shim_cpu_per_op
+                + cost_model.shim_rtt
+                + ledger.sequential_latency
+            )
+            collectors["aft_batch"].record(latency)
+            node.forget_finished_transactions()
+
+        for config, collector in collectors.items():
+            summary = collector.summary()
+            paper_median, paper_p99 = paper_data.FIGURE2_IO_LATENCY[(config, n_writes)]
+            rows.append(
+                {
+                    "configuration": config,
+                    "writes": n_writes,
+                    "median_ms": summary.median_ms,
+                    "p99_ms": summary.p99_ms,
+                    "paper_median_ms": paper_median,
+                    "paper_p99_ms": paper_p99,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 + Table 2 — end-to-end latency and anomalies
+# --------------------------------------------------------------------------- #
+@dataclass
+class EndToEndResults:
+    latency_rows: list[dict] = field(default_factory=list)
+    anomaly_rows: list[dict] = field(default_factory=list)
+
+
+def run_end_to_end_experiment(
+    num_clients: int = 10,
+    requests_per_client: int = 100,
+    backends: Sequence[str] = ("s3", "dynamodb", "redis"),
+    seed: int = 0,
+) -> EndToEndResults:
+    """Reproduce Figure 3 (latency) and Table 2 (anomaly counts)."""
+    workload = _anomaly_workload()
+    results = EndToEndResults()
+
+    configurations: list[tuple[str, str, str]] = []
+    for backend in backends:
+        configurations.append((backend, "plain", f"{backend}/plain"))
+        if backend in ("dynamodb", "dynamo"):
+            configurations.append((backend, "dynamo_txn", "dynamodb/transactional"))
+        configurations.append((backend, "aft", f"{backend}/aft"))
+
+    table2_key = {
+        ("s3", "plain"): "s3",
+        ("dynamodb", "plain"): "dynamodb",
+        ("dynamodb", "dynamo_txn"): "dynamodb_txn",
+        ("redis", "plain"): "redis",
+    }
+
+    for backend, mode, label in configurations:
+        spec = DeploymentSpec(
+            mode=mode,
+            backend=backend,
+            workload=workload,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            # Figure 3 measures the base shim; the read cache is evaluated
+            # separately in Figure 4.
+            enable_data_cache=False,
+            seed=seed,
+        )
+        result = run_deployment(spec)
+        summary = result.latency
+        paper_key = (backend, "aft" if mode == "aft" else ("transactional" if mode == "dynamo_txn" else "plain"))
+        paper_median, paper_p99 = paper_data.FIGURE3_END_TO_END.get(paper_key, (None, None))
+        results.latency_rows.append(
+            {
+                "configuration": label,
+                "median_ms": summary.median_ms,
+                "p99_ms": summary.p99_ms,
+                "paper_median_ms": paper_median,
+                "paper_p99_ms": paper_p99,
+                "throughput_tps": result.throughput,
+            }
+        )
+
+        counts = result.anomaly_counts
+        if mode == "aft":
+            paper_ryw, paper_fr = paper_data.TABLE2_ANOMALIES["aft"]
+            system = f"aft ({backend})"
+        else:
+            key = table2_key.get((backend, mode))
+            paper_ryw, paper_fr = paper_data.TABLE2_ANOMALIES.get(key, (None, None))
+            system = label
+        scale = paper_data.TABLE2_TRANSACTIONS / max(1, counts.committed_transactions)
+        results.anomaly_rows.append(
+            {
+                "system": system,
+                "transactions": counts.committed_transactions,
+                "ryw_anomalies": counts.ryw_anomalies,
+                "fr_anomalies": counts.fractured_read_anomalies,
+                "ryw_rate_pct": 100.0 * counts.ryw_rate,
+                "fr_rate_pct": 100.0 * counts.fractured_read_rate,
+                "ryw_scaled_to_10k": round(counts.ryw_anomalies * scale),
+                "fr_scaled_to_10k": round(counts.fractured_read_anomalies * scale),
+                "paper_ryw_per_10k": paper_ryw,
+                "paper_fr_per_10k": paper_fr,
+            }
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — read caching and data skew
+# --------------------------------------------------------------------------- #
+def run_caching_skew_experiment(
+    zipf_coefficients: Sequence[float] = (1.0, 1.5, 2.0),
+    num_keys: int = 20_000,
+    num_clients: int = 10,
+    requests_per_client: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 4: latency vs skew, with and without the data cache.
+
+    The paper uses a 100,000-key dataset; the default here is scaled to 20,000
+    keys to keep preloading fast — the cache-hit-rate trend across skews is
+    preserved.
+    """
+    rows: list[dict] = []
+    configurations = [
+        ("dynamodb_txn", "dynamo_txn", "dynamodb", True),
+        ("aft_dynamo_nocache", "aft", "dynamodb", False),
+        ("aft_dynamo_cache", "aft", "dynamodb", True),
+        ("aft_redis_nocache", "aft", "redis", False),
+        ("aft_redis_cache", "aft", "redis", True),
+    ]
+    # The paper's dataset (100k keys x 4 KB) exceeds a node's cache, so hit
+    # rates depend on skew.  With the scaled-down population we scale the cache
+    # capacity down as well to preserve that relationship.
+    cache_capacity = max(1, num_keys // 8) * 5 * 1024
+    for zipf in zipf_coefficients:
+        workload = _anomaly_workload(num_keys=num_keys, zipf=zipf)
+        for label, mode, backend, caching in configurations:
+            spec = DeploymentSpec(
+                mode=mode,
+                backend=backend,
+                workload=workload,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                enable_data_cache=caching,
+                data_cache_capacity_bytes=cache_capacity,
+                seed=seed,
+            )
+            result = run_deployment(spec)
+            summary = result.latency
+            paper_median, paper_p99 = paper_data.FIGURE4_CACHING_SKEW.get((label, zipf), (None, None))
+            rows.append(
+                {
+                    "configuration": label,
+                    "zipf": zipf,
+                    "median_ms": summary.median_ms,
+                    "p99_ms": summary.p99_ms,
+                    "paper_median_ms": paper_median,
+                    "paper_p99_ms": paper_p99,
+                    "cache_hit_rate": result.data_cache_hit_rate,
+                    "conflict_retries": result.conflict_retries,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — read-write ratio
+# --------------------------------------------------------------------------- #
+def run_read_write_ratio_experiment(
+    read_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    backends: Sequence[str] = ("dynamodb", "redis"),
+    num_clients: int = 10,
+    requests_per_client: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 5: 10-IO transactions with varying read fraction."""
+    rows: list[dict] = []
+    for backend in backends:
+        for fraction in read_fractions:
+            transaction = TransactionSpec(
+                num_functions=2,
+                value_size_bytes=4096,
+                total_ios=10,
+                read_fraction=fraction,
+            )
+            workload = WorkloadSpec(
+                transaction=transaction,
+                num_keys=1000,
+                zipf_theta=1.0,
+                distinct_keys_per_transaction=False,
+            )
+            spec = DeploymentSpec(
+                mode="aft",
+                backend=backend,
+                workload=workload,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            result = run_deployment(spec)
+            summary = result.latency
+            paper_median, paper_p99 = paper_data.FIGURE5_READ_WRITE_RATIO.get((backend, fraction), (None, None))
+            rows.append(
+                {
+                    "backend": backend,
+                    "read_fraction": fraction,
+                    "median_ms": summary.median_ms,
+                    "p99_ms": summary.p99_ms,
+                    "paper_median_ms": paper_median,
+                    "paper_p99_ms": paper_p99,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — transaction length
+# --------------------------------------------------------------------------- #
+def run_transaction_length_experiment(
+    lengths: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    backends: Sequence[str] = ("dynamodb", "redis"),
+    num_clients: int = 10,
+    requests_per_client: int = 60,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 6: latency vs number of functions (3 IOs per function)."""
+    rows: list[dict] = []
+    for backend in backends:
+        for length in lengths:
+            transaction = TransactionSpec(
+                num_functions=length,
+                reads_per_function=2,
+                writes_per_function=1,
+                value_size_bytes=4096,
+            )
+            workload = WorkloadSpec(
+                transaction=transaction,
+                num_keys=1000,
+                zipf_theta=1.0,
+                distinct_keys_per_transaction=False,
+            )
+            spec = DeploymentSpec(
+                mode="aft",
+                backend=backend,
+                workload=workload,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            result = run_deployment(spec)
+            summary = result.latency
+            paper_median, paper_p99 = paper_data.FIGURE6_TXN_LENGTH.get((backend, length), (None, None))
+            rows.append(
+                {
+                    "backend": backend,
+                    "functions": length,
+                    "median_ms": summary.median_ms,
+                    "p99_ms": summary.p99_ms,
+                    "paper_median_ms": paper_median,
+                    "paper_p99_ms": paper_p99,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7 — single-node scalability
+# --------------------------------------------------------------------------- #
+def run_single_node_scalability_experiment(
+    client_counts: Sequence[int] = (1, 5, 10, 20, 30, 40, 45, 50),
+    backends: Sequence[str] = ("dynamodb", "redis"),
+    requests_per_client: int = 60,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 7: one node, growing client count, Zipf 1.5."""
+    rows: list[dict] = []
+    for backend in backends:
+        for clients in client_counts:
+            workload = _anomaly_workload(num_keys=1000, zipf=1.5)
+            spec = DeploymentSpec(
+                mode="aft",
+                backend=backend,
+                workload=workload,
+                num_nodes=1,
+                num_clients=clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            result = run_deployment(spec)
+            paper_tput = paper_data.FIGURE7_SINGLE_NODE.get(backend, {}).get(clients)
+            rows.append(
+                {
+                    "backend": backend,
+                    "clients": clients,
+                    "throughput_tps": result.throughput,
+                    "median_ms": result.latency.median_ms,
+                    "paper_throughput_tps": paper_tput,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8 — distributed scalability
+# --------------------------------------------------------------------------- #
+def run_distributed_scalability_experiment(
+    node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    clients_per_node: int = 40,
+    backends: Sequence[str] = ("dynamodb", "redis"),
+    requests_per_client: int = 40,
+    seed: int = 0,
+) -> list[dict]:
+    """Reproduce Figure 8: clusters of 1-16 nodes at 40 clients per node."""
+    rows: list[dict] = []
+    for backend in backends:
+        single_node_tput: float | None = None
+        for nodes in node_counts:
+            workload = _anomaly_workload(num_keys=1000, zipf=1.5)
+            spec = DeploymentSpec(
+                mode="aft",
+                backend=backend,
+                workload=workload,
+                num_nodes=nodes,
+                num_clients=nodes * clients_per_node,
+                requests_per_client=requests_per_client,
+                # DynamoDB's provisioned capacity caps the biggest cluster
+                # (the paper could not scale past ~8,000 txn/s); Redis runs
+                # into the Lambda concurrent-invocation limit instead.
+                storage_concurrency_limit=90 if backend == "dynamodb" else None,
+                seed=seed,
+            )
+            result = run_deployment(spec)
+            if single_node_tput is None:
+                single_node_tput = result.throughput
+            ideal = single_node_tput * nodes
+            paper_tput = paper_data.FIGURE8_DISTRIBUTED.get(backend, {}).get(nodes * clients_per_node)
+            rows.append(
+                {
+                    "backend": backend,
+                    "nodes": nodes,
+                    "clients": nodes * clients_per_node,
+                    "throughput_tps": result.throughput,
+                    "ideal_tps": ideal,
+                    "fraction_of_ideal": result.throughput / ideal if ideal else 1.0,
+                    "paper_throughput_tps": paper_tput,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — garbage collection overhead
+# --------------------------------------------------------------------------- #
+def run_gc_overhead_experiment(
+    duration: float = 80.0,
+    num_clients: int = 40,
+    seed: int = 0,
+) -> dict:
+    """Reproduce Figure 9: throughput with GC on/off plus deletion rate."""
+    workload = _anomaly_workload(num_keys=1000, zipf=1.5)
+    results = {}
+    for label, enable_gc in (("gc_enabled", True), ("gc_disabled", False)):
+        spec = DeploymentSpec(
+            mode="aft",
+            backend="dynamodb",
+            workload=workload,
+            num_nodes=1,
+            num_clients=num_clients,
+            requests_per_client=None,
+            duration=duration,
+            enable_gc=enable_gc,
+            seed=seed,
+        )
+        results[label] = run_deployment(spec)
+
+    with_gc = results["gc_enabled"]
+    without_gc = results["gc_disabled"]
+    total_deleted = sum(count for _, count in with_gc.gc_deletions)
+    return {
+        "throughput_with_gc": with_gc.throughput,
+        "throughput_without_gc": without_gc.throughput,
+        "throughput_ratio": with_gc.throughput / without_gc.throughput if without_gc.throughput else 0.0,
+        "transactions_deleted": total_deleted,
+        "transactions_committed_with_gc": with_gc.client_result.stats.requests_completed,
+        "deletions_per_second": total_deleted / duration,
+        "storage_keys_with_gc": with_gc.storage_keys_at_end,
+        "storage_keys_without_gc": without_gc.storage_keys_at_end,
+        "throughput_series_with_gc": with_gc.throughput_series(),
+        "throughput_series_without_gc": without_gc.throughput_series(),
+        "gc_deletions": with_gc.gc_deletions,
+        "paper": paper_data.FIGURE9_GC,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — fault tolerance
+# --------------------------------------------------------------------------- #
+def run_fault_tolerance_experiment(
+    duration: float = 90.0,
+    num_nodes: int = 4,
+    num_clients: int = 200,
+    fail_at: float = 10.0,
+    detection_delay: float = 5.0,
+    replacement_delay: float = 45.0,
+    seed: int = 0,
+) -> dict:
+    """Reproduce Figure 10: kill one of four nodes and watch recovery."""
+    workload = _anomaly_workload(num_keys=1000, zipf=1.0)
+    spec = DeploymentSpec(
+        mode="aft",
+        backend="dynamodb",
+        workload=workload,
+        num_nodes=num_nodes,
+        num_clients=num_clients,
+        requests_per_client=None,
+        duration=duration,
+        failure_script=FailureScript(
+            fail_node_index=0,
+            fail_at=fail_at,
+            detection_delay=detection_delay,
+            replacement_delay=replacement_delay,
+        ),
+        seed=seed,
+    )
+    result = run_deployment(spec)
+    series = result.throughput_series()
+    rejoin_time = fail_at + detection_delay + replacement_delay
+
+    pre_failure = result.client_result.throughput.throughput_between(2.0, fail_at)
+    degraded = result.client_result.throughput.throughput_between(fail_at + 2.0, rejoin_time)
+    recovered = result.client_result.throughput.throughput_between(rejoin_time + 5.0, duration)
+
+    return {
+        "throughput_series": series,
+        "pre_failure_tps": pre_failure,
+        "degraded_tps": degraded,
+        "recovered_tps": recovered,
+        "drop_fraction": 1.0 - (degraded / pre_failure) if pre_failure else 0.0,
+        "recovered_fraction": recovered / pre_failure if pre_failure else 0.0,
+        "fail_at": fail_at,
+        "rejoin_at": rejoin_time,
+        "paper": paper_data.FIGURE10_FAULT_TOLERANCE,
+    }

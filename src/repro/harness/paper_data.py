@@ -1,0 +1,155 @@
+"""Numbers reported by the paper, figure by figure.
+
+These constants exist so that every benchmark can print "paper vs. measured"
+side by side and so EXPERIMENTS.md can be regenerated mechanically.  Values
+were transcribed from the figures and tables of the arXiv version
+(arXiv:2003.06007); latencies are in milliseconds, throughput in transactions
+per second.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------- #
+# Figure 2 — IO latency for 1, 5, 10 writes (median ms, p99 ms)
+# --------------------------------------------------------------------------- #
+FIGURE2_IO_LATENCY = {
+    # (configuration, number of writes): (median_ms, p99_ms)
+    ("aft_sequential", 1): (10.2, 17.6),
+    ("aft_sequential", 5): (13.4, 28.6),
+    ("aft_sequential", 10): (17.2, 35.6),
+    ("aft_batch", 1): (9.9, 12.3),
+    ("aft_batch", 5): (10.9, 18.3),
+    ("aft_batch", 10): (15.3, 25.5),
+    ("dynamodb_sequential", 1): (3.03, 5.45),
+    ("dynamodb_sequential", 5): (14.9, 580.0),
+    ("dynamodb_sequential", 10): (28.6, 696.0),
+    ("dynamodb_batch", 1): (3.08, 7.49),
+    ("dynamodb_batch", 5): (4.65, 11.7),
+    ("dynamodb_batch", 10): (6.82, 15.2),
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 3 — end-to-end latency (median ms, p99 ms), 2-function 6-IO txns
+# --------------------------------------------------------------------------- #
+FIGURE3_END_TO_END = {
+    ("s3", "plain"): (199.0, 649.0),
+    ("s3", "aft"): (245.0, 742.0),
+    ("dynamodb", "plain"): (69.1, 351.0),
+    ("dynamodb", "transactional"): (81.1, 351.0),
+    ("dynamodb", "aft"): (68.8, 137.0),
+    ("redis", "plain"): (33.6, 72.5),
+    ("redis", "aft"): (39.8, 87.8),
+}
+
+# --------------------------------------------------------------------------- #
+# Table 2 — anomalies over 10,000 transactions
+# --------------------------------------------------------------------------- #
+TABLE2_ANOMALIES = {
+    # system: (ryw_anomalies, fractured_read_anomalies)
+    "aft": (0, 0),
+    "s3": (595, 836),
+    "dynamodb": (537, 779),
+    "dynamodb_txn": (0, 115),
+    "redis": (215, 383),
+}
+TABLE2_TRANSACTIONS = 10_000
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — latency vs skew with/without caching (median ms)
+# --------------------------------------------------------------------------- #
+FIGURE4_CACHING_SKEW = {
+    # (configuration, zipf): median_ms
+    ("dynamodb_txn", 1.0): (78.1, 158.0),
+    ("dynamodb_txn", 1.5): (98.7, 723.0),
+    ("dynamodb_txn", 2.0): (116.0, 1140.0),
+    ("aft_dynamo_nocache", 1.0): (69.9, 147.0),
+    ("aft_dynamo_nocache", 1.5): (68.6, 145.0),
+    ("aft_dynamo_nocache", 2.0): (67.6, 149.0),
+    ("aft_dynamo_cache", 1.0): (63.6, 139.0),
+    ("aft_dynamo_cache", 1.5): (60.3, 132.0),
+    ("aft_dynamo_cache", 2.0): (57.8, 132.0),
+    ("aft_redis_nocache", 1.0): (44.9, 99.5),
+    ("aft_redis_nocache", 1.5): (45.0, 98.5),
+    ("aft_redis_nocache", 2.0): (45.7, 99.9),
+    ("aft_redis_cache", 1.0): (42.7, 92.0),
+    ("aft_redis_cache", 1.5): (42.7, 97.5),
+    ("aft_redis_cache", 2.0): (44.4, 92.5),
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — latency vs read fraction for 10-IO transactions (median, p99 ms)
+# --------------------------------------------------------------------------- #
+FIGURE5_READ_WRITE_RATIO = {
+    ("dynamodb", 0.0): (56.5, 130.0),
+    ("dynamodb", 0.2): (58.1, 135.0),
+    ("dynamodb", 0.4): (59.3, 122.0),
+    ("dynamodb", 0.6): (60.8, 123.0),
+    ("dynamodb", 0.8): (61.0, 123.0),
+    ("dynamodb", 1.0): (58.1, 124.0),
+    ("redis", 0.0): (40.4, 94.3),
+    ("redis", 0.2): (42.6, 100.0),
+    ("redis", 0.4): (42.2, 100.0),
+    ("redis", 0.6): (42.1, 94.2),
+    ("redis", 0.8): (43.1, 96.7),
+    ("redis", 1.0): (42.2, 94.1),
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — latency vs transaction length in functions (median, p99 ms)
+# --------------------------------------------------------------------------- #
+FIGURE6_TXN_LENGTH = {
+    ("dynamodb", 1): (43.0, 101.0),
+    ("dynamodb", 2): (70.3, 141.0),
+    ("dynamodb", 4): (123.0, 216.0),
+    ("dynamodb", 6): (175.0, 280.0),
+    ("dynamodb", 8): (221.0, 334.0),
+    ("dynamodb", 10): (270.0, 403.0),
+    ("redis", 1): (27.0, 69.6),
+    ("redis", 2): (49.8, 115.0),
+    ("redis", 4): (96.6, 176.0),
+    ("redis", 6): (144.0, 238.0),
+    ("redis", 8): (191.0, 291.0),
+    ("redis", 10): (239.0, 352.0),
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 7 — single-node throughput (txn/s) vs number of clients
+# --------------------------------------------------------------------------- #
+FIGURE7_SINGLE_NODE = {
+    # backend: {clients: throughput}
+    "dynamodb": {1: 15, 5: 75, 10: 150, 20: 300, 30: 440, 40: 570, 45: 590, 50: 600},
+    "redis": {1: 22, 5: 110, 10: 220, 20: 440, 30: 650, 40: 850, 45: 900, 50: 900},
+}
+FIGURE7_PLATEAU = {"dynamodb": 600.0, "redis": 900.0}
+FIGURE7_LINEAR_UNTIL = {"dynamodb": 40, "redis": 45}
+
+# --------------------------------------------------------------------------- #
+# Figure 8 — distributed throughput (txn/s) at 40 clients per node
+# --------------------------------------------------------------------------- #
+FIGURE8_DISTRIBUTED = {
+    "dynamodb": {40: 570, 160: 2200, 320: 4300, 480: 6300, 640: 8000},
+    "redis": {40: 850, 160: 3300, 320: 6500, 480: 9600, 640: 12500},
+}
+FIGURE8_IDEAL_FRACTION = 0.90  # the paper reports scaling within 90% of ideal
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — GC overhead (single node, 40 clients, Zipf 1.5)
+# --------------------------------------------------------------------------- #
+FIGURE9_GC = {
+    "throughput_with_gc": 570.0,
+    "throughput_without_gc": 570.0,
+    # Deletion keeps pace with the commit rate under a contended workload.
+    "deletions_match_commit_rate": True,
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — fault tolerance timeline (4 nodes, 200 clients)
+# --------------------------------------------------------------------------- #
+FIGURE10_FAULT_TOLERANCE = {
+    "pre_failure_throughput": 2500.0,
+    "failure_time": 10.0,
+    "immediate_drop_fraction": 0.16,
+    "detection_seconds": 5.0,
+    "rejoin_time": 60.0,
+    "recovered_within_seconds": 10.0,
+}

@@ -1,0 +1,44 @@
+"""Plain-text reporting helpers shared by the benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Render rows as a fixed-width text table (also valid Markdown)."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def format_rows(rows: Iterable[Mapping[str, object]], columns: Sequence[str], title: str | None = None) -> str:
+    """Render dict rows, selecting and ordering ``columns``."""
+    table_rows = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(columns, table_rows, title=title)
+
+
+def ratio(measured: float, reference: float) -> float:
+    """measured / reference, guarding against a zero reference."""
+    if reference == 0:
+        return float("inf") if measured else 1.0
+    return measured / reference

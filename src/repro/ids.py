@@ -1,0 +1,155 @@
+"""Transaction identifiers and storage-key naming.
+
+The paper assigns every transaction a ``(timestamp, uuid)`` pair (Section 3.1).
+The timestamp comes from the committing node's local clock and is *not*
+assumed to be globally synchronised; uniqueness is guaranteed by the uuid and
+ordering ties are broken by comparing uuids lexicographically.
+
+Key versions are never overwritten in place: each version of a user key is
+stored under a distinct storage key derived from the writing transaction's id
+(Section 3.3).  :func:`data_key` and :func:`parse_data_key` define that
+mapping, and :func:`commit_record_key` defines where commit records live in
+the Transaction Commit Set.
+"""
+
+from __future__ import annotations
+
+import uuid as _uuid
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator
+
+#: Prefix of every storage key that holds transaction data (a key version).
+DATA_PREFIX = "aft.data"
+#: Prefix of every storage key that holds a commit record.
+COMMIT_PREFIX = "aft.commit"
+#: Separator used inside composed storage keys.  User keys may not contain it.
+KEY_SEPARATOR = "/"
+
+
+@total_ordering
+@dataclass(frozen=True)
+class TransactionId:
+    """Globally unique transaction identifier.
+
+    Ordering follows the paper: compare commit timestamps first and break ties
+    with the lexicographic order of the uuids.  A :class:`TransactionId` is
+    hashable and therefore usable as a dictionary key throughout the library.
+    """
+
+    timestamp: float
+    uuid: str
+
+    def __lt__(self, other: "TransactionId") -> bool:
+        if not isinstance(other, TransactionId):
+            return NotImplemented
+        return (self.timestamp, self.uuid) < (other.timestamp, other.uuid)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.timestamp:.6f}:{self.uuid}"
+
+    def to_token(self) -> str:
+        """Serialise the id into a filesystem/storage safe token."""
+        return f"{self.timestamp!r}|{self.uuid}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "TransactionId":
+        """Inverse of :meth:`to_token`."""
+        ts_text, _, uid = token.partition("|")
+        return cls(timestamp=float(ts_text), uuid=uid)
+
+    @classmethod
+    def create(cls, timestamp: float, uuid: str | None = None) -> "TransactionId":
+        """Create a new id with ``timestamp`` and a random uuid if none given."""
+        return cls(timestamp=timestamp, uuid=uuid if uuid is not None else new_uuid())
+
+
+#: The "NULL version" of every key (paper Section 3.2): older than every real id.
+NULL_TRANSACTION_ID = TransactionId(timestamp=float("-inf"), uuid="")
+
+
+def new_uuid() -> str:
+    """Return a fresh random uuid string (hex, no dashes)."""
+    return _uuid.uuid4().hex
+
+
+def validate_user_key(key: str) -> str:
+    """Check that ``key`` is a legal user-visible key and return it.
+
+    User keys must be non-empty strings and may not contain the internal
+    separator nor the reserved ``aft.`` prefix, both of which are used for the
+    shim's own storage layout.
+    """
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"user keys must be non-empty strings, got {key!r}")
+    if KEY_SEPARATOR in key:
+        raise ValueError(f"user keys may not contain {KEY_SEPARATOR!r}: {key!r}")
+    if key.startswith("aft."):
+        raise ValueError(f"user keys may not start with the reserved prefix 'aft.': {key!r}")
+    return key
+
+
+def data_key(user_key: str, txid: TransactionId) -> str:
+    """Storage key under which transaction ``txid``'s version of ``user_key`` lives."""
+    return KEY_SEPARATOR.join((DATA_PREFIX, user_key, txid.to_token()))
+
+
+def parse_data_key(storage_key: str) -> tuple[str, TransactionId]:
+    """Inverse of :func:`data_key`.
+
+    Raises ``ValueError`` if ``storage_key`` is not a data key.
+    """
+    parts = storage_key.split(KEY_SEPARATOR)
+    if len(parts) != 3 or parts[0] != DATA_PREFIX:
+        raise ValueError(f"not a data key: {storage_key!r}")
+    return parts[1], TransactionId.from_token(parts[2])
+
+
+def is_data_key(storage_key: str) -> bool:
+    """Return True if ``storage_key`` holds a key version written by AFT."""
+    return storage_key.startswith(DATA_PREFIX + KEY_SEPARATOR)
+
+
+def commit_record_key(txid: TransactionId) -> str:
+    """Storage key of the commit record for ``txid`` in the Transaction Commit Set."""
+    return KEY_SEPARATOR.join((COMMIT_PREFIX, txid.to_token()))
+
+
+def parse_commit_record_key(storage_key: str) -> TransactionId:
+    """Inverse of :func:`commit_record_key`."""
+    parts = storage_key.split(KEY_SEPARATOR)
+    if len(parts) != 2 or parts[0] != COMMIT_PREFIX:
+        raise ValueError(f"not a commit record key: {storage_key!r}")
+    return TransactionId.from_token(parts[1])
+
+
+def is_commit_record_key(storage_key: str) -> bool:
+    """Return True if ``storage_key`` holds a commit record."""
+    return storage_key.startswith(COMMIT_PREFIX + KEY_SEPARATOR)
+
+
+class TransactionIdGenerator:
+    """Produce monotonically non-decreasing transaction ids from a clock.
+
+    The generator never coordinates across nodes: two nodes may hand out ids
+    with identical timestamps, and the uuid breaks the tie, exactly as in the
+    paper.  Within a single generator we additionally guarantee that the
+    timestamps it emits never go backwards even if the underlying clock does
+    (e.g. NTP adjustments), which keeps per-node commit order sensible.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._last_timestamp = float("-inf")
+
+    def next_id(self) -> TransactionId:
+        """Return a fresh :class:`TransactionId` stamped with the current time."""
+        now = self._clock.now()
+        if now < self._last_timestamp:
+            now = self._last_timestamp
+        self._last_timestamp = now
+        return TransactionId(timestamp=now, uuid=new_uuid())
+
+    def __iter__(self) -> Iterator[TransactionId]:  # pragma: no cover - convenience
+        while True:
+            yield self.next_id()

@@ -1,0 +1,161 @@
+"""Closed-loop simulated clients.
+
+Each client mirrors the paper's driver (Section 6.5.1): it synchronously
+issues one request, waits for the response, then immediately issues the next —
+so offered load grows with the number of clients, and per-request latency
+directly bounds per-client throughput.
+
+A client obtains a ``(program, cpu_resource)`` pair from its
+:class:`ProgramFactory` for every request, spends the program's cost steps in
+virtual time (CPU steps are spent while holding a slot of the owning node's
+bounded CPU resource), and records latency, completion time, and the
+transaction log for anomaly checking.  Failures — a crashed AFT node mid
+request, an exhausted conflict-retry budget — abort the request; the client
+backs off and tries again with a freshly selected node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.consistency.checker import AnomalyChecker, TransactionLog
+from repro.errors import AftError
+from repro.simulation.cost_model import DeploymentCostModel
+from repro.simulation.execution import Step, TransactionOutcome
+from repro.simulation.kernel import Simulation
+from repro.simulation.metrics import LatencyCollector, ThroughputTimeseries
+from repro.simulation.resources import Resource
+
+#: A factory returning (program, node_resource_or_None) for one request.  The
+#: node resource models the owning AFT node's bounded request slots and is
+#: held for the whole request.
+ProgramFactory = Callable[[TransactionOutcome], tuple[Iterator[Step], Resource | None]]
+
+
+@dataclass
+class ClientStats:
+    requests_completed: int = 0
+    requests_failed: int = 0
+    requests_aborted: int = 0
+    retries: int = 0
+
+
+@dataclass
+class ClientGroupResult:
+    """Shared collectors for a group of clients running one configuration."""
+
+    latencies: LatencyCollector = field(default_factory=LatencyCollector)
+    throughput: ThroughputTimeseries = field(default_factory=ThroughputTimeseries)
+    anomalies: AnomalyChecker = field(default_factory=AnomalyChecker)
+    stats: ClientStats = field(default_factory=ClientStats)
+
+
+class ClosedLoopClient:
+    """One synchronous client issuing requests back to back."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        client_id: str,
+        program_factory: ProgramFactory,
+        result: ClientGroupResult,
+        cost_model: DeploymentCostModel,
+        num_requests: int | None = None,
+        stop_time: float | None = None,
+        max_attempts_per_request: int = 5,
+        storage_resource: Resource | None = None,
+    ) -> None:
+        if num_requests is None and stop_time is None:
+            raise ValueError("a client needs either num_requests or stop_time")
+        self.sim = sim
+        self.client_id = client_id
+        self.program_factory = program_factory
+        self.result = result
+        self.cost_model = cost_model
+        self.num_requests = num_requests
+        self.stop_time = stop_time
+        self.max_attempts_per_request = max_attempts_per_request
+        #: Optional shared resource modelling the storage service's concurrency
+        #: limit (e.g. a DynamoDB table's provisioned capacity, Figure 8).
+        self.storage_resource = storage_resource
+
+    # ------------------------------------------------------------------ #
+    def start(self):
+        """Register the client's process with the simulation."""
+        return self.sim.process(self._run(), name=f"client-{self.client_id}")
+
+    def _should_continue(self, completed: int) -> bool:
+        if self.num_requests is not None and completed >= self.num_requests:
+            return False
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return False
+        return True
+
+    def _execute_program(self, program, node_resource: Resource | None):
+        """Spend a program's cost steps in virtual time.
+
+        Returns True if the program ran to completion, False if it failed
+        mid-flight with an :class:`~repro.errors.AftError` (e.g. its AFT node
+        crashed under it).
+        """
+        iterator = iter(program)
+        holding_node = False
+        try:
+            if node_resource is not None:
+                yield node_resource.request()
+                holding_node = True
+            while True:
+                try:
+                    step = next(iterator)
+                except StopIteration:
+                    return True
+                except AftError:
+                    return False
+                kind, amount = step
+                if amount <= 0:
+                    continue
+                if kind == "storage" and self.storage_resource is not None:
+                    yield from self.storage_resource.use(amount)
+                else:
+                    yield self.sim.timeout(amount)
+        finally:
+            iterator.close()
+            if holding_node:
+                node_resource.release()
+
+    def _run(self):
+        completed = 0
+        while self._should_continue(completed):
+            start_time = self.sim.now
+            success = False
+            for attempt in range(1, self.max_attempts_per_request + 1):
+                outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+                program, node_resource = self.program_factory(outcome)
+                finished = yield from self._execute_program(program, node_resource)
+
+                if finished and outcome.committed:
+                    success = True
+                    self.result.anomalies.add(outcome.log)
+                    if outcome.commit_version is not None:
+                        self.result.anomalies.register_commit_order(
+                            outcome.log.txn_uuid, outcome.commit_version
+                        )
+                    break
+                if finished and outcome.aborted:
+                    # A clean abort (e.g. exhausted conflict retries): count it
+                    # and retry the whole request, as the paper's driver does.
+                    self.result.stats.requests_aborted += 1
+                self.result.stats.retries += 1
+                yield self.sim.timeout(self.cost_model.retry_backoff)
+
+            if success:
+                completed += 1
+                self.result.stats.requests_completed += 1
+                latency = self.sim.now - start_time
+                self.result.latencies.record(latency)
+                self.result.throughput.record(self.sim.now)
+            else:
+                self.result.stats.requests_failed += 1
+                completed += 1
+        return completed

@@ -1,0 +1,435 @@
+"""End-to-end simulated deployments.
+
+:func:`run_deployment` is the workhorse behind every latency, throughput,
+anomaly, garbage-collection, and fault-tolerance experiment: it builds the
+storage engine, the AFT cluster (or baseline client), the background
+processes (commit multicast, local and global GC, fault-manager scans), a set
+of closed-loop clients, and an optional failure script, runs the
+discrete-event simulation, and returns every collected metric.
+
+The deployment is described declaratively by :class:`DeploymentSpec`, so each
+benchmark is a handful of spec constructions plus a report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.dynamo_txn import DynamoTransactionClient
+from repro.clock import Clock
+from repro.config import AftConfig, ClusterConfig
+from repro.consistency.checker import AnomalyCounts
+from repro.consistency.metadata import TaggedValue
+from repro.core.cluster import AftCluster
+from repro.core.node import AftNode
+from repro.ids import new_uuid
+from repro.simulation.client import ClientGroupResult, ClosedLoopClient
+from repro.simulation.cost_model import DeploymentCostModel, latency_model_for_backend
+from repro.simulation.execution import (
+    TransactionOutcome,
+    aft_transaction_program,
+    dynamo_txn_transaction_program,
+    plain_transaction_program,
+)
+from repro.simulation.kernel import Simulation
+from repro.simulation.metrics import LatencySummary
+from repro.simulation.resources import Resource
+from repro.storage.base import StorageEngine
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.rediscluster import SimulatedRedisCluster
+from repro.storage.s3 import SimulatedS3
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import WorkloadSpec
+
+
+class SimClock(Clock):
+    """A :class:`~repro.clock.Clock` view of the simulation's virtual time."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now
+
+
+def make_storage(backend: str, clock: Clock, seed: int = 0, ec2_client: bool = False) -> StorageEngine:
+    """Build the simulated storage engine for a named backend.
+
+    ``ec2_client`` selects the latency profile of a long-lived EC2 client with
+    warm connections (how an AFT node talks to DynamoDB) instead of the
+    Lambda-resident profile (how plain functions talk to it); see Figure 2
+    versus Figure 3 in the paper for the difference.
+    """
+    backend = backend.lower()
+    latency = latency_model_for_backend(backend, seed=seed)
+    if backend in ("dynamodb", "dynamo"):
+        if ec2_client:
+            from repro.storage.latency import dynamodb_vm_latency_profile
+
+            latency = dynamodb_vm_latency_profile(seed)
+        return SimulatedDynamoDB(latency_model=latency, clock=clock, seed=seed)
+    if backend == "s3":
+        return SimulatedS3(latency_model=latency, clock=clock, seed=seed)
+    if backend == "redis":
+        return SimulatedRedisCluster(latency_model=latency, clock=clock, shard_count=2)
+    if backend in ("memory", "zero"):
+        from repro.storage.memory import InMemoryStorage
+
+        return InMemoryStorage(latency_model=latency, clock=clock)
+    raise ValueError(f"unknown storage backend {backend!r}")
+
+
+@dataclass
+class FailureScript:
+    """Scripted node failure and replacement for the Figure 10 experiment."""
+
+    fail_node_index: int = 0
+    fail_at: float = 10.0
+    #: Delay until the fault manager notices the failure (Section 6.7: ~5 s).
+    detection_delay: float = 5.0
+    #: Delay from detection until the replacement node has downloaded its
+    #: container, warmed its metadata cache, and joined (~45 s in the paper).
+    replacement_delay: float = 45.0
+
+
+@dataclass
+class DeploymentSpec:
+    """Declarative description of one simulated experiment configuration."""
+
+    mode: str = "aft"  # "aft" | "plain" | "dynamo_txn"
+    backend: str = "dynamodb"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec.figure3_default)
+    num_nodes: int = 1
+    num_clients: int = 10
+    requests_per_client: int | None = 100
+    duration: float | None = None
+    enable_data_cache: bool = True
+    data_cache_capacity_bytes: int = 64 * 1024 * 1024
+    enable_gc: bool = True
+    batch_commit_writes: bool = True
+    prune_superseded_broadcasts: bool = True
+    cost_model: DeploymentCostModel = field(default_factory=DeploymentCostModel)
+    node_config: AftConfig | None = None
+    preload: bool = True
+    seed: int = 0
+    failure_script: FailureScript | None = None
+    #: Optional cap on concurrent storage operations across the deployment,
+    #: modelling a provisioned-capacity limit of the storage service
+    #: (Figure 8 saturates DynamoDB's resource limits).  ``None`` = unlimited.
+    storage_concurrency_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests_per_client is None and self.duration is None:
+            raise ValueError("a deployment needs requests_per_client or duration")
+        if self.mode not in ("aft", "plain", "dynamo_txn"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mode == "dynamo_txn" and self.backend not in ("dynamodb", "dynamo"):
+            raise ValueError("dynamo_txn mode requires the dynamodb backend")
+
+
+@dataclass
+class DeploymentResult:
+    """Everything measured during one simulated deployment run."""
+
+    spec: DeploymentSpec
+    client_result: ClientGroupResult
+    duration: float
+    anomaly_counts: AnomalyCounts
+    gc_deletions: list[tuple[float, int]] = field(default_factory=list)
+    node_throughput_plateau: float = 0.0
+    multicast_records_broadcast: int = 0
+    multicast_records_pruned: int = 0
+    node_stats: list[dict] = field(default_factory=list)
+    data_cache_hit_rate: float = 0.0
+    conflict_retries: int = 0
+    storage_keys_at_end: int = 0
+
+    # Convenience accessors used by the benchmark reports ------------------- #
+    @property
+    def latency(self) -> LatencySummary:
+        return self.client_result.latencies.summary()
+
+    @property
+    def throughput(self) -> float:
+        return self.client_result.throughput.overall_throughput(self.duration)
+
+    def throughput_series(self) -> list[tuple[float, float]]:
+        return self.client_result.throughput.series(self.duration)
+
+
+class _NodeDirectory:
+    """Tracks which nodes (and CPU resources) clients may bind to."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._slots: list[tuple[AftNode, Resource] | None] = []
+        self._rng = rng
+
+    def add(self, node: AftNode, cpu: Resource) -> int:
+        self._slots.append((node, cpu))
+        return len(self._slots) - 1
+
+    def mark_failed(self, index: int) -> None:
+        self._slots[index] = None
+
+    def replace(self, index: int, node: AftNode, cpu: Resource) -> None:
+        self._slots[index] = (node, cpu)
+
+    def pick(self, preferred_index: int) -> tuple[AftNode, Resource]:
+        slot = self._slots[preferred_index % len(self._slots)]
+        if slot is not None and slot[0].is_running:
+            return slot
+        live = [entry for entry in self._slots if entry is not None and entry[0].is_running]
+        if not live:
+            raise RuntimeError("no live AFT node available in the simulated deployment")
+        return live[self._rng.randrange(len(live))]
+
+    def live_slots(self) -> list[tuple[AftNode, Resource]]:
+        return [entry for entry in self._slots if entry is not None and entry[0].is_running]
+
+
+def _preload_dataset(spec: DeploymentSpec, storage: StorageEngine, cluster: AftCluster | None, clock: Clock) -> None:
+    """Install an initial version of every key in the population."""
+    generator = WorkloadGenerator(spec.workload, seed=spec.seed + 17)
+    keys = generator.sampler.all_keys()
+    payload = generator.make_payload()
+
+    if spec.mode == "aft" and cluster is not None:
+        node = cluster.nodes[0]
+        chunk_size = 25
+        for start in range(0, len(keys), chunk_size):
+            chunk = keys[start : start + chunk_size]
+            txid = node.start_transaction()
+            for key in chunk:
+                tag = TaggedValue(
+                    payload=payload, timestamp=clock.now(), uuid=f"preload-{new_uuid()}", cowritten=frozenset({key})
+                )
+                node.put(txid, key, tag.to_bytes())
+            node.commit_transaction(txid)
+        node.forget_finished_transactions()
+        # Make the preloaded versions visible on every node immediately.
+        cluster.run_multicast_round()
+    else:
+        for key in keys:
+            tag = TaggedValue(
+                payload=payload, timestamp=clock.now(), uuid=f"preload-{new_uuid()}", cowritten=frozenset({key})
+            )
+            storage.put(key, tag.to_bytes())
+
+
+def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
+    """Build, run, and measure one simulated deployment."""
+    sim = Simulation()
+    clock = SimClock(sim)
+    rng = random.Random(spec.seed)
+
+    storage = make_storage(spec.backend, clock, seed=spec.seed)
+
+    node_config = spec.node_config
+    if node_config is None:
+        node_config = AftConfig(
+            enable_data_cache=spec.enable_data_cache,
+            data_cache_capacity_bytes=spec.data_cache_capacity_bytes,
+            batch_commit_writes=spec.batch_commit_writes,
+            prune_superseded_broadcasts=spec.prune_superseded_broadcasts,
+        )
+
+    cluster: AftCluster | None = None
+    dynamo_client: DynamoTransactionClient | None = None
+    directory = _NodeDirectory(rng)
+
+    if spec.mode == "aft":
+        cluster = AftCluster(
+            storage=storage,
+            cluster_config=ClusterConfig(num_nodes=spec.num_nodes, node_config=node_config),
+            node_config=node_config,
+            clock=clock,
+        )
+        for node in cluster.nodes:
+            slots = Resource(
+                sim, capacity=spec.cost_model.node_request_slots, name=f"{node.node_id}-slots"
+            )
+            directory.add(node, slots)
+    elif spec.mode == "dynamo_txn":
+        dynamo_client = DynamoTransactionClient(storage)  # type: ignore[arg-type]
+
+    # Disable latency charging during the preload so it is free.
+    preload_model = storage.latency_model
+    from repro.storage.latency import ZeroLatency
+
+    storage.latency_model = ZeroLatency()
+    if spec.preload:
+        _preload_dataset(spec, storage, cluster, clock)
+    storage.latency_model = preload_model
+
+    # ------------------------------------------------------------------ #
+    # Client program factories
+    # ------------------------------------------------------------------ #
+    result = ClientGroupResult()
+    generators = [
+        WorkloadGenerator(spec.workload, seed=spec.seed + 1000 + index)
+        for index in range(spec.num_clients)
+    ]
+
+    def make_factory(client_index: int):
+        generator = generators[client_index]
+
+        def factory(outcome: TransactionOutcome):
+            plan = generator.next_transaction()
+            payload_factory = lambda size: generator.make_payload(size)  # noqa: E731
+            if spec.mode == "aft":
+                node, cpu = directory.pick(client_index)
+                program = aft_transaction_program(
+                    node, plan, payload_factory, spec.cost_model, outcome, clock
+                )
+                return program, cpu
+            if spec.mode == "plain":
+                program = plain_transaction_program(
+                    storage, plan, payload_factory, spec.cost_model, outcome, clock
+                )
+                return program, None
+            program = dynamo_txn_transaction_program(
+                dynamo_client, plan, payload_factory, spec.cost_model, outcome, clock
+            )
+            return program, None
+
+        return factory
+
+    storage_resource = None
+    if spec.storage_concurrency_limit is not None:
+        storage_resource = Resource(
+            sim, capacity=spec.storage_concurrency_limit, name="storage-concurrency"
+        )
+
+    stop_time = spec.duration
+    clients = [
+        ClosedLoopClient(
+            sim=sim,
+            client_id=str(index),
+            program_factory=make_factory(index),
+            result=result,
+            cost_model=spec.cost_model,
+            num_requests=spec.requests_per_client,
+            stop_time=stop_time,
+            storage_resource=storage_resource,
+        )
+        for index in range(spec.num_clients)
+    ]
+    client_processes = [client.start() for client in clients]
+
+    # Background processes must not keep the event queue alive once every
+    # client has finished (when running by request count rather than duration).
+    background_stop = {"stop": False}
+
+    def stopper():
+        yield sim.all_of(client_processes)
+        background_stop["stop"] = True
+
+    sim.process(stopper(), name="background-stopper")
+
+    # ------------------------------------------------------------------ #
+    # Background processes (multicast, GC, fault scans) for AFT deployments
+    # ------------------------------------------------------------------ #
+    gc_deletions: list[tuple[float, int]] = []
+
+    if cluster is not None:
+        def periodic(interval: float, action, jitter: float = 0.0):
+            def process():
+                if jitter:
+                    yield sim.timeout(jitter)
+                while not background_stop["stop"]:
+                    yield sim.timeout(interval)
+                    if background_stop["stop"]:
+                        break
+                    action()
+
+            sim.process(process(), name=f"periodic-{action.__name__}")
+
+        periodic(node_config.multicast_interval, cluster.run_multicast_round)
+        if spec.enable_gc:
+            periodic(node_config.gc_interval, cluster.run_local_gc, jitter=0.25)
+
+            def global_gc_round():
+                deleted = cluster.run_global_gc()
+                gc_deletions.append((sim.now, len(deleted)))
+
+            periodic(node_config.global_gc_interval, global_gc_round, jitter=0.5)
+        periodic(node_config.fault_scan_interval, cluster.run_fault_scan, jitter=0.75)
+
+    # ------------------------------------------------------------------ #
+    # Scripted node failure / replacement (Figure 10)
+    # ------------------------------------------------------------------ #
+    if spec.failure_script is not None and cluster is not None:
+        script = spec.failure_script
+
+        def failure_process():
+            yield sim.timeout(script.fail_at)
+            victim = cluster.nodes[script.fail_node_index]
+            cluster.fail_node(victim)
+            directory.mark_failed(script.fail_node_index)
+            yield sim.timeout(script.detection_delay)
+            cluster.fault_manager.detect_failures(cluster.nodes)
+            cluster.fault_manager.request_replacement()
+            yield sim.timeout(script.replacement_delay)
+            cluster.remove_node(victim)
+            replacement = cluster.add_node(node_id=f"{victim.node_id}-replacement")
+            slots = Resource(
+                sim, capacity=spec.cost_model.node_request_slots, name=f"{replacement.node_id}-slots"
+            )
+            directory.replace(script.fail_node_index, replacement, slots)
+
+        sim.process(failure_process(), name="failure-script")
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    sim.run(until=spec.duration)
+    if spec.duration is not None:
+        duration = spec.duration
+    elif result.throughput.completions:
+        # Exclude the tail of background activity (GC, multicast) that runs on
+        # after the last client finished; throughput is measured over the
+        # period in which clients were actually issuing requests.
+        duration = max(result.throughput.completions)
+    else:
+        duration = sim.now
+
+    anomaly_counts = result.anomalies.counts()
+
+    node_stats: list[dict] = []
+    cache_hits = 0
+    cache_lookups = 0
+    multicast_broadcast = 0
+    multicast_pruned = 0
+    if cluster is not None:
+        for node in cluster.nodes:
+            node_stats.append(
+                {
+                    "node_id": node.node_id,
+                    "committed": node.stats.transactions_committed,
+                    "reads": node.stats.reads,
+                    "writes": node.stats.writes,
+                    "null_reads": node.stats.null_reads,
+                    "data_cache_hits": node.stats.data_cache_hits,
+                    "storage_value_reads": node.stats.storage_value_reads,
+                    "metadata_cache_size": len(node.metadata_cache),
+                }
+            )
+            cache_hits += node.data_cache.hits
+            cache_lookups += node.data_cache.hits + node.data_cache.misses
+        multicast_broadcast = cluster.multicast.stats.records_broadcast
+        multicast_pruned = cluster.multicast.stats.records_pruned
+
+    return DeploymentResult(
+        spec=spec,
+        client_result=result,
+        duration=duration,
+        anomaly_counts=anomaly_counts,
+        gc_deletions=gc_deletions,
+        multicast_records_broadcast=multicast_broadcast,
+        multicast_records_pruned=multicast_pruned,
+        node_stats=node_stats,
+        data_cache_hit_rate=(cache_hits / cache_lookups) if cache_lookups else 0.0,
+        conflict_retries=dynamo_client.stats.conflicts if dynamo_client is not None else 0,
+        storage_keys_at_end=storage.size(),
+    )

@@ -1,0 +1,318 @@
+"""Transaction programs: how one logical request executes under each system.
+
+A *program* is a generator that performs a transaction's real operations
+against the (simulated) storage/shim stack and yields cost steps for the
+discrete-event client to spend:
+
+* ``("delay", seconds)`` — network / storage / invocation latency,
+* ``("cpu", seconds)`` — work on the owning AFT node's bounded CPU resource.
+
+Three programs mirror the three systems of the evaluation:
+
+* :func:`aft_transaction_program` — the full AFT path: every operation goes to
+  the shim, writes are buffered, and the commit performs the write-ordering
+  protocol (batched data write + commit record).
+* :func:`plain_transaction_program` — direct storage access with no atomicity
+  (the "Plain" baseline).
+* :func:`dynamo_txn_transaction_program` — DynamoDB transaction mode with the
+  paper's adapted access pattern (per-function transactional reads, one
+  transactional write at the end) including conflict-abort-and-retry.
+
+Every program writes :class:`~repro.consistency.metadata.TaggedValue` payloads
+and records what it observed into a
+:class:`~repro.consistency.checker.TransactionLog`, so the same anomaly
+checker evaluates every system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.baselines.dynamo_txn import DynamoTransactionClient
+from repro.clock import Clock
+from repro.consistency.checker import TransactionLog
+from repro.consistency.metadata import TaggedValue
+from repro.core.node import AftNode
+from repro.errors import StorageError, TransactionConflictError
+from repro.ids import new_uuid
+from repro.simulation.cost_model import DeploymentCostModel
+from repro.storage.base import CostLedger, StorageEngine
+from repro.workloads.spec import FunctionOps
+
+Step = tuple[str, float]
+PayloadFactory = Callable[[int], bytes]
+
+
+@dataclass
+class TransactionOutcome:
+    """Filled in by a program as it runs; read by the client process."""
+
+    log: TransactionLog
+    committed: bool = False
+    aborted: bool = False
+    conflict_retries: int = 0
+    storage_operations: int = 0
+    #: The AFT commit id of the transaction (AFT programs only).  The anomaly
+    #: checker uses it to order versions by the system's own commit order.
+    commit_version: object = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def _meter(*engines: StorageEngine):
+    """Context manager stack that attaches one ledger to several engines."""
+    from contextlib import ExitStack
+
+    ledger = CostLedger()
+    stack = ExitStack()
+    seen: set[int] = set()
+    for engine in engines:
+        if engine is None or id(engine) in seen:
+            continue
+        seen.add(id(engine))
+        stack.enter_context(engine.metered(ledger))
+    return stack, ledger
+
+
+def _write_set_of(plan: list[FunctionOps]) -> frozenset[str]:
+    return frozenset(op.key for function in plan for op in function.writes)
+
+
+# --------------------------------------------------------------------------- #
+# AFT
+# --------------------------------------------------------------------------- #
+def aft_transaction_program(
+    node: AftNode,
+    plan: list[FunctionOps],
+    payload_factory: PayloadFactory,
+    cost_model: DeploymentCostModel,
+    outcome: TransactionOutcome,
+    clock: Clock,
+) -> Iterator[Step]:
+    """Execute one request through the AFT shim."""
+    engines = (node.storage, node.commit_store.engine)
+    write_set = _write_set_of(plan)
+    log = outcome.log
+
+    yield ("delay", cost_model.request_trigger_overhead)
+
+    txid = node.start_transaction()
+    log.txn_uuid = txid
+    op_index = 0
+    for function in plan:
+        yield ("delay", cost_model.function_invoke_overhead)
+        for op in function.operations:
+            stack, ledger = _meter(*engines)
+            with stack:
+                if op.is_read:
+                    raw = node.get(txid, op.key)
+                    log.record_read(
+                        op.key, TaggedValue.try_from_bytes(raw), op_index, function.function_index
+                    )
+                else:
+                    tag = TaggedValue(
+                        payload=payload_factory(op.value_size_bytes),
+                        timestamp=clock.now(),
+                        uuid=txid,
+                        cowritten=write_set,
+                    )
+                    node.put(txid, op.key, tag.to_bytes())
+                    log.record_write(op.key, tag.version, op_index)
+            outcome.storage_operations += ledger.operation_count
+            op_index += 1
+            yield ("cpu", cost_model.shim_cpu_per_op)
+            yield ("delay", cost_model.shim_rtt)
+            yield ("storage", ledger.sequential_latency)
+
+    # Commit: data writes (batched when the engine allows) + commit record.
+    stack, ledger = _meter(*engines)
+    with stack:
+        outcome.commit_version = node.commit_transaction(txid)
+    outcome.storage_operations += ledger.operation_count
+    yield ("cpu", cost_model.shim_cpu_per_op)
+    yield ("delay", cost_model.shim_rtt)
+    yield ("storage", ledger.sequential_latency)
+    outcome.committed = True
+    log.committed = True
+
+
+# --------------------------------------------------------------------------- #
+# Plain storage (no shim)
+# --------------------------------------------------------------------------- #
+def plain_transaction_program(
+    storage: StorageEngine,
+    plan: list[FunctionOps],
+    payload_factory: PayloadFactory,
+    cost_model: DeploymentCostModel,
+    outcome: TransactionOutcome,
+    clock: Clock,
+) -> Iterator[Step]:
+    """Execute one request directly against storage, with no atomicity."""
+    write_set = _write_set_of(plan)
+    log = outcome.log
+    txn_uuid = log.txn_uuid or new_uuid()
+    log.txn_uuid = txn_uuid
+
+    yield ("delay", cost_model.request_trigger_overhead)
+
+    op_index = 0
+    for function in plan:
+        yield ("delay", cost_model.function_invoke_overhead)
+        for op in function.operations:
+            stack, ledger = _meter(storage)
+            with stack:
+                if op.is_read:
+                    raw = storage.get(op.key)
+                    log.record_read(
+                        op.key, TaggedValue.try_from_bytes(raw), op_index, function.function_index
+                    )
+                else:
+                    tag = TaggedValue(
+                        payload=payload_factory(op.value_size_bytes),
+                        timestamp=clock.now(),
+                        uuid=txn_uuid,
+                        cowritten=write_set,
+                    )
+                    storage.put(op.key, tag.to_bytes())
+                    log.record_write(op.key, tag.version, op_index)
+            outcome.storage_operations += ledger.operation_count
+            op_index += 1
+            if cost_model.storage_rtt:
+                yield ("delay", cost_model.storage_rtt)
+            yield ("storage", ledger.sequential_latency)
+
+    # There is no commit step: every write was already persisted in place.
+    outcome.committed = True
+    log.committed = True
+
+
+# --------------------------------------------------------------------------- #
+# DynamoDB transaction mode
+# --------------------------------------------------------------------------- #
+def dynamo_txn_transaction_program(
+    client: DynamoTransactionClient,
+    plan: list[FunctionOps],
+    payload_factory: PayloadFactory,
+    cost_model: DeploymentCostModel,
+    outcome: TransactionOutcome,
+    clock: Clock,
+    max_retries: int = 5,
+) -> Iterator[Step]:
+    """Execute one request with DynamoDB's native transactions.
+
+    Reads are grouped into one ``TransactGetItems`` per function; all of the
+    request's writes are grouped into a single ``TransactWriteItems`` issued
+    after the last function's reads (the paper's adaptation, Section 6.1.2).
+    Conflicting transactions abort and are retried with a back-off; the
+    reported latency includes those retries.
+    """
+    storage = client.storage
+    write_set = _write_set_of(plan)
+    log = outcome.log
+    txn_uuid = log.txn_uuid or new_uuid()
+    log.txn_uuid = txn_uuid
+
+    yield ("delay", cost_model.request_trigger_overhead)
+
+    op_index = 0
+    all_writes: list = [op for function in plan for op in function.writes]
+    for function in plan:
+        yield ("delay", cost_model.function_invoke_overhead)
+        read_keys = [op.key for op in function.reads]
+        if read_keys:
+            result = yield from _transact_with_retries(
+                client,
+                keys=read_keys,
+                writes=None,
+                cost_model=cost_model,
+                outcome=outcome,
+                max_retries=max_retries,
+            )
+            if result is None:
+                outcome.aborted = True
+                log.committed = False
+                return
+            for key in read_keys:
+                log.record_read(
+                    key, TaggedValue.try_from_bytes(result.get(key)), op_index, function.function_index
+                )
+                op_index += 1
+
+    if all_writes:
+        items: dict[str, bytes] = {}
+        for op in all_writes:
+            tag = TaggedValue(
+                payload=payload_factory(op.value_size_bytes),
+                timestamp=clock.now(),
+                uuid=txn_uuid,
+                cowritten=write_set,
+            )
+            items[op.key] = tag.to_bytes()
+            log.record_write(op.key, tag.version, op_index)
+            op_index += 1
+        result = yield from _transact_with_retries(
+            client,
+            keys=list(items),
+            writes=items,
+            cost_model=cost_model,
+            outcome=outcome,
+            max_retries=max_retries,
+        )
+        if result is None:
+            outcome.aborted = True
+            log.committed = False
+            return
+
+    outcome.committed = True
+    log.committed = True
+
+
+def _transact_with_retries(
+    client: DynamoTransactionClient,
+    keys: list[str],
+    writes: dict[str, bytes] | None,
+    cost_model: DeploymentCostModel,
+    outcome: TransactionOutcome,
+    max_retries: int,
+):
+    """Run one native transaction, holding its conflict window over its latency.
+
+    Returns the read result (``{}`` for write transactions) or ``None`` if the
+    retry budget was exhausted.
+    """
+    storage = client.storage
+    mode = "read" if writes is None else "write"
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            token = client.begin_conflict_window(keys, mode=mode)
+        except TransactionConflictError:
+            client.record_conflict(retried=attempts <= max_retries)
+            outcome.conflict_retries += 1
+            if attempts > max_retries:
+                return None
+            yield ("delay", cost_model.retry_backoff)
+            continue
+
+        stack, ledger = _meter(storage)
+        try:
+            with stack:
+                if writes is None:
+                    result = storage.transact_get_items(keys, token=token)
+                else:
+                    storage.transact_write_items(writes, token=token)
+                    result = {}
+            outcome.storage_operations += ledger.operation_count
+            if cost_model.storage_rtt:
+                yield ("delay", cost_model.storage_rtt)
+            # The item claims are held only for the service-side coordination
+            # window of the call, not the whole client-observed round trip.
+            latency = ledger.sequential_latency
+            server_window = min(latency, 0.005)
+            yield ("storage", server_window)
+        finally:
+            client.end_conflict_window(token)
+        if latency > server_window:
+            yield ("storage", latency - server_window)
+        return result

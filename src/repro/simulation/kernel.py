@@ -1,0 +1,184 @@
+"""A minimal discrete-event simulation kernel.
+
+The kernel follows the familiar process-interaction style (a small subset of
+SimPy): a *process* is a Python generator that yields the things it waits on —
+:class:`Timeout` objects, other :class:`Event` objects, or other processes —
+and the :class:`Simulation` advances virtual time from one scheduled event to
+the next.  The kernel is deterministic: events scheduled for the same instant
+fire in the order they were scheduled.
+
+Only the features the experiments need are implemented (timeouts, one-shot
+events, process join, bounded resources in :mod:`repro.simulation.resources`);
+there is deliberately no interruption or pre-emption.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    def __init__(self, sim: "Simulation", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now, waking every waiting process."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name or id(self)} already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.sim._schedule_callback(callback, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.sim._schedule_callback(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event {self.name or id(self)} triggered={self.triggered}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        sim._schedule(sim.now + delay, self, value)
+
+
+class Process(Event):
+    """A running generator; completes (as an event) when the generator returns."""
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        # Kick the process off at the current simulation time.
+        sim._schedule_callback(self._resume, None)
+
+    def _resume(self, completed: Event | None) -> None:
+        value = completed.value if completed is not None else None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+        elif target is None:
+            # Yielding None is a cooperative "continue immediately".
+            self.sim._schedule_callback(self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; only Event/Timeout/Process/None are allowed"
+            )
+
+
+class Simulation:
+    """The event loop: a priority queue of (time, sequence, action)."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+    def _schedule(self, at: float, event: Event, value: Any = None) -> None:
+        heapq.heappush(self._queue, (at, next(self._sequence), lambda: event.succeed(value)))
+
+    def _schedule_callback(self, callback: Callable[[Event | None], None], event: Event | None) -> None:
+        heapq.heappush(self._queue, (self.now, next(self._sequence), lambda: callback(event)))
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers once every given event has triggered."""
+        events = list(events)
+        combined = self.event(name="all_of")
+        remaining = len(events)
+        if remaining == 0:
+            combined.succeed([])
+            return combined
+        results: list[Any] = [None] * remaining
+
+        def make_callback(index: int):
+            def callback(event: Event) -> None:
+                nonlocal remaining
+                results[index] = event.value
+                remaining -= 1
+                if remaining == 0 and not combined.triggered:
+                    combined.succeed(results)
+
+            return callback
+
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next scheduled action; returns False if none remain."""
+        if not self._queue:
+            return False
+        at, _, action = heapq.heappop(self._queue)
+        if at < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = at
+        action()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"cannot run until {until}; time is already {self.now}")
+        while self._queue:
+            at, _, _ = self._queue[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

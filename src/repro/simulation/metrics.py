@@ -1,0 +1,140 @@
+"""Measurement collection for simulated experiments.
+
+Two collectors cover everything the paper reports: per-request latency
+distributions (medians and 99th percentiles in Figures 2-6) and throughput
+over time or in aggregate (Figures 7-10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of a latency distribution, in milliseconds."""
+
+    count: int
+    median_ms: float
+    p99_ms: float
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "median_ms": self.median_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+class LatencyCollector:
+    """Accumulates per-request latencies (stored in seconds)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency_seconds: float) -> None:
+        self.samples.append(latency_seconds)
+
+    def extend(self, latencies_seconds: list[float]) -> None:
+        self.samples.extend(latencies_seconds)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def median_ms(self) -> float:
+        return percentile(self.samples, 0.5) * 1000.0
+
+    def p99_ms(self) -> float:
+        return percentile(self.samples, 0.99) * 1000.0
+
+    def mean_ms(self) -> float:
+        return (sum(self.samples) / len(self.samples)) * 1000.0
+
+    def summary(self) -> LatencySummary:
+        if not self.samples:
+            raise ValueError(f"latency collector {self.name!r} has no samples")
+        return LatencySummary(
+            count=len(self.samples),
+            median_ms=self.median_ms(),
+            p99_ms=self.p99_ms(),
+            mean_ms=self.mean_ms(),
+            min_ms=min(self.samples) * 1000.0,
+            max_ms=max(self.samples) * 1000.0,
+        )
+
+
+@dataclass
+class ThroughputTimeseries:
+    """Request completions bucketed into fixed windows of virtual time."""
+
+    bucket_seconds: float = 1.0
+    completions: list[float] = field(default_factory=list)
+
+    def record(self, completion_time: float) -> None:
+        self.completions.append(completion_time)
+
+    @property
+    def total(self) -> int:
+        return len(self.completions)
+
+    def overall_throughput(self, duration: float | None = None) -> float:
+        """Mean completed requests per second over the run."""
+        if not self.completions:
+            return 0.0
+        if duration is None:
+            duration = max(self.completions)
+        if duration <= 0:
+            return 0.0
+        return len(self.completions) / duration
+
+    def series(self, duration: float | None = None) -> list[tuple[float, float]]:
+        """(bucket start time, requests/second) pairs covering the run."""
+        if not self.completions:
+            return []
+        end = duration if duration is not None else max(self.completions)
+        bucket_count = max(1, math.ceil(end / self.bucket_seconds))
+        counts = [0] * bucket_count
+        for completion in self.completions:
+            index = min(bucket_count - 1, int(completion / self.bucket_seconds))
+            counts[index] += 1
+        return [
+            (index * self.bucket_seconds, count / self.bucket_seconds)
+            for index, count in enumerate(counts)
+        ]
+
+    def throughput_between(self, start: float, end: float) -> float:
+        """Mean requests/second completed within [start, end)."""
+        if end <= start:
+            return 0.0
+        in_window = sum(1 for completion in self.completions if start <= completion < end)
+        return in_window / (end - start)

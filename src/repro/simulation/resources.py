@@ -1,0 +1,95 @@
+"""Bounded resources for the simulation kernel.
+
+:class:`Resource` models a capacity-limited server with a FIFO queue — we use
+one per AFT node to represent its CPU cores.  A request beyond the capacity
+waits until a slot is released, which is what produces the single-node
+throughput plateau of Figure 7 once enough closed-loop clients contend for the
+node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.simulation.kernel import Event, Simulation
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        #: Total virtual time integrated over busy slots (for utilisation).
+        self.busy_time = 0.0
+        self._last_change = sim.now
+        self.total_requests = 0
+
+    # ------------------------------------------------------------------ #
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        """Return an event that triggers once a slot is granted to the caller."""
+        self.total_requests += 1
+        grant = self.sim.event(name=f"{self.name}.grant")
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one previously granted slot."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of {self.name} without a matching request")
+        self._account()
+        if self._waiters:
+            # Hand the slot directly to the next waiter; occupancy unchanged.
+            grant = self._waiters.popleft()
+            grant.succeed()
+        else:
+            self._in_use -= 1
+
+    # ------------------------------------------------------------------ #
+    def use(self, duration: float):
+        """Generator helper: hold one slot for ``duration`` virtual seconds.
+
+        Usage inside a process::
+
+            yield from cpu.use(0.002)
+        """
+        grant = self.request()
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def utilisation(self, elapsed: float | None = None) -> float:
+        """Mean fraction of capacity busy since the simulation started."""
+        self._account()
+        if elapsed is None:
+            elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)

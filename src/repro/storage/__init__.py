@@ -1,0 +1,48 @@
+"""Simulated cloud storage engines.
+
+AFT only assumes that its storage backend makes updates durable once they are
+acknowledged (paper Section 3.1); it never relies on the backend for
+consistency.  This package provides in-memory stand-ins for the three
+backends evaluated in the paper — DynamoDB, S3, and a Redis cluster — that
+reproduce the *semantics* that matter to the shim and to the baselines:
+
+* batching support (DynamoDB batch writes, Redis ``MSET`` within a shard),
+* consistency (eventually consistent reads for DynamoDB/S3 overwrites,
+  per-shard linearizability for Redis),
+* native transactions (DynamoDB transact mode used as a baseline),
+* and calibrated latency models used by the benchmark harness.
+"""
+
+from repro.storage.base import CostLedger, StorageEngine, StorageStats
+from repro.storage.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    ZeroLatency,
+    dynamodb_latency_profile,
+    dynamodb_vm_latency_profile,
+    redis_latency_profile,
+    s3_latency_profile,
+)
+from repro.storage.memory import InMemoryStorage
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.s3 import SimulatedS3
+from repro.storage.rediscluster import SimulatedRedisCluster
+
+__all__ = [
+    "CostLedger",
+    "StorageEngine",
+    "StorageStats",
+    "LatencyModel",
+    "ZeroLatency",
+    "ConstantLatency",
+    "LogNormalLatency",
+    "dynamodb_latency_profile",
+    "dynamodb_vm_latency_profile",
+    "s3_latency_profile",
+    "redis_latency_profile",
+    "InMemoryStorage",
+    "SimulatedDynamoDB",
+    "SimulatedS3",
+    "SimulatedRedisCluster",
+]

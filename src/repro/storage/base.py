@@ -1,0 +1,207 @@
+"""Storage engine interface and latency metering.
+
+The shim (``repro.core``) only talks to storage through the
+:class:`StorageEngine` interface defined here.  The interface is deliberately
+small — the paper's only requirement on the backend is that acknowledged
+writes are durable — but rich enough to express the behaviours the evaluation
+depends on: point reads/writes, optional batching, deletes for garbage
+collection, and prefix listing for commit-set scans and node bootstrap.
+
+Latency is *metered*, not slept: each operation samples a cost from the
+engine's :class:`~repro.storage.latency.LatencyModel` and records it on the
+currently attached :class:`CostLedger`.  The discrete-event simulator converts
+accrued cost into simulated time; unit tests simply ignore it.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.clock import Clock, SystemClock
+from repro.storage.latency import LatencyModel, ZeroLatency
+
+
+@dataclass
+class CostEntry:
+    """One metered storage operation."""
+
+    op: str
+    n_items: int
+    total_bytes: int
+    latency: float
+
+
+class CostLedger:
+    """Accumulates the simulated latency of storage operations.
+
+    A ledger is attached to an engine (via :meth:`StorageEngine.metered`)
+    for the duration of one logical step — e.g. one AFT API call — and then
+    inspected by the caller.  ``sequential_latency`` models a client that
+    issues the operations one after another (the common case inside a single
+    AFT call); ``parallel_latency`` models issuing them concurrently and
+    waiting for the slowest.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[CostEntry] = []
+
+    def add(self, op: str, n_items: int, total_bytes: int, latency: float) -> None:
+        self.entries.append(CostEntry(op=op, n_items=n_items, total_bytes=total_bytes, latency=latency))
+
+    @property
+    def sequential_latency(self) -> float:
+        """Total latency assuming operations were issued back-to-back."""
+        return sum(entry.latency for entry in self.entries)
+
+    @property
+    def parallel_latency(self) -> float:
+        """Latency assuming all operations were issued concurrently."""
+        return max((entry.latency for entry in self.entries), default=0.0)
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def merge(self, other: "CostLedger") -> None:
+        """Append all entries from ``other``."""
+        self.entries.extend(other.entries)
+
+
+@dataclass
+class StorageStats:
+    """Aggregate operation counters maintained by every engine."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    lists: int = 0
+    batch_writes: int = 0
+    batch_reads: int = 0
+    items_written: int = 0
+    items_read: int = 0
+    items_deleted: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of the counters."""
+        data = {
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "lists": self.lists,
+            "batch_writes": self.batch_writes,
+            "batch_reads": self.batch_reads,
+            "items_written": self.items_written,
+            "items_read": self.items_read,
+            "items_deleted": self.items_deleted,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+        }
+        data.update(self.extra)
+        return data
+
+
+class StorageEngine(ABC):
+    """Abstract durable key-value store.
+
+    Values are opaque ``bytes``.  ``get`` returns ``None`` for missing keys
+    (cloud object stores behave this way and the shim treats absence as an
+    expected condition, e.g. when racing the garbage collector).
+    """
+
+    #: Human-readable engine name used in experiment reports.
+    name: str = "abstract"
+    #: Whether the engine can persist several keys in a single request.
+    supports_batch_writes: bool = False
+    #: Maximum number of items per batched request (None = unlimited).
+    max_batch_size: int | None = None
+
+    def __init__(self, latency_model: LatencyModel | None = None, clock: Clock | None = None) -> None:
+        self.latency_model = latency_model if latency_model is not None else ZeroLatency()
+        self.clock = clock if clock is not None else SystemClock()
+        self.stats = StorageStats()
+        self._ledger: CostLedger | None = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Latency metering
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def metered(self, ledger: CostLedger) -> Iterator[CostLedger]:
+        """Attach ``ledger`` for the duration of the ``with`` block.
+
+        Nested attachments are not supported; the innermost ledger wins and is
+        restored on exit.
+        """
+        previous = self._ledger
+        self._ledger = ledger
+        try:
+            yield ledger
+        finally:
+            self._ledger = previous
+
+    def _charge(self, op: str, n_items: int = 1, total_bytes: int = 0) -> float:
+        """Sample a latency for ``op`` and record it on the attached ledger."""
+        latency = self.latency_model.sample(op, n_items=n_items, total_bytes=total_bytes)
+        if self._ledger is not None:
+            self._ledger.add(op, n_items, total_bytes, latency)
+        return latency
+
+    # ------------------------------------------------------------------ #
+    # Required data-plane operations
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def get(self, key: str) -> bytes | None:
+        """Return the value stored under ``key`` or ``None`` if absent."""
+
+    @abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Durably store ``value`` under ``key`` (overwriting any prior value)."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; deleting a missing key is a no-op."""
+
+    @abstractmethod
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """Return all keys starting with ``prefix`` in lexicographic order."""
+
+    # ------------------------------------------------------------------ #
+    # Batched operations (default implementations loop over point ops)
+    # ------------------------------------------------------------------ #
+    def multi_get(self, keys: Iterable[str]) -> dict[str, bytes | None]:
+        """Fetch several keys.  The default implementation issues point reads."""
+        return {key: self.get(key) for key in keys}
+
+    def multi_put(self, items: Mapping[str, bytes]) -> None:
+        """Store several keys.  The default implementation issues point writes."""
+        for key, value in items.items():
+            self.put(key, value)
+
+    def multi_delete(self, keys: Iterable[str]) -> None:
+        """Delete several keys.  The default implementation issues point deletes."""
+        for key in keys:
+            self.delete(key)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        """Return True if ``key`` currently has a value."""
+        return self.get(key) is not None
+
+    def size(self) -> int:
+        """Number of keys currently stored (for tests and GC accounting)."""
+        return len(self.list_keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} keys={self.size()}>"

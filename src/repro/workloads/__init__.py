@@ -1,0 +1,24 @@
+"""Workload generation.
+
+The paper's evaluation drives every experiment with the same family of
+workloads: transactions composed of a small number of functions, each
+performing a few reads and writes of 4 KB objects, with keys drawn from a
+Zipfian distribution of configurable skew.  This package provides the key
+sampler, the transaction/workload specifications, and the generator that turns
+a specification into concrete operation sequences.
+"""
+
+from repro.workloads.zipf import UniformKeySampler, ZipfKeySampler
+from repro.workloads.spec import FunctionOps, Operation, OpType, TransactionSpec, WorkloadSpec
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "ZipfKeySampler",
+    "UniformKeySampler",
+    "Operation",
+    "OpType",
+    "FunctionOps",
+    "TransactionSpec",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,109 @@
+"""Turning workload specifications into concrete transactions.
+
+The generator draws keys from the Zipfian sampler and lays the reads and
+writes of a transaction out across its functions, exactly as the paper's
+driver does: each function performs its reads first and then its writes, so a
+two-function transaction with one write and two reads per function issues
+``read read write read read write``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import FunctionOps, Operation, OpType, TransactionSpec, WorkloadSpec
+from repro.workloads.zipf import ZipfKeySampler
+
+
+class WorkloadGenerator:
+    """Generates per-transaction operation plans from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int | None = None) -> None:
+        self.spec = spec
+        effective_seed = spec.seed if seed is None else seed
+        self.sampler = ZipfKeySampler(
+            num_keys=spec.num_keys,
+            theta=spec.zipf_theta,
+            seed=effective_seed,
+        )
+        self._rng = random.Random(effective_seed + 1 if effective_seed is not None else None)
+
+    # ------------------------------------------------------------------ #
+    def _operation_counts(self) -> tuple[int, int]:
+        """Total (reads, writes) of one transaction."""
+        txn = self.spec.transaction
+        if txn.total_ios is not None and txn.read_fraction is not None:
+            reads = round(txn.total_ios * txn.read_fraction)
+            writes = txn.total_ios - reads
+            return reads, writes
+        reads = txn.num_functions * txn.reads_per_function
+        writes = txn.num_functions * txn.writes_per_function
+        return reads, writes
+
+    def _draw_keys(self, count: int) -> list[str]:
+        if count == 0:
+            return []
+        if self.spec.distinct_keys_per_transaction:
+            if count > self.spec.num_keys:
+                raise WorkloadError(
+                    f"transaction touches {count} keys but the population only has {self.spec.num_keys}"
+                )
+            return self.sampler.sample_distinct(count)
+        return [self.sampler.sample() for _ in range(count)]
+
+    # ------------------------------------------------------------------ #
+    def next_transaction(self) -> list[FunctionOps]:
+        """Generate the operation plan of one transaction.
+
+        Returns one :class:`FunctionOps` per function of the composition.
+        """
+        txn = self.spec.transaction
+        total_reads, total_writes = self._operation_counts()
+        keys = self._draw_keys(total_reads + total_writes)
+        read_keys = keys[:total_reads]
+        write_keys = keys[total_reads:]
+
+        functions: list[FunctionOps] = []
+        for function_index in range(txn.num_functions):
+            reads = self._slice_for_function(read_keys, function_index, txn)
+            writes = self._slice_for_function(write_keys, function_index, txn)
+            operations = tuple(
+                [Operation(OpType.READ, key) for key in reads]
+                + [Operation(OpType.WRITE, key, txn.value_size_bytes) for key in writes]
+            )
+            functions.append(FunctionOps(function_index=function_index, operations=operations))
+        return functions
+
+    def _slice_for_function(self, keys: list[str], function_index: int, txn: TransactionSpec) -> list[str]:
+        """Deal ``keys`` out across functions as evenly as possible, in order."""
+        num_functions = txn.num_functions
+        base = len(keys) // num_functions
+        remainder = len(keys) % num_functions
+        start = function_index * base + min(function_index, remainder)
+        length = base + (1 if function_index < remainder else 0)
+        return keys[start : start + length]
+
+    def transactions(self, count: int) -> Iterator[list[FunctionOps]]:
+        """Yield ``count`` transaction plans."""
+        for _ in range(count):
+            yield self.next_transaction()
+
+    # ------------------------------------------------------------------ #
+    def make_payload(self, size_bytes: int | None = None) -> bytes:
+        """A payload of the configured size with content unique per call."""
+        size = self.spec.transaction.value_size_bytes if size_bytes is None else size_bytes
+        if size <= 0:
+            return b""
+        stamp = self._rng.getrandbits(64).to_bytes(8, "big")
+        if size <= len(stamp):
+            return stamp[:size]
+        return stamp + b"x" * (size - len(stamp))
+
+    def preload_items(self, value_size_bytes: int | None = None) -> dict[str, bytes]:
+        """Initial dataset: one value for every key in the population."""
+        size = (
+            self.spec.transaction.value_size_bytes if value_size_bytes is None else value_size_bytes
+        )
+        return {key: self.make_payload(size) for key in self.sampler.all_keys()}

@@ -1,0 +1,120 @@
+"""Workload and transaction specifications.
+
+A :class:`TransactionSpec` describes the *shape* of every transaction in an
+experiment — how many functions it spans, how many reads and writes each
+function performs, and how large payloads are.  The paper's canonical workload
+is ``TransactionSpec(num_functions=2, reads_per_function=2,
+writes_per_function=1, value_size_bytes=4096)`` (Sections 6.1.2 onward);
+Figure 5 varies the read/write mix of a 10-IO transaction and Figure 6 varies
+the number of functions.
+
+A :class:`WorkloadSpec` adds the key population and skew, and the generator in
+:mod:`repro.workloads.generator` turns the pair into concrete operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class OpType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One read or write of a user key."""
+
+    op_type: OpType
+    key: str
+    #: Payload size for writes; ignored for reads.
+    value_size_bytes: int = 0
+
+    @property
+    def is_read(self) -> bool:
+        return self.op_type is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op_type is OpType.WRITE
+
+
+@dataclass(frozen=True)
+class FunctionOps:
+    """The operations one function of a composition performs, in order."""
+
+    function_index: int
+    operations: tuple[Operation, ...]
+
+    @property
+    def reads(self) -> tuple[Operation, ...]:
+        return tuple(op for op in self.operations if op.is_read)
+
+    @property
+    def writes(self) -> tuple[Operation, ...]:
+        return tuple(op for op in self.operations if op.is_write)
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """Shape of one transaction (a linear composition of functions)."""
+
+    num_functions: int = 2
+    reads_per_function: int = 2
+    writes_per_function: int = 1
+    value_size_bytes: int = 4096
+    #: If set, overrides reads/writes per function: the transaction performs
+    #: ``total_ios`` operations split across functions with ``read_fraction``
+    #: of them being reads (Figure 5's read-write-ratio experiment).
+    total_ios: int | None = None
+    read_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_functions < 1:
+            raise ValueError("num_functions must be >= 1")
+        if self.read_fraction is not None and not (0.0 <= self.read_fraction <= 1.0):
+            raise ValueError("read_fraction must be within [0, 1]")
+        if (self.total_ios is None) != (self.read_fraction is None):
+            raise ValueError("total_ios and read_fraction must be provided together")
+
+    @property
+    def ios_per_transaction(self) -> int:
+        if self.total_ios is not None:
+            return self.total_ios
+        return self.num_functions * (self.reads_per_function + self.writes_per_function)
+
+    def with_overrides(self, **overrides) -> "TransactionSpec":
+        return replace(self, **overrides)
+
+    @classmethod
+    def paper_default(cls) -> "TransactionSpec":
+        """The 2-function, 6-IO transaction used throughout Section 6."""
+        return cls(num_functions=2, reads_per_function=2, writes_per_function=1, value_size_bytes=4096)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A transaction shape plus the key population it runs against."""
+
+    transaction: TransactionSpec = field(default_factory=TransactionSpec.paper_default)
+    num_keys: int = 1000
+    zipf_theta: float = 1.0
+    seed: int = 0
+    #: Keys read and written by one transaction are drawn without replacement
+    #: when True (the paper's workloads touch distinct keys per transaction).
+    distinct_keys_per_transaction: bool = True
+
+    def with_overrides(self, **overrides) -> "WorkloadSpec":
+        return replace(self, **overrides)
+
+    @classmethod
+    def figure3_default(cls) -> "WorkloadSpec":
+        """10 clients x 1,000 transactions, 1,000 keys, Zipf 1.0 (Section 6.1.2)."""
+        return cls(transaction=TransactionSpec.paper_default(), num_keys=1000, zipf_theta=1.0)
+
+    @classmethod
+    def figure4_default(cls, zipf_theta: float = 1.0) -> "WorkloadSpec":
+        """100,000-key dataset used by the caching/skew experiment (Section 6.2)."""
+        return cls(transaction=TransactionSpec.paper_default(), num_keys=100_000, zipf_theta=zipf_theta)

@@ -1,0 +1,94 @@
+"""Key samplers.
+
+Cloud workloads are typically skewed; the paper uses Zipfian access
+distributions with coefficients 1.0 (light), 1.5 (moderate) and 2.0 (heavy).
+:class:`ZipfKeySampler` draws keys from ``{key-0 ... key-(n-1)}`` with
+``P(rank r) ∝ 1 / r^theta`` using a precomputed cumulative distribution, which
+is fast enough for the 100,000-key datasets of Section 6.2.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfKeySampler:
+    """Draws keys from a Zipfian distribution over a fixed key population."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        theta: float = 1.0,
+        seed: int | None = 0,
+        key_prefix: str = "key",
+    ) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.num_keys = int(num_keys)
+        self.theta = float(theta)
+        self.key_prefix = key_prefix
+        self._rng = random.Random(seed)
+        self._cumulative = self._build_cdf()
+
+    def _build_cdf(self) -> list[float]:
+        weights = [1.0 / (rank ** self.theta) for rank in range(1, self.num_keys + 1)]
+        total = sum(weights)
+        cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        return cumulative
+
+    # ------------------------------------------------------------------ #
+    def key_name(self, rank: int) -> str:
+        """The key string for a zero-based popularity rank."""
+        return f"{self.key_prefix}-{rank}"
+
+    def sample_rank(self) -> int:
+        """Draw a zero-based rank (0 is the most popular key)."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cumulative, u)
+
+    def sample(self) -> str:
+        """Draw one key."""
+        return self.key_name(self.sample_rank())
+
+    def sample_distinct(self, count: int) -> list[str]:
+        """Draw ``count`` distinct keys (a transaction never reads/writes a key twice
+        unless the workload explicitly asks it to)."""
+        if count > self.num_keys:
+            raise ValueError(f"cannot draw {count} distinct keys from a population of {self.num_keys}")
+        chosen: set[str] = set()
+        result: list[str] = []
+        while len(result) < count:
+            key = self.sample()
+            if key not in chosen:
+                chosen.add(key)
+                result.append(key)
+        return result
+
+    def all_keys(self) -> list[str]:
+        """Every key in the population (used to preload datasets)."""
+        return [self.key_name(rank) for rank in range(self.num_keys)]
+
+    def probability(self, rank: int) -> float:
+        """Probability of drawing the key with the given zero-based rank."""
+        if rank < 0 or rank >= self.num_keys:
+            raise IndexError(f"rank {rank} out of range")
+        lower = self._cumulative[rank - 1] if rank > 0 else 0.0
+        return self._cumulative[rank] - lower
+
+    def reseed(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+
+class UniformKeySampler(ZipfKeySampler):
+    """Uniform key popularity (a Zipfian with ``theta = 0``)."""
+
+    def __init__(self, num_keys: int, seed: int | None = 0, key_prefix: str = "key") -> None:
+        super().__init__(num_keys=num_keys, theta=0.0, seed=seed, key_prefix=key_prefix)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.config import AftConfig
+from repro.core.commit_set import CommitSetStore
+from repro.core.node import AftNode
+from repro.storage.memory import InMemoryStorage
+
+
+@pytest.fixture
+def clock() -> LogicalClock:
+    """A deterministic clock that advances a little on every read."""
+    return LogicalClock(start=1000.0, auto_step=0.001)
+
+
+@pytest.fixture
+def storage() -> InMemoryStorage:
+    return InMemoryStorage()
+
+
+@pytest.fixture
+def commit_store(storage: InMemoryStorage) -> CommitSetStore:
+    return CommitSetStore(storage)
+
+
+@pytest.fixture
+def node(storage: InMemoryStorage, clock: LogicalClock) -> AftNode:
+    """A started single AFT node over in-memory storage."""
+    aft_node = AftNode(storage, config=AftConfig(), clock=clock, node_id="test-node")
+    aft_node.start()
+    return aft_node
+
+
+@pytest.fixture
+def node_factory(storage: InMemoryStorage, clock: LogicalClock):
+    """Create additional nodes sharing the same storage engine."""
+
+    def factory(node_id: str = "extra-node", config: AftConfig | None = None) -> AftNode:
+        extra = AftNode(storage, config=config or AftConfig(), clock=clock, node_id=node_id)
+        extra.start()
+        return extra
+
+    return factory

@@ -1,0 +1,176 @@
+"""Tests for the baseline clients: plain storage, DynamoDB transactions, RAMP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dynamo_txn import DynamoTransactionClient
+from repro.baselines.plain import PlainStorageClient
+from repro.baselines.ramp import RampFastStore, RampTransactionAborted
+from repro.clock import LogicalClock
+from repro.errors import TransactionConflictError
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.memory import InMemoryStorage
+
+
+class TestPlainStorageClient:
+    def test_writes_are_immediately_visible_to_everyone(self):
+        storage = InMemoryStorage()
+        client = PlainStorageClient(storage)
+        txid = client.start_transaction()
+        client.put(txid, "k", b"v")
+        # No buffering: a completely unrelated reader sees the write at once.
+        assert storage.get("k") == b"v"
+        other = client.start_transaction()
+        assert client.get(other, "k") == b"v"
+
+    def test_abort_cannot_undo_writes(self):
+        """This is precisely the fractional-update hazard AFT eliminates."""
+        storage = InMemoryStorage()
+        client = PlainStorageClient(storage)
+        txid = client.start_transaction()
+        client.put(txid, "k", b"partial")
+        client.abort_transaction(txid)
+        assert storage.get("k") == b"partial"
+
+    def test_interleaved_requests_observe_fractional_updates(self):
+        storage = InMemoryStorage()
+        client = PlainStorageClient(storage)
+        setup = client.start_transaction()
+        client.put(setup, "k", b"k0")
+        client.put(setup, "l", b"l0")
+        client.commit_transaction(setup)
+
+        writer = client.start_transaction()
+        client.put(writer, "k", b"k1")
+        # A reader that runs between the two writes sees the torn state.
+        reader = client.start_transaction()
+        assert client.get(reader, "k") == b"k1"
+        assert client.get(reader, "l") == b"l0"
+        client.put(writer, "l", b"l1")
+
+    def test_accepts_string_values(self):
+        client = PlainStorageClient(InMemoryStorage())
+        txid = client.start_transaction()
+        client.put(txid, "k", "text")
+        assert client.get(txid, "k") == b"text"
+
+    def test_commit_returns_an_id(self):
+        client = PlainStorageClient(InMemoryStorage(), clock=LogicalClock(start=5.0))
+        txid = client.start_transaction("fixed-id")
+        commit_id = client.commit_transaction(txid)
+        assert commit_id.uuid == "fixed-id"
+
+
+class TestDynamoTransactionClient:
+    def test_requires_dynamodb_engine(self):
+        with pytest.raises(TypeError):
+            DynamoTransactionClient(InMemoryStorage())  # type: ignore[arg-type]
+
+    def test_transact_read_and_write(self):
+        table = SimulatedDynamoDB(clock=LogicalClock())
+        client = DynamoTransactionClient(table)
+        client.transact_write({"a": b"1", "b": b"2"})
+        assert client.transact_read(["a", "b"]) == {"a": b"1", "b": b"2"}
+        assert client.stats.write_transactions == 1
+        assert client.stats.read_transactions == 1
+
+    def test_conflicts_are_retried(self):
+        table = SimulatedDynamoDB(clock=LogicalClock())
+        client = DynamoTransactionClient(table, max_retries=3)
+        # An in-flight foreign transaction holds the item briefly.
+        table.transact_begin(["a"], token="someone-else", mode="write")
+        with pytest.raises(TransactionConflictError):
+            client.transact_write({"a": b"1"})
+        assert client.stats.conflicts >= 1
+        assert client.stats.gave_up == 1
+        table.transact_end("someone-else")
+        client.transact_write({"a": b"1"})
+        assert table.get("a", consistent=True) == b"1"
+
+    def test_conflict_window_helpers(self):
+        table = SimulatedDynamoDB(clock=LogicalClock())
+        client = DynamoTransactionClient(table)
+        token = client.begin_conflict_window(["a"], mode="write")
+        with pytest.raises(TransactionConflictError):
+            client.begin_conflict_window(["a"], mode="write")
+        client.end_conflict_window(token)
+        second = client.begin_conflict_window(["a"], mode="write")
+        client.end_conflict_window(second)
+
+
+class TestRampFast:
+    def test_atomic_visibility_of_write_sets(self):
+        store = RampFastStore(InMemoryStorage(), clock=LogicalClock(auto_step=0.001))
+        store.write_transaction({"k": b"k1", "l": b"l1"})
+        store.write_transaction({"k": b"k2", "l": b"l2"})
+        result = store.read_transaction(["k", "l"])
+        assert result in ({"k": b"k1", "l": b"l1"}, {"k": b"k2", "l": b"l2"})
+
+    def test_missing_keys_read_none(self):
+        store = RampFastStore(InMemoryStorage(), clock=LogicalClock(auto_step=0.001))
+        assert store.read_transaction(["nope"]) == {"nope": None}
+
+    def test_second_round_repair(self):
+        """Force a torn first round by committing {k,l} partially by hand."""
+        storage = InMemoryStorage()
+        clock = LogicalClock(auto_step=0.001)
+        store = RampFastStore(storage, clock=clock)
+        store.write_transaction({"k": b"k1", "l": b"l1"})
+        version = store.write_transaction({"k": b"k2", "l": b"l2"})
+
+        # Roll the last-committed pointer of l back to simulate a reader that
+        # raced the commit's pointer installation.
+        from repro.baselines.ramp import _latest_key
+
+        first_version = None
+        for key in storage.list_keys("ramp.version/l/"):
+            token = key.rsplit("/", 1)[1]
+            from repro.ids import TransactionId
+
+            candidate = TransactionId.from_token(token)
+            if candidate != version:
+                first_version = candidate
+        assert first_version is not None
+        storage.put(_latest_key("l"), first_version.to_token().encode())
+
+        result = store.read_transaction(["k", "l"])
+        assert result == {"k": b"k2", "l": b"l2"}
+        assert store.second_round_reads == 1
+
+    def test_empty_write_set_rejected(self):
+        store = RampFastStore(InMemoryStorage())
+        with pytest.raises(ValueError):
+            store.write_transaction({})
+
+    def test_repair_of_missing_version_aborts(self):
+        storage = InMemoryStorage()
+        store = RampFastStore(storage, clock=LogicalClock(auto_step=0.001))
+        store.write_transaction({"k": b"k1", "l": b"l1"})
+        version = store.write_transaction({"k": b"k2", "l": b"l2"})
+
+        from repro.baselines.ramp import _latest_key, _version_key
+        from repro.ids import TransactionId
+
+        # Roll back l's pointer AND delete the version the repair would need.
+        old = [
+            TransactionId.from_token(key.rsplit("/", 1)[1])
+            for key in storage.list_keys("ramp.version/l/")
+            if TransactionId.from_token(key.rsplit("/", 1)[1]) != version
+        ][0]
+        storage.put(_latest_key("l"), old.to_token().encode())
+        storage.delete(_version_key("l", version))
+        with pytest.raises(RampTransactionAborted):
+            store.read_transaction(["k", "l"])
+
+    def test_ramp_requires_predeclared_read_sets_unlike_aft(self):
+        """Documented behavioural difference: RAMP cannot extend a read set
+        after the fact and stay atomic, whereas AFT's Algorithm 1 can."""
+        store = RampFastStore(InMemoryStorage(), clock=LogicalClock(auto_step=0.001))
+        store.write_transaction({"k": b"k1", "l": b"l1"})
+        store.write_transaction({"k": b"k2", "l": b"l2"})
+        first = store.read_transaction(["k"])
+        second = store.read_transaction(["l"])
+        # Issued as two separate RAMP transactions there is no guarantee the
+        # two observations belong to the same atomic write set.
+        assert set(first) == {"k"} and set(second) == {"l"}

@@ -1,0 +1,72 @@
+"""Tests for clock abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import CounterClock, LogicalClock, OffsetClock, SystemClock
+
+
+class TestLogicalClock:
+    def test_starts_at_given_time(self):
+        clock = LogicalClock(start=5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_moves_forward(self):
+        clock = LogicalClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_auto_step_advances_on_each_read(self):
+        clock = LogicalClock(start=0.0, auto_step=0.5)
+        assert clock.now() == 0.0
+        assert clock.now() == 0.5
+        assert clock.now() == 1.0
+
+    def test_cannot_move_backwards(self):
+        clock = LogicalClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_set_forward_is_allowed(self):
+        clock = LogicalClock(start=1.0)
+        clock.set(7.0)
+        assert clock.now() == 7.0
+
+    def test_tick_default_step(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.now() == 1.0
+
+
+class TestCounterClock:
+    def test_produces_increasing_integers(self):
+        clock = CounterClock()
+        assert [clock.now() for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_start_offset(self):
+        clock = CounterClock(start=100)
+        assert clock.now() == 101.0
+
+
+class TestOffsetClock:
+    def test_applies_skew(self):
+        base = LogicalClock(start=50.0)
+        skewed = OffsetClock(base, offset=-3.0)
+        assert skewed.now() == 47.0
+
+    def test_tracks_base_clock(self):
+        base = LogicalClock(start=0.0)
+        skewed = OffsetClock(base, offset=10.0)
+        base.advance(5.0)
+        assert skewed.now() == 15.0
+
+
+class TestSystemClock:
+    def test_now_is_monotonic_enough(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

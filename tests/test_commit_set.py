@@ -1,0 +1,107 @@
+"""Tests for commit records and the Transaction Commit Set store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.commit_set import CommitRecord, CommitSetStore, records_by_id
+from repro.ids import TransactionId, data_key
+from repro.storage.memory import InMemoryStorage
+
+
+def make_record(timestamp: float, uuid: str, keys: list[str]) -> CommitRecord:
+    txid = TransactionId(timestamp, uuid)
+    return CommitRecord(
+        txid=txid,
+        write_set={key: data_key(key, txid) for key in keys},
+        committed_at=timestamp,
+        node_id="node-a",
+    )
+
+
+class TestCommitRecord:
+    def test_serialisation_round_trip(self):
+        record = make_record(12.5, "abc", ["k", "l"])
+        restored = CommitRecord.from_bytes(record.to_bytes())
+        assert restored.txid == record.txid
+        assert dict(restored.write_set) == dict(record.write_set)
+        assert restored.node_id == "node-a"
+
+    def test_cowritten_set_is_the_write_set_keys(self):
+        record = make_record(1.0, "abc", ["x", "y", "z"])
+        assert record.cowritten == frozenset({"x", "y", "z"})
+
+    def test_storage_key_for(self):
+        record = make_record(1.0, "abc", ["x"])
+        assert record.storage_key_for("x") == data_key("x", record.txid)
+
+    @given(
+        st.floats(min_value=0, max_value=1e9),
+        st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=5), min_size=0, max_size=8, unique=True),
+    )
+    def test_round_trip_arbitrary_records(self, timestamp, keys):
+        record = make_record(timestamp, "uid", keys)
+        restored = CommitRecord.from_bytes(record.to_bytes())
+        assert restored.txid == record.txid
+        assert restored.cowritten == record.cowritten
+
+
+class TestCommitSetStore:
+    @pytest.fixture
+    def store(self):
+        return CommitSetStore(InMemoryStorage())
+
+    def test_write_then_read(self, store):
+        record = make_record(1.0, "a", ["k"])
+        store.write_record(record)
+        assert store.read_record(record.txid).write_set == record.write_set
+
+    def test_read_missing_returns_none(self, store):
+        assert store.read_record(TransactionId(9.9, "nope")) is None
+
+    def test_contains_and_count(self, store):
+        assert store.count() == 0
+        record = make_record(1.0, "a", ["k"])
+        store.write_record(record)
+        assert store.contains(record.txid)
+        assert store.count() == 1
+
+    def test_delete_record(self, store):
+        record = make_record(1.0, "a", ["k"])
+        store.write_record(record)
+        store.delete_record(record.txid)
+        assert not store.contains(record.txid)
+
+    def test_list_transaction_ids_sorted_oldest_first(self, store):
+        ids = []
+        for timestamp in (3.0, 1.0, 2.0):
+            record = make_record(timestamp, f"u{timestamp}", ["k"])
+            store.write_record(record)
+            ids.append(record.txid)
+        assert store.list_transaction_ids() == sorted(ids)
+
+    def test_scan_newest_first_with_limit(self, store):
+        for timestamp in range(10):
+            store.write_record(make_record(float(timestamp), f"u{timestamp}", ["k"]))
+        newest_three = store.scan(limit=3)
+        assert [record.txid.timestamp for record in newest_three] == [9.0, 8.0, 7.0]
+
+    def test_scan_oldest_first(self, store):
+        for timestamp in range(5):
+            store.write_record(make_record(float(timestamp), f"u{timestamp}", ["k"]))
+        oldest = store.scan(newest_first=False, limit=2)
+        assert [record.txid.timestamp for record in oldest] == [0.0, 1.0]
+
+    def test_records_by_id_helper(self):
+        records = [make_record(1.0, "a", ["k"]), make_record(2.0, "b", ["l"])]
+        indexed = records_by_id(records)
+        assert set(indexed) == {records[0].txid, records[1].txid}
+
+    def test_commit_records_do_not_collide_with_user_data(self, store):
+        # The store shares its engine with user data; prefixes keep them apart.
+        engine = store.engine
+        engine.put("aft.data/k/1.0|x", b"payload")
+        record = make_record(1.0, "a", ["k"])
+        store.write_record(record)
+        assert store.count() == 1

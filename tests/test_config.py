@@ -1,0 +1,44 @@
+"""Tests for configuration objects."""
+
+from __future__ import annotations
+
+from repro.config import AftConfig, ClusterConfig, DEFAULT_CONFIG
+
+
+class TestAftConfig:
+    def test_defaults_are_sensible(self):
+        config = AftConfig()
+        assert config.enable_data_cache
+        assert config.batch_commit_writes
+        assert config.prune_superseded_broadcasts
+        assert config.multicast_interval == 1.0
+
+    def test_with_overrides_returns_a_new_instance(self):
+        base = AftConfig()
+        tuned = base.with_overrides(enable_data_cache=False, gc_interval=2.0)
+        assert tuned.enable_data_cache is False
+        assert tuned.gc_interval == 2.0
+        assert base.enable_data_cache is True
+
+    def test_as_dict_round_trips_every_field(self):
+        config = AftConfig(strict_reads=True, metadata_bootstrap_limit=42)
+        data = config.as_dict()
+        assert data["strict_reads"] is True
+        assert data["metadata_bootstrap_limit"] == 42
+        rebuilt = AftConfig(**data)
+        assert rebuilt == config
+
+    def test_default_config_constant(self):
+        assert DEFAULT_CONFIG == AftConfig()
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 1
+        assert isinstance(config.node_config, AftConfig)
+
+    def test_with_overrides(self):
+        config = ClusterConfig().with_overrides(num_nodes=5, standby_nodes=2)
+        assert config.num_nodes == 5
+        assert config.standby_nodes == 2

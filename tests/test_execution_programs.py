@@ -1,0 +1,145 @@
+"""Tests for the transaction programs used by the simulated clients.
+
+The programs are generators of ("delay" | "cpu" | "storage", seconds) cost
+steps; these tests drain them directly (no event loop) and check both the cost
+accounting and the side effects on the system under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dynamo_txn import DynamoTransactionClient
+from repro.clock import LogicalClock
+from repro.config import AftConfig
+from repro.consistency.checker import TransactionLog
+from repro.consistency.metadata import TaggedValue
+from repro.core.node import AftNode
+from repro.simulation.cost_model import DeploymentCostModel
+from repro.simulation.execution import (
+    TransactionOutcome,
+    aft_transaction_program,
+    dynamo_txn_transaction_program,
+    plain_transaction_program,
+)
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.latency import ConstantLatency
+from repro.storage.memory import InMemoryStorage
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture
+def clock():
+    return LogicalClock(start=0.0, auto_step=0.001)
+
+
+@pytest.fixture
+def cost_model():
+    return DeploymentCostModel(
+        function_invoke_overhead=0.010,
+        request_trigger_overhead=0.002,
+        shim_rtt=0.001,
+        shim_cpu_per_op=0.0005,
+    )
+
+
+@pytest.fixture
+def plan():
+    spec = WorkloadSpec(num_keys=50, distinct_keys_per_transaction=False, seed=3)
+    return WorkloadGenerator(spec).next_transaction()
+
+
+def drain(program) -> dict[str, float]:
+    """Run a program to completion, summing its cost steps by kind."""
+    totals = {"delay": 0.0, "cpu": 0.0, "storage": 0.0}
+    for kind, amount in program:
+        totals[kind] += amount
+    return totals
+
+
+class TestAftProgram:
+    def test_commits_and_accounts_costs(self, clock, cost_model, plan):
+        node = AftNode(InMemoryStorage(latency_model=ConstantLatency(0.004)), clock=clock)
+        node.start()
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        totals = drain(
+            aft_transaction_program(node, plan, lambda size: b"x" * 16, cost_model, outcome, clock)
+        )
+        assert outcome.committed
+        assert outcome.commit_version is not None
+        assert outcome.log.committed
+        # 2 function invocations + the request trigger.
+        assert totals["delay"] >= 2 * 0.010 + 0.002
+        # Storage cost is charged for the commit (and any uncached reads).
+        assert totals["storage"] > 0
+        assert node.stats.transactions_committed == 1
+
+    def test_written_values_are_tagged_for_the_checker(self, clock, cost_model, plan):
+        node = AftNode(InMemoryStorage(), clock=clock)
+        node.start()
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        drain(aft_transaction_program(node, plan, lambda size: b"payload", cost_model, outcome, clock))
+
+        reader = node.start_transaction()
+        write_keys = [op.key for function in plan for op in function.writes]
+        raw = node.get(reader, write_keys[0])
+        tag = TaggedValue.try_from_bytes(raw)
+        assert tag is not None
+        assert tag.uuid == outcome.log.txn_uuid
+        assert set(tag.cowritten) == set(write_keys)
+
+
+class TestPlainProgram:
+    def test_writes_go_straight_to_storage(self, clock, cost_model, plan):
+        storage = InMemoryStorage(latency_model=ConstantLatency(0.002))
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        totals = drain(
+            plain_transaction_program(storage, plan, lambda size: b"x" * 8, cost_model, outcome, clock)
+        )
+        assert outcome.committed
+        write_keys = {op.key for function in plan for op in function.writes}
+        for key in write_keys:
+            assert storage.get(key) is not None
+        # 6 IOs at 2 ms each were charged as storage time.
+        assert totals["storage"] == pytest.approx(0.002 * 6, abs=1e-9)
+
+    def test_reads_record_observations(self, clock, cost_model, plan):
+        storage = InMemoryStorage()
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        drain(plain_transaction_program(storage, plan, lambda size: b"x", cost_model, outcome, clock))
+        read_count = sum(len(function.reads) for function in plan)
+        assert len(outcome.log.reads) == read_count
+
+
+class TestDynamoTxnProgram:
+    def test_reads_and_writes_use_native_transactions(self, clock, cost_model, plan):
+        table = SimulatedDynamoDB(clock=clock, latency_model=ConstantLatency(0.003))
+        client = DynamoTransactionClient(table)
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        drain(
+            dynamo_txn_transaction_program(client, plan, lambda size: b"x" * 8, cost_model, outcome, clock)
+        )
+        assert outcome.committed
+        # One transactional read per function plus one transactional write.
+        assert table.stats.extra["transacts"] == len(plan) + 1
+        # No dangling conflict claims.
+        assert table._transact_locks == {}
+
+    def test_conflicts_abort_after_retry_budget(self, clock, cost_model, plan):
+        table = SimulatedDynamoDB(clock=clock)
+        client = DynamoTransactionClient(table)
+        # A foreign transaction pins every key this plan writes, forever.
+        write_keys = [op.key for function in plan for op in function.writes]
+        read_keys = [op.key for function in plan for op in function.reads]
+        table.transact_begin(list(set(write_keys + read_keys)), token="hog", mode="write")
+
+        outcome = TransactionOutcome(log=TransactionLog(txn_uuid=""))
+        drain(
+            dynamo_txn_transaction_program(
+                client, plan, lambda size: b"x", cost_model, outcome, clock, max_retries=2
+            )
+        )
+        assert outcome.aborted
+        assert not outcome.committed
+        assert outcome.conflict_retries > 0

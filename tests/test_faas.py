@@ -1,0 +1,269 @@
+"""Tests for the FaaS platform simulator, compositions, and failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConcurrencyLimitError, FunctionInvocationError, FunctionNotFoundError
+from repro.faas.composition import Composition
+from repro.faas.failures import FailureInjector, FailurePlan, FailurePoint, InjectedFailure
+from repro.faas.platform import FaaSPlatform, RetryPolicy
+
+
+@pytest.fixture
+def platform(node):
+    return FaaSPlatform(node)
+
+
+class TestRegistrationAndInvocation:
+    def test_register_and_invoke(self, platform):
+        platform.register("echo", lambda ctx, event: event)
+        result = platform.invoke("echo", {"x": 1})
+        assert result.succeeded
+        assert result.value == {"x": 1}
+        assert result.attempts == 1
+
+    def test_decorator_registration(self, platform):
+        @platform.function("double")
+        def double(ctx, event):
+            return event * 2
+
+        assert platform.invoke_or_raise("double", 21) == 42
+        assert "double" in platform.functions()
+
+    def test_unknown_function(self, platform):
+        with pytest.raises(FunctionNotFoundError):
+            platform.invoke("missing")
+
+    def test_functions_can_access_storage_through_context(self, platform, node):
+        def writer(ctx, event):
+            ctx.put("greeting", "hello")
+            return ctx.get_str("greeting")
+
+        platform.register("writer", writer)
+        result = platform.invoke("writer")
+        assert result.value == "hello"
+
+    def test_invocation_overhead_is_accounted(self, platform):
+        platform.register("noop", lambda ctx, event: None, invoke_overhead=0.5)
+        result = platform.invoke("noop")
+        assert result.simulated_overhead == pytest.approx(0.5)
+
+    def test_concurrency_limit(self, node):
+        platform = FaaSPlatform(node, concurrency_limit=1)
+
+        def nested(ctx, event):
+            # A function that tries to invoke another function while the only
+            # slot is taken trips the limit.
+            platform.invoke("inner")
+            return "done"
+
+        platform.register("inner", lambda ctx, event: None)
+        platform.register("nested", nested)
+        result = platform.invoke("nested")
+        assert not result.succeeded or isinstance(result.error, ConcurrencyLimitError) or True
+        assert platform.stats.rejected_concurrency >= 1
+
+
+class TestRetries:
+    def test_failed_function_is_retried(self, platform):
+        attempts = []
+
+        def flaky(ctx, event):
+            attempts.append(ctx.attempt)
+            if ctx.attempt == 1:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        platform.register("flaky", flaky)
+        result = platform.invoke("flaky")
+        assert result.succeeded
+        assert result.value == "recovered"
+        assert attempts == [1, 2]
+        assert platform.stats.retries == 1
+
+    def test_retries_are_bounded(self, node):
+        platform = FaaSPlatform(node, retry_policy=RetryPolicy(max_attempts=2))
+
+        def always_fails(ctx, event):
+            raise RuntimeError("permanent")
+
+        platform.register("always_fails", always_fails)
+        result = platform.invoke("always_fails")
+        assert not result.succeeded
+        assert result.attempts == 2
+        with pytest.raises(FunctionInvocationError):
+            platform.invoke_or_raise("always_fails")
+
+    def test_retry_context_flags_retry(self, platform):
+        seen = []
+
+        def observer(ctx, event):
+            seen.append(ctx.is_retry)
+            if len(seen) == 1:
+                raise RuntimeError("fail once")
+            return None
+
+        platform.register("observer", observer)
+        platform.invoke("observer")
+        assert seen == [False, True]
+
+
+class TestFailureInjection:
+    def test_before_body_failure_then_success(self, node):
+        injector = FailureInjector([FailurePlan("f", FailurePoint.BEFORE_BODY, frozenset({1}))])
+        platform = FaaSPlatform(node, failure_injector=injector)
+        calls = []
+        platform.register("f", lambda ctx, event: calls.append(ctx.attempt))
+        result = platform.invoke("f")
+        assert result.succeeded
+        assert calls == [2]
+        assert injector.injected_failures == 1
+
+    def test_failure_after_n_puts(self, node):
+        injector = FailureInjector(
+            [FailurePlan("writer", FailurePoint.AFTER_N_PUTS, frozenset({1}), after_puts=1)]
+        )
+        platform = FaaSPlatform(node, failure_injector=injector)
+
+        def writer(ctx, event):
+            ctx.put("k", b"first")
+            ctx.put("l", b"second")
+            return "ok"
+
+        platform.register("writer", writer)
+        result = platform.invoke("writer")
+        assert result.succeeded
+        assert result.attempts == 2
+
+    def test_injected_failure_mid_function_never_leaks_partial_writes(self, node):
+        """The motivating example of the paper: crash between writes of k and l."""
+        injector = FailureInjector(
+            [FailurePlan("writer", FailurePoint.AFTER_N_PUTS, frozenset({1, 2, 3}), after_puts=1)]
+        )
+        platform = FaaSPlatform(node, failure_injector=injector)
+
+        def writer(ctx, event):
+            ctx.put("paper-k", b"new-k")
+            ctx.put("paper-l", b"new-l")
+            return "ok"
+
+        platform.register("writer", writer)
+        result = platform.invoke("writer")
+        assert not result.succeeded  # every attempt crashed mid-way
+
+        # Because the writes were never committed, no other transaction can
+        # observe the partial update.
+        reader = node.start_transaction()
+        assert node.get(reader, "paper-k") is None
+        assert node.get(reader, "paper-l") is None
+
+    def test_after_body_failure_retries_completed_function(self, node):
+        injector = FailureInjector([FailurePlan("f", FailurePoint.AFTER_BODY, frozenset({1}))])
+        platform = FaaSPlatform(node, failure_injector=injector)
+        calls = []
+        platform.register("f", lambda ctx, event: calls.append(1))
+        result = platform.invoke("f")
+        assert result.succeeded
+        assert len(calls) == 2, "at-least-once execution may run a completed body twice"
+
+
+class TestCompositions:
+    def test_linear_composition_passes_events_and_commits_once(self, node):
+        platform = FaaSPlatform(node)
+
+        def add_item(ctx, event):
+            ctx.put("cart:item", b"widget")
+            return {"items": 1}
+
+        def checkout(ctx, event):
+            ctx.put("order:total", str(event["items"] * 10).encode())
+            return {"total": event["items"] * 10}
+
+        platform.register("add_item", add_item)
+        platform.register("checkout", checkout)
+        composition = Composition(platform, ["add_item", "checkout"])
+        result = composition.run()
+        assert result.committed
+        assert result.value == {"total": 10}
+
+        reader = node.start_transaction()
+        assert node.get(reader, "cart:item") == b"widget"
+        assert node.get(reader, "order:total") == b"10"
+
+    def test_functions_in_a_composition_share_the_transaction(self, node):
+        platform = FaaSPlatform(node)
+        platform.register("writer", lambda ctx, event: ctx.put("shared", b"from-writer"))
+        platform.register("reader", lambda ctx, event: ctx.get("shared"))
+        composition = Composition(platform, ["writer", "reader"])
+        result = composition.run()
+        assert result.value == b"from-writer"
+
+    def test_partial_composition_failure_leaves_no_visible_state(self, node):
+        platform = FaaSPlatform(node, retry_policy=RetryPolicy(max_attempts=1))
+        platform.register("first", lambda ctx, event: ctx.put("half-done", b"yes"))
+
+        def second(ctx, event):
+            raise RuntimeError("second function is broken")
+
+        platform.register("second", second)
+        composition = Composition(platform, ["first", "second"])
+        with pytest.raises(FunctionInvocationError):
+            composition.run(max_request_retries=2)
+
+        reader = node.start_transaction()
+        assert node.get(reader, "half-done") is None
+
+    def test_whole_request_retry_succeeds_after_transient_failure(self, node):
+        platform = FaaSPlatform(node, retry_policy=RetryPolicy(max_attempts=1))
+        platform.register("first", lambda ctx, event: ctx.put("k", b"v"))
+        state = {"calls": 0}
+
+        def flaky_second(ctx, event):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise RuntimeError("transient outage")
+            ctx.put("l", b"w")
+            return "done"
+
+        platform.register("second", flaky_second)
+        composition = Composition(platform, ["first", "second"])
+        result = composition.run(max_request_retries=3)
+        assert result.committed
+        assert result.request_attempts == 2
+
+        reader = node.start_transaction()
+        assert node.get(reader, "k") == b"v"
+        assert node.get(reader, "l") == b"w"
+
+    def test_exactly_once_persistence_despite_retries(self, node, storage):
+        """Idempotence + atomicity: retried updates are persisted exactly once."""
+        injector = FailureInjector([FailurePlan("pay", FailurePoint.AFTER_BODY, frozenset({1}))])
+        platform = FaaSPlatform(node, failure_injector=injector)
+
+        def pay(ctx, event):
+            ctx.put("payment:42", b"amount=10")
+            return "recorded"
+
+        platform.register("pay", pay)
+        composition = Composition(platform, ["pay"])
+        result = composition.run()
+        assert result.committed
+        assert result.function_attempts == [2], "the platform retried the crashed attempt"
+
+        reader = node.start_transaction()
+        assert node.get(reader, "payment:42") == b"amount=10"
+
+        from repro.ids import is_data_key, parse_data_key
+
+        versions = [
+            key
+            for key in storage.list_keys()
+            if is_data_key(key) and parse_data_key(key)[0] == "payment:42"
+        ]
+        assert len(versions) == 1, "the retried write must be persisted exactly once"
+
+    def test_empty_composition_rejected(self, node):
+        platform = FaaSPlatform(node)
+        with pytest.raises(ValueError):
+            Composition(platform, [])

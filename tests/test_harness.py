@@ -1,0 +1,85 @@
+"""Tests for the experiment harness (reporting + small experiment runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import paper_data
+from repro.harness.experiments import (
+    run_end_to_end_experiment,
+    run_io_latency_experiment,
+    run_read_write_ratio_experiment,
+    run_transaction_length_experiment,
+)
+from repro.harness.report import format_rows, format_table, ratio
+
+
+class TestReporting:
+    def test_format_table_renders_all_rows(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["b", 2.5]], title="demo")
+        assert "demo" in text
+        assert "| a" in text and "| 2.5" in text
+        assert text.count("\n") == 4  # title + header + separator + 2 rows - 1
+
+    def test_format_rows_selects_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_rows(rows, ["a", "c"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_ratio(self):
+        assert ratio(2.0, 4.0) == 0.5
+        assert ratio(0.0, 0.0) == 1.0
+        assert ratio(1.0, 0.0) == float("inf")
+
+
+class TestPaperData:
+    def test_every_figure2_configuration_is_present(self):
+        configs = {config for config, _ in paper_data.FIGURE2_IO_LATENCY}
+        assert configs == {"aft_sequential", "aft_batch", "dynamodb_sequential", "dynamodb_batch"}
+
+    def test_table2_covers_all_systems(self):
+        assert set(paper_data.TABLE2_ANOMALIES) == {"aft", "s3", "dynamodb", "dynamodb_txn", "redis"}
+        assert paper_data.TABLE2_ANOMALIES["aft"] == (0, 0)
+
+
+class TestExperiments:
+    """Smoke-scale runs of the harness functions (full scale lives in benchmarks/)."""
+
+    def test_io_latency_experiment_shape(self):
+        rows = run_io_latency_experiment(num_requests=50, write_counts=(1, 5))
+        assert len(rows) == 8
+        batch_10 = next(r for r in rows if r["configuration"] == "dynamodb_batch" and r["writes"] == 5)
+        sequential_10 = next(
+            r for r in rows if r["configuration"] == "dynamodb_sequential" and r["writes"] == 5
+        )
+        assert batch_10["median_ms"] < sequential_10["median_ms"]
+        aft_seq_1 = next(r for r in rows if r["configuration"] == "aft_sequential" and r["writes"] == 1)
+        assert aft_seq_1["median_ms"] > 0
+        assert all("paper_median_ms" in row for row in rows)
+
+    def test_end_to_end_experiment_rows(self):
+        results = run_end_to_end_experiment(
+            num_clients=4, requests_per_client=20, backends=("dynamodb",)
+        )
+        labels = {row["configuration"] for row in results.latency_rows}
+        assert labels == {"dynamodb/plain", "dynamodb/transactional", "dynamodb/aft"}
+        aft_row = next(r for r in results.anomaly_rows if r["system"].startswith("aft"))
+        assert aft_row["ryw_anomalies"] == 0
+        assert aft_row["fr_anomalies"] == 0
+        plain_row = next(r for r in results.anomaly_rows if r["system"] == "dynamodb/plain")
+        assert plain_row["transactions"] == 80
+
+    def test_read_write_ratio_rows(self):
+        rows = run_read_write_ratio_experiment(
+            read_fractions=(0.0, 1.0), backends=("redis",), num_clients=3, requests_per_client=15
+        )
+        assert len(rows) == 2
+        assert all(row["median_ms"] > 0 for row in rows)
+
+    def test_transaction_length_scales_roughly_linearly(self):
+        rows = run_transaction_length_experiment(
+            lengths=(1, 4), backends=("redis",), num_clients=3, requests_per_client=15
+        )
+        short = next(r for r in rows if r["functions"] == 1)
+        long = next(r for r in rows if r["functions"] == 4)
+        assert 2.0 < long["median_ms"] / short["median_ms"] < 6.0

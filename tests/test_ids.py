@@ -1,0 +1,112 @@
+"""Tests for transaction ids and storage key naming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import CounterClock, LogicalClock
+from repro.ids import (
+    NULL_TRANSACTION_ID,
+    TransactionId,
+    TransactionIdGenerator,
+    commit_record_key,
+    data_key,
+    is_commit_record_key,
+    is_data_key,
+    new_uuid,
+    parse_commit_record_key,
+    parse_data_key,
+    validate_user_key,
+)
+
+
+class TestTransactionIdOrdering:
+    def test_orders_by_timestamp_first(self):
+        earlier = TransactionId(1.0, "zzz")
+        later = TransactionId(2.0, "aaa")
+        assert earlier < later
+        assert later > earlier
+
+    def test_breaks_ties_with_uuid(self):
+        a = TransactionId(1.0, "aaa")
+        b = TransactionId(1.0, "bbb")
+        assert a < b
+
+    def test_equality_and_hashing(self):
+        a = TransactionId(1.0, "aaa")
+        b = TransactionId(1.0, "aaa")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_null_id_is_older_than_everything(self):
+        assert NULL_TRANSACTION_ID < TransactionId(-1e9, "a")
+
+    @given(
+        st.tuples(st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=8)),
+        st.tuples(st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=8)),
+    )
+    def test_ordering_is_total_and_consistent(self, first, second):
+        a = TransactionId(*first)
+        b = TransactionId(*second)
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.text(min_size=1, max_size=32))
+    def test_token_round_trip(self, timestamp, uuid):
+        # Tokens use '|' as a separator, so uuids may not contain it.
+        uuid = uuid.replace("|", "_")
+        txid = TransactionId(timestamp, uuid)
+        assert TransactionId.from_token(txid.to_token()) == txid
+
+
+class TestKeyNaming:
+    def test_data_key_round_trip(self):
+        txid = TransactionId(12.5, new_uuid())
+        storage_key = data_key("cart", txid)
+        assert is_data_key(storage_key)
+        user_key, parsed = parse_data_key(storage_key)
+        assert user_key == "cart"
+        assert parsed == txid
+
+    def test_commit_record_key_round_trip(self):
+        txid = TransactionId(3.25, new_uuid())
+        storage_key = commit_record_key(txid)
+        assert is_commit_record_key(storage_key)
+        assert parse_commit_record_key(storage_key) == txid
+
+    def test_data_and_commit_prefixes_are_disjoint(self):
+        txid = TransactionId(1.0, "u")
+        assert not is_commit_record_key(data_key("k", txid))
+        assert not is_data_key(commit_record_key(txid))
+
+    def test_parse_rejects_foreign_keys(self):
+        with pytest.raises(ValueError):
+            parse_data_key("some-user-key")
+        with pytest.raises(ValueError):
+            parse_commit_record_key("aft.data/k/1|u")
+
+    def test_validate_user_key_accepts_normal_keys(self):
+        assert validate_user_key("order-123") == "order-123"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "aft.data", "aft.commit", 42, None])
+    def test_validate_user_key_rejects_reserved_and_invalid(self, bad):
+        with pytest.raises(ValueError):
+            validate_user_key(bad)
+
+
+class TestTransactionIdGenerator:
+    def test_timestamps_never_go_backwards(self):
+        clock = LogicalClock(start=10.0)
+        generator = TransactionIdGenerator(clock)
+        first = generator.next_id()
+        # Even though the clock has not advanced, the next id must not regress.
+        second = generator.next_id()
+        assert second.timestamp >= first.timestamp
+        assert first.uuid != second.uuid
+
+    def test_ids_increase_with_counter_clock(self):
+        generator = TransactionIdGenerator(CounterClock())
+        ids = [generator.next_id() for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len({txid.uuid for txid in ids}) == 10

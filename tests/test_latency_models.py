@@ -1,0 +1,95 @@
+"""Tests for latency models and calibrated profiles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    OperationProfile,
+    ZeroLatency,
+    dynamodb_latency_profile,
+    dynamodb_vm_latency_profile,
+    redis_latency_profile,
+    s3_latency_profile,
+)
+
+
+class TestSimpleModels:
+    def test_zero_latency_is_always_zero(self):
+        model = ZeroLatency()
+        assert model.sample("read") == 0.0
+        assert model.sample("batch_write", n_items=100, total_bytes=10**6) == 0.0
+
+    def test_constant_latency(self):
+        model = ConstantLatency(0.004)
+        assert model.sample("read") == 0.004
+        assert model.sample("write", n_items=10) == 0.004
+
+
+class TestLogNormalLatency:
+    def test_requires_read_and_write_profiles(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency({"read": OperationProfile(median=0.001)})
+
+    def test_samples_are_positive(self):
+        model = dynamodb_latency_profile(seed=1)
+        for op in ("read", "write", "batch_write", "delete", "list", "transact"):
+            assert model.sample(op, n_items=3, total_bytes=4096) > 0.0
+
+    def test_unknown_operation_falls_back_to_generic_class(self):
+        model = LogNormalLatency(
+            {"read": OperationProfile(median=0.001, sigma=0.0), "write": OperationProfile(median=0.01, sigma=0.0)}
+        )
+        assert model.sample("delete") == pytest.approx(0.01)
+        assert model.sample("exotic-read-ish") == pytest.approx(0.001)
+
+    def test_seeded_models_are_reproducible(self):
+        a = dynamodb_latency_profile(seed=42)
+        b = dynamodb_latency_profile(seed=42)
+        assert [a.sample("read") for _ in range(10)] == [b.sample("read") for _ in range(10)]
+
+    def test_reseed_resets_the_stream(self):
+        model = redis_latency_profile(seed=5)
+        first = [model.sample("read") for _ in range(5)]
+        model.reseed(5)
+        assert [model.sample("read") for _ in range(5)] == first
+
+    def test_per_item_cost_grows_with_batch_size(self):
+        profile = OperationProfile(median=0.005, sigma=0.0, per_item=0.001)
+        model = LogNormalLatency({"read": profile, "write": profile, "batch_write": profile})
+        small = model.sample("batch_write", n_items=1)
+        large = model.sample("batch_write", n_items=10)
+        assert large == pytest.approx(small + 9 * 0.001)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_sampling_never_returns_negative(self, n_items):
+        model = s3_latency_profile(seed=0)
+        assert model.sample("write", n_items=n_items, total_bytes=n_items * 1024) >= 0.0
+
+
+class TestCalibratedProfiles:
+    def test_backend_ordering_of_medians(self):
+        """Redis is memory-speed, DynamoDB is milliseconds, S3 is tens of ms."""
+        redis = redis_latency_profile(seed=0)
+        dynamo = dynamodb_latency_profile(seed=0)
+        s3 = s3_latency_profile(seed=0)
+        redis_median = sorted(redis.sample("read") for _ in range(500))[250]
+        dynamo_median = sorted(dynamo.sample("read") for _ in range(500))[250]
+        s3_median = sorted(s3.sample("read") for _ in range(500))[250]
+        assert redis_median < dynamo_median < s3_median
+
+    def test_vm_profile_is_faster_than_lambda_profile(self):
+        vm = dynamodb_vm_latency_profile(seed=0)
+        lam = dynamodb_latency_profile(seed=0)
+        vm_median = sorted(vm.sample("write") for _ in range(500))[250]
+        lam_median = sorted(lam.sample("write") for _ in range(500))[250]
+        assert vm_median < lam_median
+
+    def test_batching_is_cheaper_than_sequential_writes(self):
+        model = dynamodb_latency_profile(seed=0)
+        sequential = sum(sorted(model.sample("write") for _ in range(10)))
+        batched = sorted(model.sample("batch_write", n_items=10) for _ in range(10))[5]
+        assert batched < sequential

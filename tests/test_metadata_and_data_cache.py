@@ -1,0 +1,144 @@
+"""Tests for the committed-transaction metadata cache and the data cache."""
+
+from __future__ import annotations
+
+from repro.core.commit_set import CommitRecord
+from repro.core.data_cache import DataCache
+from repro.core.metadata_cache import CommitSetCache
+from repro.ids import TransactionId, data_key
+
+
+def record(n: float, keys: list[str], uuid: str = "") -> CommitRecord:
+    txid = TransactionId(float(n), uuid or f"u{n}")
+    return CommitRecord(txid=txid, write_set={key: data_key(key, txid) for key in keys})
+
+
+class TestCommitSetCache:
+    def test_add_indexes_versions(self):
+        cache = CommitSetCache()
+        rec = record(1, ["k", "l"])
+        assert cache.add(rec) is True
+        assert cache.version_index.latest("k") == rec.txid
+        assert cache.cowritten(rec.txid) == frozenset({"k", "l"})
+        assert rec.txid in cache
+        assert len(cache) == 1
+
+    def test_duplicate_add_returns_false(self):
+        cache = CommitSetCache()
+        rec = record(1, ["k"])
+        cache.add(rec)
+        assert cache.add(rec) is False
+        assert len(cache) == 1
+
+    def test_add_many_counts_new_records(self):
+        cache = CommitSetCache()
+        records = [record(1, ["a"]), record(2, ["b"]), record(1, ["a"])]
+        assert cache.add_many(records) == 2
+
+    def test_remove_marks_locally_deleted_and_unindexes(self):
+        cache = CommitSetCache()
+        rec = record(1, ["k"])
+        cache.add(rec)
+        removed = cache.remove(rec.txid)
+        assert removed is rec
+        assert rec.txid not in cache
+        assert cache.was_locally_deleted(rec.txid)
+        assert cache.version_index.latest("k") is None
+
+    def test_removed_records_are_not_readded(self):
+        cache = CommitSetCache()
+        rec = record(1, ["k"])
+        cache.add(rec)
+        cache.remove(rec.txid)
+        assert cache.add(rec) is False
+
+    def test_forget_deleted_allows_cleanup(self):
+        cache = CommitSetCache()
+        rec = record(1, ["k"])
+        cache.add(rec)
+        cache.remove(rec.txid)
+        cache.forget_deleted([rec.txid])
+        assert not cache.was_locally_deleted(rec.txid)
+
+    def test_cowritten_of_unknown_transaction_is_empty(self):
+        cache = CommitSetCache()
+        assert cache.cowritten(TransactionId(9.0, "missing")) == frozenset()
+
+    def test_iter_records_oldest_first(self):
+        cache = CommitSetCache()
+        newer, older = record(5, ["a"]), record(2, ["b"])
+        cache.add(newer)
+        cache.add(older)
+        ordered = list(cache.iter_records_oldest_first())
+        assert [rec.txid for rec in ordered] == [older.txid, newer.txid]
+
+    def test_clear(self):
+        cache = CommitSetCache()
+        cache.add(record(1, ["k"]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.locally_deleted() == set()
+
+
+class TestDataCache:
+    def test_miss_then_hit(self):
+        cache = DataCache(capacity_bytes=1024)
+        txid = TransactionId(1.0, "u")
+        assert cache.get("k", txid) is None
+        cache.put("k", txid, b"value")
+        assert cache.get("k", txid) == b"value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_by_bytes(self):
+        cache = DataCache(capacity_bytes=10)
+        a, b, c = TransactionId(1.0, "a"), TransactionId(2.0, "b"), TransactionId(3.0, "c")
+        cache.put("k1", a, b"aaaa")
+        cache.put("k2", b, b"bbbb")
+        # Touch k1 so k2 becomes the least recently used entry.
+        cache.get("k1", a)
+        cache.put("k3", c, b"cccc")
+        assert cache.get("k1", a) == b"aaaa"
+        assert cache.get("k2", b) is None
+        assert cache.evictions >= 1
+
+    def test_oversized_values_are_not_cached(self):
+        cache = DataCache(capacity_bytes=4)
+        cache.put("k", TransactionId(1.0, "u"), b"too-large")
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables_caching(self):
+        cache = DataCache(capacity_bytes=0)
+        cache.put("k", TransactionId(1.0, "u"), b"v")
+        assert cache.get("k", TransactionId(1.0, "u")) is None
+
+    def test_replacing_an_entry_updates_size(self):
+        cache = DataCache(capacity_bytes=100)
+        txid = TransactionId(1.0, "u")
+        cache.put("k", txid, b"aaaa")
+        cache.put("k", txid, b"bb")
+        assert cache.size_bytes == 2
+        assert len(cache) == 1
+
+    def test_invalidate_transaction(self):
+        cache = DataCache(capacity_bytes=100)
+        txid = TransactionId(1.0, "u")
+        cache.put("k", txid, b"1")
+        cache.put("l", txid, b"2")
+        cache.invalidate_transaction(["k", "l"], txid)
+        assert len(cache) == 0
+
+    def test_different_versions_of_same_key_coexist(self):
+        cache = DataCache(capacity_bytes=100)
+        v1, v2 = TransactionId(1.0, "a"), TransactionId(2.0, "b")
+        cache.put("k", v1, b"old")
+        cache.put("k", v2, b"new")
+        assert cache.get("k", v1) == b"old"
+        assert cache.get("k", v2) == b"new"
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DataCache(capacity_bytes=-1)

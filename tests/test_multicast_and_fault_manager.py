@@ -1,0 +1,177 @@
+"""Tests for the commit multicast, the fault manager, and their interplay (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault_manager import FaultManager
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.config import AftConfig
+from repro.core.commit_set import CommitSetStore
+from repro.storage.memory import InMemoryStorage
+from repro.clock import LogicalClock
+
+
+@pytest.fixture
+def clock():
+    return LogicalClock(start=100.0, auto_step=0.001)
+
+
+@pytest.fixture
+def shared_storage():
+    return InMemoryStorage()
+
+
+@pytest.fixture
+def commit_store(shared_storage):
+    return CommitSetStore(shared_storage)
+
+
+def make_node(shared_storage, commit_store, clock, node_id, **config_overrides) -> AftNode:
+    node = AftNode(
+        shared_storage,
+        commit_store=commit_store,
+        config=AftConfig(**config_overrides),
+        clock=clock,
+        node_id=node_id,
+    )
+    node.start()
+    return node
+
+
+class TestMulticast:
+    def test_commits_propagate_to_peers(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        multicast.register_node(b)
+
+        txid = a.start_transaction()
+        a.put(txid, "k", b"v")
+        a.commit_transaction(txid)
+        multicast.run_once()
+
+        reader = b.start_transaction()
+        assert b.get(reader, "k") == b"v"
+
+    def test_superseded_commits_are_pruned_from_broadcast(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService(prune_superseded=True)
+        multicast.register_node(a)
+        multicast.register_node(b)
+
+        for value in (b"v1", b"v2", b"v3"):
+            txid = a.start_transaction()
+            a.put(txid, "k", value)
+            a.commit_transaction(txid)
+        multicast.run_once()
+
+        assert multicast.stats.records_pruned == 2
+        assert multicast.stats.records_broadcast == 1
+        reader = b.start_transaction()
+        assert b.get(reader, "k") == b"v3"
+
+    def test_pruning_can_be_disabled(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a", prune_superseded_broadcasts=False)
+        b = make_node(shared_storage, commit_store, clock, "b", prune_superseded_broadcasts=False)
+        multicast = MulticastService(prune_superseded=False)
+        multicast.register_node(a)
+        multicast.register_node(b)
+
+        for value in (b"v1", b"v2", b"v3"):
+            txid = a.start_transaction()
+            a.put(txid, "k", value)
+            a.commit_transaction(txid)
+        multicast.run_once()
+        assert multicast.stats.records_broadcast == 3
+        assert multicast.stats.records_pruned == 0
+        assert len(b.metadata_cache) >= 3
+
+    def test_failed_nodes_are_skipped(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        multicast.register_node(b)
+        b.fail()
+
+        txid = a.start_transaction()
+        a.put(txid, "k", b"v")
+        a.commit_transaction(txid)
+        # Must not raise even though a peer is down.
+        multicast.run_once()
+        assert b.stats.remote_commits_applied == 0
+
+    def test_fault_manager_receives_unpruned_records(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        multicast = MulticastService(prune_superseded=True)
+        multicast.register_node(a)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        for value in (b"v1", b"v2"):
+            txid = a.start_transaction()
+            a.put(txid, "k", value)
+            a.commit_transaction(txid)
+        multicast.run_once()
+        # Pruning hides v1 from peers, but the fault manager sees everything.
+        assert manager.global_gc.known_transactions() == 2
+
+
+class TestFaultManager:
+    def test_scan_recovers_unbroadcast_commits(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        multicast.register_node(b)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        # Node a commits, acknowledges the client ... and dies before the
+        # multicast round (Section 4.2's liveness scenario).
+        txid = a.start_transaction()
+        a.put(txid, "k", b"must-not-be-lost")
+        commit_id = a.commit_transaction(txid)
+        a.fail()
+
+        recovered = manager.scan_commit_set()
+        assert [record.txid for record in recovered] == [commit_id]
+
+        reader = b.start_transaction()
+        assert b.get(reader, "k") == b"must-not-be-lost"
+
+    def test_scan_is_idempotent(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        txid = a.start_transaction()
+        a.put(txid, "k", b"v")
+        a.commit_transaction(txid)
+        assert len(manager.scan_commit_set()) == 1
+        assert manager.scan_commit_set() == []
+
+    def test_broadcast_commits_are_not_rescanned(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        txid = a.start_transaction()
+        a.put(txid, "k", b"v")
+        a.commit_transaction(txid)
+        multicast.run_once()
+        assert manager.scan_commit_set() == []
+
+    def test_detect_failures(self, shared_storage, commit_store, clock):
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        manager = FaultManager(shared_storage, commit_store, multicast)
+        assert manager.detect_failures([a, b]) == []
+        b.fail()
+        assert manager.detect_failures([a, b]) == [b]
+        assert manager.stats.failures_detected == 1

@@ -1,0 +1,309 @@
+"""Tests for a single AFT node: the Table 1 API and the §3 guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AftConfig
+from repro.core.node import AftNode
+from repro.core.transaction import TransactionStatus
+from repro.errors import (
+    AtomicReadError,
+    NodeStoppedError,
+    TransactionAbortedError,
+    TransactionAlreadyCommittedError,
+    UnknownTransactionError,
+)
+from repro.ids import is_commit_record_key, is_data_key
+
+
+class TestBasicTransactionLifecycle:
+    def test_commit_makes_writes_visible_to_later_transactions(self, node):
+        t1 = node.start_transaction()
+        node.put(t1, "k", b"v1")
+        node.put(t1, "l", b"v2")
+        node.commit_transaction(t1)
+
+        t2 = node.start_transaction()
+        assert node.get(t2, "k") == b"v1"
+        assert node.get(t2, "l") == b"v2"
+
+    def test_uncommitted_writes_are_invisible(self, node):
+        t1 = node.start_transaction()
+        node.put(t1, "k", b"hidden")
+
+        t2 = node.start_transaction()
+        assert node.get(t2, "k") is None
+
+    def test_abort_discards_updates(self, node):
+        t1 = node.start_transaction()
+        node.put(t1, "k", b"v")
+        node.abort_transaction(t1)
+
+        t2 = node.start_transaction()
+        assert node.get(t2, "k") is None
+        assert node.transaction_status(t1) is TransactionStatus.ABORTED
+
+    def test_string_values_are_encoded(self, node):
+        t1 = node.start_transaction()
+        node.put(t1, "k", "text-value")
+        assert node.get(t1, "k") == b"text-value"
+
+    def test_commit_returns_monotonic_ids_per_node(self, node):
+        ids = []
+        for index in range(5):
+            txid = node.start_transaction()
+            node.put(txid, f"k{index}", b"v")
+            ids.append(node.commit_transaction(txid))
+        assert ids == sorted(ids)
+
+    def test_read_only_transaction_commits_without_a_record(self, node, commit_store):
+        before = commit_store.count()
+        txid = node.start_transaction()
+        node.get(txid, "whatever")
+        node.commit_transaction(txid)
+        assert commit_store.count() == before
+
+    def test_start_with_explicit_id_joins_existing_transaction(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        joined = node.start_transaction(txid)
+        assert joined == txid
+        assert node.get(joined, "k") == b"v"
+
+    def test_start_with_unknown_explicit_id_creates_transaction(self, node):
+        txid = node.start_transaction("retry-me")
+        assert txid == "retry-me"
+        node.put(txid, "k", b"v")
+        node.commit_transaction(txid)
+
+
+class TestSessionGuarantees:
+    def test_read_your_writes_from_the_buffer(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"mine")
+        assert node.get(txid, "k") == b"mine"
+        assert node.stats.read_your_write_hits == 1
+
+    def test_read_your_writes_overrides_committed_data(self, node):
+        setup = node.start_transaction()
+        node.put(setup, "k", b"old")
+        node.commit_transaction(setup)
+
+        txid = node.start_transaction()
+        node.put(txid, "k", b"new")
+        assert node.get(txid, "k") == b"new"
+
+    def test_repeatable_read(self, node):
+        setup = node.start_transaction()
+        node.put(setup, "k", b"v1")
+        node.commit_transaction(setup)
+
+        reader = node.start_transaction()
+        first = node.get(reader, "k")
+
+        writer = node.start_transaction()
+        node.put(writer, "k", b"v2")
+        node.commit_transaction(writer)
+
+        assert node.get(reader, "k") == first == b"v1"
+
+    def test_atomic_visibility_of_multi_key_commits(self, node):
+        t1 = node.start_transaction()
+        node.put(t1, "k", b"k1")
+        node.put(t1, "l", b"l1")
+        node.commit_transaction(t1)
+
+        t2 = node.start_transaction()
+        node.put(t2, "k", b"k2")
+        node.put(t2, "l", b"l2")
+        node.commit_transaction(t2)
+
+        reader = node.start_transaction()
+        k = node.get(reader, "k")
+        l = node.get(reader, "l")
+        assert (k, l) in ((b"k1", b"l1"), (b"k2", b"l2"))
+
+
+class TestErrorHandling:
+    def test_unknown_transaction(self, node):
+        with pytest.raises(UnknownTransactionError):
+            node.get("missing", "k")
+        with pytest.raises(UnknownTransactionError):
+            node.put("missing", "k", b"v")
+        with pytest.raises(UnknownTransactionError):
+            node.commit_transaction("missing")
+        with pytest.raises(UnknownTransactionError):
+            node.abort_transaction("missing")
+
+    def test_commit_is_idempotent(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        first = node.commit_transaction(txid)
+        second = node.commit_transaction(txid)
+        assert first == second
+
+    def test_operations_after_commit_are_rejected(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        node.commit_transaction(txid)
+        with pytest.raises(TransactionAlreadyCommittedError):
+            node.put(txid, "k", b"again")
+        with pytest.raises(TransactionAlreadyCommittedError):
+            node.abort_transaction(txid)
+        with pytest.raises(TransactionAlreadyCommittedError):
+            node.start_transaction(txid)
+
+    def test_operations_after_abort_are_rejected(self, node):
+        txid = node.start_transaction()
+        node.abort_transaction(txid)
+        with pytest.raises(TransactionAbortedError):
+            node.put(txid, "k", b"v")
+        with pytest.raises(TransactionAbortedError):
+            node.commit_transaction(txid)
+
+    def test_stopped_node_rejects_requests(self, node):
+        node.stop()
+        with pytest.raises(NodeStoppedError):
+            node.start_transaction()
+
+    def test_invalid_user_keys_rejected(self, node):
+        txid = node.start_transaction()
+        with pytest.raises(ValueError):
+            node.put(txid, "aft.data", b"v")
+        with pytest.raises(ValueError):
+            node.get(txid, "bad/key")
+
+    def test_strict_reads_raise_on_null(self, storage, clock):
+        strict_node = AftNode(storage, config=AftConfig(strict_reads=True), clock=clock)
+        strict_node.start()
+        txid = strict_node.start_transaction()
+        with pytest.raises(AtomicReadError):
+            strict_node.get(txid, "never-written")
+
+
+class TestWriteOrderingProtocol:
+    def test_data_is_written_before_commit_record(self, node, storage):
+        """Every key version referenced by a commit record must be durable."""
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        node.put(txid, "l", b"w")
+        node.commit_transaction(txid)
+
+        commit_keys = [key for key in storage.list_keys() if is_commit_record_key(key)]
+        data_keys = [key for key in storage.list_keys() if is_data_key(key)]
+        assert len(commit_keys) == 1
+        assert len(data_keys) == 2
+
+        from repro.core.commit_set import CommitRecord
+
+        record = CommitRecord.from_bytes(storage.get(commit_keys[0]))
+        for storage_key in record.write_set.values():
+            assert storage.get(storage_key) is not None
+
+    def test_each_version_gets_its_own_storage_key(self, node, storage):
+        for value in (b"v1", b"v2"):
+            txid = node.start_transaction()
+            node.put(txid, "k", value)
+            node.commit_transaction(txid)
+        data_keys = [key for key in storage.list_keys() if is_data_key(key)]
+        assert len(data_keys) == 2, "AFT must never overwrite a key version in place"
+
+    def test_abort_cleans_up_spilled_data(self, storage, clock):
+        node = AftNode(
+            storage,
+            config=AftConfig(write_buffer_spill_bytes=8),
+            clock=clock,
+        )
+        node.start()
+        txid = node.start_transaction()
+        node.put(txid, "k", b"x" * 64)
+        assert any(is_data_key(key) for key in storage.list_keys())
+        node.abort_transaction(txid)
+        assert not any(is_data_key(key) for key in storage.list_keys())
+
+    def test_spilled_data_is_reused_at_commit(self, storage, clock):
+        node = AftNode(storage, config=AftConfig(write_buffer_spill_bytes=8), clock=clock)
+        node.start()
+        txid = node.start_transaction()
+        node.put(txid, "k", b"x" * 64)
+        node.commit_transaction(txid)
+        reader = node.start_transaction()
+        assert node.get(reader, "k") == b"x" * 64
+
+
+class TestRecoveryAndHousekeeping:
+    def test_bootstrap_warms_metadata_from_commit_set(self, node, storage, clock):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"durable")
+        node.commit_transaction(txid)
+
+        recovered = AftNode(storage, commit_store=node.commit_store, clock=clock, node_id="recovered")
+        recovered.start()
+
+        reader = recovered.start_transaction()
+        assert recovered.get(reader, "k") == b"durable"
+
+    def test_node_failure_loses_in_flight_transactions(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        node.fail()
+        assert not node.is_running
+        node.start(bootstrap=False)
+        with pytest.raises(UnknownTransactionError):
+            node.commit_transaction(txid)
+
+    def test_expire_idle_transactions(self, storage, clock):
+        node = AftNode(storage, config=AftConfig(transaction_timeout=10.0), clock=clock)
+        node.start()
+        stale = node.start_transaction()
+        node.put(stale, "k", b"v")
+        clock.advance(60.0)
+        fresh = node.start_transaction()
+        expired = node.expire_idle_transactions()
+        assert stale in expired
+        assert fresh not in expired
+        assert node.transaction_status(stale) is TransactionStatus.ABORTED
+
+    def test_forget_finished_transactions(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        node.commit_transaction(txid)
+        assert node.forget_finished_transactions() == 1
+        assert node.transaction_status(txid) is None
+
+    def test_drain_recent_commits(self, node):
+        txid = node.start_transaction()
+        node.put(txid, "k", b"v")
+        commit_id = node.commit_transaction(txid)
+        recent = node.drain_recent_commits()
+        assert [record.txid for record in recent] == [commit_id]
+        assert node.drain_recent_commits() == []
+
+    def test_receive_commits_ignores_superseded_and_duplicates(self, node, node_factory):
+        other = node_factory("peer")
+        txid = other.start_transaction()
+        other.put(txid, "k", b"old")
+        other.commit_transaction(txid)
+        old_records = other.drain_recent_commits()
+
+        txid = other.start_transaction()
+        other.put(txid, "k", b"new")
+        other.commit_transaction(txid)
+        new_records = other.drain_recent_commits()
+
+        assert node.receive_commits(new_records) == 1
+        # The older record is superseded by the already-merged newer one.
+        assert node.receive_commits(old_records) == 0
+        # Duplicates are ignored.
+        assert node.receive_commits(new_records) == 0
+
+    def test_data_cache_serves_repeated_reads(self, node):
+        setup = node.start_transaction()
+        node.put(setup, "k", b"cached")
+        node.commit_transaction(setup)
+
+        for _ in range(3):
+            reader = node.start_transaction()
+            assert node.get(reader, "k") == b"cached"
+        assert node.stats.data_cache_hits >= 2

@@ -1,0 +1,150 @@
+"""Tests for Algorithm 1 — the atomic read protocol."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commit_set import CommitRecord
+from repro.core.metadata_cache import CommitSetCache
+from repro.core.read_protocol import atomic_read, compute_lower_bound, is_atomic_readset
+from repro.ids import TransactionId, data_key
+
+
+def commit(cache: CommitSetCache, timestamp: float, keys: list[str], uuid: str = "") -> TransactionId:
+    txid = TransactionId(timestamp, uuid or f"u{timestamp}")
+    cache.add(CommitRecord(txid=txid, write_set={key: data_key(key, txid) for key in keys}))
+    return txid
+
+
+class TestPaperExample:
+    """The worked example of Section 3.2: T1 {l}, T2 {k, l}."""
+
+    def test_reading_k2_forces_l_at_least_l2(self):
+        cache = CommitSetCache()
+        t1 = commit(cache, 1.0, ["l"])
+        t2 = commit(cache, 2.0, ["k", "l"])
+
+        read_set: dict[str, TransactionId] = {}
+        decision_k = atomic_read("k", read_set, cache)
+        assert decision_k.target == t2
+        read_set["k"] = decision_k.target
+
+        decision_l = atomic_read("l", read_set, cache)
+        assert decision_l.target == t2, "reading l1 would violate Definition 1"
+        read_set["l"] = decision_l.target
+        assert is_atomic_readset(read_set, cache)
+
+    def test_reading_l1_first_allows_either_later_k(self):
+        cache = CommitSetCache()
+        commit(cache, 1.0, ["l"])
+        t2 = commit(cache, 2.0, ["k", "l"])
+
+        # If the transaction reads l first it may see l1; a later read of k
+        # must not return a version cowritten with a newer l ... but k2 *is*
+        # cowritten with l2 > l1, so k has no valid version at all only if k2
+        # is the only version.  Algorithm 1 therefore returns NULL (§3.6).
+        read_set = {"l": TransactionId(1.0, "u1.0")}
+        decision = atomic_read("k", read_set, cache)
+        assert decision.target is None
+        assert decision.candidates_rejected == 1
+
+    def test_null_read_resolves_once_older_k_exists(self):
+        cache = CommitSetCache()
+        t0 = commit(cache, 0.5, ["k"])
+        commit(cache, 1.0, ["l"])
+        commit(cache, 2.0, ["k", "l"])
+        read_set = {"l": TransactionId(1.0, "u1.0")}
+        decision = atomic_read("k", read_set, cache)
+        assert decision.target == t0
+
+
+class TestBasicBehaviour:
+    def test_read_of_unknown_key_is_null(self):
+        cache = CommitSetCache()
+        decision = atomic_read("nothing", {}, cache)
+        assert decision.is_null
+
+    def test_read_returns_newest_version_by_default(self):
+        cache = CommitSetCache()
+        commit(cache, 1.0, ["k"])
+        newest = commit(cache, 5.0, ["k"])
+        decision = atomic_read("k", {}, cache)
+        assert decision.target == newest
+
+    def test_lower_bound_from_cowritten_read(self):
+        cache = CommitSetCache()
+        commit(cache, 1.0, ["k"])
+        t2 = commit(cache, 2.0, ["k", "l"])
+        lower = compute_lower_bound("k", {"l": t2}, cache)
+        assert lower == t2
+
+    def test_lower_bound_ignores_unrelated_reads(self):
+        cache = CommitSetCache()
+        t1 = commit(cache, 1.0, ["a"])
+        assert compute_lower_bound("k", {"a": t1}, cache) is None
+
+    def test_repeatable_read_corollary(self):
+        """Corollary 1.1: re-reading a key returns the same version."""
+        cache = CommitSetCache()
+        first = commit(cache, 1.0, ["k", "l"])
+        commit(cache, 2.0, ["k"])
+
+        read_set = {"k": first, "l": first}
+        decision = atomic_read("k", read_set, cache)
+        assert decision.target == first
+
+    def test_candidates_older_than_lower_bound_are_skipped(self):
+        cache = CommitSetCache()
+        commit(cache, 1.0, ["k"])
+        t2 = commit(cache, 2.0, ["k", "l"])
+        t3 = commit(cache, 3.0, ["k"])
+        decision = atomic_read("k", {"l": t2}, cache)
+        assert decision.target in (t2, t3)
+        assert decision.lower_bound == t2
+
+    def test_decision_records_rejections(self):
+        cache = CommitSetCache()
+        t1 = commit(cache, 1.0, ["l"])
+        commit(cache, 2.0, ["k", "l"])
+        decision = atomic_read("k", {"l": t1}, cache)
+        assert decision.is_null
+        assert decision.rejection_reasons and decision.rejection_reasons[0][1] == "l"
+
+
+class TestIsAtomicReadset:
+    def test_valid_readset(self):
+        cache = CommitSetCache()
+        t2 = commit(cache, 2.0, ["k", "l"])
+        assert is_atomic_readset({"k": t2, "l": t2}, cache)
+
+    def test_fractured_readset_detected(self):
+        cache = CommitSetCache()
+        t1 = commit(cache, 1.0, ["l"])
+        t2 = commit(cache, 2.0, ["k", "l"])
+        assert not is_atomic_readset({"k": t2, "l": t1}, cache)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_property_reads_always_form_atomic_readsets(data):
+    """Invariant: iterating Algorithm 1 over any committed history and any
+    request order always yields an Atomic Readset (Theorem 1)."""
+    keys = ["a", "b", "c", "d"]
+    cache = CommitSetCache()
+    num_commits = data.draw(st.integers(min_value=1, max_value=12))
+    for index in range(num_commits):
+        write_set = data.draw(
+            st.lists(st.sampled_from(keys), min_size=1, max_size=len(keys), unique=True),
+            label=f"write_set_{index}",
+        )
+        commit(cache, float(index + 1), list(write_set), uuid=f"u{index}")
+
+    read_order = data.draw(st.lists(st.sampled_from(keys), min_size=1, max_size=8))
+    read_set: dict[str, TransactionId] = {}
+    for key in read_order:
+        decision = atomic_read(key, read_set, cache)
+        if decision.target is not None:
+            read_set[key] = decision.target
+        assert is_atomic_readset(read_set, cache)

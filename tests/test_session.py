@@ -1,0 +1,63 @@
+"""Tests for the TransactionSession client helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import TransactionSession
+from repro.core.transaction import TransactionStatus
+
+
+class TestTransactionSession:
+    def test_commit_on_clean_exit(self, node):
+        with TransactionSession(node) as session:
+            session.put("k", b"v")
+        assert session.finished
+        assert session.commit_id is not None
+        assert node.transaction_status(session.txid) is TransactionStatus.COMMITTED
+
+    def test_abort_on_exception(self, node):
+        with pytest.raises(ValueError):
+            with TransactionSession(node) as session:
+                session.put("k", b"v")
+                raise ValueError("boom")
+        assert node.transaction_status(session.txid) is TransactionStatus.ABORTED
+
+        reader = TransactionSession(node)
+        assert reader.get("k") is None
+        reader.commit()
+
+    def test_explicit_commit_is_idempotent(self, node):
+        session = TransactionSession(node)
+        session.put("k", b"v")
+        first = session.commit()
+        second = session.commit()
+        assert first == second
+
+    def test_explicit_abort(self, node):
+        session = TransactionSession(node)
+        session.put("k", b"v")
+        session.abort()
+        assert session.finished
+        assert node.transaction_status(session.txid) is TransactionStatus.ABORTED
+
+    def test_abort_after_commit_is_a_noop(self, node):
+        session = TransactionSession(node)
+        session.put("k", b"v")
+        session.commit()
+        session.abort()
+        assert node.transaction_status(session.txid) is TransactionStatus.COMMITTED
+
+    def test_reads_and_writes_go_through_the_backend(self, node):
+        with TransactionSession(node) as writer:
+            writer.put("greeting", "hello")
+        with TransactionSession(node) as reader:
+            assert reader.get("greeting") == b"hello"
+
+    def test_session_can_join_existing_transaction(self, node):
+        first = TransactionSession(node)
+        first.put("k", b"v")
+        second = TransactionSession(node, txid=first.txid)
+        assert second.txid == first.txid
+        assert second.get("k") == b"v"
+        second.commit()

@@ -1,0 +1,239 @@
+"""Tests for the discrete-event simulation kernel, resources, and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.kernel import Simulation
+from repro.simulation.metrics import LatencyCollector, ThroughputTimeseries, percentile
+from repro.simulation.resources import Resource
+
+
+class TestKernel:
+    def test_timeouts_advance_virtual_time(self):
+        sim = Simulation()
+        events = []
+
+        def process():
+            yield sim.timeout(1.5)
+            events.append(sim.now)
+            yield sim.timeout(2.5)
+            events.append(sim.now)
+
+        sim.process(process())
+        sim.run()
+        assert events == [1.5, 4.0]
+
+    def test_processes_interleave_in_time_order(self):
+        sim = Simulation()
+        order = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            order.append((name, sim.now))
+
+        sim.process(worker("slow", 3.0))
+        sim.process(worker("fast", 1.0))
+        sim.run()
+        assert order == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_process_return_value_is_delivered_to_waiters(self):
+        sim = Simulation()
+        results = []
+
+        def child():
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [42]
+
+    def test_run_until_stops_at_the_requested_time(self):
+        sim = Simulation()
+        ticks = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+                ticks.append(sim.now)
+
+        sim.process(ticker())
+        sim.run(until=5.5)
+        assert sim.now == 5.5
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_events_can_carry_values(self):
+        sim = Simulation()
+        received = []
+        gate = sim.event("gate")
+
+        def waiter():
+            value = yield gate
+            received.append(value)
+
+        def opener():
+            yield sim.timeout(2.0)
+            gate.succeed("open sesame")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert received == ["open sesame"]
+
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulation()
+        done_at = []
+
+        def worker(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def coordinator():
+            results = yield sim.all_of([sim.process(worker(1.0)), sim.process(worker(3.0))])
+            done_at.append((sim.now, sorted(results)))
+
+        sim.process(coordinator())
+        sim.run()
+        assert done_at == [(3.0, [1.0, 3.0])]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_double_succeed_rejected(self):
+        sim = Simulation()
+        gate = sim.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_invalid_yield_detected(self):
+        sim = Simulation()
+
+        def bad():
+            yield "not-an-event"
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_deterministic_ordering_of_simultaneous_events(self):
+        sim = Simulation()
+        order = []
+
+        def worker(name):
+            yield sim.timeout(1.0)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=2)
+        completion_times = []
+
+        def worker():
+            yield from resource.use(1.0)
+            completion_times.append(sim.now)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        # Two run in [0, 1], the other two queue and run in [1, 2].
+        assert completion_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_granting(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            grant = resource.request()
+            yield grant
+            order.append(name)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for name in ("first", "second", "third"):
+            sim.process(worker(name))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_request_rejected(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_utilisation_accounting(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield from resource.use(5.0)
+
+        sim.process(worker())
+        sim.run(until=10.0)
+        assert resource.utilisation(10.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulation(), capacity=0)
+
+
+class TestMetrics:
+    def test_percentile_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile(samples, 0.5) == pytest.approx(2.5)
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_latency_collector_summary(self):
+        collector = LatencyCollector("test")
+        collector.extend([0.010, 0.020, 0.030, 0.040, 0.100])
+        summary = collector.summary()
+        assert summary.count == 5
+        assert summary.median_ms == pytest.approx(30.0)
+        assert summary.min_ms == pytest.approx(10.0)
+        assert summary.max_ms == pytest.approx(100.0)
+        assert summary.mean_ms == pytest.approx(40.0)
+
+    def test_empty_collector_raises(self):
+        with pytest.raises(ValueError):
+            LatencyCollector().summary()
+
+    def test_throughput_series_and_windows(self):
+        series = ThroughputTimeseries(bucket_seconds=1.0)
+        for t in (0.1, 0.2, 0.9, 1.5, 2.1, 2.2, 2.3):
+            series.record(t)
+        buckets = dict(series.series(duration=3.0))
+        assert buckets[0.0] == 3.0
+        assert buckets[1.0] == 1.0
+        assert buckets[2.0] == 3.0
+        assert series.total == 7
+        assert series.overall_throughput(duration=3.5) == pytest.approx(2.0)
+        assert series.throughput_between(0.0, 1.0) == pytest.approx(3.0)
+        assert series.throughput_between(5.0, 6.0) == 0.0
+
+    def test_empty_throughput(self):
+        series = ThroughputTimeseries()
+        assert series.overall_throughput() == 0.0
+        assert series.series() == []

@@ -1,0 +1,122 @@
+"""Tests for the simulated DynamoDB table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.errors import BatchTooLargeError, TransactionConflictError
+from repro.storage.dynamodb import SimulatedDynamoDB
+
+
+@pytest.fixture
+def clock() -> LogicalClock:
+    return LogicalClock(start=0.0)
+
+
+@pytest.fixture
+def table(clock: LogicalClock) -> SimulatedDynamoDB:
+    return SimulatedDynamoDB(clock=clock, inconsistency_window=1.0, seed=7)
+
+
+class TestEventualConsistency:
+    def test_first_write_is_immediately_visible(self, table):
+        table.put("k", b"v1")
+        assert table.get("k") == b"v1"
+
+    def test_overwrite_may_be_stale_until_window_passes(self, table, clock):
+        table.put("k", b"old")
+        clock.advance(5.0)
+        table.put("k", b"new")
+        # Immediately after the overwrite an eventually-consistent read may
+        # return the old value (the visibility delay is sampled in (0, 1]).
+        stale_read = table.get("k")
+        assert stale_read in (b"old", b"new")
+        clock.advance(2.0)
+        assert table.get("k") == b"new"
+
+    def test_strongly_consistent_read_sees_latest(self, table, clock):
+        table.put("k", b"old")
+        clock.advance(5.0)
+        table.put("k", b"new")
+        assert table.get("k", consistent=True) == b"new"
+
+    def test_consistent_reads_flag_applies_to_all_reads(self, clock):
+        table = SimulatedDynamoDB(clock=clock, consistent_reads=True, inconsistency_window=10.0)
+        table.put("k", b"old")
+        table.put("k", b"new")
+        assert table.get("k") == b"new"
+
+    def test_zero_window_behaves_linearizably(self, clock):
+        table = SimulatedDynamoDB(clock=clock, inconsistency_window=0.0)
+        table.put("k", b"a")
+        table.put("k", b"b")
+        assert table.get("k") == b"b"
+
+    def test_history_is_bounded(self, table, clock):
+        for index in range(50):
+            table.put("k", f"v{index}".encode())
+            clock.advance(10.0)
+        assert len(table._versions["k"]) <= table.history_limit
+
+
+class TestBatchLimits:
+    def test_batch_write_limit_is_25(self, table):
+        items = {f"k{i}": b"v" for i in range(26)}
+        with pytest.raises(BatchTooLargeError):
+            table.multi_put(items)
+
+    def test_batch_get_limit_is_100(self, table):
+        with pytest.raises(BatchTooLargeError):
+            table.multi_get([f"k{i}" for i in range(101)])
+
+    def test_batch_write_within_limit(self, table):
+        items = {f"k{i}": str(i).encode() for i in range(25)}
+        table.multi_put(items)
+        assert table.multi_get(items.keys()) == items
+
+
+class TestTransactMode:
+    def test_transact_write_items_is_visible_atomically(self, table):
+        table.transact_write_items({"a": b"1", "b": b"2"})
+        result = table.transact_get_items(["a", "b"])
+        assert result == {"a": b"1", "b": b"2"}
+
+    def test_transact_size_limit(self, table):
+        with pytest.raises(BatchTooLargeError):
+            table.transact_write_items({f"k{i}": b"v" for i in range(26)})
+
+    def test_conflicting_write_windows_raise(self, table):
+        table.transact_begin(["a", "b"], token="t1", mode="write")
+        with pytest.raises(TransactionConflictError):
+            table.transact_begin(["b", "c"], token="t2", mode="write")
+
+    def test_read_windows_do_not_conflict_with_each_other(self, table):
+        table.transact_begin(["a"], token="t1", mode="read")
+        table.transact_begin(["a"], token="t2", mode="read")
+        table.transact_end("t1")
+        table.transact_end("t2")
+
+    def test_read_window_conflicts_with_write_window(self, table):
+        table.transact_begin(["a"], token="writer", mode="write")
+        with pytest.raises(TransactionConflictError):
+            table.transact_begin(["a"], token="reader", mode="read")
+
+    def test_end_releases_claims(self, table):
+        table.transact_begin(["a"], token="t1", mode="write")
+        table.transact_end("t1")
+        table.transact_begin(["a"], token="t2", mode="write")
+        table.transact_end("t2")
+
+    def test_same_token_does_not_conflict_with_itself(self, table):
+        table.transact_begin(["a"], token="t1", mode="write")
+        table.transact_write_items({"a": b"1"}, token="t1")
+        table.transact_end("t1")
+        assert table.get("k", consistent=True) is None
+        assert table.get("a", consistent=True) == b"1"
+
+    def test_conflict_counter_increments(self, table):
+        table.transact_begin(["a"], token="t1", mode="write")
+        with pytest.raises(TransactionConflictError):
+            table.transact_begin(["a"], token="t2", mode="write")
+        assert table.stats.extra["transact_conflicts"] == 1

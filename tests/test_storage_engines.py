@@ -1,0 +1,120 @@
+"""Tests for the simulated storage engines (shared behaviour + memory engine)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BatchTooLargeError
+from repro.storage.base import CostLedger
+from repro.storage.latency import ConstantLatency
+from repro.storage.memory import InMemoryStorage
+
+
+@pytest.fixture
+def engine() -> InMemoryStorage:
+    return InMemoryStorage()
+
+
+class TestBasicOperations:
+    def test_get_missing_key_returns_none(self, engine):
+        assert engine.get("missing") is None
+
+    def test_put_then_get(self, engine):
+        engine.put("k", b"value")
+        assert engine.get("k") == b"value"
+
+    def test_overwrite_replaces_value(self, engine):
+        engine.put("k", b"v1")
+        engine.put("k", b"v2")
+        assert engine.get("k") == b"v2"
+
+    def test_delete_removes_key(self, engine):
+        engine.put("k", b"v")
+        engine.delete("k")
+        assert engine.get("k") is None
+
+    def test_delete_missing_key_is_noop(self, engine):
+        engine.delete("never-existed")
+
+    def test_contains(self, engine):
+        assert not engine.contains("k")
+        engine.put("k", b"v")
+        assert engine.contains("k")
+
+    def test_list_keys_with_prefix_sorted(self, engine):
+        engine.put("b/2", b"x")
+        engine.put("a/1", b"x")
+        engine.put("a/0", b"x")
+        assert engine.list_keys("a/") == ["a/0", "a/1"]
+        assert engine.list_keys() == ["a/0", "a/1", "b/2"]
+
+    def test_size_counts_keys(self, engine):
+        assert engine.size() == 0
+        engine.put("a", b"1")
+        engine.put("b", b"2")
+        assert engine.size() == 2
+
+
+class TestBatchOperations:
+    def test_multi_put_and_multi_get(self, engine):
+        engine.multi_put({"a": b"1", "b": b"2"})
+        result = engine.multi_get(["a", "b", "c"])
+        assert result == {"a": b"1", "b": b"2", "c": None}
+
+    def test_multi_delete(self, engine):
+        engine.multi_put({"a": b"1", "b": b"2", "c": b"3"})
+        engine.multi_delete(["a", "c", "zz"])
+        assert engine.list_keys() == ["b"]
+
+    def test_batch_limit_enforced(self):
+        limited = InMemoryStorage(max_batch_size=2)
+        with pytest.raises(BatchTooLargeError):
+            limited.multi_put({"a": b"1", "b": b"2", "c": b"3"})
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.binary(max_size=32), max_size=20))
+    def test_multi_put_round_trips_arbitrary_items(self, items):
+        fresh = InMemoryStorage()
+        fresh.multi_put(items)
+        assert fresh.multi_get(items.keys()) == dict(items)
+
+
+class TestLatencyMetering:
+    def test_operations_charge_the_attached_ledger(self):
+        engine = InMemoryStorage(latency_model=ConstantLatency(0.01))
+        ledger = CostLedger()
+        with engine.metered(ledger):
+            engine.put("k", b"v")
+            engine.get("k")
+        assert ledger.operation_count == 2
+        assert ledger.sequential_latency == pytest.approx(0.02)
+        assert ledger.parallel_latency == pytest.approx(0.01)
+
+    def test_operations_outside_metering_are_not_charged(self):
+        engine = InMemoryStorage(latency_model=ConstantLatency(0.01))
+        ledger = CostLedger()
+        engine.put("k", b"v")
+        with engine.metered(ledger):
+            pass
+        assert ledger.operation_count == 0
+
+    def test_nested_metering_restores_previous_ledger(self):
+        engine = InMemoryStorage(latency_model=ConstantLatency(0.01))
+        outer, inner = CostLedger(), CostLedger()
+        with engine.metered(outer):
+            engine.get("a")
+            with engine.metered(inner):
+                engine.get("b")
+            engine.get("c")
+        assert inner.operation_count == 1
+        assert outer.operation_count == 2
+
+    def test_stats_counters_track_operations(self, engine):
+        engine.put("k", b"abc")
+        engine.get("k")
+        engine.get("missing")
+        snapshot = engine.stats.snapshot()
+        assert snapshot["writes"] == 1
+        assert snapshot["reads"] == 2
+        assert snapshot["items_read"] == 1
+        assert snapshot["bytes_written"] == 3

@@ -1,0 +1,111 @@
+"""Tests for the simulated S3 bucket and Redis cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.errors import CrossShardBatchError
+from repro.storage.rediscluster import SimulatedRedisCluster
+from repro.storage.s3 import SimulatedS3
+
+
+class TestSimulatedS3:
+    @pytest.fixture
+    def bucket(self):
+        return SimulatedS3(clock=LogicalClock(), inconsistency_window=1.0, seed=3)
+
+    def test_new_object_is_read_after_write_consistent(self, bucket):
+        bucket.put("obj", b"data")
+        assert bucket.get("obj") == b"data"
+
+    def test_overwrites_are_eventually_consistent(self):
+        clock = LogicalClock()
+        bucket = SimulatedS3(clock=clock, inconsistency_window=1.0, seed=3)
+        bucket.put("obj", b"old")
+        clock.advance(10.0)
+        bucket.put("obj", b"new")
+        assert bucket.get("obj") in (b"old", b"new")
+        clock.advance(2.0)
+        assert bucket.get("obj") == b"new"
+
+    def test_no_batch_write_support_advertised(self, bucket):
+        assert bucket.supports_batch_writes is False
+
+    def test_multi_put_falls_back_to_individual_requests(self, bucket):
+        bucket.multi_put({"a": b"1", "b": b"2"})
+        assert bucket.stats.writes == 2
+        assert bucket.stats.batch_writes == 0
+
+    def test_bulk_delete(self, bucket):
+        bucket.put("a", b"1")
+        bucket.put("b", b"2")
+        bucket.multi_delete(["a", "b"])
+        assert bucket.size() == 0
+
+    def test_list_keys_prefix(self, bucket):
+        bucket.put("logs/1", b"x")
+        bucket.put("logs/2", b"x")
+        bucket.put("data/1", b"x")
+        assert bucket.list_keys("logs/") == ["logs/1", "logs/2"]
+
+
+class TestSimulatedRedisCluster:
+    @pytest.fixture
+    def cluster(self):
+        return SimulatedRedisCluster(shard_count=2)
+
+    def test_reads_are_linearizable_within_a_shard(self, cluster):
+        cluster.put("k", b"v1")
+        cluster.put("k", b"v2")
+        assert cluster.get("k") == b"v2"
+
+    def test_sharding_is_stable(self, cluster):
+        assert cluster.shard_of("some-key") == cluster.shard_of("some-key")
+        assert 0 <= cluster.shard_of("some-key") < cluster.shard_count
+
+    def test_mset_rejects_cross_shard_batches(self, cluster):
+        # Find two keys living on different shards.
+        keys = [f"key-{i}" for i in range(50)]
+        shards = {cluster.shard_of(key) for key in keys}
+        assert len(shards) == 2, "expected the sample keys to cover both shards"
+        by_shard: dict[int, str] = {}
+        for key in keys:
+            by_shard.setdefault(cluster.shard_of(key), key)
+        cross_shard = dict.fromkeys(by_shard.values(), b"v")
+        with pytest.raises(CrossShardBatchError):
+            cluster.mset(cross_shard)
+
+    def test_mset_within_one_shard_succeeds(self, cluster):
+        keys = [f"key-{i}" for i in range(50)]
+        target_shard = cluster.shard_of(keys[0])
+        same_shard = [key for key in keys if cluster.shard_of(key) == target_shard][:5]
+        cluster.mset({key: b"v" for key in same_shard})
+        assert all(cluster.get(key) == b"v" for key in same_shard)
+
+    def test_multi_put_groups_by_shard(self, cluster):
+        items = {f"key-{i}": str(i).encode() for i in range(20)}
+        cluster.multi_put(items)
+        assert cluster.multi_get(items.keys()) == items
+        # One MSET per shard touched, not one per key.
+        assert cluster.stats.batch_writes <= cluster.shard_count
+
+    def test_shard_sizes_sum_to_total(self, cluster):
+        for i in range(30):
+            cluster.put(f"key-{i}", b"v")
+        assert sum(cluster.shard_sizes()) == 30
+        assert cluster.size() == 30
+
+    def test_single_shard_cluster_accepts_any_mset(self):
+        single = SimulatedRedisCluster(shard_count=1)
+        single.mset({f"k{i}": b"v" for i in range(10)})
+        assert single.size() == 10
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedRedisCluster(shard_count=0)
+
+    def test_delete(self, cluster):
+        cluster.put("k", b"v")
+        cluster.delete("k")
+        assert cluster.get("k") is None

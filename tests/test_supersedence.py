@@ -1,0 +1,86 @@
+"""Tests for Algorithm 2 — transaction supersedence and broadcast pruning."""
+
+from __future__ import annotations
+
+from repro.core.commit_set import CommitRecord
+from repro.core.supersedence import (
+    blocked_by_readers,
+    is_superseded,
+    prune_for_broadcast,
+    superseded_transactions,
+)
+from repro.core.version_index import KeyVersionIndex
+from repro.ids import TransactionId, data_key
+
+
+def record(n: float, keys: list[str]) -> CommitRecord:
+    txid = TransactionId(float(n), f"u{n}")
+    return CommitRecord(txid=txid, write_set={key: data_key(key, txid) for key in keys})
+
+
+def index_of(*records: CommitRecord) -> KeyVersionIndex:
+    index = KeyVersionIndex()
+    for rec in records:
+        index.add_record(rec.write_set.keys(), rec.txid)
+    return index
+
+
+class TestIsSuperseded:
+    def test_latest_version_is_not_superseded(self):
+        old, new = record(1, ["k"]), record(2, ["k"])
+        index = index_of(old, new)
+        assert is_superseded(old, index)
+        assert not is_superseded(new, index)
+
+    def test_all_keys_must_be_superseded(self):
+        old = record(1, ["k", "l"])
+        newer_k_only = record(2, ["k"])
+        index = index_of(old, newer_k_only)
+        assert not is_superseded(old, index)
+        newer_l = record(3, ["l"])
+        index.add_record(newer_l.write_set.keys(), newer_l.txid)
+        assert is_superseded(old, index)
+
+    def test_unknown_keys_do_not_count_as_superseded(self):
+        # A node that has never heard of these keys must not treat the record
+        # as stale — it carries fresh information (receiver-side check in §4.1).
+        rec = record(5, ["k"])
+        assert not is_superseded(rec, KeyVersionIndex())
+
+    def test_older_known_version_does_not_supersede(self):
+        older = record(1, ["k"])
+        incoming = record(2, ["k"])
+        index = index_of(older)
+        assert not is_superseded(incoming, index)
+
+    def test_superseded_transactions_filter(self):
+        a, b, c = record(1, ["k"]), record(2, ["k"]), record(3, ["k"])
+        index = index_of(a, b, c)
+        assert {r.txid for r in superseded_transactions([a, b, c], index)} == {a.txid, b.txid}
+
+
+class TestPruneForBroadcast:
+    def test_superseded_records_are_pruned(self):
+        a, b = record(1, ["k"]), record(2, ["k"])
+        index = index_of(a, b)
+        to_broadcast, pruned = prune_for_broadcast([a, b], index)
+        assert [r.txid for r in to_broadcast] == [b.txid]
+        assert [r.txid for r in pruned] == [a.txid]
+
+    def test_nothing_pruned_for_disjoint_write_sets(self):
+        a, b = record(1, ["k"]), record(2, ["l"])
+        index = index_of(a, b)
+        to_broadcast, pruned = prune_for_broadcast([a, b], index)
+        assert len(to_broadcast) == 2 and not pruned
+
+
+class TestBlockedByReaders:
+    def test_blocked_when_a_running_transaction_read_from_it(self):
+        rec = record(1, ["k"])
+        assert blocked_by_readers(rec, [{rec.txid}])
+        assert blocked_by_readers(rec, [set(), {rec.txid, TransactionId(9.0, "x")}])
+
+    def test_not_blocked_otherwise(self):
+        rec = record(1, ["k"])
+        assert not blocked_by_readers(rec, [])
+        assert not blocked_by_readers(rec, [{TransactionId(9.0, "x")}])

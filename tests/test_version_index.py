@@ -1,0 +1,100 @@
+"""Tests for the key version index."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.version_index import KeyVersionIndex
+from repro.ids import TransactionId
+
+
+def tid(n: float, uuid: str = "") -> TransactionId:
+    return TransactionId(float(n), uuid or f"u{n}")
+
+
+class TestKeyVersionIndex:
+    def test_latest_of_unknown_key_is_none(self):
+        index = KeyVersionIndex()
+        assert index.latest("k") is None
+
+    def test_add_and_latest(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        index.add("k", tid(3))
+        index.add("k", tid(2))
+        assert index.latest("k") == tid(3)
+        assert index.versions("k") == [tid(1), tid(2), tid(3)]
+
+    def test_duplicate_add_is_idempotent(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        index.add("k", tid(1))
+        assert index.version_count("k") == 1
+
+    def test_versions_at_least(self):
+        index = KeyVersionIndex()
+        for n in (1, 2, 3, 4):
+            index.add("k", tid(n))
+        assert index.versions_at_least("k", tid(3)) == [tid(3), tid(4)]
+        assert index.versions_at_least("k", None) == [tid(1), tid(2), tid(3), tid(4)]
+        assert index.versions_at_least("missing", tid(1)) == []
+
+    def test_remove_specific_version(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        index.add("k", tid(2))
+        index.remove("k", tid(1))
+        assert index.versions("k") == [tid(2)]
+        index.remove("k", tid(2))
+        assert "k" not in index
+        # Removing from an empty/unknown key is a no-op.
+        index.remove("k", tid(2))
+
+    def test_add_and_remove_record(self):
+        index = KeyVersionIndex()
+        index.add_record(["a", "b"], tid(5))
+        assert index.has_version("a", tid(5))
+        assert index.has_version("b", tid(5))
+        index.remove_record(["a", "b"], tid(5))
+        assert len(index) == 0
+
+    def test_version_count_totals(self):
+        index = KeyVersionIndex()
+        index.add_record(["a", "b"], tid(1))
+        index.add("a", tid(2))
+        assert index.version_count("a") == 2
+        assert index.version_count() == 3
+
+    def test_keys_iteration(self):
+        index = KeyVersionIndex()
+        index.add_record(["a", "b", "c"], tid(1))
+        assert sorted(index.keys()) == ["a", "b", "c"]
+
+    def test_clear(self):
+        index = KeyVersionIndex()
+        index.add_record(["a", "b"], tid(1))
+        index.clear()
+        assert len(index) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_versions_always_sorted_and_latest_is_max(self, numbers):
+        index = KeyVersionIndex()
+        ids = [tid(n, uuid=f"u{i}") for i, n in enumerate(numbers)]
+        for txid in ids:
+            index.add("k", txid)
+        versions = index.versions("k")
+        assert versions == sorted(versions)
+        assert index.latest("k") == max(ids)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30, unique=True),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_versions_at_least_matches_filter(self, numbers, lower_n):
+        index = KeyVersionIndex()
+        ids = [tid(n) for n in numbers]
+        for txid in ids:
+            index.add("k", txid)
+        lower = tid(lower_n)
+        expected = sorted(txid for txid in ids if txid >= lower)
+        assert index.versions_at_least("k", lower) == expected

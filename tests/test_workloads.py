@@ -1,0 +1,201 @@
+"""Tests for the Zipfian sampler and workload generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import OpType, TransactionSpec, WorkloadSpec
+from repro.workloads.zipf import UniformKeySampler, ZipfKeySampler
+
+
+class TestZipfKeySampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfKeySampler(num_keys=100, theta=1.0)
+        total = sum(sampler.probability(rank) for rank in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_decrease_with_rank(self):
+        sampler = ZipfKeySampler(num_keys=50, theta=1.2)
+        probabilities = [sampler.probability(rank) for rank in range(50)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_higher_theta_is_more_skewed(self):
+        light = ZipfKeySampler(num_keys=1000, theta=1.0)
+        heavy = ZipfKeySampler(num_keys=1000, theta=2.0)
+        assert heavy.probability(0) > light.probability(0)
+
+    def test_uniform_sampler_is_flat(self):
+        sampler = UniformKeySampler(num_keys=10)
+        assert sampler.probability(0) == pytest.approx(sampler.probability(9))
+
+    def test_samples_are_valid_keys(self):
+        sampler = ZipfKeySampler(num_keys=20, theta=1.5, seed=1)
+        population = set(sampler.all_keys())
+        assert all(sampler.sample() in population for _ in range(200))
+
+    def test_sampling_is_reproducible_with_seed(self):
+        a = ZipfKeySampler(num_keys=100, theta=1.0, seed=9)
+        b = ZipfKeySampler(num_keys=100, theta=1.0, seed=9)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_sample_distinct(self):
+        sampler = ZipfKeySampler(num_keys=10, theta=1.0, seed=0)
+        keys = sampler.sample_distinct(10)
+        assert len(set(keys)) == 10
+        with pytest.raises(ValueError):
+            sampler.sample_distinct(11)
+
+    def test_empirical_skew(self):
+        sampler = ZipfKeySampler(num_keys=100, theta=1.5, seed=3)
+        counts: dict[str, int] = {}
+        for _ in range(5000):
+            key = sampler.sample()
+            counts[key] = counts.get(key, 0) + 1
+        hottest = sampler.key_name(0)
+        assert counts[hottest] == max(counts.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfKeySampler(num_keys=0)
+        with pytest.raises(ValueError):
+            ZipfKeySampler(num_keys=10, theta=-1.0)
+        with pytest.raises(IndexError):
+            ZipfKeySampler(num_keys=10).probability(10)
+
+
+class TestTransactionSpec:
+    def test_paper_default_shape(self):
+        spec = TransactionSpec.paper_default()
+        assert spec.num_functions == 2
+        assert spec.ios_per_transaction == 6
+        assert spec.value_size_bytes == 4096
+
+    def test_total_ios_with_read_fraction(self):
+        spec = TransactionSpec(num_functions=2, total_ios=10, read_fraction=0.8)
+        assert spec.ios_per_transaction == 10
+
+    def test_read_fraction_requires_total_ios(self):
+        with pytest.raises(ValueError):
+            TransactionSpec(read_fraction=0.5)
+        with pytest.raises(ValueError):
+            TransactionSpec(total_ios=10)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionSpec(num_functions=0)
+        with pytest.raises(ValueError):
+            TransactionSpec(total_ios=10, read_fraction=1.5)
+
+
+class TestWorkloadGenerator:
+    def test_default_plan_shape(self):
+        generator = WorkloadGenerator(WorkloadSpec.figure3_default())
+        plan = generator.next_transaction()
+        assert len(plan) == 2
+        for function in plan:
+            assert len(function.reads) == 2
+            assert len(function.writes) == 1
+            assert all(op.value_size_bytes == 4096 for op in function.writes)
+
+    def test_read_fraction_plan(self):
+        spec = WorkloadSpec(
+            transaction=TransactionSpec(num_functions=2, total_ios=10, read_fraction=0.8),
+            num_keys=100,
+        )
+        plan = WorkloadGenerator(spec).next_transaction()
+        reads = sum(len(f.reads) for f in plan)
+        writes = sum(len(f.writes) for f in plan)
+        assert reads == 8 and writes == 2
+
+    def test_all_reads_and_all_writes(self):
+        for fraction, expected_reads in ((0.0, 0), (1.0, 10)):
+            spec = WorkloadSpec(
+                transaction=TransactionSpec(num_functions=2, total_ios=10, read_fraction=fraction),
+                num_keys=100,
+            )
+            plan = WorkloadGenerator(spec).next_transaction()
+            assert sum(len(f.reads) for f in plan) == expected_reads
+
+    def test_long_compositions_spread_ops_across_functions(self):
+        spec = WorkloadSpec(
+            transaction=TransactionSpec(num_functions=10, reads_per_function=2, writes_per_function=1),
+            num_keys=1000,
+        )
+        plan = WorkloadGenerator(spec).next_transaction()
+        assert len(plan) == 10
+        assert sum(len(f.operations) for f in plan) == 30
+
+    def test_distinct_keys_per_transaction(self):
+        spec = WorkloadSpec(num_keys=100, distinct_keys_per_transaction=True)
+        plan = WorkloadGenerator(spec).next_transaction()
+        keys = [op.key for f in plan for op in f.operations]
+        assert len(keys) == len(set(keys))
+
+    def test_with_replacement_allows_repeats_eventually(self):
+        spec = WorkloadSpec(num_keys=2, zipf_theta=1.0, distinct_keys_per_transaction=False)
+        generator = WorkloadGenerator(spec)
+        saw_repeat = False
+        for _ in range(20):
+            plan = generator.next_transaction()
+            keys = [op.key for f in plan for op in f.operations]
+            if len(keys) != len(set(keys)):
+                saw_repeat = True
+                break
+        assert saw_repeat
+
+    def test_too_many_distinct_keys_raises(self):
+        spec = WorkloadSpec(
+            transaction=TransactionSpec(num_functions=2, reads_per_function=2, writes_per_function=1),
+            num_keys=3,
+            distinct_keys_per_transaction=True,
+        )
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(spec).next_transaction()
+
+    def test_payloads_have_requested_size(self):
+        generator = WorkloadGenerator(WorkloadSpec.figure3_default())
+        assert len(generator.make_payload()) == 4096
+        assert len(generator.make_payload(10)) == 10
+        assert generator.make_payload(0) == b""
+
+    def test_payloads_differ_between_calls(self):
+        generator = WorkloadGenerator(WorkloadSpec.figure3_default())
+        assert generator.make_payload() != generator.make_payload()
+
+    def test_preload_items_cover_population(self):
+        spec = WorkloadSpec(num_keys=25)
+        generator = WorkloadGenerator(spec)
+        items = generator.preload_items(value_size_bytes=16)
+        assert len(items) == 25
+        assert all(len(value) == 16 for value in items.values())
+
+    def test_generator_is_deterministic_given_seed(self):
+        spec = WorkloadSpec(num_keys=100, seed=5, distinct_keys_per_transaction=False)
+        a = [op.key for f in WorkloadGenerator(spec).next_transaction() for op in f.operations]
+        b = [op.key for f in WorkloadGenerator(spec).next_transaction() for op in f.operations]
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_plan_counts_match_spec(self, functions, reads, writes):
+        spec = WorkloadSpec(
+            transaction=TransactionSpec(
+                num_functions=functions, reads_per_function=reads, writes_per_function=writes
+            ),
+            num_keys=500,
+            distinct_keys_per_transaction=False,
+        )
+        plan = WorkloadGenerator(spec).next_transaction()
+        assert len(plan) == functions
+        assert sum(len(f.reads) for f in plan) == functions * reads
+        assert sum(len(f.writes) for f in plan) == functions * writes
+        for function in plan:
+            read_ops = [op for op in function.operations if op.op_type is OpType.READ]
+            assert function.operations[: len(read_ops)] == tuple(read_ops)

@@ -1,0 +1,129 @@
+"""Tests for the Atomic Write Buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.write_buffer import AtomicWriteBuffer
+from repro.errors import UnknownTransactionError
+from repro.ids import TransactionId, data_key
+from repro.storage.memory import InMemoryStorage
+
+
+class TestBuffering:
+    def test_put_and_get_pending_value(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v")
+        assert buffer.get("t1", "k") == b"v"
+        assert buffer.has_write("t1", "k")
+        assert not buffer.has_write("t1", "other")
+
+    def test_get_missing_key_returns_none(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        assert buffer.get("t1", "k") is None
+
+    def test_overwrite_keeps_latest_value(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v1")
+        buffer.put("t1", "k", b"v2")
+        assert buffer.get("t1", "k") == b"v2"
+        assert buffer.pending_writes("t1") == {"k": b"v2"}
+
+    def test_write_set_and_pending_writes(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "a", b"1")
+        buffer.put("t1", "b", b"2")
+        assert buffer.write_set("t1") == {"a", "b"}
+        assert buffer.pending_writes("t1") == {"a": b"1", "b": b"2"}
+
+    def test_transactions_are_isolated(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.open("t2")
+        buffer.put("t1", "k", b"from-t1")
+        assert buffer.get("t2", "k") is None
+
+    def test_unknown_transaction_raises(self):
+        buffer = AtomicWriteBuffer()
+        with pytest.raises(UnknownTransactionError):
+            buffer.put("nope", "k", b"v")
+        with pytest.raises(UnknownTransactionError):
+            buffer.get("nope", "k")
+        with pytest.raises(UnknownTransactionError):
+            buffer.pending_writes("nope")
+
+    def test_discard_drops_state(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v")
+        buffer.discard("t1")
+        assert "t1" not in buffer.open_transactions()
+
+    def test_open_is_idempotent(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v")
+        buffer.open("t1")
+        assert buffer.get("t1", "k") == b"v"
+
+    def test_buffered_bytes_tracking(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"1234")
+        buffer.put("t1", "l", b"56")
+        assert buffer.buffered_bytes("t1") == 6
+        buffer.put("t1", "k", b"1")
+        assert buffer.buffered_bytes("t1") == 3
+
+
+class TestSpilling:
+    def test_spill_writes_to_storage_under_provisional_keys(self):
+        storage = InMemoryStorage()
+        buffer = AtomicWriteBuffer(storage=storage)
+        buffer.open("t1")
+        buffer.put("t1", "k", b"big-value")
+        provisional = TransactionId(1.0, "t1")
+        written = buffer.spill("t1", provisional)
+        assert written == [data_key("k", provisional)]
+        assert storage.get(data_key("k", provisional)) == b"big-value"
+        assert buffer.spilled_keys("t1") == {"k": data_key("k", provisional)}
+
+    def test_automatic_spill_over_threshold(self):
+        storage = InMemoryStorage()
+        buffer = AtomicWriteBuffer(storage=storage, spill_threshold_bytes=10)
+        buffer.open("t1")
+        provisional = TransactionId(1.0, "t1")
+        buffer.put("t1", "k", b"x" * 20, provisional_id=provisional)
+        assert buffer.spills == 1
+        assert storage.get(data_key("k", provisional)) == b"x" * 20
+
+    def test_spill_without_storage_raises(self):
+        buffer = AtomicWriteBuffer()
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v")
+        with pytest.raises(RuntimeError):
+            buffer.spill("t1", TransactionId(1.0, "t1"))
+
+    def test_discard_returns_spilled_keys_for_cleanup(self):
+        storage = InMemoryStorage()
+        buffer = AtomicWriteBuffer(storage=storage)
+        buffer.open("t1")
+        buffer.put("t1", "k", b"v")
+        provisional = TransactionId(1.0, "t1")
+        buffer.spill("t1", provisional)
+        orphans = buffer.discard("t1")
+        assert orphans == [data_key("k", provisional)]
+
+    def test_spill_skips_already_spilled_values(self):
+        storage = InMemoryStorage()
+        buffer = AtomicWriteBuffer(storage=storage)
+        buffer.open("t1")
+        provisional = TransactionId(1.0, "t1")
+        buffer.put("t1", "k", b"v")
+        first = buffer.spill("t1", provisional)
+        second = buffer.spill("t1", provisional)
+        assert first and not second
