@@ -14,19 +14,37 @@ from repro.harness.report import format_rows
 COLUMNS = ["backend", "clients", "throughput_tps", "median_ms", "paper_throughput_tps"]
 
 
-def test_fig7_single_node_scalability(benchmark):
-    rows = run_once(
-        benchmark,
-        run_single_node_scalability_experiment,
-        client_counts=(1, 5, 10, 20, 30, 40, 45, 50),
-        requests_per_client=50,
+def run_both_pipeline_modes(client_counts=(1, 5, 10, 20, 30, 40, 45, 50), requests_per_client=50):
+    """Figure 7 with the IO pipeline on (the system) and off (the ablation)."""
+    rows = run_single_node_scalability_experiment(
+        client_counts=client_counts, requests_per_client=requests_per_client, enable_io_pipeline=True
     )
+    sequential = run_single_node_scalability_experiment(
+        client_counts=(40, 50), requests_per_client=requests_per_client, enable_io_pipeline=False
+    )
+    return rows, sequential
+
+
+def test_fig7_single_node_scalability(benchmark):
+    rows, sequential = run_once(benchmark, run_both_pipeline_modes)
     emit(
         "fig7_single_node_scalability",
         format_rows(rows, COLUMNS, title="Figure 7: single-node throughput (txn/s)"),
     )
+    emit(
+        "fig7_pipeline_ablation",
+        format_rows(
+            sequential,
+            ["backend", "clients", "throughput_tps", "median_ms"],
+            title="Figure 7 ablation: sequential IO path at/after the plateau",
+        ),
+    )
 
     by_key = {(row["backend"], row["clients"]): row["throughput_tps"] for row in rows}
+    sequential_by_key = {(row["backend"], row["clients"]): row["throughput_tps"] for row in sequential}
+    # The pipeline sustains at least the sequential path's plateau throughput.
+    for backend in ("dynamodb", "redis"):
+        assert by_key[(backend, 50)] >= sequential_by_key[(backend, 50)] * 0.95
     for backend in ("dynamodb", "redis"):
         # Linear region: 20 clients gives roughly 2x the throughput of 10.
         assert 1.6 < by_key[(backend, 20)] / by_key[(backend, 10)] < 2.4

@@ -8,6 +8,7 @@ captures stdout, each benchmark also writes its rendered table to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -20,6 +21,19 @@ def emit(name: str, text: str) -> Path:
     path.write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+    return path
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist ``payload`` as machine-readable ``benchmarks/results/<name>.json``.
+
+    Downstream tooling (dashboards, regression trackers) consumes these files,
+    so the payload must be plain JSON-serialisable types.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n[machine-readable results written to {path}]")
     return path
 
 

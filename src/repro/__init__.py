@@ -23,6 +23,8 @@ from repro.core import (
     ClusterClient,
     CommitRecord,
     CommitSetStore,
+    GroupCommitter,
+    IOPlan,
     TransactionSession,
     TransactionStatus,
 )
@@ -47,6 +49,8 @@ __all__ = [
     "TransactionId",
     "CommitRecord",
     "CommitSetStore",
+    "GroupCommitter",
+    "IOPlan",
     "AftConfig",
     "ClusterConfig",
     "DEFAULT_CONFIG",

@@ -30,6 +30,28 @@ class AftConfig:
     batch_commit_writes:
         Whether the commit protocol pushes a transaction's updates to storage
         with one batched call when the engine supports it (Section 6.1.1).
+    enable_io_pipeline:
+        Whether node-side storage traffic is routed through the IO-plan
+        pipeline (:mod:`repro.core.io_plan`): the commit's data writes, the
+        write buffer's spills, and the read protocol's payload fetches become
+        explicit plan stages whose operations are issued concurrently and
+        charged parallel (per-stage) latency.  Disabling this reproduces the
+        original one-operation-at-a-time path with sequential latency — the
+        ``bench_ablation_parallel_io`` benchmark compares the two.
+    enable_group_commit:
+        Whether the node coalesces concurrently-committing transactions into
+        a single storage batch through the
+        :class:`~repro.core.group_commit.GroupCommitter`.  One combined
+        two-stage plan persists every transaction's data first and every
+        commit record second, preserving the write-ordering invariant of
+        Section 3.3 across the whole batch.
+    group_commit_window:
+        How long, in seconds of real time, a group-commit leader waits for
+        further committers to join its batch before flushing.  ``0`` flushes
+        immediately (still coalescing any transactions already queued).
+    group_commit_max_txns:
+        Upper bound on the number of transactions coalesced into one
+        group-commit flush; arrivals beyond it start the next batch.
     strict_reads:
         If True, ``get`` raises :class:`~repro.errors.AtomicReadError` when
         Algorithm 1 finds no compatible version; if False it returns ``None``
@@ -60,6 +82,10 @@ class AftConfig:
     data_cache_capacity_bytes: int = 64 * 1024 * 1024
     write_buffer_spill_bytes: int | None = None
     batch_commit_writes: bool = True
+    enable_io_pipeline: bool = True
+    enable_group_commit: bool = False
+    group_commit_window: float = 0.0
+    group_commit_max_txns: int = 8
     strict_reads: bool = False
     multicast_interval: float = 1.0
     prune_superseded_broadcasts: bool = True
@@ -68,6 +94,23 @@ class AftConfig:
     fault_scan_interval: float = 5.0
     metadata_bootstrap_limit: int = 10_000
     transaction_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.group_commit_max_txns < 1:
+            raise ValueError("group_commit_max_txns must be >= 1")
+        if self.group_commit_window < 0:
+            raise ValueError("group_commit_window must be >= 0")
+        if self.enable_group_commit and not self.enable_io_pipeline:
+            raise ValueError(
+                "enable_group_commit requires enable_io_pipeline: the group "
+                "committer persists batches through IO plans"
+            )
+        if self.enable_group_commit and not self.batch_commit_writes:
+            raise ValueError(
+                "enable_group_commit contradicts batch_commit_writes=False: "
+                "group commit exists to batch commit writes, so the batching "
+                "ablation must run with group commit off"
+            )
 
     def with_overrides(self, **overrides: Any) -> "AftConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -80,6 +123,10 @@ class AftConfig:
             "data_cache_capacity_bytes": self.data_cache_capacity_bytes,
             "write_buffer_spill_bytes": self.write_buffer_spill_bytes,
             "batch_commit_writes": self.batch_commit_writes,
+            "enable_io_pipeline": self.enable_io_pipeline,
+            "enable_group_commit": self.enable_group_commit,
+            "group_commit_window": self.group_commit_window,
+            "group_commit_max_txns": self.group_commit_max_txns,
             "strict_reads": self.strict_reads,
             "multicast_interval": self.multicast_interval,
             "prune_superseded_broadcasts": self.prune_superseded_broadcasts,

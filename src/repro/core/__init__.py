@@ -11,6 +11,8 @@ from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.data_cache import DataCache
 from repro.core.fault_manager import FaultManager
 from repro.core.garbage_collector import GlobalDataGC, LocalMetadataGC
+from repro.core.group_commit import GroupCommitter, GroupCommitStats, PendingCommit
+from repro.core.io_plan import IOOp, IOPlan, IOStage, PlanResult
 from repro.core.load_balancer import LeastLoadedLoadBalancer, RoundRobinLoadBalancer
 from repro.core.metadata_cache import CommitSetCache
 from repro.core.multicast import MulticastService
@@ -41,6 +43,13 @@ __all__ = [
     "is_atomic_readset",
     "is_superseded",
     "prune_for_broadcast",
+    "IOOp",
+    "IOPlan",
+    "IOStage",
+    "PlanResult",
+    "GroupCommitter",
+    "GroupCommitStats",
+    "PendingCommit",
     "MulticastService",
     "FaultManager",
     "LocalMetadataGC",

@@ -1,0 +1,217 @@
+"""Cross-transaction group commit.
+
+The commit protocol of Section 3.3 persists a transaction's data first and
+its commit record second.  When several transactions commit on the same node
+at (nearly) the same time, those two steps can be shared: one combined
+:class:`~repro.core.io_plan.IOPlan` persists *every* transaction's data in
+stage one and *every* commit record in stage two.  The write-ordering
+invariant is preserved — conservatively strengthened, even: no commit record
+of the batch becomes durable before all data of the batch is durable, so a
+crash mid-flush can never expose a fractured read.
+
+The :class:`GroupCommitter` implements the classic leader-based protocol:
+
+* A committing thread enqueues its :class:`PendingCommit`.  If no flush is in
+  progress it becomes the *leader*; otherwise it waits for a leader to flush
+  on its behalf.
+* The leader optionally waits up to ``window`` seconds for more committers to
+  arrive (bounded by ``max_txns`` per batch), drains the queue, and executes
+  one combined commit plan per batch.
+
+With a single caller the committer degenerates gracefully into the plain
+two-stage commit plan — batching is purely opportunistic.  The explicit
+:meth:`commit_batch` entry point lets deterministic callers (benchmarks, the
+simulator's preload, tests) coalesce a known set of transactions without
+relying on thread timing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.io_plan import IOPlan
+from repro.ids import commit_record_key
+from repro.storage.base import StorageEngine
+
+
+def execute_commit_plan(
+    storage: StorageEngine,
+    commit_store: CommitSetStore,
+    data: Mapping[str, bytes],
+    records: Mapping[str, bytes],
+) -> None:
+    """Persist ``data`` then ``records`` with write ordering preserved (§3.3).
+
+    The single place that encodes the invariant for the pipelined path —
+    used by both the per-transaction commit and the group-commit flush.  When
+    data and records share an engine, one two-stage plan carries the ordering
+    in its stage barrier; with a separate metadata engine the sequential plan
+    executions provide it.
+    """
+    if commit_store.engine is storage:
+        storage.execute_plan(IOPlan.commit(data, records))
+    else:
+        if data:
+            storage.execute_plan(IOPlan.writes(data, name="data"))
+        commit_store.engine.execute_plan(IOPlan.writes(records, name="commit-records"))
+
+
+@dataclass
+class GroupCommitStats:
+    """Counters maintained by the committer (all under its lock)."""
+
+    flushes: int = 0
+    transactions_flushed: int = 0
+    largest_batch: int = 0
+
+
+@dataclass
+class PendingCommit:
+    """One transaction's contribution to a group-commit batch.
+
+    ``data`` maps storage keys to payloads still in need of persistence
+    (already-spilled versions are excluded — their keys are referenced by the
+    record but need no rewrite).  ``record`` is the commit record to persist
+    after the whole batch's data is durable.
+    """
+
+    txid: str
+    record: CommitRecord
+    data: Mapping[str, bytes] = field(default_factory=dict)
+    #: Signalled once the flush containing this commit completed (or failed).
+    done: threading.Event = field(default_factory=threading.Event)
+    error: BaseException | None = None
+    #: Size of the flush batch this commit rode in (set by the leader).
+    batch_size: int = 0
+
+
+class GroupCommitter:
+    """Coalesces concurrent commits on one node into shared storage batches."""
+
+    def __init__(
+        self,
+        storage: StorageEngine,
+        commit_store: CommitSetStore,
+        window: float = 0.0,
+        max_txns: int = 8,
+        on_flush: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_txns < 1:
+            raise ValueError("group_commit_max_txns must be >= 1")
+        self._storage = storage
+        self._commit_store = commit_store
+        self.window = float(window)
+        self.max_txns = int(max_txns)
+        #: Called after every flush with the batch size (used by the node to
+        #: maintain its NodeStats counters under its own lock).
+        self._on_flush = on_flush
+        self._lock = threading.Lock()
+        self._queue: list[PendingCommit] = []
+        self._leader_active = False
+        self._arrival = threading.Event()
+        self.stats = GroupCommitStats()
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def commit(self, pending: PendingCommit) -> PendingCommit:
+        """Submit one commit; returns once it is durable (or raises).
+
+        The calling thread either leads a flush (possibly carrying other
+        queued commits with it) or waits for the current leader to flush on
+        its behalf.
+        """
+        return self._submit([pending])[0]
+
+    def commit_batch(self, pendings: list[PendingCommit]) -> list[PendingCommit]:
+        """Submit several commits at once, guaranteeing they share batches.
+
+        This is the deterministic path: callers that already hold a set of
+        commit-ready transactions (the ablation benchmark, bulk loaders)
+        coalesce them without depending on concurrent arrival timing.
+        """
+        if not pendings:
+            return []
+        return self._submit(pendings)
+
+    # ------------------------------------------------------------------ #
+    # Leader/follower machinery
+    # ------------------------------------------------------------------ #
+    def _submit(self, pendings: list[PendingCommit]) -> list[PendingCommit]:
+        with self._lock:
+            self._queue.extend(pendings)
+            self._arrival.set()
+            is_leader = not self._leader_active
+            if is_leader:
+                self._leader_active = True
+        if is_leader:
+            self._wait_for_window()
+            self._run_leader()
+        else:
+            for pending in pendings:
+                pending.done.wait()
+        for pending in pendings:
+            if pending.error is not None:
+                raise pending.error
+        return pendings
+
+    def _wait_for_window(self) -> None:
+        """Give followers up to ``window`` seconds to join the first batch."""
+        if self.window <= 0:
+            return
+        deadline = time.monotonic() + self.window
+        while True:
+            with self._lock:
+                if len(self._queue) >= self.max_txns:
+                    return
+                self._arrival.clear()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            self._arrival.wait(timeout=remaining)
+
+    def _run_leader(self) -> None:
+        """Flush batches until the queue is empty, then release leadership."""
+        while True:
+            with self._lock:
+                if not self._queue:
+                    # Leadership must be released in the same critical section
+                    # as the emptiness check, or a committer arriving between
+                    # the two would wait forever on a departed leader.
+                    self._leader_active = False
+                    return
+                batch = self._queue[: self.max_txns]
+                del self._queue[: self.max_txns]
+            try:
+                self._flush(batch)
+            except BaseException as exc:  # noqa: BLE001 - propagated per commit
+                for pending in batch:
+                    pending.error = exc
+            finally:
+                for pending in batch:
+                    pending.batch_size = len(batch)
+                    pending.done.set()
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+    def _flush(self, batch: list[PendingCommit]) -> None:
+        """Persist one batch with the combined two-stage commit plan."""
+        data: dict[str, bytes] = {}
+        records: dict[str, bytes] = {}
+        for pending in batch:
+            data.update(pending.data)
+            records[commit_record_key(pending.record.txid)] = pending.record.to_bytes()
+
+        execute_commit_plan(self._storage, self._commit_store, data, records)
+
+        with self._lock:
+            self.stats.flushes += 1
+            self.stats.transactions_flushed += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if self._on_flush is not None:
+            self._on_flush(len(batch))

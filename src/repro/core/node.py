@@ -27,8 +27,10 @@ from repro.clock import Clock, SystemClock
 from repro.config import AftConfig, DEFAULT_CONFIG
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.data_cache import DataCache
+from repro.core.group_commit import GroupCommitter, PendingCommit, execute_commit_plan
+from repro.core.io_plan import IOPlan
 from repro.core.metadata_cache import CommitSetCache
-from repro.core.read_protocol import atomic_read
+from repro.core.read_protocol import ReadDecision, atomic_read
 from repro.core.transaction import Transaction, TransactionStatus
 from repro.core.write_buffer import AtomicWriteBuffer
 from repro.errors import (
@@ -38,13 +40,26 @@ from repro.errors import (
     TransactionAlreadyCommittedError,
     UnknownTransactionError,
 )
-from repro.ids import TransactionId, TransactionIdGenerator, data_key, new_uuid, validate_user_key
+from repro.ids import (
+    TransactionId,
+    TransactionIdGenerator,
+    commit_record_key,
+    data_key,
+    new_uuid,
+    validate_user_key,
+)
 from repro.storage.base import StorageEngine
 
 
 @dataclass
 class NodeStats:
-    """Operation counters exposed by every node (used by tests and reports)."""
+    """Operation counters exposed by every node (used by tests and reports).
+
+    The named counters are only ever mutated while the owning node holds its
+    lock; ad-hoc counters in ``extra`` must go through :meth:`bump_extra`,
+    which takes the stats object's own lock — a bare ``stats.extra[k] += 1``
+    is a read-modify-write race under concurrent commits.
+    """
 
     transactions_started: int = 0
     transactions_committed: int = 0
@@ -59,7 +74,33 @@ class NodeStats:
     commit_records_written: int = 0
     remote_commits_applied: int = 0
     remote_commits_ignored: int = 0
+    group_commits: int = 0
+    group_commit_batched_txns: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+    _extra_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump_extra(self, name: str, amount: int = 1) -> None:
+        """Thread-safe increment of an ad-hoc ``extra`` counter."""
+        with self._extra_lock:
+            self.extra[name] = self.extra.get(name, 0) + amount
+
+
+@dataclass
+class _PreparedCommit:
+    """Everything the commit protocol derives before touching storage."""
+
+    txid: str
+    transaction: Transaction
+    commit_id: TransactionId
+    #: User key -> value for every buffered write (spilled or not).
+    pending_values: dict[str, bytes] = field(default_factory=dict)
+    #: Storage key -> value for writes that still need persisting.
+    to_persist: dict[str, bytes] = field(default_factory=dict)
+    record: CommitRecord | None = None
+    #: Set when the transaction had already committed (idempotent re-commit).
+    already_committed: TransactionId | None = None
 
 
 class AftNode:
@@ -86,8 +127,19 @@ class AftNode:
         self.write_buffer = AtomicWriteBuffer(
             storage=storage,
             spill_threshold_bytes=self.config.write_buffer_spill_bytes,
+            use_plans=self.config.enable_io_pipeline,
         )
         self.stats = NodeStats()
+        # The committer exists unconditionally (the explicit
+        # ``commit_transactions`` batch API always routes through it);
+        # ``enable_group_commit`` only controls whether single commits do.
+        self.group_committer = GroupCommitter(
+            storage=storage,
+            commit_store=self.commit_store,
+            window=self.config.group_commit_window,
+            max_txns=self.config.group_commit_max_txns,
+            on_flush=self._record_group_flush,
+        )
 
         self._id_generator = TransactionIdGenerator(self.clock)
         self._transactions: dict[str, Transaction] = {}
@@ -188,9 +240,9 @@ class AftNode:
             transaction = self._get_running(txid)
             transaction.touch(self.clock.now())
             transaction.record_write(key)
+            self.stats.writes += 1
         provisional = TransactionId(timestamp=transaction.start_time, uuid=transaction.uuid)
         self.write_buffer.put(txid, key, value, provisional_id=provisional)
-        self.stats.writes += 1
 
     def get(self, txid: str, key: str) -> bytes | None:
         """Read ``key`` within transaction ``txid`` (Table 1 ``Get``).
@@ -200,61 +252,131 @@ class AftNode:
         of Section 3.6) — unless ``strict_reads`` is configured, in which case
         :class:`~repro.errors.AtomicReadError` is raised.
         """
+        return self.get_many(txid, [key])[key]
+
+    def get_many(self, txid: str, keys: list[str]) -> dict[str, bytes | None]:
+        """Read several keys within ``txid`` in one shim request.
+
+        Algorithm 1 runs per key, in order, against a read set that grows
+        with each decision — exactly the versions a sequence of single
+        ``get`` calls would have chosen — but the chosen versions' payloads
+        are fetched from storage in **one parallel plan stage** instead of
+        one round trip per key (the batched half of the paper's Table 1 API;
+        the pipeline of Section 3.3 applied to reads).  Duplicate keys
+        resolve to a single decision.
+        """
         self._require_running()
-        validate_user_key(key)
+        for key in keys:
+            validate_user_key(key)
         with self._lock:
             transaction = self._get_running(txid)
             transaction.touch(self.clock.now())
-        self.stats.reads += 1
+            self.stats.reads += len(keys)
 
-        # Read-your-writes: pending updates short-circuit Algorithm 1 (§3.5).
-        if self.write_buffer.has_write(txid, key):
-            self.stats.read_your_write_hits += 1
-            return self.write_buffer.get(txid, key)
-
-        with self._lock:
-            decision = atomic_read(key, transaction.read_set, self.metadata_cache)
-            if decision.target is None:
-                transaction.record_null_read(key)
-                self.stats.null_reads += 1
+        results: dict[str, bytes | None] = {}
+        remaining: list[str] = []
+        for key in keys:
+            if key in results or key in remaining:
+                continue
+            # Read-your-writes: pending updates short-circuit Algorithm 1 (§3.5).
+            if self.write_buffer.has_write(txid, key):
+                results[key] = self.write_buffer.get(txid, key)
+                with self._lock:
+                    self.stats.read_your_write_hits += 1
             else:
-                record = self.metadata_cache.get(decision.target)
-                storage_key = (
-                    record.storage_key_for(key) if record is not None else data_key(key, decision.target)
-                )
+                remaining.append(key)
 
-        if decision.target is None:
-            if self.config.strict_reads:
-                raise AtomicReadError(
-                    f"no version of {key!r} is compatible with the transaction's read set",
-                    txid=txid,
-                )
-            return None
+        decisions: dict[str, ReadDecision] = {}
+        storage_keys: dict[str, str] = {}
+        with self._lock:
+            # The tentative read set: decisions already made in this batch
+            # constrain later ones, mirroring a sequence of single gets.
+            tentative = dict(transaction.read_set)
+            for key in remaining:
+                decision = atomic_read(key, tentative, self.metadata_cache)
+                decisions[key] = decision
+                if decision.target is None:
+                    transaction.record_null_read(key)
+                    self.stats.null_reads += 1
+                else:
+                    tentative[key] = decision.target
+                    record = self.metadata_cache.get(decision.target)
+                    storage_keys[key] = (
+                        record.storage_key_for(key)
+                        if record is not None
+                        else data_key(key, decision.target)
+                    )
 
-        value = self.data_cache.get(key, decision.target)
-        if value is not None:
-            self.stats.data_cache_hits += 1
-        else:
-            value = self.storage.get(storage_key)
-            self.stats.storage_value_reads += 1
+        null_keys = [key for key in remaining if decisions[key].target is None]
+        if null_keys and self.config.strict_reads:
+            raise AtomicReadError(
+                f"no version of {null_keys[0]!r} is compatible with the transaction's read set",
+                txid=txid,
+            )
+        for key in null_keys:
+            results[key] = None
+
+        # Serve what we can from the data cache, then fetch the rest from
+        # storage in a single parallel stage.
+        to_fetch: dict[str, str] = {}
+        cached: dict[str, bytes] = {}
+        for key, storage_key in storage_keys.items():
+            value = self.data_cache.get(key, decisions[key].target)
+            if value is not None:
+                cached[key] = value
+            else:
+                to_fetch[key] = storage_key
+        if cached:
+            with self._lock:
+                self.stats.data_cache_hits += len(cached)
+
+        fetched: dict[str, bytes | None] = {}
+        if to_fetch:
+            if self.config.enable_io_pipeline:
+                if len(to_fetch) > 1:
+                    self.stats.bump_extra("batched_payload_fetches")
+                plan_values = self.storage.execute_plan(
+                    IOPlan.reads(to_fetch.values(), name="payload-fetch")
+                ).values
+            else:
+                plan_values = {
+                    storage_key: self.storage.get(storage_key)
+                    for storage_key in to_fetch.values()
+                }
+            fetched = {key: plan_values.get(storage_key) for key, storage_key in to_fetch.items()}
+            with self._lock:
+                self.stats.storage_value_reads += len(to_fetch)
+
+        missing: list[str] = []
+        for key in storage_keys:
+            value = cached.get(key)
+            if value is None:
+                value = fetched.get(key)
             if value is None:
                 # The version's data is gone (e.g. deleted by an over-eager
                 # global GC).  Treat it as a NULL read; the caller retries.
-                self.stats.missing_version_reads += 1
-                with self._lock:
-                    transaction.record_null_read(key)
-                if self.config.strict_reads:
-                    raise AtomicReadError(
-                        f"data for {key!r} version {decision.target} is missing from storage",
-                        txid=txid,
-                    )
-                return None
-            if self.config.enable_data_cache:
-                self.data_cache.put(key, decision.target, value)
+                missing.append(key)
+                results[key] = None
+                continue
+            if key in to_fetch and self.config.enable_data_cache:
+                self.data_cache.put(key, decisions[key].target, value)
+            results[key] = value
 
         with self._lock:
-            transaction.record_read(key, decision.target)
-        return value
+            if missing:
+                self.stats.missing_version_reads += len(missing)
+            for key in missing:
+                transaction.record_null_read(key)
+            for key in storage_keys:
+                if key not in missing:
+                    transaction.record_read(key, decisions[key].target)
+        if missing and self.config.strict_reads:
+            raise AtomicReadError(
+                f"data for {missing[0]!r} version {decisions[missing[0]].target} "
+                "is missing from storage",
+                txid=txid,
+            )
+        return results
 
     def commit_transaction(self, txid: str) -> TransactionId:
         """Commit ``txid``: persist its updates, then its commit record (§3.3).
@@ -263,14 +385,84 @@ class AftNode:
         durable in storage; the transaction's updates become visible to other
         transactions at that point and never earlier.  Committing an
         already-committed transaction returns its original id (idempotence).
+
+        With ``enable_io_pipeline`` the two steps run as one two-stage
+        :class:`~repro.core.io_plan.IOPlan` (data fanned out in parallel,
+        then the record); with ``enable_group_commit`` concurrent callers are
+        additionally coalesced into a shared batch by the
+        :class:`~repro.core.group_commit.GroupCommitter`.
         """
         self._require_running()
+        prepared = self._prepare_commit(txid)
+        if prepared.already_committed is not None:
+            return prepared.already_committed
+
+        if prepared.record is not None:
+            if self.config.enable_group_commit:
+                self.group_committer.commit(
+                    PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
+                )
+            else:
+                self._persist_commit(prepared.to_persist, prepared.record)
+
+        self._finalize_commit(prepared)
+        return prepared.commit_id
+
+    def commit_transactions(self, txids: list[str]) -> dict[str, TransactionId]:
+        """Commit several open transactions as one group-commit batch.
+
+        The deterministic group-commit entry point: all transactions' data is
+        persisted in one parallel plan stage, all commit records in a second —
+        so ``n`` transactions cost two storage round trips (per
+        ``group_commit_max_txns`` chunk) instead of ``2n``.  The
+        write-ordering invariant holds for the whole batch: no commit record
+        becomes durable before every transaction's data is.
+        """
+        self._require_running()
+        results: dict[str, TransactionId] = {}
+        batch: list[tuple[_PreparedCommit, PendingCommit]] = []
+        # A txid listed twice must not be prepared twice — the second prepare
+        # would mint a second commit id (and record) for the same transaction.
+        for txid in dict.fromkeys(txids):
+            prepared = self._prepare_commit(txid)
+            if prepared.already_committed is not None:
+                results[txid] = prepared.already_committed
+                continue
+            if prepared.record is None:
+                # Read-only transaction: nothing to persist, commit locally.
+                self._finalize_commit(prepared)
+                results[txid] = prepared.commit_id
+                continue
+            batch.append(
+                (prepared, PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist))
+            )
+
+        try:
+            self.group_committer.commit_batch([pending for _, pending in batch])
+        finally:
+            # A large batch is flushed in chunks; if one chunk's flush fails,
+            # the other chunks' records are already durable — those
+            # transactions ARE committed and must become visible locally even
+            # while the error for the failed chunk propagates.
+            for prepared, pending in batch:
+                if pending.done.is_set() and pending.error is None:
+                    self._finalize_commit(prepared)
+                    results[prepared.txid] = prepared.commit_id
+        return results
+
+    def _prepare_commit(self, txid: str) -> "_PreparedCommit":
+        """Assign a commit id and split the write set into spilled/unspilled."""
         with self._lock:
             transaction = self._transactions.get(txid)
             if transaction is None:
                 raise UnknownTransactionError(f"unknown transaction {txid!r}", txid=txid)
             if transaction.status is TransactionStatus.COMMITTED and transaction.commit_id is not None:
-                return transaction.commit_id
+                return _PreparedCommit(
+                    txid=txid,
+                    transaction=transaction,
+                    commit_id=transaction.commit_id,
+                    already_committed=transaction.commit_id,
+                )
             if transaction.status is TransactionStatus.ABORTED:
                 raise TransactionAbortedError(f"transaction {txid} was aborted", txid=txid)
             commit_id = TransactionId(timestamp=self._id_generator.next_id().timestamp, uuid=transaction.uuid)
@@ -287,39 +479,68 @@ class AftNode:
                 to_persist[storage_key] = value
             write_set[key] = storage_key
 
-        # Step 1: persist the transaction's data (batched when possible).
-        if to_persist:
-            self._persist_updates(to_persist)
-
         record: CommitRecord | None = None
         if write_set:
-            # Step 2: persist the commit record.  Only after this write is the
-            # transaction committed; a crash before it leaves no visible state.
             record = CommitRecord(
                 txid=commit_id,
                 write_set=write_set,
                 committed_at=self.clock.now(),
                 node_id=self.node_id,
             )
-            self.commit_store.write_record(record)
-            self.stats.commit_records_written += 1
+        return _PreparedCommit(
+            txid=txid,
+            transaction=transaction,
+            commit_id=commit_id,
+            pending_values=pending,
+            to_persist=to_persist,
+            record=record,
+        )
 
-        # Step 3: make the transaction visible locally and acknowledge.
+    def _persist_commit(self, to_persist: dict[str, bytes], record: CommitRecord) -> None:
+        """Persist one transaction's data, then its commit record (§3.3).
+
+        Step 1 pushes the data (batched/parallel when the engine allows);
+        only after it completes does step 2 write the commit record — a crash
+        between the two leaves no visible state, just unreferenced keys for
+        the garbage collector.  ``batch_commit_writes=False`` forces the
+        legacy one-request-at-a-time data push even when the pipeline is on,
+        so the Section 6.1.1 batching ablation still isolates that effect.
+        """
+        if self.config.enable_io_pipeline and self.config.batch_commit_writes:
+            execute_commit_plan(
+                self.storage,
+                self.commit_store,
+                to_persist,
+                {commit_record_key(record.txid): record.to_bytes()},
+            )
+        else:
+            if to_persist:
+                self._persist_updates(to_persist)
+            self.commit_store.write_record(record)
+
+    def _finalize_commit(self, prepared: "_PreparedCommit") -> None:
+        """Make a durably-committed transaction visible locally (step 3)."""
         with self._lock:
-            if record is not None:
-                self.metadata_cache.add(record)
-                self._recent_commits.append(record)
+            if prepared.record is not None:
+                self.metadata_cache.add(prepared.record)
+                self._recent_commits.append(prepared.record)
+                self.stats.commit_records_written += 1
                 if self.config.enable_data_cache:
-                    for key, value in pending.items():
-                        self.data_cache.put(key, commit_id, value)
-            transaction.status = TransactionStatus.COMMITTED
-            transaction.commit_id = commit_id
+                    for key, value in prepared.pending_values.items():
+                        self.data_cache.put(key, prepared.commit_id, value)
+            prepared.transaction.status = TransactionStatus.COMMITTED
+            prepared.transaction.commit_id = prepared.commit_id
             self.stats.transactions_committed += 1
-        self.write_buffer.discard(txid)
-        return commit_id
+        self.write_buffer.discard(prepared.txid)
+
+    def _record_group_flush(self, batch_size: int) -> None:
+        """GroupCommitter flush callback: maintain stats under the node lock."""
+        with self._lock:
+            self.stats.group_commits += 1
+            self.stats.group_commit_batched_txns += batch_size
 
     def _persist_updates(self, updates: dict[str, bytes]) -> None:
-        """Write a transaction's key versions to storage, batching if allowed."""
+        """Write key versions to storage sequentially (the pre-pipeline path)."""
         if self.config.batch_commit_writes and self.storage.supports_batch_writes:
             batch_limit = self.storage.max_batch_size or len(updates)
             items = list(updates.items())

@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.core.io_plan import IOPlan
 from repro.errors import UnknownTransactionError
 from repro.ids import TransactionId, data_key
 from repro.storage.base import StorageEngine
@@ -58,10 +59,14 @@ class AtomicWriteBuffer:
         self,
         storage: StorageEngine | None = None,
         spill_threshold_bytes: int | None = None,
+        use_plans: bool = True,
     ) -> None:
         self._buffers: dict[str, _TransactionBuffer] = {}
         self._storage = storage
         self.spill_threshold_bytes = spill_threshold_bytes
+        #: Spill through a one-stage IO plan (parallel fan-out / native
+        #: batching) rather than one sequential point write per key.
+        self.use_plans = use_plans
         self._lock = threading.RLock()
         self.spills = 0
 
@@ -169,11 +174,13 @@ class AtomicWriteBuffer:
             to_spill = {
                 key: write for key, write in buffer.writes.items() if write.spilled_to is None
             }
-        written: list[str] = []
-        for key, write in to_spill.items():
-            storage_key = data_key(key, provisional_id)
-            self._storage.put(storage_key, write.value)
-            written.append(storage_key)
+        items = {data_key(key, provisional_id): write.value for key, write in to_spill.items()}
+        if self.use_plans and items:
+            self._storage.execute_plan(IOPlan.writes(items, name="spill"))
+        else:
+            for storage_key, value in items.items():
+                self._storage.put(storage_key, value)
+        written = list(items)
         with self._lock:
             buffer = self._buffers.get(uuid)
             if buffer is None:

@@ -108,6 +108,19 @@ class DeploymentSpec:
     data_cache_capacity_bytes: int = 64 * 1024 * 1024
     enable_gc: bool = True
     batch_commit_writes: bool = True
+    #: Route node-side storage traffic through the IO-plan pipeline (parallel
+    #: per-stage latency); off reproduces the sequential one-op-at-a-time path.
+    enable_io_pipeline: bool = True
+    #: Coalesce concurrent commits on a node into shared storage batches.
+    #: NOTE: the discrete-event simulator is single-threaded, so commits never
+    #: arrive concurrently in real time — group commit degenerates to batches
+    #: of one (stats still flow).  Real coalescing needs threaded drivers or
+    #: the explicit ``AftNode.commit_transactions`` batch API.
+    enable_group_commit: bool = False
+    #: Must stay 0 in the simulator: the leader's window waits in *wall-clock*
+    #: time, which would stall the run without ever coalescing anything.
+    group_commit_window: float = 0.0
+    group_commit_max_txns: int = 8
     prune_superseded_broadcasts: bool = True
     cost_model: DeploymentCostModel = field(default_factory=DeploymentCostModel)
     node_config: AftConfig | None = None
@@ -126,6 +139,18 @@ class DeploymentSpec:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.mode == "dynamo_txn" and self.backend not in ("dynamodb", "dynamo"):
             raise ValueError("dynamo_txn mode requires the dynamodb backend")
+        # A full node_config bypasses the per-field spec knobs, so it must be
+        # held to the same simulator constraint.
+        window = self.group_commit_window
+        if self.node_config is not None:
+            window = max(window, self.node_config.group_commit_window)
+        if window > 0:
+            raise ValueError(
+                "group_commit_window must be 0 in the simulator: the window "
+                "waits in wall-clock time while the single-threaded event loop "
+                "never produces concurrent committers, so it only stalls the "
+                "run; use window=0 or drive AftNode.commit_transactions directly"
+            )
 
 
 @dataclass
@@ -231,6 +256,10 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             enable_data_cache=spec.enable_data_cache,
             data_cache_capacity_bytes=spec.data_cache_capacity_bytes,
             batch_commit_writes=spec.batch_commit_writes,
+            enable_io_pipeline=spec.enable_io_pipeline,
+            enable_group_commit=spec.enable_group_commit,
+            group_commit_window=spec.group_commit_window,
+            group_commit_max_txns=spec.group_commit_max_txns,
             prune_superseded_broadcasts=spec.prune_superseded_broadcasts,
         )
 
@@ -412,6 +441,8 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                     "null_reads": node.stats.null_reads,
                     "data_cache_hits": node.stats.data_cache_hits,
                     "storage_value_reads": node.stats.storage_value_reads,
+                    "group_commits": node.stats.group_commits,
+                    "group_commit_batched_txns": node.stats.group_commit_batched_txns,
                     "metadata_cache_size": len(node.metadata_cache),
                 }
             )

@@ -53,6 +53,11 @@ class DeploymentCostModel:
     storage_rtt: float = 0.0
     #: AFT-node CPU consumed per API call (get/put/commit), charged as latency.
     shim_cpu_per_op: float = 0.0004
+    #: Dispatch cost of fanning out one IO-plan stage (connection scheduling,
+    #: request marshalling for the stage's concurrent requests).  Charged per
+    #: executed stage on top of the stage's parallel storage latency, so the
+    #: pipeline is cheaper than sequential IO but not free.
+    plan_stage_overhead: float = 0.0002
     #: Concurrent requests one AFT node can serve before queueing.  The paper's
     #: single node scales linearly to ~40-45 clients and then plateaus
     #: (Figure 7: "contention for shared data structures"); we model that

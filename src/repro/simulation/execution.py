@@ -89,10 +89,25 @@ def aft_transaction_program(
     outcome: TransactionOutcome,
     clock: Clock,
 ) -> Iterator[Step]:
-    """Execute one request through the AFT shim."""
+    """Execute one request through the AFT shim.
+
+    When the node's IO pipeline is enabled, each function ships all of its
+    reads to the shim in one request (``get_many``) and the shim fetches the
+    chosen payloads in one parallel plan stage; storage time is then charged
+    as the ledger's *pipelined* latency (max within a stage, sum across
+    stages) plus a small per-stage dispatch overhead from the cost model.
+    With the pipeline off, every operation is its own round trip charged
+    sequentially — the original one-at-a-time path.
+    """
     engines = (node.storage, node.commit_store.engine)
     write_set = _write_set_of(plan)
     log = outcome.log
+    pipelined = node.config.enable_io_pipeline
+
+    def storage_cost(ledger: CostLedger) -> float:
+        if pipelined:
+            return ledger.pipelined_latency + cost_model.plan_stage_overhead * ledger.plan_stage_count
+        return ledger.sequential_latency
 
     yield ("delay", cost_model.request_trigger_overhead)
 
@@ -101,7 +116,27 @@ def aft_transaction_program(
     op_index = 0
     for function in plan:
         yield ("delay", cost_model.function_invoke_overhead)
-        for op in function.operations:
+        if pipelined and len(function.reads) > 1:
+            # One shim request carries the function's whole read set
+            # (operations are ordered reads-then-writes, so this preserves
+            # the program order of the sequential path).
+            read_ops = list(function.reads)
+            stack, ledger = _meter(*engines)
+            with stack:
+                values = node.get_many(txid, [op.key for op in read_ops])
+            for op in read_ops:
+                log.record_read(
+                    op.key, TaggedValue.try_from_bytes(values[op.key]), op_index, function.function_index
+                )
+                op_index += 1
+            outcome.storage_operations += ledger.operation_count
+            yield ("cpu", cost_model.shim_cpu_per_op * len(read_ops))
+            yield ("delay", cost_model.shim_rtt)
+            yield ("storage", storage_cost(ledger))
+            remaining_ops = list(function.writes)
+        else:
+            remaining_ops = list(function.operations)
+        for op in remaining_ops:
             stack, ledger = _meter(*engines)
             with stack:
                 if op.is_read:
@@ -122,16 +157,16 @@ def aft_transaction_program(
             op_index += 1
             yield ("cpu", cost_model.shim_cpu_per_op)
             yield ("delay", cost_model.shim_rtt)
-            yield ("storage", ledger.sequential_latency)
+            yield ("storage", storage_cost(ledger))
 
-    # Commit: data writes (batched when the engine allows) + commit record.
+    # Commit: data writes (batched/parallel when the engine allows) + record.
     stack, ledger = _meter(*engines)
     with stack:
         outcome.commit_version = node.commit_transaction(txid)
     outcome.storage_operations += ledger.operation_count
     yield ("cpu", cost_model.shim_cpu_per_op)
     yield ("delay", cost_model.shim_rtt)
-    yield ("storage", ledger.sequential_latency)
+    yield ("storage", storage_cost(ledger))
     outcome.committed = True
     log.committed = True
 

@@ -15,24 +15,38 @@ accrued cost into simulated time; unit tests simply ignore it.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.clock import Clock, SystemClock
 from repro.storage.latency import LatencyModel, ZeroLatency
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports storage)
+    from repro.core.io_plan import IOPlan, IOStage, PlanResult
+
+#: Process-wide unique ids for plan stages, so that entries merged from
+#: different ledgers never collapse into one stage by accident.
+_stage_ids = itertools.count(1)
+
 
 @dataclass
 class CostEntry:
-    """One metered storage operation."""
+    """One metered storage operation.
+
+    ``stage`` groups entries that were issued concurrently as part of one
+    :class:`~repro.core.io_plan.IOPlan` stage; ``None`` marks a plain
+    sequential operation.
+    """
 
     op: str
     n_items: int
     total_bytes: int
     latency: float
+    stage: int | None = None
 
 
 class CostLedger:
@@ -41,16 +55,38 @@ class CostLedger:
     A ledger is attached to an engine (via :meth:`StorageEngine.metered`)
     for the duration of one logical step — e.g. one AFT API call — and then
     inspected by the caller.  ``sequential_latency`` models a client that
-    issues the operations one after another (the common case inside a single
-    AFT call); ``parallel_latency`` models issuing them concurrently and
-    waiting for the slowest.
+    issues the operations one after another; ``parallel_latency`` models
+    issuing them all concurrently and waiting for the slowest;
+    ``pipelined_latency`` models the IO-plan pipeline: operations within one
+    plan stage run concurrently, stages (and un-staged operations) run
+    sequentially.
     """
 
     def __init__(self) -> None:
         self.entries: list[CostEntry] = []
+        self._current_stage: int | None = None
 
     def add(self, op: str, n_items: int, total_bytes: int, latency: float) -> None:
-        self.entries.append(CostEntry(op=op, n_items=n_items, total_bytes=total_bytes, latency=latency))
+        self.entries.append(
+            CostEntry(
+                op=op,
+                n_items=n_items,
+                total_bytes=total_bytes,
+                latency=latency,
+                stage=self._current_stage,
+            )
+        )
+
+    @contextmanager
+    def stage(self) -> Iterator[int]:
+        """Tag every operation recorded inside the block as one parallel stage."""
+        previous = self._current_stage
+        stage_id = next(_stage_ids)
+        self._current_stage = stage_id
+        try:
+            yield stage_id
+        finally:
+            self._current_stage = previous
 
     @property
     def sequential_latency(self) -> float:
@@ -63,6 +99,28 @@ class CostLedger:
         return max((entry.latency for entry in self.entries), default=0.0)
 
     @property
+    def pipelined_latency(self) -> float:
+        """Latency under the IO pipeline: max within a stage, sum across stages.
+
+        Entries without a stage tag (plain point operations) are charged
+        sequentially, exactly as before the pipeline existed — so for a
+        ledger with no staged entries this equals ``sequential_latency``.
+        """
+        total = 0.0
+        stage_max: dict[int, float] = {}
+        for entry in self.entries:
+            if entry.stage is None:
+                total += entry.latency
+            else:
+                stage_max[entry.stage] = max(stage_max.get(entry.stage, 0.0), entry.latency)
+        return total + sum(stage_max.values())
+
+    @property
+    def plan_stage_count(self) -> int:
+        """Number of distinct plan stages recorded on this ledger."""
+        return len({entry.stage for entry in self.entries if entry.stage is not None})
+
+    @property
     def operation_count(self) -> int:
         return len(self.entries)
 
@@ -70,7 +128,7 @@ class CostLedger:
         self.entries.clear()
 
     def merge(self, other: "CostLedger") -> None:
-        """Append all entries from ``other``."""
+        """Append all entries from ``other`` (stage tags are preserved)."""
         self.entries.extend(other.entries)
 
 
@@ -124,23 +182,38 @@ class StorageEngine(ABC):
     supports_batch_writes: bool = False
     #: Maximum number of items per batched request (None = unlimited).
     max_batch_size: int | None = None
+    #: Whether the engine can fetch several keys in a single request.
+    supports_batch_reads: bool = False
+    #: Maximum number of items per batched read (None = unlimited).
+    max_batch_get_size: int | None = None
 
     def __init__(self, latency_model: LatencyModel | None = None, clock: Clock | None = None) -> None:
         self.latency_model = latency_model if latency_model is not None else ZeroLatency()
         self.clock = clock if clock is not None else SystemClock()
         self.stats = StorageStats()
-        self._ledger: CostLedger | None = None
+        #: Ledger attachment is thread-local: concurrent committers (group
+        #: commit, multi-threaded nodes) each meter their own operations
+        #: without cross-wiring each other's cost accounting.
+        self._ledger_slot = threading.local()
         self._lock = threading.RLock()
+
+    @property
+    def _ledger(self) -> CostLedger | None:
+        return getattr(self._ledger_slot, "value", None)
+
+    @_ledger.setter
+    def _ledger(self, ledger: CostLedger | None) -> None:
+        self._ledger_slot.value = ledger
 
     # ------------------------------------------------------------------ #
     # Latency metering
     # ------------------------------------------------------------------ #
     @contextmanager
     def metered(self, ledger: CostLedger) -> Iterator[CostLedger]:
-        """Attach ``ledger`` for the duration of the ``with`` block.
+        """Attach ``ledger`` to the calling thread for the ``with`` block.
 
         Nested attachments are not supported; the innermost ledger wins and is
-        restored on exit.
+        restored on exit.  Operations issued by other threads are unaffected.
         """
         previous = self._ledger
         self._ledger = ledger
@@ -191,6 +264,96 @@ class StorageEngine(ABC):
         """Delete several keys.  The default implementation issues point deletes."""
         for key in keys:
             self.delete(key)
+
+    # ------------------------------------------------------------------ #
+    # IO-plan execution (the batched parallel-IO pipeline)
+    # ------------------------------------------------------------------ #
+    def execute_plan(self, plan: "IOPlan") -> "PlanResult":
+        """Execute an :class:`~repro.core.io_plan.IOPlan` against this engine.
+
+        Each stage's operations are partitioned into *request groups* by the
+        engine's capability hooks (:meth:`_plan_put_groups` /
+        :meth:`_plan_get_groups`): a group is one storage request, and all
+        groups of a stage are issued concurrently.  The attached
+        :class:`CostLedger` receives every underlying operation tagged with
+        its stage, so ``ledger.pipelined_latency`` charges the max latency
+        within a stage and the sum across stages — stages remain barriers,
+        which is how the commit plan preserves the paper's data-before-
+        commit-record write ordering.
+        """
+        from repro.core.io_plan import PlanResult
+
+        outer = self._ledger
+        inner = CostLedger()
+        result = PlanResult()
+        with self.metered(inner):
+            for stage in plan.stages:
+                before = len(inner.entries)
+                with inner.stage():
+                    self._execute_stage(stage, result)
+                stage_entries = inner.entries[before:]
+                result.stage_latencies.append(
+                    max((entry.latency for entry in stage_entries), default=0.0)
+                )
+                result.requests_issued += len(stage_entries)
+        if outer is not None:
+            outer.merge(inner)
+        with self._lock:
+            self.stats.extra["plans_executed"] = self.stats.extra.get("plans_executed", 0) + 1
+            self.stats.extra["plan_stages"] = self.stats.extra.get("plan_stages", 0) + len(
+                plan.stages
+            )
+        return result
+
+    def _execute_stage(self, stage: "IOStage", result: "PlanResult") -> None:
+        """Issue one stage's operations, grouped into backend-sized requests."""
+        puts = stage.puts
+        gets = stage.gets
+        deletes = stage.deletes
+        for group in self._plan_put_groups(puts):
+            self._execute_put_group(group)
+        for key_group in self._plan_get_groups(gets):
+            result.values.update(self._execute_get_group(key_group))
+        if deletes:
+            self.multi_delete(deletes)
+
+    def _plan_put_groups(self, items: Mapping[str, bytes]) -> list[dict[str, bytes]]:
+        """Partition a stage's puts into concurrent requests.
+
+        Engines with native batching produce ``max_batch_size``-item chunks;
+        everything else falls back to one request per key (the fan-out the
+        paper describes for S3's per-object PUTs).
+        """
+        if not items:
+            return []
+        if self.supports_batch_writes:
+            limit = self.max_batch_size or len(items)
+            pairs = list(items.items())
+            return [dict(pairs[start : start + limit]) for start in range(0, len(pairs), limit)]
+        return [{key: value} for key, value in items.items()]
+
+    def _execute_put_group(self, group: Mapping[str, bytes]) -> None:
+        """Issue one put request (a native batch, or a point write)."""
+        if len(group) > 1:
+            self.multi_put(group)
+        else:
+            for key, value in group.items():
+                self.put(key, value)
+
+    def _plan_get_groups(self, keys: list[str]) -> list[list[str]]:
+        """Partition a stage's gets into concurrent requests."""
+        if not keys:
+            return []
+        if self.supports_batch_reads:
+            limit = self.max_batch_get_size or len(keys)
+            return [keys[start : start + limit] for start in range(0, len(keys), limit)]
+        return [[key] for key in keys]
+
+    def _execute_get_group(self, keys: list[str]) -> dict[str, bytes | None]:
+        """Issue one get request (a native batch, or a point read)."""
+        if len(keys) > 1:
+            return self.multi_get(keys)
+        return {keys[0]: self.get(keys[0])}
 
     # ------------------------------------------------------------------ #
     # Convenience

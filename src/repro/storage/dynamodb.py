@@ -53,6 +53,7 @@ class SimulatedDynamoDB(StorageEngine):
     max_batch_size = 25
     #: DynamoDB's TransactWriteItems limit.
     max_transact_size = 25
+    supports_batch_reads = True
     #: DynamoDB's BatchGetItem limit.
     max_batch_get_size = 100
 
@@ -273,8 +274,8 @@ class SimulatedDynamoDB(StorageEngine):
                 history.append(_Version(value=bytes(value), written_at=now, visible_at=now))
                 if len(history) > self.history_limit:
                     del history[: len(history) - self.history_limit]
+            self.stats.extra["transacts"] += 1
         total = sum(len(v) for v in items.values())
-        self.stats.extra["transacts"] += 1
         self.stats.items_written += len(items)
         self.stats.bytes_written += total
         self._charge("transact", n_items=max(1, len(items)), total_bytes=total)
@@ -290,8 +291,8 @@ class SimulatedDynamoDB(StorageEngine):
         with self._lock:
             self._check_not_locked(keys, owner=token, mode="read")
             result = {key: self._read(key, True, now) for key in keys}
+            self.stats.extra["transacts"] += 1
         total = sum(len(v) for v in result.values() if v is not None)
-        self.stats.extra["transacts"] += 1
         self.stats.items_read += sum(1 for v in result.values() if v is not None)
         self.stats.bytes_read += total
         self._charge("transact", n_items=max(1, len(keys)), total_bytes=total)

@@ -22,6 +22,8 @@ class InMemoryStorage(StorageEngine):
     name = "memory"
     supports_batch_writes = True
     max_batch_size = None
+    supports_batch_reads = True
+    max_batch_get_size = None
 
     def __init__(
         self,

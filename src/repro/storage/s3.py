@@ -40,8 +40,13 @@ class SimulatedS3(StorageEngine):
     """In-memory model of an S3 bucket."""
 
     name = "s3"
+    #: S3 has no multi-object PUT or GET, so the IO-plan executor falls back
+    #: to one request per object and hides the cost by issuing the requests of
+    #: a stage concurrently (the fan-out emulation of parallel HTTP clients).
     supports_batch_writes = False
     max_batch_size = None
+    supports_batch_reads = False
+    max_batch_get_size = None
 
     def __init__(
         self,

@@ -1,0 +1,317 @@
+"""Tests for cross-transaction group commit and its write-ordering invariant.
+
+The critical property (paper §3.3, strengthened across a batch): no commit
+record may become durable before *all* data it references.  A fault injected
+between the combined data stage and the commit-record stage must leave no
+visible state — readers keep seeing the pre-batch versions, never a mix.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.config import AftConfig
+from repro.core.commit_set import CommitSetStore
+from repro.core.group_commit import GroupCommitter, PendingCommit
+from repro.core.node import AftNode
+from repro.core.transaction import TransactionStatus
+from repro.errors import StorageUnavailableError
+from repro.ids import is_commit_record_key
+from repro.storage.memory import InMemoryStorage
+
+
+class CommitRecordFailingStorage(InMemoryStorage):
+    """Fails every write of a commit record while letting data through.
+
+    Because the commit plan persists data in stage one and records in stage
+    two, this injects a fault exactly *between* the two stages: all data
+    lands, no record does — the same state a node crash at that point leaves.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.failing = True
+
+    def _check(self, keys) -> None:
+        if self.failing and any(is_commit_record_key(key) for key in keys):
+            raise StorageUnavailableError("injected fault: commit-record write lost")
+
+    def put(self, key, value):
+        self._check([key])
+        super().put(key, value)
+
+    def multi_put(self, items):
+        self._check(items.keys())
+        super().multi_put(items)
+
+
+def make_node(storage, clock=None, **config_overrides) -> AftNode:
+    node = AftNode(
+        storage,
+        config=AftConfig(**config_overrides),
+        clock=clock or LogicalClock(start=100.0, auto_step=0.001),
+        node_id="gc-test-node",
+    )
+    node.start()
+    return node
+
+
+def open_txn(node, items) -> str:
+    txid = node.start_transaction()
+    for key, value in items.items():
+        node.put(txid, key, value)
+    return txid
+
+
+class TestBatchCommit:
+    def test_commit_transactions_coalesces_into_one_flush(self):
+        storage = InMemoryStorage()
+        node = make_node(storage)
+        txids = [open_txn(node, {f"k{i}-{j}": b"v" for j in range(2)}) for i in range(5)]
+
+        results = node.commit_transactions(txids)
+
+        assert set(results) == set(txids)
+        assert node.stats.group_commits == 1
+        assert node.stats.group_commit_batched_txns == 5
+        assert node.group_committer.stats.largest_batch == 5
+        reader = node.start_transaction()
+        for i in range(5):
+            assert node.get(reader, f"k{i}-0") == b"v"
+
+    def test_batches_are_chunked_by_max_txns(self):
+        node = make_node(InMemoryStorage(), group_commit_max_txns=2)
+        txids = [open_txn(node, {f"k{i}": b"v"}) for i in range(5)]
+        node.commit_transactions(txids)
+        assert node.stats.group_commits == 3  # 2 + 2 + 1
+        assert node.stats.group_commit_batched_txns == 5
+
+    def test_read_only_transactions_commit_without_records(self):
+        storage = InMemoryStorage()
+        node = make_node(storage)
+        commit_store = CommitSetStore(storage)
+        writer = open_txn(node, {"k": b"v"})
+        reader = node.start_transaction()
+        node.get(reader, "k")
+
+        results = node.commit_transactions([writer, reader])
+        assert len(results) == 2
+        assert commit_store.count() == 1  # only the writer left a record
+
+    def test_recommitting_a_committed_transaction_is_idempotent(self):
+        node = make_node(InMemoryStorage())
+        txid = open_txn(node, {"k": b"v"})
+        first = node.commit_transaction(txid)
+        again = node.commit_transactions([txid])
+        assert again[txid] == first
+
+    def test_commit_ids_stay_monotonic_within_a_batch(self):
+        node = make_node(InMemoryStorage())
+        txids = [open_txn(node, {f"k{i}": b"v"}) for i in range(4)]
+        results = node.commit_transactions(txids)
+        ids = [results[txid] for txid in txids]
+        assert ids == sorted(ids)
+
+
+class TestWriteOrderingUnderFaults:
+    def test_fault_between_data_and_record_stages_exposes_nothing(self):
+        storage = CommitRecordFailingStorage()
+        node = make_node(storage)
+        commit_store = CommitSetStore(storage)
+
+        # Preload a consistent baseline version of both keys.
+        storage.failing = False
+        setup = open_txn(node, {"x": b"x0", "y": b"y0"})
+        node.commit_transaction(setup)
+        storage.failing = True
+
+        txid = open_txn(node, {"x": b"x1", "y": b"y1"})
+        with pytest.raises(StorageUnavailableError):
+            node.commit_transaction(txid)
+
+        # Not committed: no record durable, the transaction is still open,
+        # and readers see the old, consistent versions of *both* keys.
+        assert commit_store.count() == 1
+        assert node.transaction_status(txid) is TransactionStatus.RUNNING
+        reader = node.start_transaction()
+        assert node.get(reader, "x") == b"x0"
+        assert node.get(reader, "y") == b"y0"
+
+    def test_fault_mid_group_batch_fractures_no_reads(self):
+        storage = CommitRecordFailingStorage()
+        node = make_node(storage)
+
+        storage.failing = False
+        setup = open_txn(node, {"a": b"a0", "b": b"b0", "c": b"c0"})
+        node.commit_transaction(setup)
+        storage.failing = True
+
+        txids = [
+            open_txn(node, {"a": b"a1", "b": b"b1"}),
+            open_txn(node, {"c": b"c1"}),
+        ]
+        with pytest.raises(StorageUnavailableError):
+            node.commit_transactions(txids)
+
+        # The whole batch is invisible; every key still reads its old version.
+        reader = node.start_transaction()
+        assert node.get(reader, "a") == b"a0"
+        assert node.get(reader, "b") == b"b0"
+        assert node.get(reader, "c") == b"c0"
+        assert node.stats.group_commits == 0
+
+    def test_partial_chunk_failure_finalizes_durable_chunks(self):
+        """A failed chunk must not un-commit the chunks that already flushed.
+
+        With max_txns=1 a three-transaction batch flushes as three chunks; if
+        only the second chunk's record write fails, the first and third have
+        durable commit records — they ARE committed and must become visible
+        even though the batch call raises for the failed one.
+        """
+
+        class SecondRecordFailingStorage(InMemoryStorage):
+            def __init__(self) -> None:
+                super().__init__()
+                self.record_writes = 0
+
+            def put(self, key, value):
+                if is_commit_record_key(key):
+                    self.record_writes += 1
+                    if self.record_writes == 2:
+                        raise StorageUnavailableError("injected fault: second record lost")
+                super().put(key, value)
+
+        storage = SecondRecordFailingStorage()
+        node = make_node(storage, group_commit_max_txns=1)
+        commit_store = CommitSetStore(storage)
+        txids = [open_txn(node, {f"pk{i}": f"pv{i}".encode()}) for i in range(3)]
+
+        with pytest.raises(StorageUnavailableError):
+            node.commit_transactions(txids)
+
+        assert commit_store.count() == 2
+        assert node.transaction_status(txids[0]) is TransactionStatus.COMMITTED
+        assert node.transaction_status(txids[1]) is TransactionStatus.RUNNING
+        assert node.transaction_status(txids[2]) is TransactionStatus.COMMITTED
+        reader = node.start_transaction()
+        assert node.get(reader, "pk0") == b"pv0"
+        assert node.get(reader, "pk1") is None
+        assert node.get(reader, "pk2") == b"pv2"
+
+    def test_recovery_after_fault_recommits_cleanly(self):
+        storage = CommitRecordFailingStorage()
+        node = make_node(storage)
+        txid = open_txn(node, {"k": b"v1"})
+        with pytest.raises(StorageUnavailableError):
+            node.commit_transaction(txid)
+
+        # The storage heals; the same transaction can commit (idempotent
+        # client retry) and becomes fully visible.
+        storage.failing = False
+        commit_id = node.commit_transaction(txid)
+        assert commit_id is not None
+        reader = node.start_transaction()
+        assert node.get(reader, "k") == b"v1"
+
+
+class TestConcurrentCoalescing:
+    def test_concurrent_commits_share_flushes(self):
+        node = make_node(
+            InMemoryStorage(),
+            enable_group_commit=True,
+            group_commit_window=0.2,
+            group_commit_max_txns=8,
+        )
+        txids = [open_txn(node, {f"t{i}": b"v"}) for i in range(6)]
+        barrier = threading.Barrier(len(txids))
+        errors: list[BaseException] = []
+
+        def commit(txid: str) -> None:
+            try:
+                barrier.wait(timeout=5.0)
+                node.commit_transaction(txid)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=commit, args=(txid,)) for txid in txids]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert not errors
+        assert node.stats.transactions_committed == 6
+        assert node.stats.group_commit_batched_txns == 6
+        # At least some commits rode a shared batch (the window makes the
+        # leader wait for the stragglers).
+        assert node.group_committer.stats.largest_batch >= 2
+        assert node.stats.group_commits < 6
+        reader = node.start_transaction()
+        for i in range(6):
+            assert node.get(reader, f"t{i}") == b"v"
+
+    def test_single_commit_degenerates_to_batch_of_one(self):
+        node = make_node(InMemoryStorage(), enable_group_commit=True)
+        txid = open_txn(node, {"k": b"v"})
+        node.commit_transaction(txid)
+        assert node.stats.group_commits == 1
+        assert node.stats.group_commit_batched_txns == 1
+
+
+class TestSimulatorGuards:
+    def test_deployment_spec_rejects_wall_clock_window(self):
+        from repro.simulation.cluster_sim import DeploymentSpec
+
+        with pytest.raises(ValueError):
+            DeploymentSpec(mode="aft", group_commit_window=0.1)
+        # The same constraint applies when a full node_config bypasses the
+        # per-field knobs.
+        with pytest.raises(ValueError):
+            DeploymentSpec(mode="aft", node_config=AftConfig(group_commit_window=0.1))
+        # window=0 (still coalesces queued commits) is fine.
+        DeploymentSpec(mode="aft", enable_group_commit=True)
+
+    def test_config_rejects_contradictory_group_commit_combinations(self):
+        with pytest.raises(ValueError):
+            AftConfig(enable_group_commit=True, enable_io_pipeline=False)
+        with pytest.raises(ValueError):
+            AftConfig(enable_group_commit=True, batch_commit_writes=False)
+        with pytest.raises(ValueError):
+            AftConfig(group_commit_max_txns=0)
+        with pytest.raises(ValueError):
+            AftConfig(group_commit_window=-1.0)
+
+
+class TestGroupCommitterDirect:
+    def test_flush_error_propagates_to_every_member(self):
+        storage = CommitRecordFailingStorage()
+        committer = GroupCommitter(storage, CommitSetStore(storage), max_txns=4)
+        node = make_node(InMemoryStorage())  # only used to mint records
+        txids = [open_txn(node, {f"k{i}": b"v"}) for i in range(2)]
+        pendings = []
+        for txid in txids:
+            prepared = node._prepare_commit(txid)
+            pendings.append(PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist))
+
+        with pytest.raises(StorageUnavailableError):
+            committer.commit_batch(pendings)
+        for pending in pendings:
+            assert pending.error is not None
+            assert pending.done.is_set()
+
+    def test_stats_track_flushes(self):
+        storage = InMemoryStorage()
+        committer = GroupCommitter(storage, CommitSetStore(storage), max_txns=2)
+        node = make_node(InMemoryStorage())
+        txids = [open_txn(node, {f"k{i}": b"v"}) for i in range(3)]
+        pendings = []
+        for txid in txids:
+            prepared = node._prepare_commit(txid)
+            pendings.append(PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist))
+        committer.commit_batch(pendings)
+        assert committer.stats.flushes == 2
+        assert committer.stats.transactions_flushed == 3
+        assert committer.stats.largest_batch == 2

@@ -166,6 +166,86 @@ class TestFaultManager:
         multicast.run_once()
         assert manager.scan_commit_set() == []
 
+    def test_group_committed_batch_is_recovered_by_scan(self, shared_storage, commit_store, clock):
+        """All records of a group-commit flush survive the committing node."""
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        multicast.register_node(b)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        txids = []
+        for i in range(3):
+            txid = a.start_transaction()
+            a.put(txid, f"gk{i}", f"gv{i}".encode())
+            txids.append(txid)
+        commit_ids = a.commit_transactions(txids)
+        a.fail()  # dies before any multicast round
+
+        recovered = {record.txid for record in manager.scan_commit_set()}
+        assert recovered == set(commit_ids.values())
+        reader = b.start_transaction()
+        for i in range(3):
+            assert b.get(reader, f"gk{i}") == f"gv{i}".encode()
+
+    def test_fault_between_group_stages_leaves_nothing_to_recover(
+        self, shared_storage, commit_store, clock
+    ):
+        """A crash between the data and commit-record stages exposes no state.
+
+        The group-commit plan writes all data first; if the node dies before
+        the record stage, the scan finds no records and peers keep reading
+        the old versions — no fractured read, only orphaned data keys that
+        the global GC will reap.
+        """
+        from repro.errors import StorageUnavailableError
+        from repro.ids import is_commit_record_key
+
+        a = make_node(shared_storage, commit_store, clock, "a")
+        b = make_node(shared_storage, commit_store, clock, "b")
+        multicast = MulticastService()
+        multicast.register_node(a)
+        multicast.register_node(b)
+        manager = FaultManager(shared_storage, commit_store, multicast)
+
+        setup = a.start_transaction()
+        a.put(setup, "p", b"p0")
+        a.put(setup, "q", b"q0")
+        a.commit_transaction(setup)
+        multicast.run_once()
+
+        original_put = shared_storage.put
+        original_multi_put = shared_storage.multi_put
+
+        def failing_put(key, value):
+            if is_commit_record_key(key):
+                raise StorageUnavailableError("crash before the record stage")
+            original_put(key, value)
+
+        def failing_multi_put(items):
+            if any(is_commit_record_key(key) for key in items):
+                raise StorageUnavailableError("crash before the record stage")
+            original_multi_put(items)
+
+        shared_storage.put = failing_put
+        shared_storage.multi_put = failing_multi_put
+        try:
+            txid = a.start_transaction()
+            a.put(txid, "p", b"p1")
+            a.put(txid, "q", b"q1")
+            with pytest.raises(StorageUnavailableError):
+                a.commit_transactions([txid])
+        finally:
+            shared_storage.put = original_put
+            shared_storage.multi_put = original_multi_put
+        a.fail()
+
+        assert manager.scan_commit_set() == []
+        reader = b.start_transaction()
+        assert b.get(reader, "p") == b"p0"
+        assert b.get(reader, "q") == b"q0"
+
     def test_detect_failures(self, shared_storage, commit_store, clock):
         a = make_node(shared_storage, commit_store, clock, "a")
         b = make_node(shared_storage, commit_store, clock, "b")
