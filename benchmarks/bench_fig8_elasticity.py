@@ -1,0 +1,143 @@
+"""Elasticity — autoscaling under a bursty arrival curve (Figure 8 extension).
+
+The paper's Figure 8 shows AFT scaling linearly when nodes are *added by
+hand*; this benchmark closes the loop with the autoscaler.  A diurnal
+sinusoid with a superimposed spike drives three deployments:
+
+* ``autoscaled_ch`` — utilization-driven autoscaler + consistent-hash
+  (key-affinity) routing, the configuration under test;
+* ``autoscaled_rr`` — the same autoscaler behind the paper's round-robin
+  balancer, isolating what key-affinity routing buys the caches;
+* ``static_overprovisioned`` — ``max_nodes`` for the whole run: the latency
+  gold standard the autoscaler must track while paying for far fewer
+  node-seconds.
+
+Acceptance (asserted below): the node count rises and falls with offered
+load, autoscaled p99 stays within 1.5x of the over-provisioned run, the
+autoscaler spends materially fewer node-seconds, and consistent-hash routing
+beats round-robin on both the metadata-locality and data-cache hit rates.
+
+Set ``BENCH_FAST=1`` (the CI smoke job does) for a shortened run that keeps
+every assertion meaningful.  Results are printed, persisted as text, and
+emitted machine-readable to ``benchmarks/results/BENCH_elasticity.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.harness.experiments import run_elasticity_experiment
+from repro.harness.report import format_rows
+
+FAST = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+#: (duration_s, base_clients, peak_clients, spike_clients).  The base sits
+#: low enough that the diurnal tail crosses the scale-down threshold, so the
+#: run exercises both directions of the policy.
+SCALE = (32.0, 8, 22, 20) if FAST else (60.0, 12, 35, 30)
+
+COLUMNS = [
+    "run",
+    "p50_ms",
+    "p99_ms",
+    "throughput_tps",
+    "cache_hit_rate",
+    "meta_local",
+    "nodes_min",
+    "nodes_max",
+    "node_seconds",
+]
+
+
+def run_elasticity() -> dict:
+    duration, base, peak, spike = SCALE
+    return run_elasticity_experiment(
+        duration=duration,
+        base_clients=base,
+        peak_clients=peak,
+        spike_clients=spike,
+        min_nodes=2,
+        max_nodes=8,
+        node_capacity=10,
+    )
+
+
+def _node_counts(run: dict) -> list[int]:
+    counts = [count for _, count in run["node_count_timeline"]]
+    return counts if counts else [0]
+
+
+def test_fig8_elasticity(benchmark):
+    results = run_once(benchmark, run_elasticity)
+    runs = results["runs"]
+
+    rows = []
+    for label, run in runs.items():
+        counts = _node_counts(run)
+        rows.append(
+            {
+                "run": label,
+                "p50_ms": run["p50_ms"],
+                "p99_ms": run["p99_ms"],
+                "throughput_tps": run["throughput_tps"],
+                "cache_hit_rate": run["data_cache_hit_rate"],
+                "meta_local": run["metadata_local_read_fraction"],
+                "nodes_min": min(counts) if counts != [0] else results["policy"]["max_nodes"],
+                "nodes_max": max(counts) if counts != [0] else results["policy"]["max_nodes"],
+                "node_seconds": run["node_seconds"],
+            }
+        )
+    emit(
+        "fig8_elasticity",
+        format_rows(
+            rows,
+            COLUMNS,
+            title="Elasticity: autoscaler + consistent hashing vs round robin vs static",
+        ),
+    )
+    emit_json("BENCH_elasticity", results)
+
+    ch = runs["autoscaled_ch"]
+    rr = runs["autoscaled_rr"]
+    static = runs["static_overprovisioned"]
+
+    # The autoscaler tracks the bursty curve: the fleet grows from its floor
+    # under load and shrinks back once the spike passes.
+    counts = _node_counts(ch)
+    assert max(counts) >= min(counts) + 2, counts
+    assert counts[-1] <= max(counts) - 1, counts
+    peak_window = [
+        count
+        for t, count in ch["node_count_timeline"]
+        if results["duration"] * 0.5 <= t < results["duration"] * 0.75
+    ]
+    assert max(peak_window) > counts[0], (peak_window[:5], counts[0])
+
+    # Elastic latency stays within 1.5x of static over-provisioning while
+    # spending materially fewer node-seconds.
+    assert ch["p99_ms"] <= 1.5 * static["p99_ms"], (ch["p99_ms"], static["p99_ms"])
+    assert ch["node_seconds"] <= 0.75 * static["node_seconds"], (
+        ch["node_seconds"],
+        static["node_seconds"],
+    )
+
+    # Key-affinity routing keeps caches hot across scale events: it beats the
+    # round-robin baseline on metadata locality and on data-cache hit rate.
+    assert ch["metadata_local_read_fraction"] > rr["metadata_local_read_fraction"], (
+        ch["metadata_local_read_fraction"],
+        rr["metadata_local_read_fraction"],
+    )
+    assert ch["data_cache_hit_rate"] > rr["data_cache_hit_rate"], (
+        ch["data_cache_hit_rate"],
+        rr["data_cache_hit_rate"],
+    )
+
+    # Scale events completed cleanly: every drained node was retired with its
+    # GC set handed over, and nothing went read-atomically wrong meanwhile.
+    for label in ("autoscaled_ch", "autoscaled_rr"):
+        summary = runs[label]["autoscaler"]
+        assert summary["scale_ups"] >= 1 and summary["scale_downs"] >= 1, summary
+        assert runs[label]["anomalies"] == 0, (label, runs[label]["anomalies"])
+        assert runs[label]["requests_failed"] == 0, label

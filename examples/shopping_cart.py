@@ -16,7 +16,7 @@ functions.
 from __future__ import annotations
 
 from repro import AftCluster, ClusterConfig, InMemoryStorage
-from repro.faas import Composition, FaaSPlatform, FailureInjector, FailurePlan
+from repro.faas import Composition, FaaSPlatform, FailurePlan
 from repro.faas.failures import FailurePoint
 
 

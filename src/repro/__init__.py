@@ -16,7 +16,7 @@ inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured results.
 """
 
 from repro.clock import Clock, CounterClock, LogicalClock, OffsetClock, SystemClock
-from repro.config import AftConfig, ClusterConfig, DEFAULT_CONFIG
+from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig, DEFAULT_CONFIG
 from repro.core import (
     AftCluster,
     AftNode,
@@ -52,6 +52,7 @@ __all__ = [
     "GroupCommitter",
     "IOPlan",
     "AftConfig",
+    "AutoscalerPolicy",
     "ClusterConfig",
     "DEFAULT_CONFIG",
     "Clock",

@@ -76,6 +76,11 @@ class AftConfig:
     transaction_timeout:
         Seconds after which an idle, uncommitted transaction is considered
         abandoned and aborted by the node (Section 3.3.1).
+    drain_grace_period:
+        How long a draining node waits for its in-flight transactions before
+        the cluster force-aborts them and retires it anyway.  Drain normally
+        completes as soon as the last pinned transaction commits; the grace
+        period only bounds pathological stragglers.
     """
 
     enable_data_cache: bool = True
@@ -94,6 +99,7 @@ class AftConfig:
     fault_scan_interval: float = 5.0
     metadata_bootstrap_limit: int = 10_000
     transaction_timeout: float = 60.0
+    drain_grace_period: float = 30.0
 
     def __post_init__(self) -> None:
         if self.group_commit_max_txns < 1:
@@ -135,18 +141,101 @@ class AftConfig:
             "fault_scan_interval": self.fault_scan_interval,
             "metadata_bootstrap_limit": self.metadata_bootstrap_limit,
             "transaction_timeout": self.transaction_timeout,
+            "drain_grace_period": self.drain_grace_period,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Utilization-driven elasticity policy for an AFT cluster.
+
+    The autoscaler samples cluster utilization — in-flight transactions
+    divided by the serving capacity of the routable nodes — on every
+    evaluation and reacts with hysteresis: a scale event fires only after the
+    relevant threshold has been breached for ``scale_up_after`` /
+    ``scale_down_after`` *consecutive* evaluations, and never within
+    ``cooldown`` seconds of the previous scale event.  The asymmetry (fast
+    up, slow down) follows standard practice: under-provisioning hurts tail
+    latency immediately, over-provisioning only costs money.
+
+    Attributes
+    ----------
+    min_nodes / max_nodes:
+        Bounds on the number of routable nodes the policy maintains.
+    scale_up_threshold / scale_down_threshold:
+        Utilization fractions (0..1) above/below which breaches accumulate.
+        The gap between them is the hysteresis dead band.
+    scale_up_after / scale_down_after:
+        Consecutive breached evaluations required before acting.
+    cooldown:
+        Minimum seconds between scale events, letting the previous event's
+        effect show up in utilization before the next decision.
+    evaluation_interval:
+        Seconds between utilization samples.
+    node_capacity:
+        In-flight transactions one node serves comfortably; the denominator
+        of the utilization metric (mirrors the cost model's request slots).
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 8
+    scale_up_threshold: float = 0.75
+    scale_down_threshold: float = 0.30
+    scale_up_after: int = 2
+    scale_down_after: int = 5
+    cooldown: float = 5.0
+    evaluation_interval: float = 1.0
+    node_capacity: int = 35
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if not 0.0 < self.scale_down_threshold < self.scale_up_threshold <= 1.0:
+            raise ValueError("need 0 < scale_down_threshold < scale_up_threshold <= 1")
+        if self.scale_up_after < 1 or self.scale_down_after < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+        if self.cooldown < 0 or self.evaluation_interval <= 0:
+            raise ValueError("cooldown must be >= 0 and evaluation_interval > 0")
+        if self.node_capacity < 1:
+            raise ValueError("node_capacity must be >= 1")
+
+    def with_overrides(self, **overrides: Any) -> "AutoscalerPolicy":
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "min_nodes": self.min_nodes,
+            "max_nodes": self.max_nodes,
+            "scale_up_threshold": self.scale_up_threshold,
+            "scale_down_threshold": self.scale_down_threshold,
+            "scale_up_after": self.scale_up_after,
+            "scale_down_after": self.scale_down_after,
+            "cooldown": self.cooldown,
+            "evaluation_interval": self.evaluation_interval,
+            "node_capacity": self.node_capacity,
         }
 
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Tunables of a distributed AFT deployment (Section 4)."""
+    """Tunables of a distributed AFT deployment (Section 4).
+
+    ``balancer`` selects the routing policy (``"round_robin"``,
+    ``"consistent_hash"``, or ``"least_loaded"``); ``hash_ring_replicas``
+    sets the virtual-node count per physical node for consistent hashing.
+    ``autoscaler`` enables utilization-driven elasticity: standby nodes are
+    promoted under load and idle nodes are drained and retired (``None``
+    keeps the cluster at its fixed size).
+    """
 
     num_nodes: int = 1
     node_config: AftConfig = field(default_factory=AftConfig)
     standby_nodes: int = 1
     failure_detection_interval: float = 5.0
     node_replacement_delay: float = 50.0
+    balancer: str = "round_robin"
+    hash_ring_replicas: int = 100
+    autoscaler: AutoscalerPolicy | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def with_overrides(self, **overrides: Any) -> "ClusterConfig":

@@ -6,6 +6,7 @@ Table 1, the write-ordering commit protocol and atomic read protocol
 manager, and garbage collection.
 """
 
+from repro.core.autoscaler import Autoscaler, AutoscalerStats
 from repro.core.cluster import AftCluster, ClusterClient
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.data_cache import DataCache
@@ -13,7 +14,12 @@ from repro.core.fault_manager import FaultManager
 from repro.core.garbage_collector import GlobalDataGC, LocalMetadataGC
 from repro.core.group_commit import GroupCommitter, GroupCommitStats, PendingCommit
 from repro.core.io_plan import IOOp, IOPlan, IOStage, PlanResult
-from repro.core.load_balancer import LeastLoadedLoadBalancer, RoundRobinLoadBalancer
+from repro.core.load_balancer import (
+    ConsistentHashLoadBalancer,
+    LeastLoadedLoadBalancer,
+    RoundRobinLoadBalancer,
+    make_load_balancer,
+)
 from repro.core.metadata_cache import CommitSetCache
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode, NodeStats
@@ -56,4 +62,8 @@ __all__ = [
     "GlobalDataGC",
     "RoundRobinLoadBalancer",
     "LeastLoadedLoadBalancer",
+    "ConsistentHashLoadBalancer",
+    "make_load_balancer",
+    "Autoscaler",
+    "AutoscalerStats",
 ]

@@ -1,0 +1,180 @@
+"""Utilization-driven elasticity for AFT clusters.
+
+The paper's evaluation (Sections 4 and 6, Figure 8) argues that the shim tier
+scales out linearly because nodes share no state on the critical path; this
+module supplies the control loop that exercises that property.  An
+:class:`Autoscaler` samples cluster utilization — in-flight transactions over
+the serving capacity of the routable nodes — and, with hysteresis and a
+cooldown (policy knobs in :class:`~repro.config.AutoscalerPolicy`):
+
+* **scales up** by promoting a standby node (which warms its metadata cache
+  from the Transaction Commit Set as it joins, exactly like the paper's
+  failure-replacement flow), and
+* **scales down** by *draining* the least-loaded node: the load balancer
+  stops pinning new transactions to it, its in-flight transactions run to
+  completion, its unbroadcast commits and locally-deleted GC set are handed
+  to the fault manager, and only then is it retired.
+
+Decision-making (:meth:`Autoscaler.evaluate`) is split from acting
+(:meth:`Autoscaler.run_once`) so the discrete-event simulator can charge
+node start/stop delays from the cost model between the two; tests and
+real-time deployments just call ``run_once``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import AutoscalerPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.core.cluster import AftCluster
+    from repro.core.node import AftNode
+
+#: Decisions returned by :meth:`Autoscaler.evaluate`.
+SCALE_UP = "scale_up"
+SCALE_DOWN = "scale_down"
+HOLD = "hold"
+
+
+@dataclass
+class AutoscalerStats:
+    evaluations: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    held_by_cooldown: int = 0
+    held_at_max: int = 0
+    held_at_min: int = 0
+    #: (time, running node count) after every evaluation — the Figure 8
+    #: elasticity experiment plots this against the offered-load curve and
+    #: integrates it as the fleet's node-seconds cost.  Running includes
+    #: draining nodes (still serving in-flight work, still paid for); cold
+    #: standbys are excluded (not started, so not billed in this model).
+    node_count_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, utilization) after every evaluation.
+    utilization_timeline: list[tuple[float, float]] = field(default_factory=list)
+
+
+class Autoscaler:
+    """The cluster's elasticity control loop."""
+
+    def __init__(self, cluster: "AftCluster", policy: AutoscalerPolicy | None = None) -> None:
+        self.cluster = cluster
+        self.policy = policy if policy is not None else AutoscalerPolicy()
+        self.stats = AutoscalerStats()
+        self._above_streak = 0
+        self._below_streak = 0
+        self._last_scale_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """In-flight transactions over routable serving capacity (0..inf)."""
+        routable = self.cluster.routable_nodes()
+        if not routable:
+            return float("inf")
+        in_flight = sum(len(node.active_transactions()) for node in routable)
+        return in_flight / (len(routable) * self.policy.node_capacity)
+
+    # ------------------------------------------------------------------ #
+    # Decision
+    # ------------------------------------------------------------------ #
+    def evaluate(self, now: float | None = None) -> str:
+        """Sample utilization and return ``scale_up`` / ``scale_down`` / ``hold``.
+
+        Pure decision — nothing is promoted or drained.  The caller applies
+        the decision and reports back via :meth:`record_scale` so cooldown
+        and hysteresis state stay accurate.
+        """
+        now = self.cluster.clock.now() if now is None else now
+        policy = self.policy
+        routable = self.cluster.routable_nodes()
+        count = len(routable)
+        utilization = self.utilization()
+
+        self.stats.evaluations += 1
+        # The cost timeline counts every *running* node: a draining node is
+        # no longer routable but still serves its in-flight transactions
+        # (and still costs money) until it retires.
+        self.stats.node_count_timeline.append((now, len(self.cluster.live_nodes())))
+        self.stats.utilization_timeline.append((now, utilization))
+
+        # Enforce the floor: a cluster below min_nodes (e.g. after failures)
+        # recovers regardless of hysteresis.  The cooldown still applies so a
+        # recovery promotion that is already in flight (node start delay)
+        # is not re-issued on every evaluation.
+        if count < policy.min_nodes:
+            if self._last_scale_at is not None and (now - self._last_scale_at) < policy.cooldown:
+                self.stats.held_by_cooldown += 1
+                return HOLD
+            return SCALE_UP
+
+        if utilization >= policy.scale_up_threshold:
+            self._above_streak += 1
+            self._below_streak = 0
+        elif utilization <= policy.scale_down_threshold:
+            self._below_streak += 1
+            self._above_streak = 0
+        else:
+            self._above_streak = 0
+            self._below_streak = 0
+
+        wants_up = self._above_streak >= policy.scale_up_after
+        wants_down = self._below_streak >= policy.scale_down_after
+        if not wants_up and not wants_down:
+            return HOLD
+
+        if self._last_scale_at is not None and (now - self._last_scale_at) < policy.cooldown:
+            self.stats.held_by_cooldown += 1
+            return HOLD
+        if wants_up:
+            if count >= policy.max_nodes:
+                self.stats.held_at_max += 1
+                return HOLD
+            return SCALE_UP
+        if count <= policy.min_nodes:
+            self.stats.held_at_min += 1
+            return HOLD
+        return SCALE_DOWN
+
+    def record_scale(self, decision: str, now: float | None = None) -> None:
+        """Note that ``decision`` was acted on: start the cooldown, reset streaks."""
+        now = self.cluster.clock.now() if now is None else now
+        self._last_scale_at = now
+        self._above_streak = 0
+        self._below_streak = 0
+        if decision == SCALE_UP:
+            self.stats.scale_ups += 1
+        elif decision == SCALE_DOWN:
+            self.stats.scale_downs += 1
+
+    def choose_drain_victim(self) -> "AftNode | None":
+        """The routable node with the fewest in-flight transactions.
+
+        Draining the least-loaded node both finishes fastest and disturbs
+        the smallest share of the consistent-hash ring's hot segments.
+        """
+        routable = self.cluster.routable_nodes()
+        if len(routable) <= self.policy.min_nodes:
+            return None
+        return min(routable, key=lambda node: (len(node.active_transactions()), node.node_id))
+
+    # ------------------------------------------------------------------ #
+    # Act (synchronous path: tests, real-time clusters)
+    # ------------------------------------------------------------------ #
+    def run_once(self, now: float | None = None) -> str:
+        """One full control-loop tick: retire finished drains, decide, act."""
+        self.cluster.retire_drained_nodes()
+        decision = self.evaluate(now)
+        if decision == SCALE_UP:
+            self.cluster.promote_standby()
+            self.record_scale(SCALE_UP, now)
+        elif decision == SCALE_DOWN:
+            victim = self.choose_drain_victim()
+            if victim is None:
+                return HOLD
+            self.cluster.begin_drain(victim)
+            self.record_scale(SCALE_DOWN, now)
+        return decision

@@ -26,10 +26,11 @@ from dataclasses import dataclass, field
 
 from repro.clock import Clock, SystemClock
 from repro.config import AftConfig, ClusterConfig
+from repro.core.autoscaler import Autoscaler
 from repro.core.commit_set import CommitSetStore
 from repro.core.fault_manager import FaultManager
 from repro.core.garbage_collector import LocalMetadataGC
-from repro.core.load_balancer import LoadBalancer, RoundRobinLoadBalancer
+from repro.core.load_balancer import LoadBalancer, make_load_balancer
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode
 from repro.core.session import TransactionSession
@@ -43,10 +44,14 @@ class ClusterStats:
     nodes_added: int = 0
     nodes_failed: int = 0
     nodes_replaced: int = 0
+    nodes_promoted: int = 0
+    nodes_draining: int = 0
+    nodes_retired: int = 0
     multicast_rounds: int = 0
     local_gc_rounds: int = 0
     global_gc_rounds: int = 0
     fault_scans: int = 0
+    autoscaler_ticks: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
 
@@ -74,10 +79,18 @@ class AftCluster:
             commit_store=self.commit_store,
             multicast=self.multicast,
         )
-        self.load_balancer = load_balancer if load_balancer is not None else RoundRobinLoadBalancer()
+        if load_balancer is not None:
+            self.load_balancer = load_balancer
+        else:
+            self.load_balancer = make_load_balancer(
+                self.cluster_config.balancer, replicas=self.cluster_config.hash_ring_replicas
+            )
         self.stats = ClusterStats()
 
         self._nodes: list[AftNode] = []
+        self._standbys: list[AftNode] = []
+        self._retired_nodes: list[AftNode] = []
+        self._standby_sequence = 0
         self._local_gcs: dict[str, LocalMetadataGC] = {}
         self._background_threads: list[threading.Thread] = []
         self._stop_event = threading.Event()
@@ -85,6 +98,12 @@ class AftCluster:
 
         for index in range(self.cluster_config.num_nodes):
             self.add_node(node_id=f"aft-node-{index}")
+        for _ in range(self.cluster_config.standby_nodes):
+            self._add_standby()
+
+        self.autoscaler: Autoscaler | None = None
+        if self.cluster_config.autoscaler is not None:
+            self.autoscaler = Autoscaler(self, self.cluster_config.autoscaler)
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -97,6 +116,15 @@ class AftCluster:
     def live_nodes(self) -> list[AftNode]:
         with self._lock:
             return [node for node in self._nodes if node.is_running]
+
+    def routable_nodes(self) -> list[AftNode]:
+        """Nodes that accept *new* transactions (running and not draining)."""
+        with self._lock:
+            return [node for node in self._nodes if node.is_accepting]
+
+    def standby_count(self) -> int:
+        with self._lock:
+            return len(self._standbys)
 
     def add_node(self, node_id: str | None = None, start: bool = True) -> AftNode:
         """Create, bootstrap, and register a new AFT node."""
@@ -146,6 +174,133 @@ class AftCluster:
             replacements.append(replacement)
             self.stats.nodes_replaced += 1
         return replacements
+
+    # ------------------------------------------------------------------ #
+    # Elastic scaling (promote / drain / retire)
+    # ------------------------------------------------------------------ #
+    def _new_standby_node(self) -> AftNode:
+        """Construct a cold node (not started, not routed, not pooled)."""
+        with self._lock:
+            node_id = f"aft-standby-{self._standby_sequence}"
+            self._standby_sequence += 1
+        return AftNode(
+            storage=self.storage,
+            commit_store=self.commit_store,
+            config=self.node_config,
+            clock=self.clock,
+            node_id=node_id,
+        )
+
+    def _add_standby(self) -> AftNode:
+        """Provision a cold standby node into the pool."""
+        node = self._new_standby_node()
+        with self._lock:
+            self._standbys.append(node)
+        return node
+
+    def promote_standby(self) -> AftNode:
+        """Bring a standby node into service (the scale-up path).
+
+        The node warms its metadata cache from the Transaction Commit Set as
+        it starts — the same bootstrap the paper's failure-replacement flow
+        uses (Section 6.7) — then joins the multicast group and the load
+        balancer (for consistent hashing: claims its segments of the ring).
+        If the standby pool is empty a fresh node is provisioned instead.
+        """
+        with self._lock:
+            node = self._standbys.pop(0) if self._standbys else None
+        if node is None:
+            node = self._new_standby_node()
+        node.start(bootstrap=True)
+        with self._lock:
+            self._nodes.append(node)
+            self._local_gcs[node.node_id] = LocalMetadataGC(node)
+        self.multicast.register_node(node)
+        self.load_balancer.add_node(node)
+        self.stats.nodes_promoted += 1
+        return node
+
+    def begin_drain(self, node: AftNode) -> None:
+        """Start gracefully removing ``node`` (the scale-down path).
+
+        The drain flag flips under the node's own lock, so the load balancer
+        can never pin a new transaction after this returns; in-flight
+        transactions keep running until :meth:`retire_drained_nodes` observes
+        the node is empty (or the grace period expires).
+        """
+        if not node.is_draining:
+            self.stats.nodes_draining += 1
+        node.begin_drain()
+
+    def retire_drained_nodes(
+        self, force: bool = False, nodes: list[AftNode] | None = None
+    ) -> list[AftNode]:
+        """Retire every draining node whose in-flight transactions finished.
+
+        ``nodes`` restricts the sweep to specific draining nodes (the
+        simulator uses this to charge each node its own stop delay).
+
+        Retirement hands the node's state to the control plane before the
+        node disappears:
+
+        1. its not-yet-multicast commit records are broadcast to the peers
+           *and* pushed to the fault manager (whose liveness guarantee —
+           Section 4.2 — otherwise has to rediscover them by scanning the
+           Commit Set);
+        2. its locally-deleted GC set is absorbed by the fault manager — the
+           node leaves the global GC's live quorum (safe: its transactions
+           all finished), with the final answer kept for audit;
+        3. only then does the node leave the multicast group, the load
+           balancer, and the node list.
+
+        A node whose drain outlives ``drain_grace_period`` (or any draining
+        node when ``force`` is true) has its stragglers aborted first.
+        """
+        now = self.clock.now()
+        with self._lock:
+            draining = [node for node in self._nodes if node.is_draining]
+        if nodes is not None:
+            draining = [node for node in draining if node in nodes]
+        retired: list[AftNode] = []
+        for node in draining:
+            overdue = (
+                node.drain_started_at is not None
+                and (now - node.drain_started_at) > self.node_config.drain_grace_period
+            )
+            if force or overdue:
+                node.abort_active_transactions()
+            if not node.is_drained():
+                continue
+
+            unbroadcast = node.drain_recent_commits()
+            if unbroadcast:
+                self.multicast.broadcast_records(unbroadcast, exclude=node)
+                self.fault_manager.receive_commits(unbroadcast)
+            self.fault_manager.absorb_retired_node(
+                node.node_id, node.metadata_cache.locally_deleted()
+            )
+            self.remove_node(node)
+            node.stop()
+            self.stats.nodes_retired += 1
+            retired.append(node)
+            with self._lock:
+                self._retired_nodes.append(node)
+            # Keep the standby pool stocked for the next burst.
+            self._add_standby()
+        return retired
+
+    @property
+    def retired_nodes(self) -> list[AftNode]:
+        """Nodes gracefully retired by scale-down (kept for stats collection)."""
+        with self._lock:
+            return list(self._retired_nodes)
+
+    def run_autoscaler(self) -> str | None:
+        """One autoscaler control-loop tick (no-op without a configured policy)."""
+        if self.autoscaler is None:
+            return None
+        self.stats.autoscaler_ticks += 1
+        return self.autoscaler.run_once()
 
     # ------------------------------------------------------------------ #
     # Background work (explicit ticks)
@@ -244,9 +399,17 @@ class ClusterClient:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
-    def start_transaction(self, txid: str | None = None) -> str:
-        node = self._cluster.load_balancer.next_node()
-        new_txid = node.start_transaction(txid)
+    def start_transaction(self, txid: str | None = None, affinity_key: str | None = None) -> str:
+        """Start a transaction on a balancer-chosen node and pin it there.
+
+        ``affinity_key`` is a routing hint — typically the first user key the
+        transaction will touch — that key-affinity balancers use to keep each
+        key's traffic on the node whose caches already hold it.  Pinning is
+        atomic with node drain state: the balancer registers the transaction
+        under the candidate node's lock and transparently retries another
+        node if the candidate began draining concurrently.
+        """
+        node, new_txid = self._cluster.load_balancer.pin_transaction(txid, affinity_key)
         with self._lock:
             self._routes[new_txid] = node
         return new_txid
@@ -282,6 +445,6 @@ class ClusterClient:
             with self._lock:
                 self._routes.pop(txid, None)
 
-    def transaction(self, txid: str | None = None) -> TransactionSession:
+    def transaction(self, txid: str | None = None, affinity_key: str | None = None) -> TransactionSession:
         """Open a :class:`TransactionSession` bound to this client."""
-        return TransactionSession(self, txid)
+        return TransactionSession(self, txid, affinity_key=affinity_key)

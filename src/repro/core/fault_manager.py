@@ -36,6 +36,8 @@ class FaultManagerStats:
     failures_detected: int = 0
     replacements_requested: int = 0
     gc_rounds: int = 0
+    nodes_retired: int = 0
+    retired_deletions_absorbed: int = 0
 
 
 class FaultManager:
@@ -58,6 +60,11 @@ class FaultManager:
         )
         #: Ids of commits learned via broadcast (or a previous scan).
         self._seen: set[TransactionId] = set()
+        #: Locally-deleted GC sets handed over by gracefully retired nodes
+        #: (Section 5.2's per-node agreement, preserved across membership
+        #: changes): node id -> the transaction ids that node had locally
+        #: garbage collected when it left.
+        self._retired_deletions: dict[str, set[TransactionId]] = {}
         self.stats = FaultManagerStats()
         multicast.register_fault_manager(self)
 
@@ -115,9 +122,43 @@ class FaultManager:
         self.stats.replacements_requested += 1
 
     # ------------------------------------------------------------------ #
+    # Graceful retirement (elastic scale-down)
+    # ------------------------------------------------------------------ #
+    def absorb_retired_node(self, node_id: str, locally_deleted: set[TransactionId]) -> None:
+        """Take custody of a retiring node's locally-deleted GC set.
+
+        The global GC's deletion rule is "every *live* node has released the
+        transaction" (Section 5.2); a gracefully retired node simply leaves
+        that quorum — its in-flight transactions finished before retirement,
+        so nothing can still read through its cache.  Its final answer (the
+        set of transactions it had locally garbage collected) is recorded
+        here so the handover is auditable, and pruned as the global GC
+        deletes those transactions.  The cluster also flushes the node's
+        unbroadcast commit records through :meth:`receive_commits` first, so
+        nothing the node knew is lost when it disappears.
+        """
+        self.stats.nodes_retired += 1
+        self.stats.retired_deletions_absorbed += len(locally_deleted)
+        self._retired_deletions[node_id] = set(locally_deleted)
+
+    def retired_node_deletions(self, node_id: str) -> set[TransactionId]:
+        """The locally-deleted set a retired node handed over (empty if unknown)."""
+        return set(self._retired_deletions.get(node_id, set()))
+
+    # ------------------------------------------------------------------ #
     # Global GC (Section 5.2)
     # ------------------------------------------------------------------ #
     def run_global_gc(self, nodes: list[AftNode]) -> list[TransactionId]:
         """Run one round of global data garbage collection."""
         self.stats.gc_rounds += 1
-        return self.global_gc.run_once(nodes)
+        deleted = self.global_gc.run_once(nodes)
+        # Globally deleted transactions no longer need the retirement
+        # bookkeeping; pruning here is the same hygiene the live nodes get
+        # via ``metadata_cache.forget_deleted``.
+        if deleted and self._retired_deletions:
+            deleted_set = set(deleted)
+            for node_id in list(self._retired_deletions):
+                self._retired_deletions[node_id] -= deleted_set
+                if not self._retired_deletions[node_id]:
+                    del self._retired_deletions[node_id]
+        return deleted

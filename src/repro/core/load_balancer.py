@@ -6,15 +6,43 @@ operation of a transaction must reach the same node* (Section 3.1), because
 that node holds the transaction's write buffer and read-set state.  The load
 balancer therefore assigns a node when a transaction starts and the cluster
 client keeps routing that transaction's operations to it.
+
+Two policies matter to the elasticity story:
+
+* :class:`RoundRobinLoadBalancer` — the paper's baseline.  Spreads load
+  evenly but scatters each key's traffic across every node, so a key's newest
+  version is usually cached on a *different* node from the one serving the
+  next read of it.
+* :class:`ConsistentHashLoadBalancer` — routes each new transaction by an
+  *affinity key* (typically the first key it touches) on a consistent-hash
+  ring with virtual nodes.  Transactions over the same keys land on the same
+  node, keeping its metadata and data caches hot, and scale events only
+  remap the ring segments adjacent to the joining/leaving node instead of
+  reshuffling every key.
+
+Routing is drain-aware: a node that has begun draining for retirement is not
+routable.  Selection alone cannot be atomic with the drain flag (the flag
+lives in the node), so callers pin through
+:meth:`LoadBalancer.pin_transaction`, which starts the transaction *on* the
+candidate under the node's own lock and retries the next candidate if the
+node began draining (or failed) concurrently — a transaction is never left
+pinned to a node that no longer accepts work.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import threading
 from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
 
 from repro.core.node import AftNode
-from repro.errors import NoAvailableNodeError
+from repro.errors import NoAvailableNodeError, NodeDrainingError, NodeStoppedError
+
+#: A routing hint: one affinity key, or the transaction's whole key set (a
+#: key-affinity balancer then picks the node owning the most of them).
+AffinityHint = str | Sequence[str] | None
 
 
 class LoadBalancer(ABC):
@@ -33,36 +61,82 @@ class LoadBalancer(ABC):
         with self._lock:
             return [node for node in self._nodes if node.is_running]
 
+    def routable_nodes(self) -> list[AftNode]:
+        """Nodes that may be pinned *new* transactions (running, not draining)."""
+        with self._lock:
+            return [node for node in self._nodes if node.is_accepting]
+
     def add_node(self, node: AftNode) -> None:
         with self._lock:
             if node not in self._nodes:
                 self._nodes.append(node)
+                self._membership_changed()
 
     def remove_node(self, node: AftNode) -> None:
         with self._lock:
             if node in self._nodes:
                 self._nodes.remove(node)
+                self._membership_changed()
+
+    def _membership_changed(self) -> None:
+        """Hook for subclasses that precompute routing structures."""
 
     @abstractmethod
-    def next_node(self) -> AftNode:
-        """Return the node that should own the next transaction."""
+    def next_node(
+        self,
+        affinity_key: AffinityHint = None,
+        excluded: Iterable[str] | None = None,
+    ) -> AftNode:
+        """Return the node that should own the next transaction.
+
+        ``affinity_key`` is a routing hint — one key, or the transaction's
+        whole key set (policies may ignore it) — and ``excluded`` names node
+        ids the caller has already found unusable — typically nodes that
+        began draining between selection and pinning.
+        """
+
+    def pin_transaction(
+        self, txid: str | None = None, affinity_key: AffinityHint = None
+    ) -> tuple[AftNode, str]:
+        """Atomically choose a node and start a transaction on it.
+
+        The drain flag and the transaction table live under the node's own
+        lock, so ``start_transaction`` either registers the transaction
+        before any drain begins (the drain path then waits for it) or raises
+        :class:`~repro.errors.NodeDrainingError`; this loop absorbs the race
+        by retrying the remaining candidates.  Returns ``(node, txid)``.
+        """
+        excluded: set[str] = set()
+        while True:
+            node = self.next_node(affinity_key=affinity_key, excluded=excluded)
+            try:
+                return node, node.start_transaction(txid)
+            except (NodeDrainingError, NodeStoppedError):
+                # The node began draining (or died) after selection; never
+                # reconsider it for this pin.
+                excluded.add(node.node_id)
 
 
 class RoundRobinLoadBalancer(LoadBalancer):
-    """Stateless round-robin routing, skipping failed nodes."""
+    """Stateless round-robin routing, skipping failed and draining nodes."""
 
     def __init__(self, nodes: list[AftNode] | None = None) -> None:
         super().__init__(nodes)
         self._cursor = 0
 
-    def next_node(self) -> AftNode:
+    def next_node(
+        self,
+        affinity_key: AffinityHint = None,
+        excluded: Iterable[str] | None = None,
+    ) -> AftNode:
+        skip = set(excluded) if excluded else set()
         with self._lock:
             if not self._nodes:
                 raise NoAvailableNodeError("no AFT nodes registered with the load balancer")
             for _ in range(len(self._nodes)):
                 node = self._nodes[self._cursor % len(self._nodes)]
                 self._cursor += 1
-                if node.is_running:
+                if node.is_accepting and node.node_id not in skip:
                     return node
         raise NoAvailableNodeError("no live AFT node available")
 
@@ -74,8 +148,126 @@ class LeastLoadedLoadBalancer(LoadBalancer):
     workloads with highly variable transaction lengths.
     """
 
-    def next_node(self) -> AftNode:
-        candidates = self.live_nodes()
+    def next_node(
+        self,
+        affinity_key: AffinityHint = None,
+        excluded: Iterable[str] | None = None,
+    ) -> AftNode:
+        skip = set(excluded) if excluded else set()
+        candidates = [node for node in self.routable_nodes() if node.node_id not in skip]
         if not candidates:
             raise NoAvailableNodeError("no live AFT node available")
         return min(candidates, key=lambda node: len(node.active_transactions()))
+
+
+class ConsistentHashLoadBalancer(LoadBalancer):
+    """Key-affinity routing on a consistent-hash ring with virtual nodes.
+
+    Each node owns ``replicas`` pseudo-random points on a 64-bit ring; an
+    affinity key hashes to a point and is served by the next node clockwise.
+    Virtual nodes smooth the load split (with 100 replicas per node the
+    imbalance is typically a few percent), and consistency means a scale
+    event only remaps the ring segments the joining/leaving node touches —
+    every other node's cache working set is undisturbed, which is exactly
+    what keeps metadata/data caches hot across autoscaling.
+
+    Transactions with no affinity key fall back to round-robin over the
+    routable nodes, so mixed workloads still spread.
+    """
+
+    def __init__(self, nodes: list[AftNode] | None = None, replicas: int = 100) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._ring: list[tuple[int, AftNode]] = []
+        self._cursor = 0
+        # ``super().__init__`` stores the seed nodes; build the ring for them.
+        super().__init__(nodes)
+        with self._lock:
+            self._membership_changed()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _membership_changed(self) -> None:
+        # Called with self._lock held.
+        ring: list[tuple[int, AftNode]] = []
+        for node in self._nodes:
+            for replica in range(self.replicas):
+                ring.append((self._hash(f"{node.node_id}#{replica}"), node))
+        ring.sort(key=lambda entry: entry[0])
+        self._ring = ring
+
+    def node_for_key(self, affinity_key: str) -> AftNode | None:
+        """The routable owner of ``affinity_key`` (None if nothing is routable)."""
+        return self._walk_ring(affinity_key, skip=set())
+
+    def _walk_ring(self, affinity_key: str, skip: set[str]) -> AftNode | None:
+        point = self._hash(affinity_key)
+        with self._lock:
+            if not self._ring:
+                return None
+            index = bisect.bisect_right(self._ring, point, key=lambda e: e[0])
+            for offset in range(len(self._ring)):
+                _, node = self._ring[(index + offset) % len(self._ring)]
+                if node.is_accepting and node.node_id not in skip:
+                    return node
+        return None
+
+    def next_node(
+        self,
+        affinity_key: AffinityHint = None,
+        excluded: Iterable[str] | None = None,
+    ) -> AftNode:
+        skip = set(excluded) if excluded else set()
+        with self._lock:
+            if not self._nodes:
+                raise NoAvailableNodeError("no AFT nodes registered with the load balancer")
+        if affinity_key is not None and not isinstance(affinity_key, str):
+            # A whole key set: pick the node owning the most of its keys, so
+            # as many of the transaction's reads/writes as possible hit caches
+            # that are already hot.  Ties break toward the earliest key's
+            # owner, keeping the choice deterministic.
+            keys = list(affinity_key)
+            affinity_key = keys[0] if keys else None
+            if len(keys) > 1:
+                tally: dict[str, tuple[int, AftNode]] = {}
+                order: list[str] = []
+                for key in keys:
+                    owner = self._walk_ring(key, skip)
+                    if owner is None:
+                        continue
+                    count, _ = tally.get(owner.node_id, (0, owner))
+                    tally[owner.node_id] = (count + 1, owner)
+                    if owner.node_id not in order:
+                        order.append(owner.node_id)
+                if tally:
+                    best_id = max(order, key=lambda node_id: tally[node_id][0])
+                    return tally[best_id][1]
+        if affinity_key is not None:
+            node = self._walk_ring(affinity_key, skip)
+            if node is None:
+                raise NoAvailableNodeError("no live AFT node available")
+            return node
+        # No affinity hint: spread like round robin over routable nodes.
+        with self._lock:
+            for _ in range(len(self._nodes)):
+                node = self._nodes[self._cursor % len(self._nodes)]
+                self._cursor += 1
+                if node.is_accepting and node.node_id not in skip:
+                    return node
+        raise NoAvailableNodeError("no live AFT node available")
+
+
+def make_load_balancer(policy: str, replicas: int = 100) -> LoadBalancer:
+    """Build a balancer from a policy name (the ``ClusterConfig.balancer`` knob)."""
+    policy = policy.lower().replace("-", "_")
+    if policy in ("round_robin", "rr"):
+        return RoundRobinLoadBalancer()
+    if policy in ("consistent_hash", "ch", "hash"):
+        return ConsistentHashLoadBalancer(replicas=replicas)
+    if policy in ("least_loaded", "ll"):
+        return LeastLoadedLoadBalancer()
+    raise ValueError(f"unknown load-balancer policy {policy!r}")

@@ -35,6 +35,7 @@ from repro.core.transaction import Transaction, TransactionStatus
 from repro.core.write_buffer import AtomicWriteBuffer
 from repro.errors import (
     AtomicReadError,
+    NodeDrainingError,
     NodeStoppedError,
     TransactionAbortedError,
     TransactionAlreadyCommittedError,
@@ -76,6 +77,12 @@ class NodeStats:
     remote_commits_ignored: int = 0
     group_commits: int = 0
     group_commit_batched_txns: int = 0
+    #: Versioned reads whose chosen version was committed by this node — its
+    #: metadata (and usually its data) were already local, no multicast round
+    #: trip was needed.  Key-affinity routing drives this ratio up.
+    local_version_reads: int = 0
+    remote_version_reads: int = 0
+    drains_started: int = 0
     extra: dict[str, int] = field(default_factory=dict)
     _extra_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -145,6 +152,9 @@ class AftNode:
         self._transactions: dict[str, Transaction] = {}
         self._recent_commits: list[CommitRecord] = []
         self._running = False
+        self._draining = False
+        #: Clock time at which :meth:`begin_drain` was called (None = never).
+        self.drain_started_at: float | None = None
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -158,7 +168,10 @@ class AftNode:
         """
         if bootstrap:
             self.bootstrap()
-        self._running = True
+        with self._lock:
+            self._draining = False
+            self.drain_started_at = None
+            self._running = True
 
     def stop(self) -> None:
         """Take the node offline.  In-flight transactions are lost (Section 3.3.1)."""
@@ -172,9 +185,43 @@ class AftNode:
         """Simulate a crash: identical to :meth:`stop` but kept separate for clarity."""
         self.stop()
 
+    def begin_drain(self) -> None:
+        """Enter the graceful scale-down path.
+
+        From this moment the node rejects *new* transactions (so the load
+        balancer stops pinning work to it) while every in-flight transaction
+        runs to completion.  The flag is flipped under the node lock — the
+        same lock :meth:`start_transaction` registers new transactions under —
+        so a transaction is either pinned before the drain began (and will be
+        waited for) or rejected; there is no window in which a transaction
+        lands on a node that is already draining.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            self.drain_started_at = self.clock.now()
+            self.stats.drains_started += 1
+
     @property
     def is_running(self) -> bool:
         return self._running
+
+    @property
+    def is_draining(self) -> bool:
+        return self._draining
+
+    @property
+    def is_accepting(self) -> bool:
+        """Whether the node may be pinned new transactions."""
+        return self._running and not self._draining
+
+    def is_drained(self) -> bool:
+        """True once a draining node has no in-flight transactions left."""
+        with self._lock:
+            return self._draining and not any(
+                t.is_running for t in self._transactions.values()
+            )
 
     def bootstrap(self) -> int:
         """Warm the metadata cache from the Transaction Commit Set.
@@ -214,6 +261,11 @@ class AftNode:
                 uuid = txid
             else:
                 uuid = new_uuid()
+            # Joining an existing transaction (above) is always allowed — the
+            # multi-function case must finish on its pinned node — but a
+            # draining node refuses to open *new* transactions.
+            if self._draining:
+                raise NodeDrainingError(f"node {self.node_id} is draining; retry on another node")
             transaction = Transaction(uuid=uuid, start_time=now)
             self._transactions[uuid] = transaction
             self.write_buffer.open(uuid)
@@ -301,6 +353,11 @@ class AftNode:
                 else:
                     tentative[key] = decision.target
                     record = self.metadata_cache.get(decision.target)
+                    if record is not None:
+                        if record.node_id == self.node_id:
+                            self.stats.local_version_reads += 1
+                        else:
+                            self.stats.remote_version_reads += 1
                     storage_keys[key] = (
                         record.storage_key_for(key)
                         if record is not None
@@ -605,6 +662,19 @@ class AftNode:
             except (TransactionAlreadyCommittedError, UnknownTransactionError):
                 continue
         return expired
+
+    def abort_active_transactions(self) -> list[str]:
+        """Abort every in-flight transaction (the forced end of a drain grace period)."""
+        with self._lock:
+            active = [t.uuid for t in self._transactions.values() if t.is_running]
+        aborted: list[str] = []
+        for uuid in active:
+            try:
+                self.abort_transaction(uuid)
+                aborted.append(uuid)
+            except (TransactionAlreadyCommittedError, UnknownTransactionError):
+                continue
+        return aborted
 
     def forget_finished_transactions(self) -> int:
         """Drop bookkeeping for committed/aborted transactions (memory hygiene)."""

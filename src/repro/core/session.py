@@ -36,9 +36,19 @@ class TransactionalBackend(Protocol):
 class TransactionSession:
     """One open transaction bound to a backend."""
 
-    def __init__(self, backend: TransactionalBackend, txid: str | None = None) -> None:
+    def __init__(
+        self,
+        backend: TransactionalBackend,
+        txid: str | None = None,
+        affinity_key: str | None = None,
+    ) -> None:
         self._backend = backend
-        self.txid = backend.start_transaction(txid)
+        if affinity_key is not None:
+            # Only routing backends (the cluster client) understand affinity
+            # hints; single nodes and baselines keep the plain signature.
+            self.txid = backend.start_transaction(txid, affinity_key=affinity_key)  # type: ignore[call-arg]
+        else:
+            self.txid = backend.start_transaction(txid)
         self.commit_id: TransactionId | None = None
         self._finished = False
 

@@ -80,6 +80,15 @@ class NodeStoppedError(NodeError):
     """An API call reached a node that has been stopped or has failed."""
 
 
+class NodeDrainingError(NodeError):
+    """A new transaction was routed to a node that is draining for retirement.
+
+    In-flight transactions keep running on a draining node; only *new*
+    transaction starts are rejected, so the caller should retry against
+    another node (the cluster client does this automatically).
+    """
+
+
 class ClusterError(AftError):
     """Base class for cluster-management errors."""
 

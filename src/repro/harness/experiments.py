@@ -14,15 +14,16 @@ factor, where the knees are — is unaffected by the scale-down.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.clock import LogicalClock
-from repro.config import AftConfig
+from repro.config import AftConfig, AutoscalerPolicy
 from repro.core.node import AftNode
 from repro.harness import paper_data
 from repro.simulation.cluster_sim import DeploymentSpec, FailureScript, run_deployment
-from repro.simulation.cost_model import DeploymentCostModel, vm_client_cost_model
+from repro.simulation.cost_model import vm_client_cost_model
 from repro.simulation.metrics import LatencyCollector
 from repro.storage.base import CostLedger
 from repro.storage.dynamodb import SimulatedDynamoDB
@@ -570,4 +571,145 @@ def run_fault_tolerance_experiment(
         "fail_at": fail_at,
         "rejoin_at": rejoin_time,
         "paper": paper_data.FIGURE10_FAULT_TOLERANCE,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Elasticity — autoscaling under a bursty arrival curve (Figure 8 extension)
+# --------------------------------------------------------------------------- #
+def diurnal_spike_curve(
+    base_clients: int,
+    peak_clients: int,
+    period: float,
+    spike_clients: int,
+    spike_start: float,
+    spike_end: float,
+):
+    """Offered-load curve: a diurnal sinusoid with a superimposed step spike.
+
+    Returns ``f(t) -> int``, the number of concurrently active closed-loop
+    clients at virtual time ``t`` — the serverless platform's concurrency at
+    that instant.
+    """
+
+    def curve(t: float) -> int:
+        diurnal = base_clients + (peak_clients - base_clients) * (
+            1.0 - math.cos(2.0 * math.pi * t / period)
+        ) / 2.0
+        spike = spike_clients if spike_start <= t < spike_end else 0
+        return int(round(diurnal)) + spike
+
+    return curve
+
+
+def run_elasticity_experiment(
+    duration: float = 60.0,
+    base_clients: int = 20,
+    peak_clients: int = 35,
+    spike_clients: int = 30,
+    backend: str = "dynamodb",
+    min_nodes: int = 2,
+    max_nodes: int = 8,
+    node_capacity: int = 10,
+    seed: int = 0,
+) -> dict:
+    """Elastic autoscaling versus static provisioning under bursty load.
+
+    Replays one diurnal cycle with a mid-run spike against three deployments:
+
+    * ``autoscaled_ch`` — the autoscaler plus consistent-hash (key-affinity)
+      routing: the elasticity configuration under test;
+    * ``autoscaled_rr`` — the same autoscaler behind the paper's round-robin
+      balancer, isolating what key-affinity routing buys the caches;
+    * ``static_overprovisioned`` — ``max_nodes`` nodes for the whole run, the
+      latency gold standard the autoscaler must stay close to while paying
+      for far fewer node-seconds.
+    """
+    curve = diurnal_spike_curve(
+        base_clients=base_clients,
+        peak_clients=peak_clients,
+        period=duration,
+        spike_clients=spike_clients,
+        spike_start=duration * 0.5,
+        spike_end=duration * 0.67,
+    )
+    num_clients = peak_clients + spike_clients
+    policy = AutoscalerPolicy(
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        node_capacity=node_capacity,
+        scale_up_threshold=0.75,
+        scale_down_threshold=0.30,
+        scale_up_after=2,
+        scale_down_after=4,
+        cooldown=4.0,
+        evaluation_interval=1.0,
+    )
+    workload = WorkloadSpec.figure3_default()
+
+    def spec_for(balancer: str, autoscaler: AutoscalerPolicy | None, num_nodes: int) -> DeploymentSpec:
+        return DeploymentSpec(
+            mode="aft",
+            backend=backend,
+            workload=workload,
+            num_nodes=num_nodes,
+            num_clients=num_clients,
+            requests_per_client=None,
+            duration=duration,
+            balancer=balancer,
+            autoscaler=autoscaler,
+            offered_clients_fn=curve,
+            standby_nodes=2,
+            seed=seed,
+        )
+
+    configurations = {
+        "autoscaled_ch": spec_for("consistent_hash", policy, min_nodes),
+        "autoscaled_rr": spec_for("round_robin", policy, min_nodes),
+        "static_overprovisioned": spec_for("consistent_hash", None, max_nodes),
+    }
+
+    def node_seconds(timeline: list[tuple[float, float]], run_duration: float, fallback_nodes: int) -> float:
+        """Integrate the node-count timeline (a cost proxy for the fleet)."""
+        if not timeline:
+            return fallback_nodes * run_duration
+        total = timeline[0][1] * timeline[0][0]  # before the first sample
+        for (t0, count), (t1, _) in zip(timeline, timeline[1:]):
+            total += count * (t1 - t0)
+        last_t, last_count = timeline[-1]
+        total += last_count * max(0.0, run_duration - last_t)
+        return total
+
+    results: dict[str, dict] = {}
+    for label, spec in configurations.items():
+        outcome = run_deployment(spec)
+        latency = outcome.latency
+        results[label] = {
+            "p50_ms": latency.median_ms,
+            "p99_ms": latency.p99_ms,
+            "mean_ms": latency.mean_ms,
+            "requests_completed": outcome.client_result.stats.requests_completed,
+            "requests_failed": outcome.client_result.stats.requests_failed,
+            "throughput_tps": outcome.throughput,
+            "data_cache_hit_rate": outcome.data_cache_hit_rate,
+            "metadata_local_read_fraction": outcome.metadata_local_read_fraction,
+            "node_count_timeline": outcome.node_count_timeline,
+            "utilization_timeline": outcome.utilization_timeline,
+            "autoscaler": outcome.autoscaler_summary,
+            "node_seconds": node_seconds(
+                outcome.node_count_timeline, duration, spec.num_nodes
+            ),
+            "anomalies": (
+                outcome.anomaly_counts.ryw_anomalies
+                + outcome.anomaly_counts.fractured_read_anomalies
+            ),
+        }
+
+    offered_curve = [(t, curve(t)) for t in range(0, int(duration) + 1)]
+    return {
+        "offered_clients": offered_curve,
+        "policy": policy.as_dict(),
+        "duration": duration,
+        "backend": backend,
+        "runs": results,
     }

@@ -32,6 +32,9 @@ from repro.simulation.resources import Resource
 #: held for the whole request.
 ProgramFactory = Callable[[TransactionOutcome], tuple[Iterator[Step], Resource | None]]
 
+#: Offered-load gate: whether a client may issue a request at virtual time t.
+ActivityGate = Callable[[float], bool]
+
 
 @dataclass
 class ClientStats:
@@ -65,6 +68,8 @@ class ClosedLoopClient:
         stop_time: float | None = None,
         max_attempts_per_request: int = 5,
         storage_resource: Resource | None = None,
+        active_fn: ActivityGate | None = None,
+        idle_poll_interval: float = 0.25,
     ) -> None:
         if num_requests is None and stop_time is None:
             raise ValueError("a client needs either num_requests or stop_time")
@@ -79,6 +84,13 @@ class ClosedLoopClient:
         #: Optional shared resource modelling the storage service's concurrency
         #: limit (e.g. a DynamoDB table's provisioned capacity, Figure 8).
         self.storage_resource = storage_resource
+        #: Optional offered-load gate: the client only issues requests while
+        #: ``active_fn(now)`` is true, polling every ``idle_poll_interval``
+        #: otherwise.  An experiment shapes aggregate offered load (e.g. the
+        #: elasticity benchmark's diurnal + spike curve) by gating each
+        #: client on ``client_index < offered_clients(now)``.
+        self.active_fn = active_fn
+        self.idle_poll_interval = idle_poll_interval
 
     # ------------------------------------------------------------------ #
     def start(self):
@@ -127,6 +139,9 @@ class ClosedLoopClient:
     def _run(self):
         completed = 0
         while self._should_continue(completed):
+            if self.active_fn is not None and not self.active_fn(self.sim.now):
+                yield self.sim.timeout(self.idle_poll_interval)
+                continue
             start_time = self.sim.now
             success = False
             for attempt in range(1, self.max_attempts_per_request + 1):

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.baselines.dynamo_txn import DynamoTransactionClient
 from repro.clock import Clock
-from repro.config import AftConfig, ClusterConfig
+from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig
+from repro.core.autoscaler import SCALE_DOWN, SCALE_UP
 from repro.consistency.checker import AnomalyCounts
 from repro.consistency.metadata import TaggedValue
 from repro.core.cluster import AftCluster
@@ -101,6 +103,20 @@ class DeploymentSpec:
     backend: str = "dynamodb"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec.figure3_default)
     num_nodes: int = 1
+    #: Request routing: "static" pins each client to a node slot (the original
+    #: fixed-size-cluster behaviour); "round_robin" / "consistent_hash" /
+    #: "least_loaded" route every transaction through the cluster's drain-aware
+    #: load balancer, which is what lets autoscaled nodes receive traffic.
+    balancer: str = "static"
+    #: Elasticity policy; None keeps the cluster at its fixed size.  Requires a
+    #: non-static balancer so promoted nodes actually receive traffic.
+    autoscaler: AutoscalerPolicy | None = None
+    #: Warm standby nodes available for scale-up promotion.
+    standby_nodes: int = 1
+    #: Offered-load curve: how many of the ``num_clients`` closed-loop clients
+    #: are issuing requests at virtual time t (client i is active while
+    #: ``i < offered_clients_fn(t)``).  None keeps every client active.
+    offered_clients_fn: Callable[[float], int] | None = None
     num_clients: int = 10
     requests_per_client: int | None = 100
     duration: float | None = None
@@ -137,6 +153,19 @@ class DeploymentSpec:
             raise ValueError("a deployment needs requests_per_client or duration")
         if self.mode not in ("aft", "plain", "dynamo_txn"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.balancer not in ("static", "round_robin", "consistent_hash", "least_loaded"):
+            raise ValueError(f"unknown balancer {self.balancer!r}")
+        if self.autoscaler is not None:
+            if self.mode != "aft":
+                raise ValueError("the autoscaler only applies to aft deployments")
+            if self.balancer == "static":
+                raise ValueError(
+                    "autoscaling requires a routing balancer (round_robin / "
+                    "consistent_hash / least_loaded): statically pinned clients "
+                    "would never send traffic to promoted nodes"
+                )
+        if self.offered_clients_fn is not None and self.duration is None:
+            raise ValueError("an offered-load curve needs a duration-bounded run")
         if self.mode == "dynamo_txn" and self.backend not in ("dynamodb", "dynamo"):
             raise ValueError("dynamo_txn mode requires the dynamodb backend")
         # A full node_config bypasses the per-field spec knobs, so it must be
@@ -169,6 +198,17 @@ class DeploymentResult:
     data_cache_hit_rate: float = 0.0
     conflict_retries: int = 0
     storage_keys_at_end: int = 0
+    #: (time, running node count — including draining nodes still finishing
+    #: in-flight work) samples from the autoscaler's evaluations.
+    node_count_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, utilization) samples from the autoscaler's evaluations.
+    utilization_timeline: list[tuple[float, float]] = field(default_factory=list)
+    #: Scale-event counters and retirement bookkeeping (empty without autoscaler).
+    autoscaler_summary: dict = field(default_factory=dict)
+    #: Fraction of versioned reads whose chosen version was committed by the
+    #: serving node itself — the metadata-cache locality that key-affinity
+    #: routing buys.
+    metadata_local_read_fraction: float = 0.0
 
     # Convenience accessors used by the benchmark reports ------------------- #
     @property
@@ -267,18 +307,34 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
     dynamo_client: DynamoTransactionClient | None = None
     directory = _NodeDirectory(rng)
 
+    node_cpu: dict[str, Resource] = {}
+
+    def cpu_for(node: AftNode) -> Resource:
+        """The node's bounded request-slot pool (created on first use, so
+        autoscaled nodes get one as they join)."""
+        resource = node_cpu.get(node.node_id)
+        if resource is None:
+            resource = Resource(
+                sim, capacity=spec.cost_model.node_request_slots, name=f"{node.node_id}-slots"
+            )
+            node_cpu[node.node_id] = resource
+        return resource
+
     if spec.mode == "aft":
         cluster = AftCluster(
             storage=storage,
-            cluster_config=ClusterConfig(num_nodes=spec.num_nodes, node_config=node_config),
+            cluster_config=ClusterConfig(
+                num_nodes=spec.num_nodes,
+                node_config=node_config,
+                standby_nodes=spec.standby_nodes,
+                balancer=spec.balancer if spec.balancer != "static" else "round_robin",
+                autoscaler=spec.autoscaler,
+            ),
             node_config=node_config,
             clock=clock,
         )
         for node in cluster.nodes:
-            slots = Resource(
-                sim, capacity=spec.cost_model.node_request_slots, name=f"{node.node_id}-slots"
-            )
-            directory.add(node, slots)
+            directory.add(node, cpu_for(node))
     elif spec.mode == "dynamo_txn":
         dynamo_client = DynamoTransactionClient(storage)  # type: ignore[arg-type]
 
@@ -307,9 +363,23 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             plan = generator.next_transaction()
             payload_factory = lambda size: generator.make_payload(size)  # noqa: E731
             if spec.mode == "aft":
-                node, cpu = directory.pick(client_index)
+                if spec.balancer == "static":
+                    node, cpu = directory.pick(client_index)
+                    txid = None
+                else:
+                    # Route by key affinity (the transaction's whole key set;
+                    # a key-affinity balancer picks the owner of most of it)
+                    # and pin atomically with drain state: the balancer starts
+                    # the transaction under the node's lock and retries
+                    # another node if the candidate began draining
+                    # concurrently.
+                    affinity = [
+                        op.key for function in plan for op in function.operations
+                    ] or None
+                    node, txid = cluster.load_balancer.pin_transaction(affinity_key=affinity)
+                    cpu = cpu_for(node)
                 program = aft_transaction_program(
-                    node, plan, payload_factory, spec.cost_model, outcome, clock
+                    node, plan, payload_factory, spec.cost_model, outcome, clock, txid=txid
                 )
                 return program, cpu
             if spec.mode == "plain":
@@ -330,6 +400,12 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             sim, capacity=spec.storage_concurrency_limit, name="storage-concurrency"
         )
 
+    def activity_gate(index: int):
+        if spec.offered_clients_fn is None:
+            return None
+        curve = spec.offered_clients_fn
+        return lambda now, i=index: i < curve(now)
+
     stop_time = spec.duration
     clients = [
         ClosedLoopClient(
@@ -341,6 +417,7 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             num_requests=spec.requests_per_client,
             stop_time=stop_time,
             storage_resource=storage_resource,
+            active_fn=activity_gate(index),
         )
         for index in range(spec.num_clients)
     ]
@@ -386,6 +463,57 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
         periodic(node_config.fault_scan_interval, cluster.run_fault_scan, jitter=0.75)
 
     # ------------------------------------------------------------------ #
+    # Elastic autoscaling (decision loop + delayed scale events)
+    # ------------------------------------------------------------------ #
+    if cluster is not None and cluster.autoscaler is not None:
+        autoscaler = cluster.autoscaler
+        retiring: set[str] = set()
+
+        def join_process():
+            """A promoted standby pays its start cost before serving traffic."""
+            yield sim.timeout(spec.cost_model.node_start_delay)
+            node = cluster.promote_standby()
+            cpu_for(node)
+
+        def retire_process(node):
+            """A drained node pays its own stop cost before leaving the cluster."""
+            yield sim.timeout(spec.cost_model.node_stop_delay)
+            cluster.retire_drained_nodes(nodes=[node])
+            retiring.discard(node.node_id)
+
+        def autoscaler_process():
+            grace = node_config.drain_grace_period
+            while not background_stop["stop"]:
+                yield sim.timeout(autoscaler.policy.evaluation_interval)
+                if background_stop["stop"]:
+                    break
+                cluster.stats.autoscaler_ticks += 1
+                # Finished drains retire after the cost model's stop delay;
+                # a drain that outlives the grace period retires anyway
+                # (retire_drained_nodes force-aborts its stragglers).
+                for node in cluster.nodes:
+                    if not node.is_draining or node.node_id in retiring:
+                        continue
+                    overdue = (
+                        node.drain_started_at is not None
+                        and (sim.now - node.drain_started_at) > grace
+                    )
+                    if node.is_drained() or overdue:
+                        retiring.add(node.node_id)
+                        sim.process(retire_process(node), name=f"retire-{node.node_id}")
+                decision = autoscaler.evaluate(sim.now)
+                if decision == SCALE_UP:
+                    autoscaler.record_scale(SCALE_UP, sim.now)
+                    sim.process(join_process(), name="scale-up-join")
+                elif decision == SCALE_DOWN:
+                    victim = autoscaler.choose_drain_victim()
+                    if victim is not None:
+                        cluster.begin_drain(victim)
+                        autoscaler.record_scale(SCALE_DOWN, sim.now)
+
+        sim.process(autoscaler_process(), name="autoscaler")
+
+    # ------------------------------------------------------------------ #
     # Scripted node failure / replacement (Figure 10)
     # ------------------------------------------------------------------ #
     if spec.failure_script is not None and cluster is not None:
@@ -428,10 +556,17 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
     node_stats: list[dict] = []
     cache_hits = 0
     cache_lookups = 0
+    local_version_reads = 0
+    remote_version_reads = 0
     multicast_broadcast = 0
     multicast_pruned = 0
+    node_count_timeline: list[tuple[float, int]] = []
+    utilization_timeline: list[tuple[float, float]] = []
+    autoscaler_summary: dict = {}
     if cluster is not None:
-        for node in cluster.nodes:
+        # Retired nodes served real traffic before scaling down; their
+        # counters belong in the totals.
+        for node in cluster.nodes + cluster.retired_nodes:
             node_stats.append(
                 {
                     "node_id": node.node_id,
@@ -443,14 +578,35 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                     "storage_value_reads": node.stats.storage_value_reads,
                     "group_commits": node.stats.group_commits,
                     "group_commit_batched_txns": node.stats.group_commit_batched_txns,
+                    "local_version_reads": node.stats.local_version_reads,
+                    "remote_version_reads": node.stats.remote_version_reads,
+                    "retired": node in cluster.retired_nodes,
                     "metadata_cache_size": len(node.metadata_cache),
                 }
             )
             cache_hits += node.data_cache.hits
             cache_lookups += node.data_cache.hits + node.data_cache.misses
+            local_version_reads += node.stats.local_version_reads
+            remote_version_reads += node.stats.remote_version_reads
         multicast_broadcast = cluster.multicast.stats.records_broadcast
         multicast_pruned = cluster.multicast.stats.records_pruned
+        if cluster.autoscaler is not None:
+            scaler_stats = cluster.autoscaler.stats
+            node_count_timeline = list(scaler_stats.node_count_timeline)
+            utilization_timeline = list(scaler_stats.utilization_timeline)
+            autoscaler_summary = {
+                "evaluations": scaler_stats.evaluations,
+                "scale_ups": scaler_stats.scale_ups,
+                "scale_downs": scaler_stats.scale_downs,
+                "held_by_cooldown": scaler_stats.held_by_cooldown,
+                "held_at_max": scaler_stats.held_at_max,
+                "held_at_min": scaler_stats.held_at_min,
+                "nodes_promoted": cluster.stats.nodes_promoted,
+                "nodes_retired": cluster.stats.nodes_retired,
+                "policy": cluster.autoscaler.policy.as_dict(),
+            }
 
+    versioned_reads = local_version_reads + remote_version_reads
     return DeploymentResult(
         spec=spec,
         client_result=result,
@@ -463,4 +619,10 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
         data_cache_hit_rate=(cache_hits / cache_lookups) if cache_lookups else 0.0,
         conflict_retries=dynamo_client.stats.conflicts if dynamo_client is not None else 0,
         storage_keys_at_end=storage.size(),
+        node_count_timeline=node_count_timeline,
+        utilization_timeline=utilization_timeline,
+        autoscaler_summary=autoscaler_summary,
+        metadata_local_read_fraction=(
+            local_version_reads / versioned_reads if versioned_reads else 0.0
+        ),
     )

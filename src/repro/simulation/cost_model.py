@@ -68,6 +68,14 @@ class DeploymentCostModel:
     cores_per_node: int = 4
     #: Client-side back-off before retrying an aborted/failed request.
     retry_backoff: float = 0.05
+    #: Time from a scale-up decision until the promoted standby serves
+    #: traffic: process start plus the metadata-cache bootstrap scan of the
+    #: Transaction Commit Set.  Warm standbys make this seconds, not the
+    #: ~45 s cold-replacement timeline of Figure 10.
+    node_start_delay: float = 2.0
+    #: Time a drained node takes to hand its GC set to the fault manager,
+    #: flush unbroadcast commits, and leave the multicast group.
+    node_stop_delay: float = 0.5
 
     def with_overrides(self, **overrides) -> "DeploymentCostModel":
         return replace(self, **overrides)

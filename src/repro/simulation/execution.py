@@ -34,7 +34,7 @@ from repro.clock import Clock
 from repro.consistency.checker import TransactionLog
 from repro.consistency.metadata import TaggedValue
 from repro.core.node import AftNode
-from repro.errors import StorageError, TransactionConflictError
+from repro.errors import TransactionConflictError
 from repro.ids import new_uuid
 from repro.simulation.cost_model import DeploymentCostModel
 from repro.storage.base import CostLedger, StorageEngine
@@ -88,6 +88,7 @@ def aft_transaction_program(
     cost_model: DeploymentCostModel,
     outcome: TransactionOutcome,
     clock: Clock,
+    txid: str | None = None,
 ) -> Iterator[Step]:
     """Execute one request through the AFT shim.
 
@@ -98,6 +99,10 @@ def aft_transaction_program(
     stages) plus a small per-stage dispatch overhead from the cost model.
     With the pipeline off, every operation is its own round trip charged
     sequentially — the original one-at-a-time path.
+
+    ``txid`` carries a transaction already pinned to ``node`` by a drain-aware
+    load balancer (:meth:`~repro.core.load_balancer.LoadBalancer.pin_transaction`);
+    when ``None`` the program starts its own.
     """
     engines = (node.storage, node.commit_store.engine)
     write_set = _write_set_of(plan)
@@ -111,7 +116,8 @@ def aft_transaction_program(
 
     yield ("delay", cost_model.request_trigger_overhead)
 
-    txid = node.start_transaction()
+    if txid is None:
+        txid = node.start_transaction()
     log.txn_uuid = txid
     op_index = 0
     for function in plan:

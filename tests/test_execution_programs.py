@@ -11,7 +11,6 @@ import pytest
 
 from repro.baselines.dynamo_txn import DynamoTransactionClient
 from repro.clock import LogicalClock
-from repro.config import AftConfig
 from repro.consistency.checker import TransactionLog
 from repro.consistency.metadata import TaggedValue
 from repro.core.node import AftNode

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConcurrencyLimitError, FunctionInvocationError, FunctionNotFoundError
 from repro.faas.composition import Composition
-from repro.faas.failures import FailureInjector, FailurePlan, FailurePoint, InjectedFailure
+from repro.faas.failures import FailureInjector, FailurePlan, FailurePoint
 from repro.faas.platform import FaaSPlatform, RetryPolicy
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.harness import paper_data
 from repro.harness.experiments import (
