@@ -1,0 +1,218 @@
+"""Ablation — the lock-free incremental read hot path (Algorithm 1).
+
+Isolates the metadata-side cost of a read: running Algorithm 1 against the
+node-local commit-set cache.  The same Zipf-skewed committed history is
+replayed through two implementations of the decision path:
+
+* ``reference`` — the original literal transcription
+  (:mod:`repro.core.read_protocol_reference`): the lower bound re-scans the
+  whole read set per read and every candidate's cowritten set is re-walked —
+  O(|R|) metadata lookups per read, so an n-read transaction costs O(n²).
+  It runs through :class:`LegacyCacheAdapter`, which restores the seed
+  cache's per-lookup costs: every ``cowritten``/``get`` takes the RLock and
+  rebuilds the cowritten frozenset from the write set, exactly as the
+  pre-optimization ``CommitSetCache`` did.
+* ``fast`` — the shipped incremental path (:mod:`repro.core.read_protocol`):
+  a :class:`~repro.core.read_protocol.TrackedReadSet` maintains the lower
+  bounds and per-candidate observed minima as the read set grows, and the
+  decision runs against an immutable metadata snapshot without ever
+  acquiring a lock.
+
+Both paths replay identical request streams over the same committed
+history.  Decision throughput is reported per transaction length (reads per
+transaction); the gap must widen with transaction length — that is the
+whole point of the digest.  Results are printed, persisted as text, and
+emitted machine-readable to ``benchmarks/results/BENCH_read_path.json``.
+
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.core import read_protocol_reference as reference
+from repro.core.commit_set import CommitRecord
+from repro.core.metadata_cache import CommitSetCache
+from repro.core.read_protocol import TrackedReadSet, atomic_read
+from repro.core.version_index import KeyVersionIndex
+from repro.harness.report import format_rows
+from repro.ids import TransactionId, data_key
+from repro.workloads.zipf import ZipfKeySampler
+
+READS_PER_TXN = (1, 4, 16, 64)
+NUM_KEYS = 512
+HISTORY_COMMITS = 3_000
+ZIPF_THETA = 1.0
+#: ``BENCH_FAST=1`` (the CI smoke job) trades decision count for runtime; the
+#: acceptance threshold below holds at either scale.
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+DECISIONS_PER_LENGTH = 20_000 if not FAST_MODE else 4_000
+#: Acceptance: the incremental path must beat the reference by >= 1.5x on
+#: decision throughput once transactions are 16+ reads long.
+SPEEDUP_BOUND = 1.5
+SPEEDUP_AT_READS = 16
+
+
+class LegacyCacheAdapter:
+    """The seed implementation's metadata-cache read path, faithfully restored.
+
+    Before this optimisation pass, ``CommitSetCache`` served every query
+    under its RLock, ``CommitRecord.cowritten`` was an uncached property that
+    rebuilt ``frozenset(write_set)`` per call, and
+    ``KeyVersionIndex.versions_at_least`` copied the candidate list.  The
+    reference path runs through this adapter so the ablation measures the
+    *shipped* old path — locks, copies and all — against the shipped new one.
+    """
+
+    def __init__(self, cache: CommitSetCache) -> None:
+        self._records = {record.txid: record for record in cache.records()}
+        self._index = KeyVersionIndex()
+        for record in self._records.values():
+            self._index.add_record(record.write_set.keys(), record.txid)
+        self._lock = threading.RLock()
+
+    @property
+    def version_index(self) -> KeyVersionIndex:
+        return self._index
+
+    def get(self, txid: TransactionId) -> CommitRecord | None:
+        with self._lock:
+            return self._records.get(txid)
+
+    def cowritten(self, txid: TransactionId) -> frozenset[str]:
+        with self._lock:
+            record = self._records.get(txid)
+            if record is None:
+                return frozenset()
+            return frozenset(record.write_set)
+
+
+def build_history(seed: int = 11) -> tuple[CommitSetCache, ZipfKeySampler]:
+    """A Zipf-skewed committed history with multi-key cowritten sets."""
+    sampler = ZipfKeySampler(num_keys=NUM_KEYS, theta=ZIPF_THETA, seed=seed)
+    cache = CommitSetCache()
+    for index in range(HISTORY_COMMITS):
+        txid = TransactionId(timestamp=float(index), uuid=f"h{index}")
+        write_keys = sampler.sample_distinct(1 + index % 8)
+        cache.add(
+            CommitRecord(
+                txid=txid,
+                write_set={key: data_key(key, txid) for key in write_keys},
+                committed_at=float(index),
+                node_id="bench",
+            )
+        )
+    return cache, sampler
+
+
+def plan_transactions(sampler: ZipfKeySampler, reads_per_txn: int, total_decisions: int, seed: int):
+    """Pre-draw the read orders so both paths replay identical request streams."""
+    sampler.reseed(seed)
+    num_txns = max(1, total_decisions // reads_per_txn)
+    distinct = min(reads_per_txn, sampler.num_keys)
+    return [sampler.sample_distinct(distinct) for _ in range(num_txns)]
+
+
+def run_reference_path(legacy: LegacyCacheAdapter, transactions) -> tuple[float, int]:
+    """The original path: plain-dict read set, full rescan per locked lookup."""
+    targets = 0
+    started = time.perf_counter()
+    for read_order in transactions:
+        read_set: dict[str, TransactionId] = {}
+        for key in read_order:
+            decision = reference.atomic_read(key, read_set, legacy)
+            if decision.target is not None:
+                read_set[key] = decision.target
+                targets += 1
+    return time.perf_counter() - started, targets
+
+
+def run_fast_path(cache: CommitSetCache, transactions) -> tuple[float, int]:
+    """The incremental path: TrackedReadSet digest + snapshot reads."""
+    targets = 0
+    started = time.perf_counter()
+    for read_order in transactions:
+        tracked = TrackedReadSet()
+        snap = cache.snapshot()
+        for key in read_order:
+            decision = atomic_read(key, tracked, snap)
+            if decision.target is not None:
+                tracked.observe(key, decision.target, snap.cowritten(decision.target))
+                targets += 1
+    return time.perf_counter() - started, targets
+
+
+def run_read_path_ablation() -> dict:
+    cache, sampler = build_history()
+    legacy = LegacyCacheAdapter(cache)
+    results: dict[str, dict] = {}
+    for reads_per_txn in READS_PER_TXN:
+        transactions = plan_transactions(sampler, reads_per_txn, DECISIONS_PER_LENGTH, seed=reads_per_txn)
+        decisions = sum(len(txn) for txn in transactions)
+
+        ref_elapsed, ref_targets = run_reference_path(legacy, transactions)
+        fast_elapsed, fast_targets = run_fast_path(cache, transactions)
+        # Sanity: both paths must choose a version for exactly the same reads.
+        assert ref_targets == fast_targets, (reads_per_txn, ref_targets, fast_targets)
+
+        results[str(reads_per_txn)] = {
+            "decisions": decisions,
+            "reference_decisions_per_sec": decisions / ref_elapsed,
+            "fast_decisions_per_sec": decisions / fast_elapsed,
+            "speedup": ref_elapsed / fast_elapsed,
+        }
+    return results
+
+
+def test_ablation_read_path(benchmark):
+    results = run_once(benchmark, run_read_path_ablation)
+
+    rows = [
+        {
+            "reads/txn": reads,
+            "reference_kdec/s": metrics["reference_decisions_per_sec"] / 1e3,
+            "fast_kdec/s": metrics["fast_decisions_per_sec"] / 1e3,
+            "speedup": metrics["speedup"],
+        }
+        for reads, metrics in results.items()
+    ]
+    emit(
+        "ablation_read_path",
+        format_rows(
+            rows,
+            ["reads/txn", "reference_kdec/s", "fast_kdec/s", "speedup"],
+            title="Ablation: reference vs incremental Algorithm 1 (decision throughput)",
+        ),
+    )
+    emit_json(
+        "BENCH_read_path",
+        {
+            "workload": {
+                "history_commits": HISTORY_COMMITS,
+                "num_keys": NUM_KEYS,
+                "zipf_theta": ZIPF_THETA,
+                "cowritten_set_sizes": "1-8 keys round-robin",
+                "decisions_per_length": DECISIONS_PER_LENGTH,
+                "fast_mode": FAST_MODE,
+            },
+            "by_reads_per_txn": results,
+            "speedup_bound": SPEEDUP_BOUND,
+            "speedup_at_reads": SPEEDUP_AT_READS,
+        },
+    )
+
+    # Acceptance / CI regression gate: the incremental path must deliver
+    # >= 1.5x decision throughput at 16+ reads per transaction.
+    for reads_per_txn in READS_PER_TXN:
+        if reads_per_txn >= SPEEDUP_AT_READS:
+            speedup = results[str(reads_per_txn)]["speedup"]
+            assert speedup >= SPEEDUP_BOUND, (
+                f"read-path regression: {speedup:.2f}x at {reads_per_txn} reads/txn "
+                f"(gate: {SPEEDUP_BOUND}x)"
+            )
+    # The digest's advantage must grow with transaction length.
+    assert results["64"]["speedup"] > results["1"]["speedup"]

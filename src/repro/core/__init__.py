@@ -20,14 +20,21 @@ from repro.core.load_balancer import (
     RoundRobinLoadBalancer,
     make_load_balancer,
 )
-from repro.core.metadata_cache import CommitSetCache
+from repro.core.metadata_cache import CommitSetCache, MetadataSnapshot
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode, NodeStats
-from repro.core.read_protocol import ReadDecision, atomic_read, is_atomic_readset
+from repro.core.read_protocol import (
+    ReadDecision,
+    ReadSetOverlay,
+    TrackedReadSet,
+    atomic_read,
+    is_atomic_readset,
+)
 from repro.core.session import TransactionSession
 from repro.core.supersedence import is_superseded, prune_for_broadcast
+from repro.core.sweep import SortedTxidLog, SweepCursor
 from repro.core.transaction import Transaction, TransactionStatus
-from repro.core.version_index import KeyVersionIndex
+from repro.core.version_index import KeyVersionIndex, KeyVersionSnapshot
 from repro.core.write_buffer import AtomicWriteBuffer
 
 __all__ = [
@@ -38,13 +45,19 @@ __all__ = [
     "CommitRecord",
     "CommitSetStore",
     "CommitSetCache",
+    "MetadataSnapshot",
     "KeyVersionIndex",
+    "KeyVersionSnapshot",
     "DataCache",
     "AtomicWriteBuffer",
     "Transaction",
     "TransactionStatus",
     "TransactionSession",
     "ReadDecision",
+    "TrackedReadSet",
+    "ReadSetOverlay",
+    "SortedTxidLog",
+    "SweepCursor",
     "atomic_read",
     "is_atomic_readset",
     "is_superseded",

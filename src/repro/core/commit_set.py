@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Mapping
 
 from repro.ids import TransactionId, commit_record_key, is_commit_record_key, parse_commit_record_key
@@ -49,10 +50,21 @@ class CommitRecord:
     committed_at: float = 0.0
     node_id: str = ""
 
-    @property
+    @cached_property
     def cowritten(self) -> frozenset[str]:
-        """User keys co-written by this transaction."""
+        """User keys co-written by this transaction.
+
+        Computed once and cached on the record: Algorithm 1 consults the
+        cowritten set of every candidate it considers, so rebuilding the
+        frozenset per lookup would dominate the read hot path.  The metadata
+        cache additionally *interns* these sets when a record is added, so
+        transactions with identical write sets share one frozenset object.
+        """
         return frozenset(self.write_set)
+
+    def intern_cowritten(self, interned: frozenset[str]) -> None:
+        """Replace the cached cowritten set with a shared (interned) instance."""
+        self.__dict__["cowritten"] = interned
 
     def storage_key_for(self, user_key: str) -> str:
         """Storage key of this transaction's version of ``user_key``."""

@@ -17,6 +17,11 @@ them.  Only when *all* nodes agree is the transaction's data (its key versions
 and commit record) deleted from storage; this guarantees no running
 transaction can still need the versions.  Data deletion is batched, mirroring
 the paper's use of dedicated cores for deletes.
+
+Both collectors sweep through a :class:`~repro.core.sweep.SweepCursor` over
+incrementally maintained oldest-first order (no per-pass sort): a sweep that
+exhausts its per-pass budget resumes where it stopped on the next pass
+instead of re-walking the prefix, which amortizes GC cost across passes.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.node import AftNode
 from repro.core.supersedence import blocked_by_readers, is_superseded
+from repro.core.sweep import SortedTxidLog, SweepCursor
 from repro.ids import TransactionId
 from repro.storage.base import StorageEngine
 
@@ -41,32 +47,70 @@ class LocalGCStats:
 class LocalMetadataGC:
     """Per-node sweep that discards superseded commit metadata (Section 5.1)."""
 
+    #: How many records one resumable batch pulls from the cache at a time.
+    SWEEP_BATCH = 256
+
     def __init__(self, node: AftNode, max_per_sweep: int | None = None) -> None:
         self.node = node
         self.max_per_sweep = max_per_sweep
         self.stats = LocalGCStats()
+        #: Where the previous sweep stopped; the next sweep resumes here, so
+        #: budget-bounded sweeps cover the cache round-robin over time.
+        self.cursor = SweepCursor()
 
     def run_once(self) -> list[TransactionId]:
-        """Sweep the metadata cache once; returns the ids collected."""
+        """Sweep the metadata cache once; returns the ids collected.
+
+        One call examines at most one full cycle of the cache (every record
+        once), in oldest-first order starting from the persistent cursor, and
+        stops early once ``max_per_sweep`` ids have been collected.
+        """
         self.stats.sweeps += 1
         cache = self.node.metadata_cache
-        index = cache.version_index
         active_dependencies = self.node.active_read_dependencies()
         collected: list[TransactionId] = []
 
         # Oldest-first mitigates the missing-version pitfall of Section 5.2.1.
-        for record in cache.iter_records_oldest_first():
+        budget = len(cache)
+        wrapped = self.cursor.position is None
+        while budget > 0:
             if self.max_per_sweep is not None and len(collected) >= self.max_per_sweep:
                 break
-            self.stats.records_examined += 1
-            if not is_superseded(record, index):
+            batch, next_position = cache.sweep_records(self.cursor.position, min(self.SWEEP_BATCH, budget))
+            if not batch:
+                if wrapped:
+                    break
+                wrapped = True
+                self.cursor.wrap()
                 continue
-            if blocked_by_readers(record, active_dependencies):
-                self.stats.blocked_by_active_readers += 1
-                continue
-            cache.remove(record.txid, mark_deleted=True)
-            self.node.data_cache.invalidate_transaction(record.cowritten, record.txid)
-            collected.append(record.txid)
+            exhausted_mid_batch = False
+            for record in batch:
+                if self.max_per_sweep is not None and len(collected) >= self.max_per_sweep:
+                    exhausted_mid_batch = True
+                    break
+                self.cursor.advance(record.txid)
+                budget -= 1
+                self.stats.records_examined += 1
+                # Consult the live index view per record: removals made by
+                # this very sweep are already reflected.
+                if not is_superseded(record, cache.version_index):
+                    continue
+                if blocked_by_readers(record, active_dependencies):
+                    self.stats.blocked_by_active_readers += 1
+                    continue
+                cache.remove(record.txid, mark_deleted=True)
+                self.node.data_cache.invalidate_transaction(record.cowritten, record.txid)
+                collected.append(record.txid)
+            if exhausted_mid_batch:
+                # Budget ran out with records of this batch unexamined: keep
+                # the cursor where it stopped so the next sweep resumes there.
+                break
+            if next_position is None and self.cursor.position is not None:
+                # Reached the end of the log: wrap (at most once per sweep).
+                if wrapped:
+                    break
+                wrapped = True
+                self.cursor.wrap()
 
         self.stats.records_collected += len(collected)
         return collected
@@ -96,11 +140,17 @@ class GlobalDataGC:
         self.max_deletes_per_round = max_deletes_per_round
         #: Commit records known to the collector (fed by the unpruned multicast).
         self._known: dict[TransactionId, CommitRecord] = {}
+        #: Oldest-first iteration order, maintained incrementally (no per-round sort).
+        self._ordered = SortedTxidLog()
         #: Derived newest-version view used for supersedence decisions.
         from repro.core.version_index import KeyVersionIndex
 
         self._index = KeyVersionIndex()
         self.stats = GlobalGCStats()
+        #: Resumable supersedence-pruning sweep position (see §4.1/§5.2):
+        #: rounds bounded by ``max_deletes_per_round`` pick up where the
+        #: previous round stopped instead of re-walking from the oldest id.
+        self.cursor = SweepCursor()
 
     # ------------------------------------------------------------------ #
     def receive_commits(self, records: list[CommitRecord]) -> None:
@@ -109,6 +159,7 @@ class GlobalDataGC:
             if record.txid in self._known:
                 continue
             self._known[record.txid] = record
+            self._ordered.add(record.txid)
             self._index.add_record(record.write_set.keys(), record.txid)
 
     def known_transactions(self) -> int:
@@ -125,28 +176,44 @@ class GlobalDataGC:
         deleted: list[TransactionId] = []
 
         # Oldest first, as the paper prescribes, to minimise the window in
-        # which a running transaction could still want an old version.
-        candidates = sorted(self._known)
-        for txid in candidates:
+        # which a running transaction could still want an old version.  The
+        # sweep resumes from the persistent cursor and covers at most one
+        # full cycle of the known set per round.
+        budget = len(self._known)
+        wrapped = self.cursor.position is None
+        while budget > 0:
             if self.max_deletes_per_round is not None and len(deleted) >= self.max_deletes_per_round:
                 break
-            record = self._known[txid]
-            self.stats.candidates_considered += 1
-            if not is_superseded(record, self._index):
+            batch = self._ordered.range_after(self.cursor.position, min(256, budget))
+            if not batch:
+                if wrapped:
+                    break
+                wrapped = True
+                self.cursor.wrap()
                 continue
-            # Every live node must have released the transaction — either it
-            # garbage collected the metadata locally, or it never cached it
-            # (a node that never held the metadata can have no running
-            # transaction that read from it, since reads are only served from
-            # the cache).  A node still holding the record blocks deletion.
-            if not all(txid not in node.metadata_cache for node in live_nodes):
-                self.stats.blocked_waiting_for_nodes += 1
-                continue
+            for txid in batch:
+                if self.max_deletes_per_round is not None and len(deleted) >= self.max_deletes_per_round:
+                    break
+                self.cursor.advance(txid)
+                budget -= 1
+                record = self._known[txid]
+                self.stats.candidates_considered += 1
+                if not is_superseded(record, self._index):
+                    continue
+                # Every live node must have released the transaction — either
+                # it garbage collected the metadata locally, or it never
+                # cached it (a node that never held the metadata can have no
+                # running transaction that read from it, since reads are only
+                # served from the cache).  A node still holding the record
+                # blocks deletion.
+                if not all(txid not in node.metadata_cache for node in live_nodes):
+                    self.stats.blocked_waiting_for_nodes += 1
+                    continue
 
-            self._delete_transaction(record)
-            deleted.append(txid)
-            for node in live_nodes:
-                node.metadata_cache.forget_deleted([txid])
+                self._delete_transaction(record)
+                deleted.append(txid)
+                for node in live_nodes:
+                    node.metadata_cache.forget_deleted([txid])
 
         self.stats.transactions_deleted += len(deleted)
         self.stats.deletions_per_round.append(len(deleted))
@@ -160,4 +227,5 @@ class GlobalDataGC:
             self.stats.versions_deleted += len(storage_keys)
         self.commit_store.delete_record(record.txid)
         self._index.remove_record(record.write_set.keys(), record.txid)
+        self._ordered.discard(record.txid)
         del self._known[record.txid]

@@ -6,9 +6,25 @@ its own and those learned from peers via multicast — together with the
 Section 3.1).  Algorithm 1 runs entirely against this cache, so reads never
 have to fetch metadata from storage on the critical path.
 
+The cache is structured for a **lock-free read path**: writers (commits,
+remote-commit merges, GC) mutate master state under ``_lock`` and then
+publish an immutable :class:`MetadataSnapshot` by swapping a single attribute
+(atomic under the GIL).  Readers — Algorithm 1 above all — call
+:meth:`snapshot` (a plain attribute read) and query the frozen view without
+ever touching a lock.  Publication is copy-on-write with a bounded delta, so
+a commit republishes O(delta) state, not O(cache size); the delta is
+compacted into a fresh base once it crosses a threshold (epoch swap).
+
+A snapshot is internally consistent by construction: its record view and its
+version-index view were published together, so every version id present in
+the index resolves to a record in the same snapshot — readers can never
+observe a torn index.
+
 The cache also remembers which records it has *locally garbage collected*
 (Section 5.1): the global garbage collector may only delete data from storage
-once every node reports the transaction as locally deleted.
+once every node reports the transaction as locally deleted.  GC sweeps walk
+the cache oldest-first through an incrementally maintained
+:class:`~repro.core.sweep.SortedTxidLog` instead of re-sorting per pass.
 """
 
 from __future__ import annotations
@@ -17,18 +33,147 @@ import threading
 from typing import Iterable, Iterator
 
 from repro.core.commit_set import CommitRecord
-from repro.core.version_index import KeyVersionIndex
+from repro.core.sweep import SortedTxidLog
+from repro.core.version_index import KeyVersionIndex, KeyVersionSnapshot
 from repro.ids import TransactionId
+
+_EMPTY_COWRITTEN: frozenset[str] = frozenset()
+
+
+class MetadataSnapshot:
+    """Immutable, internally consistent view of the cache at one epoch.
+
+    All queries are plain dict/tuple lookups on frozen state — safe to use
+    from any thread without synchronisation, and stable for as long as the
+    caller holds the snapshot even while writers publish newer epochs.
+    """
+
+    __slots__ = ("_base", "_delta", "_removed", "_index", "_count", "epoch")
+
+    def __init__(
+        self,
+        base: dict[TransactionId, CommitRecord],
+        delta: dict[TransactionId, CommitRecord],
+        removed: frozenset[TransactionId],
+        index: KeyVersionSnapshot,
+        count: int,
+        epoch: int,
+    ) -> None:
+        self._base = base
+        self._delta = delta
+        self._removed = removed
+        self._index = index
+        self._count = count
+        self.epoch = epoch
+
+    def snapshot(self) -> "MetadataSnapshot":
+        """A snapshot *is* its own snapshot (duck-compatible with the cache)."""
+        return self
+
+    @property
+    def version_index(self) -> KeyVersionSnapshot:
+        return self._index
+
+    def get(self, txid: TransactionId) -> CommitRecord | None:
+        # Delta and removed layers are usually empty or tiny; skip their
+        # lookups entirely when they are (the base lookup is the common path).
+        if self._delta:
+            record = self._delta.get(txid)
+            if record is not None:
+                return record
+        if self._removed and txid in self._removed:
+            return None
+        return self._base.get(txid)
+
+    def cowritten(self, txid: TransactionId) -> frozenset[str]:
+        """Cowritten key set of ``txid`` (empty for unknown/collected ids)."""
+        record = self.get(txid)
+        if record is None:
+            return _EMPTY_COWRITTEN
+        return record.cowritten
+
+    def records(self) -> list[CommitRecord]:
+        out = [
+            record
+            for txid, record in self._base.items()
+            if txid not in self._removed and txid not in self._delta
+        ]
+        out.extend(self._delta.values())
+        return out
+
+    def __contains__(self, txid: TransactionId) -> bool:
+        return self.get(txid) is not None
+
+    def __len__(self) -> int:
+        return self._count
 
 
 class CommitSetCache:
     """In-memory cache of commit records plus the derived key version index."""
 
+    #: Publish a compacted snapshot once the layered delta holds this many
+    #: entries (adds + removes combined).  Amortizes the O(n) base copy down
+    #: to O(n / threshold) per write while keeping reader overlays tiny.
+    COMPACT_DELTA_ENTRIES = 128
+
+    #: Cap on the cowritten-frozenset intern table (reset when exceeded).
+    INTERN_TABLE_LIMIT = 4096
+
     def __init__(self) -> None:
         self._records: dict[TransactionId, CommitRecord] = {}
         self._index = KeyVersionIndex()
+        self._ordered = SortedTxidLog()
         self._locally_deleted: set[TransactionId] = set()
+        self._intern: dict[frozenset[str], frozenset[str]] = {}
         self._lock = threading.RLock()
+        self._epoch = 0
+        self._snapshot = MetadataSnapshot({}, {}, frozenset(), self._index.snapshot(), 0, 0)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot publication (writer side, always called under self._lock)
+    # ------------------------------------------------------------------ #
+    def _publish(
+        self,
+        added: Iterable[CommitRecord] = (),
+        removed_ids: Iterable[TransactionId] = (),
+    ) -> None:
+        snapshot = self._snapshot
+        delta = dict(snapshot._delta)
+        removed = set(snapshot._removed)
+        for record in added:
+            delta[record.txid] = record
+            removed.discard(record.txid)
+        for txid in removed_ids:
+            delta.pop(txid, None)
+            if txid in snapshot._base:
+                removed.add(txid)
+        self._epoch += 1
+        if len(delta) + len(removed) > self.COMPACT_DELTA_ENTRIES:
+            self._snapshot = MetadataSnapshot(
+                dict(self._records),
+                {},
+                frozenset(),
+                self._index.snapshot(),
+                len(self._records),
+                self._epoch,
+            )
+        else:
+            self._snapshot = MetadataSnapshot(
+                snapshot._base,
+                delta,
+                frozenset(removed),
+                self._index.snapshot(),
+                len(self._records),
+                self._epoch,
+            )
+
+    def _intern_cowritten(self, record: CommitRecord) -> None:
+        cowritten = record.cowritten
+        if len(self._intern) > self.INTERN_TABLE_LIMIT:
+            self._intern.clear()
+        interned = self._intern.setdefault(cowritten, cowritten)
+        if interned is not cowritten:
+            record.intern_cowritten(interned)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -42,13 +187,28 @@ class CommitSetCache:
         with self._lock:
             if record.txid in self._records or record.txid in self._locally_deleted:
                 return False
+            self._intern_cowritten(record)
             self._records[record.txid] = record
             self._index.add_record(record.write_set.keys(), record.txid)
+            self._ordered.add(record.txid)
+            self._publish(added=(record,))
             return True
 
     def add_many(self, records: Iterable[CommitRecord]) -> int:
-        """Insert several records; returns how many were new."""
-        return sum(1 for record in records if self.add(record))
+        """Insert several records with one snapshot publication; returns how many were new."""
+        with self._lock:
+            added: list[CommitRecord] = []
+            for record in records:
+                if record.txid in self._records or record.txid in self._locally_deleted:
+                    continue
+                self._intern_cowritten(record)
+                self._records[record.txid] = record
+                self._index.add_record(record.write_set.keys(), record.txid)
+                self._ordered.add(record.txid)
+                added.append(record)
+            if added:
+                self._publish(added=added)
+            return len(added)
 
     def remove(self, txid: TransactionId, mark_deleted: bool = True) -> CommitRecord | None:
         """Drop a record from the cache (local metadata GC).
@@ -60,6 +220,8 @@ class CommitSetCache:
             record = self._records.pop(txid, None)
             if record is not None:
                 self._index.remove_record(record.write_set.keys(), txid)
+                self._ordered.discard(txid)
+                self._publish(removed_ids=(txid,))
             if mark_deleted:
                 self._locally_deleted.add(txid)
             return record
@@ -73,31 +235,51 @@ class CommitSetCache:
         with self._lock:
             self._records.clear()
             self._index.clear()
+            self._ordered.clear()
             self._locally_deleted.clear()
+            self._intern.clear()
+            self._epoch += 1
+            self._snapshot = MetadataSnapshot({}, {}, frozenset(), self._index.snapshot(), 0, self._epoch)
 
     # ------------------------------------------------------------------ #
-    # Queries
+    # Lock-free queries (read hot path)
     # ------------------------------------------------------------------ #
+    def snapshot(self) -> MetadataSnapshot:
+        """The current immutable view.  A single attribute read — no lock."""
+        return self._snapshot
+
     @property
-    def version_index(self) -> KeyVersionIndex:
-        return self._index
+    def version_index(self) -> KeyVersionSnapshot:
+        """Immutable version-index view of the current snapshot (no lock)."""
+        return self._snapshot.version_index
+
+    @property
+    def epoch(self) -> int:
+        """Publication epoch of the current snapshot (observability/tests)."""
+        return self._snapshot.epoch
 
     def get(self, txid: TransactionId) -> CommitRecord | None:
-        with self._lock:
-            return self._records.get(txid)
+        return self._snapshot.get(txid)
+
+    def cowritten(self, txid: TransactionId) -> frozenset[str]:
+        """Cowritten key set of the given committed transaction.
+
+        Returns an empty set for unknown (e.g. already collected) ids — the
+        read protocol treats missing metadata as "no constraint", which is
+        safe because the global GC only deletes data every node agreed was
+        superseded.
+        """
+        return self._snapshot.cowritten(txid)
 
     def __contains__(self, txid: TransactionId) -> bool:
-        with self._lock:
-            return txid in self._records
+        return txid in self._snapshot
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._records)
+        return len(self._snapshot)
 
     def records(self) -> list[CommitRecord]:
         """Snapshot of all cached records (unordered)."""
-        with self._lock:
-            return list(self._records.values())
+        return self._snapshot.records()
 
     def transaction_ids(self) -> list[TransactionId]:
         with self._lock:
@@ -112,21 +294,28 @@ class CommitSetCache:
         with self._lock:
             return txid in self._locally_deleted
 
-    def cowritten(self, txid: TransactionId) -> frozenset[str]:
-        """Cowritten key set of the given committed transaction.
-
-        Returns an empty set for unknown (e.g. already collected) ids — the
-        read protocol treats missing metadata as "no constraint", which is
-        safe because the global GC only deletes data every node agreed was
-        superseded.
-        """
-        record = self.get(txid)
-        if record is None:
-            return frozenset()
-        return record.cowritten
-
+    # ------------------------------------------------------------------ #
+    # Oldest-first sweeps (GC)
+    # ------------------------------------------------------------------ #
     def iter_records_oldest_first(self) -> Iterator[CommitRecord]:
-        """Records ordered by transaction id, oldest first (GC sweep order)."""
+        """Records ordered by transaction id, oldest first (GC sweep order).
+
+        Served from the incrementally maintained order — no per-call sort.
+        """
         with self._lock:
-            ordered = sorted(self._records)
-            return iter([self._records[txid] for txid in ordered])
+            return iter([self._records[txid] for txid in self._ordered])
+
+    def sweep_records(
+        self, after: TransactionId | None, limit: int
+    ) -> tuple[list[CommitRecord], TransactionId | None]:
+        """One resumable oldest-first sweep batch.
+
+        Returns up to ``limit`` records with ids strictly greater than
+        ``after`` plus the id to resume from (``None`` once the end of the
+        log was reached, i.e. the next sweep should wrap).  O(log n + batch).
+        """
+        with self._lock:
+            txids = self._ordered.range_after(after, limit)
+            records = [self._records[txid] for txid in txids]
+            next_cursor = txids[-1] if len(txids) == limit else None
+            return records, next_cursor

@@ -327,32 +327,51 @@ class AftNode:
 
         results: dict[str, bytes | None] = {}
         remaining: list[str] = []
+        read_your_write_hits = 0
         for key in keys:
             if key in results or key in remaining:
                 continue
             # Read-your-writes: pending updates short-circuit Algorithm 1 (§3.5).
             if self.write_buffer.has_write(txid, key):
                 results[key] = self.write_buffer.get(txid, key)
-                with self._lock:
-                    self.stats.read_your_write_hits += 1
+                read_your_write_hits += 1
             else:
                 remaining.append(key)
+        if read_your_write_hits:
+            # One locked stats update for the whole batch, not one per hit.
+            with self._lock:
+                self.stats.read_your_write_hits += read_your_write_hits
 
         decisions: dict[str, ReadDecision] = {}
         storage_keys: dict[str, str] = {}
+        cowritten_sets: dict[str, frozenset[str]] = {}
+        # One immutable metadata snapshot serves every decision in the batch:
+        # consistent (record and index views were published together) and
+        # lock-free (commits/GC publish newer epochs without blocking us).
+        snap = self.metadata_cache.snapshot()
         with self._lock:
-            # The tentative read set: decisions already made in this batch
-            # constrain later ones, mirroring a sequence of single gets.
-            tentative = dict(transaction.read_set)
+            # The tentative read set: an overlay over the transaction's read
+            # set, so decisions already made in this batch constrain later
+            # ones — mirroring a sequence of single gets — without copying
+            # the read set or its conflict digest.  A batch with at most one
+            # undecided key needs no overlay at all: there is no later
+            # decision for its outcome to constrain.
+            if len(remaining) > 1:
+                tentative = transaction.read_set.overlay()
+            else:
+                tentative = transaction.read_set
             for key in remaining:
-                decision = atomic_read(key, tentative, self.metadata_cache)
+                decision = atomic_read(key, tentative, snap)
                 decisions[key] = decision
                 if decision.target is None:
                     transaction.record_null_read(key)
                     self.stats.null_reads += 1
                 else:
-                    tentative[key] = decision.target
-                    record = self.metadata_cache.get(decision.target)
+                    record = snap.get(decision.target)
+                    cowritten = record.cowritten if record is not None else frozenset()
+                    cowritten_sets[key] = cowritten
+                    if tentative is not transaction.read_set:
+                        tentative.observe(key, decision.target, cowritten)
                     if record is not None:
                         if record.node_id == self.node_id:
                             self.stats.local_version_reads += 1
@@ -426,7 +445,7 @@ class AftNode:
                 transaction.record_null_read(key)
             for key in storage_keys:
                 if key not in missing:
-                    transaction.record_read(key, decisions[key].target)
+                    transaction.record_read(key, decisions[key].target, cowritten_sets[key])
         if missing and self.config.strict_reads:
             raise AtomicReadError(
                 f"data for {missing[0]!r} version {decisions[missing[0]].target} "

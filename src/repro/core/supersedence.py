@@ -20,11 +20,11 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.commit_set import CommitRecord
-from repro.core.version_index import KeyVersionIndex
+from repro.core.version_index import VersionIndexView
 from repro.ids import TransactionId
 
 
-def is_superseded(record: CommitRecord, index: KeyVersionIndex) -> bool:
+def is_superseded(record: CommitRecord, index: VersionIndexView) -> bool:
     """Return True if ``record``'s transaction is superseded per Algorithm 2.
 
     A transaction is superseded only when, for *every* key it wrote, the index
@@ -42,7 +42,7 @@ def is_superseded(record: CommitRecord, index: KeyVersionIndex) -> bool:
 
 def superseded_transactions(
     records: Iterable[CommitRecord],
-    index: KeyVersionIndex,
+    index: VersionIndexView,
 ) -> list[CommitRecord]:
     """Filter ``records`` down to those that are superseded."""
     return [record for record in records if is_superseded(record, index)]
@@ -50,7 +50,7 @@ def superseded_transactions(
 
 def prune_for_broadcast(
     records: Iterable[CommitRecord],
-    index: KeyVersionIndex,
+    index: VersionIndexView,
 ) -> tuple[list[CommitRecord], list[CommitRecord]]:
     """Split records into (to_broadcast, pruned) per the Section 4.1 optimisation.
 

@@ -1,0 +1,128 @@
+"""Amortized, resumable sweeps over transaction-id-ordered metadata.
+
+The garbage collectors (paper Section 5) and the supersedence pruning path
+(Section 4.1) both walk committed transactions *oldest first*.  The original
+implementation re-sorted the whole record set on every pass — O(n log n) per
+sweep even when nothing was collectable.  This module provides the two pieces
+that make those walks amortized O(batch):
+
+* :class:`SortedTxidLog` — a sorted container of transaction ids maintained
+  *incrementally*.  Commits arrive in roughly increasing id order, so inserts
+  are usually appends; deletions are lazy (tombstoned) and compacted once
+  tombstones outnumber half the log, the classic sorted-container trade used
+  by skiplist-style structures.
+* :class:`SweepCursor` — a resumable position inside such a log.  A sweep
+  that stops early (because it hit its per-sweep budget) resumes exactly
+  where it left off on the next pass instead of re-walking the prefix, and
+  wraps back to the oldest id when it reaches the end.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ids import TransactionId
+
+
+class SortedTxidLog:
+    """Sorted transaction-id log with near-append inserts and lazy deletion."""
+
+    def __init__(self) -> None:
+        self._items: list[TransactionId] = []
+        self._dead: set[TransactionId] = set()
+
+    def add(self, txid: TransactionId) -> None:
+        """Insert ``txid`` in sorted position (idempotent)."""
+        if txid in self._dead:
+            # The id is still physically present as a tombstone: revive it.
+            self._dead.discard(txid)
+            return
+        items = self._items
+        if not items or items[-1] < txid:
+            items.append(txid)
+            return
+        position = bisect_left(items, txid)
+        if position < len(items) and items[position] == txid:
+            return
+        items.insert(position, txid)
+
+    def discard(self, txid: TransactionId) -> None:
+        """Remove ``txid`` (lazily); unknown ids are ignored."""
+        items = self._items
+        position = bisect_left(items, txid)
+        if position >= len(items) or items[position] != txid or txid in self._dead:
+            return
+        self._dead.add(txid)
+        if len(self._dead) * 2 > len(items):
+            self._compact()
+
+    def _compact(self) -> None:
+        dead = self._dead
+        self._items = [txid for txid in self._items if txid not in dead]
+        self._dead = set()
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._dead.clear()
+
+    def range_after(self, after: TransactionId | None, limit: int) -> list[TransactionId]:
+        """Up to ``limit`` live ids strictly greater than ``after``, oldest first.
+
+        ``after`` of ``None`` starts from the oldest id.  O(log n + scanned).
+        """
+        items = self._items
+        position = 0 if after is None else bisect_right(items, after)
+        out: list[TransactionId] = []
+        dead = self._dead
+        while position < len(items) and len(out) < limit:
+            txid = items[position]
+            if txid not in dead:
+                out.append(txid)
+            position += 1
+        return out
+
+    def oldest(self) -> TransactionId | None:
+        for txid in self._items:
+            if txid not in self._dead:
+                return txid
+        return None
+
+    def __iter__(self) -> Iterator[TransactionId]:
+        """Live ids, oldest first."""
+        dead = self._dead
+        return (txid for txid in self._items if txid not in dead)
+
+    def __contains__(self, txid: TransactionId) -> bool:
+        items = self._items
+        position = bisect_left(items, txid)
+        return position < len(items) and items[position] == txid and txid not in self._dead
+
+    def __len__(self) -> int:
+        return len(self._items) - len(self._dead)
+
+
+@dataclass
+class SweepCursor:
+    """Resumable position of an oldest-first sweep over a :class:`SortedTxidLog`.
+
+    Shared by the local metadata GC and the global data GC's supersedence
+    pruning sweep: a sweep advances the cursor past every id it examined, so
+    a budget-bounded pass picks up where the previous one stopped, and
+    :meth:`wrap` restarts from the oldest id once the end is reached.
+    """
+
+    position: TransactionId | None = None
+    #: How many times the cursor has wrapped back to the start (observability).
+    wraps: int = 0
+
+    def advance(self, txid: TransactionId) -> None:
+        self.position = txid
+
+    def wrap(self) -> None:
+        self.position = None
+        self.wraps += 1
+
+    def reset(self) -> None:
+        self.position = None

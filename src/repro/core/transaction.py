@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.core.read_protocol import TrackedReadSet
 from repro.ids import TransactionId
 
 
@@ -37,8 +39,11 @@ class Transaction:
     start_time: float
     status: TransactionStatus = TransactionStatus.RUNNING
     #: Key versions read so far: user key -> id of the writing transaction.
-    #: This is the atomic read set ``R`` of Algorithm 1.
-    read_set: dict[str, TransactionId] = field(default_factory=dict)
+    #: This is the atomic read set ``R`` of Algorithm 1, carried as a
+    #: :class:`~repro.core.read_protocol.TrackedReadSet` so the conflict
+    #: digest (lower bounds + per-candidate observed minima) is maintained
+    #: incrementally as reads are recorded instead of recomputed per read.
+    read_set: TrackedReadSet = field(default_factory=TrackedReadSet)
     #: User keys that were read and returned NULL (no compatible version).
     null_reads: set[str] = field(default_factory=set)
     #: Ids of committed transactions whose versions this transaction has read.
@@ -64,9 +69,13 @@ class Transaction:
         """Record activity for idle-transaction expiry."""
         self.last_active = now
 
-    def record_read(self, key: str, version: TransactionId) -> None:
-        """Add ``key``'s observed version to the atomic read set."""
-        self.read_set[key] = version
+    def record_read(self, key: str, version: TransactionId, cowritten: Iterable[str] = ()) -> None:
+        """Add ``key``'s observed version to the atomic read set.
+
+        ``cowritten`` is the version's cowritten key set; it is folded into
+        the read set's conflict digest once per distinct version (§3.1).
+        """
+        self.read_set.observe(key, version, cowritten)
         self.read_dependencies.add(version)
         self.null_reads.discard(key)
         self.reads += 1

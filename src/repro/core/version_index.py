@@ -6,59 +6,217 @@ Section 3.1).  Algorithm 1 consults this index to enumerate candidate
 versions, and Algorithm 2 consults it to decide supersedence.  The index only
 ever contains *committed* versions — entries are added after the commit
 record is durable, or when a peer's commit is learned via multicast.
+
+Two flavours coexist:
+
+* :class:`KeyVersionIndex` — the mutable master, owned by a single writer
+  (the metadata cache under its writer lock, or the global GC which is
+  single-threaded).  Mutations are O(log v) bisect inserts per key.
+* :class:`KeyVersionSnapshot` — an immutable point-in-time view published by
+  the master.  Readers (Algorithm 1) query snapshots without any lock: every
+  per-key entry is a tuple, so a reader that grabbed a snapshot can bisect
+  and slice it while writers publish newer snapshots concurrently.
+
+Snapshot publication is copy-on-write with a bounded delta: each mutation
+republishes a small ``delta`` dict layered over a shared ``base``; when the
+delta grows past a threshold it is compacted into a fresh base.  Publishing
+is therefore amortized O(1) per mutation instead of O(total versions).
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
 from repro.ids import TransactionId
 
+#: An empty per-key entry, shared by every snapshot miss.
+_EMPTY: tuple[TransactionId, ...] = ()
+
+
+class KeyVersionSnapshot:
+    """Immutable view of a :class:`KeyVersionIndex` at one publication epoch.
+
+    Query results are tuples (or slices of tuples) backed by the snapshot
+    itself — no per-call copying — so callers may hold on to them for as long
+    as they hold the snapshot.
+    """
+
+    __slots__ = ("_base", "_delta", "_key_count")
+
+    def __init__(
+        self,
+        base: dict[str, tuple[TransactionId, ...]],
+        delta: dict[str, tuple[TransactionId, ...]],
+        key_count: int,
+    ) -> None:
+        self._base = base
+        self._delta = delta
+        self._key_count = key_count
+
+    def _entry(self, key: str) -> tuple[TransactionId, ...]:
+        entry = self._delta.get(key)
+        if entry is None:
+            entry = self._base.get(key, _EMPTY)
+        return entry
+
+    def latest(self, key: str) -> TransactionId | None:
+        """Most recent committed version id of ``key``, or None if unknown."""
+        entry = self._entry(key)
+        return entry[-1] if entry else None
+
+    def latest_at_most(self, key: str, bound: TransactionId) -> TransactionId | None:
+        """Newest version id of ``key`` that is <= ``bound`` (None if there is none)."""
+        entry = self._entry(key)
+        position = bisect_right(entry, bound)
+        return entry[position - 1] if position else None
+
+    def versions(self, key: str) -> tuple[TransactionId, ...]:
+        """All known version ids of ``key``, oldest first (snapshot-backed, no copy)."""
+        return self._entry(key)
+
+    def versions_at_least(self, key: str, lower: TransactionId | None) -> tuple[TransactionId, ...]:
+        """Version ids of ``key`` that are >= ``lower``, oldest first.
+
+        ``lower`` of ``None`` means no lower bound (the paper's ``lower = 0``).
+        """
+        entry = self._entry(key)
+        if lower is None:
+            return entry
+        return entry[bisect_left(entry, lower) :]
+
+    def has_version(self, key: str, txid: TransactionId) -> bool:
+        entry = self._entry(key)
+        position = bisect_left(entry, txid)
+        return position < len(entry) and entry[position] == txid
+
+    def keys(self) -> Iterator[str]:
+        for key in self._base:
+            if key not in self._delta and self._base[key]:
+                yield key
+        for key, entry in self._delta.items():
+            if entry:
+                yield key
+
+    def version_count(self, key: str | None = None) -> int:
+        """Number of indexed versions for ``key`` (or across all keys)."""
+        if key is not None:
+            return len(self._entry(key))
+        return sum(len(self._entry(key)) for key in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return bool(self._entry(key))
+
+    def __len__(self) -> int:
+        return self._key_count
+
 
 class KeyVersionIndex:
-    """Sorted per-key index of committed version ids."""
+    """Sorted per-key index of committed version ids (single-writer master)."""
+
+    #: Once the layered delta holds this many keys, compact into a new base.
+    COMPACT_DELTA_KEYS = 128
 
     def __init__(self) -> None:
         self._versions: dict[str, list[TransactionId]] = {}
+        #: Published immutable view; created lazily on the first snapshot()
+        #: call so index instances that are never shared (e.g. the global
+        #: GC's private view) pay nothing for snapshot support.
+        self._snapshot: KeyVersionSnapshot | None = None
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+    def _insert(self, key: str, txid: TransactionId) -> bool:
+        """Insert one version into ``key``'s sorted list; returns False on duplicate.
+
+        Commits arrive in roughly increasing id order, so appending is the
+        common case; fall back to a bisect insert otherwise.
+        """
+        versions = self._versions.setdefault(key, [])
+        if versions and versions[-1] < txid:
+            versions.append(txid)
+            return True
+        position = bisect_left(versions, txid)
+        if position < len(versions) and versions[position] == txid:
+            return False
+        versions.insert(position, txid)
+        return True
+
+    def _delete(self, key: str, txid: TransactionId) -> bool:
+        """Remove one version from ``key``'s sorted list; returns False if absent."""
+        versions = self._versions.get(key)
+        if not versions:
+            return False
+        position = bisect_left(versions, txid)
+        if position < len(versions) and versions[position] == txid:
+            versions.pop(position)
+            if not versions:
+                del self._versions[key]
+            return True
+        return False
+
     def add(self, key: str, txid: TransactionId) -> None:
         """Record that committed transaction ``txid`` wrote a version of ``key``."""
-        versions = self._versions.setdefault(key, [])
-        position = bisect.bisect_left(versions, txid)
-        if position < len(versions) and versions[position] == txid:
-            return
-        versions.insert(position, txid)
+        if self._insert(key, txid):
+            self._publish((key,))
 
     def add_record(self, keys: Iterable[str], txid: TransactionId) -> None:
-        """Record a whole write set for ``txid``."""
-        for key in keys:
-            self.add(key, txid)
+        """Record a whole write set for ``txid`` (one snapshot publication)."""
+        touched = [key for key in keys if self._insert(key, txid)]
+        if touched:
+            self._publish(touched)
 
     def remove(self, key: str, txid: TransactionId) -> None:
         """Remove one version (garbage collection); missing entries are ignored."""
-        versions = self._versions.get(key)
-        if not versions:
-            return
-        position = bisect.bisect_left(versions, txid)
-        if position < len(versions) and versions[position] == txid:
-            versions.pop(position)
-        if not versions:
-            del self._versions[key]
+        if self._delete(key, txid):
+            self._publish((key,))
 
     def remove_record(self, keys: Iterable[str], txid: TransactionId) -> None:
         """Remove every version written by ``txid`` for the given keys."""
-        for key in keys:
-            self.remove(key, txid)
+        touched = [key for key in keys if self._delete(key, txid)]
+        if touched:
+            self._publish(touched)
 
     def clear(self) -> None:
         self._versions.clear()
+        if self._snapshot is not None:
+            self._snapshot = KeyVersionSnapshot({}, {}, 0)
 
     # ------------------------------------------------------------------ #
-    # Queries
+    # Snapshot publication
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> KeyVersionSnapshot:
+        """The current immutable view (lock-free to read, cheap to call)."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._compacted()
+            self._snapshot = snapshot
+        return snapshot
+
+    def _compacted(self) -> KeyVersionSnapshot:
+        return KeyVersionSnapshot(
+            {key: tuple(versions) for key, versions in self._versions.items()},
+            {},
+            len(self._versions),
+        )
+
+    def _publish(self, touched: Iterable[str]) -> None:
+        """Publish a new snapshot covering the freshly mutated ``touched`` keys."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            return  # Nobody has asked for snapshots yet.
+        delta = dict(snapshot._delta)
+        for key in touched:
+            versions = self._versions.get(key)
+            delta[key] = tuple(versions) if versions else _EMPTY
+        if len(delta) > self.COMPACT_DELTA_KEYS:
+            self._snapshot = self._compacted()
+        else:
+            self._snapshot = KeyVersionSnapshot(snapshot._base, delta, len(self._versions))
+
+    # ------------------------------------------------------------------ #
+    # Queries (mirror the snapshot API, served from the master)
     # ------------------------------------------------------------------ #
     def latest(self, key: str) -> TransactionId | None:
         """Most recent committed version id of ``key``, or None if unknown."""
@@ -67,24 +225,33 @@ class KeyVersionIndex:
             return None
         return versions[-1]
 
-    def versions(self, key: str) -> list[TransactionId]:
-        """All known version ids of ``key``, oldest first (copy)."""
-        return list(self._versions.get(key, ()))
+    def latest_at_most(self, key: str, bound: TransactionId) -> TransactionId | None:
+        """Newest version id of ``key`` that is <= ``bound`` (None if there is none)."""
+        versions = self._versions.get(key)
+        if not versions:
+            return None
+        position = bisect_right(versions, bound)
+        return versions[position - 1] if position else None
 
-    def versions_at_least(self, key: str, lower: TransactionId | None) -> list[TransactionId]:
+    def versions(self, key: str) -> tuple[TransactionId, ...]:
+        """All known version ids of ``key``, oldest first."""
+        return tuple(self._versions.get(key, _EMPTY))
+
+    def versions_at_least(self, key: str, lower: TransactionId | None) -> tuple[TransactionId, ...]:
         """Version ids of ``key`` that are >= ``lower``, oldest first.
 
         ``lower`` of ``None`` means no lower bound (the paper's ``lower = 0``).
         """
-        versions = self._versions.get(key, [])
+        versions = self._versions.get(key)
+        if not versions:
+            return _EMPTY
         if lower is None:
-            return list(versions)
-        position = bisect.bisect_left(versions, lower)
-        return list(versions[position:])
+            return tuple(versions)
+        return tuple(versions[bisect_left(versions, lower) :])
 
     def has_version(self, key: str, txid: TransactionId) -> bool:
         versions = self._versions.get(key, [])
-        position = bisect.bisect_left(versions, txid)
+        position = bisect_left(versions, txid)
         return position < len(versions) and versions[position] == txid
 
     def keys(self) -> Iterator[str]:
@@ -101,3 +268,9 @@ class KeyVersionIndex:
 
     def __len__(self) -> int:
         return len(self._versions)
+
+
+#: Read-only structural union accepted by supersedence and the read protocol.
+VersionIndexView = KeyVersionIndex | KeyVersionSnapshot
+
+__all__ = ["KeyVersionIndex", "KeyVersionSnapshot", "VersionIndexView"]

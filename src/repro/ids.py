@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import uuid as _uuid
 from dataclasses import dataclass
-from functools import total_ordering
 from typing import Iterator
 
 #: Prefix of every storage key that holds transaction data (a key version).
@@ -27,7 +26,6 @@ COMMIT_PREFIX = "aft.commit"
 KEY_SEPARATOR = "/"
 
 
-@total_ordering
 @dataclass(frozen=True)
 class TransactionId:
     """Globally unique transaction identifier.
@@ -35,15 +33,48 @@ class TransactionId:
     Ordering follows the paper: compare commit timestamps first and break ties
     with the lexicographic order of the uuids.  A :class:`TransactionId` is
     hashable and therefore usable as a dictionary key throughout the library.
+
+    Ids are compared in every ``bisect`` step of the version index, hashed in
+    every dict/set lookup of the metadata cache, and both happen per
+    candidate in Algorithm 1 — so the ``(timestamp, uuid)`` sort key and its
+    hash are built once at construction and reused; comparisons and lookups
+    allocate no tuples of their own.
     """
 
     timestamp: float
     uuid: str
 
+    def __post_init__(self) -> None:
+        sort_key = (self.timestamp, self.uuid)
+        object.__setattr__(self, "sort_key", sort_key)
+        object.__setattr__(self, "_hash", hash(sort_key))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __lt__(self, other: "TransactionId") -> bool:
-        if not isinstance(other, TransactionId):
+        try:
+            return self.sort_key < other.sort_key
+        except AttributeError:
             return NotImplemented
-        return (self.timestamp, self.uuid) < (other.timestamp, other.uuid)
+
+    def __le__(self, other: "TransactionId") -> bool:
+        try:
+            return self.sort_key <= other.sort_key
+        except AttributeError:
+            return NotImplemented
+
+    def __gt__(self, other: "TransactionId") -> bool:
+        try:
+            return self.sort_key > other.sort_key
+        except AttributeError:
+            return NotImplemented
+
+    def __ge__(self, other: "TransactionId") -> bool:
+        try:
+            return self.sort_key >= other.sort_key
+        except AttributeError:
+            return NotImplemented
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.timestamp:.6f}:{self.uuid}"

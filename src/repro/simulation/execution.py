@@ -122,10 +122,13 @@ def aft_transaction_program(
     op_index = 0
     for function in plan:
         yield ("delay", cost_model.function_invoke_overhead)
-        if pipelined and len(function.reads) > 1:
+        if pipelined and function.reads:
             # One shim request carries the function's whole read set
             # (operations are ordered reads-then-writes, so this preserves
-            # the program order of the sequential path).
+            # the program order of the sequential path).  Single-read
+            # functions take the same batched path: the charges are identical
+            # (one shim round trip, one storage stage) and the shim then runs
+            # Algorithm 1 against one metadata snapshot per request.
             read_ops = list(function.reads)
             stack, ledger = _meter(*engines)
             with stack:

@@ -89,6 +89,29 @@ class TestLocalMetadataGC:
         assert len(collector.run_once()) == 2
         assert len(collector.run_once()) == 2
 
+    def test_budget_exhaustion_mid_batch_keeps_cursor(self, node):
+        """A sweep stopped by max_per_sweep must resume where it left off,
+        not wrap back to the oldest record."""
+        # Three keys written once each (never superseded), then a run of
+        # superseded versions of "k" behind them.
+        for key in ("a", "b", "c"):
+            commit_value(node, key, b"keep")
+        superseded = [commit_value(node, "k", f"v{index}".encode()) for index in range(4)]
+        commit_value(node, "k", b"latest")
+        node.forget_finished_transactions()
+
+        collector = LocalMetadataGC(node, max_per_sweep=1)
+        first = collector.run_once()
+        assert first == [superseded[0]]
+        assert collector.cursor.position == superseded[0]
+        assert collector.cursor.wraps == 0, "budget exhaustion must not wrap the cursor"
+        # The next sweep resumes past the collected record instead of
+        # re-walking a/b/c from the start.
+        examined_before = collector.stats.records_examined
+        second = collector.run_once()
+        assert second == [superseded[1]]
+        assert collector.stats.records_examined - examined_before <= 2
+
 
 class TestGlobalDataGC:
     def _setup(self, storage, commit_store, clock, num_nodes=2):

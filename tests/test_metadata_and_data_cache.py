@@ -2,15 +2,40 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.commit_set import CommitRecord
 from repro.core.data_cache import DataCache
 from repro.core.metadata_cache import CommitSetCache
+from repro.core.read_protocol import TrackedReadSet, atomic_read
 from repro.ids import TransactionId, data_key
 
 
 def record(n: float, keys: list[str], uuid: str = "") -> CommitRecord:
     txid = TransactionId(float(n), uuid or f"u{n}")
     return CommitRecord(txid=txid, write_set={key: data_key(key, txid) for key in keys})
+
+
+class CountingLock:
+    """RLock test double that counts every acquisition (context or explicit)."""
+
+    def __init__(self) -> None:
+        self._inner = threading.RLock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self._inner.__enter__()
+
+    def __exit__(self, *exc):
+        return self._inner.__exit__(*exc)
+
+    def acquire(self, *args, **kwargs):
+        self.acquisitions += 1
+        return self._inner.acquire(*args, **kwargs)
+
+    def release(self):
+        return self._inner.release()
 
 
 class TestCommitSetCache:
@@ -79,8 +104,139 @@ class TestCommitSetCache:
         assert len(cache) == 0
         assert cache.locally_deleted() == set()
 
+    def test_sweep_records_resumes_from_cursor(self):
+        cache = CommitSetCache()
+        records = [record(n, ["k"]) for n in range(1, 6)]
+        for rec in records:
+            cache.add(rec)
+        first, cursor = cache.sweep_records(None, 2)
+        assert [r.txid for r in first] == [records[0].txid, records[1].txid]
+        assert cursor == records[1].txid
+        rest, cursor = cache.sweep_records(cursor, 10)
+        assert [r.txid for r in rest] == [r.txid for r in records[2:]]
+        assert cursor is None, "short batch signals the end of the log"
 
-class TestDataCache:
+    def test_cowritten_sets_are_interned(self):
+        cache = CommitSetCache()
+        a = record(1, ["k", "l"], uuid="a")
+        b = record(2, ["k", "l"], uuid="b")
+        cache.add(a)
+        cache.add(b)
+        assert a.cowritten is b.cowritten, "identical write sets share one frozenset"
+
+
+class TestMetadataSnapshot:
+    def test_snapshot_is_stable_while_writers_publish(self):
+        cache = CommitSetCache()
+        old = record(1, ["k"])
+        cache.add(old)
+        snap = cache.snapshot()
+        new = record(2, ["k"])
+        cache.add(new)
+        cache.remove(old.txid)
+        # The held snapshot still answers from its epoch...
+        assert snap.get(old.txid) is old
+        assert new.txid not in snap
+        assert snap.version_index.versions("k") == (old.txid,)
+        # ...while the cache has moved on.
+        assert cache.get(old.txid) is None
+        assert cache.snapshot().epoch > snap.epoch
+
+    def test_snapshot_index_and_records_are_consistent(self):
+        cache = CommitSetCache()
+        for n in range(1, 10):
+            cache.add(record(n, ["k", f"x{n}"]))
+        for txid in list(cache.transaction_ids())[:4]:
+            cache.remove(txid)
+        snap = cache.snapshot()
+        for txid in snap.version_index.versions("k"):
+            assert snap.get(txid) is not None
+
+    def test_compaction_preserves_answers(self):
+        cache = CommitSetCache()
+        records = [record(n, [f"k{n % 7}"]) for n in range(3 * CommitSetCache.COMPACT_DELTA_ENTRIES)]
+        for rec in records:
+            cache.add(rec)
+        removed = records[::5]
+        for rec in removed:
+            cache.remove(rec.txid)
+        snap = cache.snapshot()
+        removed_ids = {rec.txid for rec in removed}
+        for rec in records:
+            if rec.txid in removed_ids:
+                assert snap.get(rec.txid) is None
+            else:
+                assert snap.get(rec.txid) is rec
+        assert len(snap) == len(records) - len(removed)
+
+    def test_atomic_read_acquires_zero_locks(self):
+        """Acceptance: the no-contention read path never touches the cache lock."""
+        cache = CommitSetCache()
+        for n in range(1, 20):
+            cache.add(record(n, ["k", "l", f"x{n % 3}"]))
+        counting = CountingLock()
+        cache._lock = counting
+
+        tracked = TrackedReadSet()
+        for key in ("k", "l", "x0", "k"):
+            decision = atomic_read(key, tracked, cache)
+            if decision.target is not None and key not in tracked:
+                tracked.observe(key, decision.target, cache.cowritten(decision.target))
+        assert counting.acquisitions == 0
+
+        # Ancillary read-path queries are lock-free too...
+        cache.get(record(1, ["k"]).txid)
+        cache.cowritten(record(1, ["k"]).txid)
+        _ = cache.version_index
+        _ = len(cache)
+        assert counting.acquisitions == 0
+        # ...and the double actually counts: a write takes the lock.
+        cache.add(record(99, ["k"]))
+        assert counting.acquisitions > 0
+
+    def test_concurrent_readers_never_see_torn_index(self):
+        """Reader threads running Algorithm 1 while a writer commits and GCs
+        must never find a version in the index whose record is absent."""
+        cache = CommitSetCache()
+        keys = [f"key-{i}" for i in range(8)]
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            tracked = TrackedReadSet()
+            while not stop.is_set():
+                snap = cache.snapshot()
+                for key in keys:
+                    for txid in snap.version_index.versions(key):
+                        if snap.get(txid) is None:
+                            failures.append(f"{key}@{txid} in index but record missing")
+                            return
+                    decision = atomic_read(key, tracked, snap)
+                    if decision.target is not None:
+                        if snap.get(decision.target) is None:
+                            failures.append(f"decision target {decision.target} has no record")
+                            return
+                        if key not in tracked:
+                            tracked.observe(key, decision.target, snap.cowritten(decision.target))
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            live: list[CommitRecord] = []
+            for n in range(2000):
+                rec = record(n, [keys[n % len(keys)], keys[(n + 3) % len(keys)]])
+                cache.add(rec)
+                live.append(rec)
+                # Emulate the local GC: drop superseded records in bursts.
+                if n % 7 == 0 and len(live) > 20:
+                    victim = live.pop(0)
+                    cache.remove(victim.txid, mark_deleted=True)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not failures, failures
     def test_miss_then_hit(self):
         cache = DataCache(capacity_bytes=1024)
         txid = TransactionId(1.0, "u")

@@ -1,0 +1,112 @@
+"""Tests for the amortized sweep infrastructure (SortedTxidLog / SweepCursor)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.sweep import SortedTxidLog, SweepCursor
+from repro.ids import TransactionId
+
+
+def tid(n: float, uuid: str = "") -> TransactionId:
+    return TransactionId(float(n), uuid or f"u{n}")
+
+
+class TestSortedTxidLog:
+    def test_out_of_order_adds_iterate_sorted(self):
+        log = SortedTxidLog()
+        for n in (5, 1, 3, 2, 4):
+            log.add(tid(n))
+        assert list(log) == [tid(n) for n in (1, 2, 3, 4, 5)]
+        assert len(log) == 5
+
+    def test_add_is_idempotent(self):
+        log = SortedTxidLog()
+        log.add(tid(1))
+        log.add(tid(2))
+        log.add(tid(1))
+        assert len(log) == 2
+
+    def test_discard_is_lazy_but_invisible(self):
+        log = SortedTxidLog()
+        for n in (1, 2, 3):
+            log.add(tid(n))
+        log.discard(tid(2))
+        assert list(log) == [tid(1), tid(3)]
+        assert tid(2) not in log
+        assert len(log) == 2
+        # Discarding an unknown or already-dead id is a no-op.
+        log.discard(tid(2))
+        log.discard(tid(9))
+        assert len(log) == 2
+
+    def test_discarded_id_can_be_revived(self):
+        log = SortedTxidLog()
+        log.add(tid(1))
+        log.discard(tid(1))
+        log.add(tid(1))
+        assert list(log) == [tid(1)]
+
+    def test_tombstones_are_compacted(self):
+        log = SortedTxidLog()
+        for n in range(10):
+            log.add(tid(n))
+        for n in range(6):
+            log.discard(tid(n))
+        # More than half dead would have triggered compaction along the way.
+        assert len(log._items) == len(log)
+
+    def test_range_after(self):
+        log = SortedTxidLog()
+        for n in range(1, 8):
+            log.add(tid(n))
+        log.discard(tid(3))
+        assert log.range_after(None, 3) == [tid(1), tid(2), tid(4)]
+        assert log.range_after(tid(4), 10) == [tid(5), tid(6), tid(7)]
+        assert log.range_after(tid(7), 10) == []
+
+    def test_oldest_skips_tombstones(self):
+        log = SortedTxidLog()
+        log.add(tid(1))
+        log.add(tid(2))
+        log.discard(tid(1))
+        assert log.oldest() == tid(2)
+        log.discard(tid(2))
+        assert log.oldest() is None
+
+    def test_clear(self):
+        log = SortedTxidLog()
+        log.add(tid(1))
+        log.clear()
+        assert len(log) == 0 and list(log) == []
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=40), max_size=30),
+    )
+    def test_matches_sorted_set_model(self, adds, removes):
+        log = SortedTxidLog()
+        model: set[TransactionId] = set()
+        for n in adds:
+            log.add(tid(n))
+            model.add(tid(n))
+        for n in removes:
+            log.discard(tid(n))
+            model.discard(tid(n))
+        assert list(log) == sorted(model)
+        assert len(log) == len(model)
+
+
+class TestSweepCursor:
+    def test_advance_wrap_reset(self):
+        cursor = SweepCursor()
+        assert cursor.position is None
+        cursor.advance(tid(3))
+        assert cursor.position == tid(3)
+        cursor.wrap()
+        assert cursor.position is None
+        assert cursor.wraps == 1
+        cursor.advance(tid(5))
+        cursor.reset()
+        assert cursor.position is None
+        assert cursor.wraps == 1

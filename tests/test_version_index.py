@@ -1,4 +1,4 @@
-"""Tests for the key version index."""
+"""Tests for the key version index (master and snapshot views)."""
 
 from __future__ import annotations
 
@@ -23,7 +23,7 @@ class TestKeyVersionIndex:
         index.add("k", tid(3))
         index.add("k", tid(2))
         assert index.latest("k") == tid(3)
-        assert index.versions("k") == [tid(1), tid(2), tid(3)]
+        assert index.versions("k") == (tid(1), tid(2), tid(3))
 
     def test_duplicate_add_is_idempotent(self):
         index = KeyVersionIndex()
@@ -35,16 +35,25 @@ class TestKeyVersionIndex:
         index = KeyVersionIndex()
         for n in (1, 2, 3, 4):
             index.add("k", tid(n))
-        assert index.versions_at_least("k", tid(3)) == [tid(3), tid(4)]
-        assert index.versions_at_least("k", None) == [tid(1), tid(2), tid(3), tid(4)]
-        assert index.versions_at_least("missing", tid(1)) == []
+        assert index.versions_at_least("k", tid(3)) == (tid(3), tid(4))
+        assert index.versions_at_least("k", None) == (tid(1), tid(2), tid(3), tid(4))
+        assert index.versions_at_least("missing", tid(1)) == ()
+
+    def test_latest_at_most(self):
+        index = KeyVersionIndex()
+        for n in (1, 3, 5):
+            index.add("k", tid(n))
+        assert index.latest_at_most("k", tid(4)) == tid(3)
+        assert index.latest_at_most("k", tid(3)) == tid(3)
+        assert index.latest_at_most("k", tid(0.5)) is None
+        assert index.latest_at_most("missing", tid(9)) is None
 
     def test_remove_specific_version(self):
         index = KeyVersionIndex()
         index.add("k", tid(1))
         index.add("k", tid(2))
         index.remove("k", tid(1))
-        assert index.versions("k") == [tid(2)]
+        assert index.versions("k") == (tid(2),)
         index.remove("k", tid(2))
         assert "k" not in index
         # Removing from an empty/unknown key is a no-op.
@@ -83,7 +92,7 @@ class TestKeyVersionIndex:
         for txid in ids:
             index.add("k", txid)
         versions = index.versions("k")
-        assert versions == sorted(versions)
+        assert list(versions) == sorted(versions)
         assert index.latest("k") == max(ids)
 
     @given(
@@ -96,5 +105,66 @@ class TestKeyVersionIndex:
         for txid in ids:
             index.add("k", txid)
         lower = tid(lower_n)
-        expected = sorted(txid for txid in ids if txid >= lower)
+        expected = tuple(sorted(txid for txid in ids if txid >= lower))
         assert index.versions_at_least("k", lower) == expected
+
+
+class TestKeyVersionSnapshot:
+    def test_snapshot_is_immutable_under_later_mutation(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        snap = index.snapshot()
+        index.add("k", tid(2))
+        index.add("l", tid(3))
+        # The old view still answers from its epoch...
+        assert snap.versions("k") == (tid(1),)
+        assert snap.latest("l") is None
+        # ...and a fresh snapshot sees the new state.
+        fresh = index.snapshot()
+        assert fresh.versions("k") == (tid(1), tid(2))
+        assert fresh.latest("l") == tid(3)
+
+    def test_snapshot_queries_match_master(self):
+        index = KeyVersionIndex()
+        for n in (1, 2, 4, 8):
+            index.add("k", tid(n))
+        index.add_record(["a", "b"], tid(3))
+        snap = index.snapshot()
+        assert snap.latest("k") == index.latest("k")
+        assert snap.versions("k") == index.versions("k")
+        assert snap.versions_at_least("k", tid(3)) == index.versions_at_least("k", tid(3))
+        assert snap.latest_at_most("k", tid(5)) == index.latest_at_most("k", tid(5))
+        assert snap.has_version("a", tid(3)) and not snap.has_version("a", tid(4))
+        assert "k" in snap and "missing" not in snap
+        assert sorted(snap.keys()) == sorted(index.keys())
+        assert snap.version_count("k") == index.version_count("k")
+        assert snap.version_count() == index.version_count()
+        assert len(snap) == len(index)
+
+    def test_removal_is_visible_in_fresh_snapshots(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        index.snapshot()
+        index.remove("k", tid(1))
+        assert index.snapshot().versions("k") == ()
+        assert "k" not in index.snapshot()
+
+    def test_delta_compaction_preserves_answers(self):
+        index = KeyVersionIndex()
+        index.snapshot()  # activate incremental publication
+        ids = {}
+        for n in range(3 * KeyVersionIndex.COMPACT_DELTA_KEYS):
+            key = f"key-{n}"
+            ids[key] = tid(n)
+            index.add(key, ids[key])
+        snap = index.snapshot()
+        for key, txid in ids.items():
+            assert snap.latest(key) == txid
+
+    def test_versions_are_zero_copy_tuples(self):
+        index = KeyVersionIndex()
+        index.add("k", tid(1))
+        snap = index.snapshot()
+        first = snap.versions("k")
+        assert first is snap.versions("k"), "snapshot entries are shared, not copied per call"
+        assert isinstance(first, tuple)
