@@ -1,0 +1,234 @@
+"""Ablation — the sharded fault manager vs the seed's singleton.
+
+Isolates the recovery path (paper Sections 4.2, 5.2): the liveness sweep
+over the Transaction Commit Set, the memory held to remember seen commits,
+and the time to replay a failed node's unbroadcast commits.
+
+* ``singleton`` — the seed implementation preserved in
+  :mod:`repro.core.fault_manager_reference`: one unbounded ``_seen`` set,
+  one ``read_record`` round trip per unseen id, one sequential pass over
+  the whole history per sweep.
+* ``sharded`` (1/2/4/8 shards) — the shipped service: the transaction-id
+  space partitioned on the consistent-hash ring, per-shard watermark +
+  window digests, cursor-resumable sweeps with IO-plan batched record
+  fetches, and parallel per-shard replay on node failure.
+
+Latency is *charged* from the deployment cost model, exactly as the
+simulated figures charge storage latency: a sharded sweep costs its slowest
+shard plus fan-out overhead, the singleton costs the sequential sum.  Both
+implementations must recover the identical commit set — the benchmark
+asserts it — so the comparison is pure mechanism.  Results are printed,
+persisted as text, and emitted machine-readable to
+``benchmarks/results/BENCH_fault_manager.json`` for the CI perf-trend gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.config import FaultManagerConfig
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.fault_manager import FaultManager
+from repro.core.fault_manager_reference import ReferenceFaultManager
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.ids import TransactionId, data_key
+from repro.simulation.cost_model import DeploymentCostModel
+from repro.storage.memory import InMemoryStorage
+
+SHARD_COUNTS = (1, 2, 4, 8)
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+HISTORY_COMMITS = 6_000 if not FAST_MODE else 1_500
+#: Fraction of the history committed by a node that died before broadcasting.
+UNBROADCAST_FRACTION = 0.10
+#: Seconds of txid-timestamp between consecutive commits (sets the watermark
+#: window size relative to total history).
+COMMIT_SPACING = 0.1
+WATERMARK_LAG = 30.0
+#: Acceptance: sharded sweeps must be >= 2x the singleton at 4 shards.
+SPEEDUP_BOUND = 2.0
+SPEEDUP_AT_SHARDS = 4
+#: Acceptance: digest memory must be bounded by the watermark window, not
+#: total history.
+MEMORY_FRACTION_BOUND = 0.5
+
+
+def build_history(storage: InMemoryStorage) -> tuple[CommitSetStore, list[CommitRecord], list[CommitRecord]]:
+    """A committed history where every Nth record was never broadcast.
+
+    Returns ``(store, broadcast_records, unbroadcast_records)``; the
+    unbroadcast ones belong to the crashed node ``"crashed"``.
+    """
+    store = CommitSetStore(storage)
+    stride = int(1 / UNBROADCAST_FRACTION)
+    broadcast: list[CommitRecord] = []
+    unbroadcast: list[CommitRecord] = []
+    for index in range(HISTORY_COMMITS):
+        crashed = index % stride == stride - 1
+        txid = TransactionId(timestamp=index * COMMIT_SPACING, uuid=f"fm{index}")
+        key = f"fmkey{index % 512}"
+        record = CommitRecord(
+            txid=txid,
+            write_set={key: data_key(key, txid)},
+            committed_at=index * COMMIT_SPACING,
+            node_id="crashed" if crashed else f"node-{index % 3}",
+        )
+        store.write_record(record)
+        (unbroadcast if crashed else broadcast).append(record)
+    return store, broadcast, unbroadcast
+
+
+def run_fault_manager_ablation() -> dict:
+    cost_model = DeploymentCostModel()
+    storage = InMemoryStorage()
+    store, broadcast, unbroadcast = build_history(storage)
+    expected = {record.txid for record in unbroadcast}
+    # One multicast service serves every configuration: each manager under
+    # test registers as the fault-manager sink and is unregistered before
+    # the next takes its place.
+    multicast = MulticastService()
+
+    # ------------------------------------------------------------------ #
+    # Singleton reference: sequential full-history sweep, unbounded seen set.
+    # ------------------------------------------------------------------ #
+    reference = ReferenceFaultManager(storage, store, multicast)
+    reference.receive_commits(broadcast)
+    started = time.perf_counter()
+    recovered_ref = reference.scan_commit_set()
+    ref_wall = time.perf_counter() - started
+    assert {record.txid for record in recovered_ref} == expected
+    ref_charged = cost_model.fault_scan_latency(
+        [(HISTORY_COMMITS, len(unbroadcast), len(unbroadcast))]
+    )
+    multicast.unregister_fault_manager(reference)
+
+    results: dict = {
+        "singleton": {
+            "charged_scan_s": ref_charged,
+            "scan_records_per_sec": HISTORY_COMMITS / ref_charged,
+            "wall_ms": ref_wall * 1e3,
+            "seen_set_entries": reference.seen_count(),
+            "recovery_charged_s": cost_model.recovery_latency([len(unbroadcast)]),
+        },
+        "by_shards": {},
+    }
+
+    # ------------------------------------------------------------------ #
+    # Sharded service at 1/2/4/8 shards.
+    # ------------------------------------------------------------------ #
+    for shards in SHARD_COUNTS:
+        config = FaultManagerConfig(num_shards=shards, watermark_lag=WATERMARK_LAG)
+        manager = FaultManager(storage, store, multicast, config=config)
+        manager.receive_commits(broadcast)
+
+        started = time.perf_counter()
+        recovered = manager.scan_commit_set()
+        wall = time.perf_counter() - started
+        assert {record.txid for record in recovered} == expected, (
+            f"sharded recovery diverged from the singleton at {shards} shards"
+        )
+        charged = cost_model.fault_scan_latency(manager.last_scan_report.shard_costs())
+
+        # The completed first cycle advanced every shard's watermark; digest
+        # memory is now the lag window, not the history.
+        memory = manager.memory_footprint()
+
+        # Recovery replay of a crashed node's commits, charged in parallel.
+        multicast.unregister_fault_manager(manager)
+        crashed = AftNode(storage, commit_store=store, node_id="crashed")
+        recovery_manager = FaultManager(storage, store, multicast, config=config)
+        recovery_manager.receive_commits(broadcast)
+        report = recovery_manager.recover_node_failure(crashed)
+        assert {record.txid for record in report.recovered} == expected
+        recovery_charged = cost_model.recovery_latency(
+            report.shard_costs(), orphan_spills=report.orphan_spills_reclaimed
+        )
+        multicast.unregister_fault_manager(recovery_manager)
+
+        results["by_shards"][str(shards)] = {
+            "charged_scan_s": charged,
+            "scan_records_per_sec": HISTORY_COMMITS / charged,
+            "speedup_vs_singleton": ref_charged / charged,
+            "wall_ms": wall * 1e3,
+            "window_entries": memory["window_entries"],
+            "largest_shard_window": memory["largest_shard_window"],
+            "memory_fraction_of_history": memory["window_entries"] / HISTORY_COMMITS,
+            "recovery_charged_s": recovery_charged,
+            "recovery_speedup_vs_singleton": (
+                results["singleton"]["recovery_charged_s"] / recovery_charged
+            ),
+        }
+    return results
+
+
+def test_ablation_fault_manager(benchmark):
+    results = run_once(benchmark, run_fault_manager_ablation)
+
+    from repro.harness.report import format_rows
+
+    rows = [
+        {
+            "shards": shards,
+            "scan_krec/s": metrics["scan_records_per_sec"] / 1e3,
+            "speedup": metrics["speedup_vs_singleton"],
+            "recovery_ms": metrics["recovery_charged_s"] * 1e3,
+            "digest_entries": metrics["window_entries"],
+        }
+        for shards, metrics in results["by_shards"].items()
+    ]
+    rows.append(
+        {
+            "shards": "singleton",
+            "scan_krec/s": results["singleton"]["scan_records_per_sec"] / 1e3,
+            "speedup": 1.0,
+            "recovery_ms": results["singleton"]["recovery_charged_s"] * 1e3,
+            "digest_entries": results["singleton"]["seen_set_entries"],
+        }
+    )
+    emit(
+        "ablation_fault_manager",
+        format_rows(
+            rows,
+            ["shards", "scan_krec/s", "speedup", "recovery_ms", "digest_entries"],
+            title="Ablation: singleton vs sharded fault manager (charged scan/recovery)",
+        ),
+    )
+    emit_json(
+        "BENCH_fault_manager",
+        {
+            "workload": {
+                "history_commits": HISTORY_COMMITS,
+                "unbroadcast_fraction": UNBROADCAST_FRACTION,
+                "commit_spacing_s": COMMIT_SPACING,
+                "watermark_lag_s": WATERMARK_LAG,
+                "fast_mode": FAST_MODE,
+            },
+            "singleton": results["singleton"],
+            "by_shards": results["by_shards"],
+            "speedup_bound": SPEEDUP_BOUND,
+            "speedup_at_shards": SPEEDUP_AT_SHARDS,
+            "memory_fraction_bound": MEMORY_FRACTION_BOUND,
+        },
+    )
+
+    # Acceptance / CI regression gates.
+    four = results["by_shards"][str(SPEEDUP_AT_SHARDS)]
+    assert four["speedup_vs_singleton"] >= SPEEDUP_BOUND, (
+        f"fault-manager scan regression: {four['speedup_vs_singleton']:.2f}x at "
+        f"{SPEEDUP_AT_SHARDS} shards (gate: {SPEEDUP_BOUND}x)"
+    )
+    # Memory is bounded by the watermark window, not total history: the
+    # singleton remembers every commit ever broadcast.
+    assert results["singleton"]["seen_set_entries"] == HISTORY_COMMITS
+    for metrics in results["by_shards"].values():
+        assert metrics["memory_fraction_of_history"] < MEMORY_FRACTION_BOUND
+    # More shards must keep helping (monotone through the measured range).
+    assert (
+        results["by_shards"]["8"]["recovery_charged_s"]
+        < results["by_shards"]["1"]["recovery_charged_s"]
+    )
+    by_shards = results["by_shards"]
+    assert by_shards["8"]["speedup_vs_singleton"] > by_shards["2"]["speedup_vs_singleton"]

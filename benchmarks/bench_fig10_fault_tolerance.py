@@ -8,29 +8,44 @@ throughput returns to its pre-failure level within a few seconds.
 
 This benchmark runs a scaled-down deployment (2 nodes, 64 clients) so that the
 cluster is loaded enough for the failure to be visible while keeping the run
-under a minute of wall-clock time.
+under a minute of wall-clock time.  Alongside the throughput time series it
+reports the sharded fault manager's recovery-time breakdown (detection,
+parallel shard replay, standby promotion) and emits machine-readable
+``BENCH_fault_tolerance.json`` for the CI perf-trend gate.
 """
 
 from __future__ import annotations
 
-from bench_utils import emit, run_once
+import os
+
+from bench_utils import emit, emit_json, run_once
 
 from repro.harness.experiments import run_fault_tolerance_experiment
 from repro.harness.report import format_table
+
+#: ``BENCH_FAST=1`` (the CI smoke job) shortens the run; the assertions below
+#: hold at either scale.
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+DURATION = 60.0 if not FAST_MODE else 42.0
+#: The failure must visibly hurt: 64 clients keep 2 nodes (35 request slots
+#: each) saturated enough that losing one shows in throughput at either scale.
+NUM_CLIENTS = 64
+REPLACEMENT_DELAY = 25.0 if not FAST_MODE else 15.0
 
 
 def test_fig10_fault_tolerance(benchmark):
     result = run_once(
         benchmark,
         run_fault_tolerance_experiment,
-        duration=60.0,
+        duration=DURATION,
         num_nodes=2,
-        num_clients=64,
+        num_clients=NUM_CLIENTS,
         fail_at=10.0,
         detection_delay=5.0,
-        replacement_delay=25.0,
+        replacement_delay=REPLACEMENT_DELAY,
     )
 
+    breakdown = result["recovery_breakdown"]
     rows = [
         ["pre-failure throughput (txn/s)", result["pre_failure_tps"]],
         ["degraded throughput (txn/s)", result["degraded_tps"]],
@@ -38,6 +53,10 @@ def test_fig10_fault_tolerance(benchmark):
         ["drop fraction", result["drop_fraction"]],
         ["recovered fraction of pre-failure", result["recovered_fraction"]],
         ["node failed at (s)", result["fail_at"]],
+        ["detection (s)", breakdown.get("detection_s")],
+        ["shard replay (s)", breakdown.get("replay_s")],
+        ["replayed commits", breakdown.get("replay_records")],
+        ["standby promotion (s)", breakdown.get("promotion_s")],
         ["replacement joined at (s)", result["rejoin_at"]],
     ]
     emit("fig10_fault_tolerance", format_table(["metric", "value"], rows, title="Figure 10: fault tolerance"))
@@ -45,8 +64,29 @@ def test_fig10_fault_tolerance(benchmark):
         f"{start:6.1f}s {tps:8.1f} txn/s" for start, tps in result["throughput_series"]
     )
     emit("fig10_timeseries", "Figure 10 throughput time series\n" + series_text)
+    emit_json(
+        "BENCH_fault_tolerance",
+        {
+            "workload": {
+                "duration_s": DURATION,
+                "num_nodes": 2,
+                "num_clients": NUM_CLIENTS,
+                "replacement_delay_s": REPLACEMENT_DELAY,
+                "fast_mode": FAST_MODE,
+            },
+            "pre_failure_tps": result["pre_failure_tps"],
+            "degraded_tps": result["degraded_tps"],
+            "recovered_tps": result["recovered_tps"],
+            "drop_fraction": result["drop_fraction"],
+            "recovered_fraction": result["recovered_fraction"],
+            "recovery_breakdown": breakdown,
+        },
+    )
 
     # Losing one of two loaded nodes visibly hurts throughput...
     assert result["degraded_tps"] < result["pre_failure_tps"] * 0.9
     # ...and the system recovers to near the pre-failure level after rejoin.
     assert result["recovered_fraction"] > 0.85
+    # The breakdown must account for the full failure-to-rejoin timeline.
+    assert breakdown["replay_s"] > 0.0
+    assert abs(breakdown["total_s"] - (result["rejoin_at"] - result["fail_at"])) < 1.0

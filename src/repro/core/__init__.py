@@ -10,12 +10,20 @@ from repro.core.autoscaler import Autoscaler, AutoscalerStats
 from repro.core.cluster import AftCluster, ClusterClient
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.data_cache import DataCache
-from repro.core.fault_manager import FaultManager
+from repro.core.fault_manager import (
+    FaultManager,
+    FaultManagerShard,
+    RecoveryReport,
+    ScanReport,
+    SeenDigest,
+)
+from repro.core.fault_manager_reference import ReferenceFaultManager
 from repro.core.garbage_collector import GlobalDataGC, LocalMetadataGC
 from repro.core.group_commit import GroupCommitter, GroupCommitStats, PendingCommit
 from repro.core.io_plan import IOOp, IOPlan, IOStage, PlanResult
 from repro.core.load_balancer import (
     ConsistentHashLoadBalancer,
+    HashRing,
     LeastLoadedLoadBalancer,
     RoundRobinLoadBalancer,
     make_load_balancer,
@@ -71,8 +79,14 @@ __all__ = [
     "PendingCommit",
     "MulticastService",
     "FaultManager",
+    "FaultManagerShard",
+    "SeenDigest",
+    "ScanReport",
+    "RecoveryReport",
+    "ReferenceFaultManager",
     "LocalMetadataGC",
     "GlobalDataGC",
+    "HashRing",
     "RoundRobinLoadBalancer",
     "LeastLoadedLoadBalancer",
     "ConsistentHashLoadBalancer",

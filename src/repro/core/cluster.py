@@ -78,6 +78,7 @@ class AftCluster:
             data_storage=storage,
             commit_store=self.commit_store,
             multicast=self.multicast,
+            config=self.cluster_config.fault_manager,
         )
         if load_balancer is not None:
             self.load_balancer = load_balancer
@@ -159,20 +160,36 @@ class AftCluster:
         self.load_balancer.remove_node(node)
 
     def replace_failed_nodes(self) -> list[AftNode]:
-        """Detect failed nodes, remove them, and start replacements.
+        """Detect failed nodes, recover their state, and promote standbys.
 
         Mirrors the paper's recovery flow (Section 6.7): the fault manager
-        detects the failure and a standby node is configured to join, warming
-        its metadata cache from the Transaction Commit Set as it starts.
+        detects the failure, replays the failed node's unbroadcast commits
+        shard-by-shard (reclaiming its orphaned write-buffer spills), and a
+        standby node is promoted through the same path elastic scale-up uses,
+        warming its metadata cache from the Transaction Commit Set as it
+        starts.
         """
         failed = self.fault_manager.detect_failures(self.nodes)
+        with self._lock:
+            # Claim the failed nodes atomically: a node retired (or claimed
+            # by a concurrent replace call) is no longer a member, and
+            # removing the claimed ones inside the same locked section means
+            # two racing calls can never both replace the same node.
+            claimed = [node for node in failed if node in self._nodes]
+            for node in claimed:
+                self._nodes.remove(node)
+                self._local_gcs.pop(node.node_id, None)
         replacements: list[AftNode] = []
-        for node in failed:
-            self.remove_node(node)
+        for node in claimed:
+            self.multicast.unregister_node(node)
+            self.load_balancer.remove_node(node)
+            self.fault_manager.recover_node_failure(node)
             self.fault_manager.request_replacement()
-            replacement = self.add_node(node_id=f"{node.node_id}-replacement")
+            replacement = self.promote_standby()
             replacements.append(replacement)
             self.stats.nodes_replaced += 1
+            # Restock the pool so the next failure is equally fast.
+            self._add_standby()
         return replacements
 
     # ------------------------------------------------------------------ #
@@ -280,7 +297,7 @@ class AftCluster:
                 node.node_id, node.metadata_cache.locally_deleted()
             )
             self.remove_node(node)
-            node.stop()
+            node.retire()
             self.stats.nodes_retired += 1
             retired.append(node)
             with self._lock:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.ids import TransactionId, commit_record_key, is_commit_record_key, parse_commit_record_key
 from repro.storage.base import StorageEngine
@@ -114,6 +114,27 @@ class CommitSetStore:
         if data is None:
             return None
         return CommitRecord.from_bytes(data)
+
+    def read_records_batch(self, txids: Sequence[TransactionId]) -> dict[TransactionId, CommitRecord | None]:
+        """Fetch several commit records in one parallel IO-plan stage.
+
+        The fault manager's liveness sweeps batch their candidate fetches
+        through this instead of one :meth:`read_record` round trip per id;
+        the engine maps the stage onto its native batching.  Missing records
+        map to ``None`` (the caller decides whether that is a GC race or a
+        torn write to retry).
+        """
+        if not txids:
+            return {}
+        from repro.core.io_plan import IOPlan
+
+        keys = {txid: commit_record_key(txid) for txid in txids}
+        values = self._engine.execute_plan(IOPlan.reads(keys.values(), name="commit-record-fetch")).values
+        out: dict[TransactionId, CommitRecord | None] = {}
+        for txid, key in keys.items():
+            data = values.get(key)
+            out[txid] = CommitRecord.from_bytes(data) if data is not None else None
+        return out
 
     def delete_record(self, txid: TransactionId) -> None:
         """Remove the commit record (used only by the global garbage collector)."""

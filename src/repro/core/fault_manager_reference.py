@@ -1,0 +1,155 @@
+"""The seed's singleton fault manager, preserved as a reference oracle.
+
+This is the original single-threaded fault manager exactly as the seed
+shipped it (paper Sections 4.2, 4.3 and 5.2): one process that receives
+every node's unpruned commit broadcasts into an **unbounded** ``_seen`` set
+and rescans the **entire** Transaction Commit Set on every liveness pass.
+The production implementation now lives in
+:mod:`repro.core.fault_manager` as a sharded service with bounded-memory
+seen-digests and incremental cursor sweeps; this module is kept verbatim so
+the property tests can assert that sharded recovery yields the identical
+recovered-commit sets and global-GC decisions across random crash/broadcast
+interleavings, and so the ablation benchmark can measure what the sharding
+buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.garbage_collector import GlobalDataGC
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.ids import TransactionId
+from repro.storage.base import StorageEngine
+
+
+@dataclass
+class ReferenceFaultManagerStats:
+    commit_scans: int = 0
+    unbroadcast_commits_recovered: int = 0
+    failures_detected: int = 0
+    replacements_requested: int = 0
+    gc_rounds: int = 0
+    nodes_retired: int = 0
+    retired_deletions_absorbed: int = 0
+
+
+class ReferenceFaultManager:
+    """Cluster-level manager for liveness, failure detection, and global GC."""
+
+    def __init__(
+        self,
+        data_storage: StorageEngine,
+        commit_store: CommitSetStore,
+        multicast: MulticastService,
+        gc_max_deletes_per_round: int | None = None,
+    ) -> None:
+        self.data_storage = data_storage
+        self.commit_store = commit_store
+        self.multicast = multicast
+        self.global_gc = GlobalDataGC(
+            data_storage=data_storage,
+            commit_store=commit_store,
+            max_deletes_per_round=gc_max_deletes_per_round,
+        )
+        #: Ids of commits learned via broadcast (or a previous scan).
+        #: Unbounded: grows with total history, the Section 5.2 concern.
+        self._seen: set[TransactionId] = set()
+        #: Locally-deleted GC sets handed over by gracefully retired nodes
+        #: (Section 5.2's per-node agreement, preserved across membership
+        #: changes): node id -> the transaction ids that node had locally
+        #: garbage collected when it left.
+        self._retired_deletions: dict[str, set[TransactionId]] = {}
+        self.stats = ReferenceFaultManagerStats()
+        multicast.register_fault_manager(self)
+
+    # ------------------------------------------------------------------ #
+    # Broadcast sink (unpruned)
+    # ------------------------------------------------------------------ #
+    def receive_commits(self, records: list[CommitRecord]) -> None:
+        """Ingest a node's unpruned commit set (called by the multicast service)."""
+        for record in records:
+            self._seen.add(record.txid)
+        self.global_gc.receive_commits(records)
+
+    def has_seen(self, txid: TransactionId) -> bool:
+        return txid in self._seen
+
+    def seen_count(self) -> int:
+        """Size of the unbounded seen set (the memory the digest bounds)."""
+        return len(self._seen)
+
+    # ------------------------------------------------------------------ #
+    # Liveness scan (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def scan_commit_set(self) -> list[CommitRecord]:
+        """Find durable commit records never received via broadcast.
+
+        Any such record belongs to a transaction whose node failed between
+        acknowledging the commit and broadcasting it.  The records are pushed
+        to every live node (and to the global GC) so the committed data is
+        never lost.  Returns the recovered records.
+
+        Known limitation (fixed in the sharded manager): a record whose
+        ``read_record`` returns ``None`` mid-scan is silently skipped without
+        being marked seen *or* remembered for retry.
+        """
+        self.stats.commit_scans += 1
+        recovered: list[CommitRecord] = []
+        for txid in self.commit_store.list_transaction_ids():
+            if txid in self._seen:
+                continue
+            record = self.commit_store.read_record(txid)
+            if record is None:
+                continue
+            recovered.append(record)
+            self._seen.add(txid)
+        if recovered:
+            self.stats.unbroadcast_commits_recovered += len(recovered)
+            self.multicast.broadcast_records(recovered)
+            self.global_gc.receive_commits(recovered)
+        return recovered
+
+    # ------------------------------------------------------------------ #
+    # Failure detection (Sections 4.3, 6.7)
+    # ------------------------------------------------------------------ #
+    def detect_failures(self, nodes: list[AftNode]) -> list[AftNode]:
+        """Return the nodes that are no longer running."""
+        failed = [node for node in nodes if not node.is_running]
+        if failed:
+            self.stats.failures_detected += len(failed)
+        return failed
+
+    def request_replacement(self) -> None:
+        """Record that a replacement node was requested (cluster performs it)."""
+        self.stats.replacements_requested += 1
+
+    # ------------------------------------------------------------------ #
+    # Graceful retirement (elastic scale-down)
+    # ------------------------------------------------------------------ #
+    def absorb_retired_node(self, node_id: str, locally_deleted: set[TransactionId]) -> None:
+        """Take custody of a retiring node's locally-deleted GC set."""
+        self.stats.nodes_retired += 1
+        self.stats.retired_deletions_absorbed += len(locally_deleted)
+        self._retired_deletions[node_id] = set(locally_deleted)
+
+    def retired_node_deletions(self, node_id: str) -> set[TransactionId]:
+        """The locally-deleted set a retired node handed over (empty if unknown)."""
+        return set(self._retired_deletions.get(node_id, set()))
+
+    # ------------------------------------------------------------------ #
+    # Global GC (Section 5.2)
+    # ------------------------------------------------------------------ #
+    def run_global_gc(self, nodes: list[AftNode]) -> list[TransactionId]:
+        """Run one round of global data garbage collection."""
+        self.stats.gc_rounds += 1
+        deleted = self.global_gc.run_once(nodes)
+        if deleted and self._retired_deletions:
+            deleted_set = set(deleted)
+            for node_id in list(self._retired_deletions):
+                self._retired_deletions[node_id] -= deleted_set
+                if not self._retired_deletions[node_id]:
+                    del self._retired_deletions[node_id]
+        return deleted

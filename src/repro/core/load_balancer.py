@@ -45,6 +45,95 @@ from repro.errors import NoAvailableNodeError, NodeDrainingError, NodeStoppedErr
 AffinityHint = str | Sequence[str] | None
 
 
+class HashRing:
+    """A consistent-hash ring over opaque member ids.
+
+    Each member owns ``replicas`` pseudo-random points on a 64-bit ring; a
+    lookup key hashes to a point and belongs to the next member clockwise.
+    Membership changes only remap the ring segments adjacent to the
+    joining/leaving member.  The ring is shared infrastructure: the
+    key-affinity load balancer maps user keys to nodes with it, and the
+    sharded fault manager maps transaction ids to shards with it.
+
+    The ring itself is not locked — callers that mutate membership
+    concurrently with lookups must synchronise externally (the load balancer
+    holds its own lock; the fault manager's shard set is fixed at
+    construction).
+    """
+
+    def __init__(self, replicas: int = 100) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._members: list[str] = []
+        #: Sorted (point, member_id) pairs.
+        self._ring: list[tuple[int, str]] = []
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _rebuild(self) -> None:
+        ring: list[tuple[int, str]] = []
+        for member in self._members:
+            for replica in range(self.replicas):
+                ring.append((self._hash(f"{member}#{replica}"), member))
+        ring.sort(key=lambda entry: entry[0])
+        self._ring = ring
+
+    @property
+    def members(self) -> list[str]:
+        return list(self._members)
+
+    def add(self, member: str) -> None:
+        if member not in self._members:
+            self._members.append(member)
+            self._rebuild()
+
+    def remove(self, member: str) -> None:
+        if member in self._members:
+            self._members.remove(member)
+            self._rebuild()
+
+    @classmethod
+    def of(cls, members: Iterable[str], replicas: int = 100) -> "HashRing":
+        """Build a ring holding ``members`` with one rebuild."""
+        ring = cls(replicas=replicas)
+        for member in members:
+            if member not in ring._members:
+                ring._members.append(member)
+        ring._rebuild()
+        return ring
+
+    def owner(self, key: str, accepts=None) -> str | None:
+        """The member owning ``key``: the first clockwise member ``accepts``.
+
+        ``accepts`` (member_id -> bool) filters members a caller currently
+        considers usable (e.g. draining nodes); ``None`` accepts everyone.
+        Returns ``None`` when no member qualifies.
+        """
+        if not self._ring:
+            return None
+        point = self._hash(key)
+        index = bisect.bisect_right(self._ring, point, key=lambda e: e[0])
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            _, member = self._ring[(index + offset) % len(self._ring)]
+            if member in seen:
+                continue
+            seen.add(member)
+            if accepts is None or accepts(member):
+                return member
+        return None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+
 class LoadBalancer(ABC):
     """Chooses a live node for each new transaction."""
 
@@ -179,42 +268,34 @@ class ConsistentHashLoadBalancer(LoadBalancer):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.replicas = replicas
-        self._ring: list[tuple[int, AftNode]] = []
+        self._ring = HashRing(replicas=replicas)
+        self._by_id: dict[str, AftNode] = {}
         self._cursor = 0
         # ``super().__init__`` stores the seed nodes; build the ring for them.
         super().__init__(nodes)
         with self._lock:
             self._membership_changed()
 
-    @staticmethod
-    def _hash(value: str) -> int:
-        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
-        return int.from_bytes(digest, "big")
-
     def _membership_changed(self) -> None:
         # Called with self._lock held.
-        ring: list[tuple[int, AftNode]] = []
-        for node in self._nodes:
-            for replica in range(self.replicas):
-                ring.append((self._hash(f"{node.node_id}#{replica}"), node))
-        ring.sort(key=lambda entry: entry[0])
-        self._ring = ring
+        self._by_id = {node.node_id: node for node in self._nodes}
+        self._ring = HashRing.of(self._by_id, replicas=self.replicas)
 
     def node_for_key(self, affinity_key: str) -> AftNode | None:
         """The routable owner of ``affinity_key`` (None if nothing is routable)."""
         return self._walk_ring(affinity_key, skip=set())
 
     def _walk_ring(self, affinity_key: str, skip: set[str]) -> AftNode | None:
-        point = self._hash(affinity_key)
         with self._lock:
-            if not self._ring:
-                return None
-            index = bisect.bisect_right(self._ring, point, key=lambda e: e[0])
-            for offset in range(len(self._ring)):
-                _, node = self._ring[(index + offset) % len(self._ring)]
-                if node.is_accepting and node.node_id not in skip:
-                    return node
-        return None
+            owner_id = self._ring.owner(
+                affinity_key,
+                accepts=lambda node_id: (
+                    node_id not in skip
+                    and (node := self._by_id.get(node_id)) is not None
+                    and node.is_accepting
+                ),
+            )
+            return self._by_id.get(owner_id) if owner_id is not None else None
 
     def next_node(
         self,

@@ -63,6 +63,11 @@ class MulticastService:
         if sink not in self._fault_manager_sinks:
             self._fault_manager_sinks.append(sink)
 
+    def unregister_fault_manager(self, sink) -> None:
+        """Detach a fault-manager sink (benchmarks swap implementations)."""
+        if sink in self._fault_manager_sinks:
+            self._fault_manager_sinks.remove(sink)
+
     @property
     def nodes(self) -> list[AftNode]:
         return list(self._nodes)

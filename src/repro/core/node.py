@@ -153,6 +153,13 @@ class AftNode:
         self._recent_commits: list[CommitRecord] = []
         self._running = False
         self._draining = False
+        #: Set by :meth:`retire` — distinguishes graceful scale-down from a
+        #: crash, so failure detection never double-replaces a retired node.
+        self._retired = False
+        #: Storage keys of spilled-but-uncommitted writes left behind by
+        #: :meth:`stop`/:meth:`fail`; no commit record references them, so
+        #: the fault manager reclaims them during recovery.
+        self._orphaned_spills: list[str] = []
         #: Clock time at which :meth:`begin_drain` was called (None = never).
         self.drain_started_at: float | None = None
         self._lock = threading.RLock()
@@ -170,20 +177,54 @@ class AftNode:
             self.bootstrap()
         with self._lock:
             self._draining = False
+            self._retired = False
             self.drain_started_at = None
             self._running = True
 
     def stop(self) -> None:
-        """Take the node offline.  In-flight transactions are lost (Section 3.3.1)."""
+        """Take the node offline.  In-flight transactions are lost (Section 3.3.1).
+
+        Spilled-but-uncommitted storage keys are remembered in
+        :attr:`_orphaned_spills` (no commit record references them); the
+        fault manager reclaims them via :meth:`reclaim_spilled_orphans`.
+        """
         self._running = False
         with self._lock:
             self._transactions.clear()
+        orphans: list[str] = []
         for uuid in list(self.write_buffer.open_transactions()):
-            self.write_buffer.discard(uuid)
+            orphans.extend(self.write_buffer.discard(uuid))
+        if orphans:
+            with self._lock:
+                self._orphaned_spills.extend(orphans)
 
     def fail(self) -> None:
         """Simulate a crash: identical to :meth:`stop` but kept separate for clarity."""
         self.stop()
+
+    def retire(self) -> None:
+        """Leave the cluster gracefully (scale-down): flagged so failure
+        detection never mistakes the retirement for a crash."""
+        with self._lock:
+            self._retired = True
+        self.stop()
+
+    @property
+    def was_retired(self) -> bool:
+        return self._retired
+
+    def reclaim_spilled_orphans(self) -> list[str]:
+        """Return (and clear) the orphaned spill keys left by stop/fail.
+
+        Called by the fault manager during recovery — the write-buffer
+        custody handover: the keys are durable garbage no commit record
+        points at, so the surviving quorum deletes them instead of waiting
+        for them to age out.
+        """
+        with self._lock:
+            orphans = self._orphaned_spills
+            self._orphaned_spills = []
+            return orphans
 
     def begin_drain(self) -> None:
         """Enter the graceful scale-down path.

@@ -570,6 +570,7 @@ def run_fault_tolerance_experiment(
         "recovered_fraction": recovered / pre_failure if pre_failure else 0.0,
         "fail_at": fail_at,
         "rejoin_at": rejoin_time,
+        "recovery_breakdown": result.recovery_breakdown,
         "paper": paper_data.FIGURE10_FAULT_TOLERANCE,
     }
 

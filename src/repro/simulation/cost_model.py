@@ -76,6 +76,53 @@ class DeploymentCostModel:
     #: Time a drained node takes to hand its GC set to the fault manager,
     #: flush unbroadcast commits, and leave the multicast group.
     node_stop_delay: float = 0.5
+    #: Dispatch cost of fanning a liveness sweep or recovery out to the
+    #: fault-manager shards (partitioning the id list, scheduling).
+    fault_shard_fanout_overhead: float = 0.0005
+    #: Per-shard fixed cost of one liveness sweep (listing its Commit Set
+    #: slice, loading the cursor and watermark).
+    fault_scan_base_latency: float = 0.002
+    #: Per id examined in memory by a sweep (digest lookups — the cost the
+    #: watermark bounds, since ids below it are skipped wholesale).
+    fault_scan_per_examined: float = 0.000002
+    #: Per commit record fetched from storage by a sweep; batched IO-plan
+    #: reads amortize the round trip, leaving mostly deserialisation.
+    fault_scan_per_record: float = 0.00025
+    #: Per-shard fixed cost of a node-failure recovery replay.
+    recovery_base_latency: float = 0.01
+    #: Per recovered commit replayed to the surviving nodes.
+    recovery_per_commit: float = 0.0008
+
+    def fault_scan_latency(self, shard_costs: list[tuple[int, int, int]]) -> float:
+        """Charged latency of one liveness sweep over the given shards.
+
+        ``shard_costs`` holds ``(examined, fetched, recovered)`` per shard.
+        Shards sweep concurrently, so the sweep costs the *slowest* shard
+        plus a fan-out overhead; a single entry (the singleton reference)
+        degenerates to the sequential cost with no fan-out.
+        """
+        if not shard_costs:
+            return 0.0
+        per_shard = [
+            self.fault_scan_base_latency
+            + self.fault_scan_per_examined * examined
+            + self.fault_scan_per_record * fetched
+            + self.recovery_per_commit * recovered
+            for examined, fetched, recovered in shard_costs
+        ]
+        fanout = self.fault_shard_fanout_overhead if len(shard_costs) > 1 else 0.0
+        return fanout + max(per_shard)
+
+    def recovery_latency(self, per_shard_recovered: list[int], orphan_spills: int = 0) -> float:
+        """Charged latency of a parallel node-failure recovery replay."""
+        if not per_shard_recovered:
+            per_shard_recovered = [0]
+        per_shard = [
+            self.recovery_base_latency + self.recovery_per_commit * recovered
+            for recovered in per_shard_recovered
+        ]
+        fanout = self.fault_shard_fanout_overhead if len(per_shard_recovered) > 1 else 0.0
+        return fanout + max(per_shard) + self.fault_scan_per_record * orphan_spills
 
     def with_overrides(self, **overrides) -> "DeploymentCostModel":
         return replace(self, **overrides)
