@@ -1,0 +1,247 @@
+"""Ablation — direct vs sharded commit-stream transports (metadata plane).
+
+Isolates the §4 commit multicast: the cost a *committing node* pays to get
+its round's commit records to every peer, at 4/16/64 nodes, with and without
+the §4.1 supersedence pruning.
+
+* ``direct`` — the seed transport: the publisher hands the batch to every
+  live peer itself, so its per-round cost grows with the fleet.
+* ``sharded`` — receivers ordered on the consistent-hash ring and arranged
+  into a relay tree of degree ``RELAY_FANOUT``; the publisher contacts only
+  the relay roots and interior relays forward the rest, so sender-side cost
+  is O(fan-out) regardless of fleet size.
+
+Costs are *charged* from the deployment cost model
+(:meth:`~repro.simulation.cost_model.DeploymentCostModel.multicast_send_latency`):
+per receiver the publisher contacts directly plus per record it serialises.
+Both transports must deliver every broadcast record to every live peer — the
+benchmark asserts it — so the comparison is pure transport mechanism.
+
+A second section measures the partitioned commit keyspace: the same commit
+history swept by a sharded fault manager through per-shard *prefix listings*
+(storage-op counters prove no full-keyspace scan is issued).
+
+Results are printed, persisted as text, and emitted machine-readable to
+``benchmarks/results/BENCH_multicast.json`` for the CI perf-trend gate,
+which holds a hard floor on the 64-node sender-cost improvement.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.clock import LogicalClock
+from repro.config import AftConfig, FaultManagerConfig
+from repro.core.commit_set import CommitSetStore
+from repro.core.fault_manager import FaultManager
+from repro.core.metadata_plane import make_commit_keyspace, make_commit_stream
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.simulation.cost_model import DeploymentCostModel
+from repro.storage.memory import InMemoryStorage
+
+NODE_COUNTS = (4, 16, 64)
+RELAY_FANOUT = 4
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+#: Commits the sender makes before one multicast round fires.
+COMMITS_PER_ROUND = 60 if not FAST_MODE else 24
+#: Hot-key pool: with pruning on, most commits are superseded before the
+#: round and drop out of the broadcast (§4.1).
+KEY_POOL = 12
+#: Acceptance: the sharded transport must cut the 64-node sender-side cost
+#: by at least this factor (the CI gate's hard floor).
+SENDER_COST_BOUND = 3.0
+#: History size for the partitioned-sweep section.
+SWEEP_HISTORY = 2_000 if not FAST_MODE else 600
+
+
+def run_round(num_nodes: int, transport: str, prune: bool, cost_model: DeploymentCostModel) -> dict:
+    """One multicast round from one busy sender in an ``num_nodes`` fleet."""
+    clock = LogicalClock(start=100.0, auto_step=0.001)
+    storage = InMemoryStorage()
+    store = CommitSetStore(storage)
+    stream = make_commit_stream(transport, relay_fanout=RELAY_FANOUT)
+    multicast = MulticastService(prune_superseded=prune, stream=stream)
+    config = AftConfig(prune_superseded_broadcasts=prune)
+    nodes = []
+    for index in range(num_nodes):
+        node = AftNode(storage, commit_store=store, config=config, clock=clock, node_id=f"mc{index}")
+        node.start()
+        multicast.register_node(node)
+        nodes.append(node)
+
+    sender = nodes[0]
+    committed = []
+    for index in range(COMMITS_PER_ROUND):
+        txid = sender.start_transaction()
+        sender.put(txid, f"mkey{index % KEY_POOL}", f"v{index}".encode())
+        committed.append(sender.commit_transaction(txid))
+
+    broadcast = multicast.run_once()
+
+    # Delivery contract: every broadcast record reached every live peer.
+    newest = committed[-1]
+    for receiver in nodes[1:]:
+        assert newest in receiver.metadata_cache, (
+            f"{transport} transport lost the newest record at {num_nodes} nodes"
+        )
+    if not prune:
+        assert broadcast == COMMITS_PER_ROUND
+
+    stats = stream.stats
+    return {
+        "records_broadcast": broadcast,
+        "records_pruned": multicast.stats.records_pruned,
+        "sender_deliveries": stats.sender_deliveries,
+        "relay_deliveries": stats.relay_deliveries,
+        "sender_records_on_wire": stats.sender_records_on_wire,
+        "relay_records_on_wire": stats.relay_records_on_wire,
+        "records_on_wire": stats.records_on_wire,
+        "charged_sender_cost_s": cost_model.multicast_send_latency(
+            stats.sender_deliveries, stats.sender_records_on_wire
+        ),
+    }
+
+
+def run_partitioned_sweep(cost_model: DeploymentCostModel) -> dict:
+    """Per-shard prefix listings vs the flat full-keyspace scan."""
+    from repro.core.commit_set import CommitRecord
+    from repro.ids import TransactionId, data_key
+
+    def history(store: CommitSetStore) -> None:
+        for index in range(SWEEP_HISTORY):
+            txid = TransactionId(timestamp=float(index), uuid=f"sw{index:05d}")
+            key = f"swkey{index % 256}"
+            store.write_record(
+                CommitRecord(txid=txid, write_set={key: data_key(key, txid)})
+            )
+
+    config = FaultManagerConfig(num_shards=4)
+    out = {}
+    for mode in ("flat", "partitioned"):
+        storage = InMemoryStorage()
+        keyspace = make_commit_keyspace(
+            mode, num_partitions=config.num_shards, hash_ring_replicas=config.hash_ring_replicas
+        )
+        store = CommitSetStore(storage, keyspace=keyspace)
+        history(store)
+        manager = FaultManager(storage, store, MulticastService(), config=config)
+        recovered = manager.scan_commit_set()
+        assert len(recovered) == SWEEP_HISTORY
+        out[mode] = {
+            "partition_listings": store.stats.partition_listings,
+            "full_listings": store.stats.full_listings,
+            "legacy_listings": store.stats.legacy_listings,
+            "storage_list_ops": storage.stats.lists,
+            "charged_scan_s": cost_model.fault_scan_latency(
+                manager.last_scan_report.shard_costs()
+            ),
+        }
+    # The acceptance criterion: partitioned sweeps are prefix listings only.
+    assert out["partitioned"]["full_listings"] == 0
+    assert out["partitioned"]["partition_listings"] == config.num_shards
+    assert out["flat"]["partition_listings"] == 0
+    return out
+
+
+def run_multicast_ablation() -> dict:
+    cost_model = DeploymentCostModel()
+    by_nodes: dict = {}
+    for num_nodes in NODE_COUNTS:
+        entry: dict = {}
+        for prune, label in ((True, "pruned"), (False, "unpruned")):
+            direct = run_round(num_nodes, "direct", prune, cost_model)
+            sharded = run_round(num_nodes, "sharded", prune, cost_model)
+            entry[label] = {
+                "direct": direct,
+                "sharded": sharded,
+                "sender_cost_improvement": (
+                    direct["charged_sender_cost_s"] / sharded["charged_sender_cost_s"]
+                ),
+                "sender_wire_reduction": (
+                    direct["sender_records_on_wire"] / max(1, sharded["sender_records_on_wire"])
+                ),
+            }
+        by_nodes[str(num_nodes)] = entry
+    return {"by_nodes": by_nodes, "partitioned_sweep": run_partitioned_sweep(cost_model)}
+
+
+def test_ablation_multicast(benchmark):
+    results = run_once(benchmark, run_multicast_ablation)
+
+    from repro.harness.report import format_rows
+
+    rows = []
+    for num_nodes, entry in results["by_nodes"].items():
+        for label in ("pruned", "unpruned"):
+            cell = entry[label]
+            rows.append(
+                {
+                    "nodes": num_nodes,
+                    "pruning": label,
+                    "bcast": cell["direct"]["records_broadcast"],
+                    "direct_send_ms": cell["direct"]["charged_sender_cost_s"] * 1e3,
+                    "sharded_send_ms": cell["sharded"]["charged_sender_cost_s"] * 1e3,
+                    "improvement": cell["sender_cost_improvement"],
+                    "wire_total_sharded": cell["sharded"]["records_on_wire"],
+                }
+            )
+    emit(
+        "ablation_multicast",
+        format_rows(
+            rows,
+            [
+                "nodes",
+                "pruning",
+                "bcast",
+                "direct_send_ms",
+                "sharded_send_ms",
+                "improvement",
+                "wire_total_sharded",
+            ],
+            title="Ablation: direct vs sharded commit streams (charged sender-side cost)",
+        ),
+    )
+    emit_json(
+        "BENCH_multicast",
+        {
+            "workload": {
+                "commits_per_round": COMMITS_PER_ROUND,
+                "key_pool": KEY_POOL,
+                "relay_fanout": RELAY_FANOUT,
+                "sweep_history": SWEEP_HISTORY,
+                "fast_mode": FAST_MODE,
+            },
+            "by_nodes": results["by_nodes"],
+            "partitioned_sweep": results["partitioned_sweep"],
+            "sender_cost_bound": SENDER_COST_BOUND,
+        },
+    )
+
+    # Acceptance / CI regression gates.
+    at_64 = results["by_nodes"]["64"]
+    for label in ("pruned", "unpruned"):
+        assert at_64[label]["sender_cost_improvement"] >= SENDER_COST_BOUND, (
+            f"sharded stream sender-cost regression at 64 nodes ({label}): "
+            f"{at_64[label]['sender_cost_improvement']:.2f}x (gate: {SENDER_COST_BOUND}x)"
+        )
+    # Sender cost must be flat in fleet size for the sharded transport once
+    # the fleet exceeds the relay degree: the 64-node sender pays exactly
+    # what the 16-node sender pays, and never more than the fan-out bound.
+    for label in ("pruned", "unpruned"):
+        assert (
+            results["by_nodes"]["64"][label]["sharded"]["charged_sender_cost_s"]
+            <= results["by_nodes"]["16"][label]["sharded"]["charged_sender_cost_s"] * 1.01
+        )
+        for num_nodes in results["by_nodes"]:
+            assert (
+                results["by_nodes"][num_nodes][label]["sharded"]["sender_deliveries"]
+                <= RELAY_FANOUT
+            )
+    # Pruning still pulls its weight on either transport (§4.1).
+    pruned = results["by_nodes"]["64"]["pruned"]
+    unpruned = results["by_nodes"]["64"]["unpruned"]
+    assert pruned["sharded"]["records_on_wire"] < unpruned["sharded"]["records_on_wire"]
+    assert pruned["direct"]["records_on_wire"] < unpruned["direct"]["records_on_wire"]

@@ -158,6 +158,19 @@ GATED: dict[str, FileSpec] = {
         ),
         scale_marker="workload.fast_mode",
     ),
+    "BENCH_multicast.json": FileSpec(
+        metrics=(
+            # The sender-cost improvement is a pure count ratio (deliveries +
+            # records on the wire), so it is scale-robust; the floor is the
+            # acceptance criterion: sharded must cut the 64-node sender cost
+            # by >= 3x over direct fan-out.
+            Metric("by_nodes.64.pruned.sender_cost_improvement", HIGHER, 0.20, floor=3.0),
+            Metric("by_nodes.64.unpruned.sender_cost_improvement", HIGHER, 0.20, floor=3.0),
+            # Partitioned sweeps must never fall back to full-keyspace scans.
+            Metric("partitioned_sweep.partitioned.full_listings", LOWER, 0.0, ceiling=0.0),
+        ),
+        scale_marker="workload.fast_mode",
+    ),
 }
 
 

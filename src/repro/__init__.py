@@ -16,7 +16,13 @@ inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured results.
 """
 
 from repro.clock import Clock, CounterClock, LogicalClock, OffsetClock, SystemClock
-from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig, DEFAULT_CONFIG
+from repro.config import (
+    AftConfig,
+    AutoscalerPolicy,
+    ClusterConfig,
+    DEFAULT_CONFIG,
+    MetadataPlaneConfig,
+)
 from repro.core import (
     AftCluster,
     AftNode,
@@ -52,6 +58,7 @@ __all__ = [
     "GroupCommitter",
     "IOPlan",
     "AftConfig",
+    "MetadataPlaneConfig",
     "AutoscalerPolicy",
     "ClusterConfig",
     "DEFAULT_CONFIG",

@@ -291,6 +291,83 @@ class FaultManagerConfig:
 
 
 @dataclass(frozen=True)
+class MetadataPlaneConfig:
+    """Strategy selection for the pluggable metadata plane (Section 4).
+
+    Each knob names one of the strategies in
+    :mod:`repro.core.metadata_plane`; the defaults reproduce the seed's
+    hardwired singletons bit-for-bit.
+
+    Attributes
+    ----------
+    transport:
+        Commit-stream transport: ``"direct"`` (the publisher delivers to
+        every peer itself, the seed behaviour) or ``"sharded"`` (receivers
+        arranged into a hash-ring-ordered relay tree; sender-side cost is
+        bounded by ``relay_fanout`` instead of growing with the fleet).
+    relay_fanout:
+        Degree of the sharded transport's relay tree (ignored by
+        ``"direct"``).
+    membership:
+        Failure detector: ``"polling"`` (ground-truth ``is_running`` checks,
+        the seed behaviour) or ``"lease"`` (heartbeat/lease liveness —
+        detection is delayed by up to ``lease_duration``, which the
+        simulator charges from the deployment cost model).
+    lease_duration:
+        Seconds a lease survives without a heartbeat renewal.
+    heartbeat_interval:
+        Seconds between lease renewals.  Heartbeats piggyback on the
+        multicast cadence in this repro, so the effective interval is
+        ``max(heartbeat_interval, multicast_interval)``; the knob exists so
+        the cost model can charge detection delay independently.
+    keyspace:
+        Commit-record layout: ``"flat"`` (the single ``aft.commit`` prefix)
+        or ``"partitioned"`` (one prefix per fault-manager shard, turning
+        each shard's sweep into a prefix listing; legacy flat records stay
+        readable through the migration shim).
+    """
+
+    transport: str = "direct"
+    relay_fanout: int = 4
+    membership: str = "polling"
+    lease_duration: float = 5.0
+    heartbeat_interval: float = 1.0
+    keyspace: str = "flat"
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("direct", "sharded"):
+            raise ValueError(f"unknown commit-stream transport {self.transport!r}")
+        if self.membership not in ("polling", "lease"):
+            raise ValueError(f"unknown membership mode {self.membership!r}")
+        if self.keyspace not in ("flat", "partitioned"):
+            raise ValueError(f"unknown commit-keyspace mode {self.keyspace!r}")
+        if self.relay_fanout < 1:
+            raise ValueError("relay_fanout must be >= 1")
+        if self.lease_duration <= 0:
+            raise ValueError("lease_duration must be > 0")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.membership == "lease" and self.lease_duration <= self.heartbeat_interval:
+            raise ValueError(
+                "lease_duration must exceed heartbeat_interval, or every "
+                "lease expires between renewals and live nodes flap failed"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "MetadataPlaneConfig":
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "transport": self.transport,
+            "relay_fanout": self.relay_fanout,
+            "membership": self.membership,
+            "lease_duration": self.lease_duration,
+            "heartbeat_interval": self.heartbeat_interval,
+            "keyspace": self.keyspace,
+        }
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Tunables of a distributed AFT deployment (Section 4).
 
@@ -311,6 +388,7 @@ class ClusterConfig:
     hash_ring_replicas: int = 100
     autoscaler: AutoscalerPolicy | None = None
     fault_manager: FaultManagerConfig = field(default_factory=FaultManagerConfig)
+    metadata_plane: MetadataPlaneConfig = field(default_factory=MetadataPlaneConfig)
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def with_overrides(self, **overrides: Any) -> "ClusterConfig":

@@ -29,6 +29,18 @@ from repro.core.load_balancer import (
     make_load_balancer,
 )
 from repro.core.metadata_cache import CommitSetCache, MetadataSnapshot
+from repro.core.metadata_plane import (
+    CommitKeyspace,
+    CommitStream,
+    DirectCommitStream,
+    FlatCommitKeyspace,
+    LeaseMembership,
+    MembershipEvent,
+    MembershipService,
+    PartitionedCommitKeyspace,
+    PollingMembership,
+    ShardedCommitStream,
+)
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode, NodeStats
 from repro.core.read_protocol import (
@@ -78,6 +90,16 @@ __all__ = [
     "GroupCommitStats",
     "PendingCommit",
     "MulticastService",
+    "CommitStream",
+    "DirectCommitStream",
+    "ShardedCommitStream",
+    "MembershipService",
+    "MembershipEvent",
+    "PollingMembership",
+    "LeaseMembership",
+    "CommitKeyspace",
+    "FlatCommitKeyspace",
+    "PartitionedCommitKeyspace",
     "FaultManager",
     "FaultManagerShard",
     "SeenDigest",

@@ -31,6 +31,11 @@ from repro.core.commit_set import CommitSetStore
 from repro.core.fault_manager import FaultManager
 from repro.core.garbage_collector import LocalMetadataGC
 from repro.core.load_balancer import LoadBalancer, make_load_balancer
+from repro.core.metadata_plane import (
+    make_commit_keyspace,
+    make_commit_stream,
+    make_membership,
+)
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode
 from repro.core.session import TransactionSession
@@ -70,15 +75,46 @@ class AftCluster:
         self.cluster_config = cluster_config if cluster_config is not None else ClusterConfig()
         self.node_config = node_config if node_config is not None else self.cluster_config.node_config
         self.storage = storage
-        self.commit_store = CommitSetStore(commit_storage if commit_storage is not None else storage)
         self.clock = clock if clock is not None else SystemClock()
 
-        self.multicast = MulticastService(prune_superseded=self.node_config.prune_superseded_broadcasts)
+        # The metadata plane: commit-record keyspace, commit-stream
+        # transport, and failure-detection membership are swappable
+        # strategies (the defaults reproduce the seed's hardwired
+        # singletons).  The keyspace is partitioned on the fault manager's
+        # shard ids so each shard's sweep is a prefix listing.
+        plane = self.cluster_config.metadata_plane
+        # Lease renewal rides the multicast cadence, so the *effective*
+        # heartbeat interval is the slower of the two; a lease shorter than
+        # that would lapse between renewals and flap every live node failed.
+        if plane.membership == "lease":
+            renewal = max(plane.heartbeat_interval, self.node_config.multicast_interval)
+            if plane.lease_duration <= renewal:
+                raise ValueError(
+                    f"lease_duration ({plane.lease_duration}s) must exceed the "
+                    f"effective heartbeat cadence ({renewal}s = max(heartbeat_interval, "
+                    "multicast_interval)), or leases expire between renewals"
+                )
+        keyspace = make_commit_keyspace(
+            plane.keyspace,
+            num_partitions=self.cluster_config.fault_manager.num_shards,
+            hash_ring_replicas=self.cluster_config.fault_manager.hash_ring_replicas,
+        )
+        self.commit_store = CommitSetStore(
+            commit_storage if commit_storage is not None else storage, keyspace=keyspace
+        )
+        self.membership = make_membership(
+            plane.membership, clock=self.clock, lease_duration=plane.lease_duration
+        )
+        self.multicast = MulticastService(
+            prune_superseded=self.node_config.prune_superseded_broadcasts,
+            stream=make_commit_stream(plane.transport, relay_fanout=plane.relay_fanout),
+        )
         self.fault_manager = FaultManager(
             data_storage=storage,
             commit_store=self.commit_store,
             multicast=self.multicast,
             config=self.cluster_config.fault_manager,
+            membership=self.membership,
         )
         if load_balancer is not None:
             self.load_balancer = load_balancer
@@ -142,6 +178,7 @@ class AftCluster:
             self._nodes.append(node)
             self._local_gcs[node.node_id] = LocalMetadataGC(node)
         self.multicast.register_node(node)
+        self.membership.register(node)
         self.load_balancer.add_node(node)
         self.stats.nodes_added += 1
         return node
@@ -157,6 +194,7 @@ class AftCluster:
                 self._nodes.remove(node)
             self._local_gcs.pop(node.node_id, None)
         self.multicast.unregister_node(node)
+        self.membership.deregister(node)
         self.load_balancer.remove_node(node)
 
     def replace_failed_nodes(self) -> list[AftNode]:
@@ -170,6 +208,15 @@ class AftCluster:
         starts.
         """
         failed = self.fault_manager.detect_failures(self.nodes)
+        # The membership service records one event per declaration; draining
+        # the log here (rather than re-polling later) is what downstream
+        # consumers key off — the simulator's recovery breakdown reads the
+        # counter, and the event timestamps carry the lease-detection delay.
+        events = self.membership.poll_events()
+        if events:
+            self.stats.extra["membership_failure_events"] = self.stats.extra.get(
+                "membership_failure_events", 0.0
+            ) + len(events)
         with self._lock:
             # Claim the failed nodes atomically: a node retired (or claimed
             # by a concurrent replace call) is no longer a member, and
@@ -182,6 +229,7 @@ class AftCluster:
         replacements: list[AftNode] = []
         for node in claimed:
             self.multicast.unregister_node(node)
+            self.membership.deregister(node)
             self.load_balancer.remove_node(node)
             self.fault_manager.recover_node_failure(node)
             self.fault_manager.request_replacement()
@@ -233,6 +281,7 @@ class AftCluster:
             self._nodes.append(node)
             self._local_gcs[node.node_id] = LocalMetadataGC(node)
         self.multicast.register_node(node)
+        self.membership.register(node)
         self.load_balancer.add_node(node)
         self.stats.nodes_promoted += 1
         return node
@@ -298,6 +347,11 @@ class AftCluster:
             )
             self.remove_node(node)
             node.retire()
+            # A node that crashed mid-drain (or whose force-aborted
+            # stragglers had spilled) leaves durable spill keys no commit
+            # record references; retirement reclaims them just as failure
+            # recovery would.
+            self.fault_manager.reclaim_orphan_spills(node)
             self.stats.nodes_retired += 1
             retired.append(node)
             with self._lock:
@@ -324,6 +378,12 @@ class AftCluster:
     # ------------------------------------------------------------------ #
     def run_multicast_round(self) -> int:
         self.stats.multicast_rounds += 1
+        # Heartbeats piggyback on the multicast cadence: every running node
+        # renews its lease as part of the round it participates in (a no-op
+        # under polling membership).
+        now = self.clock.now()
+        for node in self.live_nodes():
+            self.membership.heartbeat(node, now)
         return self.multicast.run_once()
 
     def run_local_gc(self) -> dict[str, list[TransactionId]]:

@@ -11,6 +11,18 @@ last, so a record always points at durable data.
 :class:`CommitSetStore` wraps any :class:`~repro.storage.base.StorageEngine`
 and provides record read/write/scan/delete on top of it.  It can share the
 engine with transaction data (the common deployment) or use a separate one.
+
+Where records live is a strategy — a
+:class:`~repro.core.metadata_plane.keyspace.CommitKeyspace`.  The default
+:class:`~repro.core.metadata_plane.keyspace.FlatCommitKeyspace` is the
+seed's single ``aft.commit`` prefix; a
+:class:`~repro.core.metadata_plane.keyspace.PartitionedCommitKeyspace`
+range-partitions records into one prefix per fault-manager shard so a
+shard's sweep is a prefix listing (``list_transaction_ids(partition=...)``)
+instead of a client-side partition of a full scan.  Records written before
+partitioning was enabled stay readable through a migration shim: reads and
+listings fall back to the legacy flat prefix until the store observes that
+prefix empty, after which the fallback costs nothing.
 """
 
 from __future__ import annotations
@@ -20,7 +32,14 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
-from repro.ids import TransactionId, commit_record_key, is_commit_record_key, parse_commit_record_key
+from repro.core.metadata_plane.keyspace import CommitKeyspace, FlatCommitKeyspace
+from repro.ids import (
+    COMMIT_PREFIX,
+    TransactionId,
+    commit_record_key,
+    is_commit_record_key,
+    parse_commit_record_key,
+)
 from repro.storage.base import StorageEngine
 
 
@@ -94,23 +113,86 @@ class CommitRecord:
         )
 
 
+@dataclass
+class CommitStoreStats:
+    """Listing/shim counters (how a partitioned store proves its access shape)."""
+
+    #: Prefix-scoped listings of one partition (the partitioned fast path).
+    partition_listings: int = 0
+    #: Listings that had to walk the whole keyspace (every partition).
+    full_listings: int = 0
+    #: Reads served by the legacy flat prefix after a partitioned miss.
+    legacy_fallback_reads: int = 0
+    #: Legacy-prefix listings issued by the migration shim.
+    legacy_listings: int = 0
+
+
 class CommitSetStore:
     """Durable storage for commit records, backed by a storage engine."""
 
-    def __init__(self, engine: StorageEngine) -> None:
+    def __init__(self, engine: StorageEngine, keyspace: CommitKeyspace | None = None) -> None:
         self._engine = engine
+        self.keyspace = keyspace if keyspace is not None else FlatCommitKeyspace()
+        self.stats = CommitStoreStats()
+        #: Migration shim: whether the legacy flat prefix may still hold
+        #: records.  Irrelevant for a flat keyspace (the flat prefix *is* the
+        #: keyspace); a partitioned store probes the prefix once up front —
+        #: a born-partitioned deployment latches the shim off immediately
+        #: instead of paying doubled point-ops until the first sweep — and
+        #: latches False permanently once a legacy listing comes back empty,
+        #: since new writes all land in partition prefixes.
+        self._legacy_may_exist = not isinstance(self.keyspace, FlatCommitKeyspace)
+        if self._legacy_may_exist:
+            self.stats.legacy_listings += 1
+            self._legacy_may_exist = bool(self._engine.list_keys(prefix=COMMIT_PREFIX))
 
     @property
     def engine(self) -> StorageEngine:
         return self._engine
 
+    # ------------------------------------------------------------------ #
+    # Key placement
+    # ------------------------------------------------------------------ #
+    def record_storage_key(self, txid: TransactionId) -> str:
+        """Where ``txid``'s commit record lives under this store's keyspace.
+
+        The commit protocol (and the group committer) build their two-stage
+        plans with this, so partitioning the keyspace re-routes the write
+        path with no protocol change.
+        """
+        return self.keyspace.record_key(txid)
+
+    def record_delete_keys(self, txid: TransactionId) -> list[str]:
+        """Every storage key a delete of ``txid``'s record must cover.
+
+        Under a partitioned keyspace a record written before the migration
+        lives at the legacy flat key, so the delete targets both positions
+        until the legacy prefix is known empty (deleting a missing key is a
+        no-op on every engine).
+        """
+        keys = [self.keyspace.record_key(txid)]
+        legacy = commit_record_key(txid)
+        if self._legacy_may_exist and legacy != keys[0]:
+            keys.append(legacy)
+        return keys
+
+    def partitions(self) -> list[str]:
+        return self.keyspace.partitions()
+
+    # ------------------------------------------------------------------ #
+    # Point operations
+    # ------------------------------------------------------------------ #
     def write_record(self, record: CommitRecord) -> None:
         """Persist ``record``.  Acknowledgement implies durability."""
-        self._engine.put(commit_record_key(record.txid), record.to_bytes())
+        self._engine.put(self.record_storage_key(record.txid), record.to_bytes())
 
     def read_record(self, txid: TransactionId) -> CommitRecord | None:
         """Return the commit record for ``txid`` or ``None`` if absent."""
-        data = self._engine.get(commit_record_key(txid))
+        data = self._engine.get(self.record_storage_key(txid))
+        if data is None and self._legacy_may_exist:
+            data = self._engine.get(commit_record_key(txid))
+            if data is not None:
+                self.stats.legacy_fallback_reads += 1
         if data is None:
             return None
         return CommitRecord.from_bytes(data)
@@ -122,30 +204,113 @@ class CommitSetStore:
         through this instead of one :meth:`read_record` round trip per id;
         the engine maps the stage onto its native batching.  Missing records
         map to ``None`` (the caller decides whether that is a GC race or a
-        torn write to retry).
+        torn write to retry).  Under the migration shim, partitioned misses
+        are retried once against the legacy flat prefix in a second stage.
         """
         if not txids:
             return {}
         from repro.core.io_plan import IOPlan
 
-        keys = {txid: commit_record_key(txid) for txid in txids}
+        keys = {txid: self.record_storage_key(txid) for txid in txids}
         values = self._engine.execute_plan(IOPlan.reads(keys.values(), name="commit-record-fetch")).values
         out: dict[TransactionId, CommitRecord | None] = {}
+        misses: dict[TransactionId, str] = {}
         for txid, key in keys.items():
             data = values.get(key)
+            if data is None and self._legacy_may_exist:
+                legacy = commit_record_key(txid)
+                if legacy != key:
+                    misses[txid] = legacy
+                    continue
             out[txid] = CommitRecord.from_bytes(data) if data is not None else None
+        if misses:
+            legacy_values = self._engine.execute_plan(
+                IOPlan.reads(misses.values(), name="commit-record-legacy-fetch")
+            ).values
+            for txid, key in misses.items():
+                data = legacy_values.get(key)
+                if data is not None:
+                    self.stats.legacy_fallback_reads += 1
+                out[txid] = CommitRecord.from_bytes(data) if data is not None else None
         return out
 
     def delete_record(self, txid: TransactionId) -> None:
         """Remove the commit record (used only by the global garbage collector)."""
-        self._engine.delete(commit_record_key(txid))
+        for key in self.record_delete_keys(txid):
+            self._engine.delete(key)
 
-    def list_transaction_ids(self) -> list[TransactionId]:
-        """Ids of every commit record currently in storage, oldest first."""
-        keys = self._engine.list_keys(prefix="aft.commit")
+    # ------------------------------------------------------------------ #
+    # Listings
+    # ------------------------------------------------------------------ #
+    def _legacy_transaction_ids(self) -> list[TransactionId]:
+        """Ids still parked under the legacy flat prefix (migration shim).
+
+        Latches :attr:`_legacy_may_exist` off the first time the prefix
+        lists empty, so a fully migrated (or born-partitioned) store pays
+        nothing here.
+        """
+        if not self._legacy_may_exist:
+            return []
+        self.stats.legacy_listings += 1
+        keys = self._engine.list_keys(prefix=COMMIT_PREFIX)
         ids = [parse_commit_record_key(key) for key in keys if is_commit_record_key(key)]
+        if not ids:
+            self._legacy_may_exist = False
+        return ids
+
+    def list_transaction_ids(self, partition: str | None = None) -> list[TransactionId]:
+        """Ids of commit records currently in storage, oldest first.
+
+        ``partition`` restricts the listing to one keyspace partition — a
+        single prefix-scoped storage listing (plus the legacy-prefix shim
+        while unmigrated flat records remain), which is what lets each
+        fault-manager shard sweep its slice without touching the others'.
+        """
+        if partition is None:
+            self.stats.full_listings += 1
+            ids: list[TransactionId] = []
+            for part in self.keyspace.partitions():
+                keys = self._engine.list_keys(prefix=self.keyspace.prefix_for(part))
+                ids.extend(
+                    txid
+                    for txid in (self.keyspace.parse(key) for key in keys)
+                    if txid is not None
+                )
+            ids.extend(self._legacy_transaction_ids())
+        else:
+            self.stats.partition_listings += 1
+            keys = self._engine.list_keys(prefix=self.keyspace.prefix_for(partition))
+            ids = [
+                txid for txid in (self.keyspace.parse(key) for key in keys) if txid is not None
+            ]
+            ids.extend(
+                txid
+                for txid in self._legacy_transaction_ids()
+                if self.keyspace.partition_for(txid) == partition
+            )
         ids.sort()
         return ids
+
+    def list_transaction_ids_by_partition(self) -> dict[str, list[TransactionId]]:
+        """Every partition's sorted ids, with the legacy prefix listed once.
+
+        The sweep entry point: calling :meth:`list_transaction_ids` per
+        partition would re-list the whole legacy flat prefix once *per
+        partition* while unmigrated records remain; here the shim pays one
+        legacy listing per sweep and buckets its ids by owning partition.
+        """
+        out: dict[str, list[TransactionId]] = {}
+        for partition in self.keyspace.partitions():
+            self.stats.partition_listings += 1
+            keys = self._engine.list_keys(prefix=self.keyspace.prefix_for(partition))
+            out[partition] = [
+                txid for txid in (self.keyspace.parse(key) for key in keys) if txid is not None
+            ]
+        for txid in self._legacy_transaction_ids():
+            out[self.keyspace.partition_for(txid)].append(txid)
+        for ids in out.values():
+            ids.sort()
+        return out
 
     def scan(self, limit: int | None = None, newest_first: bool = True) -> list[CommitRecord]:
         """Read commit records from storage.
@@ -168,7 +333,11 @@ class CommitSetStore:
 
     def contains(self, txid: TransactionId) -> bool:
         """Return True if a commit record exists for ``txid``."""
-        return self._engine.contains(commit_record_key(txid))
+        key = self.record_storage_key(txid)
+        if self._engine.contains(key):
+            return True
+        legacy = commit_record_key(txid)
+        return self._legacy_may_exist and legacy != key and self._engine.contains(legacy)
 
     def count(self) -> int:
         """Number of commit records currently durable."""

@@ -65,6 +65,8 @@ from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.garbage_collector import GlobalDataGC
 from repro.core.io_plan import IOPlan
 from repro.core.load_balancer import HashRing
+from repro.core.metadata_plane.keyspace import FlatCommitKeyspace, fault_manager_partition_ids
+from repro.core.metadata_plane.membership import MembershipService, PollingMembership
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode
 from repro.core.sweep import SweepCursor
@@ -345,22 +347,35 @@ class FaultManager:
         multicast: MulticastService,
         gc_max_deletes_per_round: int | None = None,
         config: FaultManagerConfig | None = None,
+        membership: MembershipService | None = None,
     ) -> None:
         self.data_storage = data_storage
         self.commit_store = commit_store
         self.multicast = multicast
         self.config = config if config is not None else FaultManagerConfig()
+        #: The failure detector.  The default polling service reproduces the
+        #: seed's ``is_running`` check; a lease service makes detection an
+        #: observed (and charged) delay instead of ground truth.
+        self.membership = membership if membership is not None else PollingMembership()
         self.global_gc = GlobalDataGC(
             data_storage=data_storage,
             commit_store=commit_store,
             max_deletes_per_round=gc_max_deletes_per_round,
         )
-        shard_ids = [f"fm-shard-{index}" for index in range(self.config.num_shards)]
+        shard_ids = fault_manager_partition_ids(self.config.num_shards)
         self._ring = HashRing.of(shard_ids, replicas=self.config.hash_ring_replicas)
         self._shards: dict[str, FaultManagerShard] = {
             shard_id: FaultManagerShard(shard_id, commit_store, self.config) for shard_id in shard_ids
         }
         self._single_shard = self._shards[shard_ids[0]] if len(shard_ids) == 1 else None
+        #: Whether the commit keyspace is partitioned on exactly this
+        #: manager's shard ids: each shard's sweep can then list only its
+        #: own storage prefix, and id->shard routing delegates to the
+        #: keyspace so both sides always agree on ownership.
+        keyspace = commit_store.keyspace
+        self._keyspace_aligned = not isinstance(keyspace, FlatCommitKeyspace) and set(
+            keyspace.partitions()
+        ) == set(shard_ids)
         self.stats = FaultManagerStats()
         self.last_scan_report: ScanReport | None = None
         self.last_recovery_report: RecoveryReport | None = None
@@ -373,11 +388,22 @@ class FaultManager:
     def shards(self) -> list[FaultManagerShard]:
         return list(self._shards.values())
 
+    def _owner_id(self, txid: TransactionId) -> str:
+        """The shard id owning ``txid``.
+
+        With an aligned partitioned keyspace the keyspace's mapping is the
+        single source of truth (so a record always lands in the prefix its
+        sweeping shard lists); otherwise the manager's own ring decides.
+        """
+        if self._keyspace_aligned:
+            return self.commit_store.keyspace.partition_for(txid)
+        return self._ring.owner(txid.uuid)
+
     def shard_for(self, txid: TransactionId) -> FaultManagerShard:
         """The shard owning ``txid`` on the consistent-hash ring."""
         if self._single_shard is not None:
             return self._single_shard
-        return self._shards[self._ring.owner(txid.uuid)]
+        return self._shards[self._owner_id(txid)]
 
     def _partition(self, ids: list[TransactionId]) -> dict[str, list[TransactionId]]:
         """Split a sorted id list into per-shard sorted slices."""
@@ -386,7 +412,27 @@ class FaultManager:
             owned[self._single_shard.shard_id] = list(ids)
             return owned
         for txid in ids:
-            owned[self._ring.owner(txid.uuid)].append(txid)
+            owned[self._owner_id(txid)].append(txid)
+        return owned
+
+    def _owned_ids(self) -> dict[str, list[TransactionId]]:
+        """Each shard's sorted slice of durable ids a sweep could need.
+
+        With an aligned partitioned keyspace, each slice is one
+        prefix-scoped storage listing truncated below that shard's own
+        watermark — no full-keyspace scan, no client-side partitioning.
+        The flat fallback lists the whole keyspace once, skips the prefix
+        below every shard's watermark, and partitions client-side (the
+        seed's shape).  Per-shard pending reads always sit above their
+        shard's watermark, so truncation can never hide one.
+        """
+        if not self._keyspace_aligned:
+            return self._partition(self._scan_candidates())
+        owned = self.commit_store.list_transaction_ids_by_partition()
+        for shard_id, shard in self._shards.items():
+            watermark = shard.digest.watermark
+            if watermark is not None:
+                owned[shard_id] = owned[shard_id][bisect_right(owned[shard_id], watermark) :]
         return owned
 
     def _scan_candidates(self) -> list[TransactionId]:
@@ -431,7 +477,7 @@ class FaultManager:
         else:
             per_shard: dict[str, list[CommitRecord]] = {}
             for record in records:
-                per_shard.setdefault(self._ring.owner(record.txid.uuid), []).append(record)
+                per_shard.setdefault(self._owner_id(record.txid), []).append(record)
             for shard_id, shard_records in per_shard.items():
                 self._shards[shard_id].receive_commits(shard_records)
         self.global_gc.receive_commits(records)
@@ -452,7 +498,7 @@ class FaultManager:
         Recovered records are pushed to every live node and the global GC.
         """
         self.stats.commit_scans += 1
-        owned = self._partition(self._scan_candidates())
+        owned = self._owned_ids()
         recovered: list[CommitRecord] = []
         reports: list[ShardScanReport] = []
         for shard_id, shard in self._shards.items():
@@ -476,15 +522,16 @@ class FaultManager:
     # Failure detection and recovery (Sections 4.3, 6.7)
     # ------------------------------------------------------------------ #
     def detect_failures(self, nodes: list[AftNode]) -> list[AftNode]:
-        """Return the nodes that crashed (gracefully retired nodes excluded).
+        """Return the nodes the membership service declares failed.
 
-        A node retired by elastic scale-down stops running too, but its
-        state was handed over before it left — treating it as failed would
-        double-replace it when retirement races failure detection.
+        The default polling service reproduces the seed: a node is failed
+        iff it stopped running and was not gracefully retired (a retired
+        node's state was handed over before it left — treating it as failed
+        would double-replace it when retirement races failure detection).
+        A lease service instead waits for the node's lease to lapse, which
+        is how real deployments observe failures — delayed, via silence.
         """
-        failed = [
-            node for node in nodes if not node.is_running and not getattr(node, "was_retired", False)
-        ]
+        failed = self.membership.detect_failures(nodes)
         if failed:
             self.stats.failures_detected += len(failed)
         return failed
@@ -506,7 +553,7 @@ class FaultManager:
         that serves elastic scale-up.
         """
         started = time.perf_counter()
-        owned = self._partition(self._scan_candidates())
+        owned = self._owned_ids()
 
         def replay(shard: FaultManagerShard) -> tuple[list[CommitRecord], ShardScanReport]:
             return shard.scan(owned[shard.shard_id], budget=None)
@@ -529,7 +576,28 @@ class FaultManager:
             self.multicast.broadcast_records(recovered, exclude=node)
             self.global_gc.receive_commits(recovered)
 
-        orphans = []
+        reclaimed = self.reclaim_orphan_spills(node)
+
+        report = RecoveryReport(
+            node_id=node.node_id,
+            recovered=recovered,
+            per_shard_recovered=[scan_report.recovered for _, scan_report in outcomes],
+            orphan_spills_reclaimed=reclaimed,
+            wall_seconds=time.perf_counter() - started,
+        )
+        self.stats.node_recoveries += 1
+        self.last_recovery_report = report
+        return report
+
+    def reclaim_orphan_spills(self, node: AftNode) -> int:
+        """Delete a dead node's orphaned write-buffer spills in one plan.
+
+        The spills are durable storage keys no commit record references —
+        garbage the moment the node stopped.  Called both by node-failure
+        recovery and by graceful retirement (which may be finishing off a
+        node that crashed mid-drain).  Returns the number reclaimed.
+        """
+        orphans: list[str] = []
         reclaim = getattr(node, "reclaim_spilled_orphans", None)
         if reclaim is not None:
             orphans = reclaim()
@@ -539,18 +607,8 @@ class FaultManager:
             for storage_key in orphans:
                 stage.add_delete(storage_key)
             self.data_storage.execute_plan(plan)
-
-        report = RecoveryReport(
-            node_id=node.node_id,
-            recovered=recovered,
-            per_shard_recovered=[scan_report.recovered for _, scan_report in outcomes],
-            orphan_spills_reclaimed=len(orphans),
-            wall_seconds=time.perf_counter() - started,
-        )
-        self.stats.node_recoveries += 1
-        self.stats.orphan_spills_reclaimed += len(orphans)
-        self.last_recovery_report = report
-        return report
+            self.stats.orphan_spills_reclaimed += len(orphans)
+        return len(orphans)
 
     # ------------------------------------------------------------------ #
     # Graceful retirement (elastic scale-down)

@@ -32,7 +32,7 @@ from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.node import AftNode
 from repro.core.supersedence import blocked_by_readers, is_superseded
 from repro.core.sweep import SortedTxidLog, SweepCursor
-from repro.ids import TransactionId, commit_record_key
+from repro.ids import TransactionId
 from repro.storage.base import StorageEngine
 
 
@@ -261,5 +261,9 @@ class GlobalDataGC:
         record_plan = IOPlan()
         record_stage = record_plan.stage("gc-record-deletes")
         for record in records:
-            record_stage.add_delete(commit_record_key(record.txid))
+            # The store names every key the delete must cover — under a
+            # partitioned keyspace mid-migration that includes the record's
+            # possible legacy flat-prefix position.
+            for storage_key in self.commit_store.record_delete_keys(record.txid):
+                record_stage.add_delete(storage_key)
         self.commit_store.engine.execute_plan(record_plan)

@@ -34,7 +34,6 @@ from typing import Callable, Mapping
 
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.io_plan import IOPlan
-from repro.ids import commit_record_key
 from repro.storage.base import StorageEngine
 
 
@@ -205,7 +204,9 @@ class GroupCommitter:
         records: dict[str, bytes] = {}
         for pending in batch:
             data.update(pending.data)
-            records[commit_record_key(pending.record.txid)] = pending.record.to_bytes()
+            records[self._commit_store.record_storage_key(pending.record.txid)] = (
+                pending.record.to_bytes()
+            )
 
         execute_commit_plan(self._storage, self._commit_store, data, records)
 

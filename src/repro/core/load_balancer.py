@@ -36,9 +36,14 @@ import hashlib
 import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
-from repro.core.node import AftNode
 from repro.errors import NoAvailableNodeError, NodeDrainingError, NodeStoppedError
+
+if TYPE_CHECKING:  # AftNode appears in annotations only; the runtime import
+    # would close a cycle now that the commit keyspace (imported by
+    # commit_set, imported by node) shares this module's HashRing.
+    from repro.core.node import AftNode
 
 #: A routing hint: one affinity key, or the transaction's whole key set (a
 #: key-affinity balancer then picks the node owning the most of them).
@@ -70,7 +75,12 @@ class HashRing:
         self._ring: list[tuple[int, str]] = []
 
     @staticmethod
-    def _hash(value: str) -> int:
+    def point_of(value: str) -> int:
+        """The 64-bit ring point ``value`` hashes to.
+
+        Public because ring position is part of the shared-infrastructure
+        contract: the sharded commit stream orders its relay tree by it.
+        """
         digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
         return int.from_bytes(digest, "big")
 
@@ -78,7 +88,7 @@ class HashRing:
         ring: list[tuple[int, str]] = []
         for member in self._members:
             for replica in range(self.replicas):
-                ring.append((self._hash(f"{member}#{replica}"), member))
+                ring.append((self.point_of(f"{member}#{replica}"), member))
         ring.sort(key=lambda entry: entry[0])
         self._ring = ring
 
@@ -115,7 +125,7 @@ class HashRing:
         """
         if not self._ring:
             return None
-        point = self._hash(key)
+        point = self.point_of(key)
         index = bisect.bisect_right(self._ring, point, key=lambda e: e[0])
         seen: set[str] = set()
         for offset in range(len(self._ring)):

@@ -1,0 +1,114 @@
+"""The pluggable metadata plane.
+
+AFT's control plane (paper Section 4) has three jobs — disseminate commit
+metadata between nodes, detect node failures, and persist the Transaction
+Commit Set — and this package turns each into an explicit, swappable
+strategy behind a small interface:
+
+* :class:`~repro.core.metadata_plane.commit_stream.CommitStream` — how
+  pruned commit-record batches travel from a committing node to its peers.
+  :class:`DirectCommitStream` preserves the seed's singleton fan-out
+  verbatim; :class:`ShardedCommitStream` partitions receivers on the shared
+  :class:`~repro.core.load_balancer.HashRing` and fans out through an
+  interior relay tree, dropping sender-side cost from O(nodes) to
+  O(fan-out).
+* :class:`~repro.core.metadata_plane.membership.MembershipService` — how
+  node failures are detected.  :class:`PollingMembership` is the seed's
+  ``is_running`` poll; :class:`LeaseMembership` is heartbeat/lease-based
+  liveness with a configurable lease duration, the detection delay charged
+  from :class:`~repro.simulation.cost_model.DeploymentCostModel`.
+* :class:`~repro.core.metadata_plane.keyspace.CommitKeyspace` — where
+  commit records live in storage.  :class:`FlatCommitKeyspace` is the
+  legacy single ``aft.commit`` prefix; :class:`PartitionedCommitKeyspace`
+  range-partitions records into one prefix per fault-manager shard so each
+  shard's sweep (and the global GC) becomes a prefix listing instead of a
+  client-side partition of a full scan.
+
+The factories at the bottom build each strategy from a
+:class:`~repro.config.MetadataPlaneConfig`; the default
+``direct`` + ``polling`` + ``flat`` configuration is bit-identical to the
+seed's hardwired singletons.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.core.metadata_plane.commit_stream import (
+    CommitSink,
+    CommitStream,
+    CommitStreamStats,
+    DirectCommitStream,
+    ShardedCommitStream,
+)
+from repro.core.metadata_plane.keyspace import (
+    CommitKeyspace,
+    FlatCommitKeyspace,
+    PartitionedCommitKeyspace,
+    fault_manager_partition_ids,
+)
+from repro.core.metadata_plane.membership import (
+    LeaseMembership,
+    MembershipEvent,
+    MembershipService,
+    PollingMembership,
+)
+
+__all__ = [
+    "CommitKeyspace",
+    "CommitSink",
+    "CommitStream",
+    "CommitStreamStats",
+    "DirectCommitStream",
+    "FlatCommitKeyspace",
+    "LeaseMembership",
+    "MembershipEvent",
+    "MembershipService",
+    "PartitionedCommitKeyspace",
+    "PollingMembership",
+    "ShardedCommitStream",
+    "fault_manager_partition_ids",
+    "make_commit_keyspace",
+    "make_commit_stream",
+    "make_membership",
+]
+
+
+def make_commit_stream(transport: str, relay_fanout: int = 4) -> CommitStream:
+    """Build a commit stream from a ``MetadataPlaneConfig.transport`` name."""
+    transport = transport.lower()
+    if transport == "direct":
+        return DirectCommitStream()
+    if transport == "sharded":
+        return ShardedCommitStream(relay_fanout=relay_fanout)
+    raise ValueError(f"unknown commit-stream transport {transport!r}")
+
+
+def make_membership(
+    mode: str, clock: Clock, lease_duration: float = 5.0
+) -> MembershipService:
+    """Build a membership service from a ``MetadataPlaneConfig.membership`` name."""
+    mode = mode.lower()
+    if mode == "polling":
+        return PollingMembership(clock=clock)
+    if mode == "lease":
+        return LeaseMembership(lease_duration=lease_duration, clock=clock)
+    raise ValueError(f"unknown membership mode {mode!r}")
+
+
+def make_commit_keyspace(
+    mode: str, num_partitions: int = 1, hash_ring_replicas: int = 16
+) -> CommitKeyspace:
+    """Build a commit keyspace from a ``MetadataPlaneConfig.keyspace`` name.
+
+    A ``partitioned`` keyspace is constructed over the fault manager's shard
+    ids with the same ring parameters, so both sides agree on which shard
+    owns which transaction id.
+    """
+    mode = mode.lower()
+    if mode == "flat":
+        return FlatCommitKeyspace()
+    if mode == "partitioned":
+        return PartitionedCommitKeyspace(
+            fault_manager_partition_ids(num_partitions), replicas=hash_ring_replicas
+        )
+    raise ValueError(f"unknown commit-keyspace mode {mode!r}")

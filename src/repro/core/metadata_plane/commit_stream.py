@@ -1,0 +1,198 @@
+"""Commit streams: how commit-record batches reach the rest of the cluster.
+
+The seed's :class:`~repro.core.multicast.MulticastService` delivered every
+round by direct method calls from one loop — each sender paid O(nodes)
+deliveries per round (ROADMAP open item 1).  A :class:`CommitStream`
+abstracts the delivery mechanism behind a publish/subscribe surface so the
+multicast orchestration (gather, prune, forward-unpruned-to-fault-manager)
+stays put while the transport becomes a strategy:
+
+* :class:`DirectCommitStream` — the seed transport verbatim: the publisher
+  delivers to every live receiver itself.
+* :class:`ShardedCommitStream` — receivers are ordered by their position on
+  the shared consistent-hash ring and arranged into an interior relay tree
+  of degree ``relay_fanout``; a publish hands the batch to at most
+  ``relay_fanout`` relay roots and each relay forwards it down its subtree.
+  Sender-side cost drops from O(nodes) to O(fan-out) while every live
+  receiver still gets every record exactly once per publish (the §4
+  delivery contract — the hypothesis oracle asserts the resulting metadata
+  caches are identical to the direct transport's).  Ring ordering keeps the
+  tree stable under membership churn: a joining or leaving node only
+  disturbs the adjacent ring segment's subtree.
+
+Delivery is synchronous method calls either way — the simulation layer
+charges transport latency from the cost model; these classes account *who
+pays how many deliveries*, which is what the ablation benchmark and the CI
+gate measure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.load_balancer import HashRing
+
+if TYPE_CHECKING:
+    from repro.core.commit_set import CommitRecord
+    from repro.core.node import AftNode
+
+
+class CommitSink(Protocol):
+    """Anything that can ingest a batch of commit records.
+
+    Both :class:`~repro.core.node.AftNode` (pruned deliveries) and
+    :class:`~repro.core.fault_manager.FaultManager` (the unpruned §4.2 feed)
+    satisfy this — it is the typed replacement for the seed's untyped
+    ``_fault_manager_sinks: list``.
+    """
+
+    def receive_commits(self, records: list["CommitRecord"]) -> None: ...
+
+
+@dataclass
+class CommitStreamStats:
+    """Delivery accounting (the quantities the multicast ablation measures)."""
+
+    publishes: int = 0
+    #: Receiver hand-offs performed by the *publisher* itself.
+    sender_deliveries: int = 0
+    #: Receiver hand-offs performed by interior relays on the publisher's behalf.
+    relay_deliveries: int = 0
+    #: Records handed off by the publisher itself (its wire cost).
+    sender_records_on_wire: int = 0
+    #: Records forwarded by relays (the cost sharding moves off the sender).
+    relay_records_on_wire: int = 0
+    #: Records received across all receivers (len(records) x receivers).
+    records_delivered: int = 0
+
+    @property
+    def records_on_wire(self) -> int:
+        """Total records that crossed the wire (sender + relay hops)."""
+        return self.sender_records_on_wire + self.relay_records_on_wire
+
+
+class CommitStream(ABC):
+    """Publish/subscribe of commit-record batches among AFT nodes."""
+
+    #: Strategy name recorded in experiment manifests.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Subscribed receivers keyed by node id (O(1) membership changes).
+        self._receivers: dict[str, "AftNode"] = {}
+        self.stats = CommitStreamStats()
+
+    # ------------------------------------------------------------------ #
+    # Subscription
+    # ------------------------------------------------------------------ #
+    def register(self, node: "AftNode") -> None:
+        if node.node_id not in self._receivers:
+            self._receivers[node.node_id] = node
+            self._membership_changed()
+
+    def deregister(self, node: "AftNode") -> None:
+        if self._receivers.pop(node.node_id, None) is not None:
+            self._membership_changed()
+
+    def is_registered(self, node: "AftNode") -> bool:
+        return node.node_id in self._receivers
+
+    @property
+    def receivers(self) -> list["AftNode"]:
+        return list(self._receivers.values())
+
+    def _membership_changed(self) -> None:
+        """Hook for transports that precompute routing structures."""
+
+    # ------------------------------------------------------------------ #
+    # Publication
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def publish(self, records: list["CommitRecord"], exclude: "AftNode | None" = None) -> int:
+        """Deliver ``records`` to every live receiver except ``exclude``.
+
+        Returns the number of receivers reached.  Each receiver gets its own
+        list copy (receivers mutate/merge in place).
+        """
+
+    def _live_targets(self, exclude: "AftNode | None") -> list["AftNode"]:
+        # Snapshot before filtering: publishes race register/deregister in
+        # threaded use (failure recovery vs retirement), and iterating the
+        # live dict would throw mid-delivery.
+        return [
+            node
+            for node in list(self._receivers.values())
+            if node is not exclude and node.is_running
+        ]
+
+
+class DirectCommitStream(CommitStream):
+    """The seed transport: the publisher delivers to every peer itself."""
+
+    name = "direct"
+
+    def publish(self, records: list["CommitRecord"], exclude: "AftNode | None" = None) -> int:
+        if not records:
+            return 0
+        self.stats.publishes += 1
+        targets = self._live_targets(exclude)
+        for receiver in targets:
+            receiver.receive_commits(list(records))
+        self.stats.sender_deliveries += len(targets)
+        self.stats.sender_records_on_wire += len(records) * len(targets)
+        self.stats.records_delivered += len(records) * len(targets)
+        return len(targets)
+
+
+class ShardedCommitStream(CommitStream):
+    """Relay-tree fan-out over ring-ordered receivers.
+
+    The live receivers (minus the publisher) are sorted by their hash-ring
+    point and arranged into a complete ``relay_fanout``-ary tree: the
+    publisher owns the first ``relay_fanout`` hand-offs (the relay roots)
+    and each interior position owns its children's.  Every receiver appears
+    in exactly one subtree, so delivery remains exactly-once; the
+    publisher's cost is bounded by the relay degree regardless of fleet
+    size.
+
+    As the module docstring notes, this single-process transport performs
+    every hand-off itself, synchronously, in ring order (a valid
+    parent-before-child order of the tree) — the tree determines *who pays
+    which hand-off* in the stats and the charged cost model, not which
+    process executes it.  Modeling relay hops as separately failing/delayed
+    actors is a recorded ROADMAP follow-up.
+    """
+
+    name = "sharded"
+
+    def __init__(self, relay_fanout: int = 4) -> None:
+        if relay_fanout < 1:
+            raise ValueError("relay_fanout must be >= 1")
+        super().__init__()
+        self.relay_fanout = relay_fanout
+        #: Receiver ids sorted by their ring point (one point per receiver —
+        #: ordering, not load-splitting, is the goal here).
+        self._ring_order: list[str] = []
+
+    def _membership_changed(self) -> None:
+        self._ring_order = sorted(self._receivers, key=HashRing.point_of)
+
+    def publish(self, records: list["CommitRecord"], exclude: "AftNode | None" = None) -> int:
+        if not records:
+            return 0
+        self.stats.publishes += 1
+        live = {node.node_id: node for node in self._live_targets(exclude)}
+        order = [live[node_id] for node_id in list(self._ring_order) if node_id in live]
+        fanout = self.relay_fanout
+        for index, receiver in enumerate(order):
+            receiver.receive_commits(list(records))
+            if index < fanout:
+                self.stats.sender_deliveries += 1
+                self.stats.sender_records_on_wire += len(records)
+            else:
+                self.stats.relay_deliveries += 1
+                self.stats.relay_records_on_wire += len(records)
+        self.stats.records_delivered += len(records) * len(order)
+        return len(order)

@@ -1,0 +1,151 @@
+"""Commit-record keyspaces: where the Transaction Commit Set lives in storage.
+
+The seed stored every commit record under one flat ``aft.commit`` prefix, so
+any consumer that wanted a *slice* of the Commit Set — a fault-manager shard
+sweeping its portion, the global GC walking oldest-first — had to list the
+entire prefix and partition the ids client-side (ROADMAP open item 2).  A
+:class:`CommitKeyspace` makes the layout an explicit strategy:
+
+* :class:`FlatCommitKeyspace` — the legacy layout, byte-identical to the
+  seed: one prefix, one partition.
+* :class:`PartitionedCommitKeyspace` — range-partitions records into one
+  storage prefix per fault-manager shard (``aft.ckp.<shard>/<token>``),
+  assigning ids to partitions on the same consistent-hash ring the fault
+  manager uses, so a shard's sweep is a *prefix listing* of exactly its own
+  records.  Records written before partitioning was enabled stay readable
+  through the migration shim in
+  :class:`~repro.core.commit_set.CommitSetStore`, which falls back to the
+  flat prefix until it observes that prefix empty.
+
+Partition prefixes deliberately do **not** start with ``aft.commit`` so a
+legacy flat listing never pays for (or mis-parses) partitioned keys.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.load_balancer import HashRing
+from repro.ids import (
+    COMMIT_PREFIX,
+    KEY_SEPARATOR,
+    TransactionId,
+    commit_record_key,
+    is_commit_record_key,
+    parse_commit_record_key,
+)
+
+#: Prefix of every partitioned commit-record key (``aft.ckp.<partition>/...``).
+PARTITIONED_PREFIX = "aft.ckp"
+
+
+def fault_manager_partition_ids(num_partitions: int) -> list[str]:
+    """The canonical partition ids: one per fault-manager shard.
+
+    Shared by :class:`~repro.core.fault_manager.FaultManager` (shard ids) and
+    :class:`PartitionedCommitKeyspace` (prefix names) so the two always agree
+    on the id space.
+    """
+    return [f"fm-shard-{index}" for index in range(num_partitions)]
+
+
+class CommitKeyspace(ABC):
+    """Maps transaction ids to commit-record storage keys and partitions."""
+
+    #: Strategy name recorded in experiment manifests.
+    name: str = "abstract"
+
+    @abstractmethod
+    def record_key(self, txid: TransactionId) -> str:
+        """The storage key under which ``txid``'s commit record lives."""
+
+    @abstractmethod
+    def partitions(self) -> list[str]:
+        """All partition ids of this keyspace."""
+
+    @abstractmethod
+    def partition_for(self, txid: TransactionId) -> str:
+        """The partition owning ``txid``."""
+
+    @abstractmethod
+    def prefix_for(self, partition: str) -> str:
+        """The storage listing prefix holding ``partition``'s records.
+
+        Includes the trailing key separator: engines match prefixes by plain
+        ``startswith``, so without it partition ``...-1`` would swallow the
+        listings of ``...-10`` through ``...-19``.
+        """
+
+    @abstractmethod
+    def parse(self, storage_key: str) -> TransactionId | None:
+        """The id encoded in ``storage_key``, or None if it is not a record key."""
+
+
+class FlatCommitKeyspace(CommitKeyspace):
+    """The seed layout: every record under the single ``aft.commit`` prefix."""
+
+    name = "flat"
+
+    #: The flat keyspace's only partition id.
+    PARTITION = "flat"
+
+    def record_key(self, txid: TransactionId) -> str:
+        return commit_record_key(txid)
+
+    def partitions(self) -> list[str]:
+        return [self.PARTITION]
+
+    def partition_for(self, txid: TransactionId) -> str:
+        return self.PARTITION
+
+    def prefix_for(self, partition: str) -> str:
+        return COMMIT_PREFIX + KEY_SEPARATOR
+
+    def parse(self, storage_key: str) -> TransactionId | None:
+        if not is_commit_record_key(storage_key):
+            return None
+        return parse_commit_record_key(storage_key)
+
+
+class PartitionedCommitKeyspace(CommitKeyspace):
+    """One storage prefix per fault-manager shard, assigned on the shared ring.
+
+    ``partition_for`` hashes ``txid.uuid`` exactly as the fault manager's
+    shard ring does (same members, same replica count), so the records under
+    ``prefix_for(shard_id)`` are precisely the ids that shard sweeps.
+    """
+
+    name = "partitioned"
+
+    def __init__(self, partition_ids: list[str], replicas: int = 16) -> None:
+        if not partition_ids:
+            raise ValueError("a partitioned keyspace needs at least one partition")
+        self._partition_ids = list(partition_ids)
+        self._ring = HashRing.of(self._partition_ids, replicas=replicas)
+        self._single = self._partition_ids[0] if len(self._partition_ids) == 1 else None
+        self._prefixes = {
+            partition: f"{PARTITIONED_PREFIX}.{partition}{KEY_SEPARATOR}"
+            for partition in self._partition_ids
+        }
+
+    def record_key(self, txid: TransactionId) -> str:
+        return self._prefixes[self.partition_for(txid)] + txid.to_token()
+
+    def partitions(self) -> list[str]:
+        return list(self._partition_ids)
+
+    def partition_for(self, txid: TransactionId) -> str:
+        if self._single is not None:
+            return self._single
+        return self._ring.owner(txid.uuid)
+
+    def prefix_for(self, partition: str) -> str:
+        return self._prefixes[partition]
+
+    def parse(self, storage_key: str) -> TransactionId | None:
+        if not storage_key.startswith(PARTITIONED_PREFIX + "."):
+            return None
+        parts = storage_key.split(KEY_SEPARATOR)
+        if len(parts) != 2:
+            return None
+        return TransactionId.from_token(parts[1])

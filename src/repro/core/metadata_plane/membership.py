@@ -1,0 +1,182 @@
+"""Membership services: how the control plane decides a node has failed.
+
+The seed detected failures by polling ``node.is_running`` — fine for a
+simulator that *knows* the ground truth, but a real deployment only observes
+a peer through the messages it sends (ROADMAP open item 3).
+:class:`MembershipService` makes the detector a strategy:
+
+* :class:`PollingMembership` — the seed semantics verbatim: a node is failed
+  iff it stopped running and was not gracefully retired.
+* :class:`LeaseMembership` — heartbeat/lease liveness: every registered node
+  holds a lease that its heartbeats renew; a node whose lease expires
+  without renewal is declared failed.  Detection is therefore *delayed* by
+  up to the lease duration — the delay a deployment charges from
+  :meth:`~repro.simulation.cost_model.DeploymentCostModel.failure_detection_delay`
+  — and immune to the simulator's omniscience.
+
+Retired nodes are never declared failed by either service — their state was
+handed over before they left.  Draining nodes are exempt under *lease*
+membership only: a drain announcement means the retirement path owns the
+node, and an expired lease during a drain is indistinguishable from a quiet
+drain (the lease-expiry-vs-retirement race covered by the test suite), so
+the lease detector defers to ``retire_drained_nodes`` — which reclaims the
+node's orphaned spills even if it crashed mid-drain.  Polling membership
+keeps the seed's ground-truth semantics: a node that crashes mid-drain *is*
+declared failed and replaced.
+
+Every declaration is recorded once per node id as a :class:`MembershipEvent`,
+so consumers (``AftCluster.replace_failed_nodes``, the simulator's recovery
+breakdown) can consume an event log instead of re-polling.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.clock import Clock, SystemClock
+
+if TYPE_CHECKING:
+    from repro.core.node import AftNode
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One observed membership change (currently only failure declarations)."""
+
+    node_id: str
+    kind: str  # "failed"
+    at: float
+
+
+class MembershipService(ABC):
+    """Decides which nodes have failed; emits one event per declaration."""
+
+    #: Strategy name recorded in experiment manifests.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._events: list[MembershipEvent] = []
+        self._declared: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks (no-ops unless a strategy needs them)
+    # ------------------------------------------------------------------ #
+    def register(self, node: "AftNode") -> None:
+        """A node joined the cluster (grants the initial lease, if any)."""
+
+    def deregister(self, node: "AftNode") -> None:
+        """A node left the cluster (retired, replaced, or removed)."""
+        self._declared.discard(node.node_id)
+
+    def heartbeat(self, node: "AftNode", now: float | None = None) -> None:
+        """A liveness signal from ``node`` (piggybacked on multicast rounds)."""
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def detect_failures(self, nodes: list["AftNode"]) -> list["AftNode"]:
+        """The subset of ``nodes`` this service declares failed.
+
+        Retired nodes are never declared failed: their exit was announced
+        and their state handed over.  How a *draining* node's silence is
+        read is strategy-specific (see the module docstring).
+        """
+
+    def poll_events(self) -> list[MembershipEvent]:
+        """Drain the event log (each declaration appears exactly once)."""
+        events = self._events
+        self._events = []
+        return events
+
+    def _record_failures(self, failed: list["AftNode"], now: float) -> None:
+        for node in failed:
+            if node.node_id in self._declared:
+                continue
+            self._declared.add(node.node_id)
+            self._events.append(MembershipEvent(node_id=node.node_id, kind="failed", at=now))
+
+    @staticmethod
+    def _is_exempt(node: "AftNode") -> bool:
+        """Nodes leaving gracefully are exempt from failure declaration."""
+        return bool(getattr(node, "was_retired", False)) or bool(
+            getattr(node, "is_draining", False)
+        )
+
+
+class PollingMembership(MembershipService):
+    """The seed detector: ground-truth ``is_running`` polling.
+
+    Seed semantics preserved exactly: a node that stopped running and was
+    not gracefully retired is failed — including one that crashed mid-drain
+    (the crash voids the graceful handover; replacement also reclaims the
+    node's orphaned spill keys).
+    """
+
+    name = "polling"
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        super().__init__()
+        self._clock = clock if clock is not None else SystemClock()
+
+    def detect_failures(self, nodes: list["AftNode"]) -> list["AftNode"]:
+        failed = [
+            node
+            for node in nodes
+            if not node.is_running and not getattr(node, "was_retired", False)
+        ]
+        self._record_failures(failed, self._clock.now())
+        return failed
+
+
+class LeaseMembership(MembershipService):
+    """Heartbeat/lease liveness with a configurable lease duration.
+
+    A registered node's lease expires ``lease_duration`` seconds after its
+    last heartbeat; an expired lease on a node that is neither draining nor
+    retired is a failure declaration.  A node that was never registered has
+    no lease and is never declared failed — the service only reasons about
+    members it granted a lease to.
+    """
+
+    name = "lease"
+
+    def __init__(self, lease_duration: float = 5.0, clock: Clock | None = None) -> None:
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be > 0")
+        super().__init__()
+        self.lease_duration = lease_duration
+        self._clock = clock if clock is not None else SystemClock()
+        #: node id -> lease expiry time.
+        self._leases: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, node: "AftNode") -> None:
+        self._leases[node.node_id] = self._clock.now() + self.lease_duration
+
+    def deregister(self, node: "AftNode") -> None:
+        super().deregister(node)
+        self._leases.pop(node.node_id, None)
+
+    def heartbeat(self, node: "AftNode", now: float | None = None) -> None:
+        if not node.is_running:
+            return
+        at = now if now is not None else self._clock.now()
+        self._leases[node.node_id] = at + self.lease_duration
+
+    def lease_expiry(self, node_id: str) -> float | None:
+        """When ``node_id``'s current lease lapses (None if not a member)."""
+        return self._leases.get(node_id)
+
+    # ------------------------------------------------------------------ #
+    def detect_failures(self, nodes: list["AftNode"]) -> list["AftNode"]:
+        now = self._clock.now()
+        failed = []
+        for node in nodes:
+            if self._is_exempt(node):
+                continue
+            expiry = self._leases.get(node.node_id)
+            if expiry is not None and now > expiry:
+                failed.append(node)
+        self._record_failures(failed, now)
+        return failed

@@ -11,9 +11,16 @@ broadcast — for contended workloads most commits are quickly superseded, which
 slashes the metadata volume exchanged.  The fault manager always receives the
 **unpruned** set so it can guarantee liveness (Section 4.2).
 
-This module is deliberately transport-free: :class:`MulticastService` delivers
-records by direct method calls, and the simulation layer drives `run_once()`
-on whatever schedule an experiment needs.
+:class:`MulticastService` is the round *orchestrator*: it gathers each
+sender's recent commits, feeds the unpruned set to the fault-manager sinks,
+prunes, and hands the remainder to a
+:class:`~repro.core.metadata_plane.commit_stream.CommitStream` for delivery.
+The stream is the pluggable *transport*: the default
+:class:`~repro.core.metadata_plane.commit_stream.DirectCommitStream`
+reproduces the seed's direct method-call fan-out verbatim, while
+:class:`~repro.core.metadata_plane.commit_stream.ShardedCommitStream`
+bounds the sender-side cost by a relay-tree fan-out.  The simulation layer
+drives ``run_once()`` on whatever schedule an experiment needs.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.commit_set import CommitRecord
+from repro.core.metadata_plane.commit_stream import (
+    CommitSink,
+    CommitStream,
+    DirectCommitStream,
+)
 from repro.core.node import AftNode
 from repro.core.supersedence import prune_for_broadcast
 
@@ -41,36 +53,38 @@ class MulticastStats:
 class MulticastService:
     """Exchanges recently committed transaction metadata among nodes."""
 
-    def __init__(self, prune_superseded: bool = True) -> None:
+    def __init__(self, prune_superseded: bool = True, stream: CommitStream | None = None) -> None:
         self.prune_superseded = prune_superseded
-        self._nodes: list[AftNode] = []
-        self._fault_manager_sinks: list = []
+        self.stream = stream if stream is not None else DirectCommitStream()
+        #: Fault-manager sinks keyed by identity: each receives every commit,
+        #: unpruned (§4.2).  A dict preserves registration order while making
+        #: de/registration O(1) — the seed kept an untyped list and scanned it.
+        self._fault_manager_sinks: dict[int, CommitSink] = {}
         self.stats = MulticastStats()
 
     # ------------------------------------------------------------------ #
     # Membership
     # ------------------------------------------------------------------ #
+    # The stream's subscriber registry (keyed by node id, O(1) membership
+    # changes) is the single source of truth: round senders and delivery
+    # receivers are always the same set by construction.
     def register_node(self, node: AftNode) -> None:
-        if node not in self._nodes:
-            self._nodes.append(node)
+        self.stream.register(node)
 
     def unregister_node(self, node: AftNode) -> None:
-        if node in self._nodes:
-            self._nodes.remove(node)
+        self.stream.deregister(node)
 
-    def register_fault_manager(self, sink) -> None:
+    def register_fault_manager(self, sink: CommitSink) -> None:
         """Register a fault manager; it receives every commit, unpruned (§4.2)."""
-        if sink not in self._fault_manager_sinks:
-            self._fault_manager_sinks.append(sink)
+        self._fault_manager_sinks.setdefault(id(sink), sink)
 
-    def unregister_fault_manager(self, sink) -> None:
+    def unregister_fault_manager(self, sink: CommitSink) -> None:
         """Detach a fault-manager sink (benchmarks swap implementations)."""
-        if sink in self._fault_manager_sinks:
-            self._fault_manager_sinks.remove(sink)
+        self._fault_manager_sinks.pop(id(sink), None)
 
     @property
     def nodes(self) -> list[AftNode]:
-        return list(self._nodes)
+        return self.stream.receivers
 
     # ------------------------------------------------------------------ #
     # Exchange
@@ -80,12 +94,13 @@ class MulticastService:
 
         For every registered node: drain its recently committed transactions,
         forward the *full* set to the fault manager, prune superseded records
-        (if enabled), and deliver the remainder to every live peer.
+        (if enabled), and publish the remainder to the stream, which delivers
+        to every live peer.
         """
         self.stats.rounds += 1
         total_broadcast = 0
         total_pruned = 0
-        for sender in list(self._nodes):
+        for sender in self.stream.receivers:
             if not sender.is_running:
                 continue
             recent = sender.drain_recent_commits()
@@ -93,7 +108,7 @@ class MulticastService:
                 continue
             self.stats.records_gathered += len(recent)
 
-            for sink in self._fault_manager_sinks:
+            for sink in list(self._fault_manager_sinks.values()):
                 sink.receive_commits(list(recent))
 
             if self.prune_superseded:
@@ -107,11 +122,8 @@ class MulticastService:
             if not to_broadcast:
                 continue
             total_broadcast += len(to_broadcast)
-            for receiver in list(self._nodes):
-                if receiver is sender or not receiver.is_running:
-                    continue
-                receiver.receive_commits(list(to_broadcast))
-                self.stats.deliveries += len(to_broadcast)
+            receivers = self.stream.publish(to_broadcast, exclude=sender)
+            self.stats.deliveries += len(to_broadcast) * receivers
 
         self.stats.records_broadcast += total_broadcast
         self.stats.records_pruned += total_pruned
@@ -121,8 +133,7 @@ class MulticastService:
 
     def broadcast_records(self, records: list[CommitRecord], exclude: AftNode | None = None) -> None:
         """Push specific records to all live nodes (used by the fault manager)."""
-        for receiver in list(self._nodes):
-            if receiver is exclude or not receiver.is_running:
-                continue
-            receiver.receive_commits(list(records))
-            self.stats.deliveries += len(records)
+        if not records:
+            return
+        receivers = self.stream.publish(list(records), exclude=exclude)
+        self.stats.deliveries += len(records) * receivers

@@ -44,7 +44,6 @@ from repro.errors import (
 from repro.ids import (
     TransactionId,
     TransactionIdGenerator,
-    commit_record_key,
     data_key,
     new_uuid,
     validate_user_key,
@@ -538,10 +537,20 @@ class AftNode:
         self._require_running()
         results: dict[str, TransactionId] = {}
         batch: list[tuple[_PreparedCommit, PendingCommit]] = []
+        prepare_error: BaseException | None = None
         # A txid listed twice must not be prepared twice — the second prepare
         # would mint a second commit id (and record) for the same transaction.
         for txid in dict.fromkeys(txids):
-            prepared = self._prepare_commit(txid)
+            try:
+                prepared = self._prepare_commit(txid)
+            except (UnknownTransactionError, TransactionAbortedError) as exc:
+                # One member's bad state (aborted by a drain straggler sweep,
+                # unknown txid) must not poison the batch: the rest still
+                # commit, and the first prepare error is raised afterwards
+                # with partial_commit_results naming the survivors.
+                if prepare_error is None:
+                    prepare_error = exc
+                continue
             if prepared.already_committed is not None:
                 results[txid] = prepared.already_committed
                 continue
@@ -554,8 +563,11 @@ class AftNode:
                 (prepared, PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist))
             )
 
+        error: BaseException | None = None
         try:
             self.group_committer.commit_batch([pending for _, pending in batch])
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            error = exc
         finally:
             # A large batch is flushed in chunks; if one chunk's flush fails,
             # the other chunks' records are already durable — those
@@ -565,6 +577,14 @@ class AftNode:
                 if pending.done.is_set() and pending.error is None:
                     self._finalize_commit(prepared)
                     results[prepared.txid] = prepared.commit_id
+        if error is None:
+            error = prepare_error
+        if error is not None:
+            # Callers that drove several transactions through one batch need
+            # to know which of them ARE durably committed despite the error
+            # (their requests succeeded; only the failed members' did not).
+            error.partial_commit_results = dict(results)  # type: ignore[attr-defined]
+            raise error
         return results
 
     def _prepare_commit(self, txid: str) -> "_PreparedCommit":
@@ -628,7 +648,7 @@ class AftNode:
                 self.storage,
                 self.commit_store,
                 to_persist,
-                {commit_record_key(record.txid): record.to_bytes()},
+                {self.commit_store.record_storage_key(record.txid): record.to_bytes()},
             )
         else:
             if to_persist:

@@ -125,6 +125,12 @@ class ClosedLoopClient:
                 except AftError:
                     return False
                 kind, amount = step
+                if kind == "wait":
+                    # The program is parked on a kernel event (e.g. a
+                    # group-commit flush completing on its behalf); virtual
+                    # time advances inside whatever process triggers it.
+                    yield amount
+                    continue
                 if amount <= 0:
                     continue
                 if kind == "storage" and self.storage_resource is not None:

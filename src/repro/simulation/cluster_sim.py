@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.baselines.dynamo_txn import DynamoTransactionClient
 from repro.clock import Clock
-from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig
+from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig, MetadataPlaneConfig
 from repro.core.autoscaler import SCALE_DOWN, SCALE_UP
 from repro.consistency.checker import AnomalyCounts
 from repro.consistency.metadata import TaggedValue
@@ -53,6 +53,136 @@ class SimClock(Clock):
 
     def now(self) -> float:
         return self._sim.now
+
+
+@dataclass
+class _GateBatch:
+    """One open group-commit batch inside a :class:`SimGroupCommitGate`."""
+
+    event: object  # kernel Event triggered once the batch's flush completed
+    txids: list[str] = field(default_factory=list)
+    results: dict[str, object] = field(default_factory=dict)
+    error: BaseException | None = None
+    storage_operations: int = 0
+
+
+class _GateTicket:
+    """One transaction's membership in a gate batch."""
+
+    def __init__(self, batch: _GateBatch, txid: str) -> None:
+        self._batch = batch
+        self._txid = txid
+
+    @property
+    def event(self):
+        return self._batch.event
+
+    @property
+    def storage_operations_charged(self) -> int:
+        """The batch's storage ops, charged once per batch.
+
+        Charged to the first member whose commit became durable — not
+        blindly to the leader, whose ticket raises (discarding its outcome)
+        when its own chunk was the one that failed.
+        """
+        results = self._batch.results
+        charged_to = next(
+            (txid for txid in self._batch.txids if txid in results),
+            self._batch.txids[0] if self._batch.txids else None,
+        )
+        return self._batch.storage_operations if self._txid == charged_to else 0
+
+    def result(self):
+        """The member's commit id (raises what the flush raised, if anything)."""
+        commit_id = self._batch.results.get(self._txid)
+        if commit_id is not None:
+            return commit_id
+        if self._batch.error is not None:
+            raise self._batch.error
+        raise RuntimeError(f"group-commit flush produced no result for {self._txid!r}")
+
+
+class SimGroupCommitGate:
+    """Simulated-time group-commit coalescing for one node (ROADMAP item 4).
+
+    The node-level :class:`~repro.core.group_commit.GroupCommitter` window
+    waits in *wall-clock* time, which the single-threaded simulator can
+    never profit from — commits arrive one kernel callback at a time, so
+    ``enable_group_commit`` degenerated to batches of one.  This gate
+    implements the window in *virtual* time instead: the first transaction
+    to reach commit opens a batch and schedules a flush ``window``
+    sim-seconds later; transactions committing within the window join the
+    batch (bounded by ``max_txns`` — later arrivals open the next batch);
+    the flush persists every member through
+    :meth:`~repro.core.node.AftNode.commit_transactions` (one combined
+    two-stage plan, write ordering preserved batch-wide) and wakes them all.
+
+    Each member's latency includes its share of the window wait plus the
+    batch's one pipelined storage charge — ``n`` commits cost two storage
+    round trips instead of ``2n``, which is exactly what the fig3/fig7
+    group-commit ablation is supposed to show.  The flush's storage time is
+    paid inside the gate's own process, so it does not contend for the
+    deployment's ``storage_concurrency_limit`` resource.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: AftNode,
+        cost_model: DeploymentCostModel,
+        window: float,
+        max_txns: int,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("SimGroupCommitGate needs a positive window")
+        self.sim = sim
+        self.node = node
+        self.cost_model = cost_model
+        self.window = window
+        self.max_txns = max_txns
+        self._open: _GateBatch | None = None
+
+    def join(self, txid: str) -> _GateTicket:
+        """Add ``txid`` to the open batch (opening a new one as needed)."""
+        batch = self._open
+        if batch is None or len(batch.txids) >= self.max_txns:
+            batch = _GateBatch(event=self.sim.event(name="group-commit-flush"))
+            self._open = batch
+            self.sim.process(self._flush(batch), name=f"group-commit-{self.node.node_id}")
+        batch.txids.append(txid)
+        return _GateTicket(batch, txid)
+
+    def _flush(self, batch: _GateBatch):
+        yield self.sim.timeout(self.window)
+        if self._open is batch:
+            self._open = None
+        from repro.simulation.execution import _meter
+
+        stack, ledger = _meter(self.node.storage, self.node.commit_store.engine)
+        try:
+            with stack:
+                batch.results = self.node.commit_transactions(list(batch.txids))
+        except BaseException as exc:  # noqa: BLE001 - re-raised per member
+            batch.error = exc
+            # A chunked flush may have made some members durable before the
+            # failing chunk; those transactions committed and their members
+            # must succeed (only the failed chunk's members see the error).
+            batch.results = getattr(exc, "partial_commit_results", {})
+        batch.storage_operations = ledger.operation_count
+        # Mirror the per-transaction path's storage_cost(): pipelined charge
+        # only when the node actually runs the IO pipeline (AftConfig today
+        # requires the pipeline for group commit, but charge honestly either
+        # way).
+        if self.node.config.enable_io_pipeline:
+            storage_s = (
+                ledger.pipelined_latency
+                + self.cost_model.plan_stage_overhead * ledger.plan_stage_count
+            )
+        else:
+            storage_s = ledger.sequential_latency
+        if storage_s > 0:
+            yield self.sim.timeout(storage_s)
+        batch.event.succeed()
 
 
 def make_storage(backend: str, clock: Clock, seed: int = 0, ec2_client: bool = False) -> StorageEngine:
@@ -128,16 +258,23 @@ class DeploymentSpec:
     #: per-stage latency); off reproduces the sequential one-op-at-a-time path.
     enable_io_pipeline: bool = True
     #: Coalesce concurrent commits on a node into shared storage batches.
-    #: NOTE: the discrete-event simulator is single-threaded, so commits never
-    #: arrive concurrently in real time — group commit degenerates to batches
-    #: of one (stats still flow).  Real coalescing needs threaded drivers or
-    #: the explicit ``AftNode.commit_transactions`` batch API.
+    #: With ``group_commit_window > 0`` the coalescing happens in *simulated*
+    #: time through :class:`SimGroupCommitGate`: transactions reaching commit
+    #: within the window share one combined two-stage flush.  With a zero
+    #: window the node-level committer still runs but the single-threaded
+    #: event loop produces batches of one.
     enable_group_commit: bool = False
-    #: Must stay 0 in the simulator: the leader's window waits in *wall-clock*
-    #: time, which would stall the run without ever coalescing anything.
+    #: Simulated-time coalescing window (seconds); 0 disables the gate.
     group_commit_window: float = 0.0
     group_commit_max_txns: int = 8
     prune_superseded_broadcasts: bool = True
+    #: Metadata-plane strategies — the commit-stream transport ("direct" |
+    #: "sharded"), the failure detector ("polling" | "lease"), and the
+    #: commit-record keyspace ("flat" | "partitioned") — selected by one
+    #: :class:`~repro.config.MetadataPlaneConfig` object (like ``autoscaler``
+    #: holds an :class:`~repro.config.AutoscalerPolicy`).  The default
+    #: config reproduces the seed; it validates itself at construction.
+    metadata_plane: MetadataPlaneConfig = field(default_factory=MetadataPlaneConfig)
     cost_model: DeploymentCostModel = field(default_factory=DeploymentCostModel)
     node_config: AftConfig | None = None
     preload: bool = True
@@ -168,17 +305,18 @@ class DeploymentSpec:
             raise ValueError("an offered-load curve needs a duration-bounded run")
         if self.mode == "dynamo_txn" and self.backend not in ("dynamodb", "dynamo"):
             raise ValueError("dynamo_txn mode requires the dynamodb backend")
-        # A full node_config bypasses the per-field spec knobs, so it must be
-        # held to the same simulator constraint.
+        # A full node_config bypasses the per-field spec knobs; fold its
+        # window into the same gate-eligibility check.
         window = self.group_commit_window
+        enabled = self.enable_group_commit
         if self.node_config is not None:
             window = max(window, self.node_config.group_commit_window)
-        if window > 0:
+            enabled = enabled or self.node_config.enable_group_commit
+        if window > 0 and not enabled:
             raise ValueError(
-                "group_commit_window must be 0 in the simulator: the window "
-                "waits in wall-clock time while the single-threaded event loop "
-                "never produces concurrent committers, so it only stalls the "
-                "run; use window=0 or drive AftNode.commit_transactions directly"
+                "group_commit_window > 0 requires enable_group_commit: the "
+                "simulated-time coalescing gate only exists on the group-commit "
+                "path"
             )
 
 
@@ -305,6 +443,18 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             group_commit_max_txns=spec.group_commit_max_txns,
             prune_superseded_broadcasts=spec.prune_superseded_broadcasts,
         )
+    # The coalescing window runs in *simulated* time through the per-node
+    # SimGroupCommitGate; the node-level committer's own (wall-clock) window
+    # must stay 0 or the flush would sleep real seconds inside a kernel
+    # callback.  Enablement and window fold the spec and node_config knobs
+    # exactly as __post_init__'s validation does, so an accepted window is
+    # never silently ignored (the gate batches through commit_transactions,
+    # which coalesces regardless of the node-level flag).
+    sim_group_window = 0.0
+    if spec.enable_group_commit or node_config.enable_group_commit:
+        sim_group_window = max(spec.group_commit_window, node_config.group_commit_window)
+        if node_config.group_commit_window > 0:
+            node_config = node_config.with_overrides(group_commit_window=0.0)
 
     cluster: AftCluster | None = None
     dynamo_client: DynamoTransactionClient | None = None
@@ -323,6 +473,24 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             node_cpu[node.node_id] = resource
         return resource
 
+    group_gates: dict[str, SimGroupCommitGate] = {}
+
+    def gate_for(node: AftNode) -> SimGroupCommitGate | None:
+        """The node's simulated-time group-commit gate (None when disabled)."""
+        if sim_group_window <= 0:
+            return None
+        gate = group_gates.get(node.node_id)
+        if gate is None:
+            gate = SimGroupCommitGate(
+                sim,
+                node,
+                spec.cost_model,
+                window=sim_group_window,
+                max_txns=node_config.group_commit_max_txns,
+            )
+            group_gates[node.node_id] = gate
+        return gate
+
     if spec.mode == "aft":
         cluster = AftCluster(
             storage=storage,
@@ -332,6 +500,7 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                 standby_nodes=spec.standby_nodes,
                 balancer=spec.balancer if spec.balancer != "static" else "round_robin",
                 autoscaler=spec.autoscaler,
+                metadata_plane=spec.metadata_plane,
             ),
             node_config=node_config,
             clock=clock,
@@ -382,7 +551,14 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                     node, txid = cluster.load_balancer.pin_transaction(affinity_key=affinity)
                     cpu = cpu_for(node)
                 program = aft_transaction_program(
-                    node, plan, payload_factory, spec.cost_model, outcome, clock, txid=txid
+                    node,
+                    plan,
+                    payload_factory,
+                    spec.cost_model,
+                    outcome,
+                    clock,
+                    txid=txid,
+                    group_gate=gate_for(node),
                 )
                 return program, cpu
             if spec.mode == "plain":
@@ -463,7 +639,31 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
 
             sim.process(process(), name=f"periodic-{action.__name__}")
 
-        periodic(node_config.multicast_interval, cluster.run_multicast_round)
+        stream_stats = cluster.multicast.stream.stats
+        last_round_cost = {"deliveries": 0, "records": 0}
+
+        def metered_multicast_round() -> int:
+            """Snapshot the stream counters around the round itself, so the
+            fault manager's rebroadcasts (charged by the fault-scan and
+            recovery latencies) are not double-charged here."""
+            before = (stream_stats.sender_deliveries, stream_stats.sender_records_on_wire)
+            broadcast = cluster.run_multicast_round()
+            last_round_cost["deliveries"] = stream_stats.sender_deliveries - before[0]
+            last_round_cost["records"] = stream_stats.sender_records_on_wire - before[1]
+            return broadcast
+
+        def multicast_round_charge() -> float:
+            """Sender-side cost of the round's publishes (relay hops happen on
+            the receiving nodes' cores, off this loop's critical path)."""
+            return spec.cost_model.multicast_send_latency(
+                last_round_cost["deliveries"], last_round_cost["records"]
+            )
+
+        periodic(
+            node_config.multicast_interval,
+            metered_multicast_round,
+            charge=multicast_round_charge,
+        )
         if spec.enable_gc:
             periodic(node_config.gc_interval, cluster.run_local_gc, jitter=0.25)
 
@@ -544,13 +744,32 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
     recovery_breakdown: dict = {}
     if spec.failure_script is not None and cluster is not None:
         script = spec.failure_script
+        plane = spec.metadata_plane
 
         def failure_process():
             yield sim.timeout(script.fail_at)
             victim = cluster.nodes[script.fail_node_index]
             cluster.fail_node(victim)
             directory.mark_failed(script.fail_node_index)
-            yield sim.timeout(script.detection_delay)
+            # Under lease membership the detection delay is not scripted —
+            # it is the victim's *actual* lease expiry (its last renewal
+            # rode the multicast cadence) plus the detector's evaluation
+            # pass, both charged from the lease semantics rather than a
+            # constant.  DeploymentCostModel.failure_detection_delay gives
+            # the a-priori expectation of this same quantity.
+            if plane.membership == "lease":
+                expiry = cluster.membership.lease_expiry(victim.node_id)
+                detected_at = (
+                    expiry + spec.cost_model.membership_check_overhead
+                    if expiry is not None
+                    else sim.now + spec.cost_model.failure_detection_delay(
+                        plane.lease_duration, plane.heartbeat_interval
+                    )
+                )
+                yield sim.timeout(max(0.0, detected_at - sim.now))
+            else:
+                yield sim.timeout(script.detection_delay)
+            observed_detection_s = sim.now - script.fail_at
             cluster.fault_manager.detect_failures(cluster.nodes)
             cluster.fault_manager.request_replacement()
             # Parallel shard replay of the victim's unbroadcast commits and
@@ -575,7 +794,8 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                 {
                     "failed_node": victim.node_id,
                     "failed_at": script.fail_at,
-                    "detection_s": script.detection_delay,
+                    "membership": plane.membership,
+                    "detection_s": observed_detection_s,
                     "replay_s": replay_latency,
                     "replay_records": len(report.recovered),
                     "replay_shards": len(report.per_shard_recovered),

@@ -92,6 +92,16 @@ class DeploymentCostModel:
     recovery_base_latency: float = 0.01
     #: Per recovered commit replayed to the surviving nodes.
     recovery_per_commit: float = 0.0008
+    #: Per-receiver hand-off cost of one multicast publish (connection
+    #: scheduling + request marshalling).  The publisher pays it for every
+    #: receiver it contacts *directly* — which is every peer under the
+    #: direct transport but only the relay roots under the sharded one.
+    multicast_delivery_overhead: float = 0.0003
+    #: Per-record serialisation/copy cost on the sending side of a publish.
+    multicast_per_record: float = 0.000005
+    #: Fixed cost of one failure-detection evaluation pass (walking the
+    #: member table, comparing lease expiries against the clock).
+    membership_check_overhead: float = 0.05
 
     def fault_scan_latency(self, shard_costs: list[tuple[int, int, int]]) -> float:
         """Charged latency of one liveness sweep over the given shards.
@@ -123,6 +133,33 @@ class DeploymentCostModel:
         ]
         fanout = self.fault_shard_fanout_overhead if len(per_shard_recovered) > 1 else 0.0
         return fanout + max(per_shard) + self.fault_scan_per_record * orphan_spills
+
+    def multicast_send_latency(self, deliveries: int, records_on_wire: int = 0) -> float:
+        """Charged sender-side cost of one multicast publish.
+
+        ``deliveries`` is how many receivers the publisher contacted itself
+        and ``records_on_wire`` how many records it serialised onto those
+        connections — the two quantities a
+        :class:`~repro.core.metadata_plane.commit_stream.CommitStreamStats`
+        accounts per hop, and the axis along which the sharded relay tree
+        beats direct fan-out.
+        """
+        return (
+            self.multicast_delivery_overhead * deliveries
+            + self.multicast_per_record * records_on_wire
+        )
+
+    def failure_detection_delay(self, lease_duration: float, heartbeat_interval: float) -> float:
+        """Expected crash-to-detection delay under lease membership.
+
+        The victim renewed its lease at most ``heartbeat_interval`` before
+        crashing (``heartbeat_interval / 2`` in expectation), so the lease
+        lapses ``lease_duration - heartbeat_interval/2`` after the crash;
+        the detector's evaluation pass adds its fixed overhead.
+        """
+        return max(
+            0.0, lease_duration - heartbeat_interval / 2.0
+        ) + self.membership_check_overhead
 
     def with_overrides(self, **overrides) -> "DeploymentCostModel":
         return replace(self, **overrides)

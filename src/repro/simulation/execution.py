@@ -5,7 +5,9 @@ against the (simulated) storage/shim stack and yields cost steps for the
 discrete-event client to spend:
 
 * ``("delay", seconds)`` — network / storage / invocation latency,
-* ``("cpu", seconds)`` — work on the owning AFT node's bounded CPU resource.
+* ``("cpu", seconds)`` — work on the owning AFT node's bounded CPU resource,
+* ``("wait", event)`` — park on a kernel event another process triggers
+  (how a group-commit member waits for the shared flush).
 
 Three programs mirror the three systems of the evaluation:
 
@@ -40,7 +42,8 @@ from repro.simulation.cost_model import DeploymentCostModel
 from repro.storage.base import CostLedger, StorageEngine
 from repro.workloads.spec import FunctionOps
 
-Step = tuple[str, float]
+#: One cost step: ("delay"|"cpu"|"storage", seconds) or ("wait", Event).
+Step = tuple[str, object]
 PayloadFactory = Callable[[int], bytes]
 
 
@@ -89,6 +92,7 @@ def aft_transaction_program(
     outcome: TransactionOutcome,
     clock: Clock,
     txid: str | None = None,
+    group_gate=None,
 ) -> Iterator[Step]:
     """Execute one request through the AFT shim.
 
@@ -103,6 +107,13 @@ def aft_transaction_program(
     ``txid`` carries a transaction already pinned to ``node`` by a drain-aware
     load balancer (:meth:`~repro.core.load_balancer.LoadBalancer.pin_transaction`);
     when ``None`` the program starts its own.
+
+    ``group_gate`` (a
+    :class:`~repro.simulation.cluster_sim.SimGroupCommitGate`) replaces the
+    per-transaction commit with membership in a simulated-time group-commit
+    batch: the program parks on the batch's flush event, the gate persists
+    every member through one combined two-stage plan, and the shared storage
+    cost is paid once inside the gate's flush process.
     """
     engines = (node.storage, node.commit_store.engine)
     write_set = _write_set_of(plan)
@@ -169,13 +180,21 @@ def aft_transaction_program(
             yield ("storage", storage_cost(ledger))
 
     # Commit: data writes (batched/parallel when the engine allows) + record.
-    stack, ledger = _meter(*engines)
-    with stack:
-        outcome.commit_version = node.commit_transaction(txid)
-    outcome.storage_operations += ledger.operation_count
-    yield ("cpu", cost_model.shim_cpu_per_op)
-    yield ("delay", cost_model.shim_rtt)
-    yield ("storage", storage_cost(ledger))
+    if group_gate is not None:
+        ticket = group_gate.join(txid)
+        yield ("wait", ticket.event)
+        outcome.commit_version = ticket.result()
+        outcome.storage_operations += ticket.storage_operations_charged
+        yield ("cpu", cost_model.shim_cpu_per_op)
+        yield ("delay", cost_model.shim_rtt)
+    else:
+        stack, ledger = _meter(*engines)
+        with stack:
+            outcome.commit_version = node.commit_transaction(txid)
+        outcome.storage_operations += ledger.operation_count
+        yield ("cpu", cost_model.shim_cpu_per_op)
+        yield ("delay", cost_model.shim_rtt)
+        yield ("storage", storage_cost(ledger))
     outcome.committed = True
     log.committed = True
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import MetadataPlaneConfig
 from repro.simulation.cluster_sim import (
     DeploymentSpec,
     FailureScript,
@@ -153,6 +154,118 @@ class TestAftDeployments:
         # Committed data survives the failure: no anomalies, no failed requests
         # beyond transient retries.
         assert result.anomaly_counts.fractured_read_anomalies == 0
+
+
+class TestMetadataPlaneDeployments:
+    def test_group_commit_window_coalesces_in_simulated_time(self):
+        """ROADMAP item 4: with a positive window the simulator's group
+        commit actually batches — concurrent committers share flushes — and
+        the run stays complete and anomaly-free."""
+        spec = small_spec(
+            num_clients=12,
+            requests_per_client=8,
+            enable_group_commit=True,
+            group_commit_window=0.005,
+        )
+        result = run_deployment(spec)
+        stats = result.client_result.stats
+        assert stats.requests_completed == 12 * 8
+        assert stats.requests_failed == 0
+        assert result.anomaly_counts.ryw_anomalies == 0
+        assert result.anomaly_counts.fractured_read_anomalies == 0
+        node = result.node_stats[0]
+        assert node["group_commits"] > 0
+        # The batching the single-threaded seed could never show: strictly
+        # more transactions flushed than flushes (average batch > 1).
+        assert node["group_commit_batched_txns"] > node["group_commits"]
+
+    def test_spec_window_engages_gate_alongside_explicit_node_config(self):
+        """A window accepted by validation must never be silently ignored:
+        the gate engages from the spec-level knobs even when a full
+        node_config (without its own window) is supplied."""
+        from repro.config import AftConfig
+
+        spec = small_spec(
+            num_clients=10,
+            requests_per_client=6,
+            node_config=AftConfig(enable_group_commit=True),
+            enable_group_commit=True,
+            group_commit_window=0.005,
+        )
+        result = run_deployment(spec)
+        node = result.node_stats[0]
+        assert node["group_commit_batched_txns"] > node["group_commits"]
+
+    def test_zero_window_still_degenerates_to_singleton_batches(self):
+        result = run_deployment(
+            small_spec(num_clients=6, requests_per_client=6, enable_group_commit=True)
+        )
+        node = result.node_stats[0]
+        assert node["group_commits"] == node["group_commit_batched_txns"]
+
+    def test_window_requires_group_commit(self):
+        with pytest.raises(ValueError):
+            small_spec(group_commit_window=0.005)
+
+    def test_sharded_lease_partitioned_deployment_matches_direct(self):
+        """The full new plane produces the same client-visible outcome as the
+        seed plane on an identical workload."""
+        base = dict(num_nodes=3, num_clients=6, requests_per_client=10)
+        seed_result = run_deployment(small_spec(**base))
+        plane_result = run_deployment(
+            small_spec(
+                **base,
+                metadata_plane=MetadataPlaneConfig(
+                    transport="sharded",
+                    relay_fanout=2,
+                    membership="lease",
+                    lease_duration=5.0,
+                    keyspace="partitioned",
+                ),
+            )
+        )
+        for result in (seed_result, plane_result):
+            assert result.client_result.stats.requests_completed == 6 * 10
+            assert result.client_result.stats.requests_failed == 0
+            assert result.anomaly_counts.ryw_anomalies == 0
+            assert result.anomaly_counts.fractured_read_anomalies == 0
+        assert sum(s["committed"] for s in plane_result.node_stats) >= 6 * 10
+
+    def test_lease_membership_charges_detection_delay(self):
+        """With lease membership the failure script's detection delay comes
+        from the cost model (lease expiry), not the scripted constant."""
+        spec = small_spec(
+            num_nodes=2,
+            num_clients=8,
+            requests_per_client=None,
+            duration=40.0,
+            metadata_plane=MetadataPlaneConfig(
+                membership="lease", lease_duration=6.0, heartbeat_interval=1.0
+            ),
+            failure_script=FailureScript(
+                fail_node_index=0, fail_at=8.0, detection_delay=0.1, replacement_delay=10.0
+            ),
+        )
+        result = run_deployment(spec)
+        breakdown = result.recovery_breakdown
+        assert breakdown["membership"] == "lease"
+        # The victim's last renewal rode the 1s multicast cadence, so its
+        # lease lapses 5-6s after the crash (plus the detector's pass) —
+        # nothing like the scripted 0.1s constant.
+        assert 5.0 <= breakdown["detection_s"] <= 6.1
+        assert breakdown["rejoined_at"] > 8.0 + breakdown["detection_s"]
+
+    def test_spec_metadata_plane_validation(self):
+        """The plane config validates itself at construction, so a spec can
+        never carry an invalid strategy selection."""
+        with pytest.raises(ValueError):
+            small_spec(metadata_plane=MetadataPlaneConfig(transport="smoke-signals"))
+        with pytest.raises(ValueError):
+            small_spec(
+                metadata_plane=MetadataPlaneConfig(
+                    membership="lease", lease_duration=0.5, heartbeat_interval=1.0
+                )
+            )
 
 
 class TestBaselineDeployments:

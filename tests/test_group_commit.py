@@ -189,9 +189,14 @@ class TestWriteOrderingUnderFaults:
         commit_store = CommitSetStore(storage)
         txids = [open_txn(node, {f"pk{i}": f"pv{i}".encode()}) for i in range(3)]
 
-        with pytest.raises(StorageUnavailableError):
+        with pytest.raises(StorageUnavailableError) as excinfo:
             node.commit_transactions(txids)
 
+        # The raised error names the transactions that DID become durable, so
+        # batch drivers (the simulator's group-commit gate) can succeed their
+        # members instead of failing the whole batch.
+        partial = excinfo.value.partial_commit_results
+        assert set(partial) == {txids[0], txids[2]}
         assert commit_store.count() == 2
         assert node.transaction_status(txids[0]) is TransactionStatus.COMMITTED
         assert node.transaction_status(txids[1]) is TransactionStatus.RUNNING
@@ -200,6 +205,25 @@ class TestWriteOrderingUnderFaults:
         assert node.get(reader, "pk0") == b"pv0"
         assert node.get(reader, "pk1") is None
         assert node.get(reader, "pk2") == b"pv2"
+
+    def test_aborted_member_does_not_poison_the_batch(self):
+        """A prepare-phase failure (one member aborted before the flush) must
+        not fail the whole batch: the healthy members commit, and the raised
+        error names them in partial_commit_results."""
+        from repro.errors import TransactionAbortedError
+
+        node = make_node(InMemoryStorage())
+        good = open_txn(node, {"gk": b"gv"})
+        doomed = open_txn(node, {"dk": b"dv"})
+        node.abort_transaction(doomed)
+
+        with pytest.raises(TransactionAbortedError) as excinfo:
+            node.commit_transactions([good, doomed])
+        assert set(excinfo.value.partial_commit_results) == {good}
+        assert node.transaction_status(good) is TransactionStatus.COMMITTED
+        reader = node.start_transaction()
+        assert node.get(reader, "gk") == b"gv"
+        assert node.get(reader, "dk") is None
 
     def test_recovery_after_fault_recommits_cleanly(self):
         storage = CommitRecordFailingStorage()

@@ -1,0 +1,776 @@
+"""Tests for the pluggable metadata plane: commit streams, lease membership,
+the partitioned commit keyspace, and the hypothesis oracle proving the
+sharded/lease/partitioned plane converges to the direct/polling/flat
+singleton state."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import LogicalClock
+from repro.config import AftConfig, ClusterConfig, FaultManagerConfig, MetadataPlaneConfig
+from repro.core.cluster import AftCluster
+from repro.core.commit_set import CommitRecord, CommitSetStore
+from repro.core.fault_manager import FaultManager
+from repro.core.garbage_collector import LocalMetadataGC
+from repro.core.metadata_plane import (
+    DirectCommitStream,
+    LeaseMembership,
+    PollingMembership,
+    ShardedCommitStream,
+    make_commit_keyspace,
+    make_commit_stream,
+    make_membership,
+)
+from repro.core.metadata_plane.keyspace import (
+    FlatCommitKeyspace,
+    PartitionedCommitKeyspace,
+    fault_manager_partition_ids,
+)
+from repro.core.multicast import MulticastService
+from repro.core.node import AftNode
+from repro.ids import TransactionId, data_key
+from repro.storage.memory import InMemoryStorage
+
+
+@pytest.fixture
+def clock():
+    return LogicalClock(start=100.0, auto_step=0.001)
+
+
+@pytest.fixture
+def storage():
+    return InMemoryStorage()
+
+
+def make_node(storage, commit_store, clock, node_id, **config_overrides) -> AftNode:
+    node = AftNode(
+        storage,
+        commit_store=commit_store,
+        config=AftConfig(**config_overrides),
+        clock=clock,
+        node_id=node_id,
+    )
+    node.start()
+    return node
+
+
+def make_record(index: int, keys: list[str] | None = None, node_id: str = "n0") -> CommitRecord:
+    txid = TransactionId(timestamp=float(index), uuid=f"u{index:04d}")
+    keys = keys if keys is not None else [f"k{index % 4}"]
+    return CommitRecord(
+        txid=txid,
+        write_set={key: data_key(key, txid) for key in keys},
+        committed_at=float(index),
+        node_id=node_id,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Commit streams
+# --------------------------------------------------------------------------- #
+class TestCommitStreams:
+    def _fleet(self, storage, clock, count: int) -> tuple[CommitSetStore, list[AftNode]]:
+        store = CommitSetStore(storage)
+        return store, [make_node(storage, store, clock, f"n{i}") for i in range(count)]
+
+    def test_direct_stream_delivers_to_every_live_peer(self, storage, clock):
+        store, nodes = self._fleet(storage, clock, 4)
+        stream = DirectCommitStream()
+        for node in nodes:
+            stream.register(node)
+        nodes[3].fail()
+        records = [make_record(0)]
+        reached = stream.publish(records, exclude=nodes[0])
+        assert reached == 2  # two live peers (sender and dead node excluded)
+        assert stream.stats.sender_deliveries == 2
+        assert stream.stats.relay_deliveries == 0
+        for receiver in nodes[1:3]:
+            assert records[0].txid in receiver.metadata_cache
+        assert records[0].txid not in nodes[0].metadata_cache
+
+    def test_sharded_sender_fanout_bounded_by_relay_degree(self, storage, clock):
+        """The counting satellite: at 64 receivers the publisher hands the
+        batch to at most ``relay_fanout`` relay roots; relays carry the rest,
+        and every live receiver still gets every record exactly once."""
+        store, nodes = self._fleet(storage, clock, 65)
+        stream = ShardedCommitStream(relay_fanout=4)
+        for node in nodes:
+            stream.register(node)
+        sender = nodes[0]
+        records = [make_record(i) for i in range(3)]
+        reached = stream.publish(records, exclude=sender)
+
+        assert reached == 64
+        assert stream.stats.sender_deliveries <= 4
+        assert stream.stats.sender_records_on_wire <= 4 * len(records)
+        assert stream.stats.relay_deliveries == 64 - stream.stats.sender_deliveries
+        assert stream.stats.records_delivered == 64 * len(records)
+        for receiver in nodes[1:]:
+            for record in records:
+                assert record.txid in receiver.metadata_cache
+        # Exactly once: every delivery was counted, none duplicated.
+        applied = sum(node.stats.remote_commits_applied for node in nodes[1:])
+        assert applied == 64 * len(records)
+
+    def test_sharded_stream_skips_dead_receivers(self, storage, clock):
+        store, nodes = self._fleet(storage, clock, 9)
+        stream = ShardedCommitStream(relay_fanout=2)
+        for node in nodes:
+            stream.register(node)
+        for dead in nodes[5:8]:
+            dead.fail()
+        records = [make_record(0)]
+        reached = stream.publish(records, exclude=nodes[0])
+        assert reached == 5  # 8 peers minus 3 dead
+        for receiver in nodes[1:5] + [nodes[8]]:
+            assert records[0].txid in receiver.metadata_cache
+
+    def test_multicast_round_identical_under_both_transports(self, clock):
+        """One committed transaction reaches every peer's cache regardless of
+        transport; only *who pays the deliveries* differs."""
+        outcomes = {}
+        for transport in ("direct", "sharded"):
+            storage = InMemoryStorage()
+            store = CommitSetStore(storage)
+            nodes = [make_node(storage, store, clock, f"{transport}{i}") for i in range(6)]
+            multicast = MulticastService(stream=make_commit_stream(transport, relay_fanout=2))
+            for node in nodes:
+                multicast.register_node(node)
+            txid = nodes[0].start_transaction("t0")
+            nodes[0].put(txid, "k", b"v")
+            commit_id = nodes[0].commit_transaction(txid)
+            multicast.run_once()
+            outcomes[transport] = {
+                "caches": [commit_id in node.metadata_cache for node in nodes],
+                "deliveries": multicast.stats.deliveries,
+            }
+            if transport == "sharded":
+                assert multicast.stream.stats.sender_deliveries <= 2
+                assert multicast.stream.stats.relay_deliveries == 5 - multicast.stream.stats.sender_deliveries
+        assert outcomes["direct"] == outcomes["sharded"]
+
+    def test_membership_changes_are_constant_time_lookups(self, storage, clock):
+        """Satellite: register/unregister key the node dict by id (no list
+        scans), and double registration is idempotent."""
+        store, nodes = self._fleet(storage, clock, 3)
+        multicast = MulticastService()
+        for node in nodes:
+            multicast.register_node(node)
+            multicast.register_node(node)
+        assert [n.node_id for n in multicast.nodes] == ["n0", "n1", "n2"]
+        multicast.unregister_node(nodes[1])
+        multicast.unregister_node(nodes[1])
+        assert [n.node_id for n in multicast.nodes] == ["n0", "n2"]
+        assert not multicast.stream.is_registered(nodes[1])
+
+
+# --------------------------------------------------------------------------- #
+# Membership
+# --------------------------------------------------------------------------- #
+class TestLeaseMembership:
+    def test_heartbeats_keep_a_node_alive(self, storage, clock):
+        store = CommitSetStore(storage)
+        node = make_node(storage, store, clock, "a")
+        membership = LeaseMembership(lease_duration=5.0, clock=clock)
+        membership.register(node)
+        for _ in range(4):
+            clock.advance(3.0)
+            membership.heartbeat(node)
+            assert membership.detect_failures([node]) == []
+
+    def test_lease_expiry_declares_failure_even_without_ground_truth(self, storage, clock):
+        """Lease detection is observation, not omniscience: a node that
+        merely stops heartbeating is declared failed once its lease lapses."""
+        store = CommitSetStore(storage)
+        node = make_node(storage, store, clock, "a")
+        membership = LeaseMembership(lease_duration=5.0, clock=clock)
+        membership.register(node)
+        assert membership.detect_failures([node]) == []
+        clock.advance(5.1)
+        assert membership.detect_failures([node]) == [node]
+        events = membership.poll_events()
+        assert len(events) == 1 and events[0].node_id == "a" and events[0].kind == "failed"
+        # Declared once: repeated detection does not re-emit the event.
+        assert membership.detect_failures([node]) == [node]
+        assert membership.poll_events() == []
+
+    def test_draining_node_is_not_declared_failed_mid_drain(self, storage, clock):
+        """The lease-expiry-vs-retirement race satellite: a node inside
+        ``begin_drain`` must never be declared failed, even if its lease
+        lapses before retirement completes."""
+        store = CommitSetStore(storage)
+        node = make_node(storage, store, clock, "a")
+        membership = LeaseMembership(lease_duration=2.0, clock=clock)
+        membership.register(node)
+        node.begin_drain()
+        clock.advance(10.0)  # the drain outlives the lease
+        assert membership.detect_failures([node]) == []
+        # ...and the retirement path finishes normally.
+        node.retire()
+        assert membership.detect_failures([node]) == []
+
+    def test_retired_and_deregistered_nodes_are_exempt(self, storage, clock):
+        store = CommitSetStore(storage)
+        a = make_node(storage, store, clock, "a")
+        b = make_node(storage, store, clock, "b")
+        membership = LeaseMembership(lease_duration=2.0, clock=clock)
+        membership.register(a)
+        membership.register(b)
+        a.begin_drain()
+        a.retire()
+        membership.deregister(b)
+        clock.advance(10.0)
+        assert membership.detect_failures([a, b]) == []
+
+    def test_unregistered_node_has_no_lease_to_expire(self, storage, clock):
+        store = CommitSetStore(storage)
+        node = make_node(storage, store, clock, "a")
+        membership = LeaseMembership(lease_duration=1.0, clock=clock)
+        clock.advance(100.0)
+        assert membership.detect_failures([node]) == []
+
+    def test_polling_membership_matches_seed_semantics(self, storage, clock):
+        store = CommitSetStore(storage)
+        a = make_node(storage, store, clock, "a")
+        b = make_node(storage, store, clock, "b")
+        c = make_node(storage, store, clock, "c")
+        membership = PollingMembership(clock=clock)
+        b.fail()
+        c.begin_drain()
+        c.retire()
+        assert membership.detect_failures([a, b, c]) == [b]
+
+    def test_crash_mid_drain_contract_per_strategy(self, storage, clock):
+        """A node that crashes mid-drain: polling (ground truth, the seed
+        semantics) declares it failed so recovery replaces it and reclaims
+        its spills; lease cannot distinguish the crash from a quiet drain,
+        defers to the retirement path — which must reclaim the orphaned
+        spills itself so nothing leaks either way."""
+        store = CommitSetStore(storage)
+        polling = PollingMembership(clock=clock)
+        crashed = make_node(storage, store, clock, "dc-poll")
+        polling.register(crashed)
+        crashed.begin_drain()
+        crashed.fail()
+        assert polling.detect_failures([crashed]) == [crashed]
+
+        lease = LeaseMembership(lease_duration=2.0, clock=clock)
+        quiet = make_node(storage, store, clock, "dc-lease")
+        lease.register(quiet)
+        quiet.begin_drain()
+        quiet.fail()
+        clock.advance(10.0)
+        assert lease.detect_failures([quiet]) == []
+
+        # Lease path cleanup: force-retire reclaims the crashed node's
+        # orphaned spills (durable keys no commit record references).
+        cluster = AftCluster(
+            InMemoryStorage(),
+            cluster_config=ClusterConfig(
+                num_nodes=2,
+                node_config=AftConfig(write_buffer_spill_bytes=16),
+                metadata_plane=MetadataPlaneConfig(membership="lease", lease_duration=5.0),
+            ),
+            clock=clock,
+        )
+        victim = cluster.nodes[0]
+        txid = victim.start_transaction()
+        victim.put(txid, "big", b"x" * 64)  # spills immediately
+        spilled = list(victim.write_buffer.spilled_keys(txid).values())
+        assert spilled and cluster.storage.get(spilled[0]) is not None
+        cluster.begin_drain(victim)
+        victim.fail()
+        clock.advance(6.0)
+        cluster.run_multicast_round()
+        assert cluster.replace_failed_nodes() == []  # drain exemption holds
+        retired = cluster.retire_drained_nodes(force=True)
+        assert retired == [victim]
+        assert len(cluster.nodes) == 1
+        assert cluster.storage.get(spilled[0]) is None  # spill reclaimed
+        assert cluster.fault_manager.stats.orphan_spills_reclaimed >= 1
+
+    def test_lease_cluster_failover_end_to_end(self, clock):
+        """An AftCluster on lease membership detects a crash only after the
+        lease lapses, then recovers and promotes exactly as polling does."""
+        cluster = AftCluster(
+            InMemoryStorage(),
+            cluster_config=ClusterConfig(
+                num_nodes=3,
+                standby_nodes=1,
+                metadata_plane=MetadataPlaneConfig(
+                    membership="lease", lease_duration=5.0, heartbeat_interval=1.0
+                ),
+            ),
+            clock=clock,
+        )
+        client = cluster.client()
+        txid = client.start_transaction()
+        owner = client.node_for(txid)
+        client.put(txid, "k", b"survives-lease-detection")
+        client.commit_transaction(txid)
+        cluster.fail_node(owner)
+
+        # The lease has not lapsed: nothing is detected, nothing replaced.
+        assert cluster.replace_failed_nodes() == []
+        assert len(cluster.nodes) == 3
+
+        clock.advance(5.1)
+        # Heartbeats ride the multicast cadence: the survivors renew their
+        # leases, the victim cannot — only its lease lapses.
+        cluster.run_multicast_round()
+        replacements = cluster.replace_failed_nodes()
+        assert len(replacements) == 1
+        assert cluster.stats.extra["membership_failure_events"] == 1
+        assert cluster.fault_manager.stats.node_recoveries == 1
+        survivor = [n for n in cluster.live_nodes() if n is not replacements[0]][0]
+        reader = survivor.start_transaction()
+        assert survivor.get(reader, "k") == b"survives-lease-detection"
+
+    def test_heartbeats_piggyback_on_multicast_rounds(self, clock):
+        cluster = AftCluster(
+            InMemoryStorage(),
+            cluster_config=ClusterConfig(
+                num_nodes=2,
+                metadata_plane=MetadataPlaneConfig(
+                    membership="lease", lease_duration=3.0, heartbeat_interval=1.0
+                ),
+            ),
+            clock=clock,
+        )
+        # Without rounds the initial lease would lapse at +3s; rounds renew it.
+        for _ in range(5):
+            clock.advance(2.0)
+            cluster.run_multicast_round()
+            assert cluster.fault_manager.detect_failures(cluster.nodes) == []
+
+    def test_lease_shorter_than_multicast_cadence_is_rejected(self):
+        """Renewal rides the multicast cadence: a lease that lapses between
+        rounds would flap every live node failed, so the cluster refuses it."""
+        with pytest.raises(ValueError):
+            AftCluster(
+                InMemoryStorage(),
+                cluster_config=ClusterConfig(
+                    num_nodes=1,
+                    node_config=AftConfig(multicast_interval=2.0),
+                    metadata_plane=MetadataPlaneConfig(
+                        membership="lease", lease_duration=1.5, heartbeat_interval=0.1
+                    ),
+                ),
+            )
+
+    def test_invalid_plane_configs_are_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataPlaneConfig(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            MetadataPlaneConfig(membership="oracle")
+        with pytest.raises(ValueError):
+            MetadataPlaneConfig(keyspace="striped")
+        with pytest.raises(ValueError):
+            MetadataPlaneConfig(membership="lease", lease_duration=0.5, heartbeat_interval=1.0)
+        with pytest.raises(ValueError):
+            make_commit_stream("smoke-signals")
+
+
+# --------------------------------------------------------------------------- #
+# Commit keyspace
+# --------------------------------------------------------------------------- #
+class TestCommitKeyspace:
+    def test_partition_assignment_agrees_with_fault_manager(self, storage):
+        config = FaultManagerConfig(num_shards=4)
+        keyspace = make_commit_keyspace(
+            "partitioned", num_partitions=4, hash_ring_replicas=config.hash_ring_replicas
+        )
+        store = CommitSetStore(storage, keyspace=keyspace)
+        manager = FaultManager(storage, store, MulticastService(), config=config)
+        for index in range(100):
+            txid = make_record(index).txid
+            assert keyspace.partition_for(txid) == manager.shard_for(txid).shard_id
+
+    def test_records_round_trip_through_partition_prefixes(self, storage):
+        keyspace = make_commit_keyspace("partitioned", num_partitions=4)
+        store = CommitSetStore(storage, keyspace=keyspace)
+        records = [make_record(i) for i in range(40)]
+        for record in records:
+            store.write_record(record)
+        # Every partition listing returns exactly its own ids, and the union
+        # over partitions is the whole set.
+        seen: list[TransactionId] = []
+        for partition in store.partitions():
+            ids = store.list_transaction_ids(partition=partition)
+            assert all(keyspace.partition_for(txid) == partition for txid in ids)
+            seen.extend(ids)
+        assert sorted(seen) == [record.txid for record in records]
+        assert store.list_transaction_ids() == [record.txid for record in records]
+        for record in records:
+            assert store.read_record(record.txid).txid == record.txid
+            assert store.contains(record.txid)
+
+    def test_migration_shim_keeps_flat_records_readable(self, storage):
+        """The migration satellite: records written under the legacy flat
+        prefix remain readable — point reads, batch reads, listings — after
+        partitioning is enabled, and deletes cover both positions."""
+        flat_store = CommitSetStore(storage)  # the pre-migration writer
+        legacy = [make_record(i) for i in range(10)]
+        for record in legacy:
+            flat_store.write_record(record)
+
+        keyspace = make_commit_keyspace("partitioned", num_partitions=2)
+        store = CommitSetStore(storage, keyspace=keyspace)
+        fresh = [make_record(100 + i) for i in range(5)]
+        for record in fresh:
+            store.write_record(record)
+
+        everything = sorted(record.txid for record in legacy + fresh)
+        assert store.list_transaction_ids() == everything
+        per_partition: list[TransactionId] = []
+        for partition in store.partitions():
+            per_partition.extend(store.list_transaction_ids(partition=partition))
+        assert sorted(per_partition) == everything
+
+        for record in legacy:
+            assert store.read_record(record.txid).write_set == dict(record.write_set)
+            assert store.contains(record.txid)
+        batch = store.read_records_batch([record.txid for record in legacy + fresh])
+        assert all(batch[txid] is not None for txid in batch)
+        assert store.stats.legacy_fallback_reads > 0
+
+        # Deleting a legacy record removes it from the flat prefix too.
+        store.delete_record(legacy[0].txid)
+        assert not store.contains(legacy[0].txid)
+        assert flat_store.read_record(legacy[0].txid) is None
+
+    def test_sweep_pays_one_legacy_listing_not_one_per_shard(self, storage):
+        """While unmigrated flat records remain, a 4-shard sweep must list the
+        legacy prefix once, not once per shard."""
+        flat_store = CommitSetStore(storage)
+        for index in range(8):
+            flat_store.write_record(make_record(index))
+        config = FaultManagerConfig(num_shards=4)
+        keyspace = make_commit_keyspace(
+            "partitioned", num_partitions=4, hash_ring_replicas=config.hash_ring_replicas
+        )
+        store = CommitSetStore(storage, keyspace=keyspace)
+        manager = FaultManager(storage, store, MulticastService(), config=config)
+
+        recovered = manager.scan_commit_set()
+        assert len(recovered) == 8
+        assert store.stats.partition_listings == 4
+        # One construction-time probe plus one listing for the sweep itself —
+        # not one per shard.
+        assert store.stats.legacy_listings == 2
+
+    def test_shim_latches_off_once_legacy_prefix_empties(self, storage):
+        keyspace = make_commit_keyspace("partitioned", num_partitions=2)
+        store = CommitSetStore(storage, keyspace=keyspace)
+        for index in range(4):
+            store.write_record(make_record(index))
+        assert store.list_transaction_ids() == [make_record(i).txid for i in range(4)]
+        listings_after_first = store.stats.legacy_listings
+        assert listings_after_first >= 1
+        # The first listing saw an empty legacy prefix; later listings and
+        # deletes pay nothing for the shim.
+        store.list_transaction_ids()
+        assert store.stats.legacy_listings == listings_after_first
+        assert store.record_delete_keys(make_record(0).txid) == [
+            store.record_storage_key(make_record(0).txid)
+        ]
+
+    def test_partitioned_sweeps_issue_prefix_scoped_listings(self, storage):
+        """Acceptance criterion: per-shard sweeps are prefix listings, not
+        client-side partitions of a full-keyspace scan (asserted via the
+        store's listing counters)."""
+        config = FaultManagerConfig(num_shards=4)
+        keyspace = make_commit_keyspace(
+            "partitioned", num_partitions=4, hash_ring_replicas=config.hash_ring_replicas
+        )
+        store = CommitSetStore(storage, keyspace=keyspace)
+        multicast = MulticastService()
+        manager = FaultManager(storage, store, multicast, config=config)
+        records = [make_record(i) for i in range(30)]
+        for record in records:
+            store.write_record(record)
+
+        recovered = manager.scan_commit_set()
+        assert {record.txid for record in recovered} == {record.txid for record in records}
+        assert store.stats.partition_listings == 4  # one prefix listing per shard
+        assert store.stats.full_listings == 0
+        # Subsequent sweeps stay prefix-scoped.
+        assert manager.scan_commit_set() == []
+        assert store.stats.partition_listings == 8
+        assert store.stats.full_listings == 0
+
+    def test_flat_store_semantics_unchanged(self, storage):
+        store = CommitSetStore(storage)
+        assert isinstance(store.keyspace, FlatCommitKeyspace)
+        record = make_record(1)
+        store.write_record(record)
+        assert storage.get(f"aft.commit/{record.txid.to_token()}") is not None
+        assert store.list_transaction_ids(partition="flat") == [record.txid]
+        assert store.record_delete_keys(record.txid) == [f"aft.commit/{record.txid.to_token()}"]
+
+    def test_partitioned_cluster_recovers_unbroadcast_commits(self, clock):
+        """End-to-end: a cluster on the partitioned keyspace commits through
+        the partition prefixes and the fault scan still finds what a crashed
+        node never broadcast."""
+        cluster = AftCluster(
+            InMemoryStorage(),
+            cluster_config=ClusterConfig(
+                num_nodes=2,
+                standby_nodes=1,
+                metadata_plane=MetadataPlaneConfig(keyspace="partitioned"),
+            ),
+            clock=clock,
+        )
+        client = cluster.client()
+        txid = client.start_transaction()
+        owner = client.node_for(txid)
+        client.put(txid, "k", b"partitioned-survival")
+        client.commit_transaction(txid)
+        cluster.fail_node(owner)
+
+        # Node bootstraps legitimately scan the full keyspace; the *sweeps*
+        # must not.
+        full_before = cluster.commit_store.stats.full_listings
+        assert cluster.run_fault_scan() == 1
+        survivor = cluster.live_nodes()[0]
+        reader = survivor.start_transaction()
+        assert survivor.get(reader, "k") == b"partitioned-survival"
+        assert cluster.commit_store.stats.partition_listings > 0
+        assert cluster.commit_store.stats.full_listings == full_before
+
+    def test_multi_digit_partition_prefixes_do_not_collide(self, storage):
+        """Regression: engines match listing prefixes by plain startswith, so
+        without a trailing separator partition ``fm-shard-1`` would swallow
+        ``fm-shard-10``..``fm-shard-19``'s records."""
+        keyspace = make_commit_keyspace("partitioned", num_partitions=12)
+        store = CommitSetStore(storage, keyspace=keyspace)
+        records = [make_record(i) for i in range(120)]
+        for record in records:
+            store.write_record(record)
+        seen: list[TransactionId] = []
+        for partition in store.partitions():
+            ids = store.list_transaction_ids(partition=partition)
+            assert all(keyspace.partition_for(txid) == partition for txid in ids)
+            seen.extend(ids)
+        # Disjoint and complete: every record listed exactly once.
+        assert len(seen) == len(records)
+        assert sorted(seen) == [record.txid for record in records]
+
+    def test_single_partition_keyspace_degenerates(self):
+        keyspace = PartitionedCommitKeyspace(fault_manager_partition_ids(1))
+        txid = make_record(3).txid
+        assert keyspace.partition_for(txid) == "fm-shard-0"
+        assert keyspace.parse(keyspace.record_key(txid)) == txid
+        assert keyspace.parse("aft.commit/whatever") is None
+        flat = FlatCommitKeyspace()
+        assert flat.parse(flat.record_key(txid)) == txid
+        assert flat.parse(keyspace.record_key(txid)) is None
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis oracle: sharded stream + lease membership + partitioned keyspace
+# converge to the direct/polling/flat singleton state.
+# --------------------------------------------------------------------------- #
+ORACLE_KEYS = [f"pk{i}" for i in range(5)]
+#: Long enough that the lease never lapses mid-run (the clock advances 1s per
+#: commit); the terminal detection check advances past it explicitly.
+ORACLE_LEASE = 1e6
+
+
+class _PlaneUniverse:
+    """One metadata-plane configuration over its own nodes and storage.
+
+    Both universes share one ``LogicalClock`` with ``auto_step=0`` and are
+    driven with *explicit* transaction ids, so the commit ids they mint are
+    identical — which is what makes their metadata caches, recovered sets,
+    and GC decisions directly comparable.
+    """
+
+    def __init__(self, clock, num_nodes, transport, membership_mode, keyspace_mode, num_shards, relay_fanout):
+        self.storage = InMemoryStorage()
+        self.clock = clock
+        config = FaultManagerConfig(num_shards=num_shards)
+        keyspace = make_commit_keyspace(
+            keyspace_mode, num_partitions=num_shards, hash_ring_replicas=config.hash_ring_replicas
+        )
+        self.store = CommitSetStore(self.storage, keyspace=keyspace)
+        self.membership = make_membership(
+            membership_mode, clock=clock, lease_duration=ORACLE_LEASE
+        )
+        self.multicast = MulticastService(
+            stream=make_commit_stream(transport, relay_fanout=relay_fanout)
+        )
+        self.manager = FaultManager(
+            self.storage, self.store, self.multicast, config=config, membership=self.membership
+        )
+        self.nodes: list[AftNode] = []
+        self.local_gcs: list[LocalMetadataGC] = []
+        for index in range(num_nodes):
+            node = AftNode(
+                self.storage,
+                commit_store=self.store,
+                config=AftConfig(),
+                clock=clock,
+                node_id=f"n{index}",
+            )
+            node.start()
+            self.multicast.register_node(node)
+            self.membership.register(node)
+            self.nodes.append(node)
+            self.local_gcs.append(LocalMetadataGC(node))
+
+    # ------------------------------------------------------------------ #
+    def commit(self, node_index: int, txid: str, keys: list[str]) -> bool:
+        node = self.nodes[node_index]
+        if not node.is_running:
+            return False
+        open_txid = node.start_transaction(txid)
+        for key in keys:
+            node.put(open_txid, key, f"{txid}:{key}".encode())
+        node.commit_transaction(open_txid)
+        return True
+
+    def round(self) -> None:
+        now = self.clock.now()
+        for node in self.nodes:
+            if node.is_running:
+                self.membership.heartbeat(node, now)
+        self.multicast.run_once()
+
+    def crash(self, node_index: int) -> None:
+        self.nodes[node_index].fail()
+
+    def scan(self) -> list[TransactionId]:
+        return sorted(record.txid for record in self.manager.scan_commit_set())
+
+    def local_gc(self) -> list[TransactionId]:
+        collected: list[TransactionId] = []
+        for node, collector in zip(self.nodes, self.local_gcs):
+            if node.is_running:
+                collected.extend(collector.run_once())
+        return sorted(collected)
+
+    def gc(self) -> list[TransactionId]:
+        live = [node for node in self.nodes if node.is_running]
+        return self.manager.run_global_gc(live)
+
+    # ------------------------------------------------------------------ #
+    def cache_states(self) -> list[dict]:
+        return [
+            {record.txid: sorted(record.write_set) for record in node.metadata_cache.records()}
+            for node in self.nodes
+        ]
+
+    def data_keys(self) -> set[str]:
+        return set(self.storage.list_keys(prefix="aft.data"))
+
+    def detect_after_lease_expiry(self) -> set[str]:
+        for node in self.nodes:
+            if node.is_running:
+                self.membership.heartbeat(node, self.clock.now())
+        return {node.node_id for node in self.manager.detect_failures(self.nodes)}
+
+
+@st.composite
+def plane_interleavings(draw):
+    num_nodes = draw(st.integers(min_value=3, max_value=5))
+    num_commits = draw(st.integers(min_value=3, max_value=12))
+    commits = [
+        (
+            draw(st.integers(min_value=0, max_value=num_nodes - 1)),
+            draw(st.lists(st.sampled_from(ORACLE_KEYS), min_size=1, max_size=3, unique=True)),
+        )
+        for _ in range(num_commits)
+    ]
+    crashes = draw(
+        st.lists(st.integers(min_value=0, max_value=num_nodes - 1), max_size=2, unique=True)
+    )
+    actions = draw(
+        st.lists(
+            st.sampled_from(["commit", "round", "crash", "scan", "local_gc", "gc"]),
+            min_size=num_commits,
+            max_size=num_commits * 3,
+        )
+    )
+    num_shards = draw(st.integers(min_value=2, max_value=4))
+    relay_fanout = draw(st.integers(min_value=1, max_value=3))
+    return num_nodes, commits, crashes, actions, num_shards, relay_fanout
+
+
+class TestPlaneOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(plane_interleavings())
+    def test_new_plane_converges_to_singleton_state(self, interleaving):
+        """The tentpole oracle: across random commit/round/crash/scan/GC
+        interleavings, the sharded stream + lease membership + partitioned
+        keyspace plane produces metadata caches, recovered-commit sets, GC
+        deletions, data-key footprints, and (post-lease-expiry) failure
+        declarations identical to the direct/polling/flat singleton."""
+        num_nodes, commits, crashes, actions, num_shards, relay_fanout = interleaving
+        clock = LogicalClock(start=100.0, auto_step=0.0)
+        singleton = _PlaneUniverse(
+            clock, num_nodes, "direct", "polling", "flat", num_shards=1, relay_fanout=relay_fanout
+        )
+        plane = _PlaneUniverse(
+            clock,
+            num_nodes,
+            "sharded",
+            "lease",
+            "partitioned",
+            num_shards=num_shards,
+            relay_fanout=relay_fanout,
+        )
+        universes = (singleton, plane)
+
+        commit_queue = list(enumerate(commits))
+        crash_queue = list(crashes)
+        # Tail guarantees every scripted commit and crash happens, followed by
+        # a final round and settling scans.
+        tail = (
+            ["commit"] * len(commit_queue)
+            + ["crash"] * len(crash_queue)
+            + ["round", "scan", "scan", "local_gc", "gc"]
+        )
+        for action in actions + tail:
+            if action == "commit":
+                if not commit_queue:
+                    continue
+                index, (node_index, keys) = commit_queue.pop(0)
+                clock.advance(1.0)  # distinct commit timestamps, shared by both
+                done = [u.commit(node_index, f"t{index}", keys) for u in universes]
+                assert done[0] == done[1]
+            elif action == "round":
+                for universe in universes:
+                    universe.round()
+            elif action == "crash":
+                if not crash_queue:
+                    continue
+                node_index = crash_queue.pop(0)
+                for universe in universes:
+                    universe.crash(node_index)
+            elif action == "scan":
+                assert singleton.scan() == plane.scan()
+            elif action == "local_gc":
+                assert singleton.local_gc() == plane.local_gc()
+            elif action == "gc":
+                assert singleton.gc() == plane.gc()
+
+        # Terminal convergence: every node's metadata cache is identical, the
+        # durable data footprint is identical, and liveness knowledge agrees
+        # for every id still in the Commit Set.
+        assert singleton.cache_states() == plane.cache_states()
+        assert singleton.data_keys() == plane.data_keys()
+        for store_ids in (singleton.store.list_transaction_ids(),):
+            for txid in store_ids:
+                assert singleton.manager.has_seen(txid) == plane.manager.has_seen(txid)
+        assert (
+            singleton.manager.global_gc.known_transactions()
+            == plane.manager.global_gc.known_transactions()
+        )
+        # Failure declarations converge once the lease lapses: the lease
+        # detector (delayed, observational) ends up agreeing with the
+        # ground-truth poll on exactly the crashed nodes.
+        clock.advance(ORACLE_LEASE + 1.0)
+        assert singleton.detect_after_lease_expiry() == plane.detect_after_lease_expiry()
