@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from bench_utils import emit, run_once
 
-from repro.harness.experiments import run_end_to_end_experiment
+from repro.harness.experiments import run_end_to_end_experiment, run_group_commit_window_sweep
 from repro.harness.report import format_rows
 
 COLUMNS = ["configuration", "median_ms", "p99_ms", "paper_median_ms", "paper_p99_ms", "throughput_tps"]
+
+SWEEP_COLUMNS = ["window_ms", "median_ms", "p99_ms", "throughput_tps", "mean_batch_size"]
 
 
 def run_both_pipeline_modes(num_clients: int = 10, requests_per_client: int = 100):
@@ -24,6 +26,11 @@ def run_both_pipeline_modes(num_clients: int = 10, requests_per_client: int = 10
         ),
         "sequential": run_end_to_end_experiment(
             num_clients=num_clients, requests_per_client=requests_per_client, enable_io_pipeline=False
+        ),
+        # Figure 3 rider: the group-commit window trade-off on the headline
+        # backend (window=0 keeps the figure's default configuration intact).
+        "window_sweep": run_group_commit_window_sweep(
+            windows_ms=(0.0, 2.0, 5.0, 10.0), num_clients=num_clients, requests_per_client=requests_per_client
         ),
     }
 
@@ -70,3 +77,20 @@ def test_fig3_end_to_end_latency(benchmark):
     # ablation benchmark; end-to-end numbers include FaaS overheads).
     for entry in comparison:
         assert entry["pipeline_median_ms"] < entry["sequential_median_ms"]
+
+    sweep = both["window_sweep"]
+    emit(
+        "fig3_group_commit_window_sweep",
+        format_rows(
+            sweep, SWEEP_COLUMNS, title="Figure 3 rider: group-commit window sweep (dynamodb/aft)"
+        ),
+    )
+    by_window = {row["window_ms"]: row for row in sweep}
+    # Coalescing actually happens once the window opens, and grows with it.
+    assert by_window[10.0]["mean_batch_size"] > by_window[2.0]["mean_batch_size"] > 1.0
+    # The window's latency cost is bounded: each member waits at most one
+    # window, so the median cannot exceed the no-window median by much more
+    # than the window itself (generous slack for batching jitter).
+    for window_ms in (2.0, 5.0, 10.0):
+        added = by_window[window_ms]["median_ms"] - by_window[0.0]["median_ms"]
+        assert added < window_ms * 1.5 + 5.0

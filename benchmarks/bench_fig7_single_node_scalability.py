@@ -8,10 +8,15 @@ from __future__ import annotations
 
 from bench_utils import emit, run_once
 
-from repro.harness.experiments import run_single_node_scalability_experiment
+from repro.harness.experiments import (
+    run_group_commit_window_sweep,
+    run_single_node_scalability_experiment,
+)
 from repro.harness.report import format_rows
 
 COLUMNS = ["backend", "clients", "throughput_tps", "median_ms", "paper_throughput_tps"]
+
+SWEEP_COLUMNS = ["window_ms", "median_ms", "p99_ms", "throughput_tps", "mean_batch_size"]
 
 
 def run_both_pipeline_modes(client_counts=(1, 5, 10, 20, 30, 40, 45, 50), requests_per_client=50):
@@ -22,11 +27,16 @@ def run_both_pipeline_modes(client_counts=(1, 5, 10, 20, 30, 40, 45, 50), reques
     sequential = run_single_node_scalability_experiment(
         client_counts=(40, 50), requests_per_client=requests_per_client, enable_io_pipeline=False
     )
-    return rows, sequential
+    # Figure 7 rider: the window sweep at the plateau's client count, where
+    # commit arrivals are dense enough for real coalescing.
+    sweep = run_group_commit_window_sweep(
+        windows_ms=(0.0, 2.0, 5.0, 10.0), num_clients=40, requests_per_client=requests_per_client
+    )
+    return rows, sequential, sweep
 
 
 def test_fig7_single_node_scalability(benchmark):
-    rows, sequential = run_once(benchmark, run_both_pipeline_modes)
+    rows, sequential, sweep = run_once(benchmark, run_both_pipeline_modes)
     emit(
         "fig7_single_node_scalability",
         format_rows(rows, COLUMNS, title="Figure 7: single-node throughput (txn/s)"),
@@ -52,3 +62,16 @@ def test_fig7_single_node_scalability(benchmark):
         assert by_key[(backend, 50)] < by_key[(backend, 40)] * 1.15
     # Redis sustains a higher plateau than DynamoDB (paper: ~900 vs ~600).
     assert by_key[("redis", 50)] > by_key[("dynamodb", 50)] * 1.2
+
+    emit(
+        "fig7_group_commit_window_sweep",
+        format_rows(
+            sweep, SWEEP_COLUMNS, title="Figure 7 rider: group-commit window sweep at 40 clients"
+        ),
+    )
+    by_window = {row["window_ms"]: row for row in sweep}
+    # Dense commit arrivals coalesce: batch size grows with the window.
+    assert by_window[10.0]["mean_batch_size"] > by_window[0.0]["mean_batch_size"]
+    # Coalescing must not collapse throughput (bounded latency-for-batching
+    # trade; loose floor because the sweep rides a busy plateau).
+    assert by_window[10.0]["throughput_tps"] > by_window[0.0]["throughput_tps"] * 0.6

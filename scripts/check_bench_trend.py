@@ -158,6 +158,17 @@ GATED: dict[str, FileSpec] = {
         ),
         scale_marker="workload.fast_mode",
     ),
+    "BENCH_async_io.json": FileSpec(
+        metrics=(
+            # Wall-clock speedup of 16 concurrent async clients over the
+            # serial sync facade.  A ratio of two same-machine wall-clock
+            # rates, so it is scale-robust but noisy on shared CI runners —
+            # generous tolerance; the floor IS the acceptance criterion
+            # (>= 2x overlap from the async runtime).
+            Metric("speedup_at_16", HIGHER, 0.60, floor=2.0),
+        ),
+        scale_marker="fast_mode",
+    ),
     "BENCH_multicast.json": FileSpec(
         metrics=(
             # The sender-cost improvement is a pure count ratio (deliveries +

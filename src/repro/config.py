@@ -52,6 +52,20 @@ class AftConfig:
     group_commit_max_txns:
         Upper bound on the number of transactions coalesced into one
         group-commit flush; arrivals beyond it start the next batch.
+    io_concurrency:
+        Bound on concurrently in-flight request groups per IO-plan stage.
+        Applied to the node's storage engines at construction; only engines
+        with real blocking IO (``wall_clock_io``) actually fan out — the
+        simulated engines meter latency and stay sequential/deterministic.
+    async_runtime:
+        Declares that this deployment drives the node through the asyncio
+        entry points (``get_many_async`` / ``commit_transaction_async`` /
+        ``commit_transactions_async``), where stage fan-out runs on
+        ``asyncio.gather`` and the group-commit flush is an event-loop timer
+        instead of a leader thread.  The sync facade always remains
+        available; the discrete-event simulator ignores this flag (it is
+        single-threaded simulated time either way) but records it in the
+        experiment manifest.
     strict_reads:
         If True, ``get`` raises :class:`~repro.errors.AtomicReadError` when
         Algorithm 1 finds no compatible version; if False it returns ``None``
@@ -91,6 +105,8 @@ class AftConfig:
     enable_group_commit: bool = False
     group_commit_window: float = 0.0
     group_commit_max_txns: int = 8
+    io_concurrency: int = 16
+    async_runtime: bool = False
     strict_reads: bool = False
     multicast_interval: float = 1.0
     prune_superseded_broadcasts: bool = True
@@ -104,6 +120,8 @@ class AftConfig:
     def __post_init__(self) -> None:
         if self.group_commit_max_txns < 1:
             raise ValueError("group_commit_max_txns must be >= 1")
+        if self.io_concurrency < 1:
+            raise ValueError("io_concurrency must be >= 1")
         if self.group_commit_window < 0:
             raise ValueError("group_commit_window must be >= 0")
         if self.enable_group_commit and not self.enable_io_pipeline:
@@ -133,6 +151,8 @@ class AftConfig:
             "enable_group_commit": self.enable_group_commit,
             "group_commit_window": self.group_commit_window,
             "group_commit_max_txns": self.group_commit_max_txns,
+            "io_concurrency": self.io_concurrency,
+            "async_runtime": self.async_runtime,
             "strict_reads": self.strict_reads,
             "multicast_interval": self.multicast_interval,
             "prune_superseded_broadcasts": self.prune_superseded_broadcasts,
@@ -252,9 +272,11 @@ class FaultManagerConfig:
         lag its peers by at most this much — the paper's loosely-synchronised
         clock assumption).
     parallel_recovery:
-        Whether node-failure recovery replays the shards concurrently on
-        real threads.  Scans stay sequential (deterministic); the simulator
-        charges per-shard parallel latency either way.
+        Whether node-failure recovery replays the shards concurrently on the
+        shared bounded IO runtime (:mod:`repro.runtime`) — the same executor
+        budget the data path's plan fan-out uses, not a private pool.  Scans
+        stay sequential (deterministic); the simulator charges per-shard
+        parallel latency either way.
     """
 
     num_shards: int = 4

@@ -57,9 +57,9 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_right
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import runtime
 from repro.config import FaultManagerConfig
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.garbage_collector import GlobalDataGC
@@ -560,10 +560,12 @@ class FaultManager:
 
         shards = list(self._shards.values())
         if self.config.parallel_recovery and len(shards) > 1:
-            with ThreadPoolExecutor(
-                max_workers=len(shards), thread_name_prefix="fm-recovery"
-            ) as pool:
-                outcomes = list(pool.map(replay, shards))
+            # The replay rides the shared bounded IO runtime instead of a
+            # private per-recovery thread pool: recovery contends for the
+            # same in-flight-request budget as the data path.
+            outcomes = runtime.run_blocking_group(
+                [lambda s=shard: replay(s) for shard in shards]
+            )
         else:
             outcomes = [replay(shard) for shard in shards]
 

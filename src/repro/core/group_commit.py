@@ -23,10 +23,20 @@ two-stage commit plan — batching is purely opportunistic.  The explicit
 :meth:`commit_batch` entry point lets deterministic callers (benchmarks, the
 simulator's preload, tests) coalesce a known set of transactions without
 relying on thread timing.
+
+:class:`AsyncGroupCommitter` is the event-loop counterpart used by the async
+node entry points: the first commit to open a batch schedules a flush task
+that sleeps the window on the loop (``asyncio.sleep``) instead of parking a
+leader thread, and the flush persists the batch through
+:func:`execute_commit_plan_async` so its stage fan-out shares the bounded IO
+executor with everything else.  Waiter cancellation never cancels the flush —
+the flush runs in its own task, so a client timing out mid-commit cannot
+abandon other members' durability.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass, field
@@ -57,6 +67,28 @@ def execute_commit_plan(
         if data:
             storage.execute_plan(IOPlan.writes(data, name="data"))
         commit_store.engine.execute_plan(IOPlan.writes(records, name="commit-records"))
+
+
+async def execute_commit_plan_async(
+    storage: StorageEngine,
+    commit_store: CommitSetStore,
+    data: Mapping[str, bytes],
+    records: Mapping[str, bytes],
+) -> None:
+    """Async twin of :func:`execute_commit_plan` — same §3.3 ordering.
+
+    The stage barrier inside ``execute_plan_async`` (stage two's gather only
+    starts after stage one's gather completed) carries the invariant; with a
+    separate metadata engine the sequential awaits do.  Cancellation between
+    the stages leaves data durable but no commit record — invisible garbage
+    for the GC, never a fractured read.
+    """
+    if commit_store.engine is storage:
+        await storage.execute_plan_async(IOPlan.commit(data, records))
+    else:
+        if data:
+            await storage.execute_plan_async(IOPlan.writes(data, name="data"))
+        await commit_store.engine.execute_plan_async(IOPlan.writes(records, name="commit-records"))
 
 
 @dataclass
@@ -216,3 +248,107 @@ class GroupCommitter:
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
         if self._on_flush is not None:
             self._on_flush(len(batch))
+
+
+class _AsyncBatch:
+    """One open event-loop batch: its members and the future they await."""
+
+    __slots__ = ("members", "future")
+
+    def __init__(self, future: "asyncio.Future[None]") -> None:
+        self.members: list[PendingCommit] = []
+        self.future = future
+
+
+class AsyncGroupCommitter:
+    """Event-loop group commit: an ``asyncio.sleep`` timer replaces the leader.
+
+    All state transitions happen on the event loop with no ``await`` between
+    checking the open batch and appending to it, so no lock is needed for the
+    batching itself (stats still take one — they are shared with sync-side
+    readers).  The flush runs as its own task: member cancellation cannot
+    interrupt it, and each member still gets ``done`` / ``error`` /
+    ``batch_size`` set on its :class:`PendingCommit` exactly like the
+    threaded committer, so callers can share the finalize logic.
+    """
+
+    def __init__(
+        self,
+        storage: StorageEngine,
+        commit_store: CommitSetStore,
+        window: float = 0.0,
+        max_txns: int = 8,
+        on_flush: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_txns < 1:
+            raise ValueError("group_commit_max_txns must be >= 1")
+        self._storage = storage
+        self._commit_store = commit_store
+        self.window = float(window)
+        self.max_txns = int(max_txns)
+        self._on_flush = on_flush
+        self._open: _AsyncBatch | None = None
+        #: Strong references to in-flight flush tasks (the event loop only
+        #: keeps weak ones; an unreferenced task may be garbage collected).
+        self._flush_tasks: set[asyncio.Task] = set()
+        self._lock = threading.Lock()
+        self.stats = GroupCommitStats()
+
+    async def commit(self, pending: PendingCommit) -> PendingCommit:
+        """Submit one commit; returns once its batch flushed (or raises)."""
+        return (await self.commit_batch([pending]))[0]
+
+    async def commit_batch(self, pendings: list[PendingCommit]) -> list[PendingCommit]:
+        """Submit several commits, guaranteeing they share (chunked) batches."""
+        if not pendings:
+            return []
+        loop = asyncio.get_running_loop()
+        batches: list[_AsyncBatch] = []
+        for pending in pendings:
+            batch = self._open
+            if batch is None or len(batch.members) >= self.max_txns:
+                batch = _AsyncBatch(future=loop.create_future())
+                self._open = batch
+                task = loop.create_task(self._flush_after_window(batch))
+                self._flush_tasks.add(task)
+                task.add_done_callback(self._flush_tasks.discard)
+            batch.members.append(pending)
+            if not batches or batches[-1] is not batch:
+                batches.append(batch)
+        await asyncio.gather(*(batch.future for batch in batches))
+        for pending in pendings:
+            if pending.error is not None:
+                raise pending.error
+        return pendings
+
+    async def _flush_after_window(self, batch: _AsyncBatch) -> None:
+        """Flush task: wait the window, close the batch, persist it."""
+        if self.window > 0:
+            await asyncio.sleep(self.window)
+        if self._open is batch:
+            self._open = None
+        members = batch.members
+        try:
+            data: dict[str, bytes] = {}
+            records: dict[str, bytes] = {}
+            for pending in members:
+                data.update(pending.data)
+                records[self._commit_store.record_storage_key(pending.record.txid)] = (
+                    pending.record.to_bytes()
+                )
+            await execute_commit_plan_async(self._storage, self._commit_store, data, records)
+            with self._lock:
+                self.stats.flushes += 1
+                self.stats.transactions_flushed += len(members)
+                self.stats.largest_batch = max(self.stats.largest_batch, len(members))
+            if self._on_flush is not None:
+                self._on_flush(len(members))
+        except BaseException as exc:  # noqa: BLE001 - propagated per commit
+            for pending in members:
+                pending.error = exc
+        finally:
+            for pending in members:
+                pending.batch_size = len(members)
+                pending.done.set()
+            if not batch.future.done():
+                batch.future.set_result(None)

@@ -20,14 +20,22 @@ to its own storage key, so concurrent nodes never overwrite each other.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from dataclasses import dataclass, field
 
+from repro import runtime
 from repro.clock import Clock, SystemClock
 from repro.config import AftConfig, DEFAULT_CONFIG
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.data_cache import DataCache
-from repro.core.group_commit import GroupCommitter, PendingCommit, execute_commit_plan
+from repro.core.group_commit import (
+    AsyncGroupCommitter,
+    GroupCommitter,
+    PendingCommit,
+    execute_commit_plan,
+    execute_commit_plan_async,
+)
 from repro.core.io_plan import IOPlan
 from repro.core.metadata_cache import CommitSetCache
 from repro.core.read_protocol import ReadDecision, atomic_read
@@ -94,6 +102,25 @@ class NodeStats:
 
 
 @dataclass
+class _ReadBatch:
+    """Intermediate state of one ``get_many`` between planning and fetching.
+
+    Everything Algorithm 1 decided under the node lock, captured so the
+    storage fetch — the only part that touches the network — can run either
+    synchronously or on the async core with identical semantics.
+    """
+
+    transaction: Transaction
+    results: dict[str, bytes | None] = field(default_factory=dict)
+    decisions: dict[str, ReadDecision] = field(default_factory=dict)
+    storage_keys: dict[str, str] = field(default_factory=dict)
+    cowritten_sets: dict[str, frozenset[str]] = field(default_factory=dict)
+    cached: dict[str, bytes] = field(default_factory=dict)
+    #: User key -> storage key still needing a storage fetch.
+    to_fetch: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
 class _PreparedCommit:
     """Everything the commit protocol derives before touching storage."""
 
@@ -136,6 +163,12 @@ class AftNode:
             use_plans=self.config.enable_io_pipeline,
         )
         self.stats = NodeStats()
+        # The node's configured per-stage request-group concurrency applies to
+        # its engines (a shared engine keeps the last writer's bound — nodes
+        # in one cluster share one config, so this is moot in practice).
+        self.storage.io_concurrency = self.config.io_concurrency
+        if self.commit_store.engine is not storage:
+            self.commit_store.engine.io_concurrency = self.config.io_concurrency
         # The committer exists unconditionally (the explicit
         # ``commit_transactions`` batch API always routes through it);
         # ``enable_group_commit`` only controls whether single commits do.
@@ -146,6 +179,9 @@ class AftNode:
             max_txns=self.config.group_commit_max_txns,
             on_flush=self._record_group_flush,
         )
+        #: Event-loop counterpart, created lazily on first async commit (its
+        #: batch futures are loop-bound, so it cannot be built eagerly here).
+        self._async_group_committer: AsyncGroupCommitter | None = None
 
         self._id_generator = TransactionIdGenerator(self.clock)
         self._transactions: dict[str, Transaction] = {}
@@ -336,6 +372,20 @@ class AftNode:
         provisional = TransactionId(timestamp=transaction.start_time, uuid=transaction.uuid)
         self.write_buffer.put(txid, key, value, provisional_id=provisional)
 
+    async def put_async(self, txid: str, key: str, value: bytes | str) -> None:
+        """Async twin of :meth:`put`: a threshold-triggered spill awaits its plan."""
+        self._require_running()
+        validate_user_key(key)
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        with self._lock:
+            transaction = self._get_running(txid)
+            transaction.touch(self.clock.now())
+            transaction.record_write(key)
+            self.stats.writes += 1
+        provisional = TransactionId(timestamp=transaction.start_time, uuid=transaction.uuid)
+        await self.write_buffer.put_async(txid, key, value, provisional_id=provisional)
+
     def get(self, txid: str, key: str) -> bytes | None:
         """Read ``key`` within transaction ``txid`` (Table 1 ``Get``).
 
@@ -357,6 +407,28 @@ class AftNode:
         the pipeline of Section 3.3 applied to reads).  Duplicate keys
         resolve to a single decision.
         """
+        batch = self._prepare_read_batch(txid, keys)
+        fetched = self._fetch_payloads(batch) if batch.to_fetch else {}
+        return self._finish_read_batch(txid, batch, fetched)
+
+    async def get_many_async(self, txid: str, keys: list[str]) -> dict[str, bytes | None]:
+        """Async twin of :meth:`get_many`.
+
+        Identical read protocol; the payload fetch runs through
+        :meth:`~repro.storage.base.StorageEngine.execute_plan_async`, so
+        wall-clock backends overlap the fetches of concurrent client
+        coroutines instead of serialising them on the calling thread.
+        """
+        batch = self._prepare_read_batch(txid, keys)
+        fetched = await self._fetch_payloads_async(batch) if batch.to_fetch else {}
+        return self._finish_read_batch(txid, batch, fetched)
+
+    async def get_async(self, txid: str, key: str) -> bytes | None:
+        """Async twin of :meth:`get`."""
+        return (await self.get_many_async(txid, [key]))[key]
+
+    def _prepare_read_batch(self, txid: str, keys: list[str]) -> _ReadBatch:
+        """Run Algorithm 1 for the batch; everything up to the storage fetch."""
         self._require_running()
         for key in keys:
             validate_user_key(key)
@@ -446,23 +518,78 @@ class AftNode:
             with self._lock:
                 self.stats.data_cache_hits += len(cached)
 
-        fetched: dict[str, bytes | None] = {}
-        if to_fetch:
-            if self.config.enable_io_pipeline:
-                if len(to_fetch) > 1:
-                    self.stats.bump_extra("batched_payload_fetches")
-                plan_values = self.storage.execute_plan(
-                    IOPlan.reads(to_fetch.values(), name="payload-fetch")
-                ).values
-            else:
-                plan_values = {
-                    storage_key: self.storage.get(storage_key)
-                    for storage_key in to_fetch.values()
-                }
-            fetched = {key: plan_values.get(storage_key) for key, storage_key in to_fetch.items()}
-            with self._lock:
-                self.stats.storage_value_reads += len(to_fetch)
+        return _ReadBatch(
+            transaction=transaction,
+            results=results,
+            decisions=decisions,
+            storage_keys=storage_keys,
+            cowritten_sets=cowritten_sets,
+            cached=cached,
+            to_fetch=to_fetch,
+        )
 
+    def _fetch_payloads(self, batch: _ReadBatch) -> dict[str, bytes | None]:
+        """Fetch the batch's undecided payloads from storage (sync facade)."""
+        if self.config.enable_io_pipeline:
+            if len(batch.to_fetch) > 1:
+                self.stats.bump_extra("batched_payload_fetches")
+            plan_values = self.storage.execute_plan(
+                IOPlan.reads(batch.to_fetch.values(), name="payload-fetch")
+            ).values
+        else:
+            plan_values = {
+                storage_key: self.storage.get(storage_key)
+                for storage_key in batch.to_fetch.values()
+            }
+        fetched = {
+            key: plan_values.get(storage_key) for key, storage_key in batch.to_fetch.items()
+        }
+        with self._lock:
+            self.stats.storage_value_reads += len(batch.to_fetch)
+        return fetched
+
+    async def _fetch_payloads_async(self, batch: _ReadBatch) -> dict[str, bytes | None]:
+        """Fetch the batch's undecided payloads through the async IO core."""
+        if self.config.enable_io_pipeline:
+            if len(batch.to_fetch) > 1:
+                self.stats.bump_extra("batched_payload_fetches")
+            plan_values = (
+                await self.storage.execute_plan_async(
+                    IOPlan.reads(batch.to_fetch.values(), name="payload-fetch")
+                )
+            ).values
+        else:
+            # The sequential (pipeline-off) path, moved off the event loop so
+            # wall-clock point reads do not stall other coroutines.
+            loop = asyncio.get_running_loop()
+
+            def read_all() -> dict[str, bytes | None]:
+                return {
+                    storage_key: self.storage.get(storage_key)
+                    for storage_key in batch.to_fetch.values()
+                }
+
+            plan_values = await loop.run_in_executor(
+                runtime.io_executor(), runtime.run_marked, read_all
+            )
+        fetched = {
+            key: plan_values.get(storage_key) for key, storage_key in batch.to_fetch.items()
+        }
+        with self._lock:
+            self.stats.storage_value_reads += len(batch.to_fetch)
+        return fetched
+
+    def _finish_read_batch(
+        self, txid: str, batch: _ReadBatch, fetched: dict[str, bytes | None]
+    ) -> dict[str, bytes | None]:
+        """Apply fetch results: caching, missing-version handling, read records."""
+        transaction = batch.transaction
+        results = batch.results
+        decisions = batch.decisions
+        storage_keys = batch.storage_keys
+        cached = batch.cached
+        to_fetch = batch.to_fetch
+        cowritten_sets = batch.cowritten_sets
         missing: list[str] = []
         for key in storage_keys:
             value = cached.get(key)
@@ -586,6 +713,127 @@ class AftNode:
             error.partial_commit_results = dict(results)  # type: ignore[attr-defined]
             raise error
         return results
+
+    # ------------------------------------------------------------------ #
+    # Async commit path
+    # ------------------------------------------------------------------ #
+    def _get_async_group_committer(self) -> AsyncGroupCommitter:
+        committer = self._async_group_committer
+        if committer is None:
+            committer = AsyncGroupCommitter(
+                storage=self.storage,
+                commit_store=self.commit_store,
+                window=self.config.group_commit_window,
+                max_txns=self.config.group_commit_max_txns,
+                on_flush=self._record_group_flush,
+            )
+            self._async_group_committer = committer
+        return committer
+
+    async def commit_transaction_async(self, txid: str) -> TransactionId:
+        """Async twin of :meth:`commit_transaction` (§3.3 ordering intact).
+
+        The data/record stages run through the async IO core; with
+        ``enable_group_commit`` concurrent coroutines coalesce through the
+        :class:`~repro.core.group_commit.AsyncGroupCommitter`, whose flush is
+        an event-loop timer rather than a parked leader thread.  If the
+        caller is cancelled (a client timeout) mid-persist, the stage barrier
+        guarantees the commit record was not yet issued: the transaction is
+        simply not committed, and its spilled/partial data is unreferenced
+        garbage for the GC — never a fractured read.
+        """
+        self._require_running()
+        prepared = self._prepare_commit(txid)
+        if prepared.already_committed is not None:
+            return prepared.already_committed
+
+        if prepared.record is not None:
+            if self.config.enable_group_commit:
+                await self._get_async_group_committer().commit(
+                    PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
+                )
+            else:
+                await self._persist_commit_async(prepared.to_persist, prepared.record)
+
+        self._finalize_commit(prepared)
+        return prepared.commit_id
+
+    async def commit_transactions_async(self, txids: list[str]) -> dict[str, TransactionId]:
+        """Async twin of :meth:`commit_transactions` — same batch semantics.
+
+        Prepared members flush through the async committer; members of
+        chunks that were durably flushed before another chunk failed are
+        finalized and reported via ``partial_commit_results`` exactly like
+        the sync path.
+        """
+        self._require_running()
+        results: dict[str, TransactionId] = {}
+        batch: list[tuple[_PreparedCommit, PendingCommit]] = []
+        prepare_error: BaseException | None = None
+        for txid in dict.fromkeys(txids):
+            try:
+                prepared = self._prepare_commit(txid)
+            except (UnknownTransactionError, TransactionAbortedError) as exc:
+                if prepare_error is None:
+                    prepare_error = exc
+                continue
+            if prepared.already_committed is not None:
+                results[txid] = prepared.already_committed
+                continue
+            if prepared.record is None:
+                self._finalize_commit(prepared)
+                results[txid] = prepared.commit_id
+                continue
+            batch.append(
+                (prepared, PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist))
+            )
+
+        error: BaseException | None = None
+        try:
+            await self._get_async_group_committer().commit_batch(
+                [pending for _, pending in batch]
+            )
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            error = exc
+        finally:
+            for prepared, pending in batch:
+                if pending.done.is_set() and pending.error is None:
+                    self._finalize_commit(prepared)
+                    results[prepared.txid] = prepared.commit_id
+        if error is None:
+            error = prepare_error
+        if error is not None:
+            error.partial_commit_results = dict(results)  # type: ignore[attr-defined]
+            raise error
+        return results
+
+    async def _persist_commit_async(
+        self, to_persist: dict[str, bytes], record: CommitRecord
+    ) -> None:
+        """Async twin of :meth:`_persist_commit` — same §3.3 two-step shape."""
+        if self.config.enable_io_pipeline and self.config.batch_commit_writes:
+            await execute_commit_plan_async(
+                self.storage,
+                self.commit_store,
+                to_persist,
+                {self.commit_store.record_storage_key(record.txid): record.to_bytes()},
+            )
+        else:
+            # The legacy sequential path, kept off the event loop; ordering
+            # holds because the record write only runs after the executor
+            # call persisting the data returned.
+            loop = asyncio.get_running_loop()
+            if to_persist:
+                await loop.run_in_executor(
+                    runtime.io_executor(),
+                    runtime.run_marked,
+                    lambda: self._persist_updates(to_persist),
+                )
+            await loop.run_in_executor(
+                runtime.io_executor(),
+                runtime.run_marked,
+                lambda: self.commit_store.write_record(record),
+            )
 
     def _prepare_commit(self, txid: str) -> "_PreparedCommit":
         """Assign a commit id and split the write set into spilled/unspilled."""

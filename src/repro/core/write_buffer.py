@@ -16,9 +16,11 @@ keys are removed by garbage collection.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from dataclasses import dataclass, field
 
+from repro import runtime
 from repro.core.io_plan import IOPlan
 from repro.errors import UnknownTransactionError
 from repro.ids import TransactionId, data_key
@@ -96,19 +98,31 @@ class AtomicWriteBuffer:
     # ------------------------------------------------------------------ #
     def put(self, uuid: str, key: str, value: bytes, provisional_id: TransactionId | None = None) -> None:
         """Buffer an update, spilling to storage if over the threshold."""
+        if self._buffer_update(uuid, key, value, provisional_id):
+            self.spill(uuid, provisional_id)
+
+    async def put_async(
+        self, uuid: str, key: str, value: bytes, provisional_id: TransactionId | None = None
+    ) -> None:
+        """Async twin of :meth:`put`: a triggered spill awaits the IO plan."""
+        if self._buffer_update(uuid, key, value, provisional_id):
+            await self.spill_async(uuid, provisional_id)
+
+    def _buffer_update(
+        self, uuid: str, key: str, value: bytes, provisional_id: TransactionId | None
+    ) -> bool:
+        """Record the update under the lock; return whether to spill now."""
         with self._lock:
             buffer = self._buffers.get(uuid)
             if buffer is None:
                 raise UnknownTransactionError(f"no open write buffer for transaction {uuid!r}", txid=uuid)
             buffer.put(key, value)
-            should_spill = (
+            return (
                 self.spill_threshold_bytes is not None
                 and self._storage is not None
                 and provisional_id is not None
                 and buffer.buffered_bytes > self.spill_threshold_bytes
             )
-        if should_spill:
-            self.spill(uuid, provisional_id)
 
     def get(self, uuid: str, key: str) -> bytes | None:
         """Return the transaction's own pending value for ``key``, if any.
@@ -165,6 +179,40 @@ class AtomicWriteBuffer:
         keys in the commit record, so spilled data need not be rewritten.
         Returns the storage keys written.
         """
+        to_spill, items = self._collect_spill(uuid, provisional_id)
+        if self.use_plans and items:
+            self._storage.execute_plan(IOPlan.writes(items, name="spill"))
+        else:
+            for storage_key, value in items.items():
+                self._storage.put(storage_key, value)
+        return self._mark_spilled(uuid, to_spill, provisional_id, list(items))
+
+    async def spill_async(self, uuid: str, provisional_id: TransactionId) -> list[str]:
+        """Async twin of :meth:`spill`: the one-stage plan runs on the async core.
+
+        Same overwrite-aware bookkeeping — a value replaced while its spill
+        was in flight is simply spilled again later.
+        """
+        to_spill, items = self._collect_spill(uuid, provisional_id)
+        if items:
+            if self.use_plans:
+                await self._storage.execute_plan_async(IOPlan.writes(items, name="spill"))
+            else:
+                # The sequential (pre-pipeline) spill path, kept off the event
+                # loop so wall-clock engines do not stall it.
+                loop = asyncio.get_running_loop()
+
+                def write_all() -> None:
+                    for storage_key, value in items.items():
+                        self._storage.put(storage_key, value)
+
+                await loop.run_in_executor(runtime.io_executor(), runtime.run_marked, write_all)
+        return self._mark_spilled(uuid, to_spill, provisional_id, list(items))
+
+    def _collect_spill(
+        self, uuid: str, provisional_id: TransactionId
+    ) -> tuple[dict[str, BufferedWrite], dict[str, bytes]]:
+        """Snapshot the not-yet-spilled writes and their storage items."""
         if self._storage is None:
             raise RuntimeError("AtomicWriteBuffer was constructed without a storage engine; cannot spill")
         with self._lock:
@@ -175,12 +223,16 @@ class AtomicWriteBuffer:
                 key: write for key, write in buffer.writes.items() if write.spilled_to is None
             }
         items = {data_key(key, provisional_id): write.value for key, write in to_spill.items()}
-        if self.use_plans and items:
-            self._storage.execute_plan(IOPlan.writes(items, name="spill"))
-        else:
-            for storage_key, value in items.items():
-                self._storage.put(storage_key, value)
-        written = list(items)
+        return to_spill, items
+
+    def _mark_spilled(
+        self,
+        uuid: str,
+        to_spill: dict[str, BufferedWrite],
+        provisional_id: TransactionId,
+        written: list[str],
+    ) -> list[str]:
+        """Record which spilled writes are now durable (overwrite-aware)."""
         with self._lock:
             buffer = self._buffers.get(uuid)
             if buffer is None:

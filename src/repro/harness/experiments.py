@@ -228,6 +228,57 @@ def run_end_to_end_experiment(
 
 
 # --------------------------------------------------------------------------- #
+# Group-commit window sweep (rides along fig3 / fig7)
+# --------------------------------------------------------------------------- #
+def run_group_commit_window_sweep(
+    windows_ms: Sequence[float] = (0.0, 2.0, 5.0, 10.0),
+    backend: str = "dynamodb",
+    num_clients: int = 10,
+    requests_per_client: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Sweep the simulated-time group-commit window on one AFT deployment.
+
+    Window 0 is the degenerate case (the committer runs but the event loop
+    produces batches of one); positive windows coalesce through the
+    :class:`~repro.simulation.cluster_sim.SimGroupCommitGate`, trading up to
+    one window of added commit latency for shared storage flushes.  The
+    figure benchmarks attach this sweep so the latency/batching trade-off is
+    visible next to the headline numbers it modulates.
+    """
+    rows: list[dict] = []
+    for window_ms in windows_ms:
+        spec = DeploymentSpec(
+            mode="aft",
+            backend=backend,
+            workload=_anomaly_workload(),
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            enable_data_cache=False,
+            enable_group_commit=True,
+            group_commit_window=window_ms / 1000.0,
+            seed=seed,
+        )
+        result = run_deployment(spec)
+        stats_extra: dict = {}
+        for node_stats in result.node_stats:
+            for key in ("group_commits", "group_commit_batched_txns"):
+                stats_extra[key] = stats_extra.get(key, 0) + node_stats.get(key, 0)
+        flushes = stats_extra.get("group_commits", 0)
+        batched = stats_extra.get("group_commit_batched_txns", 0)
+        rows.append(
+            {
+                "window_ms": window_ms,
+                "median_ms": result.latency.median_ms,
+                "p99_ms": result.latency.p99_ms,
+                "throughput_tps": result.throughput,
+                "mean_batch_size": (batched / flushes) if flushes else 1.0,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Figure 4 — read caching and data skew
 # --------------------------------------------------------------------------- #
 def run_caching_skew_experiment(

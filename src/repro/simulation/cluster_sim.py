@@ -120,9 +120,11 @@ class SimGroupCommitGate:
     Each member's latency includes its share of the window wait plus the
     batch's one pipelined storage charge — ``n`` commits cost two storage
     round trips instead of ``2n``, which is exactly what the fig3/fig7
-    group-commit ablation is supposed to show.  The flush's storage time is
-    paid inside the gate's own process, so it does not contend for the
-    deployment's ``storage_concurrency_limit`` resource.
+    group-commit ablation is supposed to show.  When the deployment caps
+    concurrent storage operations (``storage_concurrency_limit``), the
+    flush's storage charge is paid *through* that shared resource: a batch
+    flush occupies one in-flight-request slot for its duration, contending
+    with per-transaction traffic exactly like any other storage call.
     """
 
     def __init__(
@@ -132,6 +134,7 @@ class SimGroupCommitGate:
         cost_model: DeploymentCostModel,
         window: float,
         max_txns: int,
+        storage_resource: Resource | None = None,
     ) -> None:
         if window <= 0:
             raise ValueError("SimGroupCommitGate needs a positive window")
@@ -140,6 +143,7 @@ class SimGroupCommitGate:
         self.cost_model = cost_model
         self.window = window
         self.max_txns = max_txns
+        self.storage_resource = storage_resource
         self._open: _GateBatch | None = None
 
     def join(self, txid: str) -> _GateTicket:
@@ -181,7 +185,10 @@ class SimGroupCommitGate:
         else:
             storage_s = ledger.sequential_latency
         if storage_s > 0:
-            yield self.sim.timeout(storage_s)
+            if self.storage_resource is not None:
+                yield from self.storage_resource.use(storage_s)
+            else:
+                yield self.sim.timeout(storage_s)
         batch.event.succeed()
 
 
@@ -268,6 +275,17 @@ class DeploymentSpec:
     group_commit_window: float = 0.0
     group_commit_max_txns: int = 8
     prune_superseded_broadcasts: bool = True
+    #: Per-stage IO fan-out bound applied to the nodes' engines
+    #: (:attr:`~repro.config.AftConfig.io_concurrency`).  Simulated engines
+    #: are metered, not wall-clock, so this does not change medians — it is
+    #: threaded through so a spec describes a real deployment faithfully.
+    #: ``None`` keeps the AftConfig default.
+    io_concurrency: int | None = None
+    #: Declare that the described deployment drives nodes through the async
+    #: entry points (``*_async``).  The simulator itself stays synchronous —
+    #: virtual time needs no wall-clock overlap — but the knob is recorded on
+    #: the node config so spec round-trips are faithful.
+    async_runtime: bool = False
     #: Metadata-plane strategies — the commit-stream transport ("direct" |
     #: "sharded"), the failure detector ("polling" | "lease"), and the
     #: commit-record keyspace ("flat" | "partitioned") — selected by one
@@ -442,6 +460,10 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             group_commit_window=spec.group_commit_window,
             group_commit_max_txns=spec.group_commit_max_txns,
             prune_superseded_broadcasts=spec.prune_superseded_broadcasts,
+            io_concurrency=(
+                spec.io_concurrency if spec.io_concurrency is not None else AftConfig.io_concurrency
+            ),
+            async_runtime=spec.async_runtime,
         )
     # The coalescing window runs in *simulated* time through the per-node
     # SimGroupCommitGate; the node-level committer's own (wall-clock) window
@@ -481,12 +503,16 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
             return None
         gate = group_gates.get(node.node_id)
         if gate is None:
+            # `storage_resource` is assigned later in run_deployment (before
+            # the simulation runs); gates are only created lazily from inside
+            # client processes, so the late binding always resolves.
             gate = SimGroupCommitGate(
                 sim,
                 node,
                 spec.cost_model,
                 window=sim_group_window,
                 max_txns=node_config.group_commit_max_txns,
+                storage_resource=storage_resource,
             )
             group_gates[node.node_id] = gate
         return gate

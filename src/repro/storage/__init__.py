@@ -24,6 +24,7 @@ from repro.storage.latency import (
     redis_latency_profile,
     s3_latency_profile,
 )
+from repro.storage.latency_injected import LatencyInjectedStorage
 from repro.storage.memory import InMemoryStorage
 from repro.storage.dynamodb import SimulatedDynamoDB
 from repro.storage.s3 import SimulatedS3
@@ -42,6 +43,7 @@ __all__ = [
     "s3_latency_profile",
     "redis_latency_profile",
     "InMemoryStorage",
+    "LatencyInjectedStorage",
     "SimulatedDynamoDB",
     "SimulatedS3",
     "SimulatedRedisCluster",

@@ -15,13 +15,15 @@ accrued cost into simulated time; unit tests simply ignore it.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
+from repro import runtime
 from repro.clock import Clock, SystemClock
 from repro.storage.latency import LatencyModel, ZeroLatency
 
@@ -186,6 +188,16 @@ class StorageEngine(ABC):
     supports_batch_reads: bool = False
     #: Maximum number of items per batched read (None = unlimited).
     max_batch_get_size: int | None = None
+    #: Whether the engine's operations block for *real* wall-clock time
+    #: (network sockets, injected sleeps).  The simulated engines meter their
+    #: latency instead of sleeping, so they leave this False and keep the
+    #: deterministic sequential issue order; wall-clock engines opt into the
+    #: concurrent fan-out of ``execute_plan`` / ``execute_plan_async``.
+    wall_clock_io: bool = False
+    #: Per-engine bound on concurrently issued request groups within one plan
+    #: stage.  ``None`` falls back to the shared runtime default; nodes set it
+    #: from :attr:`repro.config.AftConfig.io_concurrency`.
+    io_concurrency: int | None = None
 
     def __init__(self, latency_model: LatencyModel | None = None, clock: Clock | None = None) -> None:
         self.latency_model = latency_model if latency_model is not None else ZeroLatency()
@@ -268,54 +280,184 @@ class StorageEngine(ABC):
     # ------------------------------------------------------------------ #
     # IO-plan execution (the batched parallel-IO pipeline)
     # ------------------------------------------------------------------ #
+    @property
+    def effective_io_concurrency(self) -> int:
+        """Per-stage request-group concurrency bound actually in effect."""
+        if self.io_concurrency is not None:
+            return max(1, self.io_concurrency)
+        return runtime.io_executor_size()
+
     def execute_plan(self, plan: "IOPlan") -> "PlanResult":
         """Execute an :class:`~repro.core.io_plan.IOPlan` against this engine.
 
         Each stage's operations are partitioned into *request groups* by the
         engine's capability hooks (:meth:`_plan_put_groups` /
-        :meth:`_plan_get_groups`): a group is one storage request, and all
-        groups of a stage are issued concurrently.  The attached
-        :class:`CostLedger` receives every underlying operation tagged with
-        its stage, so ``ledger.pipelined_latency`` charges the max latency
-        within a stage and the sum across stages — stages remain barriers,
-        which is how the commit plan preserves the paper's data-before-
-        commit-record write ordering.
+        :meth:`_plan_get_groups`): a group is one storage request.  How a
+        stage's groups are *issued* depends on the engine:
+
+        * Engines with ``wall_clock_io`` (real backends, the latency-injected
+          wrapper) dispatch the groups onto the process-wide bounded executor
+          (:mod:`repro.runtime`) so blocking requests genuinely overlap, at
+          most :attr:`effective_io_concurrency` in flight at once.  This is
+          the sync facade over the same fan-out ``execute_plan_async`` drives
+          with ``asyncio.gather``.
+        * Metered engines (the simulated backends) issue the groups
+          sequentially on the calling thread.  Their latency is sampled from
+          seeded models, not slept, so threads would buy nothing and would
+          scramble the deterministic sampling order the experiment medians
+          depend on.  The *charged* concurrency is identical either way:
+          every operation lands on the attached :class:`CostLedger` tagged
+          with its stage, and ``ledger.pipelined_latency`` charges the max
+          latency within a stage plus the sum across stages.
+
+        Stages remain barriers in both modes — no group of stage ``i+1`` is
+        issued until every group of stage ``i`` completed — which is how the
+        commit plan preserves the paper's data-before-commit-record write
+        ordering (Section 3.3).
         """
         from repro.core.io_plan import PlanResult
 
         outer = self._ledger
         inner = CostLedger()
         result = PlanResult()
-        with self.metered(inner):
-            for stage in plan.stages:
-                before = len(inner.entries)
-                with inner.stage():
-                    self._execute_stage(stage, result)
-                stage_entries = inner.entries[before:]
-                result.stage_latencies.append(
-                    max((entry.latency for entry in stage_entries), default=0.0)
+        for stage in plan.stages:
+            stage_id = next(_stage_ids)
+            groups = self._stage_groups(stage)
+            if len(groups) > 1 and self.wall_clock_io:
+                outcomes = runtime.run_blocking_group(
+                    [lambda g=group: self._run_group(g, stage_id) for group in groups],
+                    concurrency=self.effective_io_concurrency,
                 )
-                result.requests_issued += len(stage_entries)
+            else:
+                outcomes = [self._run_group(group, stage_id) for group in groups]
+            self._collect_stage(outcomes, inner, result)
         if outer is not None:
             outer.merge(inner)
+        self._record_plan_stats(plan)
+        return result
+
+    async def execute_plan_async(self, plan: "IOPlan") -> "PlanResult":
+        """Asynchronously execute an :class:`~repro.core.io_plan.IOPlan`.
+
+        The async core of the IO pipeline: each stage's request groups are
+        fanned out with ``asyncio.gather``, every group running as one
+        blocking call on the shared bounded executor.  Stages remain
+        barriers — the gather of stage ``i`` is awaited before stage ``i+1``
+        issues — so the commit plan's data-before-commit-record ordering
+        holds exactly as in the sync path, and a caller cancelled mid-stage
+        never gets a later stage issued on its behalf.
+
+        Metered (non-``wall_clock_io``) engines run their groups inline on
+        the event loop instead: their operations return immediately and the
+        sequential issue order keeps the seeded latency sampling — and hence
+        the sync/async parity of values, stage latencies, and stats —
+        deterministic.
+        """
+        from repro.core.io_plan import PlanResult
+
+        outer = self._ledger
+        inner = CostLedger()
+        result = PlanResult()
+        try:
+            for stage in plan.stages:
+                stage_id = next(_stage_ids)
+                groups = self._stage_groups(stage)
+                if len(groups) > 1 and self.wall_clock_io:
+                    outcomes = await self._gather_groups(groups, stage_id)
+                elif groups and self.wall_clock_io:
+                    loop = asyncio.get_running_loop()
+                    outcomes = [
+                        await loop.run_in_executor(
+                            runtime.io_executor(),
+                            runtime.run_marked,
+                            lambda g=groups[0]: self._run_group(g, stage_id),
+                        )
+                    ]
+                else:
+                    outcomes = [self._run_group(group, stage_id) for group in groups]
+                self._collect_stage(outcomes, inner, result)
+        finally:
+            # Surface the charges of completed groups even when cancelled
+            # mid-plan, so callers can still account for the work that ran.
+            if outer is not None:
+                outer.merge(inner)
+        self._record_plan_stats(plan)
+        return result
+
+    async def _gather_groups(
+        self, groups: list[Callable[[], dict[str, bytes | None] | None]], stage_id: int
+    ) -> list[tuple[dict[str, bytes | None] | None, CostLedger]]:
+        """Fan one stage's groups out on the executor, bounded by a semaphore."""
+        loop = asyncio.get_running_loop()
+        limit = asyncio.Semaphore(self.effective_io_concurrency)
+
+        async def run_one(group: Callable[[], dict[str, bytes | None] | None]):
+            async with limit:
+                return await loop.run_in_executor(
+                    runtime.io_executor(),
+                    runtime.run_marked,
+                    lambda: self._run_group(group, stage_id),
+                )
+
+        return list(await asyncio.gather(*(run_one(group) for group in groups)))
+
+    def _stage_groups(
+        self, stage: "IOStage"
+    ) -> list[Callable[[], dict[str, bytes | None] | None]]:
+        """Partition one stage into request-group thunks (one storage request each)."""
+        thunks: list[Callable[[], dict[str, bytes | None] | None]] = []
+        for group in self._plan_put_groups(stage.puts):
+            thunks.append(lambda g=group: self._execute_put_group(g))
+        for key_group in self._plan_get_groups(stage.gets):
+            thunks.append(lambda ks=key_group: self._execute_get_group(ks))
+        deletes = stage.deletes
+        if deletes:
+            thunks.append(lambda ks=deletes: self._execute_delete_group(ks))
+        return thunks
+
+    def _run_group(
+        self, thunk: Callable[[], dict[str, bytes | None] | None], stage_id: int
+    ) -> tuple[dict[str, bytes | None] | None, CostLedger]:
+        """Issue one request group under its own stage-tagged ledger.
+
+        The per-group ledger makes the charge accounting thread-agnostic:
+        whichever thread runs the group, its operations land on a private
+        ledger (ledger attachment is thread-local) that the plan executor
+        merges back in group order — so the merged entry sequence is
+        identical to the old single-ledger sequential loop.
+        """
+        ledger = CostLedger()
+        ledger._current_stage = stage_id
+        with self.metered(ledger):
+            values = thunk()
+        return values, ledger
+
+    def _collect_stage(
+        self,
+        outcomes: list[tuple[dict[str, bytes | None] | None, CostLedger]],
+        inner: CostLedger,
+        result: "PlanResult",
+    ) -> None:
+        """Merge one stage's group outcomes into the plan ledger and result."""
+        stage_latency = 0.0
+        stage_requests = 0
+        for values, ledger in outcomes:
+            if values:
+                result.values.update(values)
+            inner.merge(ledger)
+            stage_requests += len(ledger.entries)
+            stage_latency = max(
+                stage_latency, max((entry.latency for entry in ledger.entries), default=0.0)
+            )
+        result.stage_latencies.append(stage_latency)
+        result.requests_issued += stage_requests
+
+    def _record_plan_stats(self, plan: "IOPlan") -> None:
         with self._lock:
             self.stats.extra["plans_executed"] = self.stats.extra.get("plans_executed", 0) + 1
             self.stats.extra["plan_stages"] = self.stats.extra.get("plan_stages", 0) + len(
                 plan.stages
             )
-        return result
-
-    def _execute_stage(self, stage: "IOStage", result: "PlanResult") -> None:
-        """Issue one stage's operations, grouped into backend-sized requests."""
-        puts = stage.puts
-        gets = stage.gets
-        deletes = stage.deletes
-        for group in self._plan_put_groups(puts):
-            self._execute_put_group(group)
-        for key_group in self._plan_get_groups(gets):
-            result.values.update(self._execute_get_group(key_group))
-        if deletes:
-            self.multi_delete(deletes)
 
     def _plan_put_groups(self, items: Mapping[str, bytes]) -> list[dict[str, bytes]]:
         """Partition a stage's puts into concurrent requests.
@@ -354,6 +496,10 @@ class StorageEngine(ABC):
         if len(keys) > 1:
             return self.multi_get(keys)
         return {keys[0]: self.get(keys[0])}
+
+    def _execute_delete_group(self, keys: list[str]) -> None:
+        """Issue one delete request covering a stage's deletes."""
+        self.multi_delete(keys)
 
     # ------------------------------------------------------------------ #
     # Convenience

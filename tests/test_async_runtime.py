@@ -1,0 +1,343 @@
+"""Tests for the async IO runtime (PR 6).
+
+Three properties anchor the runtime:
+
+* **parity** — the async core and the sync facade are the same protocol:
+  one plan on identical engines yields identical values, stage latencies,
+  request counts, and stats counters either way;
+* **ordering** — §3.3 survives the fan-out: a stage is a barrier, so no
+  commit record is ever issued before the whole data stage finished, even
+  with requests overlapping inside a stage;
+* **cancellation** — a client timeout mid-plan kills the transaction, not
+  the invariant: the commit-record stage simply never starts, so storage
+  holds at most invisible (unreferenced) data.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import runtime
+from repro.clock import LogicalClock
+from repro.config import AftConfig
+from repro.core.io_plan import IOPlan
+from repro.core.node import AftNode
+from repro.core.transaction import TransactionStatus
+from repro.ids import is_commit_record_key
+from repro.storage.dynamodb import SimulatedDynamoDB
+from repro.storage.latency import ConstantLatency, ZeroLatency
+from repro.storage.latency_injected import LatencyInjectedStorage
+from repro.storage.memory import InMemoryStorage
+from repro.storage.rediscluster import SimulatedRedisCluster
+from repro.storage.s3 import SimulatedS3
+
+
+def make_engine(kind: str):
+    clock = LogicalClock(start=10.0, auto_step=0.001)
+    latency = ConstantLatency(0.004)
+    if kind == "memory":
+        return InMemoryStorage(latency_model=latency, clock=clock)
+    if kind == "dynamodb":
+        return SimulatedDynamoDB(latency_model=latency, clock=clock, seed=3)
+    if kind == "s3":
+        return SimulatedS3(latency_model=latency, clock=clock, seed=3)
+    if kind == "redis":
+        return SimulatedRedisCluster(latency_model=latency, clock=clock, shard_count=2)
+    raise ValueError(kind)
+
+
+def commit_shaped_plan() -> IOPlan:
+    data = {f"data/k{i}": f"v{i}".encode() for i in range(7)}
+    records = {"commit/r1": b"record"}
+    return IOPlan.commit(data, records)
+
+
+class TestSyncAsyncParity:
+    """One plan, two execution modes, identical observable outcomes."""
+
+    @pytest.mark.parametrize("kind", ["memory", "dynamodb", "s3", "redis"])
+    def test_plan_results_and_stats_match(self, kind):
+        sync_engine = make_engine(kind)
+        async_engine = make_engine(kind)
+
+        sync_result = sync_engine.execute_plan(commit_shaped_plan())
+        async_result = asyncio.run(async_engine.execute_plan_async(commit_shaped_plan()))
+
+        assert async_result.values == sync_result.values
+        assert async_result.stage_latencies == sync_result.stage_latencies
+        assert async_result.requests_issued == sync_result.requests_issued
+        assert async_result.total_latency == sync_result.total_latency
+        assert async_engine.stats.snapshot() == sync_engine.stats.snapshot()
+
+    @pytest.mark.parametrize("kind", ["memory", "s3"])
+    def test_read_plan_parity(self, kind):
+        sync_engine = make_engine(kind)
+        async_engine = make_engine(kind)
+        for engine in (sync_engine, async_engine):
+            engine.multi_put({f"k{i}": b"x" * (i + 1) for i in range(5)})
+
+        plan = IOPlan.reads([f"k{i}" for i in range(5)], name="parity-read")
+        sync_result = sync_engine.execute_plan(plan)
+        plan2 = IOPlan.reads([f"k{i}" for i in range(5)], name="parity-read")
+        async_result = asyncio.run(async_engine.execute_plan_async(plan2))
+
+        assert async_result.values == sync_result.values
+        assert async_result.stage_latencies == sync_result.stage_latencies
+        assert async_engine.stats.snapshot() == sync_engine.stats.snapshot()
+
+    def test_node_level_read_parity(self):
+        def build():
+            node = AftNode(
+                InMemoryStorage(),
+                config=AftConfig(enable_data_cache=False),
+                clock=LogicalClock(start=50.0, auto_step=0.001),
+                node_id="parity-node",
+            )
+            node.start()
+            txid = node.start_transaction("seed")
+            for i in range(6):
+                node.put(txid, f"key-{i}", f"value-{i}".encode())
+            node.commit_transaction(txid)
+            return node
+
+        keys = [f"key-{i}" for i in range(6)]
+        sync_node = build()
+        t1 = sync_node.start_transaction("read")
+        sync_values = sync_node.get_many(t1, keys)
+
+        async_node = build()
+        t2 = async_node.start_transaction("read")
+        async_values = asyncio.run(async_node.get_many_async(t2, keys))
+
+        assert async_values == sync_values
+        assert async_node.stats.storage_value_reads == sync_node.stats.storage_value_reads
+
+
+class TestWallClockOverlap:
+    """Wall-clock engines really overlap requests — in both facades."""
+
+    def overlap_engine(self, sleep_s: float = 0.02) -> LatencyInjectedStorage:
+        # SimulatedS3 has no batch APIs, so an 8-key stage fans out as 8
+        # request groups; the injected sleeps are real.
+        inner = SimulatedS3(latency_model=ZeroLatency(), clock=LogicalClock(auto_step=1e-6))
+        return LatencyInjectedStorage(inner, injected=ConstantLatency(sleep_s))
+
+    def test_sync_facade_overlaps_groups(self):
+        engine = self.overlap_engine()
+        items = {f"k{i}": b"v" for i in range(8)}
+        start = time.monotonic()
+        engine.execute_plan(IOPlan.writes(items, name="overlap"))
+        elapsed = time.monotonic() - start
+        # Serial would sleep 8 x 20 ms = 160 ms; overlapped is ~20-40 ms.
+        assert elapsed < 0.120
+        assert engine.stats.writes == 8
+
+    def test_async_core_overlaps_groups(self):
+        engine = self.overlap_engine()
+        items = {f"k{i}": b"v" for i in range(8)}
+
+        async def run():
+            start = time.monotonic()
+            await engine.execute_plan_async(IOPlan.writes(items, name="overlap"))
+            return time.monotonic() - start
+
+        assert asyncio.run(run()) < 0.120
+
+    def test_io_concurrency_bounds_the_fanout(self):
+        engine = self.overlap_engine(sleep_s=0.02)
+        engine.io_concurrency = 1
+        items = {f"k{i}": b"v" for i in range(4)}
+        start = time.monotonic()
+        engine.execute_plan(IOPlan.writes(items, name="bounded"))
+        elapsed = time.monotonic() - start
+        # A concurrency bound of one degenerates to the serial sum.
+        assert elapsed >= 0.065
+
+
+class RecordingStorage(LatencyInjectedStorage):
+    """Timestamps the completion of every put for ordering assertions."""
+
+    def __init__(self, sleep_s: float = 0.01) -> None:
+        inner = SimulatedS3(latency_model=ZeroLatency(), clock=LogicalClock(auto_step=1e-6))
+        super().__init__(inner, injected=ConstantLatency(sleep_s))
+        self.completions: list[tuple[str, float]] = []
+        self._completions_lock = threading.Lock()
+
+    def put(self, key, value):
+        super().put(key, value)
+        with self._completions_lock:
+            self.completions.append((key, time.monotonic()))
+
+
+class TestWriteOrderingUnderFanout:
+    def test_commit_record_lands_after_all_data(self):
+        engine = RecordingStorage()
+        data = {f"data/k{i}": b"v" for i in range(6)}
+        records = {"commit/r": b"record"}
+
+        asyncio.run(engine.execute_plan_async(IOPlan.commit(data, records)))
+
+        data_times = [t for key, t in engine.completions if key in data]
+        record_times = [t for key, t in engine.completions if key in records]
+        assert len(data_times) == 6 and len(record_times) == 1
+        # The stage barrier: every data write completed before the record
+        # write even started (completion-before-completion is implied).
+        assert max(data_times) <= min(record_times)
+
+
+class TestCancellation:
+    def make_slow_node(self, sleep_s: float = 0.05) -> tuple[AftNode, RecordingStorage]:
+        engine = RecordingStorage(sleep_s=sleep_s)
+        node = AftNode(
+            engine,
+            config=AftConfig(enable_data_cache=False),
+            node_id="cancel-node",
+        )
+        node.start()
+        return node, engine
+
+    def test_client_timeout_mid_commit_leaves_no_record(self):
+        node, engine = self.make_slow_node()
+
+        async def run():
+            txid = node.start_transaction("doomed")
+            for i in range(4):
+                node.put(txid, f"key-{i}", b"value")
+            with pytest.raises(asyncio.TimeoutError):
+                # The data stage alone sleeps ~50 ms; cancel long before.
+                await asyncio.wait_for(node.commit_transaction_async(txid), timeout=0.01)
+            return txid
+
+        txid = asyncio.run(run())
+        # Let any already-dispatched data writes drain, then check: the
+        # record stage never ran, so the transaction is invisible.
+        time.sleep(0.3)
+        assert not any(is_commit_record_key(key) for key, _ in engine.completions)
+        transaction = node._transactions[txid]
+        assert transaction.status is not TransactionStatus.COMMITTED
+
+
+class TestAsyncGroupCommit:
+    def make_group_node(self) -> AftNode:
+        node = AftNode(
+            InMemoryStorage(),
+            config=AftConfig(
+                enable_group_commit=True,
+                group_commit_window=0.005,
+                group_commit_max_txns=8,
+            ),
+            node_id="async-gc-node",
+        )
+        node.start()
+        return node
+
+    def test_concurrent_commits_share_flushes(self):
+        node = self.make_group_node()
+
+        async def one(i: int):
+            txid = node.start_transaction(f"t{i}")
+            await node.put_async(txid, f"key-{i}", b"v")
+            return await node.commit_transaction_async(txid)
+
+        async def run():
+            return await asyncio.gather(*[one(i) for i in range(8)])
+
+        commit_ids = asyncio.run(run())
+        assert len(commit_ids) == 8
+        assert node.stats.group_commit_batched_txns == 8
+        # Coalescing happened: strictly fewer flushes than transactions.
+        assert 0 < node.stats.group_commits < 8
+        # All committed data is durably visible afterwards.
+        txid = node.start_transaction("check")
+        values = node.get_many(txid, [f"key-{i}" for i in range(8)])
+        assert all(value == b"v" for value in values.values())
+
+    def test_commit_transactions_async_batches(self):
+        node = self.make_group_node()
+
+        async def run():
+            txids = []
+            for i in range(5):
+                txid = node.start_transaction(f"b{i}")
+                await node.put_async(txid, f"bk-{i}", b"w")
+                txids.append(txid)
+            return await node.commit_transactions_async(txids)
+
+        results = asyncio.run(run())
+        assert len(results) == 5
+        assert node.stats.group_commit_batched_txns == 5
+
+
+class TestLatencyInjectedStorage:
+    def make(self, sleep_s: float = 0.0) -> LatencyInjectedStorage:
+        return LatencyInjectedStorage(InMemoryStorage(), injected=ConstantLatency(sleep_s))
+
+    def test_full_engine_surface_delegates(self):
+        engine = self.make()
+        assert engine.wall_clock_io
+        # Batch capabilities mirror the inner engine.
+        assert engine.supports_batch_writes and engine.supports_batch_reads
+
+        engine.put("a/1", b"x")
+        engine.multi_put({"a/2": b"y", "b/1": b"z"})
+        assert engine.get("a/1") == b"x"
+        fetched = engine.multi_get(["a/2", "b/1", "missing"])
+        assert fetched["a/2"] == b"y" and fetched["b/1"] == b"z"
+        assert fetched.get("missing") is None
+        assert sorted(engine.list_keys("a/")) == ["a/1", "a/2"]
+        assert engine.size() == 3
+        engine.delete("a/1")
+        engine.multi_delete(["a/2", "b/1"])
+        assert engine.size() == 0
+        assert engine.stats.writes == 1 and engine.stats.batch_writes == 1
+        assert engine.stats.reads == 1 and engine.stats.batch_reads == 1
+        # One point delete + one multi_delete request (3 items total).
+        assert engine.stats.deletes == 2 and engine.stats.items_deleted == 3
+        assert engine.stats.lists == 1
+
+    def test_injected_latency_really_sleeps(self):
+        engine = self.make(sleep_s=0.02)
+        start = time.monotonic()
+        engine.put("k", b"v")
+        assert time.monotonic() - start >= 0.015
+        # Charged latency stays zero: the cost ledger sees nothing.
+        assert engine.latency_model.sample("write", 1, 1) == 0.0
+
+
+class TestRuntimeHelpers:
+    def test_configure_io_executor_validates(self):
+        with pytest.raises(ValueError):
+            runtime.configure_io_executor(0)
+
+    def test_worker_flag_marks_pool_threads(self):
+        assert not runtime.in_io_worker()
+        flags = runtime.run_blocking_group([runtime.in_io_worker] * 3)
+        assert all(flags)
+        assert not runtime.in_io_worker()
+
+    def test_nested_dispatch_runs_inline(self):
+        def outer():
+            # A nested fan-out from inside a worker must not wait on the
+            # same pool it occupies — it degrades to inline execution.
+            return runtime.run_blocking_group([lambda: threading.current_thread().name] * 2)
+
+        (names,) = runtime.run_blocking_group([outer])
+        assert len(set(names)) == 1  # both inner thunks ran on the one worker
+
+    def test_config_validates_io_concurrency(self):
+        with pytest.raises(ValueError):
+            AftConfig(io_concurrency=0)
+        config = AftConfig(io_concurrency=4, async_runtime=True)
+        assert config.as_dict()["io_concurrency"] == 4
+        assert config.as_dict()["async_runtime"] is True
+
+    def test_node_applies_io_concurrency_to_engines(self):
+        engine = InMemoryStorage()
+        node = AftNode(engine, config=AftConfig(io_concurrency=3), node_id="knob-node")
+        assert engine.io_concurrency == 3
+        assert engine.effective_io_concurrency == 3
+        assert node.config.io_concurrency == 3
