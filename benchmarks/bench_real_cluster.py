@@ -1,0 +1,308 @@
+"""Benchmark — the real distributed runtime: multi-process cluster on localhost.
+
+Everything else in this suite measures in-process objects; this benchmark
+boots the actual deployment shape — a ``repro-router`` process and three
+``repro-node`` processes on localhost TCP — and drives it with an
+**open-loop Poisson-arrival** client swarm, the methodology serverless
+front-ends face: arrivals do not wait for completions, so queueing delay
+shows up in the latency distribution instead of silently throttling the
+offered load (cf. the paper's closed-loop Figure 7 caveat).
+
+Every write is a :class:`~repro.consistency.metadata.TaggedValue`, so after
+the run the :class:`~repro.consistency.checker.AnomalyChecker` replays the
+paper's Table-2 methodology over the whole swarm: the acceptance criterion
+is **zero** read-your-writes and fractured-read anomalies through the real
+transport.
+
+Results land in ``benchmarks/results/BENCH_real_cluster.json`` (throughput,
+latency percentiles, anomaly counts) and are gated by
+``scripts/check_bench_trend.py``; CI runs this under ``BENCH_FAST=1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import queue
+import random
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.consistency.checker import AnomalyChecker, TransactionLog
+from repro.consistency.metadata import TaggedValue
+from repro.harness.report import format_rows
+from repro.ids import TransactionId
+from repro.rpc.client import AsyncRouterClient
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+N_NODES = 3
+#: Open-loop offered load (Poisson arrival rate, txns/s) and run length.
+OFFERED_TPS = 40.0 if FAST_MODE else 120.0
+DURATION_S = 3.0 if FAST_MODE else 10.0
+#: Client connections the sessions are spread over (one multiplexed TCP
+#: stream each).
+N_CONNECTIONS = 4
+N_KEYS = 32
+SEED = 11
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# --------------------------------------------------------------------- #
+# Process harness
+# --------------------------------------------------------------------- #
+def _spawn(args: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _await_ready(proc: subprocess.Popen, marker: str, timeout: float = 30.0) -> str:
+    """Block until ``marker`` appears on the process's stdout; return the line."""
+    lines: queue.Queue[str | None] = queue.Queue()
+
+    def pump() -> None:
+        for line in proc.stdout:
+            lines.put(line)
+        lines.put(None)
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + timeout
+    seen: list[str] = []
+    while time.monotonic() < deadline:
+        try:
+            line = lines.get(timeout=0.25)
+        except queue.Empty:
+            continue
+        if line is None:
+            break
+        seen.append(line.rstrip())
+        if marker in line:
+            return line
+    proc.kill()
+    raise RuntimeError(f"{marker!r} never appeared; output so far: {seen}")
+
+
+class ClusterProcesses:
+    """A router + N node OS processes, torn down reliably."""
+
+    def __init__(self, n_nodes: int = N_NODES) -> None:
+        self.n_nodes = n_nodes
+        self.procs: list[subprocess.Popen] = []
+        self.port: int | None = None
+
+    def __enter__(self) -> "ClusterProcesses":
+        router = _spawn(
+            [
+                "repro.rpc.router",
+                "--port", "0",
+                "--lease-duration", "5.0",
+                "--heartbeat-interval", "1.0",
+            ]
+        )
+        self.procs.append(router)
+        ready = _await_ready(router, "REPRO_ROUTER_READY")
+        self.port = int(ready.split("port=")[1].split()[0])
+        for i in range(self.n_nodes):
+            node = _spawn(
+                [
+                    "repro.rpc.node_server",
+                    "--node-id", f"n{i}",
+                    "--router-port", str(self.port),
+                ]
+            )
+            self.procs.append(node)
+            _await_ready(node, "REPRO_NODE_READY")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for proc in reversed(self.procs):
+            proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+# --------------------------------------------------------------------- #
+# Open-loop Poisson swarm
+# --------------------------------------------------------------------- #
+async def _run_swarm(port: int) -> dict:
+    rng = random.Random(SEED)
+    keys = [f"acct:{i}" for i in range(N_KEYS)]
+    clients = [
+        await AsyncRouterClient.connect("127.0.0.1", port) for _ in range(N_CONNECTIONS)
+    ]
+    await clients[0].wait_ready(N_NODES)
+
+    # Preload every key so the steady-state workload reads real versions.
+    preload_txid = await clients[0].start_transaction()
+    for key in keys:
+        tag = TaggedValue(
+            payload=b"seed",
+            timestamp=time.time(),
+            uuid=preload_txid,
+            cowritten=frozenset(keys),
+        )
+        await clients[0].put(preload_txid, key, tag.to_bytes())
+    preload_token = await clients[0].commit_transaction(preload_txid)
+
+    results: list[tuple[TransactionLog, str, str, float]] = []
+    failures: list[str] = []
+
+    async def session(client: AsyncRouterClient, session_id: int) -> None:
+        begun = time.perf_counter()
+        try:
+            txid = await client.start_transaction()
+            log = TransactionLog(txn_uuid=txid)
+            op_index = 0
+            read_keys = rng_choices[session_id][0]
+            write_keys = rng_choices[session_id][1]
+            for key in read_keys:
+                raw = await client.get(txid, key)
+                log.record_read(key, TaggedValue.try_from_bytes(raw), op_index)
+                op_index += 1
+            write_set = frozenset(write_keys)
+            stamp = time.time()
+            for key in write_keys:
+                tag = TaggedValue(
+                    payload=f"s{session_id}".encode(),
+                    timestamp=stamp,
+                    uuid=txid,
+                    cowritten=write_set,
+                )
+                await client.put(txid, key, tag.to_bytes())
+                log.record_write(key, tag.version, op_index)
+                op_index += 1
+            token = await client.commit_transaction(txid)
+            results.append((log, txid, token, time.perf_counter() - begun))
+        except Exception as exc:
+            failures.append(f"{type(exc).__name__}: {exc}")
+
+    # Pre-draw the arrival schedule and key choices so the workload is
+    # deterministic regardless of completion interleaving.
+    arrivals: list[float] = []
+    t = 0.0
+    while t < DURATION_S:
+        t += rng.expovariate(OFFERED_TPS)
+        if t < DURATION_S:
+            arrivals.append(t)
+    rng_choices = [
+        (rng.sample(keys, 2), rng.sample(keys, 2)) for _ in range(len(arrivals))
+    ]
+
+    started = time.perf_counter()
+    tasks = []
+    for session_id, at in enumerate(arrivals):
+        delay = at - (time.perf_counter() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = clients[session_id % len(clients)]
+        tasks.append(asyncio.create_task(session(client, session_id)))
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+
+    for client in clients:
+        await client.close()
+
+    checker = AnomalyChecker()
+    # Every committed transaction whose writes the swarm can observe must be
+    # in the commit order — including the preload.  Without it the preload's
+    # tags fall back to their client-side put timestamps, which are not on
+    # the node commit-stamp scale, and the checker reports phantom fractures.
+    checker.register_commit_order(preload_txid, TransactionId.from_token(preload_token))
+    latencies = []
+    for log, txid, token, latency in results:
+        checker.register_commit_order(txid, TransactionId.from_token(token))
+        checker.add(log)
+        latencies.append(latency)
+    counts = checker.counts()
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))] * 1000.0
+
+    return {
+        "offered_tps": OFFERED_TPS,
+        "arrivals": len(arrivals),
+        "completed": len(results),
+        "failed": len(failures),
+        "failure_samples": failures[:5],
+        "elapsed_s": round(elapsed, 3),
+        "achieved_tps": round(len(results) / elapsed, 2) if elapsed else 0.0,
+        "p50_ms": round(pct(0.50), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1000.0, 3) if latencies else 0.0,
+        "anomalies": counts.as_dict(),
+    }
+
+
+def run_real_cluster_bench() -> dict:
+    with ClusterProcesses() as cluster:
+        summary = asyncio.run(_run_swarm(cluster.port))
+    summary["nodes"] = N_NODES
+    summary["fast_mode"] = FAST_MODE
+    return summary
+
+
+# --------------------------------------------------------------------- #
+def test_real_cluster(benchmark):
+    summary = run_once(benchmark, run_real_cluster_bench)
+
+    rows = [
+        {
+            "metric": name,
+            "value": summary[name],
+        }
+        for name in (
+            "offered_tps",
+            "achieved_tps",
+            "arrivals",
+            "completed",
+            "failed",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+        )
+    ]
+    table = format_rows(
+        rows,
+        ["metric", "value"],
+        title=(
+            f"Real cluster: {N_NODES} node processes + router, open-loop Poisson "
+            f"swarm ({'fast' if FAST_MODE else 'full'} mode)"
+        ),
+    )
+    emit("real_cluster", table)
+    emit_json("BENCH_real_cluster", summary)
+
+    # Every arrival must complete (no aborted/failed sessions)...
+    assert summary["failed"] == 0, summary["failure_samples"]
+    assert summary["completed"] == summary["arrivals"]
+    # ... the swarm must sustain a meaningful fraction of the offered load...
+    assert summary["achieved_tps"] >= 0.5 * OFFERED_TPS
+    # ... and the acceptance criterion: read atomicity holds on the real
+    # transport — zero anomalies across the whole swarm.
+    assert summary["anomalies"]["ryw_anomalies"] == 0
+    assert summary["anomalies"]["fractured_read_anomalies"] == 0
+
+
+if __name__ == "__main__":
+    print(run_real_cluster_bench())

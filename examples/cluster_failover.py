@@ -7,7 +7,8 @@ Run with::
 This example drives the cluster-management surface of the library the way an
 operator (or an autoscaling policy) would:
 
-* build a 3-node cluster over shared simulated DynamoDB storage,
+* build a 3-node cluster over shared in-memory storage and talk to it
+  through the :class:`repro.AftClient` facade,
 * watch commit metadata flow between nodes via the background multicast,
 * kill a node that has acknowledged a commit but never broadcast it and show
   that the fault manager's Commit Set scan makes the data visible anyway
@@ -15,10 +16,15 @@ operator (or an autoscaling policy) would:
 * let the cluster replace the failed node and warm the newcomer's metadata
   cache from storage, and
 * run the garbage collector and show the storage footprint shrinking.
+
+Transactions go through the facade; the *operator* actions (failure
+injection, replacement, GC) are the in-process cluster's management surface,
+reached via ``client.cluster``.
 """
 
 from __future__ import annotations
 
+import repro
 from repro import AftCluster, ClusterConfig, InMemoryStorage
 from repro.config import AftConfig
 
@@ -29,7 +35,7 @@ def main() -> None:
         cluster_config=ClusterConfig(num_nodes=3),
         node_config=AftConfig(multicast_interval=1.0),
     )
-    client = cluster.client()
+    client = repro.connect("inproc://", cluster=cluster)
 
     # A little traffic so every node owns some commits.
     for index in range(30):
@@ -42,7 +48,7 @@ def main() -> None:
     # A node commits and immediately dies, before the next multicast round.
     # ------------------------------------------------------------------ #
     txid = client.start_transaction()
-    owner = client.node_for(txid)
+    owner = next(n for n in cluster.nodes if n.transaction_status(txid) is not None)
     client.put(txid, "orders:1001", "3x widget")
     client.commit_transaction(txid)
     cluster.fail_node(owner)
@@ -60,8 +66,8 @@ def main() -> None:
     replacements = cluster.replace_failed_nodes()
     newcomer = replacements[0]
     print(f"replacement {newcomer.node_id} joined with {len(newcomer.metadata_cache)} cached commit records")
-    reader = newcomer.start_transaction()
-    print("replacement serves old data:", newcomer.get(reader, "orders:1001"))
+    with client.transaction() as txn:
+        print("cluster serves old data  :", txn.get("orders:1001"))
 
     # ------------------------------------------------------------------ #
     # Garbage collection: superseded versions are swept from storage.
@@ -76,6 +82,7 @@ def main() -> None:
     print(f"global GC deleted {len(deleted)} superseded transactions "
           f"({keys_before} -> {keys_after} storage keys)")
 
+    client.close()
     cluster.shutdown()
 
 

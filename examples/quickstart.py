@@ -4,69 +4,83 @@ Run with::
 
     python examples/quickstart.py
 
-This walks through the core API on a single AFT node over in-memory storage:
-starting transactions, read-your-writes, atomic visibility of multi-key
-commits, aborts, and what happens when two transactions interleave.
+This walks through the core API through :func:`repro.connect` — the one
+front door to every deployment shape.  Here the connection string is
+``inproc://`` (an in-process node over in-memory storage); point the same
+code at ``tcp://127.0.0.1:7400`` and it drives a real multi-process cluster
+instead (see ``repro-router`` / ``repro-node`` in the README).
+
+Covered: starting transactions, read-your-writes, atomic visibility of
+multi-key commits, aborts, and what happens when two transactions
+interleave.
 """
 
 from __future__ import annotations
 
-from repro import AftNode, InMemoryStorage, TransactionSession
+import repro
 
 
 def main() -> None:
-    # An AFT node needs only a durable key-value store underneath it.
-    storage = InMemoryStorage()
-    node = AftNode(storage, node_id="quickstart-node")
-    node.start()
+    # One in-process AFT node over in-memory storage.  The URL is the whole
+    # deployment decision; everything below is deployment-agnostic.
+    client = repro.connect("inproc://?nodes=1")
 
     # --- 1. The Table 1 API ------------------------------------------------
-    txid = node.start_transaction()
-    node.put(txid, "user:alice", b'{"balance": 100}')
-    node.put(txid, "user:bob", b'{"balance": 50}')
-    print("read-your-writes before commit:", node.get(txid, "user:alice"))
-    commit_id = node.commit_transaction(txid)
+    txid = client.start_transaction()
+    client.put(txid, "user:alice", b'{"balance": 100}')
+    client.put(txid, "user:bob", b'{"balance": 50}')
+    print("read-your-writes before commit:", client.get(txid, "user:alice"))
+    commit_id = client.commit_transaction(txid)
     print(f"committed transaction {commit_id.uuid[:8]} at t={commit_id.timestamp:.3f}")
 
     # --- 2. Atomic visibility ----------------------------------------------
     # A transfer touches both accounts; other transactions see either the old
     # pair or the new pair, never a mix.
-    transfer = node.start_transaction()
-    node.put(transfer, "user:alice", b'{"balance": 70}')
-    node.put(transfer, "user:bob", b'{"balance": 80}')
+    transfer = client.start_transaction()
+    client.put(transfer, "user:alice", b'{"balance": 70}')
+    client.put(transfer, "user:bob", b'{"balance": 80}')
 
-    observer = node.start_transaction()
-    print("observer during transfer :", node.get(observer, "user:alice"), node.get(observer, "user:bob"))
+    observer = client.start_transaction()
+    print(
+        "observer during transfer :",
+        client.get(observer, "user:alice"),
+        client.get(observer, "user:bob"),
+    )
 
-    node.commit_transaction(transfer)
+    client.commit_transaction(transfer)
 
-    late_observer = node.start_transaction()
+    late_observer = client.start_transaction()
     print(
         "observer after commit    :",
-        node.get(late_observer, "user:alice"),
-        node.get(late_observer, "user:bob"),
+        client.get(late_observer, "user:alice"),
+        client.get(late_observer, "user:bob"),
     )
 
     # --- 3. Aborts discard everything --------------------------------------
-    doomed = node.start_transaction()
-    node.put(doomed, "user:alice", b'{"balance": -1}')
-    node.abort_transaction(doomed)
-    check = node.start_transaction()
-    print("after abort              :", node.get(check, "user:alice"))
+    doomed = client.start_transaction()
+    client.put(doomed, "user:alice", b'{"balance": -1}')
+    client.abort_transaction(doomed)
+    check = client.start_transaction()
+    print("after abort              :", client.get(check, "user:alice"))
 
     # --- 4. The context-manager convenience ---------------------------------
-    with TransactionSession(node) as txn:
+    with client.transaction() as txn:
         txn.put("greeting", "hello, serverless world")
-    with TransactionSession(node) as txn:
+    with client.transaction() as txn:
         print("session read             :", txn.get("greeting"))
 
-    # --- 5. A peek at the node's bookkeeping --------------------------------
+    # --- 5. A peek under the hood -------------------------------------------
+    # inproc:// exposes the wrapped cluster for exactly this kind of
+    # inspection (tcp:// has no .cluster — the nodes are other processes).
+    node = client.cluster.nodes[0]
     print(
         f"node stats: {node.stats.transactions_committed} committed, "
         f"{node.stats.transactions_aborted} aborted, "
         f"{len(node.metadata_cache)} commit records cached, "
-        f"{storage.size()} keys in storage"
+        f"{client.cluster.storage.size()} keys in storage"
     )
+
+    client.close()
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ functions.
 
 from __future__ import annotations
 
-from repro import AftCluster, ClusterConfig, InMemoryStorage
+import repro
 from repro.faas import Composition, FaaSPlatform, FailurePlan
 from repro.faas.failures import FailurePoint
 
@@ -51,8 +51,10 @@ def record_order(ctx, event):
 
 def main() -> None:
     # A 2-node AFT cluster over shared storage, fronted by a round-robin LB.
-    cluster = AftCluster(InMemoryStorage(), cluster_config=ClusterConfig(num_nodes=2))
-    client = cluster.client()
+    # The facade owns the cluster it builds; swap the URL for tcp://host:port
+    # to run the same checkout against a multi-process deployment.
+    client = repro.connect("inproc://?nodes=2")
+    cluster = client.cluster
 
     # Seed the catalogue and a customer balance.
     with client.transaction() as txn:
@@ -112,7 +114,7 @@ def main() -> None:
     expected_stock = 10 - 2 - 2
     assert stock == str(expected_stock).encode(), "the failed checkout must not leak its stock reservation"
 
-    cluster.shutdown()
+    client.close()
 
 
 if __name__ == "__main__":

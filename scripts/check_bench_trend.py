@@ -182,6 +182,24 @@ GATED: dict[str, FileSpec] = {
         ),
         scale_marker="workload.fast_mode",
     ),
+    "BENCH_real_cluster.json": FileSpec(
+        metrics=(
+            # The real multi-process cluster must sustain the offered
+            # open-loop Poisson load.  Gated as the achieved/offered ratio,
+            # which is scale-robust (fast mode offers less); the floor is
+            # the bench's own acceptance criterion (>= 50% of offered).
+            Metric("achieved_tps", HIGHER, 0.30, floor=0.5, relative_to="offered_tps"),
+            # Read atomicity on the real transport: the Table-2 checker must
+            # report zero anomalies across the whole swarm.  The ceiling IS
+            # the paper's acceptance criterion at every scale.
+            Metric("anomalies.fractured_read_anomalies", LOWER, 0.0, ceiling=0.0),
+            Metric("anomalies.ryw_anomalies", LOWER, 0.0, ceiling=0.0),
+            # Every arrival must commit: failed sessions mean the router or
+            # a node dropped transactions under load.
+            Metric("failed", LOWER, 0.0, ceiling=0.0),
+        ),
+        scale_marker="fast_mode",
+    ),
 }
 
 

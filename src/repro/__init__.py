@@ -1,20 +1,26 @@
 """Reproduction of *A Fault-Tolerance Shim for Serverless Computing* (AFT, EuroSys 2020).
 
-The public API is re-exported here for convenience::
+The application API is :func:`repro.connect` — one client for every
+deployment shape::
 
-    from repro import AftNode, AftCluster, InMemoryStorage, TransactionSession
+    import repro
 
-    storage = InMemoryStorage()
-    node = AftNode(storage)
-    node.start()
-    with TransactionSession(node) as txn:
+    client = repro.connect("inproc://?nodes=3")    # in-process cluster
+    # client = repro.connect("tcp://127.0.0.1:7400")  # repro-router cluster
+
+    with client.transaction() as txn:
         txn.put("greeting", b"hello, world")
         txn.get("greeting")
+    client.close()
+
+The building blocks (``AftNode``, ``AftCluster``, storage engines, the
+``repro.rpc`` transport) remain importable for tests and experiments.
 
 See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
 inventory, and ``EXPERIMENTS.md`` for the paper-versus-measured results.
 """
 
+from repro.client import AftClient, connect
 from repro.clock import Clock, CounterClock, LogicalClock, OffsetClock, SystemClock
 from repro.config import (
     AftConfig,
@@ -47,6 +53,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "__version__",
+    "AftClient",
+    "connect",
     "AftNode",
     "AftCluster",
     "ClusterClient",

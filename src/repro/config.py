@@ -347,6 +347,15 @@ class MetadataPlaneConfig:
         or ``"partitioned"`` (one prefix per fault-manager shard, turning
         each shard's sweep into a prefix listing; legacy flat records stay
         readable through the migration shim).
+    fencing:
+        Whether membership changes mint epoch fencing tokens
+        (:mod:`repro.core.metadata_plane.fencing`) that are validated on
+        every commit-record write.  Essential when ``membership="lease"``:
+        a lease detector can falsely declare a partitioned-but-alive node
+        failed, and without fencing that node's late commits would land in
+        the Commit Set alongside its replacement's.  Off by default — the
+        seed's polling detector never declares a running node failed, and
+        unfenced records stay byte-identical to the seed format.
     """
 
     transport: str = "direct"
@@ -355,6 +364,7 @@ class MetadataPlaneConfig:
     lease_duration: float = 5.0
     heartbeat_interval: float = 1.0
     keyspace: str = "flat"
+    fencing: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in ("direct", "sharded"):
@@ -386,6 +396,7 @@ class MetadataPlaneConfig:
             "lease_duration": self.lease_duration,
             "heartbeat_interval": self.heartbeat_interval,
             "keyspace": self.keyspace,
+            "fencing": self.fencing,
         }
 
 

@@ -36,6 +36,7 @@ from repro.core.metadata_plane import (
     make_commit_stream,
     make_membership,
 )
+from repro.core.metadata_plane.fencing import EpochFence
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode
 from repro.core.session import TransactionSession
@@ -102,6 +103,12 @@ class AftCluster:
         self.commit_store = CommitSetStore(
             commit_storage if commit_storage is not None else storage, keyspace=keyspace
         )
+        #: Epoch fencing authority (None when ``plane.fencing`` is off).
+        #: Every membership change mints/kills tokens here, and the commit
+        #: store validates each record's epoch stamp against it on write.
+        self.fence: EpochFence | None = EpochFence() if plane.fencing else None
+        if self.fence is not None:
+            self.commit_store.fence = self.fence
         self.membership = make_membership(
             plane.membership, clock=self.clock, lease_duration=plane.lease_duration
         )
@@ -177,6 +184,8 @@ class AftCluster:
         with self._lock:
             self._nodes.append(node)
             self._local_gcs[node.node_id] = LocalMetadataGC(node)
+        if self.fence is not None:
+            node.fence_token = self.fence.grant(node.node_id)
         self.multicast.register_node(node)
         self.membership.register(node)
         self.load_balancer.add_node(node)
@@ -193,6 +202,8 @@ class AftCluster:
             if node in self._nodes:
                 self._nodes.remove(node)
             self._local_gcs.pop(node.node_id, None)
+        if self.fence is not None:
+            self.fence.revoke(node.node_id)
         self.multicast.unregister_node(node)
         self.membership.deregister(node)
         self.load_balancer.remove_node(node)
@@ -228,6 +239,11 @@ class AftCluster:
                 self._local_gcs.pop(node.node_id, None)
         replacements: list[AftNode] = []
         for node in claimed:
+            # Fence first: from this point the declared node's in-flight
+            # commits carry a dead epoch, so even if it is actually alive
+            # (lease false positive) its late record writes are rejected.
+            if self.fence is not None:
+                self.fence.revoke(node.node_id)
             self.multicast.unregister_node(node)
             self.membership.deregister(node)
             self.load_balancer.remove_node(node)
@@ -280,6 +296,8 @@ class AftCluster:
         with self._lock:
             self._nodes.append(node)
             self._local_gcs[node.node_id] = LocalMetadataGC(node)
+        if self.fence is not None:
+            node.fence_token = self.fence.grant(node.node_id)
         self.multicast.register_node(node)
         self.membership.register(node)
         self.load_balancer.add_node(node)

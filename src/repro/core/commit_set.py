@@ -62,12 +62,19 @@ class CommitRecord:
     node_id:
         Identifier of the AFT node that committed the transaction (useful for
         debugging multi-node runs; not used by the protocols).
+    epoch:
+        The membership epoch of the committing node's fencing token
+        (:class:`~repro.core.metadata_plane.fencing.FenceToken`) at commit
+        time.  ``0`` means fencing is disabled (the seed behaviour) and the
+        field is omitted from the serialised record, so unfenced deployments
+        keep byte-identical records.
     """
 
     txid: TransactionId
     write_set: Mapping[str, str] = field(default_factory=dict)
     committed_at: float = 0.0
     node_id: str = ""
+    epoch: int = 0
 
     @cached_property
     def cowritten(self) -> frozenset[str]:
@@ -100,6 +107,8 @@ class CommitRecord:
             "committed_at": self.committed_at,
             "node_id": self.node_id,
         }
+        if self.epoch:
+            payload["epoch"] = self.epoch
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -110,6 +119,7 @@ class CommitRecord:
             write_set=dict(payload["write_set"]),
             committed_at=payload.get("committed_at", 0.0),
             node_id=payload.get("node_id", ""),
+            epoch=payload.get("epoch", 0),
         )
 
 
@@ -134,6 +144,12 @@ class CommitSetStore:
         self._engine = engine
         self.keyspace = keyspace if keyspace is not None else FlatCommitKeyspace()
         self.stats = CommitStoreStats()
+        #: Optional :class:`~repro.core.metadata_plane.fencing.EpochFence`.
+        #: When set (the cluster wires it in under
+        #: ``MetadataPlaneConfig.fencing``), every commit-record write is
+        #: validated against the writer's epoch stamp before it is issued —
+        #: the storage key path is the one place a late writer cannot bypass.
+        self.fence = None
         #: Migration shim: whether the legacy flat prefix may still hold
         #: records.  Irrelevant for a flat keyspace (the flat prefix *is* the
         #: keyspace); a partitioned store probes the prefix once up front —
@@ -182,8 +198,21 @@ class CommitSetStore:
     # ------------------------------------------------------------------ #
     # Point operations
     # ------------------------------------------------------------------ #
+    def check_record_fence(self, record: CommitRecord) -> None:
+        """Reject ``record`` if its writer's fencing token is stale.
+
+        Raises :class:`~repro.errors.FencedNodeError` when a fence is
+        configured and the record's ``(node_id, epoch)`` stamp no longer
+        names the currently granted token — i.e. the writer was declared
+        failed (or retired) after preparing the commit.  A no-op when
+        fencing is disabled.
+        """
+        if self.fence is not None:
+            self.fence.check(record.node_id, record.epoch)
+
     def write_record(self, record: CommitRecord) -> None:
         """Persist ``record``.  Acknowledgement implies durability."""
+        self.check_record_fence(record)
         self._engine.put(self.record_storage_key(record.txid), record.to_bytes())
 
     def read_record(self, txid: TransactionId) -> CommitRecord | None:

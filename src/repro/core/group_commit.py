@@ -235,6 +235,11 @@ class GroupCommitter:
         data: dict[str, bytes] = {}
         records: dict[str, bytes] = {}
         for pending in batch:
+            # A fenced member poisons the whole batch: the leader cannot
+            # partially flush a combined plan, and a fenced node should not
+            # be leading flushes at all — the error propagates to every
+            # member, which retries on a live node.
+            self._commit_store.check_record_fence(pending.record)
             data.update(pending.data)
             records[self._commit_store.record_storage_key(pending.record.txid)] = (
                 pending.record.to_bytes()
@@ -332,6 +337,7 @@ class AsyncGroupCommitter:
             data: dict[str, bytes] = {}
             records: dict[str, bytes] = {}
             for pending in members:
+                self._commit_store.check_record_fence(pending.record)
                 data.update(pending.data)
                 records[self._commit_store.record_storage_key(pending.record.txid)] = (
                     pending.record.to_bytes()

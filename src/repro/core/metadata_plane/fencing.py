@@ -1,0 +1,110 @@
+"""Epoch fencing tokens for the membership plane.
+
+Lease-based failure detection (``LeaseMembership``) can be *wrong*: a node
+that is merely partitioned — its heartbeats delayed, not its process dead —
+will be declared failed, a standby promoted in its place, and the "dead"
+node will eventually come back and try to finish the commits it had in
+flight.  Without fencing those late commit-record writes land in the
+Transaction Commit Set as if nothing happened, and two nodes both believe
+they own the same transactions.
+
+:class:`EpochFence` is the classic remedy (cf. Chubby sequencers / ZooKeeper
+epoch counters): a monotonically increasing *epoch* is bumped on **every
+membership change**, and each member holds a :class:`FenceToken` naming the
+epoch at which it was (re-)admitted.  Writers stamp their token's epoch into
+every commit record; the authority that persists commit records — the shared
+:class:`~repro.core.commit_set.CommitSetStore` in-process, the router's
+storage service in the distributed runtime — validates the stamp against the
+fence before the record becomes durable.  A node that was declared failed
+had its token revoked, so its late writes carry a stale epoch and are
+rejected with :class:`~repro.errors.FencedNodeError`; the promoted standby
+holds a newer token and proceeds.
+
+The fence is deliberately tiny and engine-agnostic: it validates
+``(node_id, epoch)`` pairs, nothing else.  Where the *check* happens is the
+storage key path — immediately before a commit-record write is issued —
+which is the only place a late writer cannot bypass.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import FencedNodeError
+
+
+@dataclass(frozen=True)
+class FenceToken:
+    """One node's admission ticket: valid until the fence revokes it."""
+
+    node_id: str
+    epoch: int
+
+
+class EpochFence:
+    """Mints and validates epoch fencing tokens for one cluster.
+
+    Every :meth:`grant` and :meth:`revoke` bumps the global epoch, so tokens
+    are totally ordered across the whole membership history: a node admitted
+    after another's revocation always carries the larger epoch.  A token is
+    valid iff it is the *currently granted* token for its node id — a node
+    re-admitted after a false failure declaration gets a fresh token, and
+    the one it held before the declaration stays dead forever.
+
+    All methods are thread-safe; the distributed router and the in-process
+    cluster share this one implementation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = 0
+        #: node id -> the epoch of its currently valid token.
+        self._granted: dict[str, int] = {}
+
+    @property
+    def epoch(self) -> int:
+        """The current global membership epoch."""
+        with self._lock:
+            return self._epoch
+
+    def grant(self, node_id: str) -> FenceToken:
+        """Admit ``node_id`` (join, re-join, or promotion): mint its token."""
+        with self._lock:
+            self._epoch += 1
+            self._granted[node_id] = self._epoch
+            return FenceToken(node_id=node_id, epoch=self._epoch)
+
+    def revoke(self, node_id: str) -> int:
+        """Expel ``node_id`` (failure declaration, retirement): kill its token.
+
+        Returns the new global epoch.  Revoking an unknown node still bumps
+        the epoch — the membership *changed* (a declaration happened), and
+        epoch bumps are how observers order changes.
+        """
+        with self._lock:
+            self._epoch += 1
+            self._granted.pop(node_id, None)
+            return self._epoch
+
+    def is_current(self, node_id: str, epoch: int) -> bool:
+        """Whether ``(node_id, epoch)`` names the currently granted token."""
+        with self._lock:
+            return self._granted.get(node_id) == epoch
+
+    def check(self, node_id: str, epoch: int) -> None:
+        """Raise :class:`FencedNodeError` unless the token is current."""
+        with self._lock:
+            granted = self._granted.get(node_id)
+            current = self._epoch
+        if granted != epoch:
+            raise FencedNodeError(
+                f"node {node_id!r} write carries stale epoch {epoch} "
+                f"(granted={granted}, membership epoch={current}): the node was "
+                "declared failed or retired; its commits are fenced off"
+            )
+
+    def granted_epoch(self, node_id: str) -> int | None:
+        """The epoch of ``node_id``'s current token (None if revoked/unknown)."""
+        with self._lock:
+            return self._granted.get(node_id)

@@ -152,6 +152,11 @@ class AftNode:
         self.config = config if config is not None else DEFAULT_CONFIG
         self.clock = clock if clock is not None else SystemClock()
         self.node_id = node_id if node_id is not None else f"aft-{new_uuid()[:8]}"
+        #: :class:`~repro.core.metadata_plane.fencing.FenceToken` granted by
+        #: the membership authority (cluster or router) when fencing is on.
+        #: Its epoch is stamped into every commit record this node prepares;
+        #: ``None`` leaves records unstamped (``epoch=0``, the seed format).
+        self.fence_token = None
 
         self.metadata_cache = CommitSetCache()
         self.data_cache = DataCache(
@@ -811,6 +816,7 @@ class AftNode:
         self, to_persist: dict[str, bytes], record: CommitRecord
     ) -> None:
         """Async twin of :meth:`_persist_commit` — same §3.3 two-step shape."""
+        self.commit_store.check_record_fence(record)
         if self.config.enable_io_pipeline and self.config.batch_commit_writes:
             await execute_commit_plan_async(
                 self.storage,
@@ -871,6 +877,7 @@ class AftNode:
                 write_set=write_set,
                 committed_at=self.clock.now(),
                 node_id=self.node_id,
+                epoch=self.fence_token.epoch if self.fence_token is not None else 0,
             )
         return _PreparedCommit(
             txid=txid,
@@ -891,6 +898,9 @@ class AftNode:
         legacy one-request-at-a-time data push even when the pipeline is on,
         so the Section 6.1.1 batching ablation still isolates that effect.
         """
+        # Fencing gate: a node declared failed after preparing this commit
+        # carries a stale epoch stamp and must not make the record durable.
+        self.commit_store.check_record_fence(record)
         if self.config.enable_io_pipeline and self.config.batch_commit_writes:
             execute_commit_plan(
                 self.storage,

@@ -44,6 +44,17 @@ class AtomicReadError(TransactionError):
     """
 
 
+class FencedNodeError(TransactionError):
+    """A commit-record write carried a stale epoch fencing token.
+
+    Raised by :class:`~repro.core.metadata_plane.fencing.EpochFence` when a
+    node that was declared failed (or retired) tries to finish a commit it
+    had in flight: the membership epoch moved past its token, so the write
+    is rejected before the record becomes durable.  The transaction must be
+    retried through a live node.
+    """
+
+
 class StorageError(AftError):
     """Base class for storage-engine failures."""
 

@@ -1,0 +1,35 @@
+"""A thin asyncio-TCP transport for the distributed AFT runtime.
+
+The package turns the in-process metadata-plane strategy interfaces of PR 5
+into messages on sockets:
+
+* :mod:`repro.rpc.framing` — length-prefixed JSON frames and the
+  bidirectional multiplexed :class:`~repro.rpc.framing.RpcConnection`.
+* :mod:`repro.rpc.messages` — versioned dataclass wire schemas with an
+  unknown-field-tolerant codec, so node/router binaries from adjacent
+  versions interoperate.
+* :mod:`repro.rpc.storage_client` — :class:`~repro.rpc.storage_client.RemoteStorage`,
+  a native-async :class:`~repro.storage.base.StorageEngine` speaking storage
+  ops to the router's shared storage service.
+* :mod:`repro.rpc.router` — the ``repro-router`` process: shared storage,
+  lease membership with epoch fencing, the commit-stream hub, and client
+  session routing.
+* :mod:`repro.rpc.node_server` — the ``repro-node`` process: one
+  :class:`~repro.core.node.AftNode` on an event loop behind a router
+  connection.
+* :mod:`repro.rpc.client` — :class:`~repro.rpc.client.AsyncRouterClient`,
+  the asyncio Table-1 client the ``tcp://`` side of
+  :class:`repro.client.AftClient` builds on.
+"""
+
+from repro.rpc.framing import RpcConnection, RpcError
+from repro.rpc.messages import WIRE_VERSION, WireMessage, decode_body, encode_body
+
+__all__ = [
+    "RpcConnection",
+    "RpcError",
+    "WIRE_VERSION",
+    "WireMessage",
+    "decode_body",
+    "encode_body",
+]

@@ -1,0 +1,97 @@
+"""The asyncio Table-1 client for a router-fronted cluster.
+
+:class:`AsyncRouterClient` speaks the ``client_*`` messages to a
+``repro-router``: every transaction is pinned by the router to one serving
+node and its operations are forwarded over that node's connection.  The
+surface mirrors the paper's Table 1 — start / get / put / commit / abort —
+plus the cluster probes tests and benchmarks need (``info``, ``nemesis``,
+``wait_ready``).
+
+This is the ``tcp://`` backend of :class:`repro.client.AftClient`; use that
+facade unless you are writing asyncio-native code (the benchmark swarm
+does, to keep thousands of open-loop sessions on one loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import AftError
+from repro.rpc import messages as m
+from repro.rpc.framing import RpcConnection, connect
+
+
+class AsyncRouterClient:
+    """Async Table-1 sessions against a ``repro-router``."""
+
+    def __init__(self, conn: RpcConnection) -> None:
+        self._conn = conn
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncRouterClient":
+        return cls(await connect(host, port, name="client"))
+
+    async def close(self) -> None:
+        await self._conn.close()
+
+    @property
+    def is_closed(self) -> bool:
+        return self._conn.is_closed
+
+    # ------------------------------------------------------------------ #
+    # Table 1
+    # ------------------------------------------------------------------ #
+    async def start_transaction(self, txid: str | None = None) -> str:
+        reply = await self._conn.request(m.ClientStart(txid=txid or ""))
+        if not isinstance(reply, m.ClientStarted):
+            raise AftError(f"unexpected start reply {type(reply).__name__}")
+        return reply.txid
+
+    async def get_many(self, txid: str, keys: list[str]) -> dict[str, bytes | None]:
+        reply = await self._conn.request(m.ClientGet(txid=txid, keys=list(keys)))
+        values = m.decode_values(getattr(reply, "values", {}))
+        return {key: values.get(key) for key in keys}
+
+    async def get(self, txid: str, key: str) -> bytes | None:
+        return (await self.get_many(txid, [key]))[key]
+
+    async def put(self, txid: str, key: str, value: bytes | str) -> None:
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        await self._conn.request(m.ClientPut(txid=txid, items={key: m.b64encode(value)}))
+
+    async def put_many(self, txid: str, items: dict[str, bytes]) -> None:
+        await self._conn.request(m.ClientPut(txid=txid, items=m.encode_values(items)))
+
+    async def commit_transaction(self, txid: str) -> str:
+        reply = await self._conn.request(m.ClientCommit(txid=txid))
+        return getattr(reply, "commit_token", "")
+
+    async def abort_transaction(self, txid: str) -> None:
+        await self._conn.request(m.ClientAbort(txid=txid))
+
+    # ------------------------------------------------------------------ #
+    # Cluster probes
+    # ------------------------------------------------------------------ #
+    async def info(self) -> m.InfoReply:
+        reply = await self._conn.request(m.Info())
+        if not isinstance(reply, m.InfoReply):
+            raise AftError(f"unexpected info reply {type(reply).__name__}")
+        return reply
+
+    async def wait_ready(self, n_nodes: int, timeout: float = 30.0) -> m.InfoReply:
+        """Poll ``info`` until ``n_nodes`` serving nodes are registered."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            info = await self.info()
+            if len(info.nodes) >= n_nodes:
+                return info
+            if asyncio.get_running_loop().time() > deadline:
+                raise AftError(
+                    f"cluster not ready: {len(info.nodes)}/{n_nodes} nodes after {timeout}s"
+                )
+            await asyncio.sleep(0.05)
+
+    async def nemesis(self, node_id: str, pause_heartbeats: bool = True) -> None:
+        """Inject a membership-plane partition at ``node_id``."""
+        await self._conn.request(m.Nemesis(node_id=node_id, pause_heartbeats=pause_heartbeats))

@@ -1,0 +1,254 @@
+"""Length-prefixed JSON frames and the multiplexed RPC connection.
+
+The wire format is deliberately minimal: each frame is a 4-byte big-endian
+length followed by one UTF-8 JSON object —
+
+``{"id": 7, "re": null, "type": "storage", "v": 1, "body": {...}}``
+
+``id`` names a request awaiting a reply; a frame with ``re`` set is the
+reply to the request of that id.  Frames with neither are one-way
+notifications.  Error replies carry ``{"error": {"kind", "message"}}``
+instead of a body and re-raise as the matching exception class on the
+requesting side (:func:`repro.rpc.messages.error_from_wire`).
+
+:class:`RpcConnection` multiplexes both directions over one TCP stream: a
+single reader task resolves reply futures and dispatches incoming requests
+to the connection's handler, each in its own task — so both peers can issue
+concurrent requests over the same socket without head-of-line blocking on
+the handlers.  This is what lets one node connection simultaneously carry
+storage ops (node -> router) and forwarded client sessions (router -> node).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import struct
+from typing import Any, Awaitable, Callable
+
+from repro.errors import AftError
+from repro.rpc import messages
+from repro.rpc.messages import WIRE_VERSION, WireMessage
+
+#: Frames above this size are rejected — a corrupt length prefix otherwise
+#: reads as a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class RpcError(AftError):
+    """Transport-level failure (connection lost, malformed frame, timeout)."""
+
+
+class ConnectionClosedError(RpcError):
+    """The peer closed the connection while requests were outstanding."""
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one length-prefixed JSON frame (raises ``IncompleteReadError`` at EOF)."""
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RpcError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+    payload = await reader.readexactly(length)
+    return json.loads(payload.decode("utf-8"))
+
+
+def frame_bytes(envelope: dict[str, Any]) -> bytes:
+    payload = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+#: Handler signature: ``async def handle(conn, message) -> WireMessage | None``.
+Handler = Callable[["RpcConnection", WireMessage], Awaitable[WireMessage | None]]
+
+
+class RpcConnection:
+    """One bidirectional, multiplexed RPC stream over asyncio TCP."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handler: Handler | None = None,
+        name: str = "",
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._handler = handler
+        self.name = name
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        #: Callback invoked once when the connection drops (router uses it to
+        #: deregister the session).
+        self.on_close: Callable[["RpcConnection"], None] | None = None
+        self._write_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the reader task (idempotent)."""
+        if self._reader_task is None:
+            self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def peername(self) -> str:
+        try:
+            return str(self._writer.get_extra_info("peername"))
+        except Exception:  # pragma: no cover - platform quirk
+            return "?"
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    async def _send(self, envelope: dict[str, Any]) -> None:
+        if self._closed:
+            raise ConnectionClosedError(f"connection {self.name or self.peername()} is closed")
+        data = frame_bytes(envelope)
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def request(self, message: WireMessage, timeout: float | None = 30.0) -> WireMessage:
+        """Send ``message`` and await the peer's (decoded) reply.
+
+        Error replies re-raise as the matching exception class; a dropped
+        connection fails every outstanding request with
+        :class:`ConnectionClosedError`.
+        """
+        msg_type, version, body = messages.encode_body(message)
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await self._send(
+                {"id": request_id, "type": msg_type, "v": version, "body": body}
+            )
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout)
+            return await future
+        except asyncio.TimeoutError:
+            raise RpcError(
+                f"request {msg_type!r} to {self.name or self.peername()} timed out"
+            ) from None
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def notify(self, message: WireMessage) -> None:
+        """Send a one-way message (no reply expected)."""
+        msg_type, version, body = messages.encode_body(message)
+        await self._send({"type": msg_type, "v": version, "body": body})
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                envelope = await read_frame(self._reader)
+                self._dispatch(envelope)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            raise
+        finally:
+            self._shutdown()
+
+    def _dispatch(self, envelope: dict[str, Any]) -> None:
+        reply_to = envelope.get("re")
+        if reply_to is not None:
+            future = self._pending.pop(reply_to, None)
+            if future is None or future.done():
+                return
+            error = envelope.get("error")
+            if error is not None:
+                future.set_exception(messages.error_from_wire(error))
+            else:
+                try:
+                    future.set_result(
+                        messages.decode_body(
+                            envelope.get("type", ""), envelope.get("v", 1), envelope.get("body", {})
+                        )
+                    )
+                except Exception as exc:  # malformed reply
+                    future.set_exception(RpcError(f"undecodable reply: {exc}"))
+            return
+        # Incoming request or notification: run the handler in its own task
+        # so slow handlers never block the reader (and replies from both
+        # directions keep flowing).
+        task = asyncio.get_running_loop().create_task(self._handle(envelope))
+        self._handler_tasks.add(task)
+        task.add_done_callback(self._handler_tasks.discard)
+
+    async def _handle(self, envelope: dict[str, Any]) -> None:
+        request_id = envelope.get("id")
+        try:
+            if self._handler is None:
+                raise RpcError("peer sent a request but this side has no handler")
+            message = messages.decode_body(
+                envelope.get("type", ""), envelope.get("v", 1), envelope.get("body", {})
+            )
+            result = await self._handler(self, message)
+            if request_id is not None:
+                reply = result if result is not None else messages.Ok()
+                msg_type, version, body = messages.encode_body(reply)
+                await self._send(
+                    {"re": request_id, "type": msg_type, "v": version, "body": body}
+                )
+        except Exception as exc:
+            if request_id is not None and not self._closed:
+                try:
+                    await self._send({"re": request_id, "error": messages.error_to_wire(exc)})
+                except Exception:  # pragma: no cover - peer already gone
+                    pass
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def _shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionClosedError("connection lost"))
+        self._pending.clear()
+        try:
+            self._writer.close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback(self)
+
+    async def close(self) -> None:
+        """Close the stream and stop the reader task."""
+        self._shutdown()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+            self._reader_task = None
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - platform quirk
+            pass
+
+
+async def connect(
+    host: str, port: int, handler: Handler | None = None, name: str = ""
+) -> RpcConnection:
+    """Open a client connection and start its reader task."""
+    reader, writer = await asyncio.open_connection(host, port)
+    conn = RpcConnection(reader, writer, handler=handler, name=name)
+    conn.start()
+    return conn

@@ -1,0 +1,409 @@
+"""Versioned wire schemas for the distributed runtime.
+
+Every payload crossing a socket is a dataclass here, serialised to a plain
+JSON object by :func:`encode_body` and reconstructed by :func:`decode_body`.
+Two compatibility rules make node/router binaries from adjacent versions
+interoperate:
+
+* **Unknown fields are ignored on decode.**  A newer peer may add fields;
+  an older peer simply drops them (``from_body`` filters the body against
+  its declared dataclass fields).
+* **New fields must carry defaults.**  An older peer's message omits them;
+  the dataclass default fills the gap.
+
+Messages carry a schema ``VERSION`` (bumped only on *incompatible* change —
+a removed or re-typed field); the frame envelope transports it alongside the
+``type`` tag, and a peer receiving a message whose major version it does not
+know rejects the frame rather than mis-parsing it.
+
+Binary values (storage payloads, serialised commit records) travel as
+base64 strings — frames are JSON end to end, chosen over msgpack because the
+toolchain bakes in no third-party codec and the paper's workloads are
+metadata-dominated.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Mapping
+
+from repro import errors
+from repro.core.commit_set import CommitRecord
+
+#: Protocol-level version of the frame envelope itself.
+WIRE_VERSION = 1
+
+
+def b64encode(value: bytes) -> str:
+    return base64.b64encode(value).decode("ascii")
+
+
+def b64decode(value: str) -> bytes:
+    return base64.b64decode(value.encode("ascii"))
+
+
+def encode_values(values: Mapping[str, bytes | None]) -> dict[str, str | None]:
+    """Encode a key->bytes-or-missing mapping for the wire."""
+    return {key: (b64encode(v) if v is not None else None) for key, v in values.items()}
+
+
+def decode_values(values: Mapping[str, str | None]) -> dict[str, bytes | None]:
+    return {key: (b64decode(v) if v is not None else None) for key, v in values.items()}
+
+
+def encode_records(records: list[CommitRecord]) -> list[str]:
+    return [b64encode(record.to_bytes()) for record in records]
+
+
+def decode_records(blobs: list[str]) -> list[CommitRecord]:
+    return [CommitRecord.from_bytes(b64decode(blob)) for blob in blobs]
+
+
+@dataclass
+class WireMessage:
+    """Base class: a typed, versioned JSON-object payload."""
+
+    #: Wire tag, unique across the protocol (set by every subclass).
+    TYPE: ClassVar[str] = ""
+    #: Schema version of this message type.
+    VERSION: ClassVar[int] = 1
+
+    def to_body(self) -> dict[str, Any]:
+        """Serialise to a plain JSON object (field name -> value)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "WireMessage":
+        """Reconstruct from a JSON object, ignoring unknown fields.
+
+        The filter is the forward-compatibility contract: bodies produced by
+        a newer schema simply lose their extra fields here instead of
+        crashing the older binary.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in body.items() if key in known})
+
+
+# --------------------------------------------------------------------- #
+# Membership / fencing (node <-> router)
+# --------------------------------------------------------------------- #
+@dataclass
+class Hello(WireMessage):
+    """Node registration. ``kind`` is ``"node"`` (serving) or ``"standby"``."""
+
+    TYPE: ClassVar[str] = "hello"
+    node_id: str = ""
+    kind: str = "node"
+
+
+@dataclass
+class HelloAck(WireMessage):
+    """Router's admission reply: the fencing token epoch and lease cadence."""
+
+    TYPE: ClassVar[str] = "hello_ack"
+    node_id: str = ""
+    #: Epoch of the node's fencing token (0 for standbys — no token until
+    #: activation).
+    epoch: int = 0
+    lease_duration: float = 5.0
+    heartbeat_interval: float = 1.0
+
+
+@dataclass
+class Heartbeat(WireMessage):
+    """Lease renewal (a notification, no reply expected)."""
+
+    TYPE: ClassVar[str] = "heartbeat"
+    node_id: str = ""
+
+
+@dataclass
+class Activate(WireMessage):
+    """Router -> standby: promote into service with a fresh fencing token."""
+
+    TYPE: ClassVar[str] = "activate"
+    node_id: str = ""
+    epoch: int = 0
+
+
+@dataclass
+class Ok(WireMessage):
+    """Generic empty success reply."""
+
+    TYPE: ClassVar[str] = "ok"
+
+
+# --------------------------------------------------------------------- #
+# Commit stream (node <-> router hub)
+# --------------------------------------------------------------------- #
+@dataclass
+class PublishCommits(WireMessage):
+    """Node -> router: recently committed records for fan-out (b64 blobs)."""
+
+    TYPE: ClassVar[str] = "publish_commits"
+    node_id: str = ""
+    records: list = field(default_factory=list)
+
+
+@dataclass
+class DeliverCommits(WireMessage):
+    """Router -> node: peer commit records to merge into the metadata cache."""
+
+    TYPE: ClassVar[str] = "deliver_commits"
+    records: list = field(default_factory=list)
+
+
+# --------------------------------------------------------------------- #
+# Storage service (node -> router)
+# --------------------------------------------------------------------- #
+@dataclass
+class StorageRequest(WireMessage):
+    """One storage-engine operation against the router's shared store.
+
+    ``op`` is one of ``get`` / ``put`` / ``delete`` / ``multi_get`` /
+    ``multi_put`` / ``multi_delete`` / ``list_keys``.  ``keys`` carries the
+    read/delete targets, ``items`` the writes (values base64), ``prefix``
+    the listing prefix.
+    """
+
+    TYPE: ClassVar[str] = "storage"
+    op: str = "get"
+    keys: list = field(default_factory=list)
+    items: dict = field(default_factory=dict)
+    prefix: str = ""
+
+
+@dataclass
+class StorageResponse(WireMessage):
+    """Result of a :class:`StorageRequest` (values base64, misses None)."""
+
+    TYPE: ClassVar[str] = "storage_result"
+    values: dict = field(default_factory=dict)
+    keys: list = field(default_factory=list)
+
+
+# --------------------------------------------------------------------- #
+# Client sessions (client <-> router) and their node-side forwards
+# --------------------------------------------------------------------- #
+@dataclass
+class ClientStart(WireMessage):
+    """Client -> router: open a transaction (router pins it to a node)."""
+
+    TYPE: ClassVar[str] = "client_start"
+    txid: str = ""
+
+
+@dataclass
+class ClientStarted(WireMessage):
+    TYPE: ClassVar[str] = "client_started"
+    txid: str = ""
+    node_id: str = ""
+
+
+@dataclass
+class ClientGet(WireMessage):
+    TYPE: ClassVar[str] = "client_get"
+    txid: str = ""
+    keys: list = field(default_factory=list)
+
+
+@dataclass
+class ClientValues(WireMessage):
+    TYPE: ClassVar[str] = "client_values"
+    values: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClientPut(WireMessage):
+    """Buffered writes (values base64); several keys per call are allowed."""
+
+    TYPE: ClassVar[str] = "client_put"
+    txid: str = ""
+    items: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClientCommit(WireMessage):
+    TYPE: ClassVar[str] = "client_commit"
+    txid: str = ""
+
+
+@dataclass
+class ClientCommitted(WireMessage):
+    """Commit acknowledgement: the commit id as a ``TransactionId`` token."""
+
+    TYPE: ClassVar[str] = "client_committed"
+    txid: str = ""
+    commit_token: str = ""
+
+
+@dataclass
+class ClientAbort(WireMessage):
+    TYPE: ClassVar[str] = "client_abort"
+    txid: str = ""
+
+
+@dataclass
+class TxnStart(WireMessage):
+    """Router -> node forwards of the client session ops (same shapes)."""
+
+    TYPE: ClassVar[str] = "txn_start"
+    txid: str = ""
+
+
+@dataclass
+class TxnGet(WireMessage):
+    TYPE: ClassVar[str] = "txn_get"
+    txid: str = ""
+    keys: list = field(default_factory=list)
+
+
+@dataclass
+class TxnPut(WireMessage):
+    TYPE: ClassVar[str] = "txn_put"
+    txid: str = ""
+    items: dict = field(default_factory=dict)
+
+
+@dataclass
+class TxnCommit(WireMessage):
+    TYPE: ClassVar[str] = "txn_commit"
+    txid: str = ""
+
+
+@dataclass
+class TxnAbort(WireMessage):
+    TYPE: ClassVar[str] = "txn_abort"
+    txid: str = ""
+
+
+# --------------------------------------------------------------------- #
+# Introspection and fault injection
+# --------------------------------------------------------------------- #
+@dataclass
+class Info(WireMessage):
+    """Cluster readiness probe (clients poll this while the fleet boots)."""
+
+    TYPE: ClassVar[str] = "info"
+
+
+@dataclass
+class InfoReply(WireMessage):
+    TYPE: ClassVar[str] = "info_reply"
+    nodes: list = field(default_factory=list)
+    standbys: list = field(default_factory=list)
+    epoch: int = 0
+    commits: int = 0
+
+
+@dataclass
+class Nemesis(WireMessage):
+    """Fault injection: partition ``node_id`` from the membership plane.
+
+    ``pause_heartbeats`` models the classic lease false positive — the node
+    keeps its data-plane connection (a long GC pause, an asymmetric
+    partition) but its lease renewals stop, so the router declares it dead
+    while it is still able to issue late commit-record writes.
+    """
+
+    TYPE: ClassVar[str] = "nemesis"
+    node_id: str = ""
+    pause_heartbeats: bool = False
+
+
+# --------------------------------------------------------------------- #
+# Codec
+# --------------------------------------------------------------------- #
+MESSAGE_TYPES: dict[str, type[WireMessage]] = {
+    cls.TYPE: cls
+    for cls in (
+        Hello,
+        HelloAck,
+        Heartbeat,
+        Activate,
+        Ok,
+        PublishCommits,
+        DeliverCommits,
+        StorageRequest,
+        StorageResponse,
+        ClientStart,
+        ClientStarted,
+        ClientGet,
+        ClientValues,
+        ClientPut,
+        ClientCommit,
+        ClientCommitted,
+        ClientAbort,
+        TxnStart,
+        TxnGet,
+        TxnPut,
+        TxnCommit,
+        TxnAbort,
+        Info,
+        InfoReply,
+        Nemesis,
+    )
+}
+
+
+def encode_body(message: WireMessage) -> tuple[str, int, dict[str, Any]]:
+    """Return the ``(type, version, body)`` triple the frame envelope carries."""
+    return message.TYPE, message.VERSION, message.to_body()
+
+
+def decode_body(msg_type: str, version: int, body: Mapping[str, Any]) -> WireMessage:
+    """Reconstruct a message, tolerating unknown fields and newer minor schemas.
+
+    An unknown *type* raises — the peer speaks a protocol we do not — but an
+    unknown *field* within a known type is silently dropped, which is what
+    lets adjacent versions interoperate.
+    """
+    cls = MESSAGE_TYPES.get(msg_type)
+    if cls is None:
+        raise errors.AftError(f"unknown wire message type {msg_type!r}")
+    del version  # schema versions are additive today; kept in the envelope
+    return cls.from_body(body)
+
+
+# --------------------------------------------------------------------- #
+# Error transport
+# --------------------------------------------------------------------- #
+#: Exception types that survive the wire round trip as themselves.  The far
+#: side of an RPC re-raises the *same* class, so e.g. a fenced node's commit
+#: failure surfaces as FencedNodeError three hops away from the fence.
+_ERROR_KINDS: dict[str, type[Exception]] = {
+    "fenced": errors.FencedNodeError,
+    "transaction": errors.TransactionError,
+    "unknown_transaction": errors.UnknownTransactionError,
+    "transaction_aborted": errors.TransactionAbortedError,
+    "transaction_committed": errors.TransactionAlreadyCommittedError,
+    "atomic_read": errors.AtomicReadError,
+    "storage": errors.StorageError,
+    "node_stopped": errors.NodeStoppedError,
+    "node_draining": errors.NodeDrainingError,
+    "no_available_node": errors.NoAvailableNodeError,
+    "aft": errors.AftError,
+}
+_KIND_BY_TYPE = {cls: kind for kind, cls in _ERROR_KINDS.items()}
+
+
+def error_to_wire(exc: BaseException) -> dict[str, str]:
+    """Encode an exception for an error reply frame."""
+    for cls in type(exc).__mro__:
+        kind = _KIND_BY_TYPE.get(cls)
+        if kind is not None:
+            return {"kind": kind, "message": str(exc)}
+    return {"kind": "error", "message": f"{type(exc).__name__}: {exc}"}
+
+
+def error_from_wire(payload: Mapping[str, str]) -> Exception:
+    """Reconstruct the closest matching exception class from an error reply."""
+    from repro.rpc.framing import RpcError
+
+    kind = payload.get("kind", "error")
+    message = payload.get("message", "remote error")
+    cls = _ERROR_KINDS.get(kind)
+    if cls is None:
+        return RpcError(message)
+    return cls(message)

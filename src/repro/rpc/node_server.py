@@ -1,0 +1,236 @@
+"""The ``repro-node`` process: one AFT shim node behind a router connection.
+
+The process owns a single :class:`~repro.core.node.AftNode` on an asyncio
+event loop.  Its storage engine is :class:`~repro.rpc.storage_client.RemoteStorage`
+over the router connection, so the node's entire §3.3 write protocol — data
+writes first, commit record last — executes against the *router's* shared
+store, where the epoch fencing check lives.  The same connection carries,
+multiplexed:
+
+* **lease renewals** (heartbeat notifications on the cadence the router's
+  ``hello_ack`` dictates),
+* **the commit stream** (drained recent commits published up; peer commits
+  delivered down and merged into the metadata cache),
+* **forwarded client sessions** (``txn_*`` requests the router pins here),
+* **fault injection** (``nemesis`` pauses heartbeats while leaving the
+  data path untouched — the asymmetric-partition / GC-pause scenario that
+  makes lease membership produce false positives).
+
+A ``--kind standby`` process registers without a fencing token and idles
+until the router's ``activate`` promotes it (fresh epoch, then bootstrap
+from the Transaction Commit Set).
+
+Run it: ``repro-node --node-id n0 --router-port 7400``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.config import AftConfig
+from repro.core.commit_set import CommitSetStore
+from repro.core.metadata_plane.fencing import FenceToken
+from repro.core.node import AftNode
+from repro.errors import AftError
+from repro.rpc import messages as m
+from repro.rpc.framing import RpcConnection, connect
+from repro.rpc.storage_client import RemoteStorage
+
+#: How often drained commits are published to the router's commit hub.
+PUBLISH_INTERVAL = 0.05
+
+
+class NodeServer:
+    """One node process: an :class:`AftNode` served over a router connection."""
+
+    def __init__(
+        self,
+        node_id: str,
+        router_host: str = "127.0.0.1",
+        router_port: int = 7400,
+        kind: str = "node",
+        config: AftConfig | None = None,
+    ) -> None:
+        if kind not in ("node", "standby"):
+            raise ValueError(f"kind must be 'node' or 'standby', not {kind!r}")
+        self.node_id = node_id
+        self.router_host = router_host
+        self.router_port = router_port
+        self.kind = kind
+        self.config = config if config is not None else AftConfig()
+
+        self.conn: RpcConnection | None = None
+        self.node: AftNode | None = None
+        self.heartbeat_interval = 1.0
+        #: Nemesis switch: heartbeats stop, everything else keeps running.
+        self.heartbeats_paused = False
+        self._serving = asyncio.Event()
+        self._closed = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Connect, register, and (for serving nodes) come online."""
+        loop = asyncio.get_running_loop()
+        self.conn = await connect(
+            self.router_host,
+            self.router_port,
+            handler=self._handle,
+            name=f"node-{self.node_id}",
+        )
+        self.conn.on_close = lambda _conn: self._closed.set()
+
+        ack = await self.conn.request(m.Hello(node_id=self.node_id, kind=self.kind))
+        if not isinstance(ack, m.HelloAck):
+            raise AftError(f"unexpected registration reply {type(ack).__name__}")
+        self.heartbeat_interval = ack.heartbeat_interval
+
+        storage = RemoteStorage(self.conn, loop=loop)
+        self.node = AftNode(
+            storage=storage,
+            commit_store=CommitSetStore(storage),
+            config=self.config,
+            node_id=self.node_id,
+        )
+        if self.kind == "node":
+            await self._come_online(ack.epoch)
+
+        self._tasks = [
+            loop.create_task(self._heartbeat_loop()),
+            loop.create_task(self._publish_loop()),
+        ]
+
+    async def _come_online(self, epoch: int) -> None:
+        """Start serving: adopt the fencing token, bootstrap off-loop."""
+        assert self.node is not None
+        if epoch:
+            self.node.fence_token = FenceToken(node_id=self.node_id, epoch=epoch)
+        self.node.start(bootstrap=False)
+        # The bootstrap scan is the sync commit-set path; RemoteStorage's
+        # sync facade bridges from a worker thread back onto this loop.
+        await asyncio.to_thread(self.node.bootstrap)
+        self._serving.set()
+
+    async def run_forever(self) -> None:
+        await self._closed.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self.node is not None and self.node.is_running:
+            self.node.stop()
+        if self.conn is not None:
+            await self.conn.close()
+
+    # ------------------------------------------------------------------ #
+    # Background loops
+    # ------------------------------------------------------------------ #
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self.heartbeats_paused or not self._serving.is_set():
+                continue
+            try:
+                await self.conn.notify(m.Heartbeat(node_id=self.node_id))
+            except Exception:
+                return
+
+    async def _publish_loop(self) -> None:
+        while True:
+            await asyncio.sleep(PUBLISH_INTERVAL)
+            if not self._serving.is_set():
+                continue
+            try:
+                await self._publish_now()
+            except Exception:
+                return
+
+    async def _publish_now(self) -> None:
+        records = self.node.drain_recent_commits()
+        if records:
+            # A request, not a notification: the router replies only after it
+            # has written the deliver frames to every peer, so once the commit
+            # ack (which follows this) reaches the client, any later request
+            # to a sibling node is behind that sibling's deliver frame.
+            await self.conn.request(
+                m.PublishCommits(node_id=self.node_id, records=m.encode_records(records))
+            )
+
+    # ------------------------------------------------------------------ #
+    # Request handling (router -> node)
+    # ------------------------------------------------------------------ #
+    async def _handle(self, conn: RpcConnection, msg: m.WireMessage) -> m.WireMessage | None:
+        node = self.node
+        if isinstance(msg, m.TxnStart):
+            txid = node.start_transaction(msg.txid or None)
+            return m.ClientStarted(txid=txid, node_id=self.node_id)
+        if isinstance(msg, m.TxnGet):
+            values = await node.get_many_async(msg.txid, list(msg.keys))
+            return m.ClientValues(values=m.encode_values(values))
+        if isinstance(msg, m.TxnPut):
+            for key, value in m.decode_values(msg.items).items():
+                await node.put_async(msg.txid, key, value)
+            return m.Ok()
+        if isinstance(msg, m.TxnCommit):
+            commit_id = await node.commit_transaction_async(msg.txid)
+            # Publish eagerly: the commit ack and the peer broadcast leave
+            # together, so a follow-up transaction on a sibling node sees the
+            # new version without waiting out the publish interval.
+            try:
+                await self._publish_now()
+            except Exception:
+                pass
+            return m.ClientCommitted(txid=msg.txid, commit_token=commit_id.to_token())
+        if isinstance(msg, m.TxnAbort):
+            node.abort_transaction(msg.txid)
+            return m.Ok()
+        if isinstance(msg, m.DeliverCommits):
+            node.receive_commits(m.decode_records(msg.records))
+            return m.Ok()
+        if isinstance(msg, m.Activate):
+            self.kind = "node"
+            await self._come_online(msg.epoch)
+            return m.Ok()
+        if isinstance(msg, m.Nemesis):
+            self.heartbeats_paused = msg.pause_heartbeats
+            return m.Ok()
+        raise AftError(f"node cannot handle {msg.TYPE!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-node", description=__doc__)
+    parser.add_argument("--node-id", required=True)
+    parser.add_argument("--router-host", default="127.0.0.1")
+    parser.add_argument("--router-port", type=int, default=7400)
+    parser.add_argument("--kind", choices=("node", "standby"), default="node")
+    args = parser.parse_args(argv)
+
+    async def run() -> None:
+        server = NodeServer(
+            node_id=args.node_id,
+            router_host=args.router_host,
+            router_port=args.router_port,
+            kind=args.kind,
+        )
+        await server.start()
+        print(f"REPRO_NODE_READY node={args.node_id} kind={args.kind}", flush=True)
+        await server.run_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

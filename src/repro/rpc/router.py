@@ -1,0 +1,388 @@
+"""The ``repro-router`` process: the cluster's shared services on one port.
+
+The router plays the roles that live *outside* the shim nodes in the
+paper's deployment (Section 4):
+
+* **Shared storage.**  An in-process engine (``InMemoryStorage`` by
+  default) serves every node's :class:`~repro.rpc.messages.StorageRequest`.
+  This is the stand-in for cloud storage — and therefore the one authority
+  a late writer cannot bypass, so **epoch fencing is enforced here**: every
+  put whose key is a commit-record key has its record parsed and its
+  ``(node_id, epoch)`` stamp validated against the router's
+  :class:`~repro.core.metadata_plane.fencing.EpochFence` before the write
+  lands.  A fenced node's commit fails at the record write, after its data
+  writes — exactly the §3.3 write-ordering failure mode AFT tolerates:
+  durable but unreferenced data, garbage, never a visible commit.
+* **Lease membership.**  Nodes renew leases with heartbeat frames; a lease
+  expiring marks the node failed, revokes its fencing token, removes it
+  from client routing, and promotes a standby (fresh token, ``activate``
+  message) — the :class:`~repro.core.metadata_plane.membership.LeaseMembership`
+  strategy made load-bearing on sockets.
+* **Commit-stream hub.**  ``publish_commits`` from a node fans out as
+  ``deliver_commits`` to every other serving node — the
+  :class:`CommitStream` strategy's role, with the router as the relay.
+* **Client session routing.**  Clients open transactions against the
+  router; each is pinned round-robin to a serving node and its Table-1 ops
+  are forwarded over that node's existing connection.
+
+Run it: ``repro-router --port 7400`` (``--port 0`` picks a free port and
+prints it on the ``REPRO_ROUTER_READY`` line that process harnesses wait
+for).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.commit_set import CommitRecord
+from repro.core.metadata_plane.fencing import EpochFence
+from repro.core.metadata_plane.keyspace import PARTITIONED_PREFIX
+from repro.errors import AftError, NoAvailableNodeError, UnknownTransactionError
+from repro.ids import COMMIT_PREFIX, KEY_SEPARATOR
+from repro.rpc import messages as m
+from repro.rpc.framing import RpcConnection
+from repro.storage.base import StorageEngine
+from repro.storage.memory import InMemoryStorage
+
+_COMMIT_KEY_PREFIXES = (COMMIT_PREFIX + KEY_SEPARATOR, PARTITIONED_PREFIX + ".")
+
+
+def is_commit_record_storage_key(key: str) -> bool:
+    """Whether ``key`` holds a commit record under any keyspace layout."""
+    return key.startswith(_COMMIT_KEY_PREFIXES)
+
+
+@dataclass
+class _NodeSession:
+    """Router-side state of one connected node process."""
+
+    conn: RpcConnection
+    node_id: str
+    kind: str
+    #: Serving client traffic (standbys flip True on activation; a declared-
+    #: failed node flips False forever).
+    active: bool = False
+    last_heartbeat: float = field(default_factory=time.monotonic)
+    declared_failed: bool = False
+
+
+class RouterServer:
+    """The cluster's storage, membership, fencing, and routing authority."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        storage: StorageEngine | None = None,
+        lease_duration: float = 5.0,
+        heartbeat_interval: float = 1.0,
+    ) -> None:
+        if lease_duration <= heartbeat_interval:
+            raise ValueError("lease_duration must exceed heartbeat_interval")
+        self.host = host
+        self.port = port
+        self.storage = storage if storage is not None else InMemoryStorage()
+        self.lease_duration = lease_duration
+        self.heartbeat_interval = heartbeat_interval
+        self.fence = EpochFence()
+
+        self._server: asyncio.AbstractServer | None = None
+        self._sessions: dict[str, _NodeSession] = {}
+        self._routes: dict[str, _NodeSession] = {}
+        self._round_robin = 0
+        self._lease_task: asyncio.Task | None = None
+        self._commits_seen = 0
+        #: Guards the storage engine: its operations are instant, and one
+        #: lock keeps fence-check-then-write atomic under handler concurrency.
+        self._storage_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._accept, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._lease_task = asyncio.get_running_loop().create_task(self._lease_loop())
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._lease_task is not None:
+            self._lease_task.cancel()
+            try:
+                await self._lease_task
+            except asyncio.CancelledError:
+                pass
+            self._lease_task = None
+        for session in list(self._sessions.values()):
+            await session.conn.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        conn = RpcConnection(reader, writer, handler=self._handle, name="router-peer")
+        conn.on_close = self._connection_lost
+        conn.start()
+
+    def _connection_lost(self, conn: RpcConnection) -> None:
+        for node_id, session in list(self._sessions.items()):
+            if session.conn is conn:
+                # A dropped socket is a hard failure: fence immediately
+                # rather than waiting out the lease.
+                self._declare_failed(session, reason="connection lost")
+                self._sessions.pop(node_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Lease membership + fencing
+    # ------------------------------------------------------------------ #
+    async def _lease_loop(self) -> None:
+        interval = max(0.05, self.lease_duration / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            expired = [
+                session
+                for session in self._sessions.values()
+                if session.active
+                and not session.declared_failed
+                and (now - session.last_heartbeat) > self.lease_duration
+            ]
+            for session in expired:
+                self._declare_failed(session, reason="lease expired")
+                await self._promote_standby()
+
+    def _declare_failed(self, session: _NodeSession, reason: str) -> None:
+        if session.declared_failed:
+            return
+        session.declared_failed = True
+        was_active = session.active
+        session.active = False
+        if was_active or self.fence.granted_epoch(session.node_id) is not None:
+            # Revoke *before* anything else: from here on the node's late
+            # commit-record writes carry a dead epoch.
+            self.fence.revoke(session.node_id)
+        # Transactions pinned to the dead node stay pinned: their next op
+        # surfaces the failure to the client (who retries a new txn), rather
+        # than silently landing on a node that never heard of the txid.
+
+    async def _promote_standby(self) -> None:
+        standby = next(
+            (
+                s
+                for s in self._sessions.values()
+                if s.kind == "standby" and not s.active and not s.declared_failed
+            ),
+            None,
+        )
+        if standby is None:
+            return
+        token = self.fence.grant(standby.node_id)
+        standby.kind = "node"
+        standby.last_heartbeat = time.monotonic()
+        try:
+            await standby.conn.request(
+                m.Activate(node_id=standby.node_id, epoch=token.epoch), timeout=10.0
+            )
+        except Exception:
+            self._declare_failed(standby, reason="activation failed")
+            return
+        standby.active = True
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch
+    # ------------------------------------------------------------------ #
+    async def _handle(self, conn: RpcConnection, msg: m.WireMessage) -> m.WireMessage | None:
+        if isinstance(msg, m.StorageRequest):
+            return self._handle_storage(msg)
+        if isinstance(msg, m.Heartbeat):
+            session = self._sessions.get(msg.node_id)
+            if session is not None and not session.declared_failed:
+                session.last_heartbeat = time.monotonic()
+            return None
+        if isinstance(msg, m.Hello):
+            return self._handle_hello(conn, msg)
+        if isinstance(msg, m.PublishCommits):
+            await self._handle_publish(msg)
+            return m.Ok()
+        if isinstance(msg, m.ClientStart):
+            return await self._handle_client_start(msg)
+        if isinstance(msg, m.ClientGet):
+            reply = await self._forward(msg.txid, m.TxnGet(txid=msg.txid, keys=msg.keys))
+            return m.ClientValues(values=getattr(reply, "values", {}))
+        if isinstance(msg, m.ClientPut):
+            await self._forward(msg.txid, m.TxnPut(txid=msg.txid, items=msg.items))
+            return m.Ok()
+        if isinstance(msg, m.ClientCommit):
+            try:
+                reply = await self._forward(msg.txid, m.TxnCommit(txid=msg.txid))
+            finally:
+                self._routes.pop(msg.txid, None)
+            return m.ClientCommitted(
+                txid=msg.txid, commit_token=getattr(reply, "commit_token", "")
+            )
+        if isinstance(msg, m.ClientAbort):
+            try:
+                await self._forward(msg.txid, m.TxnAbort(txid=msg.txid))
+            finally:
+                self._routes.pop(msg.txid, None)
+            return m.Ok()
+        if isinstance(msg, m.Info):
+            return m.InfoReply(
+                nodes=sorted(s.node_id for s in self._sessions.values() if s.active),
+                standbys=sorted(
+                    s.node_id
+                    for s in self._sessions.values()
+                    if s.kind == "standby" and not s.active and not s.declared_failed
+                ),
+                epoch=self.fence.epoch,
+                commits=self._commits_seen,
+            )
+        if isinstance(msg, m.Nemesis):
+            session = self._sessions.get(msg.node_id)
+            if session is None:
+                raise AftError(f"no such node {msg.node_id!r}")
+            await session.conn.request(msg, timeout=10.0)
+            return m.Ok()
+        raise AftError(f"router cannot handle {msg.TYPE!r}")
+
+    # ------------------------------------------------------------------ #
+    def _handle_hello(self, conn: RpcConnection, msg: m.Hello) -> m.HelloAck:
+        session = _NodeSession(conn=conn, node_id=msg.node_id, kind=msg.kind)
+        epoch = 0
+        if msg.kind == "node":
+            token = self.fence.grant(msg.node_id)
+            epoch = token.epoch
+            session.active = True
+        self._sessions[msg.node_id] = session
+        return m.HelloAck(
+            node_id=msg.node_id,
+            epoch=epoch,
+            lease_duration=self.lease_duration,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+
+    async def _handle_publish(self, msg: m.PublishCommits) -> None:
+        self._commits_seen += len(msg.records)
+        deliver = m.DeliverCommits(records=msg.records)
+        for session in list(self._sessions.values()):
+            if session.active and session.node_id != msg.node_id:
+                try:
+                    await session.conn.notify(deliver)
+                except Exception:
+                    # The lease loop (or on_close) handles the dead peer.
+                    continue
+
+    async def _handle_client_start(self, msg: m.ClientStart) -> m.ClientStarted:
+        serving = [s for s in self._sessions.values() if s.active]
+        if not serving:
+            raise NoAvailableNodeError("no serving node connected to the router")
+        session = serving[self._round_robin % len(serving)]
+        self._round_robin += 1
+        reply = await session.conn.request(m.TxnStart(txid=msg.txid), timeout=10.0)
+        txid = getattr(reply, "txid", msg.txid)
+        self._routes[txid] = session
+        return m.ClientStarted(txid=txid, node_id=session.node_id)
+
+    async def _forward(self, txid: str, msg: m.WireMessage) -> m.WireMessage:
+        session = self._routes.get(txid)
+        if session is None:
+            raise UnknownTransactionError(
+                f"transaction {txid!r} is not routed through this router", txid=txid
+            )
+        return await session.conn.request(msg, timeout=30.0)
+
+    # ------------------------------------------------------------------ #
+    # Storage service (with the fencing gate)
+    # ------------------------------------------------------------------ #
+    def _check_put_fence(self, key: str, value: bytes) -> None:
+        """The load-bearing fencing check: reject stale commit-record writes.
+
+        Data-key writes pass through unfenced (a late node's data writes are
+        harmless garbage — §3.3); only the commit record makes a transaction
+        visible, so that is where the epoch stamp is validated.
+        """
+        if not is_commit_record_storage_key(key):
+            return
+        record = CommitRecord.from_bytes(value)
+        self.fence.check(record.node_id, record.epoch)
+
+    def _handle_storage(self, msg: m.StorageRequest) -> m.StorageResponse:
+        op = msg.op
+        with self._storage_lock:
+            if op == "get":
+                key = msg.keys[0]
+                value = self.storage.get(key)
+                return m.StorageResponse(
+                    values={key: m.b64encode(value) if value is not None else None}
+                )
+            if op == "multi_get":
+                values = self.storage.multi_get(list(msg.keys))
+                return m.StorageResponse(values=m.encode_values(values))
+            if op == "put":
+                items = m.decode_values(msg.items)
+                for key, value in items.items():
+                    self._check_put_fence(key, value)
+                for key, value in items.items():
+                    self.storage.put(key, value)
+                return m.StorageResponse()
+            if op == "multi_put":
+                items = m.decode_values(msg.items)
+                # Validate the whole batch before writing any of it: a batch
+                # with one fenced record writes nothing (the group-commit
+                # flush relies on this all-or-nothing shape).
+                for key, value in items.items():
+                    self._check_put_fence(key, value)
+                self.storage.multi_put(items)
+                return m.StorageResponse()
+            if op == "delete":
+                for key in msg.keys:
+                    self.storage.delete(key)
+                return m.StorageResponse()
+            if op == "multi_delete":
+                self.storage.multi_delete(list(msg.keys))
+                return m.StorageResponse()
+            if op == "list_keys":
+                return m.StorageResponse(keys=self.storage.list_keys(prefix=msg.prefix))
+        raise AftError(f"unknown storage op {op!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-router", description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7400, help="0 picks a free port")
+    parser.add_argument("--lease-duration", type=float, default=5.0)
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    async def run() -> None:
+        router = RouterServer(
+            host=args.host,
+            port=args.port,
+            lease_duration=args.lease_duration,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+        await router.start()
+        # The ready line is machine-readable: harnesses parse the port from
+        # it (mandatory with --port 0).
+        print(f"REPRO_ROUTER_READY host={router.host} port={router.port}", flush=True)
+        await router.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

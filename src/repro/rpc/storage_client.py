@@ -1,0 +1,169 @@
+"""A storage engine that speaks to the router's shared storage service.
+
+:class:`RemoteStorage` is the node process's view of cloud storage: every
+operation becomes one :class:`~repro.rpc.messages.StorageRequest` on the
+node's router connection.  It declares ``supports_native_async`` — the
+``*_async`` twins await socket round trips directly, so
+``execute_plan_async`` fans a plan stage's request groups out as plain
+coroutines on the node's event loop with no executor hop.  That composes
+the whole PR stack: IO plans (PR 1) route through the async core (PR 6)
+onto real sockets (this PR).
+
+The sync :class:`~repro.storage.base.StorageEngine` methods remain usable
+*off* the event loop (they bridge with ``run_coroutine_threadsafe``), which
+is how ``AftNode.bootstrap`` — a sync commit-set scan — runs in a worker
+thread during node warm-up.  Calling them *on* the loop thread raises
+instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Mapping
+
+from repro.errors import StorageError
+from repro.rpc.framing import RpcConnection
+from repro.rpc.messages import (
+    StorageRequest,
+    StorageResponse,
+    b64decode,
+    b64encode,
+    decode_values,
+    encode_values,
+)
+from repro.storage.base import StorageEngine
+
+
+class RemoteStorage(StorageEngine):
+    """Durable key-value store proxied over an :class:`RpcConnection`."""
+
+    name = "remote"
+    wall_clock_io = True
+    supports_native_async = True
+    supports_batch_writes = True
+    supports_batch_reads = True
+
+    def __init__(self, conn: RpcConnection, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        super().__init__()
+        self._conn = conn
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        #: Socket round-trip budget per storage op (generous: a stalled
+        #: router should surface as an error, not a hung node).
+        self.request_timeout: float | None = 30.0
+
+    # ------------------------------------------------------------------ #
+    async def _call(self, request: StorageRequest) -> StorageResponse:
+        reply = await self._conn.request(request, timeout=self.request_timeout)
+        if not isinstance(reply, StorageResponse):
+            raise StorageError(f"unexpected storage reply {type(reply).__name__}")
+        return reply
+
+    def _bridge(self, coro):
+        """Run an async op from sync code (must be off the event loop)."""
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            coro.close()
+            raise StorageError(
+                "sync RemoteStorage call on the event loop thread would deadlock; "
+                "use the *_async twins (or call from a worker thread)"
+            )
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # ------------------------------------------------------------------ #
+    # Native-async operations
+    # ------------------------------------------------------------------ #
+    async def get_async(self, key: str) -> bytes | None:
+        reply = await self._call(StorageRequest(op="get", keys=[key]))
+        value = reply.values.get(key)
+        data = b64decode(value) if value is not None else None
+        with self._lock:
+            self.stats.reads += 1
+            if data is not None:
+                self.stats.items_read += 1
+                self.stats.bytes_read += len(data)
+        self._charge("read", total_bytes=len(data) if data else 0)
+        return data
+
+    async def put_async(self, key: str, value: bytes) -> None:
+        await self._call(StorageRequest(op="put", items={key: b64encode(value)}))
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.items_written += 1
+            self.stats.bytes_written += len(value)
+        self._charge("write", total_bytes=len(value))
+
+    async def delete_async(self, key: str) -> None:
+        await self._call(StorageRequest(op="delete", keys=[key]))
+        with self._lock:
+            self.stats.deletes += 1
+            self.stats.items_deleted += 1
+        self._charge("delete")
+
+    async def multi_get_async(self, keys: Iterable[str]) -> dict[str, bytes | None]:
+        keys = list(keys)
+        if not keys:
+            return {}
+        reply = await self._call(StorageRequest(op="multi_get", keys=keys))
+        values = decode_values(reply.values)
+        total = sum(len(v) for v in values.values() if v is not None)
+        with self._lock:
+            self.stats.batch_reads += 1
+            self.stats.items_read += sum(1 for v in values.values() if v is not None)
+            self.stats.bytes_read += total
+        self._charge("batch_read", n_items=max(1, len(keys)), total_bytes=total)
+        return {key: values.get(key) for key in keys}
+
+    async def multi_put_async(self, items: Mapping[str, bytes]) -> None:
+        if not items:
+            return
+        total = sum(len(v) for v in items.values())
+        await self._call(StorageRequest(op="multi_put", items=encode_values(items)))
+        with self._lock:
+            self.stats.batch_writes += 1
+            self.stats.items_written += len(items)
+            self.stats.bytes_written += total
+        self._charge("batch_write", n_items=max(1, len(items)), total_bytes=total)
+
+    async def multi_delete_async(self, keys: Iterable[str]) -> None:
+        keys = list(keys)
+        if not keys:
+            return
+        await self._call(StorageRequest(op="multi_delete", keys=keys))
+        with self._lock:
+            self.stats.deletes += 1
+            self.stats.items_deleted += len(keys)
+        self._charge("batch_write", n_items=max(1, len(keys)))
+
+    async def list_keys_async(self, prefix: str = "") -> list[str]:
+        reply = await self._call(StorageRequest(op="list_keys", prefix=prefix))
+        with self._lock:
+            self.stats.lists += 1
+        self._charge("list", n_items=max(1, len(reply.keys)))
+        return list(reply.keys)
+
+    # ------------------------------------------------------------------ #
+    # Sync facade (worker threads only)
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> bytes | None:
+        return self._bridge(self.get_async(key))
+
+    def put(self, key: str, value: bytes) -> None:
+        self._bridge(self.put_async(key, value))
+
+    def delete(self, key: str) -> None:
+        self._bridge(self.delete_async(key))
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self._bridge(self.list_keys_async(prefix))
+
+    def multi_get(self, keys: Iterable[str]) -> dict[str, bytes | None]:
+        return self._bridge(self.multi_get_async(list(keys)))
+
+    def multi_put(self, items: Mapping[str, bytes]) -> None:
+        self._bridge(self.multi_put_async(dict(items)))
+
+    def multi_delete(self, keys: Iterable[str]) -> None:
+        self._bridge(self.multi_delete_async(list(keys)))

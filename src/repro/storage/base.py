@@ -16,6 +16,7 @@ accrued cost into simulated time; unit tests simply ignore it.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import itertools
 import threading
 from abc import ABC, abstractmethod
@@ -194,6 +195,14 @@ class StorageEngine(ABC):
     #: deterministic sequential issue order; wall-clock engines opt into the
     #: concurrent fan-out of ``execute_plan`` / ``execute_plan_async``.
     wall_clock_io: bool = False
+    #: Whether the engine's IO is natively non-blocking (its ``*_async``
+    #: operation twins await real IO instead of wrapping the sync methods).
+    #: ``execute_plan_async`` then fans request groups out as plain
+    #: coroutines on the event loop — no ``run_in_executor`` hop, no
+    #: executor-slot contention, no GIL hand-off per group — which is what
+    #: lifts the >16-client swarm plateau.  Only meaningful together with
+    #: ``wall_clock_io``; metered engines stay sequential either way.
+    supports_native_async: bool = False
     #: Per-engine bound on concurrently issued request groups within one plan
     #: stage.  ``None`` falls back to the shared runtime default; nodes set it
     #: from :attr:`repro.config.AftConfig.io_concurrency`.
@@ -203,19 +212,26 @@ class StorageEngine(ABC):
         self.latency_model = latency_model if latency_model is not None else ZeroLatency()
         self.clock = clock if clock is not None else SystemClock()
         self.stats = StorageStats()
-        #: Ledger attachment is thread-local: concurrent committers (group
-        #: commit, multi-threaded nodes) each meter their own operations
-        #: without cross-wiring each other's cost accounting.
-        self._ledger_slot = threading.local()
+        #: Ledger attachment is context-local (``contextvars``): concurrent
+        #: committers each meter their own operations without cross-wiring
+        #: each other's cost accounting.  A ContextVar rather than
+        #: ``threading.local`` because the native-async plan path interleaves
+        #: many request groups as coroutines *on one loop thread* — asyncio
+        #: tasks copy the context at creation, so each group's ledger stays
+        #: isolated; plain threads keep their per-thread contexts, preserving
+        #: the old thread-local semantics exactly.
+        self._ledger_slot: contextvars.ContextVar[CostLedger | None] = contextvars.ContextVar(
+            f"repro-ledger-{id(self)}", default=None
+        )
         self._lock = threading.RLock()
 
     @property
     def _ledger(self) -> CostLedger | None:
-        return getattr(self._ledger_slot, "value", None)
+        return self._ledger_slot.get()
 
     @_ledger.setter
     def _ledger(self, ledger: CostLedger | None) -> None:
-        self._ledger_slot.value = ledger
+        self._ledger_slot.set(ledger)
 
     # ------------------------------------------------------------------ #
     # Latency metering
@@ -276,6 +292,31 @@ class StorageEngine(ABC):
         """Delete several keys.  The default implementation issues point deletes."""
         for key in keys:
             self.delete(key)
+
+    # ------------------------------------------------------------------ #
+    # Native-async operation twins
+    # ------------------------------------------------------------------ #
+    # Engines declaring ``supports_native_async`` override these with truly
+    # non-blocking implementations (``asyncio.sleep``, async sockets); the
+    # defaults delegate to the sync methods so the async plan path stays
+    # correct — though not non-blocking — on any engine.
+    async def get_async(self, key: str) -> bytes | None:
+        return self.get(key)
+
+    async def put_async(self, key: str, value: bytes) -> None:
+        self.put(key, value)
+
+    async def delete_async(self, key: str) -> None:
+        self.delete(key)
+
+    async def multi_get_async(self, keys: Iterable[str]) -> dict[str, bytes | None]:
+        return self.multi_get(keys)
+
+    async def multi_put_async(self, items: Mapping[str, bytes]) -> None:
+        self.multi_put(items)
+
+    async def multi_delete_async(self, keys: Iterable[str]) -> None:
+        self.multi_delete(keys)
 
     # ------------------------------------------------------------------ #
     # IO-plan execution (the batched parallel-IO pipeline)
@@ -352,6 +393,12 @@ class StorageEngine(ABC):
         sequential issue order keeps the seeded latency sampling — and hence
         the sync/async parity of values, stage latencies, and stats —
         deterministic.
+
+        Engines that additionally declare ``supports_native_async`` skip the
+        executor entirely: each request group runs as a coroutine over the
+        engine's ``*_async`` operation twins, bounded by the same
+        per-stage concurrency semaphore.  No thread hop per group means the
+        fan-out is limited by the event loop, not by executor slots.
         """
         from repro.core.io_plan import PlanResult
 
@@ -361,6 +408,12 @@ class StorageEngine(ABC):
         try:
             for stage in plan.stages:
                 stage_id = next(_stage_ids)
+                if self.wall_clock_io and self.supports_native_async:
+                    outcomes = await self._gather_groups_native(
+                        self._stage_groups_async(stage), stage_id
+                    )
+                    self._collect_stage(outcomes, inner, result)
+                    continue
                 groups = self._stage_groups(stage)
                 if len(groups) > 1 and self.wall_clock_io:
                     outcomes = await self._gather_groups(groups, stage_id)
@@ -400,6 +453,50 @@ class StorageEngine(ABC):
                 )
 
         return list(await asyncio.gather(*(run_one(group) for group in groups)))
+
+    async def _gather_groups_native(self, thunks, stage_id: int):
+        """Fan one stage's groups out as coroutines on the loop (no executor).
+
+        ``asyncio.gather`` wraps each coroutine in a task, and tasks copy the
+        current context at creation — so each group's ``metered`` attachment
+        (a ContextVar) is isolated per group even though they all interleave
+        on one thread.
+        """
+        limit = asyncio.Semaphore(self.effective_io_concurrency)
+
+        async def run_one(thunk):
+            async with limit:
+                ledger = CostLedger()
+                ledger._current_stage = stage_id
+                with self.metered(ledger):
+                    values = await thunk()
+                return values, ledger
+
+        return list(await asyncio.gather(*(run_one(thunk) for thunk in thunks)))
+
+    def _stage_groups_async(self, stage: "IOStage"):
+        """Async twin of :meth:`_stage_groups`: coroutine thunks per request group."""
+        thunks = []
+        for group in self._plan_put_groups(stage.puts):
+            thunks.append(lambda g=group: self._execute_put_group_async(g))
+        for key_group in self._plan_get_groups(stage.gets):
+            thunks.append(lambda ks=key_group: self._execute_get_group_async(ks))
+        deletes = stage.deletes
+        if deletes:
+            thunks.append(lambda ks=deletes: self.multi_delete_async(ks))
+        return thunks
+
+    async def _execute_put_group_async(self, group: Mapping[str, bytes]) -> None:
+        if len(group) > 1:
+            await self.multi_put_async(group)
+        else:
+            for key, value in group.items():
+                await self.put_async(key, value)
+
+    async def _execute_get_group_async(self, keys: list[str]) -> dict[str, bytes | None]:
+        if len(keys) > 1:
+            return await self.multi_get_async(keys)
+        return {keys[0]: await self.get_async(keys[0])}
 
     def _stage_groups(
         self, stage: "IOStage"

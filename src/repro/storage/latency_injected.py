@@ -20,6 +20,7 @@ fan-out.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Iterable, Mapping
 
@@ -44,6 +45,13 @@ class LatencyInjectedStorage(StorageEngine):
         Latency model whose samples are *charged* to the attached ledger
         (the usual metering).  Defaults to :class:`ZeroLatency` — the whole
         point of the wrapper is that its cost shows up on the wall clock.
+    native_async:
+        Declare ``supports_native_async``: the injected delay of the
+        ``*_async`` operation twins becomes an ``asyncio.sleep`` awaited on
+        the event loop, so ``execute_plan_async`` fans request groups out as
+        plain coroutines instead of executor hops.  This models a real
+        async-socket backend and is what the ``bench_ablation_async_io``
+        native-path ablation toggles.
     """
 
     name = "latency-injected"
@@ -55,12 +63,14 @@ class LatencyInjectedStorage(StorageEngine):
         injected: LatencyModel | None = None,
         charged: LatencyModel | None = None,
         clock: Clock | None = None,
+        native_async: bool = False,
     ) -> None:
         super().__init__(
             latency_model=charged if charged is not None else ZeroLatency(), clock=clock
         )
         self.inner = inner
         self.injected = injected if injected is not None else ConstantLatency(0.001)
+        self.supports_native_async = bool(native_async)
         self.supports_batch_writes = inner.supports_batch_writes
         self.max_batch_size = inner.max_batch_size
         self.supports_batch_reads = inner.supports_batch_reads
@@ -135,6 +145,75 @@ class LatencyInjectedStorage(StorageEngine):
     def multi_delete(self, keys: Iterable[str]) -> None:
         keys = list(keys)
         self._sleep("batch_write", n_items=max(1, len(keys)))
+        with self._lock:
+            self.inner.multi_delete(keys)
+            self.stats.deletes += 1
+            self.stats.items_deleted += len(keys)
+        self._charge("batch_write", n_items=max(1, len(keys)))
+
+    # ------------------------------------------------------------------ #
+    # Native-async twins: the injected delay is awaited, not slept, so the
+    # event loop interleaves many in-flight operations on one thread.  The
+    # inner (instant) operation and the counters still update under the lock.
+    # ------------------------------------------------------------------ #
+    async def _sleep_async(self, op: str, n_items: int = 1, total_bytes: int = 0) -> None:
+        delay = self.injected.sample(op, n_items=n_items, total_bytes=total_bytes)
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def get_async(self, key: str) -> bytes | None:
+        await self._sleep_async("read")
+        with self._lock:
+            value = self.inner.get(key)
+            self.stats.reads += 1
+            if value is not None:
+                self.stats.items_read += 1
+                self.stats.bytes_read += len(value)
+        self._charge("read", total_bytes=len(value) if value else 0)
+        return value
+
+    async def put_async(self, key: str, value: bytes) -> None:
+        await self._sleep_async("write", total_bytes=len(value))
+        with self._lock:
+            self.inner.put(key, value)
+            self.stats.writes += 1
+            self.stats.items_written += 1
+            self.stats.bytes_written += len(value)
+        self._charge("write", total_bytes=len(value))
+
+    async def delete_async(self, key: str) -> None:
+        await self._sleep_async("delete")
+        with self._lock:
+            self.inner.delete(key)
+            self.stats.deletes += 1
+            self.stats.items_deleted += 1
+        self._charge("delete")
+
+    async def multi_get_async(self, keys: Iterable[str]) -> dict[str, bytes | None]:
+        keys = list(keys)
+        await self._sleep_async("batch_read", n_items=max(1, len(keys)))
+        with self._lock:
+            result = self.inner.multi_get(keys)
+            total = sum(len(v) for v in result.values() if v is not None)
+            self.stats.batch_reads += 1
+            self.stats.items_read += sum(1 for v in result.values() if v is not None)
+            self.stats.bytes_read += total
+        self._charge("batch_read", n_items=max(1, len(keys)), total_bytes=total)
+        return result
+
+    async def multi_put_async(self, items: Mapping[str, bytes]) -> None:
+        total = sum(len(v) for v in items.values())
+        await self._sleep_async("batch_write", n_items=max(1, len(items)), total_bytes=total)
+        with self._lock:
+            self.inner.multi_put(items)
+            self.stats.batch_writes += 1
+            self.stats.items_written += len(items)
+            self.stats.bytes_written += total
+        self._charge("batch_write", n_items=max(1, len(items)), total_bytes=total)
+
+    async def multi_delete_async(self, keys: Iterable[str]) -> None:
+        keys = list(keys)
+        await self._sleep_async("batch_write", n_items=max(1, len(keys)))
         with self._lock:
             self.inner.multi_delete(keys)
             self.stats.deletes += 1

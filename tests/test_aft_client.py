@@ -1,0 +1,147 @@
+"""The :class:`AftClient` facade: one Table-1 surface, every deployment shape.
+
+``inproc://`` must behave exactly like driving the wrapped
+:class:`AftCluster` directly, and ``tcp://`` must behave like ``inproc://``
+— the connection string is configuration, not semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+import repro
+from repro.client import AftClient
+from repro.config import ClusterConfig
+from repro.core.cluster import AftCluster
+from repro.errors import AftError, UnknownTransactionError
+from repro.storage.memory import InMemoryStorage
+
+
+class TestInproc:
+    def test_connect_builds_and_owns_a_cluster(self):
+        client = repro.connect("inproc://?nodes=3&standbys=1")
+        try:
+            assert isinstance(client, AftClient)
+            assert len(client.cluster.nodes) == 3
+            assert client.cluster.standby_count() == 1
+            with client.transaction() as txn:
+                txn.put("k", b"v")
+            client.cluster.run_multicast_round()
+            tx = client.start_transaction()
+            assert client.get(tx, "k") == b"v"
+            assert client.get_many(tx, ["k", "nope"]) == {"k": b"v", "nope": None}
+            commit_id = client.commit_transaction(tx)
+            assert commit_id.timestamp > 0
+        finally:
+            client.close()
+        # close() on an owned cluster shuts the nodes down.
+        assert not any(node.is_running for node in client.cluster.nodes)
+
+    def test_connect_wraps_a_caller_owned_cluster(self):
+        cluster = AftCluster(InMemoryStorage(), cluster_config=ClusterConfig(num_nodes=2))
+        client = repro.connect("inproc://", cluster=cluster)
+        with client.transaction() as txn:
+            txn.put("k", "str values are encoded")
+        client.close()
+        # A wrapped cluster is the caller's: close() must not touch it.
+        assert all(node.is_running for node in cluster.nodes)
+        cluster.shutdown()
+
+    def test_context_manager_and_abort(self):
+        with repro.connect("inproc://") as client:
+            tx = client.start_transaction()
+            client.put(tx, "gone", b"x")
+            client.abort_transaction(tx)
+            with pytest.raises(UnknownTransactionError):
+                client.get(tx, "gone")
+
+    def test_session_abort_on_exception(self):
+        with repro.connect("inproc://") as client:
+            with pytest.raises(RuntimeError):
+                with client.transaction() as txn:
+                    txn.put("k", b"v")
+                    raise RuntimeError("application error")
+            tx = client.start_transaction()
+            assert client.get(tx, "k") is None
+
+    def test_affinity_key_is_accepted(self):
+        with repro.connect("inproc://?nodes=2") as client:
+            with client.transaction(affinity_key="hot") as txn:
+                txn.put("hot", b"1")
+
+
+class TestUrlParsing:
+    @pytest.mark.parametrize("url", ["http://x", "inmem://", "tcp://", "tcp://host"])
+    def test_bad_urls_are_rejected(self, url):
+        with pytest.raises(AftError):
+            repro.connect(url)
+
+
+class _BackgroundCluster:
+    """A router + nodes on a daemon loop thread, for the sync tcp facade."""
+
+    def __init__(self, n_nodes: int = 2) -> None:
+        from repro.rpc.node_server import NodeServer
+        from repro.rpc.router import RouterServer
+
+        self.port: int | None = None
+        ready = threading.Event()
+        self._loop = asyncio.new_event_loop()
+
+        async def boot():
+            self._router = RouterServer(port=0)
+            await self._router.start()
+            self._servers = [NodeServer(f"n{i}", router_port=self._router.port) for i in range(n_nodes)]
+            for server in self._servers:
+                await server.start()
+            self.port = self._router.port
+            self._stop = asyncio.Event()
+            ready.set()
+            await self._stop.wait()
+            for server in self._servers:
+                await server.stop()
+            await self._router.stop()
+
+        self._thread = threading.Thread(
+            target=lambda: self._loop.run_until_complete(boot()), daemon=True
+        )
+        self._thread.start()
+        assert ready.wait(15), "socket cluster failed to boot"
+
+    def shutdown(self) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+class TestTcp:
+    def test_tcp_facade_matches_inproc_semantics(self):
+        cluster = _BackgroundCluster(n_nodes=2)
+        try:
+            with repro.connect(f"tcp://127.0.0.1:{cluster.port}") as client:
+                with client.transaction() as txn:
+                    txn.put("a", b"1")
+                    txn.put("b", "2")
+                assert txn.commit_id is not None
+                tx = client.start_transaction()
+                assert client.get_many(tx, ["a", "b", "c"]) == {
+                    "a": b"1",
+                    "b": b"2",
+                    "c": None,
+                }
+                commit_id = client.commit_transaction(tx)
+                assert commit_id.uuid
+                # Aborts work and errors keep their class across the wire.
+                tx = client.start_transaction()
+                client.put(tx, "doomed", b"x")
+                client.abort_transaction(tx)
+                with pytest.raises(UnknownTransactionError):
+                    client.get(tx, "doomed")
+        finally:
+            cluster.shutdown()
+
+    def test_tcp_connect_failure_raises_cleanly(self):
+        with pytest.raises(Exception):
+            repro.connect("tcp://127.0.0.1:1")  # nothing listens on port 1

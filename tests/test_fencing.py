@@ -1,0 +1,209 @@
+"""Epoch fencing: a falsely-declared node's late commits are rejected.
+
+Lease membership buys failure detection without the simulator's omniscience,
+at the price of *false positives*: a slow or partitioned node can be
+declared dead while still running.  Fencing is what makes that safe — every
+membership change bumps a global epoch, serving nodes stamp their epoch
+into commit records, and the commit-record write path (the one place a late
+writer cannot bypass) rejects stale stamps.
+
+Three layers under test:
+
+* the :class:`EpochFence` primitive itself,
+* the commit-record epoch stamp's byte-level compatibility (fencing off
+  must stay byte-identical — simulated latency charges by size),
+* the full in-process nemesis scenario: a live node whose heartbeats are
+  partitioned away is declared failed, a standby takes over, and the old
+  node's late commit is rejected by its stale token while the promoted
+  node serves on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.config import ClusterConfig, MetadataPlaneConfig
+from repro.core.cluster import AftCluster
+from repro.core.commit_set import CommitRecord
+from repro.core.metadata_plane.fencing import EpochFence, FenceToken
+from repro.errors import FencedNodeError
+from repro.ids import TransactionId
+from repro.storage.memory import InMemoryStorage
+
+
+class TestEpochFence:
+    def test_grant_bumps_epoch_and_records_holder(self):
+        fence = EpochFence()
+        t0 = fence.grant("n0")
+        t1 = fence.grant("n1")
+        assert t0 == FenceToken(node_id="n0", epoch=1)
+        assert t1.epoch == 2
+        assert fence.granted_epoch("n0") == 1
+        fence.check("n0", 1)  # still current despite later grants
+        fence.check("n1", 2)
+
+    def test_revoke_invalidates_and_bumps(self):
+        fence = EpochFence()
+        token = fence.grant("n0")
+        assert fence.revoke("n0") == 2
+        assert fence.granted_epoch("n0") is None
+        with pytest.raises(FencedNodeError, match="stale epoch"):
+            fence.check("n0", token.epoch)
+
+    def test_regrant_after_revoke_issues_fresh_epoch(self):
+        fence = EpochFence()
+        old = fence.grant("n0")
+        fence.revoke("n0")
+        new = fence.grant("n0")
+        assert new.epoch > old.epoch
+        fence.check("n0", new.epoch)
+        with pytest.raises(FencedNodeError):
+            fence.check("n0", old.epoch)
+
+    def test_revoking_unknown_node_still_bumps_epoch(self):
+        # The bump is the point: any membership change invalidates in-flight
+        # assumptions, even one about a node the fence never granted to.
+        fence = EpochFence()
+        before = fence.epoch
+        fence.revoke("ghost")
+        assert fence.epoch == before + 1
+
+    def test_unstamped_write_from_non_member_is_rejected(self):
+        # In a fenced deployment every admitted node holds a token, so an
+        # epoch-0 stamp can only come from a writer that bypassed membership
+        # — strictness here is the guarantee, not an accident.
+        fence = EpochFence()
+        fence.grant("n0")
+        fence.revoke("n0")
+        with pytest.raises(FencedNodeError):
+            fence.check("n0", 0)
+
+
+class TestRecordEpochCompatibility:
+    def record(self, epoch: int) -> CommitRecord:
+        return CommitRecord(
+            txid=TransactionId(timestamp=3.25, uuid="u1"),
+            write_set={"k": "aft.data/k/3.25|u1"},
+            committed_at=3.25,
+            node_id="n0",
+            epoch=epoch,
+        )
+
+    def test_epoch_zero_serializes_byte_identically_to_pre_fencing(self):
+        blob = self.record(0).to_bytes()
+        assert b"epoch" not in blob  # unfenced deployments: same bytes as before
+        assert CommitRecord.from_bytes(blob).epoch == 0
+
+    def test_nonzero_epoch_round_trips(self):
+        blob = self.record(5).to_bytes()
+        assert json.loads(blob.decode("utf-8"))["epoch"] == 5
+        assert CommitRecord.from_bytes(blob) == self.record(5)
+
+
+def make_cluster(clock: LogicalClock, lease: float = 5.0) -> AftCluster:
+    return AftCluster(
+        InMemoryStorage(),
+        cluster_config=ClusterConfig(
+            num_nodes=2,
+            standby_nodes=1,
+            metadata_plane=MetadataPlaneConfig(
+                membership="lease", lease_duration=lease, fencing=True
+            ),
+        ),
+        clock=clock,
+    )
+
+
+class TestClusterFencing:
+    def test_nodes_hold_tokens_and_stamp_records(self):
+        clock = LogicalClock(start=100.0, auto_step=0.001)
+        cluster = make_cluster(clock)
+        try:
+            assert all(node.fence_token is not None for node in cluster.nodes)
+            node = cluster.nodes[0]
+            txid = node.start_transaction()
+            node.put(txid, "k", b"v")
+            commit_id = node.commit_transaction(txid)
+            record = cluster.commit_store.read_record(commit_id)
+            assert record is not None
+            assert record.epoch == node.fence_token.epoch
+        finally:
+            cluster.shutdown()
+
+    def test_lease_false_positive_fences_late_commit(self):
+        """The nemesis scenario, in-process.
+
+        The victim node is alive the whole time — only its heartbeats stop
+        (an asymmetric partition / GC pause).  The lease expires, the
+        cluster replaces it with a standby, and the victim's already-open
+        transaction commits *after* the declaration: the §3.3 data writes
+        land (harmless, unreferenced), but the commit-record write is
+        rejected by the stale epoch stamp, so the commit never becomes
+        visible.
+        """
+        clock = LogicalClock(start=100.0, auto_step=0.001)
+        cluster = make_cluster(clock, lease=5.0)
+        try:
+            client = cluster.client()
+            for i in range(6):
+                with client.transaction() as txn:
+                    txn.put(f"k{i}", f"v{i}")
+            cluster.run_multicast_round()
+
+            victim = cluster.nodes[0]
+            survivor = cluster.nodes[1]
+
+            # The victim opens a transaction before the partition hits.
+            late_txid = victim.start_transaction()
+            victim.put(late_txid, "late-key", b"late-value")
+
+            # Partition: everyone else heartbeats, the victim stays silent
+            # past its lease.
+            for _ in range(8):
+                clock.advance(1.0)
+                cluster.membership.heartbeat(survivor, clock.now())
+
+            replacements = cluster.replace_failed_nodes()
+            assert len(replacements) == 1
+            assert victim.is_running  # false positive: it never crashed
+            assert victim not in cluster.nodes
+
+            # The late commit is fenced at the record write.
+            with pytest.raises(FencedNodeError, match="stale epoch"):
+                victim.commit_transaction(late_txid)
+
+            # ... and really never became visible.
+            check_tx = client.start_transaction()
+            assert client.get(check_tx, "late-key") is None
+            assert client.get(check_tx, "k3") == b"v3"
+            client.commit_transaction(check_tx)
+
+            # The replacement serves writes under its fresh token.
+            promoted = replacements[0]
+            txid = promoted.start_transaction()
+            promoted.put(txid, "after-failover", b"ok")
+            promoted.commit_transaction(txid)
+        finally:
+            cluster.shutdown()
+
+    def test_fencing_disabled_keeps_seed_semantics(self):
+        clock = LogicalClock(start=100.0, auto_step=0.001)
+        cluster = AftCluster(
+            InMemoryStorage(),
+            cluster_config=ClusterConfig(num_nodes=2),
+            clock=clock,
+        )
+        try:
+            assert cluster.fence is None
+            assert all(node.fence_token is None for node in cluster.nodes)
+            node = cluster.nodes[0]
+            txid = node.start_transaction()
+            node.put(txid, "k", b"v")
+            commit_id = node.commit_transaction(txid)
+            record = cluster.commit_store.read_record(commit_id)
+            assert record.epoch == 0
+        finally:
+            cluster.shutdown()
