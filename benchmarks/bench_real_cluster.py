@@ -6,7 +6,10 @@ boots the actual deployment shape — a ``repro-router`` process and three
 **open-loop Poisson-arrival** client swarm, the methodology serverless
 front-ends face: arrivals do not wait for completions, so queueing delay
 shows up in the latency distribution instead of silently throttling the
-offered load (cf. the paper's closed-loop Figure 7 caveat).
+offered load (cf. the paper's closed-loop Figure 7 caveat).  Full mode
+sweeps the offered rate past the ~120 tps plateau the JSON-framed,
+one-frame-per-storage-op runtime topped out at, so the gated headline
+numbers come from the highest rate.
 
 Every write is a :class:`~repro.consistency.metadata.TaggedValue`, so after
 the run the :class:`~repro.consistency.checker.AnomalyChecker` replays the
@@ -43,8 +46,11 @@ from repro.rpc.client import AsyncRouterClient
 FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
 
 N_NODES = 3
-#: Open-loop offered load (Poisson arrival rate, txns/s) and run length.
-OFFERED_TPS = 40.0 if FAST_MODE else 120.0
+#: Open-loop offered loads (Poisson arrival rate, txns/s) and run length.
+#: Full mode sweeps past the ~120 tps ceiling the pre-binary-wire runtime
+#: plateaued at; the headline (gated) numbers come from the top rate.
+OFFERED_SWEEP = (40.0,) if FAST_MODE else (120.0, 240.0)
+OFFERED_TPS = OFFERED_SWEEP[-1]
 DURATION_S = 3.0 if FAST_MODE else 10.0
 #: Client connections the sessions are spread over (one multiplexed TCP
 #: stream each).
@@ -142,7 +148,7 @@ class ClusterProcesses:
 # --------------------------------------------------------------------- #
 # Open-loop Poisson swarm
 # --------------------------------------------------------------------- #
-async def _run_swarm(port: int) -> dict:
+async def _run_swarm(port: int, offered_tps: float = OFFERED_TPS) -> dict:
     rng = random.Random(SEED)
     keys = [f"acct:{i}" for i in range(N_KEYS)]
     clients = [
@@ -199,7 +205,7 @@ async def _run_swarm(port: int) -> dict:
     arrivals: list[float] = []
     t = 0.0
     while t < DURATION_S:
-        t += rng.expovariate(OFFERED_TPS)
+        t += rng.expovariate(offered_tps)
         if t < DURATION_S:
             arrivals.append(t)
     rng_choices = [
@@ -240,7 +246,7 @@ async def _run_swarm(port: int) -> dict:
         return latencies[min(len(latencies) - 1, int(p * len(latencies)))] * 1000.0
 
     return {
-        "offered_tps": OFFERED_TPS,
+        "offered_tps": offered_tps,
         "arrivals": len(arrivals),
         "completed": len(results),
         "failed": len(failures),
@@ -255,8 +261,20 @@ async def _run_swarm(port: int) -> dict:
 
 
 def run_real_cluster_bench() -> dict:
-    with ClusterProcesses() as cluster:
-        summary = asyncio.run(_run_swarm(cluster.port))
+    # A fresh cluster per offered rate: each point in the sweep starts from
+    # the same (empty) storage state, so rates are comparable.
+    sweep: list[dict] = []
+    for offered_tps in OFFERED_SWEEP:
+        with ClusterProcesses() as cluster:
+            sweep.append(asyncio.run(_run_swarm(cluster.port, offered_tps)))
+    summary = sweep[-1]  # the headline (gated) numbers are the top rate
+    summary["sweep"] = [
+        {
+            name: point[name]
+            for name in ("offered_tps", "achieved_tps", "p50_ms", "p99_ms", "failed")
+        }
+        for point in sweep
+    ]
     summary["nodes"] = N_NODES
     summary["fast_mode"] = FAST_MODE
     return summary
@@ -282,6 +300,13 @@ def test_real_cluster(benchmark):
             "mean_ms",
         )
     ]
+    rows += [
+        {
+            "metric": f"achieved@{point['offered_tps']:g}tps",
+            "value": point["achieved_tps"],
+        }
+        for point in summary["sweep"]
+    ]
     table = format_rows(
         rows,
         ["metric", "value"],
@@ -296,8 +321,12 @@ def test_real_cluster(benchmark):
     # Every arrival must complete (no aborted/failed sessions)...
     assert summary["failed"] == 0, summary["failure_samples"]
     assert summary["completed"] == summary["arrivals"]
-    # ... the swarm must sustain a meaningful fraction of the offered load...
-    assert summary["achieved_tps"] >= 0.5 * OFFERED_TPS
+    # ... the swarm must sustain a meaningful fraction of the offered load —
+    # at every rate in the sweep, including above the pre-binary-wire
+    # runtime's ~120 tps plateau...
+    for point in summary["sweep"]:
+        assert point["failed"] == 0, point
+        assert point["achieved_tps"] >= 0.5 * point["offered_tps"], point
     # ... and the acceptance criterion: read atomicity holds on the real
     # transport — zero anomalies across the whole swarm.
     assert summary["anomalies"]["ryw_anomalies"] == 0

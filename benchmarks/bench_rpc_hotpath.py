@@ -1,0 +1,307 @@
+"""Benchmark — the wire hot path: binary framing, op batching, coalescing.
+
+Three measurements back the PR's protocol work:
+
+* **Codec microbench.**  One payload-heavy ``storage_batch`` frame is
+  encoded and decoded through both negotiated wire formats.  The JSON wire
+  pays ``base64`` inflation plus byte-by-byte string escaping on every
+  bulk payload; the hybrid binary wire JSON-encodes only a compact header
+  and memcpys the payloads raw.
+* **Round trips per transaction.**  An in-process cluster (real localhost
+  sockets: one router + three node servers, the same objects the
+  ``repro-router``/``repro-node`` processes run) is driven by a closed-loop
+  swarm of concurrent client sessions twice: once as a PR 7-era deployment
+  (JSON wire, one frame per storage op) and once with the negotiated fast
+  path (binary wire + ``storage_batch`` coalescing).  The router counts
+  storage *frames* and storage *ops*, so the metric is exact: how many
+  wire round trips does the shared-storage service absorb per committed
+  transaction?  The acceptance criterion is **>= 2x fewer**.
+* **Writer coalescing.**  Per-connection counters report frames per
+  ``drain()`` — frames queued behind an in-flight flush share one syscall.
+
+Results land in ``benchmarks/results/BENCH_rpc.json`` and are gated by
+``scripts/check_bench_trend.py``; CI runs this under ``BENCH_FAST=1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.harness.report import format_rows
+from repro.rpc import messages as m
+from repro.rpc.client import AsyncRouterClient
+from repro.rpc.framing import FORMAT_BINARY, FORMAT_JSON, decode_frame, frame_bytes
+from repro.rpc.node_server import NodeServer
+from repro.rpc.router import RouterServer
+from repro.storage.base import StorageOp
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+N_NODES = 3
+N_CONNECTIONS = 4
+N_WORKERS = 48
+TXNS_PER_WORKER = 6 if FAST_MODE else 25
+N_KEYS = 32
+PAYLOAD = b"\x42" * 256
+SEED = 23
+#: Opportunistic coalescing window for the fast-path config (the
+#: ``--coalesce-window`` node knob): up to 1 ms of stage latency buys
+#: cross-session op merging even when the swarm de-synchronises.
+COALESCE_WINDOW = 0.001
+
+#: Codec microbench shape: one storage_batch frame carrying a group-commit
+#: sized op group with data-blob payloads.
+CODEC_OPS = 16
+CODEC_BLOB = bytes(range(256)) * 8  # 2 KiB, full byte alphabet
+CODEC_ITERATIONS = 200 if FAST_MODE else 2000
+
+
+# --------------------------------------------------------------------- #
+# Codec microbench
+# --------------------------------------------------------------------- #
+def _codec_bench() -> dict:
+    ops = [
+        StorageOp(op="put", keys=(f"aft.data/k{i}/t{i}",), items={f"aft.data/k{i}/t{i}": CODEC_BLOB})
+        for i in range(CODEC_OPS)
+    ]
+    msg_type, version, body = m.encode_body(m.encode_storage_ops(ops))
+    envelope = {"id": 1, "type": msg_type, "v": version, "body": body}
+
+    def timed_us(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(CODEC_ITERATIONS):
+            fn()
+        return (time.perf_counter() - start) / CODEC_ITERATIONS * 1e6
+
+    result: dict = {
+        "iterations": CODEC_ITERATIONS,
+        "message": f"storage_batch: {CODEC_OPS} puts x {len(CODEC_BLOB)} B",
+    }
+    frames = {}
+    for wire_format in (FORMAT_JSON, FORMAT_BINARY):
+        frame = frame_bytes(envelope, wire_format)
+        frames[wire_format] = frame
+        payload = frame[4:]
+        result[f"{wire_format}_frame_bytes"] = len(frame)
+        result[f"{wire_format}_encode_us"] = round(
+            timed_us(lambda wf=wire_format: frame_bytes(envelope, wf)), 2
+        )
+        result[f"{wire_format}_decode_us"] = round(
+            timed_us(lambda p=payload: decode_frame(p)), 2
+        )
+    result["encode_speedup"] = round(result["json_encode_us"] / result["binary_encode_us"], 2)
+    result["decode_speedup"] = round(result["json_decode_us"] / result["binary_decode_us"], 2)
+    result["codec_speedup"] = round(
+        (result["json_encode_us"] + result["json_decode_us"])
+        / (result["binary_encode_us"] + result["binary_decode_us"]),
+        2,
+    )
+    result["frame_size_ratio"] = round(
+        len(frames[FORMAT_JSON]) / len(frames[FORMAT_BINARY]), 3
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# The in-process cluster, instrumented
+# --------------------------------------------------------------------- #
+class _CountingRouter(RouterServer):
+    """RouterServer that counts storage frames vs storage ops.
+
+    One ``storage`` frame is one op; one ``storage_batch`` frame is as many
+    ops as it carries — the frames/ops split is exactly the wire-round-trip
+    saving the batching layer exists to buy.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.storage_frames = 0
+        self.storage_ops = 0
+
+    def _handle_storage(self, msg):
+        self.storage_frames += 1
+        self.storage_ops += 1
+        return super()._handle_storage(msg)
+
+    async def _handle_storage_batch(self, conn, msg):
+        self.storage_frames += 1
+        self.storage_ops += len(msg.ops)
+        return await super()._handle_storage_batch(conn, msg)
+
+
+async def _drive(router: _CountingRouter) -> dict:
+    """Closed-loop swarm: N_WORKERS concurrent read-2/write-2 sessions."""
+    keys = [f"acct:{i}" for i in range(N_KEYS)]
+    clients = [
+        await AsyncRouterClient.connect("127.0.0.1", router.port)
+        for _ in range(N_CONNECTIONS)
+    ]
+    await clients[0].wait_ready(N_NODES)
+
+    # Preload so steady-state reads resolve real versions from storage.
+    tx = await clients[0].start_transaction()
+    await clients[0].put_many(tx, {key: PAYLOAD for key in keys})
+    await clients[0].commit_transaction(tx)
+
+    rng = random.Random(SEED)
+    plans = [
+        [(rng.sample(keys, 2), rng.sample(keys, 2)) for _ in range(TXNS_PER_WORKER)]
+        for _ in range(N_WORKERS)
+    ]
+
+    async def worker(worker_id: int) -> None:
+        client = clients[worker_id % len(clients)]
+        for reads, writes in plans[worker_id]:
+            tx = await client.start_transaction()
+            await client.get_many(tx, reads)
+            await client.put_many(tx, {key: PAYLOAD for key in writes})
+            await client.commit_transaction(tx)
+
+    # Snapshot the storage counters after the preload so node bootstrap and
+    # preload traffic stay out of the per-transaction metric.
+    frames_before, ops_before = router.storage_frames, router.storage_ops
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(N_WORKERS)))
+    elapsed = time.perf_counter() - started
+    storage_frames = router.storage_frames - frames_before
+    storage_ops = router.storage_ops - ops_before
+
+    info = await clients[0].info()
+    for client in clients:
+        await client.close()
+
+    txns = N_WORKERS * TXNS_PER_WORKER
+    node_wire = {
+        node_id: counters
+        for node_id, counters in info.wire.items()
+        if node_id.startswith("n")
+    }
+    frames_out = sum(c["frames_out"] for c in node_wire.values())
+    drains = sum(c["drains"] for c in node_wire.values())
+    return {
+        "wire_format": next(iter(node_wire.values()))["format"],
+        "txns": txns,
+        "elapsed_s": round(elapsed, 3),
+        "txn_per_s": round(txns / elapsed, 1) if elapsed else 0.0,
+        "storage_frames": storage_frames,
+        "storage_ops": storage_ops,
+        "round_trips_per_txn": round(storage_frames / txns, 3),
+        "storage_ops_per_txn": round(storage_ops / txns, 3),
+        "ops_per_storage_frame": round(storage_ops / storage_frames, 3)
+        if storage_frames
+        else 0.0,
+        "router_frames_out": frames_out,
+        "router_drains": drains,
+        "frames_per_drain": round(frames_out / drains, 3) if drains else 0.0,
+    }
+
+
+def _run_cluster(fast_path: bool) -> dict:
+    """Boot router + nodes on one loop and drive the swarm through them."""
+
+    async def scenario() -> dict:
+        router = _CountingRouter(
+            port=0,
+            lease_duration=5.0,
+            heartbeat_interval=1.0,
+            wire_formats=(FORMAT_JSON, FORMAT_BINARY) if fast_path else (FORMAT_JSON,),
+            enable_storage_batches=fast_path,
+        )
+        await router.start()
+        nodes = []
+        try:
+            for i in range(N_NODES):
+                node = NodeServer(
+                    f"n{i}",
+                    router_port=router.port,
+                    coalesce_window=COALESCE_WINDOW if fast_path else 0.0,
+                )
+                await node.start()
+                nodes.append(node)
+            return await _drive(router)
+        finally:
+            for node in nodes:
+                await node.stop()
+            await router.stop()
+
+    return asyncio.run(scenario())
+
+
+def run_rpc_hotpath_bench() -> dict:
+    summary = {
+        "fast_mode": FAST_MODE,
+        "workload": {
+            "nodes": N_NODES,
+            "workers": N_WORKERS,
+            "txns_per_worker": TXNS_PER_WORKER,
+            "keys": N_KEYS,
+            "payload_bytes": len(PAYLOAD),
+        },
+        "codec": _codec_bench(),
+        # "before" is the PR 7 deployment: JSON wire, one frame per storage
+        # op; "after" is the negotiated fast path.
+        "before": _run_cluster(fast_path=False),
+        "after": _run_cluster(fast_path=True),
+    }
+    before, after = summary["before"], summary["after"]
+    summary["round_trip_improvement"] = round(
+        before["round_trips_per_txn"] / after["round_trips_per_txn"], 2
+    )
+    summary["throughput_gain"] = round(after["txn_per_s"] / before["txn_per_s"], 2)
+    return summary
+
+
+# --------------------------------------------------------------------- #
+def test_rpc_hotpath(benchmark):
+    summary = run_once(benchmark, run_rpc_hotpath_bench)
+
+    rows = []
+    for name in (
+        "wire_format",
+        "txns",
+        "txn_per_s",
+        "storage_frames",
+        "storage_ops",
+        "round_trips_per_txn",
+        "ops_per_storage_frame",
+        "frames_per_drain",
+    ):
+        rows.append(
+            {
+                "metric": name,
+                "before (json, unbatched)": summary["before"][name],
+                "after (binary, batched)": summary["after"][name],
+            }
+        )
+    codec = summary["codec"]
+    table = format_rows(
+        rows,
+        ["metric", "before (json, unbatched)", "after (binary, batched)"],
+        title=(
+            f"RPC hot path ({'fast' if FAST_MODE else 'full'} mode): "
+            f"{summary['round_trip_improvement']}x fewer storage round trips/txn, "
+            f"codec {codec['codec_speedup']}x faster, "
+            f"frames {codec['frame_size_ratio']}x smaller"
+        ),
+    )
+    emit("rpc_hotpath", table)
+    emit_json("BENCH_rpc", summary)
+
+    # The tentpole's acceptance criterion: batching + coalescing must at
+    # least halve the wire round trips per committed transaction...
+    assert summary["round_trip_improvement"] >= 2.0, summary
+    # ... while moving the same storage work (ops are conserved, only the
+    # framing changes; background GC contributes a little slack)...
+    assert summary["after"]["storage_ops_per_txn"] <= summary["before"]["storage_ops_per_txn"] * 1.5
+    # ... and the binary codec must beat JSON+base64 on payload-heavy frames.
+    assert codec["codec_speedup"] > 1.0
+    assert codec["frame_size_ratio"] > 1.0
+
+
+if __name__ == "__main__":
+    print(run_rpc_hotpath_bench())

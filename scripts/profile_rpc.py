@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Profile the per-request protocol cost of the RPC wire, stage by stage.
+
+Answers "where does a storage request's time go?" by timing each stage of
+the request path in isolation, for both negotiated wire formats:
+
+* **encode** — dataclass body -> framed bytes (``encode_body`` +
+  ``frame_bytes``);
+* **syscall** — one framed round trip over a real localhost TCP socket
+  against a raw echo server (no codec, no handler: pure transport + event
+  loop);
+* **decode** — framed bytes -> dataclass body (``decode_frame`` +
+  ``decode_body``);
+* **handler** — the router's storage applier on an in-memory engine
+  (``_apply_op_sync``), the work the frame exists to deliver.
+
+Run it::
+
+    PYTHONPATH=src python scripts/profile_rpc.py [--iterations 2000]
+
+The table shows, per representative message shape and wire format, the
+microseconds spent in each stage and the protocol share (everything except
+the handler).  This is the measurement tool behind the binary-framing PR:
+on the JSON wire the codec dominates bulk frames; the hybrid binary wire
+pushes the bottleneck back to the transport.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.report import format_rows  # noqa: E402
+from repro.rpc import messages as m  # noqa: E402
+from repro.rpc.framing import (  # noqa: E402
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    decode_frame,
+    frame_bytes,
+)
+from repro.rpc.router import RouterServer  # noqa: E402
+from repro.storage.base import StorageOp  # noqa: E402
+
+BLOB = bytes(range(256)) * 8  # 2 KiB, full byte alphabet
+
+
+def _shapes() -> dict[str, tuple[m.WireMessage, StorageOp]]:
+    """Representative request shapes: (wire message, handler op)."""
+    batch_ops = [
+        StorageOp(op="put", keys=(f"aft.data/k{i}/t",), items={f"aft.data/k{i}/t": BLOB})
+        for i in range(16)
+    ]
+    return {
+        "heartbeat": (m.Heartbeat(node_id="n0"), StorageOp(op="get", keys=("k",))),
+        "storage_get": (
+            m.StorageRequest(op="get", keys=["aft.data/k/t"]),
+            StorageOp(op="get", keys=("aft.data/k/t",)),
+        ),
+        "storage_put_2KiB": (
+            m.StorageRequest(op="put", items={"aft.data/k/t": BLOB}),
+            StorageOp(op="put", keys=("aft.data/k/t",), items={"aft.data/k/t": BLOB}),
+        ),
+        "storage_batch_16x2KiB": (
+            m.encode_storage_ops(batch_ops),
+            None,  # handler cost measured per batch below
+        ),
+    }
+
+
+def _timed_us(fn, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+async def _echo_round_trip_us(frame: bytes, iterations: int) -> float:
+    """Round-trip ``frame`` through a raw localhost echo server.
+
+    No codec and no handler on either side — the measured time is syscalls,
+    TCP loopback, and event-loop scheduling for a frame of this size.
+    """
+
+    async def echo(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                data = await reader.readexactly(len(frame))
+                writer.write(data)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+
+    server = await asyncio.start_server(echo, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    # Warm the connection before timing.
+    for _ in range(10):
+        writer.write(frame)
+        await writer.drain()
+        await reader.readexactly(len(frame))
+    start = time.perf_counter()
+    for _ in range(iterations):
+        writer.write(frame)
+        await writer.drain()
+        await reader.readexactly(len(frame))
+    elapsed = time.perf_counter() - start
+    writer.close()
+    await writer.wait_closed()
+    server.close()
+    await server.wait_closed()
+    return elapsed / iterations * 1e6
+
+
+def _handler_us(message: m.WireMessage, op: StorageOp | None, iterations: int) -> float:
+    router = RouterServer(port=0)
+    if isinstance(message, m.StorageBatch):
+        ops = m.decode_storage_ops(message)
+        return _timed_us(lambda: [router._apply_op_sync(o) for o in ops], iterations)
+    if op is None:  # pragma: no cover - every shape maps to an op
+        return 0.0
+    return _timed_us(lambda: router._apply_op_sync(op), iterations)
+
+
+def profile(iterations: int) -> list[dict]:
+    rows: list[dict] = []
+    for shape, (message, op) in _shapes().items():
+        msg_type, version, body = m.encode_body(message)
+        envelope = {"id": 1, "type": msg_type, "v": version, "body": body}
+        handler_us = round(_handler_us(message, op, max(1, iterations // 4)), 2)
+        for wire_format in (FORMAT_JSON, FORMAT_BINARY):
+            frame = frame_bytes(envelope, wire_format)
+            payload = frame[4:]
+            encode_us = round(
+                _timed_us(lambda wf=wire_format: frame_bytes(envelope, wf), iterations), 2
+            )
+            decode_us = round(
+                _timed_us(
+                    lambda p=payload: m.decode_body(
+                        msg_type, version, decode_frame(p)["body"]
+                    ),
+                    iterations,
+                ),
+                2,
+            )
+            syscall_us = round(
+                asyncio.run(_echo_round_trip_us(frame, max(1, iterations // 4))), 2
+            )
+            total = encode_us + syscall_us + decode_us + handler_us
+            rows.append(
+                {
+                    "shape": shape,
+                    "wire": wire_format,
+                    "frame_B": len(frame),
+                    "encode_us": encode_us,
+                    "syscall_us": syscall_us,
+                    "decode_us": decode_us,
+                    "handler_us": handler_us,
+                    "total_us": round(total, 2),
+                    "protocol_share": f"{(total - handler_us) / total:.0%}" if total else "-",
+                }
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--iterations", type=int, default=2000, help="timing iterations per codec stage"
+    )
+    args = parser.parse_args(argv)
+
+    rows = profile(args.iterations)
+    print(
+        format_rows(
+            rows,
+            [
+                "shape",
+                "wire",
+                "frame_B",
+                "encode_us",
+                "syscall_us",
+                "decode_us",
+                "handler_us",
+                "total_us",
+                "protocol_share",
+            ],
+            title=f"Per-request protocol cost breakdown ({args.iterations} iterations/stage)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

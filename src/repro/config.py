@@ -90,6 +90,12 @@ class AftConfig:
     transaction_timeout:
         Seconds after which an idle, uncommitted transaction is considered
         abandoned and aborted by the node (Section 3.3.1).
+    storage_request_timeout:
+        Socket round-trip budget, in seconds, for one storage request issued
+        by a distributed-runtime node against the router's shared storage
+        service (``None`` waits forever).  Only meaningful for deployments
+        whose storage engine is :class:`~repro.rpc.storage_client.RemoteStorage`;
+        in-process engines ignore it.
     drain_grace_period:
         How long a draining node waits for its in-flight transactions before
         the cluster force-aborts them and retires it anyway.  Drain normally
@@ -116,8 +122,11 @@ class AftConfig:
     metadata_bootstrap_limit: int = 10_000
     transaction_timeout: float = 60.0
     drain_grace_period: float = 30.0
+    storage_request_timeout: float | None = 30.0
 
     def __post_init__(self) -> None:
+        if self.storage_request_timeout is not None and self.storage_request_timeout <= 0:
+            raise ValueError("storage_request_timeout must be > 0 or None")
         if self.group_commit_max_txns < 1:
             raise ValueError("group_commit_max_txns must be >= 1")
         if self.io_concurrency < 1:
@@ -162,6 +171,7 @@ class AftConfig:
             "metadata_bootstrap_limit": self.metadata_bootstrap_limit,
             "transaction_timeout": self.transaction_timeout,
             "drain_grace_period": self.drain_grace_period,
+            "storage_request_timeout": self.storage_request_timeout,
         }
 
 

@@ -18,7 +18,7 @@ import asyncio
 
 from repro.errors import AftError
 from repro.rpc import messages as m
-from repro.rpc.framing import RpcConnection, connect
+from repro.rpc.framing import FORMAT_BINARY, SUPPORTED_WIRE_FORMATS, RpcConnection, connect
 
 
 class AsyncRouterClient:
@@ -28,8 +28,28 @@ class AsyncRouterClient:
         self._conn = conn
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncRouterClient":
-        return cls(await connect(host, port, name="client"))
+    async def connect(
+        cls, host: str, port: int, wire_formats: tuple[str, ...] = SUPPORTED_WIRE_FORMATS
+    ) -> "AsyncRouterClient":
+        conn = await connect(host, port, name="client")
+        # A ``kind="client"`` hello negotiates the wire format without
+        # registering a cluster member.  An old router treats the unknown
+        # kind the same way (no token granted) and acks without a
+        # ``wire_format`` field, leaving the connection on JSON.
+        try:
+            ack = await conn.request(
+                m.Hello(node_id="client", kind="client", wire_formats=list(wire_formats)),
+                timeout=10.0,
+            )
+            if (
+                getattr(ack, "wire_format", "") == FORMAT_BINARY
+                and FORMAT_BINARY in wire_formats
+            ):
+                conn.wire_format = FORMAT_BINARY
+        except Exception:
+            # Negotiation is best-effort: the JSON wire always works.
+            pass
+        return cls(conn)
 
     async def close(self) -> None:
         await self._conn.close()
@@ -49,7 +69,7 @@ class AsyncRouterClient:
 
     async def get_many(self, txid: str, keys: list[str]) -> dict[str, bytes | None]:
         reply = await self._conn.request(m.ClientGet(txid=txid, keys=list(keys)))
-        values = m.decode_values(getattr(reply, "values", {}))
+        values = getattr(reply, "values", {})
         return {key: values.get(key) for key in keys}
 
     async def get(self, txid: str, key: str) -> bytes | None:
@@ -58,10 +78,10 @@ class AsyncRouterClient:
     async def put(self, txid: str, key: str, value: bytes | str) -> None:
         if isinstance(value, str):
             value = value.encode("utf-8")
-        await self._conn.request(m.ClientPut(txid=txid, items={key: m.b64encode(value)}))
+        await self._conn.request(m.ClientPut(txid=txid, items={key: value}))
 
     async def put_many(self, txid: str, items: dict[str, bytes]) -> None:
-        await self._conn.request(m.ClientPut(txid=txid, items=m.encode_values(items)))
+        await self._conn.request(m.ClientPut(txid=txid, items=dict(items)))
 
     async def commit_transaction(self, txid: str) -> str:
         reply = await self._conn.request(m.ClientCommit(txid=txid))

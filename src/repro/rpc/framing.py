@@ -1,9 +1,29 @@
-"""Length-prefixed JSON frames and the multiplexed RPC connection.
+"""Wire frames (JSON and hybrid-binary) and the multiplexed RPC connection.
 
-The wire format is deliberately minimal: each frame is a 4-byte big-endian
-length followed by one UTF-8 JSON object —
+Every frame is a 4-byte big-endian length followed by one frame body in one
+of two formats, distinguished by the body's first byte:
 
-``{"id": 7, "re": null, "type": "storage", "v": 1, "body": {...}}``
+* **JSON** (first byte ``{``, the PR 7 wire): one UTF-8 JSON object —
+
+  ``{"id": 7, "re": null, "type": "storage", "v": 1, "body": {...}}``
+
+  with bulk bytes (storage values, commit records) base64-encoded in place.
+
+* **Binary** (first byte ``0x01``): a hybrid layout —
+
+  ``[0x01][4B header len][header JSON][raw payload section]``
+
+  where the header is the same envelope object but with every bulk field
+  replaced by compact ``[offset, length]`` references into the raw payload
+  section (:func:`repro.rpc.messages.split_bulk`).  Values cross the wire as
+  the bytes they are: no base64 inflation, no JSON string escaping, and the
+  decoder slices payloads straight out of the frame buffer.
+
+Readers sniff the format per frame, so a connection can carry both; senders
+only emit binary after the peer advertised support during the ``hello``
+negotiation (:attr:`RpcConnection.wire_format`).  ``MAX_FRAME_BYTES`` is
+enforced on **both** sides: an oversized outgoing frame raises
+:class:`FrameTooLargeError` locally instead of poisoning the peer.
 
 ``id`` names a request awaiting a reply; a frame with ``re`` set is the
 reply to the request of that id.  Frames with neither are one-way
@@ -15,8 +35,11 @@ requesting side (:func:`repro.rpc.messages.error_from_wire`).
 single reader task resolves reply futures and dispatches incoming requests
 to the connection's handler, each in its own task — so both peers can issue
 concurrent requests over the same socket without head-of-line blocking on
-the handlers.  This is what lets one node connection simultaneously carry
-storage ops (node -> router) and forwarded client sessions (router -> node).
+the handlers.  Writes go through a coalescing send queue: frames queued
+while a drain is in flight ride out in one ``write``/``drain`` pair
+(:attr:`ConnectionStats.drains` counts how often that batching pays off),
+and every socket runs with ``TCP_NODELAY`` so small frames are not parked
+by Nagle's algorithm.
 """
 
 from __future__ import annotations
@@ -24,7 +47,10 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import socket
 import struct
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
 from repro.errors import AftError
@@ -32,10 +58,19 @@ from repro.rpc import messages
 from repro.rpc.messages import WIRE_VERSION, WireMessage
 
 #: Frames above this size are rejected — a corrupt length prefix otherwise
-#: reads as a multi-gigabyte allocation.
+#: reads as a multi-gigabyte allocation.  Enforced on receive *and* send.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: Wire format names, as negotiated in ``hello`` / ``hello_ack``.
+FORMAT_JSON = "json"
+FORMAT_BINARY = "binary"
+SUPPORTED_WIRE_FORMATS = (FORMAT_JSON, FORMAT_BINARY)
+
 _LENGTH = struct.Struct(">I")
+_HEADER_LEN = struct.Struct(">I")
+#: First byte of a binary frame body.  Cannot collide with JSON: a JSON
+#: envelope always starts with ``{`` (0x7B).
+_BINARY_TAG = b"\x01"
 
 
 class RpcError(AftError):
@@ -46,19 +81,109 @@ class ConnectionClosedError(RpcError):
     """The peer closed the connection while requests were outstanding."""
 
 
+class FrameTooLargeError(RpcError):
+    """An outgoing frame exceeds ``MAX_FRAME_BYTES``.
+
+    Raised locally, *before* anything is written: the old behaviour shipped
+    the frame and let the peer kill the connection with an opaque length
+    error, failing every other request multiplexed on it.
+    """
+
+
+# --------------------------------------------------------------------- #
+# Frame codecs
+# --------------------------------------------------------------------- #
+def frame_bytes(envelope: dict[str, Any], wire_format: str = FORMAT_JSON) -> bytes:
+    """Encode one envelope into a length-prefixed frame.
+
+    ``envelope["body"]`` is the canonical in-memory body (bulk fields hold
+    raw bytes); this function owns the per-format bulk conversion.
+    """
+    msg_type = envelope.get("type", "")
+    if wire_format == FORMAT_BINARY:
+        body = envelope.get("body")
+        if body is not None:
+            header_body, chunks, payload_size = messages.split_bulk(msg_type, body)
+            header = {**envelope, "body": header_body}
+        else:
+            header, chunks, payload_size = dict(envelope), [], 0
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        length = 1 + _HEADER_LEN.size + len(header_bytes) + payload_size
+        if length > MAX_FRAME_BYTES:
+            raise FrameTooLargeError(
+                f"outgoing {msg_type or 'reply'} frame of {length} bytes exceeds "
+                f"the {MAX_FRAME_BYTES}-byte limit"
+            )
+        return b"".join(
+            (_LENGTH.pack(length), _BINARY_TAG, _HEADER_LEN.pack(len(header_bytes)), header_bytes, *chunks)
+        )
+    body = envelope.get("body")
+    if body is not None:
+        envelope = {**envelope, "body": messages.body_to_jsonable(msg_type, body)}
+    payload = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"outgoing {msg_type or 'reply'} frame of {len(payload)} bytes exceeds "
+            f"the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> dict[str, Any]:
+    """Decode one frame body (either format, sniffed off the first byte)."""
+    if data[:1] == _BINARY_TAG:
+        (header_len,) = _HEADER_LEN.unpack_from(data, 1)
+        header_end = 1 + _HEADER_LEN.size + header_len
+        envelope = json.loads(data[1 + _HEADER_LEN.size : header_end].decode("utf-8"))
+        body = envelope.get("body")
+        if body is not None:
+            payload = memoryview(data)[header_end:]
+            envelope["body"] = messages.join_bulk(envelope.get("type", ""), body, payload)
+        return envelope
+    envelope = json.loads(data.decode("utf-8"))
+    body = envelope.get("body")
+    if body is not None:
+        envelope["body"] = messages.body_from_jsonable(envelope.get("type", ""), body)
+    return envelope
+
+
 async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any]:
-    """Read one length-prefixed JSON frame (raises ``IncompleteReadError`` at EOF)."""
+    """Read one length-prefixed frame (raises ``IncompleteReadError`` at EOF)."""
     header = await reader.readexactly(_LENGTH.size)
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise RpcError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
     payload = await reader.readexactly(length)
-    return json.loads(payload.decode("utf-8"))
+    return decode_frame(payload)
 
 
-def frame_bytes(envelope: dict[str, Any]) -> bytes:
-    payload = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
-    return _LENGTH.pack(len(payload)) + payload
+@dataclass
+class ConnectionStats:
+    """Per-connection wire counters (one direction pair per connection)."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: Storage ops carried inside ``storage_batch`` frames, each way.
+    batched_ops_sent: int = 0
+    batched_ops_received: int = 0
+    #: ``drain()`` calls on the writer; ``frames_sent / drains`` is the
+    #: writer-coalescing factor (frames that shared one flush).
+    drains: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_out": self.frames_sent,
+            "frames_in": self.frames_received,
+            "bytes_out": self.bytes_sent,
+            "bytes_in": self.bytes_received,
+            "batched_ops_out": self.batched_ops_sent,
+            "batched_ops_in": self.batched_ops_received,
+            "drains": self.drains,
+            **self.extra,
+        }
 
 
 #: Handler signature: ``async def handle(conn, message) -> WireMessage | None``.
@@ -87,7 +212,27 @@ class RpcConnection:
         #: Callback invoked once when the connection drops (router uses it to
         #: deregister the session).
         self.on_close: Callable[["RpcConnection"], None] | None = None
-        self._write_lock = asyncio.Lock()
+        #: Outgoing frame format.  Starts at the universally-decodable JSON
+        #: wire; flipped to binary after ``hello`` negotiation confirms the
+        #: peer can sniff it.  Incoming frames are always sniffed per frame.
+        self.wire_format = FORMAT_JSON
+        self.stats = ConnectionStats()
+        #: Writer-coalescing queue: frames append here, and whichever task
+        #: finds no flush in progress drains the whole queue with a single
+        #: ``write`` + ``drain`` pair — frames arriving while a drain is
+        #: awaited ride out together on the next pass.
+        self._send_queue: deque[bytes] = deque()
+        self._flushing = False
+        self._enable_nodelay()
+
+    def _enable_nodelay(self) -> None:
+        """Disable Nagle: RPC frames are latency-bound, not bandwidth-bound."""
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except (OSError, ValueError):  # pragma: no cover - non-TCP transport
+                pass
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -111,10 +256,30 @@ class RpcConnection:
     async def _send(self, envelope: dict[str, Any]) -> None:
         if self._closed:
             raise ConnectionClosedError(f"connection {self.name or self.peername()} is closed")
-        data = frame_bytes(envelope)
-        async with self._write_lock:
-            self._writer.write(data)
-            await self._writer.drain()
+        data = frame_bytes(envelope, self.wire_format)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(data)
+        self._send_queue.append(data)
+        await self._flush_sends()
+
+    async def _flush_sends(self) -> None:
+        if self._flushing:
+            # Another task is mid-drain; it re-checks the queue after its
+            # drain resumes, so the frame just queued rides its next pass.
+            return
+        self._flushing = True
+        try:
+            while self._send_queue and not self._closed:
+                if len(self._send_queue) == 1:
+                    data = self._send_queue.popleft()
+                else:
+                    data = b"".join(self._send_queue)
+                    self._send_queue.clear()
+                self._writer.write(data)
+                self.stats.drains += 1
+                await self._writer.drain()
+        finally:
+            self._flushing = False
 
     async def request(self, message: WireMessage, timeout: float | None = 30.0) -> WireMessage:
         """Send ``message`` and await the peer's (decoded) reply.
@@ -152,8 +317,16 @@ class RpcConnection:
     async def _read_loop(self) -> None:
         try:
             while True:
-                envelope = await read_frame(self._reader)
-                self._dispatch(envelope)
+                header = await self._reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise RpcError(
+                        f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                    )
+                payload = await self._reader.readexactly(length)
+                self.stats.frames_received += 1
+                self.stats.bytes_received += _LENGTH.size + length
+                self._dispatch(decode_frame(payload))
         except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
             pass
         except asyncio.CancelledError:  # pragma: no cover - shutdown path
@@ -216,6 +389,7 @@ class RpcConnection:
         if self._closed:
             return
         self._closed = True
+        self._send_queue.clear()
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(ConnectionClosedError("connection lost"))

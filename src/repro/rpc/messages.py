@@ -16,10 +16,18 @@ a removed or re-typed field); the frame envelope transports it alongside the
 ``type`` tag, and a peer receiving a message whose major version it does not
 know rejects the frame rather than mis-parsing it.
 
-Binary values (storage payloads, serialised commit records) travel as
-base64 strings — frames are JSON end to end, chosen over msgpack because the
-toolchain bakes in no third-party codec and the paper's workloads are
-metadata-dominated.
+**Bulk bytes are first-class.**  Fields holding storage payloads or
+serialised commit records (declared per message via ``BYTES_MAP_FIELDS`` /
+``BYTES_LIST_FIELDS``) carry raw ``bytes`` in memory.  How they cross the
+wire depends on the negotiated frame format (:mod:`repro.rpc.framing`):
+
+* the legacy **JSON** wire base64-encodes them in place
+  (:func:`body_to_jsonable` / :func:`body_from_jsonable`) — ~33% size
+  inflation plus encode cost, kept for compatibility with old peers;
+* the **binary** wire moves them into a raw payload section after the JSON
+  header, replaced in the header by compact ``[offset, length]`` references
+  (:func:`split_bulk` / :func:`join_bulk`) — no base64, no JSON string
+  escaping, and decode slices straight out of the frame buffer.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from typing import Any, ClassVar, Mapping
 
 from repro import errors
 from repro.core.commit_set import CommitRecord
+from repro.storage.base import StorageOp, StorageOpResult
 
 #: Protocol-level version of the frame envelope itself.
 WIRE_VERSION = 1
@@ -43,21 +52,22 @@ def b64decode(value: str) -> bytes:
     return base64.b64decode(value.encode("ascii"))
 
 
-def encode_values(values: Mapping[str, bytes | None]) -> dict[str, str | None]:
-    """Encode a key->bytes-or-missing mapping for the wire."""
+def _jsonable_values(values: Mapping[str, bytes | None]) -> dict[str, str | None]:
+    """Base64 a key->bytes-or-missing mapping for the JSON wire."""
     return {key: (b64encode(v) if v is not None else None) for key, v in values.items()}
 
 
-def decode_values(values: Mapping[str, str | None]) -> dict[str, bytes | None]:
+def _values_from_jsonable(values: Mapping[str, str | None]) -> dict[str, bytes | None]:
     return {key: (b64decode(v) if v is not None else None) for key, v in values.items()}
 
 
-def encode_records(records: list[CommitRecord]) -> list[str]:
-    return [b64encode(record.to_bytes()) for record in records]
+def encode_records(records: list[CommitRecord]) -> list[bytes]:
+    """Commit records as their existing binary codec (raw bytes on the wire)."""
+    return [record.to_bytes() for record in records]
 
 
-def decode_records(blobs: list[str]) -> list[CommitRecord]:
-    return [CommitRecord.from_bytes(b64decode(blob)) for blob in blobs]
+def decode_records(blobs: list[bytes]) -> list[CommitRecord]:
+    return [CommitRecord.from_bytes(bytes(blob)) for blob in blobs]
 
 
 @dataclass
@@ -68,14 +78,20 @@ class WireMessage:
     TYPE: ClassVar[str] = ""
     #: Schema version of this message type.
     VERSION: ClassVar[int] = 1
+    #: Fields holding ``dict[str, bytes | None]`` payload maps.  These are the
+    #: frame's *bulk section*: base64 on the JSON wire, raw payload bytes on
+    #: the binary wire.
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ()
+    #: Fields holding ``list[bytes]`` blob sequences (same bulk treatment).
+    BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ()
 
     def to_body(self) -> dict[str, Any]:
-        """Serialise to a plain JSON object (field name -> value)."""
+        """Serialise to a plain body object (bulk fields stay raw bytes)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
     def from_body(cls, body: Mapping[str, Any]) -> "WireMessage":
-        """Reconstruct from a JSON object, ignoring unknown fields.
+        """Reconstruct from a body object, ignoring unknown fields.
 
         The filter is the forward-compatibility contract: bodies produced by
         a newer schema simply lose their extra fields here instead of
@@ -90,16 +106,27 @@ class WireMessage:
 # --------------------------------------------------------------------- #
 @dataclass
 class Hello(WireMessage):
-    """Node registration. ``kind`` is ``"node"`` (serving) or ``"standby"``."""
+    """Peer registration. ``kind`` is ``"node"``, ``"standby"``, or ``"client"``.
+
+    ``wire_formats`` advertises the frame formats this peer can *decode*
+    (always including ``"json"``).  An old peer omits the field — the default
+    — and therefore never gets a binary frame; an old *receiver* drops the
+    unknown field and replies without ``wire_format``, which pins the
+    connection to JSON.  Negotiation costs nothing beyond the fields.
+    """
 
     TYPE: ClassVar[str] = "hello"
     node_id: str = ""
     kind: str = "node"
+    wire_formats: list = field(default_factory=lambda: ["json"])
 
 
 @dataclass
 class HelloAck(WireMessage):
-    """Router's admission reply: the fencing token epoch and lease cadence."""
+    """Router's admission reply: fencing token epoch, lease cadence, and the
+    negotiated wire capabilities (``wire_format`` both peers will send;
+    ``features`` the optional protocol extensions the router serves, e.g.
+    ``"storage_batch"``)."""
 
     TYPE: ClassVar[str] = "hello_ack"
     node_id: str = ""
@@ -108,6 +135,8 @@ class HelloAck(WireMessage):
     epoch: int = 0
     lease_duration: float = 5.0
     heartbeat_interval: float = 1.0
+    wire_format: str = "json"
+    features: list = field(default_factory=list)
 
 
 @dataclass
@@ -139,9 +168,10 @@ class Ok(WireMessage):
 # --------------------------------------------------------------------- #
 @dataclass
 class PublishCommits(WireMessage):
-    """Node -> router: recently committed records for fan-out (b64 blobs)."""
+    """Node -> router: recently committed records for fan-out (raw blobs)."""
 
     TYPE: ClassVar[str] = "publish_commits"
+    BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("records",)
     node_id: str = ""
     records: list = field(default_factory=list)
 
@@ -151,6 +181,7 @@ class DeliverCommits(WireMessage):
     """Router -> node: peer commit records to merge into the metadata cache."""
 
     TYPE: ClassVar[str] = "deliver_commits"
+    BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("records",)
     records: list = field(default_factory=list)
 
 
@@ -163,11 +194,12 @@ class StorageRequest(WireMessage):
 
     ``op`` is one of ``get`` / ``put`` / ``delete`` / ``multi_get`` /
     ``multi_put`` / ``multi_delete`` / ``list_keys``.  ``keys`` carries the
-    read/delete targets, ``items`` the writes (values base64), ``prefix``
+    read/delete targets, ``items`` the writes (raw bytes), ``prefix``
     the listing prefix.
     """
 
     TYPE: ClassVar[str] = "storage"
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("items",)
     op: str = "get"
     keys: list = field(default_factory=list)
     items: dict = field(default_factory=dict)
@@ -176,11 +208,46 @@ class StorageRequest(WireMessage):
 
 @dataclass
 class StorageResponse(WireMessage):
-    """Result of a :class:`StorageRequest` (values base64, misses None)."""
+    """Result of a :class:`StorageRequest` (raw values, misses None)."""
 
     TYPE: ClassVar[str] = "storage_result"
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("values",)
     values: dict = field(default_factory=dict)
     keys: list = field(default_factory=list)
+
+
+@dataclass
+class StorageBatch(WireMessage):
+    """A whole group of storage ops in one frame (one round trip).
+
+    ``ops`` is a list of compact descriptors ``{"op", "keys", "prefix",
+    "v"}`` where ``v`` holds per-key indexes into the shared ``blobs``
+    table for write values.  The flat blob table is what lets the batch ride
+    the binary wire's bulk section untouched; build/parse through
+    :func:`encode_storage_ops` / :func:`decode_storage_ops`.
+    """
+
+    TYPE: ClassVar[str] = "storage_batch"
+    BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("blobs",)
+    ops: list = field(default_factory=list)
+    blobs: list = field(default_factory=list)
+
+
+@dataclass
+class StorageBatchResult(WireMessage):
+    """Per-op results of a :class:`StorageBatch`.
+
+    Each entry of ``results`` mirrors its request op: ``{"keys", "v"}`` for
+    value-returning ops (``v`` indexes into ``blobs``, ``None`` marks a
+    miss), ``{"listing"}`` for ``list_keys``, ``{"error"}`` for an op that
+    failed — errors are *per op*, so one fenced commit-record write in a
+    coalesced batch fails only its own waiter.
+    """
+
+    TYPE: ClassVar[str] = "storage_batch_result"
+    BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("blobs",)
+    results: list = field(default_factory=list)
+    blobs: list = field(default_factory=list)
 
 
 # --------------------------------------------------------------------- #
@@ -211,14 +278,16 @@ class ClientGet(WireMessage):
 @dataclass
 class ClientValues(WireMessage):
     TYPE: ClassVar[str] = "client_values"
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("values",)
     values: dict = field(default_factory=dict)
 
 
 @dataclass
 class ClientPut(WireMessage):
-    """Buffered writes (values base64); several keys per call are allowed."""
+    """Buffered writes (raw bytes); several keys per call are allowed."""
 
     TYPE: ClassVar[str] = "client_put"
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("items",)
     txid: str = ""
     items: dict = field(default_factory=dict)
 
@@ -262,6 +331,7 @@ class TxnGet(WireMessage):
 @dataclass
 class TxnPut(WireMessage):
     TYPE: ClassVar[str] = "txn_put"
+    BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("items",)
     txid: str = ""
     items: dict = field(default_factory=dict)
 
@@ -295,6 +365,10 @@ class InfoReply(WireMessage):
     standbys: list = field(default_factory=list)
     epoch: int = 0
     commits: int = 0
+    #: Per-connection wire counters, node_id -> {frames_in, frames_out,
+    #: bytes_in, bytes_out, batched_ops_in, batched_ops_out, drains,
+    #: wire_format} — the router's view of each peer's protocol traffic.
+    wire: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -327,6 +401,8 @@ MESSAGE_TYPES: dict[str, type[WireMessage]] = {
         DeliverCommits,
         StorageRequest,
         StorageResponse,
+        StorageBatch,
+        StorageBatchResult,
         ClientStart,
         ClientStarted,
         ClientGet,
@@ -364,6 +440,179 @@ def decode_body(msg_type: str, version: int, body: Mapping[str, Any]) -> WireMes
         raise errors.AftError(f"unknown wire message type {msg_type!r}")
     del version  # schema versions are additive today; kept in the envelope
     return cls.from_body(body)
+
+
+# --------------------------------------------------------------------- #
+# Bulk-field conversions (used by the frame codecs in repro.rpc.framing)
+# --------------------------------------------------------------------- #
+def _bulk_spec(msg_type: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    cls = MESSAGE_TYPES.get(msg_type)
+    if cls is None:
+        return (), ()
+    return cls.BYTES_MAP_FIELDS, cls.BYTES_LIST_FIELDS
+
+
+def body_to_jsonable(msg_type: str, body: Mapping[str, Any]) -> dict[str, Any]:
+    """JSON-wire view of a body: bulk bytes become base64 strings in place."""
+    map_fields, list_fields = _bulk_spec(msg_type)
+    if not map_fields and not list_fields:
+        return dict(body)
+    out = dict(body)
+    for name in map_fields:
+        if name in out:
+            out[name] = _jsonable_values(out[name])
+    for name in list_fields:
+        if name in out:
+            out[name] = [b64encode(bytes(blob)) for blob in out[name]]
+    return out
+
+
+def body_from_jsonable(msg_type: str, body: Mapping[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`body_to_jsonable` (unknown types pass through)."""
+    map_fields, list_fields = _bulk_spec(msg_type)
+    if not map_fields and not list_fields:
+        return dict(body)
+    out = dict(body)
+    for name in map_fields:
+        if name in out:
+            out[name] = _values_from_jsonable(out[name])
+    for name in list_fields:
+        if name in out:
+            out[name] = [b64decode(blob) for blob in out[name]]
+    return out
+
+
+def split_bulk(
+    msg_type: str, body: Mapping[str, Any]
+) -> tuple[dict[str, Any], list[bytes], int]:
+    """Binary-wire split: bulk bytes move to a payload section.
+
+    Returns ``(header_body, chunks, payload_size)`` where bulk fields in
+    ``header_body`` are replaced by ``[offset, length]`` references (``None``
+    for missing values) into the concatenation of ``chunks``.
+    """
+    map_fields, list_fields = _bulk_spec(msg_type)
+    header = dict(body)
+    chunks: list[bytes] = []
+    offset = 0
+
+    def ref(blob: bytes) -> list[int]:
+        nonlocal offset
+        chunks.append(blob)
+        entry = [offset, len(blob)]
+        offset += len(blob)
+        return entry
+
+    for name in map_fields:
+        if name in header:
+            header[name] = {
+                key: (ref(value) if value is not None else None)
+                for key, value in header[name].items()
+            }
+    for name in list_fields:
+        if name in header:
+            header[name] = [ref(bytes(blob)) for blob in header[name]]
+    return header, chunks, offset
+
+
+def join_bulk(
+    msg_type: str, header_body: Mapping[str, Any], payload: memoryview
+) -> dict[str, Any]:
+    """Inverse of :func:`split_bulk`: resolve references against ``payload``."""
+    map_fields, list_fields = _bulk_spec(msg_type)
+    body = dict(header_body)
+
+    def deref(entry: list[int]) -> bytes:
+        start, length = entry
+        return bytes(payload[start : start + length])
+
+    for name in map_fields:
+        if name in body:
+            body[name] = {
+                key: (deref(entry) if entry is not None else None)
+                for key, entry in body[name].items()
+            }
+    for name in list_fields:
+        if name in body:
+            body[name] = [deref(entry) for entry in body[name]]
+    return body
+
+
+# --------------------------------------------------------------------- #
+# Storage-batch construction/parsing (the op <-> descriptor mapping)
+# --------------------------------------------------------------------- #
+def encode_storage_ops(ops: list[StorageOp]) -> StorageBatch:
+    """Pack a group of storage ops into one :class:`StorageBatch` frame."""
+    blobs: list[bytes] = []
+    descriptors: list[dict[str, Any]] = []
+    for op in ops:
+        desc: dict[str, Any] = {"op": op.op, "keys": list(op.keys)}
+        if op.prefix:
+            desc["prefix"] = op.prefix
+        if op.items is not None:
+            indexes = []
+            for key in op.keys:
+                blobs.append(op.items[key])
+                indexes.append(len(blobs) - 1)
+            desc["v"] = indexes
+        descriptors.append(desc)
+    return StorageBatch(ops=descriptors, blobs=blobs)
+
+
+def decode_storage_ops(batch: StorageBatch) -> list[StorageOp]:
+    ops: list[StorageOp] = []
+    for desc in batch.ops:
+        keys = tuple(desc.get("keys", ()))
+        items = None
+        if "v" in desc:
+            items = {key: bytes(batch.blobs[index]) for key, index in zip(keys, desc["v"])}
+        ops.append(
+            StorageOp(op=desc.get("op", "get"), keys=keys, items=items, prefix=desc.get("prefix", ""))
+        )
+    return ops
+
+
+def encode_storage_results(results: list[StorageOpResult]) -> StorageBatchResult:
+    """Pack per-op outcomes (values / listings / errors) into one reply frame."""
+    blobs: list[bytes] = []
+    descriptors: list[dict[str, Any]] = []
+    for result in results:
+        if result.error is not None:
+            descriptors.append({"error": error_to_wire(result.error)})
+            continue
+        desc: dict[str, Any] = {}
+        if result.values is not None:
+            keys, refs = [], []
+            for key, value in result.values.items():
+                keys.append(key)
+                if value is None:
+                    refs.append(None)
+                else:
+                    blobs.append(value)
+                    refs.append(len(blobs) - 1)
+            desc["keys"] = keys
+            desc["v"] = refs
+        if result.keys is not None:
+            desc["listing"] = list(result.keys)
+        descriptors.append(desc)
+    return StorageBatchResult(results=descriptors, blobs=blobs)
+
+
+def decode_storage_results(reply: StorageBatchResult) -> list[StorageOpResult]:
+    results: list[StorageOpResult] = []
+    for desc in reply.results:
+        if "error" in desc:
+            results.append(StorageOpResult(error=error_from_wire(desc["error"])))
+            continue
+        values = None
+        if "v" in desc:
+            values = {
+                key: (bytes(reply.blobs[index]) if index is not None else None)
+                for key, index in zip(desc.get("keys", ()), desc["v"])
+            }
+        listing = list(desc["listing"]) if "listing" in desc else None
+        results.append(StorageOpResult(values=values, keys=listing))
+    return results
 
 
 # --------------------------------------------------------------------- #

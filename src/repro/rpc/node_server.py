@@ -35,7 +35,14 @@ from repro.core.metadata_plane.fencing import FenceToken
 from repro.core.node import AftNode
 from repro.errors import AftError
 from repro.rpc import messages as m
-from repro.rpc.framing import RpcConnection, connect
+from repro.rpc.framing import (
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    SUPPORTED_WIRE_FORMATS,
+    RpcConnection,
+    connect,
+)
+from repro.rpc.router import STORAGE_BATCH_FEATURE
 from repro.rpc.storage_client import RemoteStorage
 
 #: How often drained commits are published to the router's commit hub.
@@ -52,6 +59,9 @@ class NodeServer:
         router_port: int = 7400,
         kind: str = "node",
         config: AftConfig | None = None,
+        wire_formats: tuple[str, ...] = SUPPORTED_WIRE_FORMATS,
+        enable_storage_batching: bool = True,
+        coalesce_window: float = 0.0,
     ) -> None:
         if kind not in ("node", "standby"):
             raise ValueError(f"kind must be 'node' or 'standby', not {kind!r}")
@@ -60,9 +70,14 @@ class NodeServer:
         self.router_port = router_port
         self.kind = kind
         self.config = config if config is not None else AftConfig()
+        #: Formats this node offers in its ``hello`` (the router picks).
+        self.wire_formats = tuple(wire_formats)
+        self.enable_storage_batching = enable_storage_batching
+        self.coalesce_window = coalesce_window
 
         self.conn: RpcConnection | None = None
         self.node: AftNode | None = None
+        self.storage: RemoteStorage | None = None
         self.heartbeat_interval = 1.0
         #: Nemesis switch: heartbeats stop, everything else keeps running.
         self.heartbeats_paused = False
@@ -82,12 +97,29 @@ class NodeServer:
         )
         self.conn.on_close = lambda _conn: self._closed.set()
 
-        ack = await self.conn.request(m.Hello(node_id=self.node_id, kind=self.kind))
+        ack = await self.conn.request(
+            m.Hello(node_id=self.node_id, kind=self.kind, wire_formats=list(self.wire_formats))
+        )
         if not isinstance(ack, m.HelloAck):
             raise AftError(f"unexpected registration reply {type(ack).__name__}")
         self.heartbeat_interval = ack.heartbeat_interval
+        # Adopt the negotiated wire format.  An old router's ack has no
+        # ``wire_format`` field (decode defaults it to "json"), so the
+        # connection simply stays on the JSON wire.
+        if ack.wire_format == FORMAT_BINARY and FORMAT_BINARY in self.wire_formats:
+            self.conn.wire_format = FORMAT_BINARY
 
-        storage = RemoteStorage(self.conn, loop=loop)
+        storage = RemoteStorage(
+            self.conn,
+            loop=loop,
+            request_timeout=self.config.storage_request_timeout,
+            coalesce_window=self.coalesce_window,
+        )
+        # Batched storage groups need a router that understands the frame.
+        storage.supports_storage_batches = (
+            self.enable_storage_batching and STORAGE_BATCH_FEATURE in (ack.features or [])
+        )
+        self.storage = storage
         self.node = AftNode(
             storage=storage,
             commit_store=CommitSetStore(storage),
@@ -175,9 +207,9 @@ class NodeServer:
             return m.ClientStarted(txid=txid, node_id=self.node_id)
         if isinstance(msg, m.TxnGet):
             values = await node.get_many_async(msg.txid, list(msg.keys))
-            return m.ClientValues(values=m.encode_values(values))
+            return m.ClientValues(values=dict(values))
         if isinstance(msg, m.TxnPut):
-            for key, value in m.decode_values(msg.items).items():
+            for key, value in msg.items.items():
                 await node.put_async(msg.txid, key, value)
             return m.Ok()
         if isinstance(msg, m.TxnCommit):
@@ -212,7 +244,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--router-host", default="127.0.0.1")
     parser.add_argument("--router-port", type=int, default=7400)
     parser.add_argument("--kind", choices=("node", "standby"), default="node")
+    parser.add_argument(
+        "--storage-timeout",
+        type=float,
+        default=None,
+        help="per-request storage round-trip timeout in seconds "
+        "(0 waits forever; default: AftConfig.storage_request_timeout)",
+    )
+    parser.add_argument(
+        "--wire-format",
+        choices=[FORMAT_BINARY, FORMAT_JSON],
+        default=FORMAT_BINARY,
+        help="most capable wire format to offer (json emulates a PR 7 node)",
+    )
+    parser.add_argument(
+        "--no-storage-batching",
+        action="store_true",
+        help="issue one storage frame per op even if the router batches",
+    )
+    parser.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.0,
+        help="seconds to hold an open storage batch for ops from other "
+        "sessions (0 = same-event-loop-tick only; ~0.001 trades up to "
+        "1 ms of stage latency for fewer round trips under load)",
+    )
     args = parser.parse_args(argv)
+
+    config = AftConfig()
+    if args.storage_timeout is not None:
+        config = config.with_overrides(
+            storage_request_timeout=args.storage_timeout if args.storage_timeout > 0 else None
+        )
 
     async def run() -> None:
         server = NodeServer(
@@ -220,6 +284,12 @@ def main(argv: list[str] | None = None) -> int:
             router_host=args.router_host,
             router_port=args.router_port,
             kind=args.kind,
+            config=config,
+            wire_formats=(
+                SUPPORTED_WIRE_FORMATS if args.wire_format == FORMAT_BINARY else (FORMAT_JSON,)
+            ),
+            enable_storage_batching=not args.no_storage_batching,
+            coalesce_window=args.coalesce_window,
         )
         await server.start()
         print(f"REPRO_NODE_READY node={args.node_id} kind={args.kind}", flush=True)

@@ -39,15 +39,19 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro import runtime
 from repro.core.commit_set import CommitRecord
 from repro.core.metadata_plane.fencing import EpochFence
 from repro.core.metadata_plane.keyspace import PARTITIONED_PREFIX
 from repro.errors import AftError, NoAvailableNodeError, UnknownTransactionError
 from repro.ids import COMMIT_PREFIX, KEY_SEPARATOR
 from repro.rpc import messages as m
-from repro.rpc.framing import RpcConnection
-from repro.storage.base import StorageEngine
+from repro.rpc.framing import FORMAT_BINARY, FORMAT_JSON, RpcConnection
+from repro.storage.base import StorageEngine, StorageOp, StorageOpResult
 from repro.storage.memory import InMemoryStorage
+
+#: The ``hello_ack.features`` flag advertising the batched storage service.
+STORAGE_BATCH_FEATURE = "storage_batch"
 
 _COMMIT_KEY_PREFIXES = (COMMIT_PREFIX + KEY_SEPARATOR, PARTITIONED_PREFIX + ".")
 
@@ -81,6 +85,9 @@ class RouterServer:
         storage: StorageEngine | None = None,
         lease_duration: float = 5.0,
         heartbeat_interval: float = 1.0,
+        wire_formats: tuple[str, ...] = (FORMAT_JSON, FORMAT_BINARY),
+        enable_storage_batches: bool = True,
+        storage_batch_concurrency: int = 16,
     ) -> None:
         if lease_duration <= heartbeat_interval:
             raise ValueError("lease_duration must exceed heartbeat_interval")
@@ -89,6 +96,11 @@ class RouterServer:
         self.storage = storage if storage is not None else InMemoryStorage()
         self.lease_duration = lease_duration
         self.heartbeat_interval = heartbeat_interval
+        #: Formats this router will *send* (a JSON-only tuple emulates an old
+        #: router: peers offering binary fall back via the negotiation).
+        self.wire_formats = tuple(wire_formats)
+        self.enable_storage_batches = enable_storage_batches
+        self.storage_batch_concurrency = max(1, storage_batch_concurrency)
         self.fence = EpochFence()
 
         self._server: asyncio.AbstractServer | None = None
@@ -204,6 +216,8 @@ class RouterServer:
     async def _handle(self, conn: RpcConnection, msg: m.WireMessage) -> m.WireMessage | None:
         if isinstance(msg, m.StorageRequest):
             return self._handle_storage(msg)
+        if isinstance(msg, m.StorageBatch):
+            return await self._handle_storage_batch(conn, msg)
         if isinstance(msg, m.Heartbeat):
             session = self._sessions.get(msg.node_id)
             if session is not None and not session.declared_failed:
@@ -246,6 +260,10 @@ class RouterServer:
                 ),
                 epoch=self.fence.epoch,
                 commits=self._commits_seen,
+                wire={
+                    node_id: {"format": s.conn.wire_format, **s.conn.stats.as_dict()}
+                    for node_id, s in sorted(self._sessions.items())
+                },
             )
         if isinstance(msg, m.Nemesis):
             session = self._sessions.get(msg.node_id)
@@ -257,6 +275,23 @@ class RouterServer:
 
     # ------------------------------------------------------------------ #
     def _handle_hello(self, conn: RpcConnection, msg: m.Hello) -> m.HelloAck:
+        # Wire negotiation: binary only when both sides allow it.  An old
+        # peer's Hello simply lacks ``wire_formats`` (unknown-field-tolerant
+        # decode defaults it to ["json"]), so the fallback is automatic —
+        # and the ack from an old *router* lacks ``wire_format``, leaving
+        # the peer on JSON too.
+        offered = set(msg.wire_formats or [FORMAT_JSON])
+        chosen = (
+            FORMAT_BINARY
+            if FORMAT_BINARY in offered and FORMAT_BINARY in self.wire_formats
+            else FORMAT_JSON
+        )
+        conn.wire_format = chosen
+        features = [STORAGE_BATCH_FEATURE] if self.enable_storage_batches else []
+        if msg.kind == "client":
+            # Clients negotiate the wire but are not cluster members: no
+            # session, no lease, no fencing token.
+            return m.HelloAck(node_id=msg.node_id, wire_format=chosen, features=features)
         session = _NodeSession(conn=conn, node_id=msg.node_id, kind=msg.kind)
         epoch = 0
         if msg.kind == "node":
@@ -269,6 +304,8 @@ class RouterServer:
             epoch=epoch,
             lease_duration=self.lease_duration,
             heartbeat_interval=self.heartbeat_interval,
+            wire_format=chosen,
+            features=features,
         )
 
     async def _handle_publish(self, msg: m.PublishCommits) -> None:
@@ -316,44 +353,85 @@ class RouterServer:
         record = CommitRecord.from_bytes(value)
         self.fence.check(record.node_id, record.epoch)
 
-    def _handle_storage(self, msg: m.StorageRequest) -> m.StorageResponse:
-        op = msg.op
+    def _apply_op_sync(self, op: StorageOp) -> StorageOpResult:
+        """Apply one storage op under the lock (fence checks included).
+
+        The single authority for both wire shapes: ``storage`` frames and
+        each op of a ``storage_batch`` frame land here, so the fencing gate
+        cannot be bypassed by taking the batched path.
+        """
         with self._storage_lock:
-            if op == "get":
-                key = msg.keys[0]
-                value = self.storage.get(key)
-                return m.StorageResponse(
-                    values={key: m.b64encode(value) if value is not None else None}
-                )
-            if op == "multi_get":
-                values = self.storage.multi_get(list(msg.keys))
-                return m.StorageResponse(values=m.encode_values(values))
-            if op == "put":
-                items = m.decode_values(msg.items)
+            if op.op == "get":
+                key = op.keys[0]
+                return StorageOpResult(values={key: self.storage.get(key)})
+            if op.op == "multi_get":
+                return StorageOpResult(values=self.storage.multi_get(list(op.keys)))
+            if op.op in ("put", "multi_put"):
+                items = dict(op.items or {})
+                # Validate the whole request before writing any of it: a
+                # batch with one fenced record writes nothing (the
+                # group-commit flush relies on this all-or-nothing shape).
                 for key, value in items.items():
                     self._check_put_fence(key, value)
-                for key, value in items.items():
-                    self.storage.put(key, value)
-                return m.StorageResponse()
-            if op == "multi_put":
-                items = m.decode_values(msg.items)
-                # Validate the whole batch before writing any of it: a batch
-                # with one fenced record writes nothing (the group-commit
-                # flush relies on this all-or-nothing shape).
-                for key, value in items.items():
-                    self._check_put_fence(key, value)
-                self.storage.multi_put(items)
-                return m.StorageResponse()
-            if op == "delete":
-                for key in msg.keys:
+                if op.op == "put":
+                    for key, value in items.items():
+                        self.storage.put(key, value)
+                else:
+                    self.storage.multi_put(items)
+                return StorageOpResult()
+            if op.op == "delete":
+                for key in op.keys:
                     self.storage.delete(key)
-                return m.StorageResponse()
-            if op == "multi_delete":
-                self.storage.multi_delete(list(msg.keys))
-                return m.StorageResponse()
-            if op == "list_keys":
-                return m.StorageResponse(keys=self.storage.list_keys(prefix=msg.prefix))
-        raise AftError(f"unknown storage op {op!r}")
+                return StorageOpResult()
+            if op.op == "multi_delete":
+                self.storage.multi_delete(list(op.keys))
+                return StorageOpResult()
+            if op.op in ("list", "list_keys"):
+                return StorageOpResult(keys=self.storage.list_keys(prefix=op.prefix))
+        raise AftError(f"unknown storage op {op.op!r}")
+
+    def _handle_storage(self, msg: m.StorageRequest) -> m.StorageResponse:
+        result = self._apply_op_sync(
+            StorageOp(op=msg.op, keys=tuple(msg.keys), items=msg.items or None, prefix=msg.prefix)
+        )
+        if result.error is not None:  # pragma: no cover - sync applier raises
+            raise result.error
+        return m.StorageResponse(values=result.values or {}, keys=result.keys or [])
+
+    async def _handle_storage_batch(
+        self, conn: RpcConnection, msg: m.StorageBatch
+    ) -> m.StorageBatchResult:
+        """Execute one batched op group, one reply frame, errors per op.
+
+        Ops fan out under a bounded gather (mirroring the engine-side plan
+        fan-out); the storage lock inside :meth:`_apply_op_sync` keeps each
+        fence-check-then-write atomic exactly as on the single-op path.
+        Wall-clock engines run their ops on the IO executor so a blocking
+        backend cannot stall the router's event loop.
+        """
+        ops = m.decode_storage_ops(msg)
+        conn.stats.batched_ops_received += len(ops)
+
+        def apply_checked(op: StorageOp) -> StorageOpResult:
+            try:
+                return self._apply_op_sync(op)
+            except Exception as exc:
+                return StorageOpResult(error=exc)
+
+        if not self.storage.wall_clock_io:
+            results = [apply_checked(op) for op in ops]
+            return m.encode_storage_results(results)
+        loop = asyncio.get_running_loop()
+        limit = asyncio.Semaphore(self.storage_batch_concurrency)
+
+        async def run_one(op: StorageOp) -> StorageOpResult:
+            async with limit:
+                return await loop.run_in_executor(
+                    runtime.io_executor(), runtime.run_marked, lambda: apply_checked(op)
+                )
+
+        results = list(await asyncio.gather(*(run_one(op) for op in ops)))
+        return m.encode_storage_results(results)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -362,6 +440,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--port", type=int, default=7400, help="0 picks a free port")
     parser.add_argument("--lease-duration", type=float, default=5.0)
     parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    parser.add_argument(
+        "--wire-format",
+        choices=[FORMAT_BINARY, FORMAT_JSON],
+        default=FORMAT_BINARY,
+        help="most capable wire format to negotiate (json emulates a PR 7 router)",
+    )
+    parser.add_argument(
+        "--no-storage-batching",
+        action="store_true",
+        help="do not advertise the storage_batch feature",
+    )
     args = parser.parse_args(argv)
 
     async def run() -> None:
@@ -370,6 +459,12 @@ def main(argv: list[str] | None = None) -> int:
             port=args.port,
             lease_duration=args.lease_duration,
             heartbeat_interval=args.heartbeat_interval,
+            wire_formats=(
+                (FORMAT_JSON, FORMAT_BINARY)
+                if args.wire_format == FORMAT_BINARY
+                else (FORMAT_JSON,)
+            ),
+            enable_storage_batches=not args.no_storage_batching,
         )
         await router.start()
         # The ready line is machine-readable: harnesses parse the port from

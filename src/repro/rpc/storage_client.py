@@ -1,13 +1,27 @@
 """A storage engine that speaks to the router's shared storage service.
 
-:class:`RemoteStorage` is the node process's view of cloud storage: every
-operation becomes one :class:`~repro.rpc.messages.StorageRequest` on the
-node's router connection.  It declares ``supports_native_async`` — the
-``*_async`` twins await socket round trips directly, so
-``execute_plan_async`` fans a plan stage's request groups out as plain
-coroutines on the node's event loop with no executor hop.  That composes
-the whole PR stack: IO plans (PR 1) route through the async core (PR 6)
-onto real sockets (this PR).
+:class:`RemoteStorage` is the node process's view of cloud storage.  It
+declares ``supports_native_async`` — the ``*_async`` twins await socket
+round trips directly, so ``execute_plan_async`` fans a plan stage's request
+groups out as plain coroutines on the node's event loop with no executor
+hop.  That composes the whole PR stack: IO plans (PR 1) route through the
+async core (PR 6) onto real sockets (PR 7).
+
+On top of that sits the wire hot-path optimisation: when the router
+advertised the ``storage_batch`` feature (see the ``hello`` negotiation),
+``supports_storage_batches`` flips on and every operation routes through a
+cross-transaction :class:`_OpCoalescer`.  Ops submitted within one
+event-loop tick (or a configurable window) are packed into a single
+``storage_batch`` frame — an IO-plan stage's whole request group crosses
+the wire as one round trip, and independent single ops from *concurrent*
+transactions opportunistically share frames.  Per-op errors come back as
+data, so a fenced commit-record write fails exactly its own waiter.
+
+Accounting rule: the layer that returns to the caller does the stats and
+latency accounting — the single-op twins account for themselves, the
+batched ``execute_group_async`` accounts per op for the plan path, and the
+submission machinery (`_submit`, the coalescer) never accounts.  Nothing is
+double-counted whichever path an op takes.
 
 The sync :class:`~repro.storage.base.StorageEngine` methods remain usable
 *off* the event loop (they bridge with ``run_coroutine_threadsafe``), which
@@ -22,16 +36,86 @@ import asyncio
 from typing import Iterable, Mapping
 
 from repro.errors import StorageError
+from repro.rpc import messages as m
 from repro.rpc.framing import RpcConnection
-from repro.rpc.messages import (
-    StorageRequest,
-    StorageResponse,
-    b64decode,
-    b64encode,
-    decode_values,
-    encode_values,
-)
-from repro.storage.base import StorageEngine
+from repro.rpc.messages import StorageRequest, StorageResponse
+from repro.storage.base import StorageEngine, StorageOp, StorageOpResult
+
+#: Default socket round-trip budget per storage op (generous: a stalled
+#: router should surface as an error, not a hung node).  Configurable per
+#: deployment via ``AftConfig.storage_request_timeout``.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+class _OpCoalescer:
+    """Packs concurrently submitted storage ops into shared wire frames.
+
+    ``submit`` parks the op and schedules a flush; every op that lands
+    before the flush callback runs — ops from the same plan stage *and* from
+    other transactions interleaved on the loop — rides the same
+    ``storage_batch`` frame.  The default window of 0 flushes on the next
+    event-loop tick (``call_soon``): no added latency, pure piggybacking on
+    natural concurrency.  A positive window trades that latency for bigger
+    frames via ``call_later``.
+    """
+
+    def __init__(self, conn: RpcConnection, owner: "RemoteStorage", window: float, max_ops: int) -> None:
+        self._conn = conn
+        self._owner = owner
+        self._window = window
+        self._max_ops = max(1, max_ops)
+        self._pending_ops: list[StorageOp] = []
+        self._pending_futures: list[asyncio.Future] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+
+    def submit(self, op: StorageOp) -> asyncio.Future:
+        """Park one op; the returned future resolves to its StorageOpResult."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending_ops.append(op)
+        self._pending_futures.append(future)
+        if len(self._pending_ops) >= self._max_ops:
+            self._flush(loop)
+        elif self._flush_handle is None:
+            if self._window > 0:
+                self._flush_handle = loop.call_later(self._window, self._flush, loop)
+            else:
+                self._flush_handle = loop.call_soon(self._flush, loop)
+        return future
+
+    def submit_many(self, ops: list[StorageOp]) -> list[asyncio.Future]:
+        return [self.submit(op) for op in ops]
+
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending_ops:
+            return
+        ops, self._pending_ops = self._pending_ops, []
+        futures, self._pending_futures = self._pending_futures, []
+        loop.create_task(self._send_batch(ops, futures))
+
+    async def _send_batch(self, ops: list[StorageOp], futures: list[asyncio.Future]) -> None:
+        try:
+            batch = m.encode_storage_ops(ops)
+            self._conn.stats.batched_ops_sent += len(ops)
+            reply = await self._conn.request(batch, timeout=self._owner.request_timeout)
+            if not isinstance(reply, m.StorageBatchResult):
+                raise StorageError(f"unexpected batch reply {type(reply).__name__}")
+            results = m.decode_storage_results(reply)
+            if len(results) != len(ops):
+                raise StorageError(
+                    f"batch reply carried {len(results)} results for {len(ops)} ops"
+                )
+        except Exception as exc:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(futures, results):
+            if not future.done():
+                future.set_result(result)
 
 
 class RemoteStorage(StorageEngine):
@@ -43,13 +127,23 @@ class RemoteStorage(StorageEngine):
     supports_batch_writes = True
     supports_batch_reads = True
 
-    def __init__(self, conn: RpcConnection, loop: asyncio.AbstractEventLoop | None = None) -> None:
+    def __init__(
+        self,
+        conn: RpcConnection,
+        loop: asyncio.AbstractEventLoop | None = None,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+        coalesce_window: float = 0.0,
+        coalesce_max_ops: int = 128,
+    ) -> None:
         super().__init__()
         self._conn = conn
         self._loop = loop if loop is not None else asyncio.get_event_loop()
-        #: Socket round-trip budget per storage op (generous: a stalled
-        #: router should surface as an error, not a hung node).
-        self.request_timeout: float | None = 30.0
+        #: Socket round-trip budget per storage op / batch.
+        self.request_timeout: float | None = request_timeout
+        self._coalescer = _OpCoalescer(conn, self, coalesce_window, coalesce_max_ops)
+        #: Flipped on by the node entrypoint once the ``hello`` negotiation
+        #: confirms the router accepts ``storage_batch`` frames.
+        self.supports_storage_batches = False
 
     # ------------------------------------------------------------------ #
     async def _call(self, request: StorageRequest) -> StorageResponse:
@@ -57,6 +151,39 @@ class RemoteStorage(StorageEngine):
         if not isinstance(reply, StorageResponse):
             raise StorageError(f"unexpected storage reply {type(reply).__name__}")
         return reply
+
+    async def _submit(self, op: StorageOp) -> StorageOpResult:
+        """Route one op to the wire (coalesced or standalone).  No accounting."""
+        if self.supports_storage_batches:
+            return await self._coalescer.submit(op)
+        return await self._request_single(op)
+
+    async def _request_single(self, op: StorageOp) -> StorageOpResult:
+        """Ship one op as its own ``storage`` frame (the PR 7 wire shape)."""
+        try:
+            if op.op == "get":
+                reply = await self._call(StorageRequest(op="get", keys=list(op.keys)))
+                return StorageOpResult(values={op.keys[0]: reply.values.get(op.keys[0])})
+            if op.op == "multi_get":
+                reply = await self._call(StorageRequest(op="multi_get", keys=list(op.keys)))
+                return StorageOpResult(values={key: reply.values.get(key) for key in op.keys})
+            if op.op == "put":
+                await self._call(StorageRequest(op="put", items=dict(op.items or {})))
+                return StorageOpResult()
+            if op.op == "multi_put":
+                await self._call(StorageRequest(op="multi_put", items=dict(op.items or {})))
+                return StorageOpResult()
+            if op.op == "multi_delete":
+                await self._call(StorageRequest(op="multi_delete", keys=list(op.keys)))
+                return StorageOpResult()
+            if op.op == "list":
+                reply = await self._call(StorageRequest(op="list_keys", prefix=op.prefix))
+                return StorageOpResult(keys=list(reply.keys))
+            raise StorageError(f"unknown storage op {op.op!r}")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            return StorageOpResult(error=exc)
 
     def _bridge(self, coro):
         """Run an async op from sync code (must be off the event loop)."""
@@ -73,27 +200,79 @@ class RemoteStorage(StorageEngine):
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
     # ------------------------------------------------------------------ #
+    # Accounting (stats + metered latency), one call per completed op
+    # ------------------------------------------------------------------ #
+    def _account_op(self, op: StorageOp, result: StorageOpResult) -> None:
+        if op.op == "get":
+            data = (result.values or {}).get(op.keys[0])
+            with self._lock:
+                self.stats.reads += 1
+                if data is not None:
+                    self.stats.items_read += 1
+                    self.stats.bytes_read += len(data)
+            self._charge("read", total_bytes=len(data) if data else 0)
+        elif op.op == "multi_get":
+            values = result.values or {}
+            total = sum(len(v) for v in values.values() if v is not None)
+            with self._lock:
+                self.stats.batch_reads += 1
+                self.stats.items_read += sum(1 for v in values.values() if v is not None)
+                self.stats.bytes_read += total
+            self._charge("batch_read", n_items=max(1, len(op.keys)), total_bytes=total)
+        elif op.op == "put":
+            total = sum(len(v) for v in (op.items or {}).values())
+            with self._lock:
+                self.stats.writes += 1
+                self.stats.items_written += 1
+                self.stats.bytes_written += total
+            self._charge("write", total_bytes=total)
+        elif op.op == "multi_put":
+            items = op.items or {}
+            total = sum(len(v) for v in items.values())
+            with self._lock:
+                self.stats.batch_writes += 1
+                self.stats.items_written += len(items)
+                self.stats.bytes_written += total
+            self._charge("batch_write", n_items=max(1, len(items)), total_bytes=total)
+        elif op.op == "multi_delete":
+            with self._lock:
+                self.stats.deletes += 1
+                self.stats.items_deleted += len(op.keys)
+            self._charge("batch_write", n_items=max(1, len(op.keys)))
+        elif op.op == "list":
+            with self._lock:
+                self.stats.lists += 1
+            self._charge("list", n_items=max(1, len(result.keys or [])))
+
+    # ------------------------------------------------------------------ #
+    # Storage-op groups: one wire frame per plan stage (plus stowaways)
+    # ------------------------------------------------------------------ #
+    async def execute_group_async(self, ops: list[StorageOp]) -> list[StorageOpResult]:
+        if not self.supports_storage_batches:
+            return await super().execute_group_async(ops)
+        results = list(await asyncio.gather(*self._coalescer.submit_many(ops)))
+        for op, result in zip(ops, results):
+            if result.error is None:
+                self._account_op(op, result)
+        return results
+
+    # ------------------------------------------------------------------ #
     # Native-async operations
     # ------------------------------------------------------------------ #
     async def get_async(self, key: str) -> bytes | None:
-        reply = await self._call(StorageRequest(op="get", keys=[key]))
-        value = reply.values.get(key)
-        data = b64decode(value) if value is not None else None
-        with self._lock:
-            self.stats.reads += 1
-            if data is not None:
-                self.stats.items_read += 1
-                self.stats.bytes_read += len(data)
-        self._charge("read", total_bytes=len(data) if data else 0)
-        return data
+        op = StorageOp(op="get", keys=(key,))
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
+        return (result.values or {}).get(key)
 
     async def put_async(self, key: str, value: bytes) -> None:
-        await self._call(StorageRequest(op="put", items={key: b64encode(value)}))
-        with self._lock:
-            self.stats.writes += 1
-            self.stats.items_written += 1
-            self.stats.bytes_written += len(value)
-        self._charge("write", total_bytes=len(value))
+        op = StorageOp(op="put", keys=(key,), items={key: value})
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
 
     async def delete_async(self, key: str) -> None:
         await self._call(StorageRequest(op="delete", keys=[key]))
@@ -106,43 +285,40 @@ class RemoteStorage(StorageEngine):
         keys = list(keys)
         if not keys:
             return {}
-        reply = await self._call(StorageRequest(op="multi_get", keys=keys))
-        values = decode_values(reply.values)
-        total = sum(len(v) for v in values.values() if v is not None)
-        with self._lock:
-            self.stats.batch_reads += 1
-            self.stats.items_read += sum(1 for v in values.values() if v is not None)
-            self.stats.bytes_read += total
-        self._charge("batch_read", n_items=max(1, len(keys)), total_bytes=total)
+        op = StorageOp(op="multi_get", keys=tuple(keys))
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
+        values = result.values or {}
         return {key: values.get(key) for key in keys}
 
     async def multi_put_async(self, items: Mapping[str, bytes]) -> None:
         if not items:
             return
-        total = sum(len(v) for v in items.values())
-        await self._call(StorageRequest(op="multi_put", items=encode_values(items)))
-        with self._lock:
-            self.stats.batch_writes += 1
-            self.stats.items_written += len(items)
-            self.stats.bytes_written += total
-        self._charge("batch_write", n_items=max(1, len(items)), total_bytes=total)
+        op = StorageOp(op="multi_put", keys=tuple(items), items=dict(items))
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
 
     async def multi_delete_async(self, keys: Iterable[str]) -> None:
         keys = list(keys)
         if not keys:
             return
-        await self._call(StorageRequest(op="multi_delete", keys=keys))
-        with self._lock:
-            self.stats.deletes += 1
-            self.stats.items_deleted += len(keys)
-        self._charge("batch_write", n_items=max(1, len(keys)))
+        op = StorageOp(op="multi_delete", keys=tuple(keys))
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
 
     async def list_keys_async(self, prefix: str = "") -> list[str]:
-        reply = await self._call(StorageRequest(op="list_keys", prefix=prefix))
-        with self._lock:
-            self.stats.lists += 1
-        self._charge("list", n_items=max(1, len(reply.keys)))
-        return list(reply.keys)
+        op = StorageOp(op="list", prefix=prefix)
+        result = await self._submit(op)
+        if result.error is not None:
+            raise result.error
+        self._account_op(op, result)
+        return list(result.keys or [])
 
     # ------------------------------------------------------------------ #
     # Sync facade (worker threads only)

@@ -281,6 +281,12 @@ class DeploymentSpec:
     #: threaded through so a spec describes a real deployment faithfully.
     #: ``None`` keeps the AftConfig default.
     io_concurrency: int | None = None
+    #: Per-op storage round-trip timeout for distributed deployments
+    #: (:attr:`~repro.config.AftConfig.storage_request_timeout`).  Simulated
+    #: engines never time out — the knob is threaded through so a spec
+    #: describes a real router-fronted deployment faithfully.  ``None``
+    #: keeps the AftConfig default.
+    storage_request_timeout: float | None = None
     #: Declare that the described deployment drives nodes through the async
     #: entry points (``*_async``).  The simulator itself stays synchronous —
     #: virtual time needs no wall-clock overlap — but the knob is recorded on
@@ -464,6 +470,11 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                 spec.io_concurrency if spec.io_concurrency is not None else AftConfig.io_concurrency
             ),
             async_runtime=spec.async_runtime,
+            storage_request_timeout=(
+                spec.storage_request_timeout
+                if spec.storage_request_timeout is not None
+                else AftConfig.storage_request_timeout
+            ),
         )
     # The coalescing window runs in *simulated* time through the per-node
     # SimGroupCommitGate; the node-level committer's own (wall-clock) window

@@ -171,6 +171,40 @@ class StorageStats:
         return data
 
 
+@dataclass(frozen=True)
+class StorageOp:
+    """One storage operation in engine-neutral descriptor form.
+
+    The unit of :meth:`StorageEngine.execute_group_async`: a request group
+    (one batched or point request) described as data rather than as a bound
+    thunk, so engines that talk to a *remote* storage service can ship a
+    whole group of ops over the wire in one frame instead of one round trip
+    per op.  ``op`` is one of ``get`` / ``multi_get`` / ``put`` /
+    ``multi_put`` / ``multi_delete`` / ``list``; ``items`` carries the
+    values for writes (keyed exactly by ``keys``); ``prefix`` is only
+    meaningful for ``list``.
+    """
+
+    op: str
+    keys: tuple[str, ...] = ()
+    items: Mapping[str, bytes] | None = None
+    prefix: str = ""
+
+
+@dataclass
+class StorageOpResult:
+    """Outcome of one :class:`StorageOp` — values, a listing, or an error.
+
+    Per-op errors travel as data so one failed op in a batch fails only its
+    own waiter (e.g. a fenced commit-record write) instead of the whole
+    group.
+    """
+
+    values: dict[str, bytes | None] | None = None
+    keys: list[str] | None = None
+    error: Exception | None = None
+
+
 class StorageEngine(ABC):
     """Abstract durable key-value store.
 
@@ -203,6 +237,12 @@ class StorageEngine(ABC):
     #: lifts the >16-client swarm plateau.  Only meaningful together with
     #: ``wall_clock_io``; metered engines stay sequential either way.
     supports_native_async: bool = False
+    #: Whether the engine executes a whole request *group* as one unit when
+    #: handed a list of :class:`StorageOp` descriptors.  Remote engines remap
+    #: the group onto a single ``storage_batch`` wire frame; for everything
+    #: else the default :meth:`execute_group_async` is just a bounded gather
+    #: over the ``*_async`` twins and this flag stays False.
+    supports_storage_batches: bool = False
     #: Per-engine bound on concurrently issued request groups within one plan
     #: stage.  ``None`` falls back to the shared runtime default; nodes set it
     #: from :attr:`repro.config.AftConfig.io_concurrency`.
@@ -319,6 +359,97 @@ class StorageEngine(ABC):
         self.multi_delete(keys)
 
     # ------------------------------------------------------------------ #
+    # Storage-op groups (descriptor form of a plan stage)
+    # ------------------------------------------------------------------ #
+    async def execute_group_async(self, ops: list[StorageOp]) -> list[StorageOpResult]:
+        """Execute a group of ops, returning one result per op, in order.
+
+        Exceptions are captured per op (never raised) so callers can fail
+        exactly the waiter whose op failed.  The default implementation is a
+        semaphore-bounded gather over the ``*_async`` twins; engines with
+        ``supports_storage_batches`` override it to execute the whole group
+        as a single request.
+        """
+        if len(ops) == 1:
+            return [await self._apply_op_async(ops[0])]
+        limit = asyncio.Semaphore(self.effective_io_concurrency)
+
+        async def run_one(op: StorageOp) -> StorageOpResult:
+            async with limit:
+                return await self._apply_op_async(op)
+
+        return list(await asyncio.gather(*(run_one(op) for op in ops)))
+
+    async def _apply_op_async(self, op: StorageOp) -> StorageOpResult:
+        """Apply one descriptor via the ``*_async`` twins, capturing errors."""
+        try:
+            if op.op == "get":
+                key = op.keys[0]
+                return StorageOpResult(values={key: await self.get_async(key)})
+            if op.op == "multi_get":
+                return StorageOpResult(values=dict(await self.multi_get_async(list(op.keys))))
+            if op.op == "put":
+                key = op.keys[0]
+                await self.put_async(key, (op.items or {})[key])
+                return StorageOpResult()
+            if op.op == "multi_put":
+                await self.multi_put_async(op.items or {})
+                return StorageOpResult()
+            if op.op == "multi_delete":
+                await self.multi_delete_async(list(op.keys))
+                return StorageOpResult()
+            if op.op == "list":
+                lister = getattr(self, "list_keys_async", None)
+                if lister is not None:
+                    return StorageOpResult(keys=list(await lister(op.prefix)))
+                return StorageOpResult(keys=self.list_keys(op.prefix))
+            raise ValueError(f"unknown storage op {op.op!r}")
+        except Exception as exc:
+            return StorageOpResult(error=exc)
+
+    def _stage_ops(self, stage: "IOStage") -> list[StorageOp]:
+        """Descriptor form of :meth:`_stage_groups`: one ``StorageOp`` per group."""
+        ops: list[StorageOp] = []
+        for group in self._plan_put_groups(stage.puts):
+            keys = tuple(group)
+            ops.append(
+                StorageOp(op="multi_put" if len(keys) > 1 else "put", keys=keys, items=dict(group))
+            )
+        for key_group in self._plan_get_groups(stage.gets):
+            ops.append(
+                StorageOp(
+                    op="multi_get" if len(key_group) > 1 else "get", keys=tuple(key_group)
+                )
+            )
+        if stage.deletes:
+            ops.append(StorageOp(op="multi_delete", keys=tuple(stage.deletes)))
+        return ops
+
+    async def _execute_stage_batched(
+        self, stage: "IOStage", stage_id: int
+    ) -> list[tuple[dict[str, bytes | None] | None, CostLedger]]:
+        """Run one plan stage through :meth:`execute_group_async`.
+
+        The whole stage travels as one op group (for a remote engine: one
+        wire frame), so the stage barrier is still a barrier — the next
+        stage's ops are only built after every result of this one returned.
+        """
+        ledger = CostLedger()
+        ledger._current_stage = stage_id
+        ops = self._stage_ops(stage)
+        if not ops:
+            return []
+        with self.metered(ledger):
+            results = await self.execute_group_async(ops)
+        values: dict[str, bytes | None] = {}
+        for op_result in results:
+            if op_result.error is not None:
+                raise op_result.error
+            if op_result.values:
+                values.update(op_result.values)
+        return [(values or None, ledger)]
+
+    # ------------------------------------------------------------------ #
     # IO-plan execution (the batched parallel-IO pipeline)
     # ------------------------------------------------------------------ #
     @property
@@ -408,6 +539,10 @@ class StorageEngine(ABC):
         try:
             for stage in plan.stages:
                 stage_id = next(_stage_ids)
+                if self.supports_storage_batches:
+                    outcomes = await self._execute_stage_batched(stage, stage_id)
+                    self._collect_stage(outcomes, inner, result)
+                    continue
                 if self.wall_clock_io and self.supports_native_async:
                     outcomes = await self._gather_groups_native(
                         self._stage_groups_async(stage), stage_id

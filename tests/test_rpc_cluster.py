@@ -11,7 +11,10 @@ acceptance bar from the paper's perspective:
   checker (zero RYW / fractured-read anomalies — Table 2 methodology);
 * the nemesis scenario: a node whose heartbeats are paused is declared
   failed, a standby is promoted, and the old node's late commit-record
-  write is rejected by its stale epoch token.
+  write is rejected by its stale epoch token;
+* both negotiated wire formats (JSON and binary) carry all of the above,
+  and mixed-version pairings (a binary-capable node against a JSON-only
+  router, and vice versa) fall back cleanly.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.consistency.metadata import TaggedValue
 from repro.errors import FencedNodeError, UnknownTransactionError
 from repro.ids import TransactionId
 from repro.rpc.client import AsyncRouterClient
+from repro.rpc.framing import FORMAT_BINARY, FORMAT_JSON, SUPPORTED_WIRE_FORMATS
 from repro.rpc.node_server import NodeServer
 from repro.rpc.router import RouterServer
 
@@ -39,12 +43,20 @@ class SocketCluster:
         standbys: int = 0,
         lease_duration: float = 0.6,
         heartbeat_interval: float = 0.1,
+        router_wire_formats: tuple[str, ...] = (FORMAT_JSON, FORMAT_BINARY),
+        node_wire_formats: tuple[str, ...] = SUPPORTED_WIRE_FORMATS,
+        enable_storage_batches: bool = True,
     ) -> None:
         self.router = RouterServer(
-            port=0, lease_duration=lease_duration, heartbeat_interval=heartbeat_interval
+            port=0,
+            lease_duration=lease_duration,
+            heartbeat_interval=heartbeat_interval,
+            wire_formats=router_wire_formats,
+            enable_storage_batches=enable_storage_batches,
         )
         self.n_nodes = n_nodes
         self.n_standbys = standbys
+        self.node_wire_formats = node_wire_formats
         self.nodes: list[NodeServer] = []
         self.standbys: list[NodeServer] = []
         self.client: AsyncRouterClient | None = None
@@ -52,11 +64,18 @@ class SocketCluster:
     async def __aenter__(self) -> "SocketCluster":
         await self.router.start()
         for i in range(self.n_nodes):
-            node = NodeServer(f"n{i}", router_port=self.router.port)
+            node = NodeServer(
+                f"n{i}", router_port=self.router.port, wire_formats=self.node_wire_formats
+            )
             await node.start()
             self.nodes.append(node)
         for i in range(self.n_standbys):
-            standby = NodeServer(f"s{i}", router_port=self.router.port, kind="standby")
+            standby = NodeServer(
+                f"s{i}",
+                router_port=self.router.port,
+                kind="standby",
+                wire_formats=self.node_wire_formats,
+            )
             await standby.start()
             self.standbys.append(standby)
         self.client = await AsyncRouterClient.connect("127.0.0.1", self.router.port)
@@ -71,10 +90,26 @@ class SocketCluster:
         await self.router.stop()
 
 
+#: Wire pairings every end-to-end scenario must survive: the negotiated
+#: binary fast path, a forced-JSON cluster (both sides old), and the two
+#: mixed-version pairings (one side old, negotiation falls back to JSON).
+WIRE_MATRIX = {
+    "binary": dict(),
+    "json": dict(
+        router_wire_formats=(FORMAT_JSON,),
+        node_wire_formats=(FORMAT_JSON,),
+        enable_storage_batches=False,
+    ),
+    "new-node-old-router": dict(router_wire_formats=(FORMAT_JSON,), enable_storage_batches=False),
+    "old-node-new-router": dict(node_wire_formats=(FORMAT_JSON,)),
+}
+
+
 class TestCommitsThroughRouter:
-    def test_commit_and_cross_node_read(self):
+    @pytest.mark.parametrize("wire", list(WIRE_MATRIX), ids=str)
+    def test_commit_and_cross_node_read(self, wire):
         async def scenario():
-            async with SocketCluster(n_nodes=3) as cluster:
+            async with SocketCluster(n_nodes=3, **WIRE_MATRIX[wire]) as cluster:
                 client = cluster.client
                 # Several transactions: round-robin spreads them over nodes.
                 for i in range(6):
@@ -238,5 +273,88 @@ class TestNemesisFencing:
                 second = (await cluster.client.info()).epoch
                 # Revocation + standby grant: at least two bumps.
                 assert second >= first + 2
+
+        asyncio.run(scenario())
+
+
+class TestWireNegotiation:
+    def test_binary_and_batching_negotiated_by_default(self):
+        async def scenario():
+            async with SocketCluster(n_nodes=2) as cluster:
+                client = cluster.client
+                for i in range(4):
+                    tx = await client.start_transaction()
+                    await client.put(tx, f"neg:{i}", b"x" * 64)
+                    await client.commit_transaction(tx)
+                for node in cluster.nodes:
+                    assert node.conn.wire_format == FORMAT_BINARY
+                    assert node.storage.supports_storage_batches
+                info = await client.info()
+                # Router-side counters prove ops actually crossed batched.
+                assert set(info.wire) == {"n0", "n1"}
+                for counters in info.wire.values():
+                    assert counters["format"] == FORMAT_BINARY
+                    assert counters["frames_in"] > 0 and counters["frames_out"] > 0
+                    assert counters["bytes_in"] > 0 and counters["bytes_out"] > 0
+                assert sum(c["batched_ops_in"] for c in info.wire.values()) > 0
+
+        asyncio.run(scenario())
+
+    def test_binary_capable_node_falls_back_against_json_only_router(self):
+        """The mixed-version pairing: new node, old (PR 7-era) router."""
+
+        async def scenario():
+            async with SocketCluster(
+                n_nodes=2,
+                router_wire_formats=(FORMAT_JSON,),
+                enable_storage_batches=False,
+            ) as cluster:
+                client = cluster.client
+                tx = await client.start_transaction()
+                await client.put(tx, "fallback", b"still works")
+                await client.commit_transaction(tx)
+                tx = await client.start_transaction()
+                assert await client.get(tx, "fallback") == b"still works"
+                await client.commit_transaction(tx)
+                for node in cluster.nodes:
+                    assert node.conn.wire_format == FORMAT_JSON
+                    assert not node.storage.supports_storage_batches
+                info = await client.info()
+                assert all(c["format"] == FORMAT_JSON for c in info.wire.values())
+                assert all(c["batched_ops_in"] == 0 for c in info.wire.values())
+
+        asyncio.run(scenario())
+
+    def test_json_only_node_against_binary_router(self):
+        """The other mixed-version pairing: old node, new router."""
+
+        async def scenario():
+            async with SocketCluster(
+                n_nodes=2, node_wire_formats=(FORMAT_JSON,)
+            ) as cluster:
+                client = cluster.client
+                tx = await client.start_transaction()
+                await client.put(tx, "old-node", b"ok")
+                await client.commit_transaction(tx)
+                for node in cluster.nodes:
+                    assert node.conn.wire_format == FORMAT_JSON
+
+        asyncio.run(scenario())
+
+    def test_batching_disabled_still_serves(self):
+        async def scenario():
+            async with SocketCluster(n_nodes=2, enable_storage_batches=False) as cluster:
+                client = cluster.client
+                tx = await client.start_transaction()
+                await client.put_many(tx, {"a": b"1", "b": b"2"})
+                await client.commit_transaction(tx)
+                tx = await client.start_transaction()
+                values = await client.get_many(tx, ["a", "b"])
+                assert values == {"a": b"1", "b": b"2"}
+                await client.commit_transaction(tx)
+                # Binary wire still negotiated; only the batch feature is off.
+                for node in cluster.nodes:
+                    assert node.conn.wire_format == FORMAT_BINARY
+                    assert not node.storage.supports_storage_batches
 
         asyncio.run(scenario())

@@ -1,0 +1,256 @@
+"""Frame codec tests: the JSON and binary wires are interchangeable.
+
+The contract the distributed runtime's negotiation rests on:
+
+* **Codec oracle** — for *every* registered message type, arbitrary
+  instances decode identically through the JSON frame codec and the hybrid
+  binary frame codec (hypothesis-driven, bulk bytes included);
+* frames are **sniffed** per frame, so one connection can carry both
+  formats (that is what makes the fallback safe mid-conversation);
+* ``MAX_FRAME_BYTES`` is enforced on the **send** side with a clear local
+  exception, not just by the peer;
+* ``storage_batch`` op groups round-trip with per-op payloads and per-op
+  errors intact;
+* the send queue coalesces frames queued during an in-flight ``drain``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.rpc import framing, messages as m
+from repro.rpc.framing import (
+    FORMAT_BINARY,
+    FORMAT_JSON,
+    FrameTooLargeError,
+    RpcConnection,
+    decode_frame,
+    frame_bytes,
+)
+from repro.storage.base import StorageOp, StorageOpResult
+
+# --------------------------------------------------------------------- #
+# The JSON <-> binary codec oracle
+# --------------------------------------------------------------------- #
+_KEYS = st.text(max_size=12)
+_BLOB = st.binary(max_size=128)
+
+
+@st.composite
+def _message(draw, cls):
+    """An arbitrary instance of one wire-message dataclass.
+
+    Field strategies are inferred from each field's default value — the
+    schema rule that every field defaults (tested in test_rpc_messages)
+    makes this total.
+    """
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        default = f.default if f.default is not dataclasses.MISSING else f.default_factory()
+        if f.name in cls.BYTES_MAP_FIELDS:
+            kwargs[f.name] = draw(
+                st.dictionaries(_KEYS, st.one_of(st.none(), _BLOB), max_size=4)
+            )
+        elif f.name in cls.BYTES_LIST_FIELDS:
+            kwargs[f.name] = draw(st.lists(_BLOB, max_size=4))
+        elif isinstance(default, bool):
+            kwargs[f.name] = draw(st.booleans())
+        elif isinstance(default, int):
+            kwargs[f.name] = draw(st.integers(min_value=0, max_value=2**31))
+        elif isinstance(default, float):
+            kwargs[f.name] = draw(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+            )
+        elif isinstance(default, str):
+            kwargs[f.name] = draw(st.text(max_size=16))
+        elif isinstance(default, list):
+            kwargs[f.name] = draw(st.lists(st.text(max_size=8), max_size=4))
+        elif isinstance(default, dict):
+            kwargs[f.name] = draw(
+                st.dictionaries(_KEYS, st.integers(min_value=0, max_value=999), max_size=3)
+            )
+        else:  # pragma: no cover - new field kinds must be added here
+            raise AssertionError(f"no strategy for {cls.TYPE}.{f.name} (default {default!r})")
+    return cls(**kwargs)
+
+
+def _round_trip(message: m.WireMessage, wire_format: str) -> m.WireMessage:
+    """Encode through one full frame codec (length prefix included) and back."""
+    msg_type, version, body = m.encode_body(message)
+    data = frame_bytes({"id": 1, "type": msg_type, "v": version, "body": body}, wire_format)
+    envelope = decode_frame(data[4:])
+    return m.decode_body(envelope["type"], envelope["v"], envelope["body"])
+
+
+@pytest.mark.parametrize("cls", sorted(m.MESSAGE_TYPES.values(), key=lambda c: c.TYPE), ids=lambda c: c.TYPE)
+class TestCodecOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_json_and_binary_decode_identically(self, cls, data):
+        message = data.draw(_message(cls))
+        via_json = _round_trip(message, FORMAT_JSON)
+        via_binary = _round_trip(message, FORMAT_BINARY)
+        assert via_json == message
+        assert via_binary == message
+        assert via_json == via_binary
+
+
+class TestFrameSniffing:
+    def test_formats_are_distinguished_per_frame(self):
+        message = m.StorageRequest(op="multi_put", items={"k": b"\x00\x01raw", "gone": None})
+        msg_type, version, body = m.encode_body(message)
+        envelope = {"id": 3, "type": msg_type, "v": version, "body": body}
+        json_frame = frame_bytes(envelope, FORMAT_JSON)
+        binary_frame = frame_bytes(envelope, FORMAT_BINARY)
+        assert json_frame[4:5] == b"{"
+        assert binary_frame[4:5] == b"\x01"
+        for frame in (json_frame, binary_frame):
+            decoded = decode_frame(frame[4:])
+            assert decoded["id"] == 3
+            assert decoded["body"]["items"] == {"k": b"\x00\x01raw", "gone": None}
+
+    def test_binary_payload_is_raw_not_base64(self):
+        blob = bytes(range(256)) * 8
+        message = m.StorageResponse(values={"key": blob})
+        msg_type, version, body = m.encode_body(message)
+        frame = frame_bytes({"re": 1, "type": msg_type, "v": version, "body": body}, FORMAT_BINARY)
+        assert blob in frame  # verbatim bytes, no inflation
+        json_frame = frame_bytes(
+            {"re": 1, "type": msg_type, "v": version, "body": body}, FORMAT_JSON
+        )
+        assert blob not in json_frame
+        assert len(frame) < len(json_frame)
+
+    def test_error_reply_envelope_has_no_body(self):
+        envelope = {"re": 9, "error": m.error_to_wire(errors.FencedNodeError("stale epoch"))}
+        for wire_format in (FORMAT_JSON, FORMAT_BINARY):
+            decoded = decode_frame(frame_bytes(envelope, wire_format)[4:])
+            assert decoded["re"] == 9
+            assert decoded["error"]["kind"] == "fenced"
+
+
+class TestSendSideLimit:
+    def test_oversized_outgoing_frame_is_rejected_locally(self, monkeypatch):
+        monkeypatch.setattr(framing, "MAX_FRAME_BYTES", 512)
+        message = m.StorageRequest(op="put", items={"k": b"x" * 4096})
+        msg_type, version, body = m.encode_body(message)
+        envelope = {"id": 1, "type": msg_type, "v": version, "body": body}
+        for wire_format in (FORMAT_JSON, FORMAT_BINARY):
+            with pytest.raises(FrameTooLargeError, match="exceeds the 512-byte limit"):
+                frame_bytes(envelope, wire_format)
+
+    def test_frames_under_the_limit_pass(self):
+        message = m.Heartbeat(node_id="n0")
+        msg_type, version, body = m.encode_body(message)
+        assert frame_bytes({"type": msg_type, "v": version, "body": body}, FORMAT_BINARY)
+
+
+class TestStorageOpBatchCodec:
+    def test_ops_round_trip_with_payloads(self):
+        ops = [
+            StorageOp(op="multi_put", keys=("a", "b"), items={"a": b"1", "b": b"22"}),
+            StorageOp(op="get", keys=("c",)),
+            StorageOp(op="multi_delete", keys=("d", "e")),
+            StorageOp(op="list", prefix="aft.commit"),
+        ]
+        back = m.decode_storage_ops(m.encode_storage_ops(ops))
+        assert back == ops
+
+    def test_results_round_trip_with_per_op_errors(self):
+        results = [
+            StorageOpResult(values={"a": b"1", "missing": None}),
+            StorageOpResult(error=errors.FencedNodeError("stale epoch 3")),
+            StorageOpResult(keys=["k1", "k2"]),
+            StorageOpResult(),
+        ]
+        back = m.decode_storage_results(m.encode_storage_results(results))
+        assert back[0].values == {"a": b"1", "missing": None}
+        assert isinstance(back[1].error, errors.FencedNodeError)
+        assert "stale epoch 3" in str(back[1].error)
+        assert back[2].keys == ["k1", "k2"]
+        assert back[3].values is None and back[3].error is None
+
+    def test_batch_frames_survive_both_wires(self):
+        ops = [StorageOp(op="put", keys=("k",), items={"k": b"\xff" * 32})]
+        batch = m.encode_storage_ops(ops)
+        msg_type, version, body = m.encode_body(batch)
+        for wire_format in (FORMAT_JSON, FORMAT_BINARY):
+            frame = frame_bytes({"id": 1, "type": msg_type, "v": version, "body": body}, wire_format)
+            envelope = decode_frame(frame[4:])
+            decoded = m.decode_body(envelope["type"], envelope["v"], envelope["body"])
+            assert m.decode_storage_ops(decoded) == ops
+
+
+class _FakeWriter:
+    """StreamWriter stand-in: records writes, drains slowly."""
+
+    def __init__(self) -> None:
+        self.writes: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.writes.append(data)
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0.001)
+
+    def get_extra_info(self, name):
+        return None
+
+    def close(self) -> None:
+        pass
+
+    async def wait_closed(self) -> None:
+        pass
+
+
+class TestWriterCoalescing:
+    def test_frames_queued_during_drain_share_one_write(self):
+        async def scenario():
+            writer = _FakeWriter()
+            conn = RpcConnection(asyncio.StreamReader(), writer)
+            await asyncio.gather(
+                *(conn.notify(m.Heartbeat(node_id=f"n{i}")) for i in range(10))
+            )
+            return writer, conn
+
+        writer, conn = asyncio.run(scenario())
+        assert conn.stats.frames_sent == 10
+        # The first frame flushes alone; everything queued during its drain
+        # goes out in (at most a couple of) combined writes.
+        assert conn.stats.drains < 10
+        assert len(writer.writes) == conn.stats.drains
+        assert sum(len(chunk) for chunk in writer.writes) == conn.stats.bytes_sent
+
+    def test_counters_track_both_directions(self):
+        async def scenario():
+            server_conns = []
+
+            async def handler(conn, msg):
+                return m.Ok()
+
+            async def accept(reader, writer):
+                conn = RpcConnection(reader, writer, handler=handler, name="server")
+                conn.start()
+                server_conns.append(conn)
+
+            server = await asyncio.start_server(accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            conn = await framing.connect("127.0.0.1", port, name="client")
+            conn.wire_format = FORMAT_BINARY
+            for _ in range(3):
+                await conn.request(m.Info(), timeout=5.0)
+            stats = conn.stats
+            await conn.close()
+            server.close()
+            await server.wait_closed()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats.frames_sent == 3 and stats.frames_received == 3
+        assert stats.bytes_sent > 0 and stats.bytes_received > 0

@@ -26,21 +26,36 @@ from repro.ids import TransactionId
 from repro.rpc import messages as m
 
 SAMPLES = [
-    m.Hello(node_id="n0", kind="standby"),
-    m.HelloAck(node_id="n0", epoch=7, lease_duration=2.5, heartbeat_interval=0.5),
+    m.Hello(node_id="n0", kind="standby", wire_formats=["json", "binary"]),
+    m.HelloAck(
+        node_id="n0",
+        epoch=7,
+        lease_duration=2.5,
+        heartbeat_interval=0.5,
+        wire_format="binary",
+        features=["storage_batch"],
+    ),
     m.Heartbeat(node_id="n0"),
     m.Activate(node_id="s0", epoch=9),
     m.Ok(),
-    m.PublishCommits(node_id="n1", records=["YWJj"]),
-    m.DeliverCommits(records=["YWJj", "ZGVm"]),
-    m.StorageRequest(op="multi_put", items={"k": "dg=="}),
+    m.PublishCommits(node_id="n1", records=[b"abc"]),
+    m.DeliverCommits(records=[b"abc", b"def"]),
+    m.StorageRequest(op="multi_put", items={"k": b"v"}),
     m.StorageRequest(op="multi_get", keys=["a", "b"]),
-    m.StorageResponse(values={"a": "dg==", "b": None}, keys=["a"]),
+    m.StorageResponse(values={"a": b"v", "b": None}, keys=["a"]),
+    m.StorageBatch(
+        ops=[{"op": "put", "keys": ["k"], "v": [0]}, {"op": "get", "keys": ["a"]}],
+        blobs=[b"v"],
+    ),
+    m.StorageBatchResult(
+        results=[{}, {"keys": ["a"], "v": [0]}],
+        blobs=[b"payload"],
+    ),
     m.ClientStart(txid="t1"),
     m.ClientStarted(txid="t1", node_id="n2"),
     m.ClientGet(txid="t1", keys=["x"]),
     m.ClientValues(values={"x": None}),
-    m.ClientPut(txid="t1", items={"x": "dg=="}),
+    m.ClientPut(txid="t1", items={"x": b"v"}),
     m.ClientCommit(txid="t1"),
     m.ClientCommitted(txid="t1", commit_token="1.5|abc"),
     m.ClientAbort(txid="t1"),
@@ -50,7 +65,7 @@ SAMPLES = [
     m.TxnCommit(txid="t1"),
     m.TxnAbort(txid="t1"),
     m.Info(),
-    m.InfoReply(nodes=["n0"], standbys=["s0"], epoch=3, commits=12),
+    m.InfoReply(nodes=["n0"], standbys=["s0"], epoch=3, commits=12, wire={"n0": {"frames_out": 4}}),
     m.Nemesis(node_id="n0", pause_heartbeats=True),
 ]
 
@@ -59,15 +74,16 @@ class TestRoundTrip:
     @pytest.mark.parametrize("message", SAMPLES, ids=lambda s: s.TYPE)
     def test_json_round_trip(self, message):
         msg_type, version, body = m.encode_body(message)
-        wire = json.loads(json.dumps(body))  # through real JSON
-        decoded = m.decode_body(msg_type, version, wire)
+        # Bulk bytes become base64 on the JSON wire and back.
+        wire = json.loads(json.dumps(m.body_to_jsonable(msg_type, body)))
+        decoded = m.decode_body(msg_type, version, m.body_from_jsonable(msg_type, wire))
         assert type(decoded) is type(message)
         assert decoded == message
 
     def test_every_type_is_registered_and_unique(self):
         assert {s.TYPE for s in SAMPLES} == set(m.MESSAGE_TYPES)
 
-    def test_records_round_trip_as_base64(self):
+    def test_records_round_trip_as_bytes(self):
         record = CommitRecord(
             txid=TransactionId(timestamp=4.5, uuid="u1"),
             write_set={"k": "aft.data/k/t"},
