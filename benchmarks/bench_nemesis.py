@@ -1,0 +1,123 @@
+"""Benchmark — adversarial certification: seeded fault schedules vs. AFT.
+
+The nemesis counterpart of Table 2: instead of counting anomalies under a
+benign workload, this drives seeded fault schedules (crashes, stalled
+heartbeats, broadcast partitions, torn writes, relay deaths) against the
+in-process cluster — plus a real socket-cluster schedule — and reports
+
+* **schedules survived** — every schedule must pass both the pairwise
+  checker and the Elle-style cycle search with zero violations,
+* **anomalies** — total confirmed violations across all runs (hard
+  ceiling 0: AFT's read atomicity must hold under faults),
+* **recovery p99** — schedule-time units from a disruption to the next
+  successful commit, the nemesis view of Figure 10's recovery story.
+
+Results land in ``benchmarks/results/BENCH_nemesis.json`` and are gated by
+``scripts/check_bench_trend.py``; CI runs this under ``BENCH_FAST=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_utils import emit, emit_json, run_once
+
+from repro.harness.report import format_rows
+from repro.nemesis import InprocTarget, SocketTarget, generate_schedule, run_schedule
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+INPROC_SCHEDULES = 8 if FAST_MODE else 24
+SOCKET_SCHEDULES = 1 if FAST_MODE else 4
+DURATION = 20.0
+
+
+def _sweep(make_target, kinds, n_schedules: int, seed_base: int = 0) -> dict:
+    survived = 0
+    anomalies = 0
+    null_reads = 0
+    divergent = 0
+    committed = 0
+    failed_txns = 0
+    recovery: list[float] = []
+    failing_seeds: list[int] = []
+    for seed in range(seed_base, seed_base + n_schedules):
+        schedule = generate_schedule(seed, kinds=kinds, duration=DURATION)
+        result = run_schedule(make_target(), schedule)
+        committed += result.committed
+        failed_txns += result.failed
+        recovery.extend(result.recovery_samples)
+        anomalies += (
+            result.anomalies.get("ryw_anomalies", 0)
+            + result.anomalies.get("fractured_read_anomalies", 0)
+            + result.cycles.get("violations", 0)
+        )
+        null_reads += result.unexpected_null_reads
+        divergent += len(result.convergence_violations)
+        if result.ok:
+            survived += 1
+        else:
+            failing_seeds.append(seed)
+    recovery.sort()
+    p99 = recovery[min(len(recovery) - 1, int(0.99 * len(recovery)))] if recovery else 0.0
+    return {
+        "schedules": n_schedules,
+        "survived": survived,
+        "survived_fraction": survived / n_schedules,
+        "anomalies": anomalies,
+        "unexpected_null_reads": null_reads,
+        "divergent_replicas": divergent,
+        "committed_txns": committed,
+        "failed_txns": failed_txns,
+        "recovery_samples": len(recovery),
+        "recovery_p99": p99,
+        "failing_seeds": failing_seeds,
+    }
+
+
+def run_nemesis_bench() -> dict:
+    inproc = _sweep(InprocTarget, InprocTarget.supported_kinds, INPROC_SCHEDULES)
+    sockets = _sweep(SocketTarget, SocketTarget.supported_kinds, SOCKET_SCHEDULES, seed_base=100)
+    summary = {
+        "workload": {
+            "fast_mode": FAST_MODE,
+            "duration": DURATION,
+            "inproc_schedules": INPROC_SCHEDULES,
+            "socket_schedules": SOCKET_SCHEDULES,
+        },
+        "inproc": inproc,
+        "sockets": sockets,
+    }
+
+    rows = [
+        {
+            "runtime": name,
+            "survived": f"{runtime['survived']}/{runtime['schedules']}",
+            "anomalies": runtime["anomalies"],
+            "divergent": runtime["divergent_replicas"],
+            "committed": runtime["committed_txns"],
+            "recovery p99 (units)": f"{runtime['recovery_p99']:.2f}",
+        }
+        for name, runtime in (("inproc", inproc), ("sockets", sockets))
+    ]
+    emit(
+        "BENCH_nemesis",
+        format_rows(
+            rows,
+            ["runtime", "survived", "anomalies", "divergent", "committed", "recovery p99 (units)"],
+            title="Nemesis: seeded fault schedules, both checkers, convergence probe",
+        ),
+    )
+    emit_json("BENCH_nemesis", summary)
+    return summary
+
+
+def test_nemesis(benchmark):
+    summary = run_once(benchmark, run_nemesis_bench)
+    assert summary["inproc"]["anomalies"] == 0
+    assert summary["inproc"]["survived_fraction"] == 1.0
+    assert summary["sockets"]["survived_fraction"] == 1.0
+
+
+if __name__ == "__main__":
+    run_nemesis_bench()

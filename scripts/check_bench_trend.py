@@ -182,6 +182,21 @@ GATED: dict[str, FileSpec] = {
         ),
         scale_marker="workload.fast_mode",
     ),
+    "BENCH_nemesis.json": FileSpec(
+        metrics=(
+            # Adversarial certification is pass/fail, not a trend: every
+            # seeded fault schedule must survive both consistency checkers
+            # (floor 1.0 on the survived fraction) with zero confirmed
+            # anomalies (hard ceiling 0), on both runtimes.  The fractions
+            # and counts are scale-robust — fast mode just runs fewer
+            # schedules.
+            Metric("inproc.survived_fraction", HIGHER, 0.0, floor=1.0),
+            Metric("inproc.anomalies", LOWER, 0.0, ceiling=0.0),
+            Metric("sockets.survived_fraction", HIGHER, 0.0, floor=1.0),
+            Metric("sockets.anomalies", LOWER, 0.0, ceiling=0.0),
+        ),
+        scale_marker="workload.fast_mode",
+    ),
     "BENCH_rpc.json": FileSpec(
         metrics=(
             # Storage wire round trips per committed txn, JSON-unbatched

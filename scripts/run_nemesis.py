@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Run seeded nemesis schedules against a runtime; shrink failures to a
+minimal reproducing schedule.
+
+The CI nemesis lane runs this on every PR with a small seed matrix and
+nightly with a long randomized sweep::
+
+    python scripts/run_nemesis.py --runtime inproc --schedules 4
+    python scripts/run_nemesis.py --runtime sockets --seed-base 100 --schedules 4
+    python scripts/run_nemesis.py --runtime inproc --schedules 50   # nightly
+
+Every schedule is derived deterministically from its seed, so a failure
+reported by CI replays locally with the same ``--runtime`` and seed.  On
+failure the schedule is delta-debugged (ddmin over fault/heal atoms) down
+to a minimal schedule that still reproduces, and a JSON artifact is
+written (``--artifact``) that CI uploads; exit status is non-zero.
+
+``--mutant`` re-enables a known bug (``relay-leak`` reverts the relay
+hand-off reroute fix, ``torn-silent`` breaks the §3.3 write-ordering
+contract) as a self-test that the harness still has teeth — with a mutant
+selected, a *clean* sweep is the failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.nemesis import (  # noqa: E402
+    InprocTarget,
+    SimTarget,
+    SocketTarget,
+    generate_schedule,
+    run_schedule,
+    shrink_schedule,
+)
+
+
+def make_factory(runtime: str, mutant: str | None):
+    if runtime == "inproc":
+        kwargs = {}
+        if mutant == "relay-leak":
+            kwargs["reroute_orphans"] = False
+        elif mutant == "torn-silent":
+            kwargs["torn_mode"] = "silent"
+        factory = lambda: InprocTarget(**kwargs)
+        kinds = InprocTarget.supported_kinds
+    elif runtime == "sockets":
+        if mutant:
+            raise SystemExit("--mutant is only supported on the inproc runtime")
+        factory = SocketTarget
+        kinds = SocketTarget.supported_kinds
+    elif runtime == "sim":
+        if mutant:
+            raise SystemExit("--mutant is only supported on the inproc runtime")
+        factory = SimTarget
+        kinds = SimTarget.supported_kinds
+    else:
+        raise SystemExit(f"unknown runtime {runtime!r}")
+    return factory, kinds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runtime", default="inproc", choices=("inproc", "sockets", "sim"))
+    parser.add_argument("--schedules", type=int, default=4, help="number of seeded schedules")
+    parser.add_argument("--seed-base", type=int, default=0, help="first seed of the sweep")
+    parser.add_argument("--duration", type=float, default=20.0, help="schedule units per run")
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=Path("nemesis_failure.json"),
+        help="where to write the minimal reproducing schedule on failure",
+    )
+    parser.add_argument("--no-shrink", action="store_true", help="skip ddmin on failure")
+    parser.add_argument("--shrink-budget", type=int, default=48, help="max ddmin replays")
+    parser.add_argument(
+        "--mutant",
+        choices=("relay-leak", "torn-silent"),
+        help="re-enable a known bug (harness self-test; inproc only)",
+    )
+    args = parser.parse_args()
+
+    factory, kinds = make_factory(args.runtime, args.mutant)
+    failures = []
+    for seed in range(args.seed_base, args.seed_base + args.schedules):
+        schedule = generate_schedule(seed, kinds=kinds, duration=args.duration)
+        result = run_schedule(factory(), schedule)
+        marker = "ok " if result.ok else "FAIL"
+        print(
+            f"[{marker}] seed={seed} runtime={args.runtime} {result.verdict()} "
+            f"(committed={result.committed} failed={result.failed} "
+            f"recovery_p99={result.recovery_p99:.2f})"
+        )
+        if not result.ok:
+            failures.append((seed, schedule, result))
+
+    if args.mutant:
+        # Self-test inversion: the mutant sweep must FAIL to prove the
+        # harness detects the re-enabled bug.
+        if failures:
+            print(f"mutant {args.mutant!r} detected in {len(failures)}/{args.schedules} schedules")
+            return 0
+        print(f"mutant {args.mutant!r} NOT detected — the harness has lost its teeth")
+        return 1
+
+    if not failures:
+        print(f"all {args.schedules} schedules survived on {args.runtime}")
+        return 0
+
+    seed, schedule, result = failures[0]
+    minimal = schedule
+    minimal_result = result
+    if not args.no_shrink:
+        print(f"shrinking failing seed {seed} (budget {args.shrink_budget} replays)...")
+        minimal = shrink_schedule(
+            schedule,
+            lambda candidate: not run_schedule(factory(), candidate).ok,
+            max_runs=args.shrink_budget,
+        )
+        minimal_result = run_schedule(factory(), minimal)
+    artifact = {
+        "runtime": args.runtime,
+        "seed": seed,
+        "failures": len(failures),
+        "schedules_run": args.schedules,
+        "original_schedule": schedule.to_dict(),
+        "original_verdict": result.verdict(),
+        "minimal_schedule": minimal.to_dict(),
+        "minimal_result": minimal_result.as_dict(),
+    }
+    args.artifact.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"minimal reproducing schedule written to {args.artifact}")
+    print(json.dumps(minimal.to_dict(), indent=2))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

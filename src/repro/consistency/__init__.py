@@ -16,11 +16,15 @@ from repro.consistency.checker import (
     ReadObservation,
     TransactionLog,
 )
+from repro.consistency.cycles import AnomalyCycle, CycleChecker, CycleEdge
 
 __all__ = [
     "TaggedValue",
     "AnomalyChecker",
     "AnomalyCounts",
+    "AnomalyCycle",
+    "CycleChecker",
+    "CycleEdge",
     "ReadObservation",
     "TransactionLog",
 ]

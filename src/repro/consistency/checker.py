@@ -129,6 +129,11 @@ class AnomalyChecker:
     def logs(self) -> list[TransactionLog]:
         return list(self._logs)
 
+    @property
+    def commit_order(self) -> dict[str, TransactionId]:
+        """The registered txn-uuid → commit-id map (for checker hand-off)."""
+        return dict(self._commit_order)
+
     # ------------------------------------------------------------------ #
     def _order_key(self, tag: TaggedValue) -> TransactionId:
         """The version-order key of a tag (commit order when known)."""

@@ -1,0 +1,390 @@
+"""Elle-style dependency-cycle search over transaction histories.
+
+The pairwise :class:`~repro.consistency.checker.AnomalyChecker` inspects each
+transaction's reads in isolation — the shape of the paper's Table 2 counting.
+Adversarial (nemesis) schedules need a stronger certificate: a **version-order
+graph** built from write tags and read observations, searched for dependency
+cycles the way Elle does for Jepsen histories.
+
+Graph construction
+------------------
+Every committed transaction (and every foreign writer observed through a
+read tag — e.g. the preload) is a vertex.  Per key, the observed and logged
+writes form a **version chain** ordered by the same key the pairwise checker
+uses: the registered commit id when known, the tag's write timestamp
+otherwise.  Edges:
+
+* ``ww`` — consecutive versions of a key's chain (version order);
+* ``wr`` — the writer of an observed version → the transaction that read it;
+* ``rw`` — a transaction that read version ``v`` of a key → the writer of
+  ``v``'s successor in the chain (an anti-dependency; a NULL read
+  anti-depends on the key's *first* version).
+
+What is flagged
+---------------
+AFT promises read atomicity, not serializability or causal consistency: its
+commit broadcasts are unordered and per-record delivery is atomic, so stale
+reads (an ``rw``/``ww`` G-single) and causal ``wr``→``wr``→``rw`` chains are
+legitimately producible by a correct implementation.  Flagging every
+G-single would therefore over-report.  The search returns three precise
+shapes instead:
+
+* ``g1c`` — a cycle in ``ww`` ∪ ``wr`` alone (Adya's G1c: circular
+  information flow, impossible under any well-defined version order);
+* ``fractured`` — the read-atomicity cycle: ``T`` observed ``Ti``'s version
+  of key ``k`` (``wr``) yet for some key ``l`` cowritten by ``Ti`` observed
+  an *older* version — or NULL — giving an ``rw`` anti-dependency from ``T``
+  back into ``Ti`` (Definition 1 / fig. 1 of the paper, as a cycle).  The
+  NULL branch catches torn writes the pairwise checker skips (it ignores
+  NULL observations entirely);
+* ``lost-update`` — ``T`` read version ``v`` of ``k`` and wrote ``k``, but
+  another write landed between ``v`` and ``T``'s write in the chain
+  (``rw`` + ``ww`` back-edge).  Reported separately: AFT does not prevent
+  write-write conflicts, so whether this is an anomaly depends on whether
+  the workload performs read-modify-writes (the nemesis workload does not,
+  so any occurrence there is a bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consistency.checker import AnomalyChecker, TransactionLog
+from repro.ids import TransactionId
+
+#: Kinds whose presence certifies a read-atomicity violation (``lost-update``
+#: is reported but judged by the caller — see module docstring).
+VIOLATION_KINDS = ("g1c", "fractured")
+
+
+@dataclass(frozen=True)
+class CycleEdge:
+    """One dependency edge of a reported cycle."""
+
+    kind: str  #: ``ww`` | ``wr`` | ``rw``
+    key: str
+    src: str  #: writer/reader transaction uuid the edge leaves
+    dst: str  #: transaction uuid the edge enters
+
+    def as_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "key": self.key, "src": self.src, "dst": self.dst}
+
+
+@dataclass(frozen=True)
+class AnomalyCycle:
+    """A dependency cycle found in the history graph."""
+
+    kind: str  #: ``g1c`` | ``fractured`` | ``lost-update``
+    txns: tuple[str, ...]
+    edges: tuple[CycleEdge, ...]
+
+    def describe(self) -> str:
+        hops = ", ".join(f"{e.src} -{e.kind}[{e.key}]-> {e.dst}" for e in self.edges)
+        return f"{self.kind}: {hops}"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "txns": list(self.txns),
+            "edges": [e.as_dict() for e in self.edges],
+        }
+
+
+class CycleChecker:
+    """Searches transaction logs for dependency cycles.
+
+    Shares the :class:`AnomalyChecker` surface (``add`` / ``extend`` /
+    ``register_commit_order``) so workload executors can feed both, and
+    :meth:`adopt` imports an already-populated pairwise checker wholesale —
+    the simulator's :class:`~repro.simulation.client.ClientGroupResult`
+    carries one.
+    """
+
+    def __init__(self) -> None:
+        self._logs: list[TransactionLog] = []
+        self._commit_order: dict[str, TransactionId] = {}
+
+    def add(self, log: TransactionLog) -> None:
+        self._logs.append(log)
+
+    def extend(self, logs: list[TransactionLog]) -> None:
+        self._logs.extend(logs)
+
+    def register_commit_order(self, txn_uuid: str, commit_id: TransactionId) -> None:
+        self._commit_order[txn_uuid] = commit_id
+
+    def adopt(self, checker: AnomalyChecker) -> "CycleChecker":
+        """Import the logs and commit order of a pairwise checker."""
+        self._logs.extend(checker.logs)
+        self._commit_order.update(checker.commit_order)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _order(self, uuid: str, fallback: TransactionId) -> TransactionId:
+        return self._commit_order.get(uuid, fallback)
+
+    def _committed(self) -> list[TransactionLog]:
+        return [log for log in self._logs if log.committed and not log.aborted]
+
+    def _version_chains(
+        self, logs: list[TransactionLog]
+    ) -> dict[str, list[tuple[TransactionId, str]]]:
+        """Per key, the known versions as ``(order, writer uuid)`` ascending."""
+        versions: dict[str, dict[str, TransactionId]] = {}
+        for log in logs:
+            for key, (_op, written) in log.writes.items():
+                versions.setdefault(key, {})[log.txn_uuid] = self._order(log.txn_uuid, written)
+            for read in log.reads:
+                if read.observed is None:
+                    continue
+                tag = read.observed
+                versions.setdefault(read.key, {})[tag.uuid] = self._order(tag.uuid, tag.version)
+        return {
+            key: sorted(((order, uuid) for uuid, order in writers.items()), key=lambda v: (v[0], v[1]))
+            for key, writers in versions.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    def search(self) -> list[AnomalyCycle]:
+        """Return every dependency cycle found, most severe kinds first."""
+        logs = self._committed()
+        chains = self._version_chains(logs)
+        cycles: list[AnomalyCycle] = []
+        cycles.extend(self._g1c_cycles(logs, chains))
+        for log in logs:
+            cycles.extend(self._fractured_cycles(log))
+            cycles.extend(self._lost_update_cycles(log, chains))
+        return cycles
+
+    def summary(self) -> dict[str, int]:
+        """Cycle counts by kind plus the total that certifies a violation."""
+        counts = {"g1c": 0, "fractured": 0, "lost-update": 0}
+        for cycle in self.search():
+            counts[cycle.kind] += 1
+        counts["violations"] = sum(counts[kind] for kind in VIOLATION_KINDS)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # G1c: cycles in ww ∪ wr
+    # ------------------------------------------------------------------ #
+    def _info_flow_edges(
+        self, logs: list[TransactionLog], chains: dict[str, list[tuple[TransactionId, str]]]
+    ) -> dict[str, list[CycleEdge]]:
+        edges: dict[str, list[CycleEdge]] = {}
+
+        def link(edge: CycleEdge) -> None:
+            if edge.src != edge.dst:
+                edges.setdefault(edge.src, []).append(edge)
+
+        for key, chain in chains.items():
+            for (_o1, prev), (_o2, succ) in zip(chain, chain[1:]):
+                link(CycleEdge(kind="ww", key=key, src=prev, dst=succ))
+        for log in logs:
+            for read in log.reads:
+                if read.observed is not None:
+                    link(
+                        CycleEdge(
+                            kind="wr", key=read.key, src=read.observed.uuid, dst=log.txn_uuid
+                        )
+                    )
+        return edges
+
+    def _g1c_cycles(
+        self, logs: list[TransactionLog], chains: dict[str, list[tuple[TransactionId, str]]]
+    ) -> list[AnomalyCycle]:
+        edges = self._info_flow_edges(logs, chains)
+        sccs = _tarjan_sccs(edges)
+        cycles = []
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            cycle_edges = _extract_cycle(edges, scc)
+            cycles.append(
+                AnomalyCycle(
+                    kind="g1c",
+                    txns=tuple(e.src for e in cycle_edges),
+                    edges=tuple(cycle_edges),
+                )
+            )
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Fractured reads as wr + rw cycles (incl. the NULL-read rule)
+    # ------------------------------------------------------------------ #
+    def _fractured_cycles(self, log: TransactionLog) -> list[AnomalyCycle]:
+        observed: dict[str, TransactionId | None] = {}
+        tags: dict[str, tuple[TransactionId, str, frozenset[str]]] = {}
+        for read in log.reads:
+            if read.key in log.writes:
+                # The RYW check owns reads of self-written keys.
+                continue
+            if read.observed is None:
+                # Record the NULL; only keep it if no version was ever seen
+                # (a NULL after a version is a repeatable-read fracture the
+                # same-key branch below reports via the tag map).
+                observed.setdefault(read.key, None)
+                continue
+            tag = read.observed
+            order = self._order(tag.uuid, tag.version)
+            prev = tags.get(read.key)
+            if prev is not None and prev[1] != tag.uuid:
+                # Repeatable-read violation: two versions of one key.
+                older, newer = (prev, (order, tag.uuid, tag.cowritten))
+                if older[0] > newer[0]:
+                    older, newer = newer, older
+                return [
+                    AnomalyCycle(
+                        kind="fractured",
+                        txns=(newer[1], log.txn_uuid),
+                        edges=(
+                            CycleEdge("wr", read.key, newer[1], log.txn_uuid),
+                            CycleEdge("rw", read.key, log.txn_uuid, newer[1]),
+                        ),
+                    )
+                ]
+            if prev is None or order > prev[0]:
+                tags[read.key] = (order, tag.uuid, tag.cowritten)
+            current = observed.get(read.key)
+            if current is None or order > current:
+                observed[read.key] = order
+        cycles: list[AnomalyCycle] = []
+        for key, (order, writer, cowritten) in tags.items():
+            for other_key in cowritten:
+                if other_key == key or other_key in log.writes:
+                    continue
+                if other_key not in observed:
+                    continue
+                other = observed[other_key]
+                fractured = other is None or (
+                    other < order and tags.get(other_key, (None, ""))[1] != writer
+                )
+                if fractured:
+                    cycles.append(
+                        AnomalyCycle(
+                            kind="fractured",
+                            txns=(writer, log.txn_uuid),
+                            edges=(
+                                CycleEdge("wr", key, writer, log.txn_uuid),
+                                CycleEdge("rw", other_key, log.txn_uuid, writer),
+                            ),
+                        )
+                    )
+                    return cycles  # one certificate per transaction suffices
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Lost updates: rw + ww back-edge on the same key
+    # ------------------------------------------------------------------ #
+    def _lost_update_cycles(
+        self, log: TransactionLog, chains: dict[str, list[tuple[TransactionId, str]]]
+    ) -> list[AnomalyCycle]:
+        cycles: list[AnomalyCycle] = []
+        for key, (write_op, written) in log.writes.items():
+            # Only pre-write reads of foreign versions establish the
+            # read-modify-write window; a post-write read observing the
+            # transaction's own version is the RYW guarantee at work.
+            reads = [
+                r
+                for r in log.reads
+                if r.key == key
+                and r.observed is not None
+                and r.op_index < write_op
+                and r.observed.uuid != log.txn_uuid
+            ]
+            if not reads:
+                continue
+            my_order = self._order(log.txn_uuid, written)
+            seen = max(self._order(r.observed.uuid, r.observed.version) for r in reads)
+            chain = chains.get(key, [])
+            for order, writer in chain:
+                if writer == log.txn_uuid or writer in {r.observed.uuid for r in reads}:
+                    continue
+                if seen < order < my_order:
+                    cycles.append(
+                        AnomalyCycle(
+                            kind="lost-update",
+                            txns=(log.txn_uuid, writer),
+                            edges=(
+                                CycleEdge("rw", key, log.txn_uuid, writer),
+                                CycleEdge("ww", key, writer, log.txn_uuid),
+                            ),
+                        )
+                    )
+                    break
+        return cycles
+
+
+# --------------------------------------------------------------------------- #
+# Graph helpers
+# --------------------------------------------------------------------------- #
+def _tarjan_sccs(edges: dict[str, list[CycleEdge]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components over the edge map."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes.update(e.dst for e in targets)
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work.pop()
+            if child_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = edges.get(node, [])
+            advanced = False
+            for i in range(child_i, len(children)):
+                dst = children[i].dst
+                if dst not in index:
+                    work.append((node, i + 1))
+                    work.append((dst, 0))
+                    advanced = True
+                    break
+                if dst in on_stack:
+                    lowlink[node] = min(lowlink[node], index[dst])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def _extract_cycle(edges: dict[str, list[CycleEdge]], scc: list[str]) -> list[CycleEdge]:
+    """One simple cycle inside a (non-trivial) strongly-connected component."""
+    members = set(scc)
+    start = scc[0]
+    path: list[CycleEdge] = []
+    visited: set[str] = set()
+    node = start
+    while True:
+        visited.add(node)
+        step = next(e for e in edges.get(node, []) if e.dst in members)
+        path.append(step)
+        node = step.dst
+        if node == start:
+            return path
+        if node in visited:
+            # Trim the walk-in prefix: keep the loop from the first visit.
+            for i, edge in enumerate(path):
+                if edge.src == node:
+                    return path[i:]
+            return path  # unreachable: the revisited node left via some edge

@@ -38,6 +38,7 @@ from repro.core.metadata_plane.commit_stream import (
     CommitStream,
     CommitStreamStats,
     DirectCommitStream,
+    RelayFault,
     ShardedCommitStream,
 )
 from repro.core.metadata_plane.keyspace import (
@@ -65,6 +66,7 @@ __all__ = [
     "MembershipService",
     "PartitionedCommitKeyspace",
     "PollingMembership",
+    "RelayFault",
     "ShardedCommitStream",
     "fault_manager_partition_ids",
     "make_commit_keyspace",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.core.load_balancer import HashRing
 
@@ -66,6 +66,15 @@ class CommitStreamStats:
     relay_records_on_wire: int = 0
     #: Records received across all receivers (len(records) x receivers).
     records_delivered: int = 0
+    #: Relays killed mid-round by an injected :class:`RelayFault`.
+    relay_deaths: int = 0
+    #: Hand-offs re-routed to a live ancestor after their relay died.
+    rerouted_deliveries: int = 0
+    #: Hand-offs attempted against a receiver that was dead at delivery time.
+    dead_receiver_skips: int = 0
+    #: Receivers left undelivered because their relay died and re-routing is
+    #: disabled (the pre-fix leak; stays 0 when ``reroute_orphans`` is on).
+    orphaned_receivers: int = 0
 
     @property
     def records_on_wire(self) -> int:
@@ -146,53 +155,147 @@ class DirectCommitStream(CommitStream):
         return len(targets)
 
 
+@dataclass
+class RelayFault:
+    """A one-shot mid-round relay death, armed for the next publish.
+
+    ``node_id`` names the relay; it dies the moment it is about to perform
+    its hand-off number ``after_handoffs`` (0-based), i.e. after completing
+    exactly ``after_handoffs`` deliveries of its subtree.  ``on_death`` runs
+    once at that moment with the relay node — nemesis harnesses pass the
+    cluster's real failure path here so the death is observable to lease
+    membership and the fault manager, not just to the stream.
+    """
+
+    node_id: str
+    after_handoffs: int = 0
+    on_death: Callable[["AftNode"], None] | None = None
+
+
 class ShardedCommitStream(CommitStream):
     """Relay-tree fan-out over ring-ordered receivers.
 
     The live receivers (minus the publisher) are sorted by their hash-ring
     point and arranged into a complete ``relay_fanout``-ary tree: the
     publisher owns the first ``relay_fanout`` hand-offs (the relay roots)
-    and each interior position owns its children's.  Every receiver appears
-    in exactly one subtree, so delivery remains exactly-once; the
+    and each interior position owns its children's.  Position ``p``'s
+    carrier is the publisher for ``p < relay_fanout`` and the node at ring
+    position ``p // relay_fanout - 1`` otherwise; walking positions in
+    ascending ring order visits every carrier before its children, so a
+    relay always holds the batch before it forwards it.  Every receiver
+    appears in exactly one subtree, so delivery remains exactly-once; the
     publisher's cost is bounded by the relay degree regardless of fleet
     size.
 
-    As the module docstring notes, this single-process transport performs
-    every hand-off itself, synchronously, in ring order (a valid
-    parent-before-child order of the tree) — the tree determines *who pays
-    which hand-off* in the stats and the charged cost model, not which
-    process executes it.  Modeling relay hops as separately failing/delayed
-    actors is a recorded ROADMAP follow-up.
+    Relays can now die *mid-round*: :meth:`inject_relay_fault` arms a
+    :class:`RelayFault` that kills a relay after it has completed a chosen
+    number of hand-offs.  The orphaned remainder of its subtree is re-routed
+    up the ancestor chain to the nearest live carrier (ultimately the
+    publisher), preserving the exactly-once contract under failure; a
+    delivered-set guards against double delivery.  ``reroute_orphans=False``
+    restores the pre-fix behaviour — orphaned receivers are silently leaked
+    (counted in ``stats.orphaned_receivers``) — and exists so the nemesis
+    mutant check can demonstrate the leak is detectable end to end.
+
+    This single-process transport still performs every hand-off itself,
+    synchronously — the tree determines *who pays which hand-off* in the
+    stats and the charged cost model, not which process executes it.
     """
 
     name = "sharded"
 
-    def __init__(self, relay_fanout: int = 4) -> None:
+    def __init__(self, relay_fanout: int = 4, reroute_orphans: bool = True) -> None:
         if relay_fanout < 1:
             raise ValueError("relay_fanout must be >= 1")
         super().__init__()
         self.relay_fanout = relay_fanout
+        self.reroute_orphans = reroute_orphans
         #: Receiver ids sorted by their ring point (one point per receiver —
         #: ordering, not load-splitting, is the goal here).
         self._ring_order: list[str] = []
+        self._armed_fault: RelayFault | None = None
 
     def _membership_changed(self) -> None:
         self._ring_order = sorted(self._receivers, key=HashRing.point_of)
+
+    def inject_relay_fault(self, fault: RelayFault) -> None:
+        """Arm ``fault``: it stays armed across publishes until the doomed
+        node actually carries a hand-off past its budget, then fires exactly
+        once (re-arming replaces any previously armed fault)."""
+        self._armed_fault = fault
 
     def publish(self, records: list["CommitRecord"], exclude: "AftNode | None" = None) -> int:
         if not records:
             return 0
         self.stats.publishes += 1
+        fault = self._armed_fault
         live = {node.node_id: node for node in self._live_targets(exclude)}
         order = [live[node_id] for node_id in list(self._ring_order) if node_id in live]
         fanout = self.relay_fanout
-        for index, receiver in enumerate(order):
+        n_records = len(records)
+        #: Ring positions that can no longer carry: relays killed by the
+        #: armed fault, receivers found dead at hand-off time, and (with
+        #: re-routing off) receivers that never got the batch.
+        dead_positions: set[int] = set()
+        #: Completed hand-offs per carrier position (-1 is the publisher).
+        handoffs_done: dict[int, int] = {}
+        delivered: set[str] = set()
+        reached = 0
+        for pos, receiver in enumerate(order):
+            rerouted = False
+            carrier_pos: int | None = (pos // fanout) - 1 if pos >= fanout else -1
+            while carrier_pos is not None:
+                if carrier_pos >= 0 and carrier_pos in dead_positions:
+                    if not self.reroute_orphans:
+                        carrier_pos = None
+                        break
+                    # Re-route up the ancestor chain to the nearest live
+                    # carrier; the publisher (-1) terminates the walk.
+                    rerouted = True
+                    carrier_pos = (carrier_pos // fanout) - 1 if carrier_pos >= fanout else -1
+                    continue
+                if (
+                    fault is not None
+                    and carrier_pos >= 0
+                    and order[carrier_pos].node_id == fault.node_id
+                    and handoffs_done.get(carrier_pos, 0) >= fault.after_handoffs
+                ):
+                    # The armed fault fires: this relay dies before the
+                    # hand-off it was about to perform.
+                    dead_positions.add(carrier_pos)
+                    self.stats.relay_deaths += 1
+                    if fault.on_death is not None:
+                        fault.on_death(order[carrier_pos])
+                    fault = None
+                    self._armed_fault = None
+                    continue  # re-resolve: the carrier just died
+                break
+            if carrier_pos is None:
+                # The pre-fix leak: relay died, re-routing disabled, receiver
+                # never gets the batch — and so cannot carry to its children.
+                dead_positions.add(pos)
+                self.stats.orphaned_receivers += 1
+                continue
+            if not receiver.is_running:
+                # Receiver died mid-round (it may itself be the killed
+                # relay); skip the hand-off but keep walking — its children
+                # re-route through live ancestors.
+                dead_positions.add(pos)
+                self.stats.dead_receiver_skips += 1
+                continue
+            if receiver.node_id in delivered:
+                continue
             receiver.receive_commits(list(records))
-            if index < fanout:
+            delivered.add(receiver.node_id)
+            handoffs_done[carrier_pos] = handoffs_done.get(carrier_pos, 0) + 1
+            reached += 1
+            if carrier_pos < 0:
                 self.stats.sender_deliveries += 1
-                self.stats.sender_records_on_wire += len(records)
+                self.stats.sender_records_on_wire += n_records
             else:
                 self.stats.relay_deliveries += 1
-                self.stats.relay_records_on_wire += len(records)
-        self.stats.records_delivered += len(records) * len(order)
-        return len(order)
+                self.stats.relay_records_on_wire += n_records
+            if rerouted:
+                self.stats.rerouted_deliveries += 1
+            self.stats.records_delivered += n_records
+        return reached

@@ -1,0 +1,40 @@
+"""Composable, seeded fault injection against every runtime.
+
+The nemesis layer (named for Jepsen's fault injector) replays
+deterministic :class:`~repro.nemesis.schedule.Schedule`\\ s — timed crash /
+partition / stalled-heartbeat / torn-write / relay-death / frame-fault
+actions — against the in-process cluster, the discrete-event simulator,
+and the real socket cluster, then certifies the resulting histories with
+the pairwise anomaly checker, the Elle-style cycle checker, and a
+post-heal convergence probe.  ``scripts/run_nemesis.py`` wraps it in a
+CLI with shrink-on-failure; the ``nemesis`` CI lane runs a seeded
+schedule matrix on every PR and a long randomized sweep nightly.
+"""
+
+from repro.nemesis.faults import TornWriteError, TornWriteStorage
+from repro.nemesis.runner import NemesisResult, run_schedule
+from repro.nemesis.schedule import (
+    FAULT_KINDS,
+    HEAL_KINDS,
+    FaultAction,
+    Schedule,
+    generate_schedule,
+    shrink_schedule,
+)
+from repro.nemesis.targets import InprocTarget, SimTarget, SocketTarget
+
+__all__ = [
+    "FAULT_KINDS",
+    "HEAL_KINDS",
+    "FaultAction",
+    "InprocTarget",
+    "NemesisResult",
+    "Schedule",
+    "SimTarget",
+    "SocketTarget",
+    "TornWriteError",
+    "TornWriteStorage",
+    "generate_schedule",
+    "run_schedule",
+    "shrink_schedule",
+]

@@ -1,0 +1,283 @@
+"""Replay a fault schedule against a target and certify the history.
+
+``run_schedule`` drives a small closed-loop workload (a few logical
+clients, one Table-1 operation per step) while firing the schedule's fault
+actions at their due times, then heals everything, quiesces, and renders a
+verdict from three independent oracles:
+
+* the pairwise :class:`~repro.consistency.AnomalyChecker` (Table 2's RYW +
+  fractured-read counters),
+* the Elle-style :class:`~repro.consistency.CycleChecker` (G1c and
+  read-atomicity cycles over the version-order graph),
+* the target's convergence probe (post-heal, every replica must serve every
+  key's latest acked version — or, on the socket runtime, observe a fresh
+  sealing write).
+
+The workload writes disjoint read/write key sets (the paper's workloads
+touch distinct keys per transaction), so *any* anomaly — including an
+unexpected ``NULL`` read of a preloaded key — is a bug, not a workload
+artifact.  Torn writes in ``abort`` mode only ever produce failed commits,
+which is exactly the §3.3 guarantee the verdict encodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.consistency import AnomalyChecker, CycleChecker, TaggedValue, TransactionLog
+from repro.ids import TransactionId
+from repro.nemesis.schedule import Schedule
+from repro.nemesis.targets import DISRUPTIVE_KINDS
+
+
+@dataclass
+class NemesisResult:
+    """The verdict of one schedule replay."""
+
+    schedule: Schedule
+    target: str
+    committed: int = 0
+    failed: int = 0
+    anomalies: dict = field(default_factory=dict)
+    cycles: dict = field(default_factory=dict)
+    convergence_violations: list[str] = field(default_factory=list)
+    unexpected_null_reads: int = 0
+    recovery_samples: list[float] = field(default_factory=list)
+
+    @property
+    def recovery_p99(self) -> float:
+        if not self.recovery_samples:
+            return 0.0
+        ordered = sorted(self.recovery_samples)
+        idx = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.anomalies.get("ryw_anomalies", 0) == 0
+            and self.anomalies.get("fractured_read_anomalies", 0) == 0
+            and self.cycles.get("violations", 0) == 0
+            and not self.convergence_violations
+            and self.unexpected_null_reads == 0
+        )
+
+    def verdict(self) -> str:
+        if self.ok:
+            return "PASS"
+        reasons = []
+        if self.anomalies.get("ryw_anomalies", 0):
+            reasons.append(f"ryw={self.anomalies['ryw_anomalies']}")
+        if self.anomalies.get("fractured_read_anomalies", 0):
+            reasons.append(f"fractured={self.anomalies['fractured_read_anomalies']}")
+        if self.cycles.get("violations", 0):
+            reasons.append(f"cycles={self.cycles['violations']}")
+        if self.convergence_violations:
+            reasons.append(f"divergent_replicas={len(self.convergence_violations)}")
+        if self.unexpected_null_reads:
+            reasons.append(f"null_reads={self.unexpected_null_reads}")
+        return "FAIL: " + ", ".join(reasons)
+
+    def as_dict(self) -> dict:
+        return {
+            "schedule": self.schedule.to_dict(),
+            "target": self.target,
+            "verdict": self.verdict(),
+            "ok": self.ok,
+            "committed": self.committed,
+            "failed": self.failed,
+            "anomalies": dict(self.anomalies),
+            "cycles": dict(self.cycles),
+            "convergence_violations": list(self.convergence_violations),
+            "unexpected_null_reads": self.unexpected_null_reads,
+            "recovery_p99": self.recovery_p99,
+            "recovery_samples": list(self.recovery_samples),
+        }
+
+
+class _Client:
+    """One closed-loop logical client: a 2-read / 2-write transaction,
+    one operation per workload step."""
+
+    def __init__(self, index: int, keys: list[str], seed: int) -> None:
+        self.index = index
+        self.keys = keys
+        self.rng = random.Random(seed * 7919 + index)
+        self.txid: str | None = None
+        self.log: TransactionLog | None = None
+        self.ops: list[tuple] = []
+        self.op_index = 0
+
+    def plan(self) -> None:
+        chosen = self.rng.sample(self.keys, 4)
+        read_keys, write_keys = chosen[:2], chosen[2:]
+        cowritten = tuple(write_keys)
+        self.ops = (
+            [("read", k) for k in read_keys]
+            + [("write", k, cowritten) for k in write_keys]
+            + [("commit",)]
+        )
+        self.op_index = 0
+
+
+def run_schedule(
+    target,
+    schedule: Schedule,
+    clients: int = 4,
+    keys: int = 8,
+    step: float = 0.25,
+) -> NemesisResult:
+    """Replay ``schedule`` against ``target`` and return the verdict."""
+    if hasattr(target, "run") and not hasattr(target, "txn_start"):
+        # The simulator target replays schedules wholesale.
+        sim = target.run(schedule)
+        return NemesisResult(
+            schedule=schedule,
+            target=target.name,
+            committed=sim.get("transactions", 0),
+            anomalies=sim.get("anomalies", {}),
+            cycles=sim.get("cycles", {}),
+        )
+
+    key_names = [f"nk{i}" for i in range(keys)]
+    checker = AnomalyChecker()
+    result = NemesisResult(schedule=schedule, target=target.name)
+    latest_acked: dict[str, TransactionId] = {}
+    target.start()
+    try:
+        _preload(target, key_names, checker, latest_acked)
+        # Let the preload broadcast reach every node before clients read, or
+        # startup races masquerade as NULL-read anomalies.
+        target.advance(1.0)
+        workers = [_Client(i, key_names, schedule.seed) for i in range(clients)]
+        actions = list(schedule.actions)
+        action_idx = 0
+        t = 0.0
+        disruption_start: float | None = None
+        while t < schedule.duration:
+            # Actions due inside the upcoming step window fire before the
+            # window's maintenance ticks run, so a fault aimed at time T is
+            # armed when the first broadcast round at/after T publishes.
+            while action_idx < len(actions) and actions[action_idx].at < t + step:
+                action = actions[action_idx]
+                action_idx += 1
+                disruptive = False
+                try:
+                    disruptive = target.apply(action)
+                except Exception:
+                    pass
+                if disruptive and action.kind in DISRUPTIVE_KINDS and disruption_start is None:
+                    disruption_start = t
+            for worker in workers:
+                committed_at = _step_client(target, worker, checker, latest_acked, result)
+                if committed_at and disruption_start is not None:
+                    result.recovery_samples.append(t - disruption_start)
+                    disruption_start = None
+            target.advance(step)
+            t += step
+        # Fire any actions scheduled in the final partial step (e.g. a relay
+        # death aimed at the last broadcast round).
+        while action_idx < len(actions) and actions[action_idx].at <= schedule.duration:
+            try:
+                target.apply(actions[action_idx])
+            except Exception:
+                pass
+            action_idx += 1
+        target.heal_all()
+        target.quiesce()
+        for worker in workers:
+            _abandon(target, worker, checker, result)
+        result.convergence_violations = target.convergence_violations(dict(latest_acked))
+    finally:
+        target.stop()
+    result.anomalies = checker.counts().as_dict()
+    cycles = CycleChecker()
+    cycles.adopt(checker)
+    result.cycles = cycles.summary()
+    return result
+
+
+# ---------------------------------------------------------------------- #
+def _preload(target, key_names, checker, latest_acked) -> None:
+    txid = target.txn_start()
+    now = target.now()
+    cowritten = frozenset(key_names)
+    log = TransactionLog(txn_uuid=txid)
+    for i, key in enumerate(key_names):
+        tag = TaggedValue(payload=b"preload", timestamp=now, uuid=txid, cowritten=cowritten)
+        target.txn_write(txid, key, tag.to_bytes())
+        log.record_write(key, tag.version, op_index=i)
+    commit_id = target.txn_commit(txid)
+    checker.add(log)
+    checker.register_commit_order(txid, commit_id)
+    for key in key_names:
+        latest_acked[key] = commit_id
+
+
+def _step_client(target, worker: _Client, checker, latest_acked, result) -> bool:
+    """Run one operation of ``worker``'s transaction.  Returns True when
+    this step committed a transaction (closes a recovery-timing sample)."""
+    try:
+        if worker.txid is None:
+            worker.plan()
+            worker.txid = target.txn_start()
+            worker.log = TransactionLog(txn_uuid=worker.txid)
+            return False
+        op = worker.ops[worker.op_index]
+        if op[0] == "read":
+            raw = target.txn_read(worker.txid, op[1])
+            tag = TaggedValue.try_from_bytes(raw)
+            worker.log.record_read(op[1], tag, op_index=worker.op_index)
+            if tag is None:
+                result.unexpected_null_reads += 1
+            worker.op_index += 1
+            return False
+        if op[0] == "write":
+            key, cowritten = op[1], frozenset(op[2])
+            tag = TaggedValue(
+                payload=f"c{worker.index}".encode(),
+                timestamp=target.now(),
+                uuid=worker.txid,
+                cowritten=cowritten,
+            )
+            target.txn_write(worker.txid, key, tag.to_bytes())
+            worker.log.record_write(key, tag.version, op_index=worker.op_index)
+            worker.op_index += 1
+            return False
+        # commit
+        commit_id = target.txn_commit(worker.txid)
+        checker.add(worker.log)
+        checker.register_commit_order(worker.txid, commit_id)
+        for key in worker.log.writes:
+            if key not in latest_acked or latest_acked[key] < commit_id:
+                latest_acked[key] = commit_id
+        result.committed += 1
+        worker.txid = None
+        worker.log = None
+        return True
+    except Exception:
+        _fail_txn(target, worker, checker, result)
+        return False
+
+
+def _fail_txn(target, worker: _Client, checker, result) -> None:
+    if worker.log is not None:
+        worker.log.committed = False
+        worker.log.aborted = True
+        checker.add(worker.log)
+    if worker.txid is not None:
+        try:
+            target.txn_abort(worker.txid)
+        except Exception:
+            pass
+    worker.txid = None
+    worker.log = None
+    result.failed += 1
+
+
+def _abandon(target, worker: _Client, checker, result) -> None:
+    """Abort any transaction still open when the run ends."""
+    if worker.txid is not None:
+        _fail_txn(target, worker, checker, result)
+        result.failed -= 1  # an end-of-run abort is not a fault-induced failure

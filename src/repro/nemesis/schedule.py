@@ -1,0 +1,223 @@
+"""Fault schedules: seeded generation and delta-debugging shrink.
+
+A :class:`Schedule` is a small, fully deterministic program of timed fault
+and heal actions replayed against a nemesis target (in-process cluster,
+simulator, or socket cluster).  Times are in *schedule units* — virtual
+seconds on the logical-clock targets, scaled wall-clock seconds on the
+socket target — so one schedule is portable across runtimes.
+
+``generate_schedule`` derives everything from a single integer seed, and
+``shrink_schedule`` runs ddmin over fault *atoms* (a fault grouped with its
+paired heal) to reduce a failing schedule to a minimal reproduction, which
+the CI lane uploads as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Fault kinds that require an explicit heal action, and the heal kind that
+#: undoes each of them.  Crash / torn-write / relay-death are one-shot
+#: disruptions the cluster itself recovers from (standby promotion, §3.3
+#: write ordering, relay reroute) and need no heal.
+HEAL_KINDS: dict[str, str] = {
+    "stall_heartbeats": "resume_heartbeats",
+    "partition": "heal_partition",
+    "frame_delay": "heal_frames",
+    "frame_drop": "heal_frames",
+}
+
+#: Every fault kind a schedule may contain (heals excluded).
+FAULT_KINDS: tuple[str, ...] = (
+    "crash",
+    "stall_heartbeats",
+    "partition",
+    "torn_write",
+    "relay_death",
+    "frame_delay",
+    "frame_drop",
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed action: inject a fault (or heal one) at ``at`` units."""
+
+    at: float
+    kind: str
+    node_index: int = 0
+    params: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "node_index": self.node_index,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        return cls(
+            at=float(data["at"]),
+            kind=str(data["kind"]),
+            node_index=int(data.get("node_index", 0)),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A seeded, time-sorted sequence of fault/heal actions."""
+
+    seed: int
+    duration: float
+    actions: tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.actions, key=lambda a: (a.at, a.kind)))
+        object.__setattr__(self, "actions", ordered)
+
+    @property
+    def fault_kinds(self) -> list[str]:
+        return [a.kind for a in self.actions if a.kind in FAULT_KINDS]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "actions": [a.as_dict() for a in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        return cls(
+            seed=int(data["seed"]),
+            duration=float(data["duration"]),
+            actions=tuple(FaultAction.from_dict(a) for a in data.get("actions", [])),
+        )
+
+
+def generate_schedule(
+    seed: int,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    duration: float = 20.0,
+    max_actions: int = 6,
+    num_nodes: int = 4,
+) -> Schedule:
+    """Derive a random schedule from ``seed`` (same seed → same schedule).
+
+    Faults land in the first 70% of the run; every healable fault gets its
+    heal before 85% so the tail of the run always observes a healed cluster
+    (the convergence probe requires it).
+    """
+    rng = random.Random(seed)
+    n_actions = rng.randint(1, max_actions)
+    actions: list[FaultAction] = []
+    crashes = 0
+    for _ in range(n_actions):
+        kind = rng.choice(kinds)
+        if kind == "crash":
+            # Never crash a majority: standby promotion keeps the cluster
+            # serving, but unbounded crashes exhaust the standby pool.
+            if crashes >= max(1, num_nodes // 2):
+                kind = "stall_heartbeats" if "stall_heartbeats" in kinds else "torn_write"
+            else:
+                crashes += 1
+        at = round(rng.uniform(0.1, 0.7) * duration, 3)
+        node_index = rng.randrange(num_nodes)
+        params: dict = {}
+        if kind == "relay_death":
+            params["after_handoffs"] = rng.randint(0, 2)
+        elif kind == "frame_delay":
+            params["delay"] = round(rng.uniform(0.2, 1.5), 3)
+        elif kind == "torn_write":
+            pass
+        actions.append(FaultAction(at=at, kind=kind, node_index=node_index, params=params))
+        heal_kind = HEAL_KINDS.get(kind)
+        if heal_kind is not None:
+            heal_at = round(rng.uniform(at + 0.05 * duration, 0.85 * duration), 3)
+            actions.append(FaultAction(at=heal_at, kind=heal_kind, node_index=node_index))
+    return Schedule(seed=seed, duration=duration, actions=tuple(actions))
+
+
+# ---------------------------------------------------------------------- #
+# Shrinking
+# ---------------------------------------------------------------------- #
+def _atoms(schedule: Schedule) -> list[tuple[FaultAction, ...]]:
+    """Group each fault with its paired heal so ddmin removes them together.
+
+    The heal chosen is the earliest unclaimed heal of the matching kind and
+    node_index at or after the fault (mirrors how ``generate_schedule``
+    pairs them).  Unpaired heals become their own atoms — removing a
+    redundant heal alone can also shrink a schedule.
+    """
+    actions = list(schedule.actions)
+    claimed: set[int] = set()
+    atoms: list[tuple[FaultAction, ...]] = []
+    for i, action in enumerate(actions):
+        if i in claimed or action.kind not in FAULT_KINDS:
+            continue
+        claimed.add(i)
+        heal_kind = HEAL_KINDS.get(action.kind)
+        group = [action]
+        if heal_kind is not None:
+            for j in range(i + 1, len(actions)):
+                other = actions[j]
+                if (
+                    j not in claimed
+                    and other.kind == heal_kind
+                    and other.node_index == action.node_index
+                    and other.at >= action.at
+                ):
+                    claimed.add(j)
+                    group.append(other)
+                    break
+        atoms.append(tuple(group))
+    for i, action in enumerate(actions):
+        if i not in claimed:
+            atoms.append((action,))
+    return atoms
+
+
+def _rebuild(schedule: Schedule, atoms: list[tuple[FaultAction, ...]]) -> Schedule:
+    actions = tuple(a for group in atoms for a in group)
+    return Schedule(seed=schedule.seed, duration=schedule.duration, actions=actions)
+
+
+def shrink_schedule(schedule: Schedule, fails, max_runs: int = 48) -> Schedule:
+    """ddmin: reduce ``schedule`` to a small subset that still fails.
+
+    ``fails(candidate: Schedule) -> bool`` replays a candidate and reports
+    whether the failure reproduces.  The input schedule is assumed failing;
+    at most ``max_runs`` replays are spent, so the result is minimal-ish
+    (1-minimal when the budget allows), never worse than the input.
+    """
+    atoms = _atoms(schedule)
+    runs = 0
+
+    def failing(candidate_atoms: list[tuple[FaultAction, ...]]) -> bool:
+        nonlocal runs
+        runs += 1
+        return bool(fails(_rebuild(schedule, candidate_atoms)))
+
+    granularity = 2
+    while len(atoms) >= 2 and runs < max_runs:
+        chunk = max(1, len(atoms) // granularity)
+        subsets = [atoms[i : i + chunk] for i in range(0, len(atoms), chunk)]
+        reduced = False
+        for i in range(len(subsets)):
+            if runs >= max_runs:
+                break
+            complement = [a for j, s in enumerate(subsets) if j != i for a in s]
+            if complement and failing(complement):
+                atoms = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(atoms):
+                break
+            granularity = min(len(atoms), granularity * 2)
+    return _rebuild(schedule, atoms)

@@ -112,6 +112,25 @@ class AsyncRouterClient:
                 )
             await asyncio.sleep(0.05)
 
-    async def nemesis(self, node_id: str, pause_heartbeats: bool = True) -> None:
-        """Inject a membership-plane partition at ``node_id``."""
-        await self._conn.request(m.Nemesis(node_id=node_id, pause_heartbeats=pause_heartbeats))
+    async def nemesis(
+        self,
+        node_id: str,
+        pause_heartbeats: bool = True,
+        deliver_delay: float = 0.0,
+        deliver_drop: bool = False,
+        router_only: bool = False,
+    ) -> None:
+        """Inject a fault at ``node_id``: a membership-plane partition
+        (``pause_heartbeats``) and/or router-side commit-frame faults
+        (``deliver_delay`` seconds of added latency, or ``deliver_drop`` to
+        sever the broadcast link).  ``router_only`` keeps the message at the
+        router so frame faults do not disturb the node's heartbeat switch."""
+        await self._conn.request(
+            m.Nemesis(
+                node_id=node_id,
+                pause_heartbeats=pause_heartbeats,
+                deliver_delay=deliver_delay,
+                deliver_drop=deliver_drop,
+                router_only=router_only,
+            )
+        )

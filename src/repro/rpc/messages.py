@@ -373,17 +373,29 @@ class InfoReply(WireMessage):
 
 @dataclass
 class Nemesis(WireMessage):
-    """Fault injection: partition ``node_id`` from the membership plane.
+    """Fault injection: degrade ``node_id``'s view of the cluster.
 
     ``pause_heartbeats`` models the classic lease false positive — the node
     keeps its data-plane connection (a long GC pause, an asymmetric
     partition) but its lease renewals stop, so the router declares it dead
     while it is still able to issue late commit-record writes.
+
+    ``deliver_delay`` / ``deliver_drop`` act on the *router* side: commit
+    deliver frames bound for the node are delayed by the given seconds, or
+    dropped entirely — a slow or partitioned broadcast link.  When
+    ``router_only`` is set the message is not forwarded to the node process
+    at all, so frame faults compose with (and heal independently of) the
+    heartbeat switch.  Old routers/nodes ignore the extra fields
+    (unknown-field-tolerant decode), degrading to the heartbeat-only
+    nemesis.
     """
 
     TYPE: ClassVar[str] = "nemesis"
     node_id: str = ""
     pause_heartbeats: bool = False
+    deliver_delay: float = 0.0
+    deliver_drop: bool = False
+    router_only: bool = False
 
 
 # --------------------------------------------------------------------- #

@@ -73,6 +73,10 @@ class _NodeSession:
     active: bool = False
     last_heartbeat: float = field(default_factory=time.monotonic)
     declared_failed: bool = False
+    #: Nemesis frame faults: commit deliver frames bound for this node are
+    #: delayed by ``deliver_delay`` seconds and dropped when ``deliver_drop``.
+    deliver_delay: float = 0.0
+    deliver_drop: bool = False
 
 
 class RouterServer:
@@ -269,7 +273,10 @@ class RouterServer:
             session = self._sessions.get(msg.node_id)
             if session is None:
                 raise AftError(f"no such node {msg.node_id!r}")
-            await session.conn.request(msg, timeout=10.0)
+            session.deliver_delay = msg.deliver_delay
+            session.deliver_drop = msg.deliver_drop
+            if not msg.router_only:
+                await session.conn.request(msg, timeout=10.0)
             return m.Ok()
         raise AftError(f"router cannot handle {msg.TYPE!r}")
 
@@ -313,11 +320,31 @@ class RouterServer:
         deliver = m.DeliverCommits(records=msg.records)
         for session in list(self._sessions.values()):
             if session.active and session.node_id != msg.node_id:
+                if session.deliver_drop:
+                    # Nemesis: the broadcast link to this node is severed.
+                    continue
+                if session.deliver_delay > 0:
+                    # Nemesis: a slow link.  Delivery completes off this
+                    # request's critical path, losing the commit-ack ordering
+                    # guarantee on purpose — that is the fault being modelled.
+                    asyncio.get_running_loop().create_task(
+                        self._deliver_later(session, deliver, session.deliver_delay)
+                    )
+                    continue
                 try:
                     await session.conn.notify(deliver)
                 except Exception:
                     # The lease loop (or on_close) handles the dead peer.
                     continue
+
+    async def _deliver_later(
+        self, session: _NodeSession, deliver: m.DeliverCommits, delay: float
+    ) -> None:
+        await asyncio.sleep(delay)
+        try:
+            await session.conn.notify(deliver)
+        except Exception:
+            pass
 
     async def _handle_client_start(self, msg: m.ClientStart) -> m.ClientStarted:
         serving = [s for s in self._sessions.values() if s.active]

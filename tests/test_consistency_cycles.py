@@ -1,0 +1,264 @@
+"""Tests for the Elle-style dependency-cycle checker.
+
+Deterministic shape tests pin down exactly which cycles are flagged (G1c,
+fractured reads including the NULL-read rule, lost updates) and — just as
+important for AFT — which legitimate shapes are *not* (stale reads, i.e.
+rw/ww G-singles).  A hypothesis oracle then fuzzes prefix-snapshot histories:
+clean ones must pass both the pairwise checker and the cycle search, and
+histories with an injected fracture must fail both (except the NULL-read
+fracture, which only the cycle search can see — that asymmetry is asserted
+too, as it is the point of the upgrade).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import (
+    AnomalyChecker,
+    CycleChecker,
+    TaggedValue,
+    TransactionLog,
+)
+from repro.ids import TransactionId
+
+KEYS = ("a", "b", "c", "d", "e")
+
+
+def make_tag(key_set: frozenset[str], ts: float, uuid: str) -> TaggedValue:
+    return TaggedValue(payload=b"", timestamp=ts, uuid=uuid, cowritten=key_set)
+
+
+def writer_log(uuid: str, ts: float, keys: frozenset[str]) -> TransactionLog:
+    log = TransactionLog(txn_uuid=uuid)
+    for i, key in enumerate(sorted(keys)):
+        log.record_write(key, TransactionId(timestamp=ts, uuid=uuid), op_index=i)
+    return log
+
+
+def reader_log(uuid: str, observations: list[tuple[str, TaggedValue | None]]) -> TransactionLog:
+    log = TransactionLog(txn_uuid=uuid)
+    for i, (key, tag) in enumerate(observations):
+        log.record_read(key, tag, op_index=i)
+    return log
+
+
+def checkers_over(logs: list[TransactionLog]) -> tuple[AnomalyChecker, CycleChecker]:
+    pairwise = AnomalyChecker()
+    cycles = CycleChecker()
+    for log in logs:
+        pairwise.add(log)
+        cycles.add(log)
+        written = [v for (_op, v) in log.writes.values()]
+        if written:
+            commit_id = max(written)
+            pairwise.register_commit_order(log.txn_uuid, commit_id)
+            cycles.register_commit_order(log.txn_uuid, commit_id)
+    return pairwise, cycles
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic shapes
+# --------------------------------------------------------------------------- #
+class TestCycleShapes:
+    def _two_writers(self):
+        ws = frozenset({"x", "y"})
+        t1 = writer_log("t1", 1.0, ws)
+        t2 = writer_log("t2", 2.0, ws)
+        tag = lambda u, ts: make_tag(ws, ts, u)  # noqa: E731
+        return t1, t2, tag
+
+    def test_clean_snapshot_reads_produce_no_cycles(self):
+        t1, t2, tag = self._two_writers()
+        r_old = reader_log("r1", [("x", tag("t1", 1.0)), ("y", tag("t1", 1.0))])
+        r_new = reader_log("r2", [("x", tag("t2", 2.0)), ("y", tag("t2", 2.0))])
+        _, cycles = checkers_over([t1, t2, r_old, r_new])
+        assert cycles.search() == []
+        assert cycles.summary()["violations"] == 0
+
+    def test_fractured_read_is_a_wr_rw_cycle(self):
+        t1, t2, tag = self._two_writers()
+        torn = reader_log("r1", [("x", tag("t2", 2.0)), ("y", tag("t1", 1.0))])
+        pairwise, cycles = checkers_over([t1, t2, torn])
+        found = cycles.search()
+        assert [c.kind for c in found] == ["fractured"]
+        assert set(found[0].txns) == {"t2", "r1"}
+        kinds = {e.kind for e in found[0].edges}
+        assert kinds == {"wr", "rw"}
+        # The pairwise checker agrees on this (non-NULL) fracture.
+        assert pairwise.counts().fractured_read_anomalies == 1
+
+    def test_null_read_of_cowritten_key_is_fractured(self):
+        """The strengthening over the pairwise checker: observing Ti's write
+        of one key and NULL for a cowritten key is a torn write, but the
+        pairwise checker skips NULL observations entirely."""
+        ws = frozenset({"x", "y"})
+        t1 = writer_log("t1", 1.0, ws)
+        torn = reader_log("r1", [("x", make_tag(ws, 1.0, "t1")), ("y", None)])
+        pairwise, cycles = checkers_over([t1, torn])
+        assert [c.kind for c in cycles.search()] == ["fractured"]
+        assert pairwise.counts().fractured_read_anomalies == 0
+
+    def test_repeatable_read_violation_is_fractured(self):
+        t1, t2, tag = self._two_writers()
+        wobble = reader_log("r1", [("x", tag("t1", 1.0)), ("x", tag("t2", 2.0))])
+        _, cycles = checkers_over([t1, t2, wobble])
+        assert [c.kind for c in cycles.search()] == ["fractured"]
+
+    def test_g1c_mutual_wr_cycle(self):
+        """Two transactions each observing the other's write: circular
+        information flow, impossible under any version order."""
+        a = TransactionLog(txn_uuid="ta")
+        a.record_write("x", TransactionId(timestamp=1.0, uuid="ta"), op_index=0)
+        a.record_read("y", make_tag(frozenset({"y"}), 2.0, "tb"), op_index=1)
+        b = TransactionLog(txn_uuid="tb")
+        b.record_write("y", TransactionId(timestamp=2.0, uuid="tb"), op_index=0)
+        b.record_read("x", make_tag(frozenset({"x"}), 1.0, "ta"), op_index=1)
+        _, cycles = checkers_over([a, b])
+        kinds = [c.kind for c in cycles.search()]
+        assert "g1c" in kinds
+
+    def test_stale_read_g_single_is_not_flagged(self):
+        """A reader observing an older-but-atomic snapshot (an rw/ww
+        G-single) is legitimate AFT behaviour — broadcasts are unordered —
+        and must not be reported."""
+        t1, t2, tag = self._two_writers()
+        stale = reader_log("r1", [("x", tag("t1", 1.0)), ("y", tag("t1", 1.0))])
+        _, cycles = checkers_over([t1, t2, stale])
+        assert cycles.search() == []
+
+    def test_lost_update_reported_separately(self):
+        base = writer_log("t0", 1.0, frozenset({"k"}))
+        other = writer_log("t1", 2.0, frozenset({"k"}))
+        rmw = TransactionLog(txn_uuid="t2")
+        rmw.record_read("k", make_tag(frozenset({"k"}), 1.0, "t0"), op_index=0)
+        rmw.record_write("k", TransactionId(timestamp=3.0, uuid="t2"), op_index=1)
+        _, cycles = checkers_over([base, other, rmw])
+        found = cycles.search()
+        assert [c.kind for c in found] == ["lost-update"]
+        assert set(found[0].txns) == {"t2", "t1"}
+        # Lost updates are outside AFT's contract: reported, not a violation.
+        assert cycles.summary()["violations"] == 0
+        assert cycles.summary()["lost-update"] == 1
+
+    def test_rmw_observing_the_latest_version_is_clean(self):
+        base = writer_log("t0", 1.0, frozenset({"k"}))
+        rmw = TransactionLog(txn_uuid="t1")
+        rmw.record_read("k", make_tag(frozenset({"k"}), 1.0, "t0"), op_index=0)
+        rmw.record_write("k", TransactionId(timestamp=2.0, uuid="t1"), op_index=1)
+        _, cycles = checkers_over([base, rmw])
+        assert cycles.search() == []
+
+    def test_adopt_imports_pairwise_state(self):
+        t1, t2, tag = self._two_writers()
+        torn = reader_log("r1", [("x", tag("t2", 2.0)), ("y", tag("t1", 1.0))])
+        pairwise, _ = checkers_over([t1, t2, torn])
+        adopted = CycleChecker().adopt(pairwise)
+        assert [c.kind for c in adopted.search()] == ["fractured"]
+
+    def test_cycle_serialises_for_artifacts(self):
+        t1, t2, tag = self._two_writers()
+        torn = reader_log("r1", [("x", tag("t2", 2.0)), ("y", tag("t1", 1.0))])
+        _, cycles = checkers_over([t1, t2, torn])
+        payload = cycles.search()[0].as_dict()
+        assert payload["kind"] == "fractured"
+        assert all({"kind", "key", "src", "dst"} <= set(e) for e in payload["edges"])
+        assert "r1" in cycles.search()[0].describe()
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis oracle: prefix-snapshot histories
+# --------------------------------------------------------------------------- #
+@st.composite
+def histories(draw):
+    """A clean history: writers commit in order, readers observe prefixes.
+
+    Returns ``(writer_logs, reader_specs)`` where each reader spec is
+    ``(cut, keys)`` — the reader observes, for each key, the newest version
+    among the first ``cut`` writers (an atomic snapshot by construction).
+    """
+    n_writers = draw(st.integers(min_value=1, max_value=5))
+    writers = []
+    for i in range(n_writers):
+        keys = frozenset(draw(st.sets(st.sampled_from(KEYS), min_size=1, max_size=3)))
+        writers.append((f"w{i}", float(i + 1), keys))
+    n_readers = draw(st.integers(min_value=1, max_value=4))
+    readers = []
+    for _ in range(n_readers):
+        cut = draw(st.integers(min_value=1, max_value=n_writers))
+        keys = draw(st.lists(st.sampled_from(KEYS), min_size=1, max_size=4, unique=True))
+        readers.append((cut, keys))
+    return writers, readers
+
+
+def build_logs(writers, readers) -> list[TransactionLog]:
+    logs = [writer_log(uuid, ts, keys) for uuid, ts, keys in writers]
+    for ri, (cut, keys) in enumerate(readers):
+        observations: list[tuple[str, TaggedValue | None]] = []
+        for key in keys:
+            latest = None
+            for uuid, ts, write_set in writers[:cut]:
+                if key in write_set:
+                    latest = make_tag(write_set, ts, uuid)
+            observations.append((key, latest))
+        logs.append(reader_log(f"r{ri}", observations))
+    return logs
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories())
+def test_oracle_clean_histories_pass_both_checkers(history):
+    writers, readers = history
+    pairwise, cycles = checkers_over(build_logs(writers, readers))
+    counts = pairwise.counts()
+    assert counts.fractured_read_anomalies == 0
+    assert counts.ryw_anomalies == 0
+    assert cycles.summary()["violations"] == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories(), st.randoms(use_true_random=False))
+def test_oracle_injected_fracture_is_flagged(history, rng):
+    """Tear one reader's snapshot: for a multi-key write set, keep the new
+    version of one key but roll a cowritten key back (to an older version if
+    one exists, else to NULL).  The cycle search must flag it; the pairwise
+    checker must agree whenever the rollback hit a real older version."""
+    writers, readers = history
+    multi = [w for w in writers if len(w[2]) >= 2]
+    if not multi:
+        return  # nothing teerable in this draw
+    uuid, ts, write_set = rng.choice(multi)
+    cut = next(i for i, w in enumerate(writers) if w[0] == uuid) + 1
+    keep, tear = rng.sample(sorted(write_set), 2)
+    older = None
+    for w_uuid, w_ts, w_set in writers[:cut]:
+        if tear in w_set and w_uuid != uuid:
+            older = make_tag(w_set, w_ts, w_uuid)
+    logs = build_logs(writers, readers)
+    torn = reader_log("torn", [(keep, make_tag(write_set, ts, uuid)), (tear, older)])
+    logs.append(torn)
+    pairwise, cycles = checkers_over(logs)
+    summary = cycles.summary()
+    assert summary["fractured"] >= 1
+    assert summary["violations"] >= 1
+    if older is not None:
+        assert pairwise.counts().fractured_read_anomalies >= 1
+    else:
+        # The NULL-read torn write is invisible to the pairwise checker.
+        assert pairwise.counts().fractured_read_anomalies == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories(), st.randoms(use_true_random=False))
+def test_oracle_injected_lost_update_is_reported(history, rng):
+    writers, readers = history
+    key = rng.choice(sorted(writers[0][2]))
+    last_ts = max(ts for _u, ts, _k in writers)
+    # A blind intervening write plus a read-modify-write that misses it.
+    intervening = writer_log("lost-x", last_ts + 1.0, frozenset({key}))
+    rmw = TransactionLog(txn_uuid="lost-t")
+    rmw.record_read(key, make_tag(writers[0][2], writers[0][1], writers[0][0]), op_index=0)
+    rmw.record_write(key, TransactionId(timestamp=last_ts + 2.0, uuid="lost-t"), op_index=1)
+    logs = build_logs(writers, readers) + [intervening, rmw]
+    _, cycles = checkers_over(logs)
+    assert cycles.summary()["lost-update"] >= 1

@@ -18,6 +18,7 @@ from repro.core.metadata_plane import (
     DirectCommitStream,
     LeaseMembership,
     PollingMembership,
+    RelayFault,
     ShardedCommitStream,
     make_commit_keyspace,
     make_commit_stream,
@@ -126,6 +127,105 @@ class TestCommitStreams:
         assert reached == 5  # 8 peers minus 3 dead
         for receiver in nodes[1:5] + [nodes[8]]:
             assert records[0].txid in receiver.metadata_cache
+
+    def test_relay_death_mid_round_reroutes_orphans_exactly_once(self, storage, clock):
+        """A relay that dies after delivering part of its subtree no longer
+        leaks the remainder: orphaned hand-offs re-route up the ancestor
+        chain and every live receiver still gets the batch exactly once."""
+        store, nodes = self._fleet(storage, clock, 9)
+        stream = ShardedCommitStream(relay_fanout=2)
+        for node in nodes:
+            stream.register(node)
+        sender = nodes[0]
+        live = {n.node_id: n for n in nodes if n is not sender}
+        order = [live[nid] for nid in stream._ring_order if nid in live]
+        # Ring position 0 carries positions 2 and 3; kill it after its first
+        # hand-off, so position 3 is orphaned mid-round.
+        relay = order[0]
+        died: list[str] = []
+        stream.inject_relay_fault(
+            RelayFault(
+                node_id=relay.node_id,
+                after_handoffs=1,
+                on_death=lambda n: (died.append(n.node_id), n.fail()),
+            )
+        )
+        records = [make_record(i) for i in range(2)]
+        reached = stream.publish(records, exclude=sender)
+
+        assert died == [relay.node_id]
+        # The relay itself was delivered to (parents before children) and so
+        # were all seven other receivers, despite the mid-round death.
+        assert reached == 8
+        assert stream.stats.relay_deaths == 1
+        assert stream.stats.rerouted_deliveries == 1
+        assert stream.stats.orphaned_receivers == 0
+        for receiver in order:
+            if receiver is relay:
+                continue
+            for record in records:
+                assert record.txid in receiver.metadata_cache
+        # Exactly once even under re-routing.
+        applied = sum(node.stats.remote_commits_applied for node in order)
+        assert applied == 8 * len(records)
+
+    def test_relay_death_before_first_handoff_reroutes_whole_subtree(self, storage, clock):
+        """Killing a relay before any hand-off re-routes its entire subtree
+        (children *and* their descendants, via the now-delivered children)."""
+        store, nodes = self._fleet(storage, clock, 9)
+        stream = ShardedCommitStream(relay_fanout=2)
+        for node in nodes:
+            stream.register(node)
+        sender = nodes[0]
+        live = {n.node_id: n for n in nodes if n is not sender}
+        order = [live[nid] for nid in stream._ring_order if nid in live]
+        relay = order[0]
+        stream.inject_relay_fault(RelayFault(node_id=relay.node_id, after_handoffs=0))
+        reached = stream.publish([make_record(0)], exclude=sender)
+        assert reached == 8
+        assert stream.stats.relay_deaths == 1
+        # Both direct children of position 0 (positions 2 and 3) re-routed.
+        assert stream.stats.rerouted_deliveries == 2
+        assert stream.stats.orphaned_receivers == 0
+
+    def test_relay_death_without_reroute_leaks_subtree(self, storage, clock):
+        """The pre-fix accounting, kept behind ``reroute_orphans=False`` for
+        the nemesis mutant check: a dead relay's undelivered receivers — and
+        transitively their subtrees — never see the batch."""
+        store, nodes = self._fleet(storage, clock, 9)
+        stream = ShardedCommitStream(relay_fanout=2, reroute_orphans=False)
+        for node in nodes:
+            stream.register(node)
+        sender = nodes[0]
+        live = {n.node_id: n for n in nodes if n is not sender}
+        order = [live[nid] for nid in stream._ring_order if nid in live]
+        relay = order[0]
+        stream.inject_relay_fault(RelayFault(node_id=relay.node_id, after_handoffs=0))
+        records = [make_record(0)]
+        reached = stream.publish(records, exclude=sender)
+        # Positions 2 and 3 (children of the dead relay) are orphaned, and so
+        # is position 2's own subtree (positions 6 and 7).
+        assert reached == 4
+        assert stream.stats.orphaned_receivers == 4
+        leaked = [r for r in order if records[0].txid not in r.metadata_cache]
+        assert len(leaked) == 4
+
+    def test_relay_fault_is_one_shot(self, storage, clock):
+        """An armed fault is consumed by the next publish; the round after is
+        clean (no further deaths, no re-routing)."""
+        store, nodes = self._fleet(storage, clock, 9)
+        stream = ShardedCommitStream(relay_fanout=2)
+        for node in nodes:
+            stream.register(node)
+        sender = nodes[0]
+        live = {n.node_id: n for n in nodes if n is not sender}
+        order = [live[nid] for nid in stream._ring_order if nid in live]
+        stream.inject_relay_fault(RelayFault(node_id=order[0].node_id, after_handoffs=0))
+        stream.publish([make_record(0)], exclude=sender)
+        assert stream.stats.relay_deaths == 1
+        stream.publish([make_record(1)], exclude=sender)
+        assert stream.stats.relay_deaths == 1
+        assert stream.stats.orphaned_receivers == 0
 
     def test_multicast_round_identical_under_both_transports(self, clock):
         """One committed transaction reaches every peer's cache regardless of

@@ -1,0 +1,247 @@
+"""Nemesis harness tests: schedules, fault injectors, targets, and the
+falsely-benign mutant checks.
+
+The two mutant tests are the teeth of this suite: they re-enable known
+bugs (the relay hand-off leak via ``reroute_orphans=False``, and a §3.3
+write-ordering violation via ``torn_mode="silent"``) and prove the
+harness *fails* on them — while the unmodified tree survives a seeded
+schedule sweep with zero anomalies from both checkers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ids import DATA_PREFIX
+from repro.nemesis import (
+    FAULT_KINDS,
+    FaultAction,
+    InprocTarget,
+    Schedule,
+    SimTarget,
+    SocketTarget,
+    TornWriteError,
+    TornWriteStorage,
+    generate_schedule,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.nemesis.schedule import HEAL_KINDS
+from repro.storage.memory import InMemoryStorage
+
+
+# ---------------------------------------------------------------------- #
+# Schedules
+# ---------------------------------------------------------------------- #
+class TestSchedule:
+    def test_generation_is_deterministic(self):
+        a = generate_schedule(7, duration=20.0)
+        b = generate_schedule(7, duration=20.0)
+        assert a == b
+        assert a != generate_schedule(8, duration=20.0)
+
+    def test_actions_sorted_and_heals_paired(self):
+        for seed in range(20):
+            schedule = generate_schedule(seed, duration=20.0)
+            times = [action.at for action in schedule.actions]
+            assert times == sorted(times)
+            for action in schedule.actions:
+                heal_kind = HEAL_KINDS.get(action.kind)
+                if heal_kind is None:
+                    continue
+                heal = next(
+                    h
+                    for h in schedule.actions
+                    if h.kind == heal_kind and h.node_index == action.node_index and h.at >= action.at
+                )
+                assert heal.at <= 0.85 * schedule.duration
+
+    def test_json_round_trip(self):
+        schedule = generate_schedule(3, duration=20.0)
+        blob = json.dumps(schedule.to_dict())
+        assert Schedule.from_dict(json.loads(blob)) == schedule
+
+    def test_unknown_kinds_respected(self):
+        schedule = generate_schedule(5, kinds=("crash",), duration=20.0)
+        assert set(schedule.fault_kinds) <= {"crash", "stall_heartbeats", "torn_write"}
+
+    def test_shrink_isolates_failing_atom(self):
+        schedule = Schedule(
+            seed=0,
+            duration=20.0,
+            actions=(
+                FaultAction(at=3.0, kind="stall_heartbeats", node_index=0),
+                FaultAction(at=6.0, kind="resume_heartbeats", node_index=0),
+                FaultAction(at=5.0, kind="torn_write"),
+                FaultAction(at=9.0, kind="relay_death", node_index=1),
+            ),
+        )
+        fails = lambda s: any(a.kind == "relay_death" for a in s.actions)
+        minimal = shrink_schedule(schedule, fails)
+        assert [a.kind for a in minimal.actions] == ["relay_death"]
+
+    def test_shrink_keeps_fault_heal_atoms_together(self):
+        schedule = Schedule(
+            seed=0,
+            duration=20.0,
+            actions=(
+                FaultAction(at=2.0, kind="crash", node_index=0),
+                FaultAction(at=4.0, kind="partition", node_index=1),
+                FaultAction(at=8.0, kind="heal_partition", node_index=1),
+            ),
+        )
+        fails = lambda s: any(a.kind == "partition" for a in s.actions)
+        minimal = shrink_schedule(schedule, fails)
+        assert [a.kind for a in minimal.actions] == ["partition", "heal_partition"]
+
+
+# ---------------------------------------------------------------------- #
+# Torn-write injector
+# ---------------------------------------------------------------------- #
+class TestTornWriteStorage:
+    def _data(self, key: str) -> str:
+        return f"{DATA_PREFIX}/{key}/1.0|abc"
+
+    def test_abort_mode_tears_and_raises(self):
+        storage = TornWriteStorage(InMemoryStorage(), mode="abort")
+        storage.arm()
+        items = {self._data("a"): b"1", self._data("b"): b"2", "aft.commit/x": b"r"}
+        with pytest.raises(TornWriteError):
+            storage.multi_put(items)
+        assert storage.inner.get(self._data("a")) == b"1"
+        assert storage.inner.get(self._data("b")) is None
+        assert not storage.armed and storage.torn_writes == 1
+        # Disarmed: the next batch goes through whole.
+        storage.multi_put(items)
+        assert storage.inner.get(self._data("b")) == b"2"
+
+    def test_silent_mode_drops_tail_and_succeeds(self):
+        storage = TornWriteStorage(InMemoryStorage(), mode="silent")
+        storage.arm()
+        storage.multi_put({self._data("a"): b"1", self._data("b"): b"2"})
+        assert storage.inner.get(self._data("a")) == b"1"
+        assert storage.inner.get(self._data("b")) is None
+        assert storage.torn_writes == 1
+
+    def test_non_data_writes_pass_through(self):
+        storage = TornWriteStorage(InMemoryStorage(), mode="abort")
+        storage.arm()
+        storage.multi_put({"aft.commit/x": b"r", "aft.commit/y": b"s"})
+        assert storage.inner.get("aft.commit/x") == b"r"
+        assert storage.armed  # only data writes can tear
+
+    def test_single_put_path_tears_second_data_write(self):
+        storage = TornWriteStorage(InMemoryStorage(), mode="abort")
+        storage.arm()
+        storage.put(self._data("a"), b"1")
+        with pytest.raises(TornWriteError):
+            storage.put(self._data("b"), b"2")
+        assert storage.inner.get(self._data("a")) == b"1"
+        assert storage.inner.get(self._data("b")) is None
+
+
+# ---------------------------------------------------------------------- #
+# Clean sweeps (the unmodified tree must survive)
+# ---------------------------------------------------------------------- #
+class TestCleanSweeps:
+    def test_inproc_survives_twenty_seeded_schedules(self):
+        failures = []
+        for seed in range(20):
+            schedule = generate_schedule(
+                seed, kinds=InprocTarget.supported_kinds, duration=20.0
+            )
+            result = run_schedule(InprocTarget(), schedule)
+            if not result.ok:
+                failures.append((seed, result.verdict()))
+        assert failures == []
+
+    def test_inproc_result_is_json_serializable(self):
+        schedule = generate_schedule(0, kinds=("crash",), duration=20.0)
+        result = run_schedule(InprocTarget(), schedule)
+        blob = json.dumps(result.as_dict())
+        assert json.loads(blob)["ok"] is True
+
+    def test_crash_schedule_yields_recovery_samples(self):
+        schedule = Schedule(
+            seed=4, duration=20.0, actions=(FaultAction(at=5.0, kind="crash", node_index=1),)
+        )
+        result = run_schedule(InprocTarget(), schedule)
+        assert result.ok
+        assert result.recovery_samples
+        assert result.recovery_p99 >= 0.0
+
+    def test_simulator_target_runs_crash_schedule(self):
+        schedule = generate_schedule(2, kinds=SimTarget.supported_kinds, duration=20.0)
+        result = run_schedule(SimTarget(num_clients=3, requests_per_client=30), schedule)
+        assert result.ok
+        assert result.cycles["violations"] == 0
+
+
+@pytest.mark.slow
+class TestSocketSweeps:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_socket_cluster_survives_seeded_schedule(self, seed):
+        schedule = generate_schedule(
+            seed, kinds=SocketTarget.supported_kinds, duration=20.0
+        )
+        result = run_schedule(SocketTarget(), schedule)
+        assert result.ok, result.verdict()
+        assert result.committed > 0
+
+
+# ---------------------------------------------------------------------- #
+# Falsely-benign mutants (the harness must catch re-introduced bugs)
+# ---------------------------------------------------------------------- #
+class TestMutantsAreCaught:
+    RELAY_SCHEDULE = Schedule(
+        seed=0,
+        duration=20.0,
+        actions=(FaultAction(at=18.0, kind="relay_death", node_index=1),),
+    )
+    TORN_SCHEDULE = Schedule(
+        seed=2, duration=20.0, actions=(FaultAction(at=5.0, kind="torn_write"),)
+    )
+
+    def test_relay_leak_mutant_fails_convergence(self):
+        """Reverting the relay reroute fix leaks the dead relay's subtree;
+        a death aimed at the final broadcast round leaves those replicas
+        permanently stale (the fault manager's feed marked the records seen,
+        so anti-entropy never re-broadcasts them)."""
+        result = run_schedule(InprocTarget(reroute_orphans=False), self.RELAY_SCHEDULE)
+        assert not result.ok
+        assert result.convergence_violations
+
+    def test_relay_schedule_passes_on_fixed_tree(self):
+        result = run_schedule(InprocTarget(reroute_orphans=True), self.RELAY_SCHEDULE)
+        assert result.ok, result.verdict()
+
+    def test_relay_mutant_shrinks_to_minimal_schedule(self):
+        noisy = Schedule(
+            seed=0,
+            duration=20.0,
+            actions=self.RELAY_SCHEDULE.actions
+            + (FaultAction(at=4.0, kind="torn_write"),),
+        )
+        fails = lambda s: not run_schedule(InprocTarget(reroute_orphans=False), s).ok
+        assert fails(noisy)
+        minimal = shrink_schedule(noisy, fails)
+        assert minimal.actions  # non-empty reproducing artifact
+        assert [a.kind for a in minimal.actions] == ["relay_death"]
+        assert json.dumps(minimal.to_dict())  # uploadable as-is
+
+    def test_silent_torn_write_mutant_fails_durability_audit(self):
+        """A torn write that reports success breaks §3.3: a commit record
+        lands whose data never did.  The convergence probe's durability
+        audit (every advertised version must have durable data) flags it."""
+        result = run_schedule(InprocTarget(torn_mode="silent"), self.TORN_SCHEDULE)
+        assert not result.ok
+        assert any("torn write" in v for v in result.convergence_violations)
+
+    def test_abort_torn_write_is_tolerated(self):
+        """The same tear in ``abort`` mode is the failure AFT is engineered
+        for: the commit never acks, no record lands, nothing is visible."""
+        result = run_schedule(InprocTarget(torn_mode="abort"), self.TORN_SCHEDULE)
+        assert result.ok, result.verdict()
+        assert result.failed >= 1  # the torn transaction failed loudly
