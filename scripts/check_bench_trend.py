@@ -231,6 +231,26 @@ GATED: dict[str, FileSpec] = {
         ),
         scale_marker="fast_mode",
     ),
+    "BENCH_observability.json": FileSpec(
+        metrics=(
+            # Tracing disabled must be free on the rpc hot path: the guard
+            # is a couple of ns per call site.  The ceiling IS the PR's
+            # acceptance criterion (<= 3% overhead).
+            Metric("overhead.tracing_off_slowdown_x", LOWER, 0.02, ceiling=1.03),
+            # Tracing enabled pays ~13 spans/txn of real work; a CPU-ratio
+            # on a shared runner, so generous tolerance, but the ceiling IS
+            # the acceptance criterion (<= 15% overhead).
+            Metric("overhead.tracing_on_slowdown_x", LOWER, 0.10, ceiling=1.15),
+            # Every instrumented layer must keep reporting: spans per txn
+            # dropping below 8 means a subsystem went dark.
+            Metric("completeness.spans_per_txn", HIGHER, 0.30, floor=8.0),
+            # Every span in a txn trace must reach its client root — the
+            # wire context either propagated everywhere or the trace is
+            # broken.
+            Metric("completeness.connected_fraction", HIGHER, 0.0, floor=1.0),
+        ),
+        scale_marker="fast_mode",
+    ),
 }
 
 

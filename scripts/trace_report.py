@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Merge span dumps from a --trace-dir and print a latency report.
+
+Every process in a cluster appends its spans to ``trace-<component>.jsonl``
+under the directory given by ``--trace-dir``.  This script merges those
+dumps, stitches the per-process fragments back into causal traces, and
+prints a per-operation latency table::
+
+    python scripts/trace_report.py /tmp/aft-traces
+    python scripts/trace_report.py run1/trace-router.jsonl run2/*.jsonl
+    python scripts/trace_report.py /tmp/aft-traces --chrome trace.json
+    python scripts/trace_report.py /tmp/aft-traces --trace txn-42
+
+``--chrome`` additionally writes a Chrome trace-event file for
+``chrome://tracing`` / https://ui.perfetto.dev, where each transaction's
+causal chain renders as nested slices per process.  ``--trace`` restricts
+the report (and the tree printout) to a single trace id, accepting either
+the full id (``txn-42``) or a bare txid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.observability.export import load_spans, write_chrome_trace  # noqa: E402
+from repro.observability.trace import Span  # noqa: E402
+
+
+def collect_paths(inputs: list[str]) -> list[Path]:
+    """Expand each input into span-dump files: files pass through,
+    directories contribute their ``trace*.jsonl`` dumps (the sink writes
+    ``trace-<component>.jsonl``; the benchmark writes ``trace.jsonl``)."""
+    paths: list[Path] = []
+    for raw in inputs:
+        p = Path(raw)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("trace*.jsonl")))
+        elif p.exists():
+            paths.append(p)
+        else:
+            raise SystemExit(f"trace_report: no such file or directory: {raw}")
+    if not paths:
+        raise SystemExit("trace_report: no trace*.jsonl dumps found in the given inputs")
+    return paths
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def latency_table(spans: list[Span]) -> str:
+    """Per-span-name latency summary, widest names first for alignment."""
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        if span.duration > 0.0:
+            by_name[span.name].append(span.duration * 1e3)  # ms
+    rows = []
+    for name in sorted(by_name):
+        values = sorted(by_name[name])
+        rows.append(
+            (
+                name,
+                len(values),
+                sum(values) / len(values),
+                percentile(values, 0.50),
+                percentile(values, 0.99),
+                values[-1],
+            )
+        )
+    width = max([len(r[0]) for r in rows] + [len("span")])
+    lines = [
+        f"{'span':<{width}}  {'count':>7}  {'mean ms':>9}  {'p50 ms':>9}  {'p99 ms':>9}  {'max ms':>9}",
+        f"{'-' * width}  {'-' * 7}  {'-' * 9}  {'-' * 9}  {'-' * 9}  {'-' * 9}",
+    ]
+    for name, count, mean, p50, p99, mx in rows:
+        lines.append(f"{name:<{width}}  {count:>7}  {mean:>9.3f}  {p50:>9.3f}  {p99:>9.3f}  {mx:>9.3f}")
+    return "\n".join(lines)
+
+
+def trace_summary(spans: list[Span]) -> str:
+    """Per-trace connectivity: how many traces, and how many of them are
+    fully stitched (every span's parent present, exactly one root)."""
+    by_trace: dict[str, list[Span]] = defaultdict(list)
+    for span in spans:
+        by_trace[span.trace_id].append(span)
+    connected = 0
+    for members in by_trace.values():
+        ids = {s.span_id for s in members}
+        roots = [s for s in members if s.parent_id is None]
+        orphans = [s for s in members if s.parent_id is not None and s.parent_id not in ids]
+        if len(roots) == 1 and not orphans:
+            connected += 1
+    total = len(by_trace)
+    processes = sorted({s.process for s in spans})
+    return (
+        f"{len(spans)} spans across {total} traces from {len(processes)} processes "
+        f"({', '.join(processes)}); {connected}/{total} traces fully connected"
+    )
+
+
+def print_tree(spans: list[Span]) -> None:
+    """Render one trace's spans as an indentation tree in start order."""
+    children: dict[str | None, list[Span]] = defaultdict(list)
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children[parent].append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start)
+
+    def walk(parent_id: str | None, depth: int) -> None:
+        for span in children.get(parent_id, ()):  # noqa: B020
+            marker = f"{span.duration * 1e3:9.3f} ms" if span.duration > 0.0 else "  (instant)"
+            print(f"  {marker}  {'  ' * depth}{span.name}  [{span.process}]")
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="trace-*.jsonl files or --trace-dir directories")
+    parser.add_argument("--chrome", metavar="OUT", help="also write a Chrome trace-event JSON file")
+    parser.add_argument("--trace", metavar="ID", help="restrict to one trace id (txn-42, or bare txid)")
+    args = parser.parse_args(argv)
+
+    spans = load_spans(collect_paths(args.inputs))
+    if args.trace:
+        wanted = {args.trace, f"txn-{args.trace}"}
+        spans = [s for s in spans if s.trace_id in wanted]
+        if not spans:
+            raise SystemExit(f"trace_report: no spans for trace {args.trace!r}")
+
+    print(trace_summary(spans))
+    print()
+    print(latency_table(spans))
+    if args.trace:
+        print()
+        print_tree(spans)
+    if args.chrome:
+        out = write_chrome_trace(args.chrome, spans)
+        print(f"\nwrote Chrome trace: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from repro.config import (
     ClusterConfig,
     DEFAULT_CONFIG,
     MetadataPlaneConfig,
+    ObservabilityConfig,
 )
 from repro.core import (
     AftCluster,
@@ -67,6 +68,7 @@ __all__ = [
     "IOPlan",
     "AftConfig",
     "MetadataPlaneConfig",
+    "ObservabilityConfig",
     "AutoscalerPolicy",
     "ClusterConfig",
     "DEFAULT_CONFIG",

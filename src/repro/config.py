@@ -12,6 +12,45 @@ from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """The observability plane's switchboard — fully off by default.
+
+    ``enabled`` turns on span collection (``repro.observability``);
+    ``trace_dir`` makes server processes append their spans to
+    ``<trace_dir>/trace-<component>.jsonl``; ``metrics_interval`` > 0 makes
+    them snapshot their metrics registries to
+    ``<trace_dir>/metrics-<component>.jsonl`` every that-many seconds.
+    Setting either implies ``enabled`` at the CLI layer; the config object
+    itself keeps the three knobs independent so in-process users can trace
+    without touching disk.
+    """
+
+    enabled: bool = False
+    trace_dir: str | None = None
+    metrics_interval: float = 0.0
+    #: Bound on buffered finished spans per process (a ring: oldest dropped).
+    trace_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+
+    def with_overrides(self, **overrides: Any) -> "ObservabilityConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "trace_dir": self.trace_dir,
+            "metrics_interval": self.metrics_interval,
+            "trace_capacity": self.trace_capacity,
+        }
+
+
+@dataclass(frozen=True)
 class AftConfig:
     """Tunables of a single AFT node.
 
@@ -123,8 +162,12 @@ class AftConfig:
     transaction_timeout: float = 60.0
     drain_grace_period: float = 30.0
     storage_request_timeout: float | None = 30.0
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.observability, Mapping):
+            # Accept the as_dict form so manifests round-trip: AftConfig(**config.as_dict()).
+            object.__setattr__(self, "observability", ObservabilityConfig(**self.observability))
         if self.storage_request_timeout is not None and self.storage_request_timeout <= 0:
             raise ValueError("storage_request_timeout must be > 0 or None")
         if self.group_commit_max_txns < 1:
@@ -172,6 +215,7 @@ class AftConfig:
             "transaction_timeout": self.transaction_timeout,
             "drain_grace_period": self.drain_grace_period,
             "storage_request_timeout": self.storage_request_timeout,
+            "observability": self.observability.as_dict(),
         }
 
 
@@ -432,7 +476,14 @@ class ClusterConfig:
     autoscaler: AutoscalerPolicy | None = None
     fault_manager: FaultManagerConfig = field(default_factory=FaultManagerConfig)
     metadata_plane: MetadataPlaneConfig = field(default_factory=MetadataPlaneConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Accept a plain mapping for the observability block (deployment
+        # specs, JSON configs), mirroring AftConfig's coercion.
+        if isinstance(self.observability, Mapping):
+            object.__setattr__(self, "observability", ObservabilityConfig(**self.observability))
 
     def with_overrides(self, **overrides: Any) -> "ClusterConfig":
         """Return a copy of this config with the given fields replaced."""

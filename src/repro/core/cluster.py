@@ -42,6 +42,7 @@ from repro.core.node import AftNode
 from repro.core.session import TransactionSession
 from repro.errors import UnknownTransactionError
 from repro.ids import TransactionId
+from repro.observability import trace as tr
 from repro.storage.base import StorageEngine
 
 
@@ -77,6 +78,10 @@ class AftCluster:
         self.node_config = node_config if node_config is not None else self.cluster_config.node_config
         self.storage = storage
         self.clock = clock if clock is not None else SystemClock()
+        # In-process observability: either config block may switch the
+        # process tracer on (enable-only; see apply_config).
+        tr.apply_config(self.cluster_config.observability)
+        tr.apply_config(self.node_config.observability)
 
         # The metadata plane: commit-record keyspace, commit-stream
         # transport, and failure-detection membership are swappable

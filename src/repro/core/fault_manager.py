@@ -70,6 +70,7 @@ from repro.core.metadata_plane.membership import MembershipService, PollingMembe
 from repro.core.multicast import MulticastService
 from repro.core.node import AftNode
 from repro.core.sweep import SweepCursor
+from repro.observability import trace as tr
 from repro.ids import TransactionId
 from repro.storage.base import StorageEngine
 
@@ -501,12 +502,14 @@ class FaultManager:
         owned = self._owned_ids()
         recovered: list[CommitRecord] = []
         reports: list[ShardScanReport] = []
-        for shard_id, shard in self._shards.items():
-            shard_recovered, report = shard.scan(
-                owned[shard_id], budget=self.config.max_records_per_scan
-            )
-            recovered.extend(shard_recovered)
-            reports.append(report)
+        with tr.span("fm.scan", n_shards=len(self._shards)) as scan_span:
+            for shard_id, shard in self._shards.items():
+                shard_recovered, report = shard.scan(
+                    owned[shard_id], budget=self.config.max_records_per_scan
+                )
+                recovered.extend(shard_recovered)
+                reports.append(report)
+            scan_span.set(n_recovered=len(recovered))
         recovered.sort(key=lambda record: record.txid)
         self.last_scan_report = ScanReport(shard_reports=reports)
         self.stats.scan_records_fetched += self.last_scan_report.records_fetched
@@ -558,27 +561,29 @@ class FaultManager:
         def replay(shard: FaultManagerShard) -> tuple[list[CommitRecord], ShardScanReport]:
             return shard.scan(owned[shard.shard_id], budget=None)
 
-        shards = list(self._shards.values())
-        if self.config.parallel_recovery and len(shards) > 1:
-            # The replay rides the shared bounded IO runtime instead of a
-            # private per-recovery thread pool: recovery contends for the
-            # same in-flight-request budget as the data path.
-            outcomes = runtime.run_blocking_group(
-                [lambda s=shard: replay(s) for shard in shards]
+        with tr.span("fm.recover", node=node.node_id) as recover_span:
+            shards = list(self._shards.values())
+            if self.config.parallel_recovery and len(shards) > 1:
+                # The replay rides the shared bounded IO runtime instead of a
+                # private per-recovery thread pool: recovery contends for the
+                # same in-flight-request budget as the data path.
+                outcomes = runtime.run_blocking_group(
+                    [lambda s=shard: replay(s) for shard in shards]
+                )
+            else:
+                outcomes = [replay(shard) for shard in shards]
+
+            recovered = sorted(
+                (record for shard_recovered, _ in outcomes for record in shard_recovered),
+                key=lambda record: record.txid,
             )
-        else:
-            outcomes = [replay(shard) for shard in shards]
+            if recovered:
+                self.stats.unbroadcast_commits_recovered += len(recovered)
+                self.multicast.broadcast_records(recovered, exclude=node)
+                self.global_gc.receive_commits(recovered)
 
-        recovered = sorted(
-            (record for shard_recovered, _ in outcomes for record in shard_recovered),
-            key=lambda record: record.txid,
-        )
-        if recovered:
-            self.stats.unbroadcast_commits_recovered += len(recovered)
-            self.multicast.broadcast_records(recovered, exclude=node)
-            self.global_gc.receive_commits(recovered)
-
-        reclaimed = self.reclaim_orphan_spills(node)
+            reclaimed = self.reclaim_orphan_spills(node)
+            recover_span.set(n_recovered=len(recovered), spills_reclaimed=reclaimed)
 
         report = RecoveryReport(
             node_id=node.node_id,
@@ -657,7 +662,9 @@ class FaultManager:
         guarantee (watermark advances are the other half).
         """
         self.stats.gc_rounds += 1
-        deleted = self.global_gc.run_once(nodes)
+        with tr.span("fm.gc", n_nodes=len(nodes)) as gc_span:
+            deleted = self.global_gc.run_once(nodes)
+            gc_span.set(n_deleted=len(deleted))
         if deleted:
             deleted_set = set(deleted)
             for txid in deleted:

@@ -44,6 +44,7 @@ from typing import Callable, Mapping
 
 from repro.core.commit_set import CommitRecord, CommitSetStore
 from repro.core.io_plan import IOPlan
+from repro.observability import trace as tr
 from repro.storage.base import StorageEngine
 
 
@@ -118,6 +119,9 @@ class PendingCommit:
     error: BaseException | None = None
     #: Size of the flush batch this commit rode in (set by the leader).
     batch_size: int = 0
+    #: Trace context captured at enqueue, so the flush span (which runs on
+    #: the leader's thread / its own task) can join a member's trace.
+    trace: "tr.TraceContext | None" = None
 
 
 class GroupCommitter:
@@ -173,6 +177,10 @@ class GroupCommitter:
     # Leader/follower machinery
     # ------------------------------------------------------------------ #
     def _submit(self, pendings: list[PendingCommit]) -> list[PendingCommit]:
+        for pending in pendings:
+            if pending.trace is None:
+                pending.trace = tr.current_context()
+            tr.annotate("gc.enqueue", txid=pending.txid)
         with self._lock:
             self._queue.extend(pendings)
             self._arrival.set()
@@ -245,7 +253,16 @@ class GroupCommitter:
                 pending.record.to_bytes()
             )
 
-        execute_commit_plan(self._storage, self._commit_store, data, records)
+        # A shared flush belongs to every member; the span joins the first
+        # member's trace (the others keep causality via their enqueue spans).
+        with tr.span(
+            "gc.flush",
+            txid=batch[0].txid,
+            parent=batch[0].trace,
+            n_txns=len(batch),
+            n_keys=len(data),
+        ):
+            execute_commit_plan(self._storage, self._commit_store, data, records)
 
         with self._lock:
             self.stats.flushes += 1
@@ -310,6 +327,9 @@ class AsyncGroupCommitter:
         loop = asyncio.get_running_loop()
         batches: list[_AsyncBatch] = []
         for pending in pendings:
+            if pending.trace is None:
+                pending.trace = tr.current_context()
+            tr.annotate("gc.enqueue", txid=pending.txid)
             batch = self._open
             if batch is None or len(batch.members) >= self.max_txns:
                 batch = _AsyncBatch(future=loop.create_future())
@@ -342,7 +362,14 @@ class AsyncGroupCommitter:
                 records[self._commit_store.record_storage_key(pending.record.txid)] = (
                     pending.record.to_bytes()
                 )
-            await execute_commit_plan_async(self._storage, self._commit_store, data, records)
+            with tr.span(
+                "gc.flush",
+                txid=members[0].txid,
+                parent=members[0].trace,
+                n_txns=len(members),
+                n_keys=len(data),
+            ):
+                await execute_commit_plan_async(self._storage, self._commit_store, data, records)
             with self._lock:
                 self.stats.flushes += 1
                 self.stats.transactions_flushed += len(members)

@@ -56,6 +56,7 @@ from repro.ids import (
     new_uuid,
     validate_user_key,
 )
+from repro.observability import trace as tr
 from repro.storage.base import StorageEngine
 
 
@@ -152,6 +153,7 @@ class AftNode:
         self.config = config if config is not None else DEFAULT_CONFIG
         self.clock = clock if clock is not None else SystemClock()
         self.node_id = node_id if node_id is not None else f"aft-{new_uuid()[:8]}"
+        tr.apply_config(self.config.observability)
         #: :class:`~repro.core.metadata_plane.fencing.FenceToken` granted by
         #: the membership authority (cluster or router) when fencing is on.
         #: Its epoch is stamped into every commit record this node prepares;
@@ -329,28 +331,38 @@ class AftNode:
         """
         self._require_running()
         now = self.clock.now()
-        with self._lock:
-            if txid is not None:
-                existing = self._transactions.get(txid)
-                if existing is not None:
-                    if existing.status is TransactionStatus.COMMITTED:
-                        raise TransactionAlreadyCommittedError(
-                            f"transaction {txid} already committed", txid=txid
-                        )
-                    existing.touch(now)
-                    return txid
-                uuid = txid
-            else:
-                uuid = new_uuid()
-            # Joining an existing transaction (above) is always allowed — the
-            # multi-function case must finish on its pinned node — but a
-            # draining node refuses to open *new* transactions.
-            if self._draining:
-                raise NodeDrainingError(f"node {self.node_id} is draining; retry on another node")
-            transaction = Transaction(uuid=uuid, start_time=now)
-            self._transactions[uuid] = transaction
-            self.write_buffer.open(uuid)
-            self.stats.transactions_started += 1
+        # Span only when nothing encloses us: standalone (in-process) use
+        # roots the transaction trace here, while under the socket runtime
+        # the node server's ``node.start`` span already covers this call
+        # exactly and binds the txn anchor itself.
+        ambient = tr.current_context() is not None
+        with tr.span("aft.start") if not ambient else tr.null_span() as span:
+            with self._lock:
+                if txid is not None:
+                    existing = self._transactions.get(txid)
+                    if existing is not None:
+                        if existing.status is TransactionStatus.COMMITTED:
+                            raise TransactionAlreadyCommittedError(
+                                f"transaction {txid} already committed", txid=txid
+                            )
+                        existing.touch(now)
+                        span.bind_txn(txid)
+                        return txid
+                    uuid = txid
+                else:
+                    uuid = new_uuid()
+                # Joining an existing transaction (above) is always allowed —
+                # the multi-function case must finish on its pinned node — but
+                # a draining node refuses to open *new* transactions.
+                if self._draining:
+                    raise NodeDrainingError(
+                        f"node {self.node_id} is draining; retry on another node"
+                    )
+                transaction = Transaction(uuid=uuid, start_time=now)
+                self._transactions[uuid] = transaction
+                self.write_buffer.open(uuid)
+                self.stats.transactions_started += 1
+            span.bind_txn(uuid)
             return uuid
 
     def _get_running(self, txid: str) -> Transaction:
@@ -412,8 +424,17 @@ class AftNode:
         the pipeline of Section 3.3 applied to reads).  Duplicate keys
         resolve to a single decision.
         """
+        # Prepare is pure CPU (microseconds): it stays un-spanned so the hot
+        # path pays one span per storage round trip; its duration is the
+        # enclosing span's time minus the fetch span.
         batch = self._prepare_read_batch(txid, keys)
-        fetched = self._fetch_payloads(batch) if batch.to_fetch else {}
+        if batch.to_fetch:
+            with tr.span(
+                "aft.read.fetch", txid=txid, n_keys=len(batch.to_fetch), n_requested=len(keys)
+            ):
+                fetched = self._fetch_payloads(batch)
+        else:
+            fetched = {}
         return self._finish_read_batch(txid, batch, fetched)
 
     async def get_many_async(self, txid: str, keys: list[str]) -> dict[str, bytes | None]:
@@ -425,7 +446,13 @@ class AftNode:
         coroutines instead of serialising them on the calling thread.
         """
         batch = self._prepare_read_batch(txid, keys)
-        fetched = await self._fetch_payloads_async(batch) if batch.to_fetch else {}
+        if batch.to_fetch:
+            with tr.span(
+                "aft.read.fetch", txid=txid, n_keys=len(batch.to_fetch), n_requested=len(keys)
+            ):
+                fetched = await self._fetch_payloads_async(batch)
+        else:
+            fetched = {}
         return self._finish_read_batch(txid, batch, fetched)
 
     async def get_async(self, txid: str, key: str) -> bytes | None:
@@ -575,7 +602,7 @@ class AftNode:
                 }
 
             plan_values = await loop.run_in_executor(
-                runtime.io_executor(), runtime.run_marked, read_all
+                runtime.io_executor(), runtime.marked(read_all)
             )
         fetched = {
             key: plan_values.get(storage_key) for key, storage_key in batch.to_fetch.items()
@@ -641,17 +668,25 @@ class AftNode:
         :class:`~repro.core.group_commit.GroupCommitter`.
         """
         self._require_running()
+        # Prepare is in-memory bookkeeping; only the persist round trip gets
+        # a span (prepare time = enclosing span minus persist).
         prepared = self._prepare_commit(txid)
         if prepared.already_committed is not None:
             return prepared.already_committed
 
         if prepared.record is not None:
-            if self.config.enable_group_commit:
-                self.group_committer.commit(
-                    PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
-                )
-            else:
-                self._persist_commit(prepared.to_persist, prepared.record)
+            with tr.span(
+                "aft.commit.persist",
+                txid=txid,
+                n_keys=len(prepared.to_persist),
+                group=self.config.enable_group_commit,
+            ):
+                if self.config.enable_group_commit:
+                    self.group_committer.commit(
+                        PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
+                    )
+                else:
+                    self._persist_commit(prepared.to_persist, prepared.record)
 
         self._finalize_commit(prepared)
         return prepared.commit_id
@@ -748,17 +783,25 @@ class AftNode:
         garbage for the GC — never a fractured read.
         """
         self._require_running()
+        # Prepare is in-memory bookkeeping; only the persist round trip gets
+        # a span (prepare time = enclosing span minus persist).
         prepared = self._prepare_commit(txid)
         if prepared.already_committed is not None:
             return prepared.already_committed
 
         if prepared.record is not None:
-            if self.config.enable_group_commit:
-                await self._get_async_group_committer().commit(
-                    PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
-                )
-            else:
-                await self._persist_commit_async(prepared.to_persist, prepared.record)
+            with tr.span(
+                "aft.commit.persist",
+                txid=txid,
+                n_keys=len(prepared.to_persist),
+                group=self.config.enable_group_commit,
+            ):
+                if self.config.enable_group_commit:
+                    await self._get_async_group_committer().commit(
+                        PendingCommit(txid=txid, record=prepared.record, data=prepared.to_persist)
+                    )
+                else:
+                    await self._persist_commit_async(prepared.to_persist, prepared.record)
 
         self._finalize_commit(prepared)
         return prepared.commit_id
@@ -832,13 +875,11 @@ class AftNode:
             if to_persist:
                 await loop.run_in_executor(
                     runtime.io_executor(),
-                    runtime.run_marked,
-                    lambda: self._persist_updates(to_persist),
+                    runtime.marked(lambda: self._persist_updates(to_persist)),
                 )
             await loop.run_in_executor(
                 runtime.io_executor(),
-                runtime.run_marked,
-                lambda: self.commit_store.write_record(record),
+                runtime.marked(lambda: self.commit_store.write_record(record)),
             )
 
     def _prepare_commit(self, txid: str) -> "_PreparedCommit":
@@ -927,6 +968,7 @@ class AftNode:
             prepared.transaction.commit_id = prepared.commit_id
             self.stats.transactions_committed += 1
         self.write_buffer.discard(prepared.txid)
+        tr.end_txn(prepared.txid)
 
     def _record_group_flush(self, batch_size: int) -> None:
         """GroupCommitter flush callback: maintain stats under the node lock."""
@@ -960,6 +1002,7 @@ class AftNode:
             transaction.status = TransactionStatus.ABORTED
             self.stats.transactions_aborted += 1
         orphaned = self.write_buffer.discard(txid)
+        tr.end_txn(txid)
         # Spilled-but-uncommitted data is unreachable (no commit record points
         # at it); delete it eagerly rather than waiting for the GC.
         if orphaned:

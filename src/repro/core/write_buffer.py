@@ -206,7 +206,7 @@ class AtomicWriteBuffer:
                     for storage_key, value in items.items():
                         self._storage.put(storage_key, value)
 
-                await loop.run_in_executor(runtime.io_executor(), runtime.run_marked, write_all)
+                await loop.run_in_executor(runtime.io_executor(), runtime.marked(write_all))
         return self._mark_spilled(uuid, to_spill, provisional_id, list(items))
 
     def _collect_spill(

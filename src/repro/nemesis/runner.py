@@ -29,6 +29,7 @@ from repro.consistency import AnomalyChecker, CycleChecker, TaggedValue, Transac
 from repro.ids import TransactionId
 from repro.nemesis.schedule import Schedule
 from repro.nemesis.targets import DISRUPTIVE_KINDS
+from repro.observability import trace as tr
 
 
 @dataclass
@@ -163,6 +164,7 @@ def run_schedule(
                 action = actions[action_idx]
                 action_idx += 1
                 disruptive = False
+                tr.annotate(f"nemesis.{action.kind}", at=action.at)
                 try:
                     disruptive = target.apply(action)
                 except Exception:
@@ -179,6 +181,7 @@ def run_schedule(
         # Fire any actions scheduled in the final partial step (e.g. a relay
         # death aimed at the last broadcast round).
         while action_idx < len(actions) and actions[action_idx].at <= schedule.duration:
+            tr.annotate(f"nemesis.{actions[action_idx].kind}", at=actions[action_idx].at)
             try:
                 target.apply(actions[action_idx])
             except Exception:

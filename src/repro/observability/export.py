@@ -1,0 +1,100 @@
+"""Exporters: JSON-lines span dumps and Chrome trace-event JSON.
+
+The JSON-lines form is the interchange format — one span per line, appended
+by each process (``--trace-dir``) and merged by ``scripts/trace_report.py``.
+The Chrome trace-event form is for eyeballs: load it in ``chrome://tracing``
+or https://ui.perfetto.dev and a transaction's causal chain renders as
+nested slices per process, with instant annotations (nemesis faults, lease
+expiries) as markers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.observability.trace import Span
+
+
+def write_spans_jsonl(path: str | os.PathLike, spans: Iterable[Span]) -> int:
+    """Write spans to a JSON-lines file (truncating); returns spans written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_spans(paths: Iterable[str | os.PathLike]) -> list[Span]:
+    """Load and merge spans from JSON-lines dumps (skipping malformed lines)."""
+    spans: list[Span] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spans.append(Span.from_dict(json.loads(line)))
+                except (ValueError, KeyError):
+                    continue
+    spans.sort(key=lambda s: s.start)
+    return spans
+
+
+def spans_to_chrome(spans: Iterable[Span]) -> dict:
+    """Convert spans to the Chrome trace-event format.
+
+    Each process becomes a trace "pid" row; within a process, spans of one
+    trace share a "tid" so a transaction reads as one horizontal lane.
+    Durations are complete events (``ph: "X"``); zero-duration annotations
+    become instants (``ph: "i"``).
+    """
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    for span in spans:
+        pid = pids.setdefault(span.process, len(pids) + 1)
+        tid = tids.setdefault((pid, span.trace_id), len(tids) + 1)
+        args = dict(span.attrs)
+        if span.txid:
+            args["txid"] = span.txid
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        event = {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start * 1e6,
+            "args": args,
+        }
+        if span.duration > 0.0:
+            event["ph"] = "X"
+            event["dur"] = span.duration * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    for process, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | os.PathLike, spans: Iterable[Span]) -> Path:
+    """Write spans as a Chrome trace-event JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(spans_to_chrome(spans), sort_keys=True), encoding="utf-8")
+    return path

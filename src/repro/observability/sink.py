@@ -1,0 +1,74 @@
+"""Periodic on-disk sink for server processes (``--trace-dir``).
+
+One :class:`ObservabilitySink` per process component (the router, each node
+server) appends the process tracer's drained spans to
+``<trace_dir>/trace-<component>.jsonl`` and, when ``metrics_interval`` > 0,
+every registry's snapshot to ``<trace_dir>/metrics-<component>.jsonl``.
+``scripts/trace_report.py`` merges these files across processes into one
+causal timeline.
+
+The sink is an asyncio task on the server's own loop — no extra thread —
+and flushes once more at shutdown so short-lived runs lose nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.observability import metrics as om
+from repro.observability import trace as tr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import ObservabilityConfig
+
+
+class ObservabilitySink:
+    """Appends spans + metrics snapshots for one component on a timer."""
+
+    def __init__(self, component: str, config: "ObservabilityConfig") -> None:
+        self.component = component
+        self.config = config
+        self.trace_dir = Path(config.trace_dir) if config.trace_dir else None
+        # The sink is the one place that knows the component's name, so the
+        # process tracer adopts it — merged reports then read "router" /
+        # "node-n0" instead of "pid-1234".
+        if config.enabled and tr.enabled():
+            tr.tracer().process = component
+        #: Flush cadence: the metrics interval when set, else once a second —
+        #: spans are drained (not re-written), so frequency only bounds loss.
+        self.interval = config.metrics_interval if config.metrics_interval > 0 else 1.0
+        self._task: asyncio.Task | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.trace_dir is not None
+
+    def start(self) -> None:
+        if self.active and self._task is None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self.active:
+            self.flush()
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            self.flush()
+
+    def flush(self) -> None:
+        spans = tr.tracer().drain()
+        if spans:
+            tr.append_spans_jsonl(self.trace_dir / f"trace-{self.component}.jsonl", spans)
+        if self.config.metrics_interval > 0:
+            om.append_snapshots_jsonl(self.trace_dir / f"metrics-{self.component}.jsonl")

@@ -174,6 +174,9 @@ class PublishCommits(WireMessage):
     BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("records",)
     node_id: str = ""
     records: list = field(default_factory=list)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -204,6 +207,9 @@ class StorageRequest(WireMessage):
     keys: list = field(default_factory=list)
     items: dict = field(default_factory=dict)
     prefix: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -231,6 +237,9 @@ class StorageBatch(WireMessage):
     BYTES_LIST_FIELDS: ClassVar[tuple[str, ...]] = ("blobs",)
     ops: list = field(default_factory=list)
     blobs: list = field(default_factory=list)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -259,6 +268,9 @@ class ClientStart(WireMessage):
 
     TYPE: ClassVar[str] = "client_start"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -273,6 +285,9 @@ class ClientGet(WireMessage):
     TYPE: ClassVar[str] = "client_get"
     txid: str = ""
     keys: list = field(default_factory=list)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -290,12 +305,18 @@ class ClientPut(WireMessage):
     BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("items",)
     txid: str = ""
     items: dict = field(default_factory=dict)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
 class ClientCommit(WireMessage):
     TYPE: ClassVar[str] = "client_commit"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -311,6 +332,9 @@ class ClientCommitted(WireMessage):
 class ClientAbort(WireMessage):
     TYPE: ClassVar[str] = "client_abort"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -319,6 +343,9 @@ class TxnStart(WireMessage):
 
     TYPE: ClassVar[str] = "txn_start"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -326,6 +353,9 @@ class TxnGet(WireMessage):
     TYPE: ClassVar[str] = "txn_get"
     txid: str = ""
     keys: list = field(default_factory=list)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
@@ -334,18 +364,27 @@ class TxnPut(WireMessage):
     BYTES_MAP_FIELDS: ClassVar[tuple[str, ...]] = ("items",)
     txid: str = ""
     items: dict = field(default_factory=dict)
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
 class TxnCommit(WireMessage):
     TYPE: ClassVar[str] = "txn_commit"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 @dataclass
 class TxnAbort(WireMessage):
     TYPE: ClassVar[str] = "txn_abort"
     txid: str = ""
+    #: Optional causal-trace context ("trace_id:parent_span_id").
+    #: Old peers drop the unknown field on decode; empty means untraced.
+    trace: str = ""
 
 
 # --------------------------------------------------------------------- #
@@ -369,6 +408,10 @@ class InfoReply(WireMessage):
     #: bytes_in, bytes_out, batched_ops_in, batched_ops_out, drains,
     #: wire_format} — the router's view of each peer's protocol traffic.
     wire: dict = field(default_factory=dict)
+    #: The router's metrics-registry snapshot (counters/gauges/histograms
+    #: from :mod:`repro.observability.metrics`) — the over-the-wire scrape.
+    #: Old routers omit the field; old clients drop it.
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass

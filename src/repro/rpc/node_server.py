@@ -34,6 +34,9 @@ from repro.core.commit_set import CommitSetStore
 from repro.core.metadata_plane.fencing import FenceToken
 from repro.core.node import AftNode
 from repro.errors import AftError
+from repro.observability import metrics as om
+from repro.observability import trace as tr
+from repro.observability.sink import ObservabilitySink
 from repro.rpc import messages as m
 from repro.rpc.framing import (
     FORMAT_BINARY,
@@ -74,6 +77,10 @@ class NodeServer:
         self.wire_formats = tuple(wire_formats)
         self.enable_storage_batching = enable_storage_batching
         self.coalesce_window = coalesce_window
+
+        tr.apply_config(self.config.observability)
+        self.metrics = om.registry(f"node.{node_id}")
+        self._sink = ObservabilitySink(f"node-{node_id}", self.config.observability)
 
         self.conn: RpcConnection | None = None
         self.node: AftNode | None = None
@@ -133,6 +140,7 @@ class NodeServer:
             loop.create_task(self._heartbeat_loop()),
             loop.create_task(self._publish_loop()),
         ]
+        self._sink.start()
 
     async def _come_online(self, epoch: int) -> None:
         """Start serving: adopt the fencing token, bootstrap off-loop."""
@@ -150,6 +158,7 @@ class NodeServer:
         await self.stop()
 
     async def stop(self) -> None:
+        await self._sink.stop()
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:
@@ -193,8 +202,14 @@ class NodeServer:
             # has written the deliver frames to every peer, so once the commit
             # ack (which follows this) reaches the client, any later request
             # to a sibling node is behind that sibling's deliver frame.
+            # No span of its own: ``router.publish_fanout`` times the same
+            # round trip from the other side, parented via the trace field.
             await self.conn.request(
-                m.PublishCommits(node_id=self.node_id, records=m.encode_records(records))
+                m.PublishCommits(
+                    node_id=self.node_id,
+                    records=m.encode_records(records),
+                    trace=tr.wire_context(),
+                )
             )
 
     # ------------------------------------------------------------------ #
@@ -203,36 +218,58 @@ class NodeServer:
     async def _handle(self, conn: RpcConnection, msg: m.WireMessage) -> m.WireMessage | None:
         node = self.node
         if isinstance(msg, m.TxnStart):
-            txid = node.start_transaction(msg.txid or None)
+            with tr.span("node.start", parent=msg.trace) as span:
+                txid = node.start_transaction(msg.txid or None)
+                span.bind_txn(txid)
+            self.metrics.counter("txns_started").inc()
             return m.ClientStarted(txid=txid, node_id=self.node_id)
         if isinstance(msg, m.TxnGet):
-            values = await node.get_many_async(msg.txid, list(msg.keys))
+            with tr.span("node.get", txid=msg.txid, parent=msg.trace, n_keys=len(msg.keys)):
+                values = await node.get_many_async(msg.txid, list(msg.keys))
             return m.ClientValues(values=dict(values))
         if isinstance(msg, m.TxnPut):
+            # Un-spanned on purpose: a put is a write-buffer append (see the
+            # client-side note); commit spans carry its persistence.
             for key, value in msg.items.items():
                 await node.put_async(msg.txid, key, value)
             return m.Ok()
         if isinstance(msg, m.TxnCommit):
-            commit_id = await node.commit_transaction_async(msg.txid)
-            # Publish eagerly: the commit ack and the peer broadcast leave
-            # together, so a follow-up transaction on a sibling node sees the
-            # new version without waiting out the publish interval.
-            try:
-                await self._publish_now()
-            except Exception:
-                pass
+            with tr.span("node.commit", txid=msg.txid, parent=msg.trace):
+                commit_id = await node.commit_transaction_async(msg.txid)
+                # Publish eagerly: the commit ack and the peer broadcast leave
+                # together, so a follow-up transaction on a sibling node sees
+                # the new version without waiting out the publish interval.
+                try:
+                    await self._publish_now()
+                except Exception:
+                    pass
+            self.metrics.counter("txns_committed").inc()
+            tr.end_txn(msg.txid)
             return m.ClientCommitted(txid=msg.txid, commit_token=commit_id.to_token())
         if isinstance(msg, m.TxnAbort):
-            node.abort_transaction(msg.txid)
+            with tr.span("node.abort", txid=msg.txid, parent=msg.trace):
+                node.abort_transaction(msg.txid)
+            self.metrics.counter("txns_aborted").inc()
+            tr.end_txn(msg.txid)
             return m.Ok()
         if isinstance(msg, m.DeliverCommits):
+            # Deliberately not annotated: deliveries arrive ~2x per txn with no
+            # causal parent, so a span here is pure hot-path noise; the counter
+            # below carries the same information.
+            self.metrics.counter("commits_delivered").inc(len(msg.records))
             node.receive_commits(m.decode_records(msg.records))
             return m.Ok()
         if isinstance(msg, m.Activate):
+            tr.annotate("node.activate", node=self.node_id, epoch=msg.epoch)
             self.kind = "node"
             await self._come_online(msg.epoch)
             return m.Ok()
         if isinstance(msg, m.Nemesis):
+            if msg.pause_heartbeats != self.heartbeats_paused:
+                tr.annotate(
+                    "node.heartbeats_paused" if msg.pause_heartbeats else "node.heartbeats_resumed",
+                    node=self.node_id,
+                )
             self.heartbeats_paused = msg.pause_heartbeats
             return m.Ok()
         raise AftError(f"node cannot handle {msg.TYPE!r}")
@@ -270,12 +307,31 @@ def main(argv: list[str] | None = None) -> int:
         "sessions (0 = same-event-loop-tick only; ~0.001 trades up to "
         "1 ms of stage latency for fewer round trips under load)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="enable tracing and append span/metrics JSONL dumps to this directory",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        help="seconds between metrics snapshots (0 disables; implies tracing on)",
+    )
     args = parser.parse_args(argv)
 
     config = AftConfig()
     if args.storage_timeout is not None:
         config = config.with_overrides(
             storage_request_timeout=args.storage_timeout if args.storage_timeout > 0 else None
+        )
+    if args.trace_dir or args.metrics_interval > 0:
+        config = config.with_overrides(
+            observability=config.observability.with_overrides(
+                enabled=True,
+                trace_dir=args.trace_dir,
+                metrics_interval=args.metrics_interval,
+            )
         )
 
     async def run() -> None:

@@ -40,11 +40,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro import runtime
+from repro.config import ObservabilityConfig
 from repro.core.commit_set import CommitRecord
 from repro.core.metadata_plane.fencing import EpochFence
 from repro.core.metadata_plane.keyspace import PARTITIONED_PREFIX
 from repro.errors import AftError, NoAvailableNodeError, UnknownTransactionError
 from repro.ids import COMMIT_PREFIX, KEY_SEPARATOR
+from repro.observability import metrics as om
+from repro.observability import trace as tr
+from repro.observability.sink import ObservabilitySink
 from repro.rpc import messages as m
 from repro.rpc.framing import FORMAT_BINARY, FORMAT_JSON, RpcConnection
 from repro.storage.base import StorageEngine, StorageOp, StorageOpResult
@@ -92,6 +96,7 @@ class RouterServer:
         wire_formats: tuple[str, ...] = (FORMAT_JSON, FORMAT_BINARY),
         enable_storage_batches: bool = True,
         storage_batch_concurrency: int = 16,
+        observability: ObservabilityConfig | None = None,
     ) -> None:
         if lease_duration <= heartbeat_interval:
             raise ValueError("lease_duration must exceed heartbeat_interval")
@@ -116,6 +121,13 @@ class RouterServer:
         #: Guards the storage engine: its operations are instant, and one
         #: lock keeps fence-check-then-write atomic under handler concurrency.
         self._storage_lock = threading.Lock()
+        self.observability = observability if observability is not None else ObservabilityConfig()
+        tr.apply_config(self.observability)
+        #: The router's metrics registry — scrapeable over the wire via the
+        #: ``info`` RPC (see the InfoReply construction) and snapshotted to
+        #: JSON-lines by the sink when ``--metrics-interval`` is set.
+        self.metrics = om.registry("router")
+        self._sink = ObservabilitySink("router", self.observability)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -124,6 +136,7 @@ class RouterServer:
         self._server = await asyncio.start_server(self._accept, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._lease_task = asyncio.get_running_loop().create_task(self._lease_loop())
+        self._sink.start()
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -131,6 +144,7 @@ class RouterServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        await self._sink.stop()
         if self._lease_task is not None:
             self._lease_task.cancel()
             try:
@@ -183,6 +197,8 @@ class RouterServer:
         session.declared_failed = True
         was_active = session.active
         session.active = False
+        tr.annotate("router.node_failed", node=session.node_id, reason=reason)
+        self.metrics.counter("nodes_failed").inc()
         if was_active or self.fence.granted_epoch(session.node_id) is not None:
             # Revoke *before* anything else: from here on the node's late
             # commit-record writes carry a dead epoch.
@@ -213,6 +229,8 @@ class RouterServer:
             self._declare_failed(standby, reason="activation failed")
             return
         standby.active = True
+        tr.annotate("router.promote_standby", node=standby.node_id)
+        self.metrics.counter("standbys_promoted").inc()
 
     # ------------------------------------------------------------------ #
     # Request dispatch
@@ -235,14 +253,23 @@ class RouterServer:
         if isinstance(msg, m.ClientStart):
             return await self._handle_client_start(msg)
         if isinstance(msg, m.ClientGet):
-            reply = await self._forward(msg.txid, m.TxnGet(txid=msg.txid, keys=msg.keys))
+            with tr.span("router.get", txid=msg.txid, parent=msg.trace):
+                reply = await self._forward(
+                    msg.txid, m.TxnGet(txid=msg.txid, keys=msg.keys, trace=tr.wire_context())
+                )
             return m.ClientValues(values=getattr(reply, "values", {}))
         if isinstance(msg, m.ClientPut):
+            # Un-spanned on purpose: puts are write-buffer appends (see the
+            # client-side note); the commit spans carry their persistence.
             await self._forward(msg.txid, m.TxnPut(txid=msg.txid, items=msg.items))
             return m.Ok()
         if isinstance(msg, m.ClientCommit):
             try:
-                reply = await self._forward(msg.txid, m.TxnCommit(txid=msg.txid))
+                with tr.span("router.commit", txid=msg.txid, parent=msg.trace):
+                    reply = await self._forward(
+                        msg.txid, m.TxnCommit(txid=msg.txid, trace=tr.wire_context())
+                    )
+                self.metrics.counter("txns_committed").inc()
             finally:
                 self._routes.pop(msg.txid, None)
             return m.ClientCommitted(
@@ -250,7 +277,11 @@ class RouterServer:
             )
         if isinstance(msg, m.ClientAbort):
             try:
-                await self._forward(msg.txid, m.TxnAbort(txid=msg.txid))
+                with tr.span("router.abort", txid=msg.txid, parent=msg.trace):
+                    await self._forward(
+                        msg.txid, m.TxnAbort(txid=msg.txid, trace=tr.wire_context())
+                    )
+                self.metrics.counter("txns_aborted").inc()
             finally:
                 self._routes.pop(msg.txid, None)
             return m.Ok()
@@ -268,6 +299,7 @@ class RouterServer:
                     node_id: {"format": s.conn.wire_format, **s.conn.stats.as_dict()}
                     for node_id, s in sorted(self._sessions.items())
                 },
+                metrics=self.metrics.snapshot(),
             )
         if isinstance(msg, m.Nemesis):
             session = self._sessions.get(msg.node_id)
@@ -317,6 +349,11 @@ class RouterServer:
 
     async def _handle_publish(self, msg: m.PublishCommits) -> None:
         self._commits_seen += len(msg.records)
+        self.metrics.counter("commit_records_published").inc(len(msg.records))
+        with tr.span("router.publish_fanout", parent=msg.trace, n_records=len(msg.records)):
+            await self._fan_out(msg)
+
+    async def _fan_out(self, msg: m.PublishCommits) -> None:
         deliver = m.DeliverCommits(records=msg.records)
         for session in list(self._sessions.values()):
             if session.active and session.node_id != msg.node_id:
@@ -352,9 +389,14 @@ class RouterServer:
             raise NoAvailableNodeError("no serving node connected to the router")
         session = serving[self._round_robin % len(serving)]
         self._round_robin += 1
-        reply = await session.conn.request(m.TxnStart(txid=msg.txid), timeout=10.0)
-        txid = getattr(reply, "txid", msg.txid)
+        with tr.span("router.start", parent=msg.trace, node=session.node_id) as span:
+            reply = await session.conn.request(
+                m.TxnStart(txid=msg.txid, trace=tr.wire_context()), timeout=10.0
+            )
+            txid = getattr(reply, "txid", msg.txid)
+            span.bind_txn(txid)
         self._routes[txid] = session
+        self.metrics.counter("txns_started").inc()
         return m.ClientStarted(txid=txid, node_id=session.node_id)
 
     async def _forward(self, txid: str, msg: m.WireMessage) -> m.WireMessage:
@@ -418,9 +460,13 @@ class RouterServer:
         raise AftError(f"unknown storage op {op.op!r}")
 
     def _handle_storage(self, msg: m.StorageRequest) -> m.StorageResponse:
-        result = self._apply_op_sync(
-            StorageOp(op=msg.op, keys=tuple(msg.keys), items=msg.items or None, prefix=msg.prefix)
-        )
+        self.metrics.counter("storage_ops").inc()
+        with tr.span("router.storage", parent=msg.trace, op=msg.op):
+            result = self._apply_op_sync(
+                StorageOp(
+                    op=msg.op, keys=tuple(msg.keys), items=msg.items or None, prefix=msg.prefix
+                )
+            )
         if result.error is not None:  # pragma: no cover - sync applier raises
             raise result.error
         return m.StorageResponse(values=result.values or {}, keys=result.keys or [])
@@ -438,6 +484,8 @@ class RouterServer:
         """
         ops = m.decode_storage_ops(msg)
         conn.stats.batched_ops_received += len(ops)
+        self.metrics.counter("storage_ops").inc(len(ops))
+        self.metrics.counter("storage_batches").inc()
 
         def apply_checked(op: StorageOp) -> StorageOpResult:
             try:
@@ -445,20 +493,21 @@ class RouterServer:
             except Exception as exc:
                 return StorageOpResult(error=exc)
 
-        if not self.storage.wall_clock_io:
-            results = [apply_checked(op) for op in ops]
+        with tr.span("router.storage_batch", parent=msg.trace, n_ops=len(ops)):
+            if not self.storage.wall_clock_io:
+                results = [apply_checked(op) for op in ops]
+                return m.encode_storage_results(results)
+            loop = asyncio.get_running_loop()
+            limit = asyncio.Semaphore(self.storage_batch_concurrency)
+
+            async def run_one(op: StorageOp) -> StorageOpResult:
+                async with limit:
+                    return await loop.run_in_executor(
+                        runtime.io_executor(), runtime.marked(lambda: apply_checked(op))
+                    )
+
+            results = list(await asyncio.gather(*(run_one(op) for op in ops)))
             return m.encode_storage_results(results)
-        loop = asyncio.get_running_loop()
-        limit = asyncio.Semaphore(self.storage_batch_concurrency)
-
-        async def run_one(op: StorageOp) -> StorageOpResult:
-            async with limit:
-                return await loop.run_in_executor(
-                    runtime.io_executor(), runtime.run_marked, lambda: apply_checked(op)
-                )
-
-        results = list(await asyncio.gather(*(run_one(op) for op in ops)))
-        return m.encode_storage_results(results)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -478,6 +527,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="do not advertise the storage_batch feature",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="enable tracing and append span/metrics JSONL dumps to this directory",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        help="seconds between metrics snapshots (0 disables; implies tracing on)",
+    )
     args = parser.parse_args(argv)
 
     async def run() -> None:
@@ -492,6 +552,11 @@ def main(argv: list[str] | None = None) -> int:
                 else (FORMAT_JSON,)
             ),
             enable_storage_batches=not args.no_storage_batching,
+            observability=ObservabilityConfig(
+                enabled=bool(args.trace_dir or args.metrics_interval > 0),
+                trace_dir=args.trace_dir,
+                metrics_interval=args.metrics_interval,
+            ),
         )
         await router.start()
         # The ready line is machine-readable: harnesses parse the port from

@@ -36,6 +36,7 @@ import asyncio
 from typing import Iterable, Mapping
 
 from repro.errors import StorageError
+from repro.observability import trace as tr
 from repro.rpc import messages as m
 from repro.rpc.framing import RpcConnection
 from repro.rpc.messages import StorageRequest, StorageResponse
@@ -98,9 +99,14 @@ class _OpCoalescer:
 
     async def _send_batch(self, ops: list[StorageOp], futures: list[asyncio.Future]) -> None:
         try:
-            batch = m.encode_storage_ops(ops)
-            self._conn.stats.batched_ops_sent += len(ops)
-            reply = await self._conn.request(batch, timeout=self._owner.request_timeout)
+            # The flush span parents under whichever submitter's context the
+            # flush callback inherited — a shared frame belongs to one trace
+            # at most, and the per-op waiters carry their own spans anyway.
+            with tr.span("storage.flush", n_ops=len(ops)):
+                batch = m.encode_storage_ops(ops)
+                batch.trace = tr.wire_context()
+                self._conn.stats.batched_ops_sent += len(ops)
+                reply = await self._conn.request(batch, timeout=self._owner.request_timeout)
             if not isinstance(reply, m.StorageBatchResult):
                 raise StorageError(f"unexpected batch reply {type(reply).__name__}")
             results = m.decode_storage_results(reply)
@@ -147,7 +153,9 @@ class RemoteStorage(StorageEngine):
 
     # ------------------------------------------------------------------ #
     async def _call(self, request: StorageRequest) -> StorageResponse:
-        reply = await self._conn.request(request, timeout=self.request_timeout)
+        with tr.span("storage.rpc", op=request.op):
+            request.trace = tr.wire_context()
+            reply = await self._conn.request(request, timeout=self.request_timeout)
         if not isinstance(reply, StorageResponse):
             raise StorageError(f"unexpected storage reply {type(reply).__name__}")
         return reply

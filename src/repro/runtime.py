@@ -25,6 +25,7 @@ free) cannot occur.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
@@ -88,9 +89,23 @@ def run_marked(fn: Callable[[], Any]) -> Any:
         _worker_state.active = False
 
 
+def marked(fn: Callable[[], Any]) -> Callable[[], Any]:
+    """Wrap ``fn`` for executor dispatch: worker flag + context snapshot.
+
+    ``ThreadPoolExecutor`` (and hence ``loop.run_in_executor``) does *not*
+    carry :mod:`contextvars` into the worker thread, unlike asyncio tasks.
+    Capturing a context snapshot at the dispatch site keeps context-local
+    state — the observability plane's trace context, the storage ledger
+    attachment — flowing across the thread hop, so a span opened around a
+    sync plan execution still parents the work its groups do on workers.
+    """
+    ctx = contextvars.copy_context()
+    return lambda: ctx.run(run_marked, fn)
+
+
 def submit_io(fn: Callable[[], Any]) -> Future:
     """Submit one blocking callable to the shared executor."""
-    return io_executor().submit(run_marked, fn)
+    return io_executor().submit(marked(fn))
 
 
 def run_blocking_group(

@@ -19,7 +19,13 @@ from typing import Callable
 
 from repro.baselines.dynamo_txn import DynamoTransactionClient
 from repro.clock import Clock
-from repro.config import AftConfig, AutoscalerPolicy, ClusterConfig, MetadataPlaneConfig
+from repro.config import (
+    AftConfig,
+    AutoscalerPolicy,
+    ClusterConfig,
+    MetadataPlaneConfig,
+    ObservabilityConfig,
+)
 from repro.core.autoscaler import SCALE_DOWN, SCALE_UP
 from repro.consistency.checker import AnomalyCounts
 from repro.consistency.metadata import TaggedValue
@@ -301,6 +307,11 @@ class DeploymentSpec:
     metadata_plane: MetadataPlaneConfig = field(default_factory=MetadataPlaneConfig)
     cost_model: DeploymentCostModel = field(default_factory=DeploymentCostModel)
     node_config: AftConfig | None = None
+    #: Observability plane for the described deployment (tracing + metrics).
+    #: Threaded onto the node config like ``io_concurrency``: the simulator
+    #: itself only enables in-process tracing, but a spec round-trips to a
+    #: real deployment's ``--trace-dir`` / ``--metrics-interval`` faithfully.
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     preload: bool = True
     seed: int = 0
     failure_script: FailureScript | None = None
@@ -475,7 +486,10 @@ def run_deployment(spec: DeploymentSpec) -> DeploymentResult:
                 if spec.storage_request_timeout is not None
                 else AftConfig.storage_request_timeout
             ),
+            observability=spec.observability,
         )
+    elif spec.observability.enabled and not node_config.observability.enabled:
+        node_config = node_config.with_overrides(observability=spec.observability)
     # The coalescing window runs in *simulated* time through the per-node
     # SimGroupCommitGate; the node-level committer's own (wall-clock) window
     # must stay 0 or the flush would sleep real seconds inside a kernel

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 from repro import runtime
 from repro.clock import Clock, SystemClock
+from repro.observability import trace as tr
 from repro.storage.latency import LatencyModel, ZeroLatency
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports storage)
@@ -492,17 +493,25 @@ class StorageEngine(ABC):
         outer = self._ledger
         inner = CostLedger()
         result = PlanResult()
-        for stage in plan.stages:
-            stage_id = next(_stage_ids)
-            groups = self._stage_groups(stage)
-            if len(groups) > 1 and self.wall_clock_io:
-                outcomes = runtime.run_blocking_group(
-                    [lambda g=group: self._run_group(g, stage_id) for group in groups],
-                    concurrency=self.effective_io_concurrency,
-                )
-            else:
-                outcomes = [self._run_group(group, stage_id) for group in groups]
-            self._collect_stage(outcomes, inner, result)
+        # One span per plan (not per stage): stage names ride along as an
+        # attribute so IO-plan structure stays visible in traces without
+        # paying span cost per barrier on the hot path.
+        with tr.span(
+            "io.plan",
+            stages=",".join(s.name for s in plan.stages),
+            n_ops=plan.operation_count,
+        ):
+            for stage in plan.stages:
+                stage_id = next(_stage_ids)
+                groups = self._stage_groups(stage)
+                if len(groups) > 1 and self.wall_clock_io:
+                    outcomes = runtime.run_blocking_group(
+                        [lambda g=group: self._run_group(g, stage_id) for group in groups],
+                        concurrency=self.effective_io_concurrency,
+                    )
+                else:
+                    outcomes = [self._run_group(group, stage_id) for group in groups]
+                self._collect_stage(outcomes, inner, result)
         if outer is not None:
             outer.merge(inner)
         self._record_plan_stats(plan)
@@ -537,33 +546,41 @@ class StorageEngine(ABC):
         inner = CostLedger()
         result = PlanResult()
         try:
-            for stage in plan.stages:
-                stage_id = next(_stage_ids)
-                if self.supports_storage_batches:
-                    outcomes = await self._execute_stage_batched(stage, stage_id)
-                    self._collect_stage(outcomes, inner, result)
-                    continue
-                if self.wall_clock_io and self.supports_native_async:
-                    outcomes = await self._gather_groups_native(
-                        self._stage_groups_async(stage), stage_id
-                    )
-                    self._collect_stage(outcomes, inner, result)
-                    continue
-                groups = self._stage_groups(stage)
-                if len(groups) > 1 and self.wall_clock_io:
-                    outcomes = await self._gather_groups(groups, stage_id)
-                elif groups and self.wall_clock_io:
-                    loop = asyncio.get_running_loop()
-                    outcomes = [
-                        await loop.run_in_executor(
-                            runtime.io_executor(),
-                            runtime.run_marked,
-                            lambda g=groups[0]: self._run_group(g, stage_id),
+            # One span per plan, mirroring the sync path: stage names become
+            # an attribute instead of per-stage spans on the hot path.
+            with tr.span(
+                "io.plan",
+                stages=",".join(s.name for s in plan.stages),
+                n_ops=plan.operation_count,
+            ):
+                for stage in plan.stages:
+                    stage_id = next(_stage_ids)
+                    if self.supports_storage_batches:
+                        outcomes = await self._execute_stage_batched(stage, stage_id)
+                        self._collect_stage(outcomes, inner, result)
+                        continue
+                    if self.wall_clock_io and self.supports_native_async:
+                        outcomes = await self._gather_groups_native(
+                            self._stage_groups_async(stage), stage_id
                         )
-                    ]
-                else:
-                    outcomes = [self._run_group(group, stage_id) for group in groups]
-                self._collect_stage(outcomes, inner, result)
+                        self._collect_stage(outcomes, inner, result)
+                        continue
+                    groups = self._stage_groups(stage)
+                    if len(groups) > 1 and self.wall_clock_io:
+                        outcomes = await self._gather_groups(groups, stage_id)
+                    elif groups and self.wall_clock_io:
+                        loop = asyncio.get_running_loop()
+                        outcomes = [
+                            await loop.run_in_executor(
+                                runtime.io_executor(),
+                                runtime.marked(
+                                    lambda g=groups[0]: self._run_group(g, stage_id)
+                                ),
+                            )
+                        ]
+                    else:
+                        outcomes = [self._run_group(group, stage_id) for group in groups]
+                    self._collect_stage(outcomes, inner, result)
         finally:
             # Surface the charges of completed groups even when cancelled
             # mid-plan, so callers can still account for the work that ran.
@@ -583,8 +600,7 @@ class StorageEngine(ABC):
             async with limit:
                 return await loop.run_in_executor(
                     runtime.io_executor(),
-                    runtime.run_marked,
-                    lambda: self._run_group(group, stage_id),
+                    runtime.marked(lambda: self._run_group(group, stage_id)),
                 )
 
         return list(await asyncio.gather(*(run_one(group) for group in groups)))
